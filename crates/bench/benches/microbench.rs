@@ -1,0 +1,210 @@
+//! Criterion micro-benchmarks over the platform's hot paths: RDF bulk load,
+//! SPARQL BGP matching, the data transformer, meta-sampling, one autodiff
+//! GCN step, a KGE epoch, embedding search and an end-to-end SPARQL-ML
+//! SELECT.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use kgnet_datagen::{generate_dblp, DblpConfig};
+use kgnet_gml::config::{GmlMethodKind, GnnConfig};
+use kgnet_gml::dataset::{build_lp_dataset, build_nc_dataset};
+use kgnet_gml::lp::train_lp;
+use kgnet_graph::{transform, GmlTask, LpTask, NcTask, SplitRatios, SplitStrategy};
+use kgnet_gmlaas::{EmbeddingStore, Metric};
+use kgnet_linalg::{init, CsrMatrix, Tape};
+use kgnet_rdf::{query, RdfStore};
+use kgnet_sampler::{meta_sample_task, SamplingScope};
+
+fn kg() -> RdfStore {
+    generate_dblp(&DblpConfig::small(5)).0
+}
+
+fn nc_task() -> NcTask {
+    NcTask {
+        target_type: "https://www.dblp.org/Publication".into(),
+        label_predicate: "https://www.dblp.org/publishedIn".into(),
+    }
+}
+
+fn bench_rdf(c: &mut Criterion) {
+    let store = kg();
+    let triples: Vec<_> = store
+        .iter()
+        .map(|(s, p, o)| {
+            (store.resolve(s).clone(), store.resolve(p).clone(), store.resolve(o).clone())
+        })
+        .collect();
+
+    c.bench_function("rdf/bulk_load_13k_triples", |b| {
+        b.iter_batched(
+            || triples.clone(),
+            |ts| {
+                let mut st = RdfStore::new();
+                for (s, p, o) in ts {
+                    st.insert(s, p, o);
+                }
+                st.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("rdf/bgp_two_pattern_join", |b| {
+        b.iter(|| {
+            query(
+                &store,
+                "PREFIX dblp: <https://www.dblp.org/>
+                 SELECT ?p ?a WHERE { ?p a dblp:Publication . ?p dblp:authoredBy ?a }",
+            )
+            .unwrap()
+            .len()
+        })
+    });
+
+    c.bench_function("rdf/count_aggregate", |b| {
+        b.iter(|| {
+            query(
+                &store,
+                "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t }",
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let store = kg();
+    c.bench_function("pipeline/transform_to_heterograph", |b| {
+        b.iter(|| transform(&store, &["https://www.dblp.org/publishedIn".to_owned()]).0.n_edges())
+    });
+
+    c.bench_function("pipeline/meta_sample_d1h1", |b| {
+        b.iter(|| {
+            meta_sample_task(
+                &store,
+                &GmlTask::NodeClassification(nc_task()),
+                SamplingScope::D1H1,
+            )
+            .store
+            .len()
+        })
+    });
+
+    c.bench_function("pipeline/build_nc_dataset", |b| {
+        b.iter(|| {
+            build_nc_dataset(&store, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1)
+                .n_targets()
+        })
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let store = kg();
+    let data = build_nc_dataset(&store, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
+    let adj = Rc::new(data.graph.gcn_adjacency());
+    let n = data.graph.n_nodes();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let x0 = init::xavier_uniform(n, 32, &mut rng);
+    let w0 = init::xavier_uniform(32, 32, &mut rng);
+    let labels: Rc<Vec<u32>> = Rc::new(data.labels.clone());
+    let targets: Rc<Vec<u32>> = Rc::new(data.target_nodes.clone());
+
+    c.bench_function("training/gcn_autodiff_step", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let a = t.adjacency(adj.clone());
+            let x = t.param(x0.clone());
+            let w = t.param(w0.clone());
+            let xw = t.matmul(x, w);
+            let h = t.spmm(a, xw);
+            let h = t.relu(h);
+            let ht = t.gather(h, targets.clone());
+            // 32 hidden -> reuse as logits over up to 32 classes.
+            let loss = t.softmax_ce(ht, labels.clone());
+            t.backward(loss);
+            t.scalar(loss)
+        })
+    });
+
+    c.bench_function("training/kge_transe_run", |b| {
+        let lp_task = LpTask {
+            source_type: "https://www.dblp.org/Person".into(),
+            edge_predicate: "https://www.dblp.org/affiliatedWith".into(),
+            dest_type: "https://www.dblp.org/Affiliation".into(),
+        };
+        let lp = build_lp_dataset(&store, &lp_task, SplitRatios::default(), 1);
+        let cfg = GnnConfig { epochs: 2, batch_size: 128, hidden: 16, ..GnnConfig::default() };
+        b.iter(|| train_lp(GmlMethodKind::TransE, &lp, &cfg).report.loss_curve.len())
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let store = kg();
+    let (graph, _) = transform(&store, &[]);
+    let adj = graph.gcn_adjacency();
+    let x = init::xavier_uniform(graph.n_nodes(), 64, &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1));
+    c.bench_function("linalg/spmm_13k_graph_d64", |b| b.iter(|| adj.spmm(&x).rows()));
+    c.bench_function("linalg/csr_transpose", |b| b.iter(|| adj.transpose().nnz()));
+    let _ = CsrMatrix::from_coo(2, 2, vec![(0, 1, 1.0)]);
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut store = EmbeddingStore::new(32, Metric::Cosine);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    for i in 0..2000 {
+        let v = init::xavier_uniform(1, 32, &mut rng).as_slice().to_vec();
+        store.add(format!("e{i}"), v);
+    }
+    let q = store.get("e42").unwrap().to_vec();
+    c.bench_function("embedding/exact_top10_of_2000", |b| {
+        b.iter(|| store.search_exact(&q, 10).len())
+    });
+    store.build_ivf(32, 4, 9);
+    c.bench_function("embedding/ivf_top10_nprobe4", |b| b.iter(|| store.search(&q, 10, 4).len()));
+}
+
+fn bench_sparqlml(c: &mut Criterion) {
+    use kgnet_core::{GnnConfig as GC, KgNet, ManagerConfig, MlOutcome};
+    let (kgd, _) = generate_dblp(&DblpConfig::tiny(11));
+    let cfg = ManagerConfig { default_cfg: GC::fast_test(), ..Default::default() };
+    let mut platform = KgNet::with_graph_and_config(kgd, cfg);
+    platform
+        .execute(
+            r#"PREFIX dblp: <https://www.dblp.org/>
+               PREFIX kgnet: <https://www.kgnet.com/>
+               INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                 {Name: 'bench', GML-Task:{ TaskType: kgnet:NodeClassifier,
+                    TargetNode: dblp:Publication, NodeLabel: dblp:publishedIn},
+                  Method: 'GCN'})}"#,
+        )
+        .unwrap();
+    c.bench_function("sparqlml/select_with_ud_predicate", |b| {
+        b.iter(|| {
+            let MlOutcome::Rows(rows) = platform
+                .execute(
+                    r#"PREFIX dblp: <https://www.dblp.org/>
+                       PREFIX kgnet: <https://www.kgnet.com/>
+                       SELECT ?paper ?venue WHERE {
+                         ?paper a dblp:Publication .
+                         ?paper ?NC ?venue .
+                         ?NC a kgnet:NodeClassifier .
+                         ?NC kgnet:TargetNode dblp:Publication .
+                         ?NC kgnet:NodeLabel dblp:publishedIn . }"#,
+                )
+                .unwrap()
+            else {
+                panic!("rows")
+            };
+            rows.len()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rdf, bench_pipeline, bench_training, bench_spmm, bench_embedding, bench_sparqlml
+);
+criterion_main!(benches);

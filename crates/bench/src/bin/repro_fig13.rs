@@ -1,0 +1,66 @@
+//! Reproduces Fig. 13: accuracy / training time / training memory for the
+//! DBLP paper→venue node-classification task, methods G-SAINT, RGCN and
+//! SH-SAINT, traditional full-KG pipeline vs KGNet's meta-sampled KG'
+//! (d1h1, the paper's best NC scope).
+
+use kgnet_bench::{
+    dblp_nc_task, dblp_store, print_figure, print_shape_checks, run_nc_cell, BenchEnv, Cell,
+    PaperRef, Pipeline,
+};
+use kgnet_gml::config::GmlMethodKind;
+use kgnet_sampler::SamplingScope;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let cfg = env.gnn_config();
+    let kg = dblp_store(&env);
+    let task = dblp_nc_task();
+    eprintln!(
+        "[fig13] DBLP-sim: {} triples, epochs={}, scale={}",
+        kg.len(),
+        cfg.epochs,
+        env.scale
+    );
+
+    // Paper values from Fig. 13 (percent, hours, GB).
+    let paper: &[(GmlMethodKind, PaperRef, PaperRef)] = &[
+        (
+            GmlMethodKind::GraphSaint,
+            PaperRef { metric_pct: 82.0, time_h: 1.9, mem_gb: 46.0 },
+            PaperRef { metric_pct: 90.0, time_h: 1.4, mem_gb: 36.0 },
+        ),
+        (
+            GmlMethodKind::Rgcn,
+            PaperRef { metric_pct: 74.0, time_h: 2.0, mem_gb: 220.0 },
+            PaperRef { metric_pct: 80.0, time_h: 1.4, mem_gb: 82.0 },
+        ),
+        (
+            GmlMethodKind::ShadowSaint,
+            PaperRef { metric_pct: 85.0, time_h: 9.2, mem_gb: 94.0 },
+            PaperRef { metric_pct: 91.0, time_h: 5.9, mem_gb: 54.0 },
+        ),
+    ];
+
+    let mut cells: Vec<(Cell, Option<PaperRef>)> = Vec::new();
+    for &(method, full_ref, prime_ref) in paper {
+        eprintln!("[fig13] training {} on full KG...", method.name());
+        let full = run_nc_cell(&kg, "DBLP", &task, method, Pipeline::FullKg, &cfg);
+        eprintln!("[fig13] training {} on KG' (d1h1)...", method.name());
+        let prime = run_nc_cell(
+            &kg,
+            "DBLP",
+            &task,
+            method,
+            Pipeline::KgPrime(SamplingScope::D1H1),
+            &cfg,
+        );
+        cells.push((full, Some(full_ref)));
+        cells.push((prime, Some(prime_ref)));
+    }
+
+    print_figure(
+        "Figure 13 — DBLP paper→venue node classification (full KG vs KGNET(KG') d1h1)",
+        &cells,
+    );
+    print_shape_checks(&cells);
+}

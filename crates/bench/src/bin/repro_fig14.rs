@@ -1,0 +1,65 @@
+//! Reproduces Fig. 14: accuracy / training time / training memory for the
+//! YAGO-4 place→country node-classification task, full KG vs KGNET(KG')
+//! (d1h1).
+
+use kgnet_bench::{
+    print_figure, print_shape_checks, run_nc_cell, yago_nc_task, yago_store, BenchEnv, Cell,
+    PaperRef, Pipeline,
+};
+use kgnet_gml::config::GmlMethodKind;
+use kgnet_sampler::SamplingScope;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let cfg = env.gnn_config();
+    let kg = yago_store(&env);
+    let task = yago_nc_task();
+    eprintln!(
+        "[fig14] YAGO-sim: {} triples, epochs={}, scale={}",
+        kg.len(),
+        cfg.epochs,
+        env.scale
+    );
+
+    // Paper values from Fig. 14 (percent, hours, GB).
+    let paper: &[(GmlMethodKind, PaperRef, PaperRef)] = &[
+        (
+            GmlMethodKind::GraphSaint,
+            PaperRef { metric_pct: 79.0, time_h: 7.3, mem_gb: 130.0 },
+            PaperRef { metric_pct: 90.0, time_h: 1.8, mem_gb: 30.0 },
+        ),
+        (
+            GmlMethodKind::Rgcn,
+            PaperRef { metric_pct: 95.0, time_h: 2.0, mem_gb: 220.0 },
+            PaperRef { metric_pct: 81.0, time_h: 2.1, mem_gb: 100.0 },
+        ),
+        (
+            GmlMethodKind::ShadowSaint,
+            PaperRef { metric_pct: 94.0, time_h: 6.4, mem_gb: 150.0 },
+            PaperRef { metric_pct: 94.0, time_h: 2.6, mem_gb: 50.0 },
+        ),
+    ];
+
+    let mut cells: Vec<(Cell, Option<PaperRef>)> = Vec::new();
+    for &(method, full_ref, prime_ref) in paper {
+        eprintln!("[fig14] training {} on full KG...", method.name());
+        let full = run_nc_cell(&kg, "YAGO", &task, method, Pipeline::FullKg, &cfg);
+        eprintln!("[fig14] training {} on KG' (d1h1)...", method.name());
+        let prime = run_nc_cell(
+            &kg,
+            "YAGO",
+            &task,
+            method,
+            Pipeline::KgPrime(SamplingScope::D1H1),
+            &cfg,
+        );
+        cells.push((full, Some(full_ref)));
+        cells.push((prime, Some(prime_ref)));
+    }
+
+    print_figure(
+        "Figure 14 — YAGO-4 place→country node classification (full KG vs KGNET(KG') d1h1)",
+        &cells,
+    );
+    print_shape_checks(&cells);
+}

@@ -1,0 +1,74 @@
+//! Reproduces the §IV.A budget-constrained method-selection behaviour: how
+//! the optimizer's choice shifts as the memory/time budget tightens, plus a
+//! query-time model-selection example with an inference-time bound
+//! (§IV.B.3's integer program).
+
+use kgnet_bench::{dblp_nc_task, dblp_store, BenchEnv};
+use kgnet_gml::config::GmlMethodKind;
+use kgnet_gml::dataset::build_nc_dataset;
+use kgnet_gml::estimate::GraphDims;
+use kgnet_gmlaas::{select_method, Priority, TaskBudget};
+use kgnet_graph::{SplitRatios, SplitStrategy};
+use kgnet_sparqlml::{select_models, ModelInfo};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let cfg = env.gnn_config();
+    let kg = dblp_store(&env);
+    let data = build_nc_dataset(&kg, &dblp_nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
+    let dims = GraphDims::of_nc(&data);
+    println!(
+        "Method selection on DBLP-sim NC: n={} nodes, e={} edges, r={} relations\n",
+        dims.n_nodes, dims.n_edges, dims.n_relations
+    );
+
+    println!("{:<28} {:<12}  candidate estimates (mem, time)", "budget", "chosen");
+    let budgets: Vec<(String, TaskBudget)> = vec![
+        ("unlimited / ModelScore".into(), TaskBudget::unlimited()),
+        ("mem <= 64 MiB".into(), TaskBudget::with_memory(64 << 20)),
+        ("mem <= 8 MiB".into(), TaskBudget::with_memory(8 << 20)),
+        ("time <= 1 s".into(), TaskBudget::with_time(1.0)),
+        (
+            "unlimited / TrainingTime".into(),
+            TaskBudget { priority: Priority::TrainingTime, ..Default::default() },
+        ),
+        (
+            "unlimited / Memory".into(),
+            TaskBudget { priority: Priority::Memory, ..Default::default() },
+        ),
+    ];
+    for (label, budget) in budgets {
+        let trace = select_method(&GmlMethodKind::NC_METHODS, &dims, &cfg, &budget);
+        let chosen = trace.chosen.map_or("NONE".to_owned(), |m| m.name().to_owned());
+        let ests: Vec<String> = trace
+            .candidates
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}({}, {:.1}s){}",
+                    c.method.name(),
+                    kgnet_linalg::memtrack::fmt_bytes(c.estimate.memory_bytes),
+                    c.estimate.time_s,
+                    if c.feasible { "" } else { "!" }
+                )
+            })
+            .collect();
+        println!("{label:<28} {chosen:<12}  {}", ests.join(" "));
+    }
+
+    // Query-time model selection among trained models (the §IV.B.3 IP).
+    println!("\nQuery-time model selection (accuracy-max under inference-time bound):");
+    let portfolio = vec![vec![
+        ModelInfo { uri: "m-rgcn".into(), accuracy: 0.80, inference_time_ms: 0.4, cardinality: 6000, method: "RGCN".into() },
+        ModelInfo { uri: "m-saint".into(), accuracy: 0.90, inference_time_ms: 1.8, cardinality: 6000, method: "G-SAINT".into() },
+        ModelInfo { uri: "m-shadow".into(), accuracy: 0.91, inference_time_ms: 6.5, cardinality: 6000, method: "SH-SAINT".into() },
+    ]];
+    for bound in [None, Some(5.0f64), Some(1.0)] {
+        let chosen = select_models(&portfolio, bound);
+        let label = bound.map_or("unbounded".to_owned(), |b| format!("<= {b} ms"));
+        match chosen {
+            Some(idx) => println!("  bound {label:<12} -> {}", portfolio[0][idx[0]].uri),
+            None => println!("  bound {label:<12} -> infeasible"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Reproduces Table I: statistics of the two benchmark KGs and their tasks.
+
+use kgnet_bench::{dblp_store, yago_store, BenchEnv};
+use kgnet_graph::kg_stats;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Table I — Statistics of the used KGs and GNN tasks");
+    println!("(synthetic substrates at scale {}; the paper uses DBLP=252M,", env.scale);
+    println!(" YAGO4=400M triples — shape, not magnitude, is reproduced)\n");
+
+    let dblp = dblp_store(&env);
+    let yago = yago_store(&env);
+    let ds = kg_stats(&dblp);
+    let ys = kg_stats(&yago);
+
+    let venues = ds.nodes_of_type("https://www.dblp.org/Venue");
+    let affiliations = ds.nodes_of_type("https://www.dblp.org/Affiliation");
+    let papers = ds.nodes_of_type("https://www.dblp.org/Publication");
+    let countries = ys.nodes_of_type("http://yago-knowledge.org/resource/Country");
+    let places = ys.nodes_of_type("http://yago-knowledge.org/resource/Place");
+
+    println!("{:<22} {:>14} {:>14}   paper", "Knowledge Graph", "DBLP-sim", "YAGO4-sim");
+    println!("{:<22} {:>14} {:>14}   252M / 400M", "#Triples", ds.n_triples, ys.n_triples);
+    println!(
+        "{:<22} {:>14} {:>14}   50 venues / 200 countries",
+        "#Label classes", venues, countries
+    );
+    println!(
+        "{:<22} {:>14} {:>14}   1.2M papers / (places)",
+        "#NC targets", papers, places
+    );
+    println!(
+        "{:<22} {:>14} {:>14}   51K affiliations / -",
+        "#LP destinations", affiliations, 0
+    );
+    println!("{:<22} {:>14} {:>14}   48 / 98", "#Edge Types", ds.n_edge_types, ys.n_edge_types);
+    println!("{:<22} {:>14} {:>14}   42 / 104", "#Node Types", ds.n_node_types, ys.n_node_types);
+    println!("{:<22} {:>14} {:>14}   NC,LP,ES / NC", "Tasks", "NC,LP,ES", "NC");
+
+    let ok_edge = ds.n_edge_types >= 40 && ys.n_edge_types >= 90;
+    let ok_node = ds.n_node_types >= 40 && ys.n_node_types >= 100;
+    println!(
+        "\nShape checks: edge-type counts {} node-type counts {}",
+        if ok_edge { "OK" } else { "MISS" },
+        if ok_node { "OK" } else { "MISS" }
+    );
+}

@@ -1,0 +1,328 @@
+//! # kgnet-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§V) on the synthetic substrates:
+//!
+//! | binary                  | reproduces |
+//! |-------------------------|------------|
+//! | `repro_table1`          | Table I (KG statistics) |
+//! | `repro_fig13`           | Fig. 13 (DBLP paper→venue NC) |
+//! | `repro_fig14`           | Fig. 14 (YAGO place→country NC) |
+//! | `repro_fig15`           | Fig. 15 (DBLP author→affiliation LP) |
+//! | `repro_ablation_dh`     | §IV.B.2 meta-sampling d×h grid |
+//! | `repro_plans`           | §IV.B.3 / Figs. 11–12 rewrite plans |
+//! | `repro_model_selection` | §IV.A budget-constrained method selection |
+//! | `repro_similarity`      | Table I ES task (embedding store) |
+//! | `repro_scaling`         | §III.A scalability sweep (cost vs KG scale) |
+//!
+//! Environment knobs: `KGNET_SCALE` (entity-count multiplier, default 1.0),
+//! `KGNET_EPOCHS` (default 30), `KGNET_SEED` (default 13).
+
+use std::time::Instant;
+
+use kgnet_datagen::{DblpConfig, YagoConfig};
+use kgnet_gml::config::{GmlMethodKind, GnnConfig};
+use kgnet_gml::dataset::{build_lp_dataset, build_nc_dataset};
+use kgnet_gml::{train_lp, train_nc, TrainReport};
+use kgnet_graph::{LpTask, NcTask, SplitRatios, SplitStrategy};
+use kgnet_linalg::memtrack;
+use kgnet_rdf::RdfStore;
+use kgnet_sampler::{meta_sample_task, SamplingScope};
+
+/// Experiment-wide settings read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchEnv {
+    /// Entity-count multiplier applied to the benchmark KG configs.
+    pub scale: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BenchEnv {
+    /// Read `KGNET_SCALE` / `KGNET_EPOCHS` / `KGNET_SEED`.
+    pub fn from_env() -> Self {
+        let get = |k: &str| std::env::var(k).ok();
+        BenchEnv {
+            scale: get("KGNET_SCALE").and_then(|v| v.parse().ok()).unwrap_or(1.0),
+            epochs: get("KGNET_EPOCHS").and_then(|v| v.parse().ok()).unwrap_or(30),
+            seed: get("KGNET_SEED").and_then(|v| v.parse().ok()).unwrap_or(13),
+        }
+    }
+
+    /// Trainer configuration derived from the env.
+    pub fn gnn_config(&self) -> GnnConfig {
+        GnnConfig { epochs: self.epochs, seed: self.seed, dropout: 0.0, ..GnnConfig::default() }
+    }
+}
+
+/// The benchmark DBLP KG at the configured scale.
+pub fn dblp_store(env: &BenchEnv) -> RdfStore {
+    let cfg = DblpConfig::benchmark(env.seed).scaled(env.scale);
+    kgnet_datagen::generate_dblp(&cfg).0
+}
+
+/// The benchmark YAGO4 KG at the configured scale.
+pub fn yago_store(env: &BenchEnv) -> RdfStore {
+    let cfg = YagoConfig::benchmark(env.seed).scaled(env.scale);
+    kgnet_datagen::generate_yago(&cfg).0
+}
+
+/// The DBLP paper→venue classification task (Figs. 2, 13).
+pub fn dblp_nc_task() -> NcTask {
+    use kgnet_datagen::vocab::dblp as v;
+    NcTask { target_type: v::PUBLICATION.into(), label_predicate: v::PUBLISHED_IN.into() }
+}
+
+/// The DBLP author→affiliation link-prediction task (Figs. 10, 15).
+pub fn dblp_lp_task() -> LpTask {
+    use kgnet_datagen::vocab::dblp as v;
+    LpTask {
+        source_type: v::PERSON.into(),
+        edge_predicate: v::AFFILIATED_WITH.into(),
+        dest_type: v::AFFILIATION.into(),
+    }
+}
+
+/// The YAGO place→country classification task (Fig. 14).
+pub fn yago_nc_task() -> NcTask {
+    use kgnet_datagen::vocab::yago as v;
+    NcTask { target_type: v::PLACE.into(), label_predicate: v::LOCATED_IN_COUNTRY.into() }
+}
+
+/// Which graph a cell trains on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipeline {
+    /// Traditional pipeline over the whole KG.
+    FullKg,
+    /// KGNet pipeline over the meta-sampled task-specific subgraph.
+    KgPrime(SamplingScope),
+}
+
+impl Pipeline {
+    /// Display name matching the paper's legends.
+    pub fn label(&self, kg_name: &str) -> String {
+        match self {
+            Pipeline::FullKg => format!("{kg_name}(KG)"),
+            Pipeline::KgPrime(_) => "KGNET(KG')".to_owned(),
+        }
+    }
+}
+
+/// One measured cell of a figure.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Trained method.
+    pub method: GmlMethodKind,
+    /// Pipeline label.
+    pub pipeline: String,
+    /// Accuracy (NC) or Hits@10 (LP) in `[0,1]`.
+    pub metric: f64,
+    /// Training seconds.
+    pub time_s: f64,
+    /// Peak tracked training memory, bytes.
+    pub mem_bytes: usize,
+    /// Graph size the method actually trained on.
+    pub n_triples: usize,
+}
+
+/// Train one NC cell.
+pub fn run_nc_cell(
+    kg: &RdfStore,
+    kg_name: &str,
+    task: &NcTask,
+    method: GmlMethodKind,
+    pipeline: Pipeline,
+    cfg: &GnnConfig,
+) -> Cell {
+    let owned;
+    let store = match pipeline {
+        Pipeline::FullKg => kg,
+        Pipeline::KgPrime(scope) => {
+            let sampled = meta_sample_task(
+                kg,
+                &kgnet_graph::GmlTask::NodeClassification(task.clone()),
+                scope,
+            );
+            owned = sampled.store;
+            &owned
+        }
+    };
+    let n_triples = store.len();
+    memtrack::reset_peak();
+    let t0 = Instant::now();
+    let data = build_nc_dataset(store, task, SplitStrategy::Random, SplitRatios::default(), cfg.seed);
+    let trained = train_nc(method, &data, cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    cell_from_report(&trained.report, method, pipeline.label(kg_name), wall, n_triples)
+}
+
+/// Train one LP cell.
+pub fn run_lp_cell(
+    kg: &RdfStore,
+    kg_name: &str,
+    task: &LpTask,
+    method: GmlMethodKind,
+    pipeline: Pipeline,
+    cfg: &GnnConfig,
+) -> Cell {
+    let owned;
+    let store = match pipeline {
+        Pipeline::FullKg => kg,
+        Pipeline::KgPrime(scope) => {
+            let sampled =
+                meta_sample_task(kg, &kgnet_graph::GmlTask::LinkPrediction(task.clone()), scope);
+            owned = sampled.store;
+            &owned
+        }
+    };
+    let n_triples = store.len();
+    memtrack::reset_peak();
+    let t0 = Instant::now();
+    let data = build_lp_dataset(store, task, SplitRatios::default(), cfg.seed);
+    let trained = train_lp(method, &data, cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    cell_from_report(&trained.report, method, pipeline.label(kg_name), wall, n_triples)
+}
+
+fn cell_from_report(
+    report: &TrainReport,
+    method: GmlMethodKind,
+    pipeline: String,
+    wall_s: f64,
+    n_triples: usize,
+) -> Cell {
+    Cell {
+        method,
+        pipeline,
+        metric: report.test_metric,
+        time_s: wall_s,
+        mem_bytes: report.peak_mem_bytes,
+        n_triples,
+    }
+}
+
+/// Paper-reported reference values for one cell (for side-by-side output).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRef {
+    /// Accuracy/Hits@10 in percent.
+    pub metric_pct: f64,
+    /// Training time in hours.
+    pub time_h: f64,
+    /// Training memory in GB.
+    pub mem_gb: f64,
+}
+
+/// Print one figure as an aligned table with the paper's numbers alongside.
+pub fn print_figure(title: &str, cells: &[(Cell, Option<PaperRef>)]) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len()));
+    println!(
+        "{:<10} {:<12} {:>9} {:>10} {:>12} {:>10}   paper (metric%, time, mem)",
+        "method", "pipeline", "metric", "time(s)", "peak-mem", "#triples"
+    );
+    for (cell, paper) in cells {
+        let paper_str = match paper {
+            Some(p) => {
+                format!("[{:.0}%, {:.1}h, {:.0}GB]", p.metric_pct, p.time_h, p.mem_gb)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<10} {:<12} {:>8.1}% {:>10.2} {:>12} {:>10}   {}",
+            cell.method.name(),
+            cell.pipeline,
+            cell.metric * 100.0,
+            cell.time_s,
+            memtrack::fmt_bytes(cell.mem_bytes),
+            cell.n_triples,
+            paper_str
+        );
+    }
+}
+
+/// Shape verdicts: does KG' beat the full KG per method on metric, time and
+/// memory — the claim of Figs. 13–15?
+pub fn print_shape_checks(cells: &[(Cell, Option<PaperRef>)]) {
+    let mut checks: Vec<String> = Vec::new();
+    let mut methods: Vec<GmlMethodKind> = cells.iter().map(|(c, _)| c.method).collect();
+    methods.dedup();
+    for method in methods {
+        let full = cells
+            .iter()
+            .find(|(c, _)| c.method == method && c.pipeline.ends_with("(KG)"))
+            .map(|(c, _)| c);
+        let prime = cells
+            .iter()
+            .find(|(c, _)| c.method == method && c.pipeline == "KGNET(KG')")
+            .map(|(c, _)| c);
+        if let (Some(f), Some(p)) = (full, prime) {
+            checks.push(format!(
+                "{}: metric {} ({:.1}% vs {:.1}%), time {} ({:.1}s vs {:.1}s), memory {} ({} vs {})",
+                method.name(),
+                tick(p.metric >= f.metric * 0.98),
+                p.metric * 100.0,
+                f.metric * 100.0,
+                tick(p.time_s <= f.time_s),
+                p.time_s,
+                f.time_s,
+                tick(p.mem_bytes <= f.mem_bytes),
+                memtrack::fmt_bytes(p.mem_bytes),
+                memtrack::fmt_bytes(f.mem_bytes),
+            ));
+        }
+    }
+    println!(
+        "\nShape checks (KG' vs full KG; paper claims comparable-or-better\naccuracy, lower time, lower memory):"
+    );
+    for c in checks {
+        println!("  {c}");
+    }
+}
+
+fn tick(ok: bool) -> &'static str {
+    if ok {
+        "OK"
+    } else {
+        "MISS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let env = BenchEnv { scale: 1.0, epochs: 30, seed: 13 };
+        let cfg = env.gnn_config();
+        assert_eq!(cfg.epochs, 30);
+        assert_eq!(cfg.seed, 13);
+    }
+
+    #[test]
+    fn pipeline_labels_match_paper_legends() {
+        assert_eq!(Pipeline::FullKg.label("DBLP"), "DBLP(KG)");
+        assert_eq!(Pipeline::KgPrime(SamplingScope::D1H1).label("DBLP"), "KGNET(KG')");
+    }
+
+    #[test]
+    fn nc_cell_runs_on_tiny_graph() {
+        let cfg = DblpConfig::tiny(3);
+        let (kg, _) = kgnet_datagen::generate_dblp(&cfg);
+        let gnn = GnnConfig { epochs: 5, ..GnnConfig::fast_test() };
+        let full =
+            run_nc_cell(&kg, "DBLP", &dblp_nc_task(), GmlMethodKind::Gcn, Pipeline::FullKg, &gnn);
+        let prime = run_nc_cell(
+            &kg,
+            "DBLP",
+            &dblp_nc_task(),
+            GmlMethodKind::Gcn,
+            Pipeline::KgPrime(SamplingScope::D1H1),
+            &gnn,
+        );
+        assert!(prime.n_triples < full.n_triples);
+        assert!(full.time_s > 0.0 && prime.time_s > 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! # kgnet-core
+//!
+//! The KGNet platform facade: an RDF engine, the GMLaaS services and the
+//! SPARQL-ML layer wired together behind one handle, mirroring the paper's
+//! Fig. 3 deployment (RDF engine + GML-as-a-service + SPARQL-ML-as-a-
+//! service).
+//!
+//! ```
+//! use kgnet_core::KgNet;
+//! use kgnet_datagen::{generate_dblp, DblpConfig};
+//!
+//! let (kg, _) = generate_dblp(&DblpConfig::tiny(1));
+//! let mut platform = KgNet::with_graph(kg);
+//! let result = platform
+//!     .sparql("PREFIX dblp: <https://www.dblp.org/> \
+//!              SELECT (COUNT(*) AS ?n) WHERE { ?p a dblp:Publication }")
+//!     .unwrap();
+//! assert_eq!(result.rows[0][0].as_ref().unwrap().as_int(), Some(60));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use kgnet_gml::config::{GmlMethodKind, GnnConfig};
+pub use kgnet_gmlaas::{Priority, TaskBudget};
+pub use kgnet_graph::{GmlTask, KgStats, LpTask, NcTask};
+pub use kgnet_rdf::{QueryResult, RdfStore, Term};
+pub use kgnet_sampler::SamplingScope;
+pub use kgnet_sparqlml::{ManagerConfig, MlError, MlOutcome, QueryManager, TrainedSummary};
+
+use kgnet_rdf::sparql::eval::evaluate_select;
+use kgnet_rdf::SparqlError;
+
+/// The assembled KGNet platform: one data KG, one KGMeta graph, one model
+/// registry and inference service, driven through SPARQL-ML.
+pub struct KgNet {
+    data: RdfStore,
+    manager: QueryManager,
+}
+
+impl Default for KgNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KgNet {
+    /// Empty platform with default configuration.
+    pub fn new() -> Self {
+        KgNet { data: RdfStore::new(), manager: QueryManager::default() }
+    }
+
+    /// Platform with custom manager configuration (training defaults,
+    /// inference-time bound, dictionary cap).
+    pub fn with_config(config: ManagerConfig) -> Self {
+        KgNet { data: RdfStore::new(), manager: QueryManager::new(config) }
+    }
+
+    /// Platform pre-loaded with a knowledge graph.
+    pub fn with_graph(data: RdfStore) -> Self {
+        KgNet { data, manager: QueryManager::default() }
+    }
+
+    /// Platform with both a graph and a configuration.
+    pub fn with_graph_and_config(data: RdfStore, config: ManagerConfig) -> Self {
+        KgNet { data, manager: QueryManager::new(config) }
+    }
+
+    /// Replace the loaded knowledge graph.
+    pub fn load_graph(&mut self, data: RdfStore) {
+        self.data = data;
+    }
+
+    /// Read access to the data KG.
+    pub fn data(&self) -> &RdfStore {
+        &self.data
+    }
+
+    /// Write access to the data KG (bulk loading, manual asserts).
+    pub fn data_mut(&mut self) -> &mut RdfStore {
+        &mut self.data
+    }
+
+    /// The SPARQL-ML query manager.
+    pub fn manager(&self) -> &QueryManager {
+        &self.manager
+    }
+
+    /// Execute any SPARQL-ML operation (SELECT with user-defined
+    /// predicates, `TrainGML` INSERT, model DELETE, or plain SPARQL).
+    pub fn execute(&mut self, query: &str) -> Result<MlOutcome, MlError> {
+        self.manager.execute(&mut self.data, query)
+    }
+
+    /// Execute a plain SPARQL SELECT and return its rows.
+    pub fn sparql(&mut self, query: &str) -> Result<QueryResult, MlError> {
+        match self.execute(query)? {
+            MlOutcome::Rows(rows) => Ok(rows),
+            other => Err(MlError::Sparql(SparqlError::eval(format!(
+                "expected rows, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Query the KGMeta metadata graph with plain SPARQL.
+    pub fn sparql_kgmeta(&self, query: &str) -> Result<QueryResult, SparqlError> {
+        let q = kgnet_rdf::sparql::parse_select(query)?;
+        evaluate_select(self.manager.kgmeta().store(), &q)
+    }
+
+    /// Optimize + rewrite an ML SELECT without executing it (the candidate
+    /// SPARQL of Figs. 11/12 plus the chosen plans).
+    pub fn explain(&self, query: &str) -> Result<kgnet_sparqlml::RewrittenQuery, MlError> {
+        self.manager.explain(&self.data, query)
+    }
+
+    /// Table-I-style statistics of the loaded KG.
+    pub fn stats(&self) -> KgStats {
+        kgnet_graph::kg_stats(&self.data)
+    }
+
+    /// Number of HTTP-style inference calls since the last reset.
+    pub fn inference_calls(&self) -> usize {
+        self.manager.service().stats().calls
+    }
+
+    /// Reset the inference-call counters.
+    pub fn reset_inference_stats(&self) {
+        self.manager.service().reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgnet_datagen::{generate_dblp, DblpConfig};
+
+    fn fast_platform(seed: u64) -> KgNet {
+        let (kg, _) = generate_dblp(&DblpConfig::tiny(seed));
+        let config = ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() };
+        KgNet::with_graph_and_config(kg, config)
+    }
+
+    #[test]
+    fn stats_reflect_loaded_graph() {
+        let platform = fast_platform(3);
+        let stats = platform.stats();
+        assert!(stats.n_triples > 0);
+        assert_eq!(stats.nodes_of_type("https://www.dblp.org/Publication"), 60);
+    }
+
+    #[test]
+    fn full_lifecycle_train_query_inspect_delete() {
+        let mut platform = fast_platform(5);
+        // Train.
+        let out = platform
+            .execute(
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                     {Name: 'pv', GML-Task:{ TaskType: kgnet:NodeClassifier,
+                        TargetNode: dblp:Publication, NodeLabel: dblp:publishedIn},
+                      Method: 'GCN'})}"#,
+            )
+            .unwrap();
+        let MlOutcome::Trained(summary) = out else { panic!("expected trained") };
+
+        // KGMeta is queryable with plain SPARQL.
+        let meta = platform
+            .sparql_kgmeta(
+                "PREFIX kgnet: <https://www.kgnet.com/>
+                 SELECT ?m ?acc WHERE { ?m a kgnet:NodeClassifier . ?m kgnet:ModelAccuracy ?acc }",
+            )
+            .unwrap();
+        assert_eq!(meta.len(), 1);
+        assert_eq!(meta.rows[0][0].as_ref().unwrap().as_iri(), Some(summary.model_uri.as_str()));
+
+        // Query through the model.
+        let rows = platform
+            .sparql(
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   SELECT ?paper ?venue WHERE {
+                     ?paper a dblp:Publication .
+                     ?paper ?NC ?venue .
+                     ?NC a kgnet:NodeClassifier .
+                     ?NC kgnet:TargetNode dblp:Publication .
+                     ?NC kgnet:NodeLabel dblp:publishedIn . }"#,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 60);
+        assert_eq!(platform.inference_calls(), 1); // dictionary plan
+
+        // Delete.
+        let out = platform
+            .execute(
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   DELETE { ?m ?p ?o } WHERE {
+                     ?m a kgnet:NodeClassifier .
+                     ?m kgnet:TargetNode dblp:Publication . }"#,
+            )
+            .unwrap();
+        let MlOutcome::DeletedModels(uris) = out else { panic!("expected delete") };
+        assert_eq!(uris.len(), 1);
+        assert!(platform.manager().kgmeta().is_empty());
+    }
+
+    #[test]
+    fn sparql_on_missing_rows_is_error() {
+        let mut platform = fast_platform(7);
+        let err = platform.sparql("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }");
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Vocabulary (IRI constants) for the synthetic knowledge graphs.
+
+/// DBLP-shaped vocabulary, mirroring the RDF dump of dblp.org used by the
+/// paper (Table I: 42 node types, 48 edge types, 50 venues).
+pub mod dblp {
+    /// Namespace base.
+    pub const NS: &str = "https://www.dblp.org/";
+
+    /// Publication class.
+    pub const PUBLICATION: &str = "https://www.dblp.org/Publication";
+    /// Person (author) class.
+    pub const PERSON: &str = "https://www.dblp.org/Person";
+    /// Venue class.
+    pub const VENUE: &str = "https://www.dblp.org/Venue";
+    /// Affiliation (institution) class.
+    pub const AFFILIATION: &str = "https://www.dblp.org/Affiliation";
+    /// Keyword class.
+    pub const KEYWORD: &str = "https://www.dblp.org/Keyword";
+
+    /// Paper -> Venue (the node-classification label edge).
+    pub const PUBLISHED_IN: &str = "https://www.dblp.org/publishedIn";
+    /// Paper -> Person.
+    pub const AUTHORED_BY: &str = "https://www.dblp.org/authoredBy";
+    /// Paper -> Paper.
+    pub const CITES: &str = "https://www.dblp.org/cites";
+    /// Person -> Affiliation (the link-prediction target edge: the
+    /// *primary* affiliation).
+    pub const AFFILIATED_WITH: &str = "https://www.dblp.org/affiliatedWith";
+    /// Person -> Affiliation (affiliation history; context for the LP task,
+    /// which the paper describes as predicting the affiliation link "based
+    /// on their publications and affiliations history").
+    pub const PAST_AFFILIATION: &str = "https://www.dblp.org/pastAffiliation";
+    /// Person -> Person (derived collaboration edge).
+    pub const COLLABORATES_WITH: &str = "https://www.dblp.org/collaboratesWith";
+    /// Paper -> Keyword.
+    pub const HAS_KEYWORD: &str = "https://www.dblp.org/hasKeyword";
+    /// Paper -> literal title.
+    pub const TITLE: &str = "https://www.dblp.org/title";
+    /// Paper -> literal year.
+    pub const YEAR_OF_PUBLICATION: &str = "https://www.dblp.org/yearOfPublication";
+    /// Person -> literal name.
+    pub const NAME: &str = "https://www.dblp.org/name";
+
+    /// IRI of a distractor node class `k`.
+    pub fn distractor_class(k: usize) -> String {
+        format!("{NS}aux/Class{k}")
+    }
+
+    /// IRI of a distractor edge type `k`.
+    pub fn distractor_edge(k: usize) -> String {
+        format!("{NS}aux/rel{k}")
+    }
+
+    /// IRI of paper `i`.
+    pub fn paper(i: usize) -> String {
+        format!("{NS}rec/paper{i}")
+    }
+
+    /// IRI of author `i`.
+    pub fn author(i: usize) -> String {
+        format!("{NS}pid/author{i}")
+    }
+
+    /// IRI of venue `i`.
+    pub fn venue(i: usize) -> String {
+        format!("{NS}venue/v{i}")
+    }
+
+    /// IRI of affiliation `i`.
+    pub fn affiliation(i: usize) -> String {
+        format!("{NS}org/aff{i}")
+    }
+
+    /// IRI of keyword `i`.
+    pub fn keyword(i: usize) -> String {
+        format!("{NS}kw/k{i}")
+    }
+
+    /// IRI of distractor entity `i` of class `k`.
+    pub fn distractor_entity(k: usize, i: usize) -> String {
+        format!("{NS}aux/e{k}_{i}")
+    }
+}
+
+/// YAGO4-shaped vocabulary (Table I: 104 node types, 98 edge types,
+/// 200 country targets).
+pub mod yago {
+    /// Namespace base.
+    pub const NS: &str = "http://yago-knowledge.org/resource/";
+
+    /// Place class (the classification targets).
+    pub const PLACE: &str = "http://yago-knowledge.org/resource/Place";
+    /// Country class (the labels).
+    pub const COUNTRY: &str = "http://yago-knowledge.org/resource/Country";
+    /// Administrative region class.
+    pub const REGION: &str = "http://yago-knowledge.org/resource/Region";
+    /// Person class.
+    pub const PERSON: &str = "http://yago-knowledge.org/resource/Person";
+    /// Organization class.
+    pub const ORGANIZATION: &str = "http://yago-knowledge.org/resource/Organization";
+
+    /// Place -> Country (the node-classification label edge).
+    pub const LOCATED_IN_COUNTRY: &str = "http://yago-knowledge.org/resource/locatedInCountry";
+    /// Place -> Region.
+    pub const IN_REGION: &str = "http://yago-knowledge.org/resource/inRegion";
+    /// Region -> Country.
+    pub const REGION_OF: &str = "http://yago-knowledge.org/resource/regionOf";
+    /// Place -> Place.
+    pub const NEAR_TO: &str = "http://yago-knowledge.org/resource/nearTo";
+    /// Person -> Place.
+    pub const BORN_IN: &str = "http://yago-knowledge.org/resource/bornIn";
+    /// Organization -> Place.
+    pub const HEADQUARTERED_IN: &str = "http://yago-knowledge.org/resource/headquarteredIn";
+    /// Place -> literal label.
+    pub const LABEL: &str = "http://yago-knowledge.org/resource/label";
+    /// Place -> literal population.
+    pub const POPULATION: &str = "http://yago-knowledge.org/resource/population";
+
+    /// IRI of a distractor node class `k`.
+    pub fn distractor_class(k: usize) -> String {
+        format!("{NS}aux/Class{k}")
+    }
+
+    /// IRI of a distractor edge type `k`.
+    pub fn distractor_edge(k: usize) -> String {
+        format!("{NS}aux/rel{k}")
+    }
+
+    /// IRI of place `i`.
+    pub fn place(i: usize) -> String {
+        format!("{NS}place{i}")
+    }
+
+    /// IRI of country `i`.
+    pub fn country(i: usize) -> String {
+        format!("{NS}country{i}")
+    }
+
+    /// IRI of region `i`.
+    pub fn region(i: usize) -> String {
+        format!("{NS}region{i}")
+    }
+
+    /// IRI of person `i`.
+    pub fn person(i: usize) -> String {
+        format!("{NS}person{i}")
+    }
+
+    /// IRI of organization `i`.
+    pub fn organization(i: usize) -> String {
+        format!("{NS}org{i}")
+    }
+
+    /// IRI of distractor entity `i` of class `k`.
+    pub fn distractor_entity(k: usize, i: usize) -> String {
+        format!("{NS}aux/e{k}_{i}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn iri_helpers_embed_indices() {
+        assert!(super::dblp::paper(17).contains("paper17"));
+        assert!(super::yago::place(3).ends_with("place3"));
+        assert!(super::dblp::distractor_edge(5).contains("rel5"));
+    }
+
+}

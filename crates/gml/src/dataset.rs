@@ -1,0 +1,251 @@
+//! Task datasets: the transformed graph plus labels/edges and a split.
+//!
+//! This is the hand-off point between the paper's "Data Transformer" and the
+//! method trainers: an [`NcDataset`] (node classification) or [`LpDataset`]
+//! (link prediction) built from any [`RdfStore`] — the full KG or a
+//! meta-sampled `KG'`.
+
+use rustc_hash::FxHashMap;
+
+use kgnet_graph::{
+    community_split, extract_lp_edges, extract_nc_labels, random_split, transform, HeteroGraph,
+    LpTask, NcTask, Split, SplitRatios, SplitStrategy, TransformStats,
+};
+use kgnet_rdf::RdfStore;
+
+
+/// Plain-IRI string of a term (falls back to the display form for
+/// non-IRI terms).
+fn iri_string(store: &RdfStore, id: kgnet_rdf::TermId) -> String {
+    match store.resolve(id) {
+        kgnet_rdf::Term::Iri(i) => i.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// A ready-to-train node-classification dataset.
+pub struct NcDataset {
+    /// The transformed graph (label edges and literals removed).
+    pub graph: HeteroGraph,
+    /// Global node index of each target.
+    pub target_nodes: Vec<u32>,
+    /// IRI of each target (for inference dictionaries).
+    pub target_iris: Vec<String>,
+    /// Class index of each target.
+    pub labels: Vec<u32>,
+    /// IRI of each class.
+    pub class_iris: Vec<String>,
+    /// Train/valid/test indexes into `target_nodes`.
+    pub split: Split,
+    /// Transformer statistics.
+    pub stats: TransformStats,
+}
+
+impl NcDataset {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_iris.len()
+    }
+
+    /// Number of targets.
+    pub fn n_targets(&self) -> usize {
+        self.target_nodes.len()
+    }
+}
+
+/// Build an [`NcDataset`] from a store.
+///
+/// Mirrors Fig. 6: extract labels, transform the graph excluding the label
+/// predicate and literals, ensure every labelled target is present as a
+/// node, and split targets.
+pub fn build_nc_dataset(
+    store: &RdfStore,
+    task: &NcTask,
+    strategy: SplitStrategy,
+    ratios: SplitRatios,
+    seed: u64,
+) -> NcDataset {
+    let nc = extract_nc_labels(store, task);
+    let (mut graph, stats) = transform(store, std::slice::from_ref(&task.label_predicate));
+
+    let target_type = graph.add_node_type(&format!("<{}>", task.target_type));
+    let mut target_nodes = Vec::with_capacity(nc.targets.len());
+    let mut target_iris = Vec::with_capacity(nc.targets.len());
+    for &t in &nc.targets {
+        let node = graph.node_of(t).unwrap_or_else(|| graph.add_node(t, target_type));
+        target_nodes.push(node);
+        target_iris.push(iri_string(store, t));
+    }
+    let class_iris = nc.classes.iter().map(|&c| iri_string(store, c)).collect();
+
+    let split = match strategy {
+        SplitStrategy::Random => random_split(target_nodes.len(), ratios, seed),
+        SplitStrategy::Community => {
+            let (offsets, neighbors) = graph.neighbor_lists();
+            let target_neighbors: Vec<Vec<u32>> = target_nodes
+                .iter()
+                .map(|&n| neighbors[offsets[n as usize]..offsets[n as usize + 1]].to_vec())
+                .collect();
+            community_split(&target_neighbors, ratios, seed)
+        }
+    };
+
+    NcDataset {
+        graph,
+        target_nodes,
+        target_iris,
+        labels: nc.labels,
+        class_iris,
+        split,
+        stats,
+    }
+}
+
+/// A ready-to-train link-prediction dataset.
+pub struct LpDataset {
+    /// The transformed graph (the predicted edge type removed).
+    pub graph: HeteroGraph,
+    /// (source, destination) node pairs of the predicted edge type.
+    pub edges: Vec<(u32, u32)>,
+    /// IRIs of the edge endpoints.
+    pub edge_iris: Vec<(String, String)>,
+    /// Candidate destination nodes (ranking universe).
+    pub destinations: Vec<u32>,
+    /// IRIs of candidate destinations.
+    pub destination_iris: Vec<String>,
+    /// All source-type nodes (the query universe).
+    pub sources: Vec<u32>,
+    /// IRIs of the source nodes.
+    pub source_iris: Vec<String>,
+    /// Train/valid/test indexes into `edges`.
+    pub split: Split,
+    /// Transformer statistics.
+    pub stats: TransformStats,
+}
+
+impl LpDataset {
+    /// Number of positive edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Build an [`LpDataset`] from a store.
+pub fn build_lp_dataset(
+    store: &RdfStore,
+    task: &LpTask,
+    ratios: SplitRatios,
+    seed: u64,
+) -> LpDataset {
+    let lp = extract_lp_edges(store, task);
+    let (mut graph, stats) = transform(store, std::slice::from_ref(&task.edge_predicate));
+
+    let src_type = graph.add_node_type(&format!("<{}>", task.source_type));
+    let dst_type = graph.add_node_type(&format!("<{}>", task.dest_type));
+
+    let mut dest_index: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut destinations = Vec::new();
+    let mut destination_iris = Vec::new();
+    for &d in &lp.destinations {
+        let node = graph.node_of(d).unwrap_or_else(|| graph.add_node(d, dst_type));
+        if let std::collections::hash_map::Entry::Vacant(e) = dest_index.entry(node) {
+            e.insert(destinations.len());
+            destinations.push(node);
+            destination_iris.push(iri_string(store, d));
+        }
+    }
+
+    let mut edges = Vec::with_capacity(lp.edges.len());
+    let mut edge_iris = Vec::with_capacity(lp.edges.len());
+    for &(s, d) in &lp.edges {
+        let sn = graph.node_of(s).unwrap_or_else(|| graph.add_node(s, src_type));
+        let dn = graph.node_of(d).unwrap_or_else(|| graph.add_node(d, dst_type));
+        if let std::collections::hash_map::Entry::Vacant(e) = dest_index.entry(dn) {
+            e.insert(destinations.len());
+            destinations.push(dn);
+            destination_iris.push(iri_string(store, d));
+        }
+        edges.push((sn, dn));
+        edge_iris.push((iri_string(store, s), iri_string(store, d)));
+    }
+
+    let mut sources = Vec::new();
+    let mut source_iris = Vec::new();
+    for s in store.subjects_of_type(&task.source_type) {
+        let sn = graph.node_of(s).unwrap_or_else(|| graph.add_node(s, src_type));
+        sources.push(sn);
+        source_iris.push(iri_string(store, s));
+    }
+
+    let split = random_split(edges.len(), ratios, seed);
+    LpDataset {
+        graph,
+        edges,
+        edge_iris,
+        destinations,
+        destination_iris,
+        sources,
+        source_iris,
+        split,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgnet_datagen::{generate_dblp, DblpConfig};
+    use kgnet_datagen::vocab::dblp as v;
+
+    fn nc_task() -> NcTask {
+        NcTask { target_type: v::PUBLICATION.into(), label_predicate: v::PUBLISHED_IN.into() }
+    }
+
+    fn lp_task() -> LpTask {
+        LpTask {
+            source_type: v::PERSON.into(),
+            edge_predicate: v::AFFILIATED_WITH.into(),
+            dest_type: v::AFFILIATION.into(),
+        }
+    }
+
+    #[test]
+    fn nc_dataset_covers_all_labelled_targets() {
+        let cfg = DblpConfig::tiny(11);
+        let (st, _) = generate_dblp(&cfg);
+        let ds = build_nc_dataset(&st, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
+        assert_eq!(ds.n_targets(), cfg.n_papers);
+        assert_eq!(ds.n_classes(), cfg.n_venues);
+        assert_eq!(ds.split.len(), cfg.n_papers);
+        // Label edges must be gone from the graph.
+        assert!(ds.graph.edge_type_id(&format!("<{}>", v::PUBLISHED_IN)).is_none());
+    }
+
+    #[test]
+    fn nc_dataset_community_split_also_partitions() {
+        let cfg = DblpConfig::tiny(13);
+        let (st, _) = generate_dblp(&cfg);
+        let ds =
+            build_nc_dataset(&st, &nc_task(), SplitStrategy::Community, SplitRatios::default(), 1);
+        assert_eq!(ds.split.len(), ds.n_targets());
+    }
+
+    #[test]
+    fn lp_dataset_extracts_affiliation_edges() {
+        let cfg = DblpConfig::tiny(17);
+        let (st, _) = generate_dblp(&cfg);
+        let ds = build_lp_dataset(&st, &lp_task(), SplitRatios::default(), 2);
+        assert_eq!(ds.n_edges(), cfg.n_authors); // one affiliation per author
+        assert_eq!(ds.destinations.len(), cfg.n_affiliations);
+        // Predicted edges must be gone from the graph.
+        assert!(ds.graph.edge_type_id(&format!("<{}>", v::AFFILIATED_WITH)).is_none());
+    }
+
+    #[test]
+    fn labels_are_within_class_range() {
+        let cfg = DblpConfig::tiny(19);
+        let (st, _) = generate_dblp(&cfg);
+        let ds = build_nc_dataset(&st, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
+        assert!(ds.labels.iter().all(|&l| (l as usize) < ds.n_classes()));
+    }
+}

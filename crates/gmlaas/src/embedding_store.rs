@@ -1,0 +1,266 @@
+//! The embedding store (the paper's FAISS substitute): exact and IVF
+//! (inverted-file) top-k similarity search over entity embeddings, powering
+//! the entity-similarity (ES) task of Table I.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Similarity metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Negative Euclidean distance (larger = closer).
+    L2,
+    /// Cosine similarity.
+    Cosine,
+    /// Inner product.
+    Dot,
+}
+
+impl Metric {
+    fn score(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => {
+                let d: f32 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+                -d.max(0.0).sqrt()
+            }
+            Metric::Dot => a.iter().zip(b).map(|(&x, &y)| x * y).sum(),
+            Metric::Cosine => {
+                let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+                let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
+                let nb: f32 = b.iter().map(|&y| y * y).sum::<f32>().sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    dot / (na * nb)
+                }
+            }
+        }
+    }
+}
+
+/// An inverted-file coarse index (k-means cells + posting lists).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IvfIndex {
+    centroids: Vec<Vec<f32>>,
+    lists: Vec<Vec<u32>>,
+}
+
+/// A keyed vector store with exact and approximate search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingStore {
+    dim: usize,
+    metric: Metric,
+    keys: Vec<String>,
+    vectors: Vec<Vec<f32>>,
+    ivf: Option<IvfIndex>,
+}
+
+impl EmbeddingStore {
+    /// New empty store for vectors of width `dim`.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        EmbeddingStore { dim, metric, keys: Vec::new(), vectors: Vec::new(), ivf: None }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Add one keyed vector. Invalidates any built IVF index.
+    pub fn add(&mut self, key: impl Into<String>, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "vector width mismatch");
+        self.keys.push(key.into());
+        self.vectors.push(vector);
+        self.ivf = None;
+    }
+
+    /// Fetch a vector by key.
+    pub fn get(&self, key: &str) -> Option<&[f32]> {
+        self.keys.iter().position(|k| k == key).map(|i| self.vectors[i].as_slice())
+    }
+
+    /// Exact top-k search (linear scan).
+    pub fn search_exact(&self, query: &[f32], k: usize) -> Vec<(String, f32)> {
+        assert_eq!(query.len(), self.dim, "query width mismatch");
+        let mut scored: Vec<(usize, f32)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, self.metric.score(query, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(k).map(|(i, s)| (self.keys[i].clone(), s)).collect()
+    }
+
+    /// Build an IVF index with `n_cells` k-means cells (a few Lloyd
+    /// iterations, like FAISS's coarse quantiser training).
+    pub fn build_ivf(&mut self, n_cells: usize, iterations: usize, seed: u64) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        let n_cells = n_cells.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut centroids: Vec<Vec<f32>> =
+            order[..n_cells].iter().map(|&i| self.vectors[i].clone()).collect();
+
+        let mut assign = vec![0usize; n];
+        for _ in 0..iterations.max(1) {
+            for (i, v) in self.vectors.iter().enumerate() {
+                assign[i] = nearest_centroid(&centroids, v);
+            }
+            let mut sums = vec![vec![0.0f32; self.dim]; n_cells];
+            let mut counts = vec![0usize; n_cells];
+            for (i, v) in self.vectors.iter().enumerate() {
+                counts[assign[i]] += 1;
+                for (s, &x) in sums[assign[i]].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    *c = sum.iter().map(|&s| s / count as f32).collect();
+                }
+            }
+        }
+        let mut lists = vec![Vec::new(); n_cells];
+        for (i, v) in self.vectors.iter().enumerate() {
+            lists[nearest_centroid(&centroids, v)].push(i as u32);
+        }
+        self.ivf = Some(IvfIndex { centroids, lists });
+    }
+
+    /// Approximate top-k search probing the `nprobe` nearest cells. Falls
+    /// back to exact search when no index is built.
+    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(String, f32)> {
+        let Some(ivf) = &self.ivf else {
+            return self.search_exact(query, k);
+        };
+        let mut cells: Vec<(usize, f32)> = ivf
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let d: f32 = query.iter().zip(c).map(|(&x, &y)| (x - y) * (x - y)).sum();
+                (i, d)
+            })
+            .collect();
+        cells.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut scored: Vec<(u32, f32)> = Vec::new();
+        for &(cell, _) in cells.iter().take(nprobe.max(1)) {
+            for &i in &ivf.lists[cell] {
+                scored.push((i, self.metric.score(query, &self.vectors[i as usize])));
+            }
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(k).map(|(i, s)| (self.keys[i as usize].clone(), s)).collect()
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d: f32 = v.iter().zip(c).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn filled_store(n: usize, dim: usize, seed: u64) -> EmbeddingStore {
+        let mut store = EmbeddingStore::new(dim, Metric::L2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            store.add(format!("e{i}"), v);
+        }
+        store
+    }
+
+    #[test]
+    fn exact_search_returns_self_first() {
+        let store = filled_store(50, 8, 1);
+        let q = store.get("e7").unwrap().to_vec();
+        let hits = store.search_exact(&q, 3);
+        assert_eq!(hits[0].0, "e7");
+        assert!(hits[0].1 >= hits[1].1);
+    }
+
+    #[test]
+    fn cosine_and_dot_metrics() {
+        let mut store = EmbeddingStore::new(2, Metric::Cosine);
+        store.add("x", vec![1.0, 0.0]);
+        store.add("y", vec![0.0, 1.0]);
+        let hits = store.search_exact(&[2.0, 0.1], 2);
+        assert_eq!(hits[0].0, "x");
+        assert!((hits[0].1 - 1.0).abs() < 0.01);
+
+        let mut store = EmbeddingStore::new(2, Metric::Dot);
+        store.add("x", vec![1.0, 0.0]);
+        store.add("y", vec![3.0, 0.0]);
+        let hits = store.search_exact(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].0, "y");
+    }
+
+    #[test]
+    fn ivf_recall_at_10_is_high() {
+        let mut store = filled_store(400, 16, 2);
+        store.build_ivf(16, 5, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut recall_hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact: Vec<String> =
+                store.search_exact(&q, 10).into_iter().map(|(k, _)| k).collect();
+            let approx: Vec<String> = store.search(&q, 10, 4).into_iter().map(|(k, _)| k).collect();
+            total += exact.len();
+            recall_hits += exact.iter().filter(|k| approx.contains(k)).count();
+        }
+        let recall = recall_hits as f64 / total as f64;
+        assert!(recall > 0.6, "IVF recall too low: {recall}");
+    }
+
+    #[test]
+    fn adding_invalidates_index() {
+        let mut store = filled_store(20, 4, 5);
+        store.build_ivf(4, 3, 1);
+        store.add("new", vec![0.0; 4]);
+        // Falls back to exact search and must find the new key.
+        let hits = store.search(&[0.0; 4], 1, 2);
+        assert_eq!(hits[0].0, "new");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut store = filled_store(10, 4, 6);
+        store.build_ivf(2, 2, 1);
+        let json = serde_json::to_string(&store).unwrap();
+        let back: EmbeddingStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 10);
+        let q = store.get("e3").unwrap().to_vec();
+        assert_eq!(store.search(&q, 3, 2), back.search(&q, 3, 2));
+    }
+}

@@ -1,0 +1,258 @@
+//! A small exact 0/1 integer-program solver (branch and bound).
+//!
+//! The paper formulates two optimizer decisions as integer programs: GML
+//! method/model selection under budget constraints (§IV.A, §IV.B.3) and
+//! rewrite-plan selection minimising HTTP calls (§IV.B.3). Both instances
+//! are tiny (one binary per candidate), so an exact branch-and-bound with an
+//! optimistic objective bound solves them instantly and reproducibly.
+
+/// `maximize c·x  s.t.  A x <= b,  E x == f,  x ∈ {0,1}^n`.
+#[derive(Debug, Clone, Default)]
+pub struct IntegerProgram {
+    /// Objective coefficients (maximised).
+    pub objective: Vec<f64>,
+    /// `<=` constraints as `(row, bound)`.
+    pub le_constraints: Vec<(Vec<f64>, f64)>,
+    /// `==` constraints as `(row, bound)`.
+    pub eq_constraints: Vec<(Vec<f64>, f64)>,
+}
+
+impl IntegerProgram {
+    /// New program over `n` binary variables with zero objective.
+    pub fn new(n: usize) -> Self {
+        IntegerProgram { objective: vec![0.0; n], ..Default::default() }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Add a `row · x <= bound` constraint.
+    pub fn add_le(&mut self, row: Vec<f64>, bound: f64) {
+        assert_eq!(row.len(), self.n_vars(), "constraint width mismatch");
+        self.le_constraints.push((row, bound));
+    }
+
+    /// Add a `row · x == bound` constraint.
+    pub fn add_eq(&mut self, row: Vec<f64>, bound: f64) {
+        assert_eq!(row.len(), self.n_vars(), "constraint width mismatch");
+        self.eq_constraints.push((row, bound));
+    }
+
+    fn feasible(&self, x: &[bool]) -> bool {
+        let dot = |row: &[f64]| -> f64 {
+            row.iter().zip(x).map(|(&a, &xi)| if xi { a } else { 0.0 }).sum()
+        };
+        self.le_constraints.iter().all(|(row, b)| dot(row) <= b + 1e-9)
+            && self.eq_constraints.iter().all(|(row, b)| (dot(row) - b).abs() <= 1e-9)
+    }
+
+    fn objective_value(&self, x: &[bool]) -> f64 {
+        self.objective.iter().zip(x).map(|(&c, &xi)| if xi { c } else { 0.0 }).sum()
+    }
+}
+
+/// Solution of an [`IntegerProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpSolution {
+    /// Chosen assignment.
+    pub assignment: Vec<bool>,
+    /// Objective value.
+    pub objective: f64,
+}
+
+/// Solve exactly; `None` when infeasible.
+pub fn solve(ip: &IntegerProgram) -> Option<IpSolution> {
+    let n = ip.n_vars();
+    // Order variables by decreasing |objective| so good solutions are found
+    // early and the optimistic bound prunes hard.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        ip.objective[b]
+            .abs()
+            .partial_cmp(&ip.objective[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Suffix sums of positive objective mass = admissible upper bound.
+    let mut pos_suffix = vec![0.0f64; n + 1];
+    for i in (0..n).rev() {
+        pos_suffix[i] = pos_suffix[i + 1] + ip.objective[order[i]].max(0.0);
+    }
+
+    struct Search<'a> {
+        ip: &'a IntegerProgram,
+        order: &'a [usize],
+        pos_suffix: &'a [f64],
+        best: Option<IpSolution>,
+        x: Vec<bool>,
+    }
+
+    impl Search<'_> {
+        fn run(&mut self, depth: usize, value: f64) {
+            if let Some(best) = &self.best {
+                if value + self.pos_suffix[depth] <= best.objective + 1e-12 {
+                    return; // cannot beat the incumbent
+                }
+            }
+            if depth == self.order.len() {
+                if self.ip.feasible(&self.x) {
+                    let objective = self.ip.objective_value(&self.x);
+                    if self.best.as_ref().is_none_or(|b| objective > b.objective) {
+                        self.best = Some(IpSolution { assignment: self.x.clone(), objective });
+                    }
+                }
+                return;
+            }
+            let var = self.order[depth];
+            for &choice in &[true, false] {
+                self.x[var] = choice;
+                // Partial pruning: minimum achievable lhs must not already
+                // exceed a <= bound (all coefficients assumed finite).
+                if self.partially_feasible(depth + 1) {
+                    let dv = if choice { self.ip.objective[var] } else { 0.0 };
+                    self.run(depth + 1, value + dv);
+                }
+            }
+            self.x[var] = false;
+        }
+
+        /// Check `<=` constraints assuming every undecided variable takes
+        /// the value minimising the row (0 for positive coefficients,
+        /// 1 for negative).
+        fn partially_feasible(&self, decided: usize) -> bool {
+            let decided_set: Vec<usize> = self.order[..decided].to_vec();
+            'rows: for (row, b) in &self.ip.le_constraints {
+                let mut lhs = 0.0;
+                for &v in &decided_set {
+                    if self.x[v] {
+                        lhs += row[v];
+                    }
+                }
+                for &v in &self.order[decided..] {
+                    if row[v] < 0.0 {
+                        lhs += row[v];
+                    }
+                }
+                if lhs > b + 1e-9 {
+                    return false;
+                }
+                continue 'rows;
+            }
+            true
+        }
+    }
+
+    let mut search =
+        Search { ip, order: &order, pos_suffix: &pos_suffix, best: None, x: vec![false; n] };
+    search.run(0, 0.0);
+    search.best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_takes_positive_coefficients() {
+        let mut ip = IntegerProgram::new(3);
+        ip.objective = vec![2.0, -1.0, 3.0];
+        let sol = solve(&ip).unwrap();
+        assert_eq!(sol.assignment, vec![true, false, true]);
+        assert_eq!(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn knapsack() {
+        // values 6,10,12; weights 1,2,3; cap 5 -> pick items 1,2 (22).
+        let mut ip = IntegerProgram::new(3);
+        ip.objective = vec![6.0, 10.0, 12.0];
+        ip.add_le(vec![1.0, 2.0, 3.0], 5.0);
+        let sol = solve(&ip).unwrap();
+        assert_eq!(sol.assignment, vec![false, true, true]);
+        assert_eq!(sol.objective, 22.0);
+    }
+
+    #[test]
+    fn pick_exactly_one() {
+        let mut ip = IntegerProgram::new(4);
+        ip.objective = vec![0.7, 0.9, 0.8, 0.2];
+        ip.add_eq(vec![1.0; 4], 1.0);
+        // The best one violates a side constraint.
+        ip.add_le(vec![0.0, 1.0, 0.0, 0.0], 0.0);
+        let sol = solve(&ip).unwrap();
+        assert_eq!(sol.assignment, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let mut ip = IntegerProgram::new(2);
+        ip.objective = vec![1.0, 1.0];
+        ip.add_eq(vec![1.0, 1.0], 1.0);
+        ip.add_le(vec![1.0, 0.0], -1.0);
+        ip.add_le(vec![0.0, 1.0], -1.0);
+        assert!(solve(&ip).is_none());
+    }
+
+    #[test]
+    fn negative_coefficients_in_constraints() {
+        // Choosing x1 relaxes the constraint on x0.
+        let mut ip = IntegerProgram::new(2);
+        ip.objective = vec![5.0, 1.0];
+        ip.add_le(vec![3.0, -2.0], 1.0);
+        let sol = solve(&ip).unwrap();
+        assert_eq!(sol.assignment, vec![true, true]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_force(ip: &IntegerProgram) -> Option<f64> {
+        let n = ip.n_vars();
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if ip.feasible(&x) {
+                let v = ip.objective_value(&x);
+                if best.is_none_or(|b| v > b) {
+                    best = Some(v);
+                }
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Branch and bound matches brute force on random small programs.
+        #[test]
+        fn matches_brute_force(
+            n in 1usize..9,
+            coef_seed in proptest::collection::vec(-10i32..10, 9),
+            rows in proptest::collection::vec((proptest::collection::vec(-5i32..6, 9), -4i32..15), 0..4),
+            eq_sum in proptest::option::of(1usize..4),
+        ) {
+            let mut ip = IntegerProgram::new(n);
+            ip.objective = coef_seed[..n].iter().map(|&c| c as f64).collect();
+            for (row, b) in &rows {
+                ip.add_le(row[..n].iter().map(|&v| v as f64).collect(), *b as f64);
+            }
+            if let Some(k) = eq_sum {
+                if k <= n {
+                    ip.add_eq(vec![1.0; n], k as f64);
+                }
+            }
+            let bb = solve(&ip).map(|s| s.objective);
+            let bf = brute_force(&ip);
+            match (bb, bf) {
+                (None, None) => {}
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "bb {a} vs bf {b}"),
+                other => prop_assert!(false, "feasibility mismatch: {other:?}"),
+            }
+        }
+    }
+}

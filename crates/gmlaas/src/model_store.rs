@@ -1,0 +1,222 @@
+//! Trained-model artifacts and the model registry (the paper's "Models &
+//! Embeddings" store of Fig. 3, with `model.pkl` replaced by serde JSON).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use kgnet_gml::config::{GmlMethodKind, TrainReport};
+
+use crate::embedding_store::EmbeddingStore;
+
+/// Task-type tag stored on an artifact (mirrors the `kgnet:` model classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// `kgnet:NodeClassifier`.
+    NodeClassifier,
+    /// `kgnet:LinkPredictor`.
+    LinkPredictor,
+    /// `kgnet:NodeSimilarity`.
+    NodeSimilarity,
+}
+
+/// The task-specific payload of a trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ArtifactPayload {
+    /// Node classifier: target IRI -> predicted class IRI.
+    NodeClassifier {
+        /// Prediction dictionary over every inferable target.
+        predictions: HashMap<String, String>,
+    },
+    /// Link predictor: source IRI -> ranked `(destination IRI, score)`.
+    LinkPredictor {
+        /// Ranked candidate lists (already truncated to a stored k).
+        topk: HashMap<String, Vec<(String, f32)>>,
+    },
+    /// Entity-similarity model backed by an embedding store.
+    NodeSimilarity {
+        /// The searchable embedding index.
+        store: EmbeddingStore,
+    },
+}
+
+/// A trained model with its KGMeta-relevant metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Unique model URI (minted by the training manager).
+    pub uri: String,
+    /// Task kind.
+    pub task_kind: TaskKind,
+    /// IRI of the task's target/source node type.
+    pub target_type: String,
+    /// IRI of the label predicate (NC) or predicted edge (LP).
+    pub label_predicate: String,
+    /// IRI of the destination type (LP only).
+    pub destination_type: Option<String>,
+    /// The GML method that produced the model.
+    pub method: GmlMethodKind,
+    /// Training/evaluation record.
+    pub report: TrainReport,
+    /// Sampler scope name used for `KG'` extraction (e.g. `d1h1`).
+    pub sampler: String,
+    /// Number of entities the model can answer for (the paper's "model
+    /// cardinality", used by the query optimizer).
+    pub cardinality: usize,
+    /// The inference payload.
+    pub payload: ArtifactPayload,
+}
+
+impl ModelArtifact {
+    /// Model accuracy in `[0,1]` (test accuracy / Hits@10).
+    pub fn accuracy(&self) -> f64 {
+        self.report.test_metric
+    }
+
+    /// Per-call inference latency estimate in milliseconds.
+    pub fn inference_time_ms(&self) -> f64 {
+        self.report.inference_time_ms
+    }
+}
+
+/// Thread-safe registry of trained models, keyed by URI.
+#[derive(Default, Clone)]
+pub struct ModelStore {
+    inner: Arc<RwLock<HashMap<String, Arc<ModelArtifact>>>>,
+}
+
+impl ModelStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a model, replacing any previous artifact under its URI.
+    pub fn insert(&self, artifact: ModelArtifact) -> Arc<ModelArtifact> {
+        let arc = Arc::new(artifact);
+        self.inner.write().insert(arc.uri.clone(), arc.clone());
+        arc
+    }
+
+    /// Fetch a model by URI.
+    pub fn get(&self, uri: &str) -> Option<Arc<ModelArtifact>> {
+        self.inner.read().get(uri).cloned()
+    }
+
+    /// Delete a model; returns whether it existed.
+    pub fn remove(&self, uri: &str) -> bool {
+        self.inner.write().remove(uri).is_some()
+    }
+
+    /// All registered URIs.
+    pub fn uris(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no model is stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Persist every artifact as `<dir>/<sanitised-uri>.json`.
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let guard = self.inner.read();
+        for artifact in guard.values() {
+            let name = sanitise(&artifact.uri);
+            let file = dir.join(format!("{name}.json"));
+            let json = serde_json::to_string(artifact.as_ref())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            std::fs::write(file, json)?;
+        }
+        Ok(guard.len())
+    }
+
+    /// Load every `*.json` artifact from a directory.
+    pub fn load_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        let mut loaded = 0usize;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                let json = std::fs::read_to_string(&path)?;
+                let artifact: ModelArtifact = serde_json::from_str(&json)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                self.insert(artifact);
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+}
+
+fn sanitise(uri: &str) -> String {
+    uri.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn dummy_artifact(uri: &str) -> ModelArtifact {
+        ModelArtifact {
+            uri: uri.to_owned(),
+            task_kind: TaskKind::NodeClassifier,
+            target_type: "http://x/Paper".into(),
+            label_predicate: "http://x/venue".into(),
+            destination_type: None,
+            method: GmlMethodKind::Gcn,
+            report: TrainReport {
+                method: GmlMethodKind::Gcn,
+                train_time_s: 1.0,
+                peak_mem_bytes: 1024,
+                test_metric: 0.9,
+                valid_metric: 0.88,
+                mrr: 0.0,
+                loss_curve: vec![1.0, 0.5],
+                n_nodes: 10,
+                n_edges: 20,
+                inference_time_ms: 0.5,
+            },
+            sampler: "d1h1".into(),
+            cardinality: 10,
+            payload: ArtifactPayload::NodeClassifier {
+                predictions: [("http://x/p1".to_owned(), "http://x/v1".to_owned())]
+                    .into_iter()
+                    .collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let store = ModelStore::new();
+        store.insert(dummy_artifact("http://kgnet/m1"));
+        assert_eq!(store.len(), 1);
+        let m = store.get("http://kgnet/m1").unwrap();
+        assert_eq!(m.accuracy(), 0.9);
+        assert!(store.remove("http://kgnet/m1"));
+        assert!(store.is_empty());
+        assert!(!store.remove("http://kgnet/m1"));
+    }
+
+    #[test]
+    fn save_and_load_directory() {
+        let dir = std::env::temp_dir().join(format!("kgnet-models-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ModelStore::new();
+        store.insert(dummy_artifact("http://kgnet/m1"));
+        store.insert(dummy_artifact("http://kgnet/m2"));
+        assert_eq!(store.save_dir(&dir).unwrap(), 2);
+        let restored = ModelStore::new();
+        assert_eq!(restored.load_dir(&dir).unwrap(), 2);
+        assert!(restored.get("http://kgnet/m2").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

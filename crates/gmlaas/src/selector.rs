@@ -1,0 +1,149 @@
+//! Optimal GML method selection under a task budget (Fig. 6, "Optimal GML
+//! Method Selection").
+//!
+//! Candidates are filtered and ranked through the 0/1 integer program of the
+//! paper: one binary per method, exactly one chosen, memory/time rows bound
+//! by the budget, objective set by the budget priority.
+
+use kgnet_gml::config::GmlMethodKind;
+use kgnet_gml::estimate::{estimate, GraphDims, ResourceEstimate};
+use kgnet_gml::GnnConfig;
+
+use crate::budget::{Priority, TaskBudget};
+use crate::ip::{solve, IntegerProgram};
+
+/// One candidate row of the selection trace.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The method.
+    pub method: GmlMethodKind,
+    /// Its resource estimate on this problem.
+    pub estimate: ResourceEstimate,
+    /// Whether it fits the budget on its own.
+    pub feasible: bool,
+}
+
+/// The decision record returned with the selection.
+#[derive(Debug, Clone)]
+pub struct SelectionTrace {
+    /// All candidates with estimates.
+    pub candidates: Vec<Candidate>,
+    /// Chosen method, when any candidate was feasible.
+    pub chosen: Option<GmlMethodKind>,
+}
+
+/// Select the near-optimal method for a problem under a budget.
+pub fn select_method(
+    methods: &[GmlMethodKind],
+    dims: &GraphDims,
+    cfg: &GnnConfig,
+    budget: &TaskBudget,
+) -> SelectionTrace {
+    let candidates: Vec<Candidate> = methods
+        .iter()
+        .map(|&method| {
+            let est = estimate(method, dims, cfg);
+            let feasible = budget.max_memory_bytes.is_none_or(|cap| est.memory_bytes <= cap)
+                && budget.max_time_s.is_none_or(|cap| est.time_s <= cap);
+            Candidate { method, estimate: est, feasible }
+        })
+        .collect();
+
+    // Integer program: pick exactly one method, subject to the budget rows.
+    let n = candidates.len();
+    let mut ip = IntegerProgram::new(n);
+    for (i, c) in candidates.iter().enumerate() {
+        ip.objective[i] = match budget.priority {
+            Priority::ModelScore => c.estimate.expected_quality,
+            // Minimisation becomes maximisation of the negated cost; the
+            // epsilon keeps every option strictly better than "pick none"
+            // (the equality row forbids that anyway).
+            Priority::TrainingTime => -c.estimate.time_s,
+            Priority::Memory => -(c.estimate.memory_bytes as f64),
+        };
+    }
+    ip.add_eq(vec![1.0; n], 1.0);
+    if let Some(cap) = budget.max_memory_bytes {
+        ip.add_le(candidates.iter().map(|c| c.estimate.memory_bytes as f64).collect(), cap as f64);
+    }
+    if let Some(cap) = budget.max_time_s {
+        ip.add_le(candidates.iter().map(|c| c.estimate.time_s).collect(), cap);
+    }
+
+    let chosen = solve(&ip).map(|sol| {
+        let idx = sol.assignment.iter().position(|&x| x).expect("one method chosen");
+        candidates[idx].method
+    });
+    SelectionTrace { candidates, chosen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> GraphDims {
+        GraphDims {
+            n_nodes: 20_000,
+            n_edges: 120_000,
+            n_relations: 48,
+            n_targets: 6_000,
+            n_classes: 50,
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_prefers_highest_quality() {
+        let trace = select_method(
+            &GmlMethodKind::NC_METHODS,
+            &dims(),
+            &GnnConfig::default(),
+            &TaskBudget::unlimited(),
+        );
+        // ShadowSaint carries the highest quality prior.
+        assert_eq!(trace.chosen, Some(GmlMethodKind::ShadowSaint));
+        assert_eq!(trace.candidates.len(), 4);
+    }
+
+    #[test]
+    fn tight_memory_budget_excludes_full_batch() {
+        let cfg = GnnConfig::default();
+        let rgcn_mem = estimate(GmlMethodKind::Rgcn, &dims(), &cfg).memory_bytes;
+        let budget = TaskBudget::with_memory(rgcn_mem / 2);
+        let trace = select_method(&GmlMethodKind::NC_METHODS, &dims(), &cfg, &budget);
+        assert_ne!(trace.chosen, Some(GmlMethodKind::Rgcn));
+        assert!(trace.chosen.is_some(), "a sampled method should fit");
+        let rgcn = trace.candidates.iter().find(|c| c.method == GmlMethodKind::Rgcn).unwrap();
+        assert!(!rgcn.feasible);
+    }
+
+    #[test]
+    fn impossible_budget_selects_nothing() {
+        let budget = TaskBudget::with_memory(16);
+        let trace = select_method(
+            &GmlMethodKind::NC_METHODS,
+            &dims(),
+            &GnnConfig::default(),
+            &budget,
+        );
+        assert_eq!(trace.chosen, None);
+        assert!(trace.candidates.iter().all(|c| !c.feasible));
+    }
+
+    #[test]
+    fn time_priority_picks_fastest() {
+        let budget = TaskBudget { priority: Priority::TrainingTime, ..Default::default() };
+        let trace = select_method(
+            &GmlMethodKind::NC_METHODS,
+            &dims(),
+            &GnnConfig::default(),
+            &budget,
+        );
+        let chosen = trace.chosen.unwrap();
+        let min = trace
+            .candidates
+            .iter()
+            .min_by(|a, b| a.estimate.time_s.partial_cmp(&b.estimate.time_s).unwrap())
+            .unwrap();
+        assert_eq!(chosen, min.method);
+    }
+}

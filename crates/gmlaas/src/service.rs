@@ -1,0 +1,367 @@
+//! The GML Inference Manager's service boundary.
+//!
+//! In the paper, the RDF engine's UDFs reach trained models through HTTP
+//! calls into GMLaaS, and the number of such calls is exactly what the
+//! SPARQL-ML query optimizer minimises (Figs. 11/12). This module keeps that
+//! boundary honest in-process: every request/response is serialised through
+//! JSON, and the service counts calls and payload bytes so the optimizer's
+//! objective is observable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model_store::{ArtifactPayload, ModelStore};
+
+/// A request to the inference service (one "HTTP call").
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "op")]
+pub enum InferenceRequest {
+    /// Fig. 11 per-instance call: class of one node.
+    GetNodeClass {
+        /// Model URI.
+        model: String,
+        /// Target node IRI.
+        node: String,
+    },
+    /// Fig. 12 single call: the full prediction dictionary.
+    GetNodeClassDict {
+        /// Model URI.
+        model: String,
+    },
+    /// Top-k predicted links for one source node.
+    GetTopkLinks {
+        /// Model URI.
+        model: String,
+        /// Source node IRI.
+        source: String,
+        /// Links requested.
+        k: usize,
+    },
+    /// All sources' top-k predicted links in one call.
+    GetAllTopkLinks {
+        /// Model URI.
+        model: String,
+        /// Links per source.
+        k: usize,
+    },
+    /// k nearest entities in embedding space.
+    GetSimilarNodes {
+        /// Model URI.
+        model: String,
+        /// Query node IRI.
+        node: String,
+        /// Neighbours requested.
+        k: usize,
+    },
+}
+
+/// A JSON response from the inference service.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind")]
+pub enum InferenceResponse {
+    /// Class of a single node (absent when the model cannot infer it).
+    NodeClass {
+        /// Echoed node IRI.
+        node: String,
+        /// Predicted class IRI.
+        class: Option<String>,
+    },
+    /// Full prediction dictionary.
+    NodeClassDict {
+        /// target IRI -> class IRI.
+        predictions: HashMap<String, String>,
+    },
+    /// Ranked links for one source.
+    TopkLinks {
+        /// Echoed source IRI.
+        source: String,
+        /// `(destination, score)` best first.
+        links: Vec<(String, f32)>,
+    },
+    /// Ranked links for all sources.
+    AllTopkLinks {
+        /// source IRI -> `(destination, score)` lists.
+        links: HashMap<String, Vec<(String, f32)>>,
+    },
+    /// Embedding-space neighbours.
+    SimilarNodes {
+        /// `(entity, similarity)` best first.
+        neighbors: Vec<(String, f32)>,
+    },
+}
+
+/// Service-level errors (serialised like HTTP error responses).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceError {
+    /// Unknown model URI.
+    ModelNotFound(String),
+    /// Request not applicable to the model's task kind.
+    WrongTask(String),
+    /// Serialisation failure (malformed payload).
+    Codec(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::ModelNotFound(uri) => write!(f, "model not found: {uri}"),
+            ServiceError::WrongTask(msg) => write!(f, "wrong task: {msg}"),
+            ServiceError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Call/byte counters of the service boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Number of calls served.
+    pub calls: usize,
+    /// Request bytes received (JSON).
+    pub bytes_in: usize,
+    /// Response bytes sent (JSON).
+    pub bytes_out: usize,
+}
+
+/// The inference service.
+#[derive(Clone, Default)]
+pub struct InferenceService {
+    models: ModelStore,
+    calls: Arc<AtomicUsize>,
+    bytes_in: Arc<AtomicUsize>,
+    bytes_out: Arc<AtomicUsize>,
+}
+
+impl InferenceService {
+    /// Service over a model store.
+    pub fn new(models: ModelStore) -> Self {
+        InferenceService {
+            models,
+            calls: Arc::new(AtomicUsize::new(0)),
+            bytes_in: Arc::new(AtomicUsize::new(0)),
+            bytes_out: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The backing model store.
+    pub fn models(&self) -> &ModelStore {
+        &self.models
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset counters (e.g. between benchmarked queries).
+    pub fn reset_stats(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.bytes_in.store(0, Ordering::Relaxed);
+        self.bytes_out.store(0, Ordering::Relaxed);
+    }
+
+    /// Perform one call across the JSON boundary.
+    pub fn call(&self, request: &InferenceRequest) -> Result<InferenceResponse, ServiceError> {
+        // Serialise the request exactly as an HTTP client would.
+        let wire_req =
+            serde_json::to_string(request).map_err(|e| ServiceError::Codec(e.to_string()))?;
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(wire_req.len(), Ordering::Relaxed);
+        let parsed: InferenceRequest =
+            serde_json::from_str(&wire_req).map_err(|e| ServiceError::Codec(e.to_string()))?;
+
+        let response = self.handle(&parsed)?;
+
+        let wire_resp =
+            serde_json::to_string(&response).map_err(|e| ServiceError::Codec(e.to_string()))?;
+        self.bytes_out.fetch_add(wire_resp.len(), Ordering::Relaxed);
+        serde_json::from_str(&wire_resp).map_err(|e| ServiceError::Codec(e.to_string()))
+    }
+
+    fn handle(&self, request: &InferenceRequest) -> Result<InferenceResponse, ServiceError> {
+        match request {
+            InferenceRequest::GetNodeClass { model, node } => {
+                let artifact = self.lookup(model)?;
+                match &artifact.payload {
+                    ArtifactPayload::NodeClassifier { predictions } => {
+                        Ok(InferenceResponse::NodeClass {
+                            node: node.clone(),
+                            class: predictions.get(node).cloned(),
+                        })
+                    }
+                    _ => Err(ServiceError::WrongTask(format!("{model} is not a node classifier"))),
+                }
+            }
+            InferenceRequest::GetNodeClassDict { model } => {
+                let artifact = self.lookup(model)?;
+                match &artifact.payload {
+                    ArtifactPayload::NodeClassifier { predictions } => {
+                        Ok(InferenceResponse::NodeClassDict { predictions: predictions.clone() })
+                    }
+                    _ => Err(ServiceError::WrongTask(format!("{model} is not a node classifier"))),
+                }
+            }
+            InferenceRequest::GetTopkLinks { model, source, k } => {
+                let artifact = self.lookup(model)?;
+                match &artifact.payload {
+                    ArtifactPayload::LinkPredictor { topk } => Ok(InferenceResponse::TopkLinks {
+                        source: source.clone(),
+                        links: topk
+                            .get(source)
+                            .map(|l| l.iter().take(*k).cloned().collect())
+                            .unwrap_or_default(),
+                    }),
+                    _ => Err(ServiceError::WrongTask(format!("{model} is not a link predictor"))),
+                }
+            }
+            InferenceRequest::GetAllTopkLinks { model, k } => {
+                let artifact = self.lookup(model)?;
+                match &artifact.payload {
+                    ArtifactPayload::LinkPredictor { topk } => {
+                        let links = topk
+                            .iter()
+                            .map(|(s, l)| (s.clone(), l.iter().take(*k).cloned().collect()))
+                            .collect();
+                        Ok(InferenceResponse::AllTopkLinks { links })
+                    }
+                    _ => Err(ServiceError::WrongTask(format!("{model} is not a link predictor"))),
+                }
+            }
+            InferenceRequest::GetSimilarNodes { model, node, k } => {
+                let artifact = self.lookup(model)?;
+                match &artifact.payload {
+                    ArtifactPayload::NodeSimilarity { store } => {
+                        let Some(query) = store.get(node) else {
+                            return Ok(InferenceResponse::SimilarNodes { neighbors: vec![] });
+                        };
+                        let q = query.to_vec();
+                        Ok(InferenceResponse::SimilarNodes { neighbors: store.search(&q, *k, 4) })
+                    }
+                    _ => Err(ServiceError::WrongTask(format!("{model} is not a similarity model"))),
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, uri: &str) -> Result<Arc<crate::model_store::ModelArtifact>, ServiceError> {
+        self.models.get(uri).ok_or_else(|| ServiceError::ModelNotFound(uri.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_store::{ModelArtifact, TaskKind};
+    use kgnet_gml::config::{GmlMethodKind, TrainReport};
+
+    fn report() -> TrainReport {
+        TrainReport {
+            method: GmlMethodKind::Gcn,
+            train_time_s: 0.0,
+            peak_mem_bytes: 0,
+            test_metric: 0.9,
+            valid_metric: 0.9,
+            mrr: 0.0,
+            loss_curve: vec![],
+            n_nodes: 0,
+            n_edges: 0,
+            inference_time_ms: 0.1,
+        }
+    }
+
+    fn service_with_nc() -> (InferenceService, String) {
+        let store = ModelStore::new();
+        let uri = "https://www.kgnet.com/model/nc/test-1".to_owned();
+        store.insert(ModelArtifact {
+            uri: uri.clone(),
+            task_kind: TaskKind::NodeClassifier,
+            target_type: "http://x/Paper".into(),
+            label_predicate: "http://x/venue".into(),
+            destination_type: None,
+            method: GmlMethodKind::Gcn,
+            report: report(),
+            sampler: "d1h1".into(),
+            cardinality: 2,
+            payload: ArtifactPayload::NodeClassifier {
+                predictions: [
+                    ("http://x/p1".to_owned(), "http://x/v1".to_owned()),
+                    ("http://x/p2".to_owned(), "http://x/v2".to_owned()),
+                ]
+                .into_iter()
+                .collect(),
+            },
+        });
+        (InferenceService::new(store), uri)
+    }
+
+    #[test]
+    fn node_class_lookup_counts_calls() {
+        let (svc, uri) = service_with_nc();
+        let resp = svc
+            .call(&InferenceRequest::GetNodeClass { model: uri.clone(), node: "http://x/p1".into() })
+            .unwrap();
+        assert_eq!(
+            resp,
+            InferenceResponse::NodeClass {
+                node: "http://x/p1".into(),
+                class: Some("http://x/v1".into())
+            }
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.calls, 1);
+        assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn dictionary_call_is_one_call_many_bytes() {
+        let (svc, uri) = service_with_nc();
+        svc.reset_stats();
+        let resp = svc.call(&InferenceRequest::GetNodeClassDict { model: uri }).unwrap();
+        match resp {
+            InferenceResponse::NodeClassDict { predictions } => assert_eq!(predictions.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(svc.stats().calls, 1);
+    }
+
+    #[test]
+    fn unknown_model_and_wrong_task_errors() {
+        let (svc, uri) = service_with_nc();
+        let err = svc
+            .call(&InferenceRequest::GetNodeClass { model: "http://nope".into(), node: "n".into() })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::ModelNotFound(_)));
+        let err = svc
+            .call(&InferenceRequest::GetTopkLinks { model: uri, source: "s".into(), k: 3 })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::WrongTask(_)));
+    }
+
+    #[test]
+    fn unknown_node_returns_none_class() {
+        let (svc, uri) = service_with_nc();
+        let resp = svc
+            .call(&InferenceRequest::GetNodeClass { model: uri, node: "http://x/unknown".into() })
+            .unwrap();
+        assert_eq!(
+            resp,
+            InferenceResponse::NodeClass { node: "http://x/unknown".into(), class: None }
+        );
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let (svc, uri) = service_with_nc();
+        let _ = svc.call(&InferenceRequest::GetNodeClassDict { model: uri });
+        svc.reset_stats();
+        assert_eq!(svc.stats(), ServiceStats::default());
+    }
+}

@@ -1,0 +1,377 @@
+//! The GML Training Manager (Fig. 6): one entry point that takes a
+//! task-specific subgraph `KG'`, a task and a budget, runs the automated
+//! pipeline — data transformation, budget-constrained method selection,
+//! training, evaluation — and packages the result as a [`ModelArtifact`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kgnet_gml::config::{GmlMethodKind, GnnConfig};
+use kgnet_gml::dataset::{build_lp_dataset, build_nc_dataset};
+use kgnet_gml::estimate::GraphDims;
+use kgnet_gml::lp::{kge, train_lp};
+use kgnet_gml::nc::train_nc;
+use kgnet_graph::{transform, GmlTask, SplitRatios, SplitStrategy};
+use kgnet_rdf::RdfStore;
+
+use crate::budget::TaskBudget;
+use crate::embedding_store::{EmbeddingStore, Metric};
+use crate::model_store::{ArtifactPayload, ModelArtifact, ModelStore, TaskKind};
+use crate::selector::{select_method, SelectionTrace};
+
+/// Stored top-k depth for link-prediction artifacts.
+const STORED_TOPK: usize = 20;
+
+/// A training request, as decoded from a SPARQL-ML `TrainGML` call.
+#[derive(Debug, Clone)]
+pub struct TrainRequest {
+    /// Human-readable model name (used in the minted URI).
+    pub name: String,
+    /// The task.
+    pub task: GmlTask,
+    /// Resource budget.
+    pub budget: TaskBudget,
+    /// Hyper-parameters.
+    pub cfg: GnnConfig,
+    /// Expert override: skip selection and use this method.
+    pub forced_method: Option<GmlMethodKind>,
+    /// Split strategy for the transformer.
+    pub split_strategy: SplitStrategy,
+    /// Name of the sampler scope that produced `KG'` (recorded in KGMeta).
+    pub sampler: String,
+}
+
+impl TrainRequest {
+    /// A request with defaults for everything but the task.
+    pub fn new(name: impl Into<String>, task: GmlTask) -> Self {
+        TrainRequest {
+            name: name.into(),
+            task,
+            budget: TaskBudget::unlimited(),
+            cfg: GnnConfig::default(),
+            forced_method: None,
+            split_strategy: SplitStrategy::Random,
+            sampler: "d1h1".into(),
+        }
+    }
+}
+
+/// Errors from the training manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No method fits the requested budget.
+    BudgetInfeasible,
+    /// The task matched no targets/edges in the provided graph.
+    EmptyTask,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::BudgetInfeasible => write!(f, "no GML method fits the task budget"),
+            TrainError::EmptyTask => write!(f, "task selects no targets in the graph"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Outcome of a training run.
+pub struct TrainOutcome {
+    /// The registered artifact.
+    pub artifact: Arc<ModelArtifact>,
+    /// The method-selection trace (estimates per candidate).
+    pub trace: SelectionTrace,
+}
+
+/// The training manager: owns the model registry and mints model URIs.
+pub struct TrainingManager {
+    store: ModelStore,
+    counter: AtomicU64,
+}
+
+impl Default for TrainingManager {
+    fn default() -> Self {
+        Self::new(ModelStore::new())
+    }
+}
+
+impl TrainingManager {
+    /// Manager over an existing model store.
+    pub fn new(store: ModelStore) -> Self {
+        TrainingManager { store, counter: AtomicU64::new(1) }
+    }
+
+    /// The shared model store.
+    pub fn model_store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Run the automated pipeline on a task-specific subgraph.
+    pub fn train(&self, kg_prime: &RdfStore, req: &TrainRequest) -> Result<TrainOutcome, TrainError> {
+        match &req.task {
+            GmlTask::NodeClassification(nc) => self.train_nc_task(kg_prime, req, nc),
+            GmlTask::LinkPrediction(lp) => self.train_lp_task(kg_prime, req, lp),
+            GmlTask::EntitySimilarity { target_type } => {
+                self.train_similarity(kg_prime, req, target_type)
+            }
+        }
+    }
+
+    fn mint_uri(&self, kind: &str, method: GmlMethodKind, name: &str) -> String {
+        let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        format!("https://www.kgnet.com/model/{kind}/{}-{slug}-{id}", method.name())
+    }
+
+    fn train_nc_task(
+        &self,
+        kg: &RdfStore,
+        req: &TrainRequest,
+        task: &kgnet_graph::NcTask,
+    ) -> Result<TrainOutcome, TrainError> {
+        let data = build_nc_dataset(kg, task, req.split_strategy, SplitRatios::default(), req.cfg.seed);
+        if data.n_targets() == 0 || data.n_classes() == 0 {
+            return Err(TrainError::EmptyTask);
+        }
+        let dims = GraphDims::of_nc(&data);
+        let trace = match req.forced_method {
+            Some(m) => SelectionTrace { candidates: vec![], chosen: Some(m) },
+            None => select_method(&GmlMethodKind::NC_METHODS, &dims, &req.cfg, &req.budget),
+        };
+        let method = trace.chosen.ok_or(TrainError::BudgetInfeasible)?;
+        let trained = train_nc(method, &data, &req.cfg);
+
+        let predictions = data
+            .target_iris
+            .iter()
+            .zip(&trained.predictions)
+            .map(|(iri, &class)| (iri.clone(), data.class_iris[class].clone()))
+            .collect();
+        let artifact = ModelArtifact {
+            uri: self.mint_uri("nc", method, &req.name),
+            task_kind: TaskKind::NodeClassifier,
+            target_type: task.target_type.clone(),
+            label_predicate: task.label_predicate.clone(),
+            destination_type: None,
+            method,
+            report: trained.report,
+            sampler: req.sampler.clone(),
+            cardinality: data.n_targets(),
+            payload: ArtifactPayload::NodeClassifier { predictions },
+        };
+        Ok(TrainOutcome { artifact: self.store.insert(artifact), trace })
+    }
+
+    fn train_lp_task(
+        &self,
+        kg: &RdfStore,
+        req: &TrainRequest,
+        task: &kgnet_graph::LpTask,
+    ) -> Result<TrainOutcome, TrainError> {
+        let data = build_lp_dataset(kg, task, SplitRatios::default(), req.cfg.seed);
+        if data.n_edges() == 0 || data.destinations.is_empty() {
+            return Err(TrainError::EmptyTask);
+        }
+        let dims = GraphDims::of_lp(&data);
+        let trace = match req.forced_method {
+            Some(m) => SelectionTrace { candidates: vec![], chosen: Some(m) },
+            None => select_method(&GmlMethodKind::LP_METHODS, &dims, &req.cfg, &req.budget),
+        };
+        let method = trace.chosen.ok_or(TrainError::BudgetInfeasible)?;
+        let trained = train_lp(method, &data, &req.cfg);
+
+        let mut topk = std::collections::HashMap::with_capacity(data.sources.len());
+        for (pos, iri) in data.source_iris.iter().enumerate() {
+            let ranked: Vec<(String, f32)> = trained
+                .topk(pos, STORED_TOPK)
+                .into_iter()
+                .map(|(j, s)| (data.destination_iris[j].clone(), s))
+                .collect();
+            topk.insert(iri.clone(), ranked);
+        }
+        let artifact = ModelArtifact {
+            uri: self.mint_uri("lp", method, &req.name),
+            task_kind: TaskKind::LinkPredictor,
+            target_type: task.source_type.clone(),
+            label_predicate: task.edge_predicate.clone(),
+            destination_type: Some(task.dest_type.clone()),
+            method,
+            report: trained.report,
+            sampler: req.sampler.clone(),
+            cardinality: data.sources.len(),
+            payload: ArtifactPayload::LinkPredictor { topk },
+        };
+        Ok(TrainOutcome { artifact: self.store.insert(artifact), trace })
+    }
+
+    fn train_similarity(
+        &self,
+        kg: &RdfStore,
+        req: &TrainRequest,
+        target_type: &str,
+    ) -> Result<TrainOutcome, TrainError> {
+        let (graph, _stats) = transform(kg, &[]);
+        if graph.n_nodes() == 0 {
+            return Err(TrainError::EmptyTask);
+        }
+        let (embeddings, report) = kge::train_unsupervised(&graph, &req.cfg);
+
+        let mut store = EmbeddingStore::new(embeddings.cols(), Metric::Cosine);
+        let wanted_type = graph.node_type_id(&format!("<{target_type}>"));
+        let mut cardinality = 0usize;
+        for node in 0..graph.n_nodes() as u32 {
+            if let Some(t) = wanted_type {
+                if graph.node_type(node) != t {
+                    continue;
+                }
+            }
+            let term = graph.term_of(node);
+            let iri = match kg.resolve(term) {
+                kgnet_rdf::Term::Iri(i) => i.clone(),
+                other => other.to_string(),
+            };
+            store.add(iri, embeddings.row(node as usize).to_vec());
+            cardinality += 1;
+        }
+        if cardinality == 0 {
+            return Err(TrainError::EmptyTask);
+        }
+        store.build_ivf((cardinality / 16).clamp(1, 256), 4, req.cfg.seed);
+
+        let artifact = ModelArtifact {
+            uri: self.mint_uri("sim", GmlMethodKind::TransE, &req.name),
+            task_kind: TaskKind::NodeSimilarity,
+            target_type: target_type.to_owned(),
+            label_predicate: String::new(),
+            destination_type: None,
+            method: GmlMethodKind::TransE,
+            report,
+            sampler: req.sampler.clone(),
+            cardinality,
+            payload: ArtifactPayload::NodeSimilarity { store },
+        };
+        let trace = SelectionTrace { candidates: vec![], chosen: Some(GmlMethodKind::TransE) };
+        Ok(TrainOutcome { artifact: self.store.insert(artifact), trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgnet_datagen::vocab::dblp as v;
+    use kgnet_datagen::{generate_dblp, DblpConfig};
+    use kgnet_graph::{LpTask, NcTask};
+
+    fn tiny_store() -> RdfStore {
+        generate_dblp(&DblpConfig::tiny(31)).0
+    }
+
+    fn nc_task() -> GmlTask {
+        GmlTask::NodeClassification(NcTask {
+            target_type: v::PUBLICATION.into(),
+            label_predicate: v::PUBLISHED_IN.into(),
+        })
+    }
+
+    #[test]
+    fn nc_training_produces_registered_artifact() {
+        let st = tiny_store();
+        let mgr = TrainingManager::default();
+        let mut req = TrainRequest::new("paper-venue", nc_task());
+        req.cfg = GnnConfig::fast_test();
+        let out = mgr.train(&st, &req).unwrap();
+        assert!(out.artifact.uri.contains("/model/nc/"));
+        assert_eq!(out.artifact.task_kind, TaskKind::NodeClassifier);
+        assert!(out.artifact.cardinality > 0);
+        assert!(mgr.model_store().get(&out.artifact.uri).is_some());
+        match &out.artifact.payload {
+            ArtifactPayload::NodeClassifier { predictions } => {
+                assert_eq!(predictions.len(), out.artifact.cardinality);
+                let class = predictions.values().next().unwrap();
+                assert!(class.contains("venue"), "prediction should be a venue IRI: {class}");
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_training_produces_topk_lists() {
+        let st = tiny_store();
+        let mgr = TrainingManager::default();
+        let mut req = TrainRequest::new(
+            "author-affiliation",
+            GmlTask::LinkPrediction(LpTask {
+                source_type: v::PERSON.into(),
+                edge_predicate: v::AFFILIATED_WITH.into(),
+                dest_type: v::AFFILIATION.into(),
+            }),
+        );
+        req.cfg = GnnConfig { epochs: 10, ..GnnConfig::fast_test() };
+        req.forced_method = Some(GmlMethodKind::Morse);
+        let out = mgr.train(&st, &req).unwrap();
+        match &out.artifact.payload {
+            ArtifactPayload::LinkPredictor { topk } => {
+                assert!(!topk.is_empty());
+                let links = topk.values().next().unwrap();
+                assert!(!links.is_empty());
+                assert!(links[0].1 >= links[links.len() - 1].1, "topk not sorted");
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn similarity_training_builds_search_index() {
+        let st = tiny_store();
+        let mgr = TrainingManager::default();
+        let mut req = TrainRequest::new(
+            "paper-similarity",
+            GmlTask::EntitySimilarity { target_type: v::PUBLICATION.into() },
+        );
+        req.cfg = GnnConfig { epochs: 5, ..GnnConfig::fast_test() };
+        let out = mgr.train(&st, &req).unwrap();
+        match &out.artifact.payload {
+            ArtifactPayload::NodeSimilarity { store } => {
+                assert!(!store.is_empty());
+                let key = v::paper(0);
+                let q = store.get(&key).unwrap().to_vec();
+                let hits = store.search(&q, 3, 4);
+                assert_eq!(hits[0].0, key);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_budget_is_an_error() {
+        let st = tiny_store();
+        let mgr = TrainingManager::default();
+        let mut req = TrainRequest::new("impossible", nc_task());
+        req.budget = TaskBudget::with_memory(1);
+        match mgr.train(&st, &req) {
+            Err(e) => assert_eq!(e, TrainError::BudgetInfeasible),
+            Ok(_) => panic!("expected budget error"),
+        }
+    }
+
+    #[test]
+    fn empty_task_is_an_error() {
+        let st = tiny_store();
+        let mgr = TrainingManager::default();
+        let req = TrainRequest::new(
+            "nothing",
+            GmlTask::NodeClassification(NcTask {
+                target_type: "http://nope/T".into(),
+                label_predicate: "http://nope/p".into(),
+            }),
+        );
+        match mgr.train(&st, &req) {
+            Err(e) => assert_eq!(e, TrainError::EmptyTask),
+            Ok(_) => panic!("expected empty-task error"),
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Train/validation/test splits over task targets.
+//!
+//! The paper's pipeline (Fig. 6) performs "a train-validation-test split
+//! using different strategies like random and community-based"; both are
+//! implemented here over the target index space.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rustc_hash::FxHashMap;
+
+/// A split of target indexes `0..n` into train/valid/test.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Split {
+    /// Training target indexes.
+    pub train: Vec<u32>,
+    /// Validation target indexes.
+    pub valid: Vec<u32>,
+    /// Test target indexes.
+    pub test: Vec<u32>,
+}
+
+impl Split {
+    /// Total number of indexes covered.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+
+    /// True when the split covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Split strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SplitStrategy {
+    /// Uniformly random assignment.
+    Random,
+    /// Whole communities (connected components of the target co-neighbour
+    /// graph) are assigned to the same fold, testing generalisation across
+    /// communities.
+    Community,
+}
+
+/// Fractions for train/valid (test receives the remainder).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitRatios {
+    /// Train fraction.
+    pub train: f64,
+    /// Validation fraction.
+    pub valid: f64,
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        SplitRatios { train: 0.7, valid: 0.1 }
+    }
+}
+
+/// Random split of `n` targets.
+pub fn random_split(n: usize, ratios: SplitRatios, seed: u64) -> Split {
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = (n as f64 * ratios.train).round() as usize;
+    let n_valid = (n as f64 * ratios.valid).round() as usize;
+    let n_train = n_train.min(n);
+    let n_valid = n_valid.min(n - n_train);
+    Split {
+        train: idx[..n_train].to_vec(),
+        valid: idx[n_train..n_train + n_valid].to_vec(),
+        test: idx[n_train + n_valid..].to_vec(),
+    }
+}
+
+/// Community split: targets sharing a graph neighbour belong to the same
+/// community (union-find over `target_neighbors`), and whole communities are
+/// greedily packed into the fold that is furthest below its quota.
+///
+/// `target_neighbors[i]` lists opaque neighbour keys of target `i` (e.g.
+/// global node ids of its graph neighbours).
+pub fn community_split(
+    target_neighbors: &[Vec<u32>],
+    ratios: SplitRatios,
+    seed: u64,
+) -> Split {
+    let n = target_neighbors.len();
+    let mut uf = UnionFind::new(n);
+    let mut owner_of_neighbor: FxHashMap<u32, usize> = FxHashMap::default();
+    for (i, nbs) in target_neighbors.iter().enumerate() {
+        for &nb in nbs {
+            match owner_of_neighbor.get(&nb) {
+                Some(&j) => uf.union(i, j),
+                None => {
+                    owner_of_neighbor.insert(nb, i);
+                }
+            }
+        }
+    }
+    let mut communities: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+    for i in 0..n {
+        communities.entry(uf.find(i)).or_default().push(i as u32);
+    }
+    let mut groups: Vec<Vec<u32>> = communities.into_values().collect();
+    // Deterministic order, then shuffle group order for unbiased packing.
+    groups.sort_by_key(|g| g[0]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    groups.shuffle(&mut rng);
+
+    let quotas = [ratios.train, ratios.valid, 1.0 - ratios.train - ratios.valid];
+    let mut folds: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for group in groups {
+        // Pick the fold with the largest remaining deficit.
+        let (best, _) = quotas
+            .iter()
+            .enumerate()
+            .map(|(f, &q)| {
+                let have = folds[f].len() as f64 / n.max(1) as f64;
+                (f, q - have)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("three folds");
+        folds[best].extend(group);
+    }
+    let [train, valid, test] = folds;
+    Split { train, valid, test }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustc_hash::FxHashSet;
+
+    #[test]
+    fn random_split_partitions_exactly() {
+        let s = random_split(100, SplitRatios::default(), 42);
+        assert_eq!(s.len(), 100);
+        let all: FxHashSet<u32> =
+            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 100);
+        assert_eq!(s.train.len(), 70);
+        assert_eq!(s.valid.len(), 10);
+        assert_eq!(s.test.len(), 20);
+    }
+
+    #[test]
+    fn random_split_deterministic_by_seed() {
+        assert_eq!(
+            random_split(50, SplitRatios::default(), 7),
+            random_split(50, SplitRatios::default(), 7)
+        );
+        assert_ne!(
+            random_split(50, SplitRatios::default(), 7),
+            random_split(50, SplitRatios::default(), 8)
+        );
+    }
+
+    #[test]
+    fn community_split_keeps_components_together() {
+        // Targets 0,1 share neighbour 100; targets 2,3 share 200; 4 alone.
+        let neighbors = vec![vec![100], vec![100], vec![200], vec![200], vec![300]];
+        let s = community_split(&neighbors, SplitRatios { train: 0.4, valid: 0.2 }, 1);
+        assert_eq!(s.len(), 5);
+        let fold_of = |i: u32| -> usize {
+            if s.train.contains(&i) {
+                0
+            } else if s.valid.contains(&i) {
+                1
+            } else {
+                2
+            }
+        };
+        assert_eq!(fold_of(0), fold_of(1));
+        assert_eq!(fold_of(2), fold_of(3));
+    }
+
+    #[test]
+    fn community_split_partitions_exactly() {
+        let neighbors: Vec<Vec<u32>> = (0..40).map(|i| vec![i / 4]).collect();
+        let s = community_split(&neighbors, SplitRatios::default(), 3);
+        assert_eq!(s.len(), 40);
+        let all: FxHashSet<u32> =
+            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 40);
+        assert!(s.train.len() >= s.test.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! Knowledge-graph statistics (Table I of the paper).
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use kgnet_rdf::term::RDF_TYPE;
+use kgnet_rdf::{RdfStore, Term};
+
+/// Summary statistics of a KG, mirroring Table I's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KgStats {
+    /// Total triples.
+    pub n_triples: usize,
+    /// Distinct predicates, excluding `rdf:type` (the paper's "#Edge Types").
+    pub n_edge_types: usize,
+    /// Distinct `rdf:type` objects (the paper's "#Node Types").
+    pub n_node_types: usize,
+    /// Distinct typed subjects.
+    pub n_typed_nodes: usize,
+    /// Instances per node type.
+    pub nodes_per_type: FxHashMap<String, usize>,
+    /// Triples per predicate.
+    pub triples_per_predicate: FxHashMap<String, usize>,
+    /// Literal-object triples.
+    pub n_literal_triples: usize,
+}
+
+/// Compute [`KgStats`] over a store.
+pub fn kg_stats(store: &RdfStore) -> KgStats {
+    let rdf_type = store.lookup(&Term::iri(RDF_TYPE));
+    let mut nodes_per_type: FxHashMap<String, usize> = FxHashMap::default();
+    let mut triples_per_predicate: FxHashMap<String, usize> = FxHashMap::default();
+    let mut typed_nodes: FxHashSet<u32> = FxHashSet::default();
+    let mut n_literals = 0usize;
+    for (s, p, o) in store.iter() {
+        if Some(p) == rdf_type {
+            *nodes_per_type.entry(term_name(store, o)).or_default() += 1;
+            typed_nodes.insert(s.0);
+        } else {
+            *triples_per_predicate.entry(term_name(store, p)).or_default() += 1;
+        }
+        if store.resolve(o).is_literal() {
+            n_literals += 1;
+        }
+    }
+    KgStats {
+        n_triples: store.len(),
+        n_edge_types: triples_per_predicate.len(),
+        n_node_types: nodes_per_type.len(),
+        n_typed_nodes: typed_nodes.len(),
+        nodes_per_type,
+        triples_per_predicate,
+        n_literal_triples: n_literals,
+    }
+}
+
+fn term_name(store: &RdfStore, id: kgnet_rdf::TermId) -> String {
+    match store.resolve(id) {
+        Term::Iri(i) => i.clone(),
+        other => other.to_string(),
+    }
+}
+
+impl KgStats {
+    /// Instances of one node type.
+    pub fn nodes_of_type(&self, type_iri: &str) -> usize {
+        self.nodes_per_type.get(type_iri).copied().unwrap_or(0)
+    }
+
+    /// Render a Table-I-style block.
+    pub fn to_table(&self, kg_name: &str) -> String {
+        format!(
+            "Knowledge Graph   {kg_name}\n\
+             #Triples          {}\n\
+             #Edge Types       {}\n\
+             #Node Types       {}\n\
+             #Typed Nodes      {}\n\
+             #Literal triples  {}\n",
+            self.n_triples,
+            self.n_edge_types,
+            self.n_node_types,
+            self.n_typed_nodes,
+            self.n_literal_triples,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgnet_rdf::execute;
+
+    #[test]
+    fn stats_count_types_and_predicates() {
+        let mut st = RdfStore::new();
+        execute(
+            &mut st,
+            r#"PREFIX x: <http://x/>
+            INSERT DATA {
+              x:a a x:T1 . x:b a x:T1 . x:c a x:T2 .
+              x:a x:p x:b . x:a x:q x:c . x:b x:p x:c .
+              x:a x:label "A" .
+            }"#,
+        )
+        .unwrap();
+        let s = kg_stats(&st);
+        assert_eq!(s.n_triples, 7);
+        assert_eq!(s.n_node_types, 2);
+        assert_eq!(s.n_edge_types, 3); // p, q, label
+        assert_eq!(s.n_typed_nodes, 3);
+        assert_eq!(s.nodes_of_type("http://x/T1"), 2);
+        assert_eq!(s.n_literal_triples, 1);
+        assert!(s.to_table("toy").contains("#Triples"));
+    }
+}

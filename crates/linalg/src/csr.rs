@@ -1,0 +1,267 @@
+//! Compressed sparse row matrices.
+//!
+//! This is the `TORCH.SPARSE` stand-in from Fig. 6 of the paper: the data
+//! transformer converts the task-specific subgraph into CSR adjacency
+//! matrices, and every GNN method consumes them through [`CsrMatrix::spmm`].
+
+use crate::matrix::Matrix;
+use crate::memtrack;
+
+/// An immutable CSR sparse matrix of `f32` values.
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from COO entries `(row, col, value)`. Duplicate coordinates are
+    /// summed. Entries outside the given shape panic.
+    pub fn from_coo(n_rows: usize, n_cols: usize, mut entries: Vec<(u32, u32, f32)>) -> Self {
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = vec![0usize; n_rows + 1];
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values: Vec<f32> = Vec::with_capacity(entries.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for &(r, c, v) in &entries {
+            assert!((r as usize) < n_rows, "row {r} out of bounds ({n_rows})");
+            assert!((c as usize) < n_cols, "col {c} out of bounds ({n_cols})");
+            if prev == Some((r, c)) {
+                *values.last_mut().expect("merge target exists") += v;
+            } else {
+                indices.push(c);
+                values.push(v);
+                indptr[r as usize + 1] += 1;
+                prev = Some((r, c));
+            }
+        }
+        for i in 0..n_rows {
+            indptr[i + 1] += indptr[i];
+        }
+        let nbytes = indptr.capacity() * 8 + indices.capacity() * 4 + values.capacity() * 4;
+        memtrack::charge(nbytes);
+        CsrMatrix { n_rows, n_cols, indptr, indices, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices and values of a row.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let start = self.indptr[r];
+        let end = self.indptr[r + 1];
+        (&self.indices[start..end], &self.values[start..end])
+    }
+
+    /// Out-degree (stored entries) of a row.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Sparse-dense product: `self @ dense`.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.n_cols, dense.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.n_rows, dense.cols());
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            let out_row = out.row_mut(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let d_row = dense.row(c as usize);
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy (used to backpropagate through `spmm`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                entries.push((c, r as u32, v));
+            }
+        }
+        CsrMatrix::from_coo(self.n_cols, self.n_rows, entries)
+    }
+
+    /// Dense copy (tests / tiny matrices only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.set(r, c as usize, out.get(r, c as usize) + v);
+            }
+        }
+        out
+    }
+
+    /// Symmetrically normalised adjacency with self-loops:
+    /// `D^{-1/2} (A + I) D^{-1/2}` over an unweighted edge list. This is the
+    /// standard GCN propagation operator.
+    pub fn gcn_norm(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {
+        let mut deg = vec![1.0f32; n]; // self loop contributes 1
+        for &(s, d) in edges {
+            deg[s as usize] += 1.0;
+            deg[d as usize] += 1.0;
+        }
+        let inv_sqrt: Vec<f32> = deg.iter().map(|&d| 1.0 / d.sqrt()).collect();
+        let mut entries = Vec::with_capacity(edges.len() * 2 + n);
+        for &(s, d) in edges {
+            let w = inv_sqrt[s as usize] * inv_sqrt[d as usize];
+            entries.push((s, d, w));
+            entries.push((d, s, w));
+        }
+        for (i, &inv) in inv_sqrt.iter().enumerate() {
+            entries.push((i as u32, i as u32, inv * inv));
+        }
+        CsrMatrix::from_coo(n, n, entries)
+    }
+
+    /// Row-normalised adjacency `D^{-1} A` over a directed edge list, with
+    /// self-loops added to rows of out-degree zero so no node loses its
+    /// representation. Used per relation by RGCN.
+    pub fn row_norm(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {
+        let mut deg = vec![0u32; n];
+        for &(s, _) in edges {
+            deg[s as usize] += 1;
+        }
+        let mut entries = Vec::with_capacity(edges.len());
+        for &(s, d) in edges {
+            entries.push((s, d, 1.0 / deg[s as usize] as f32));
+        }
+        CsrMatrix::from_coo(n, n, entries)
+    }
+
+    /// Extract the given rows into a compact `rows.len() x n_cols` matrix
+    /// (used to restrict per-relation propagation to active sources).
+    pub fn select_rows(&self, rows: &[u32]) -> CsrMatrix {
+        let mut entries = Vec::new();
+        for (new_r, &r) in rows.iter().enumerate() {
+            let (cols, vals) = self.row(r as usize);
+            for (&c, &v) in cols.iter().zip(vals) {
+                entries.push((new_r as u32, c, v));
+            }
+        }
+        CsrMatrix::from_coo(rows.len(), self.n_cols, entries)
+    }
+
+    /// Rows with at least one stored entry.
+    pub fn active_rows(&self) -> Vec<u32> {
+        (0..self.n_rows as u32).filter(|&r| self.row_nnz(r as usize) > 0).collect()
+    }
+
+    /// Logical bytes charged to memtrack.
+    pub fn nbytes(&self) -> usize {
+        self.indptr.capacity() * 8 + self.indices.capacity() * 4 + self.values.capacity() * 4
+    }
+
+    /// Iterate all stored entries as `(row, col, value)`.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.n_rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r as u32, c, v))
+        })
+    }
+}
+
+impl Drop for CsrMatrix {
+    fn drop(&mut self) {
+        let nbytes =
+            self.indptr.capacity() * 8 + self.indices.capacity() * 4 + self.values.capacity() * 4;
+        memtrack::discharge(nbytes);
+    }
+}
+
+impl std::fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CsrMatrix({}x{}, nnz={})", self.n_rows, self.n_cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coo_sorts_and_sums_duplicates() {
+        let m = CsrMatrix::from_coo(2, 3, vec![(1, 2, 1.0), (0, 1, 2.0), (1, 2, 3.0)]);
+        assert_eq!(m.nnz(), 2);
+        let (cols, vals) = m.row(1);
+        assert_eq!(cols, &[2]);
+        assert_eq!(vals, &[4.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = CsrMatrix::from_coo(3, 3, vec![(0, 1, 2.0), (1, 0, 1.0), (2, 2, 3.0)]);
+        let x = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        let sparse = m.spmm(&x);
+        let dense = m.to_dense().matmul(&x);
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_coo(3, 4, vec![(0, 3, 1.0), (2, 1, 5.0), (1, 0, -2.0)]);
+        let tt = m.transpose().transpose();
+        assert_eq!(m.to_dense(), tt.to_dense());
+    }
+
+    #[test]
+    fn gcn_norm_rows_reference_values() {
+        // Path graph 0-1: deg+selfloop = [2,2]; entries 1/sqrt(2*2)=0.5.
+        let a = CsrMatrix::gcn_norm(2, &[(0, 1)]);
+        let d = a.to_dense();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((d.get(r, c) - 0.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one() {
+        let a = CsrMatrix::row_norm(3, &[(0, 1), (0, 2), (1, 2)]);
+        let d = a.to_dense();
+        let row0: f32 = (0..3).map(|c| d.get(0, c)).sum();
+        let row1: f32 = (0..3).map(|c| d.get(1, c)).sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        assert!((row1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memtrack_charged_and_released() {
+        // Other tests allocate concurrently, so retry until a quiet window.
+        let ok = (0..50).any(|_| {
+            let before = crate::memtrack::live_bytes();
+            let m = CsrMatrix::from_coo(10, 10, vec![(0, 0, 1.0), (5, 5, 1.0)]);
+            let charged = crate::memtrack::live_bytes() >= before + m.nbytes() - 16;
+            drop(m);
+            charged && crate::memtrack::live_bytes() == before
+        });
+        assert!(ok, "memtrack never observed a balanced charge/discharge");
+    }
+}

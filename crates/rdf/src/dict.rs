@@ -1,0 +1,109 @@
+//! Term dictionary: interns [`Term`]s into dense `u32` identifiers.
+//!
+//! Every triple in the store is a compact `[TermId; 3]`, which keeps the
+//! indexes small and makes joins integer comparisons — the same design used
+//! by production RDF engines (Virtuoso's IRI_ID, oxigraph's encoded terms).
+
+use rustc_hash::FxHashMap;
+
+use crate::term::Term;
+
+/// A dense identifier for an interned [`Term`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// Bidirectional term <-> id mapping.
+#[derive(Default)]
+pub struct TermDict {
+    by_term: FxHashMap<Term, TermId>,
+    by_id: Vec<Term>,
+}
+
+impl TermDict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.by_term.get(&term) {
+            return id;
+        }
+        let id = TermId(self.by_id.len() as u32);
+        self.by_id.push(term.clone());
+        self.by_term.insert(term, id);
+        id
+    }
+
+    /// Look up an existing term without interning.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Resolve an id back to its term. Panics on a foreign id.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.by_id[id.0 as usize]
+    }
+
+    /// Resolve an id if it belongs to this dictionary.
+    pub fn try_resolve(&self, id: TermId) -> Option<&Term> {
+        self.by_id.get(id.0 as usize)
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate all `(id, term)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.by_id.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = TermDict::new();
+        let a = d.intern(Term::iri("http://x/a"));
+        let b = d.intern(Term::iri("http://x/a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut d = TermDict::new();
+        let a = d.intern(Term::iri("http://x/a"));
+        let b = d.intern(Term::str("http://x/a")); // same text, different kind
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut d = TermDict::new();
+        let terms = [Term::iri("i"), Term::str("s"), Term::int(4), Term::blank("b")];
+        for t in &terms {
+            let id = d.intern(t.clone());
+            assert_eq!(d.resolve(id), t);
+            assert_eq!(d.get(t), Some(id));
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let d = TermDict::new();
+        assert_eq!(d.get(&Term::iri("missing")), None);
+        assert!(d.is_empty());
+    }
+}

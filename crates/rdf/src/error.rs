@@ -1,0 +1,51 @@
+//! Error types for the RDF/SPARQL engine.
+
+use std::fmt;
+
+/// Errors raised while parsing or evaluating SPARQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset in the query string.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Grammar error.
+    Parse {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Evaluation-time error (unbound variable in a template, bad filter...).
+    Eval {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl SparqlError {
+    /// Build a parse error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        SparqlError::Parse { message: message.into() }
+    }
+
+    /// Build an evaluation error.
+    pub fn eval(message: impl Into<String>) -> Self {
+        SparqlError::Eval { message: message.into() }
+    }
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { position, message } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            SparqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SparqlError::Eval { message } => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}

@@ -1,0 +1,211 @@
+//! N-Triples parsing: the bulk-load format for real KG dumps (DBLP and
+//! YAGO4 are published as N-Triples; this is how a user would load them
+//! into the platform).
+
+use crate::error::SparqlError;
+use crate::store::RdfStore;
+use crate::term::{unescape_literal, Term};
+
+/// Parse one N-Triples document into a new store.
+pub fn parse_ntriples(text: &str) -> Result<RdfStore, SparqlError> {
+    let mut store = RdfStore::new();
+    load_ntriples(&mut store, text)?;
+    Ok(store)
+}
+
+/// Load N-Triples lines into an existing store. Returns the number of
+/// triples added (duplicates and comment/blank lines are skipped).
+pub fn load_ntriples(store: &mut RdfStore, text: &str) -> Result<usize, SparqlError> {
+    let mut added = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (s, p, o) = parse_line(line)
+            .map_err(|message| SparqlError::Lex { position: lineno, message })?;
+        if store.insert(s, p, o) {
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+fn parse_line(line: &str) -> Result<(Term, Term, Term), String> {
+    let mut cursor = Cursor { bytes: line.as_bytes(), text: line, pos: 0 };
+    let s = cursor.term()?;
+    cursor.skip_ws();
+    let p = cursor.term()?;
+    cursor.skip_ws();
+    let o = cursor.term()?;
+    cursor.skip_ws();
+    if cursor.peek() != Some(b'.') {
+        return Err("missing terminating '.'".into());
+    }
+    cursor.pos += 1;
+    cursor.skip_ws();
+    if cursor.pos != line.len() {
+        return Err("trailing content after '.'".into());
+    }
+    Ok((s, p, o))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => {
+                let start = self.pos + 1;
+                let end = self.text[start..]
+                    .find('>')
+                    .map(|i| start + i)
+                    .ok_or("unterminated IRI")?;
+                self.pos = end + 1;
+                Ok(Term::iri(&self.text[start..end]))
+            }
+            Some(b'_') => {
+                if self.bytes.get(self.pos + 1) != Some(&b':') {
+                    return Err("expected '_:' blank node".into());
+                }
+                let start = self.pos + 2;
+                let mut end = start;
+                while end < self.bytes.len()
+                    && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                self.pos = end;
+                Ok(Term::blank(&self.text[start..end]))
+            }
+            Some(b'"') => {
+                let start = self.pos + 1;
+                let mut i = start;
+                while i < self.bytes.len() {
+                    match self.bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => break,
+                        _ => i += 1,
+                    }
+                }
+                if i >= self.bytes.len() {
+                    return Err("unterminated literal".into());
+                }
+                let lexical = unescape_literal(&self.text[start..i]);
+                self.pos = i + 1;
+                // Optional datatype / language tag.
+                let mut datatype = None;
+                let mut lang = None;
+                if self.peek() == Some(b'^') && self.bytes.get(self.pos + 1) == Some(&b'^') {
+                    self.pos += 2;
+                    if self.peek() != Some(b'<') {
+                        return Err("expected datatype IRI".into());
+                    }
+                    let dstart = self.pos + 1;
+                    let dend = self.text[dstart..]
+                        .find('>')
+                        .map(|i| dstart + i)
+                        .ok_or("unterminated datatype IRI")?;
+                    datatype = Some(self.text[dstart..dend].to_owned());
+                    self.pos = dend + 1;
+                } else if self.peek() == Some(b'@') {
+                    let lstart = self.pos + 1;
+                    let mut lend = lstart;
+                    while lend < self.bytes.len()
+                        && (self.bytes[lend].is_ascii_alphanumeric() || self.bytes[lend] == b'-')
+                    {
+                        lend += 1;
+                    }
+                    lang = Some(self.text[lstart..lend].to_owned());
+                    self.pos = lend;
+                }
+                Ok(Term::Literal { lexical, datatype, lang })
+            }
+            other => Err(format!("unexpected term start: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_document() {
+        let doc = "\
+            # a comment\n\
+            <http://x/a> <http://x/p> <http://x/b> .\n\
+            \n\
+            <http://x/a> <http://x/name> \"Ada\" .\n\
+            <http://x/a> <http://x/age> \"36\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+            <http://x/a> <http://x/bio> \"salut\"@fr .\n\
+            _:b0 <http://x/p> <http://x/a> .\n";
+        let store = parse_ntriples(doc).unwrap();
+        assert_eq!(store.len(), 5);
+        assert!(store.contains(
+            &Term::iri("http://x/a"),
+            &Term::iri("http://x/age"),
+            &Term::int(36)
+        ));
+        assert!(store.contains(
+            &Term::iri("http://x/a"),
+            &Term::iri("http://x/bio"),
+            &Term::Literal { lexical: "salut".into(), datatype: None, lang: Some("fr".into()) }
+        ));
+    }
+
+    #[test]
+    fn escaped_quotes_in_literals() {
+        let doc = r#"<http://x/a> <http://x/q> "say \"hi\"\n" ."#;
+        let store = parse_ntriples(doc).unwrap();
+        let (_, _, o) = store.iter().next().unwrap();
+        assert_eq!(store.resolve(o).as_literal(), Some("say \"hi\"\n"));
+    }
+
+    #[test]
+    fn roundtrips_store_serialisation() {
+        let mut original = RdfStore::new();
+        original.insert(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::str("line1\nline2"));
+        original.insert(Term::iri("http://x/s"), Term::iri("http://x/q"), Term::int(-5));
+        original.insert(Term::blank("n1"), Term::iri("http://x/p"), Term::iri("http://x/s"));
+        let text = original.to_ntriples();
+        let restored = parse_ntriples(&text).unwrap();
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.to_ntriples(), text);
+    }
+
+    #[test]
+    fn bad_lines_error_with_line_number() {
+        match parse_ntriples("<http://x/a> <http://x/p>\n") {
+            Err(SparqlError::Lex { position, .. }) => assert_eq!(position, 0),
+            Err(other) => panic!("unexpected {other:?}"),
+            Ok(_) => panic!("expected a parse error"),
+        }
+        assert!(parse_ntriples("<http://x/a> <http://x/p> <http://x/b>").is_err());
+        assert!(parse_ntriples("<http://x/a> <http://x/p> \"open .").is_err());
+    }
+
+    #[test]
+    fn duplicates_are_counted_once() {
+        let mut store = RdfStore::new();
+        let doc = "<http://x/a> <http://x/p> <http://x/b> .\n\
+                   <http://x/a> <http://x/p> <http://x/b> .\n";
+        let added = load_ntriples(&mut store, doc).unwrap();
+        assert_eq!(added, 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Abstract syntax for the supported SPARQL subset.
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// Subject/predicate/object position in a triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermPattern {
+    /// A variable, stored without the leading `?`.
+    Var(String),
+    /// A ground term.
+    Ground(Term),
+}
+
+impl TermPattern {
+    /// Variable name, when this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Ground(_) => None,
+        }
+    }
+
+    /// Ground term, when bound.
+    pub fn as_ground(&self) -> Option<&Term> {
+        match self {
+            TermPattern::Var(_) => None,
+            TermPattern::Ground(t) => Some(t),
+        }
+    }
+}
+
+impl fmt::Display for TermPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermPattern::Var(v) => write!(f, "?{v}"),
+            TermPattern::Ground(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: TermPattern,
+    /// Predicate position.
+    pub p: TermPattern,
+    /// Object position.
+    pub o: TermPattern,
+}
+
+impl TriplePattern {
+    /// Convenience constructor.
+    pub fn new(s: TermPattern, p: TermPattern, o: TermPattern) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// Variables mentioned by this pattern, in SPO order.
+    pub fn vars(&self) -> Vec<&str> {
+        [&self.s, &self.p, &self.o].into_iter().filter_map(|t| t.as_var()).collect()
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+/// Filter expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable reference.
+    Var(String),
+    /// Constant term.
+    Const(Term),
+    /// Equality on terms (numeric when both sides are numeric literals).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality.
+    Ne(Box<Expr>, Box<Expr>),
+    /// Numeric/string less-than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Numeric/string less-or-equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Numeric/string greater-than.
+    Gt(Box<Expr>, Box<Expr>),
+    /// Numeric/string greater-or-equal.
+    Ge(Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `BOUND(?v)`.
+    Bound(String),
+    /// `CONTAINS(?v, "substring")` over the lexical/IRI text.
+    Contains(Box<Expr>, String),
+}
+
+impl Expr {
+    /// All variables referenced by the expression.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Const(_) => {}
+            Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Ge(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Expr::Not(a) | Expr::Contains(a, _) => a.vars(out),
+            Expr::Bound(v) => out.push(v.clone()),
+        }
+    }
+}
+
+/// An aggregate in the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    CountAll,
+    /// `COUNT(?v)` / `COUNT(DISTINCT ?v)`.
+    CountVar {
+        /// The counted variable.
+        var: String,
+        /// Whether DISTINCT applies.
+        distinct: bool,
+    },
+}
+
+/// One projected column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectionItem {
+    /// Plain variable.
+    Var(String),
+    /// `(<aggregate> AS ?alias)`.
+    Agg {
+        /// The aggregate.
+        agg: Aggregate,
+        /// Output column name (without `?`).
+        alias: String,
+    },
+}
+
+/// The SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`.
+    All,
+    /// An explicit list of columns.
+    Items(Vec<ProjectionItem>),
+}
+
+/// A group graph pattern: conjunctive triples, filters, OPTIONAL blocks and
+/// sub-SELECTs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    /// Required triple patterns.
+    pub triples: Vec<TriplePattern>,
+    /// FILTER constraints.
+    pub filters: Vec<Expr>,
+    /// OPTIONAL blocks (left-joined).
+    pub optionals: Vec<GroupPattern>,
+    /// Nested sub-SELECT queries (joined on shared variables).
+    pub subselects: Vec<SelectQuery>,
+}
+
+impl GroupPattern {
+    /// All variables that can be bound by this pattern.
+    pub fn bindable_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.triples {
+            for v in t.vars() {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.to_owned());
+                }
+            }
+        }
+        for opt in &self.optionals {
+            for v in opt.bindable_vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        for sub in &self.subselects {
+            for v in sub.output_vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Sort direction for ORDER BY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// Whether DISTINCT applies to the projected rows.
+    pub distinct: bool,
+    /// Projected columns.
+    pub projection: Projection,
+    /// The WHERE pattern.
+    pub pattern: GroupPattern,
+    /// ORDER BY clauses (variable, direction).
+    pub order_by: Vec<(String, Order)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// OFFSET.
+    pub offset: Option<usize>,
+}
+
+impl SelectQuery {
+    /// Names of the output columns.
+    pub fn output_vars(&self) -> Vec<String> {
+        match &self.projection {
+            Projection::All => self.pattern.bindable_vars(),
+            Projection::Items(items) => items
+                .iter()
+                .map(|i| match i {
+                    ProjectionItem::Var(v) => v.clone(),
+                    ProjectionItem::Agg { alias, .. } => alias.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An update operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// `INSERT DATA { ground triples }`.
+    InsertData(Vec<TriplePattern>),
+    /// `DELETE DATA { ground triples }`.
+    DeleteData(Vec<TriplePattern>),
+    /// `DELETE {tmpl} INSERT {tmpl} WHERE {pattern}` (either template may be
+    /// empty).
+    Modify {
+        /// Triples to delete per solution.
+        delete: Vec<TriplePattern>,
+        /// Triples to insert per solution.
+        insert: Vec<TriplePattern>,
+        /// The WHERE pattern.
+        pattern: GroupPattern,
+    },
+    /// `DELETE WHERE { pattern }` — pattern doubles as template.
+    DeleteWhere(Vec<TriplePattern>),
+}
+
+/// Any parsed SPARQL operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operation {
+    /// A SELECT query.
+    Select(SelectQuery),
+    /// An update.
+    Update(Update),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_vars_in_order() {
+        let tp = TriplePattern::new(
+            TermPattern::Var("s".into()),
+            TermPattern::Ground(Term::iri("p")),
+            TermPattern::Var("o".into()),
+        );
+        assert_eq!(tp.vars(), vec!["s", "o"]);
+    }
+
+    #[test]
+    fn group_bindable_vars_deduplicated() {
+        let tp1 = TriplePattern::new(
+            TermPattern::Var("a".into()),
+            TermPattern::Var("p".into()),
+            TermPattern::Var("b".into()),
+        );
+        let tp2 = TriplePattern::new(
+            TermPattern::Var("b".into()),
+            TermPattern::Ground(Term::iri("q")),
+            TermPattern::Var("c".into()),
+        );
+        let g = GroupPattern { triples: vec![tp1, tp2], ..Default::default() };
+        assert_eq!(g.bindable_vars(), vec!["a", "p", "b", "c"]);
+    }
+
+    #[test]
+    fn expr_vars_collects_all() {
+        let e = Expr::And(
+            Box::new(Expr::Gt(Box::new(Expr::Var("x".into())), Box::new(Expr::Const(Term::int(3))))),
+            Box::new(Expr::Bound("y".into())),
+        );
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert_eq!(vars, vec!["x", "y"]);
+    }
+}

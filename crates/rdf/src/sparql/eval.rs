@@ -1,0 +1,955 @@
+//! Evaluation of the SPARQL subset against an [`RdfStore`].
+//!
+//! Basic graph patterns are evaluated with index nested-loop joins; the
+//! pattern order is chosen greedily by boundness and index cardinality
+//! estimates (the classic heuristic of SPARQL engines). Filters are applied
+//! as soon as their variables are bound; OPTIONAL blocks are left-joined and
+//! sub-SELECTs are hash-joined on shared variables.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::dict::TermId;
+use crate::error::SparqlError;
+use crate::sparql::ast::*;
+use crate::store::RdfStore;
+use crate::term::Term;
+
+/// A materialised query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (without `?`).
+    pub vars: Vec<String>,
+    /// Rows; `None` marks an unbound variable.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl QueryResult {
+    /// Index of a column by variable name.
+    pub fn column(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// Iterate the values of one column.
+    pub fn column_values<'a>(&'a self, var: &str) -> impl Iterator<Item = Option<&'a Term>> + 'a {
+        let idx = self.column(var);
+        self.rows.iter().map(move |row| idx.and_then(|i| row[i].as_ref()))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a simple aligned text table (for examples/demos).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.vars.iter().map(|v| v.len() + 1).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let s = t.as_ref().map_or(String::new(), |t| t.to_string());
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            out.push_str(&format!("{:w$}  ", format!("?{v}"), w = widths[i]));
+        }
+        out.push('\n');
+        for row in rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Counts produced by an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Triples inserted (that were not already present).
+    pub inserted: usize,
+    /// Triples deleted (that were present).
+    pub deleted: usize,
+}
+
+/// Outcome of [`execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A SELECT result.
+    Rows(QueryResult),
+    /// An update summary.
+    Updated(UpdateStats),
+}
+
+/// Parse and run one operation against the store.
+pub fn execute(store: &mut RdfStore, text: &str) -> Result<ExecOutcome, SparqlError> {
+    match crate::sparql::parser::parse(text)? {
+        Operation::Select(q) => Ok(ExecOutcome::Rows(evaluate_select(store, &q)?)),
+        Operation::Update(u) => Ok(ExecOutcome::Updated(execute_update(store, &u)?)),
+    }
+}
+
+/// Parse and run a SELECT query.
+pub fn query(store: &RdfStore, text: &str) -> Result<QueryResult, SparqlError> {
+    let q = crate::sparql::parser::parse_select(text)?;
+    evaluate_select(store, &q)
+}
+
+// ---------------------------------------------------------------------------
+// Variable table and bindings
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct VarTable {
+    names: Vec<String>,
+    index: FxHashMap<String, usize>,
+}
+
+impl VarTable {
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    fn get(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+}
+
+type Binding = Vec<Option<TermId>>;
+
+// ---------------------------------------------------------------------------
+// SELECT evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluate a parsed SELECT query.
+pub fn evaluate_select(store: &RdfStore, q: &SelectQuery) -> Result<QueryResult, SparqlError> {
+    let mut vars = VarTable::default();
+    collect_vars(&q.pattern, &mut vars);
+    if let Projection::Items(items) = &q.projection {
+        for item in items {
+            match item {
+                ProjectionItem::Var(v) => {
+                    vars.slot(v);
+                }
+                ProjectionItem::Agg { alias, .. } => {
+                    vars.slot(alias);
+                }
+            }
+        }
+    }
+    let bindings = eval_group(store, &q.pattern, &mut vars)?;
+
+    // Projection (with aggregates).
+    let out_vars = q.output_vars();
+    let mut rows: Vec<Vec<Option<TermId>>> = Vec::new();
+    let mut agg_rows: Vec<Vec<Option<Term>>> = Vec::new();
+    let has_agg = matches!(&q.projection, Projection::Items(items)
+        if items.iter().any(|i| matches!(i, ProjectionItem::Agg { .. })));
+    if has_agg {
+        let Projection::Items(items) = &q.projection else { unreachable!() };
+        let mut row = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                ProjectionItem::Var(v) => {
+                    // A non-aggregated var alongside aggregates: take the
+                    // first binding (we do not support GROUP BY).
+                    let slot = vars.get(v);
+                    let val = bindings
+                        .first()
+                        .and_then(|b| slot.and_then(|s| b[s]))
+                        .map(|id| store.resolve(id).clone());
+                    row.push(val);
+                }
+                ProjectionItem::Agg { agg, .. } => {
+                    let count = match agg {
+                        Aggregate::CountAll => bindings.len(),
+                        Aggregate::CountVar { var, distinct } => {
+                            let slot = vars.get(var);
+                            match slot {
+                                None => 0,
+                                Some(s) => {
+                                    if *distinct {
+                                        bindings
+                                            .iter()
+                                            .filter_map(|b| b[s])
+                                            .collect::<FxHashSet<_>>()
+                                            .len()
+                                    } else {
+                                        bindings.iter().filter(|b| b[s].is_some()).count()
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    row.push(Some(Term::int(count as i64)));
+                }
+            }
+        }
+        agg_rows.push(row);
+    } else {
+        let slots: Vec<Option<usize>> = out_vars.iter().map(|v| vars.get(v)).collect();
+        rows.reserve(bindings.len());
+        for b in &bindings {
+            rows.push(slots.iter().map(|s| s.and_then(|i| b[i])).collect());
+        }
+        if q.distinct {
+            let mut seen = FxHashSet::default();
+            rows.retain(|row| seen.insert(row.iter().map(|o| o.map(|t| t.0)).collect::<Vec<_>>()));
+        }
+    }
+
+    // Materialise terms.
+    let mut out_rows: Vec<Vec<Option<Term>>> = if has_agg {
+        agg_rows
+    } else {
+        rows.into_iter()
+            .map(|row| row.into_iter().map(|id| id.map(|i| store.resolve(i).clone())).collect())
+            .collect()
+    };
+
+    // ORDER BY.
+    if !q.order_by.is_empty() {
+        let keys: Vec<(usize, Order)> = q
+            .order_by
+            .iter()
+            .filter_map(|(v, ord)| out_vars.iter().position(|x| x == v).map(|i| (i, *ord)))
+            .collect();
+        out_rows.sort_by(|a, b| {
+            for &(i, ord) in &keys {
+                let c = cmp_terms(a[i].as_ref(), b[i].as_ref());
+                let c = if ord == Order::Desc { c.reverse() } else { c };
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // OFFSET / LIMIT.
+    let offset = q.offset.unwrap_or(0);
+    if offset > 0 {
+        out_rows.drain(..offset.min(out_rows.len()));
+    }
+    if let Some(limit) = q.limit {
+        out_rows.truncate(limit);
+    }
+
+    Ok(QueryResult { vars: out_vars, rows: out_rows })
+}
+
+/// Total order over optional terms used by ORDER BY: unbound < numeric <
+/// everything else by display string.
+fn cmp_terms(a: Option<&Term>, b: Option<&Term>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => match (x.numeric(), y.numeric()) {
+            (Some(nx), Some(ny)) => nx.partial_cmp(&ny).unwrap_or(Ordering::Equal),
+            _ => x.to_string().cmp(&y.to_string()),
+        },
+    }
+}
+
+fn collect_vars(group: &GroupPattern, vars: &mut VarTable) {
+    for t in &group.triples {
+        for v in t.vars() {
+            vars.slot(v);
+        }
+    }
+    for f in &group.filters {
+        let mut names = Vec::new();
+        f.vars(&mut names);
+        for v in names {
+            vars.slot(&v);
+        }
+    }
+    for opt in &group.optionals {
+        collect_vars(opt, vars);
+    }
+    for sub in &group.subselects {
+        for v in sub.output_vars() {
+            vars.slot(&v);
+        }
+    }
+}
+
+fn eval_group(
+    store: &RdfStore,
+    group: &GroupPattern,
+    vars: &mut VarTable,
+) -> Result<Vec<Binding>, SparqlError> {
+    let width = vars.names.len();
+    let mut bindings: Vec<Binding> = vec![vec![None; width]];
+
+    // Order patterns greedily: prefer more bound slots, then lower estimate.
+    let mut remaining: Vec<&TriplePattern> = group.triples.iter().collect();
+    let mut bound_vars: FxHashSet<usize> = FxHashSet::default();
+    let mut ordered: Vec<&TriplePattern> = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, tp)| {
+                let score = pattern_score(store, tp, vars, &bound_vars);
+                (i, score)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("remaining is non-empty");
+        let tp = remaining.swap_remove(best_idx);
+        for v in tp.vars() {
+            if let Some(s) = vars.get(v) {
+                bound_vars.insert(s);
+            }
+        }
+        ordered.push(tp);
+    }
+
+    // Pending filters evaluated as soon as their vars are bound.
+    let mut pending: Vec<(&Expr, FxHashSet<usize>)> = group
+        .filters
+        .iter()
+        .map(|f| {
+            let mut names = Vec::new();
+            f.vars(&mut names);
+            let slots = names.iter().filter_map(|v| vars.get(v)).collect();
+            (f, slots)
+        })
+        .collect();
+
+    let mut currently_bound: FxHashSet<usize> = FxHashSet::default();
+    for tp in ordered {
+        bindings = extend_with_pattern(store, &bindings, tp, vars)?;
+        for v in tp.vars() {
+            if let Some(s) = vars.get(v) {
+                currently_bound.insert(s);
+            }
+        }
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].1.iter().all(|s| currently_bound.contains(s)) {
+                let (f, _) = pending.swap_remove(i);
+                bindings.retain(|b| eval_expr(store, f, b, vars));
+            } else {
+                i += 1;
+            }
+        }
+        if bindings.is_empty() {
+            break;
+        }
+    }
+
+    // Sub-selects: hash-join on shared vars.
+    for sub in &group.subselects {
+        let sub_result = evaluate_select(store, sub)?;
+        bindings = join_subselect(store, bindings, &sub_result, vars);
+        if bindings.is_empty() {
+            break;
+        }
+    }
+
+    // Optionals: left join.
+    for opt in &group.optionals {
+        let mut next = Vec::with_capacity(bindings.len());
+        for b in &bindings {
+            let seeded = eval_group_seeded(store, opt, vars, b)?;
+            if seeded.is_empty() {
+                next.push(b.clone());
+            } else {
+                next.extend(seeded);
+            }
+        }
+        bindings = next;
+    }
+
+    // Remaining filters (e.g. over optional/subselect vars).
+    for (f, _) in pending {
+        bindings.retain(|b| eval_expr(store, f, b, vars));
+    }
+
+    Ok(bindings)
+}
+
+/// Evaluate a group starting from an existing binding (used by OPTIONAL).
+fn eval_group_seeded(
+    store: &RdfStore,
+    group: &GroupPattern,
+    vars: &mut VarTable,
+    seed: &Binding,
+) -> Result<Vec<Binding>, SparqlError> {
+    let mut bindings = vec![seed.clone()];
+    for tp in &group.triples {
+        bindings = extend_with_pattern(store, &bindings, tp, vars)?;
+        if bindings.is_empty() {
+            return Ok(vec![]);
+        }
+    }
+    for f in &group.filters {
+        bindings.retain(|b| eval_expr(store, f, b, vars));
+    }
+    for opt in &group.optionals {
+        let mut next = Vec::with_capacity(bindings.len());
+        for b in &bindings {
+            let seeded = eval_group_seeded(store, opt, vars, b)?;
+            if seeded.is_empty() {
+                next.push(b.clone());
+            } else {
+                next.extend(seeded);
+            }
+        }
+        bindings = next;
+    }
+    Ok(bindings)
+}
+
+/// Cost proxy for pattern ordering: store-estimated matches assuming
+/// already-bound variables behave like constants (divide by a nominal
+/// fan-out).
+fn pattern_score(
+    store: &RdfStore,
+    tp: &TriplePattern,
+    vars: &VarTable,
+    bound: &FxHashSet<usize>,
+) -> f64 {
+    let ground = |t: &TermPattern| -> Option<Option<TermId>> {
+        match t {
+            TermPattern::Ground(term) => Some(store.lookup(term)),
+            TermPattern::Var(_) => None,
+        }
+    };
+    let slot = |t: &TermPattern| -> Option<TermId> {
+        match ground(t) {
+            Some(Some(id)) => Some(id),
+            _ => None,
+        }
+    };
+    let s = slot(&tp.s);
+    let p = slot(&tp.p);
+    let o = slot(&tp.o);
+    // A ground term missing from the dictionary means zero matches.
+    for t in [&tp.s, &tp.p, &tp.o] {
+        if let Some(None) = ground(t) {
+            return 0.0;
+        }
+    }
+    let mut est = store.count(s, p, o) as f64;
+    for t in [&tp.s, &tp.p, &tp.o] {
+        if let TermPattern::Var(v) = t {
+            if vars.get(v).is_some_and(|sl| bound.contains(&sl)) {
+                // A bound variable narrows the scan roughly like a constant.
+                est /= 16.0;
+            }
+        }
+    }
+    est
+}
+
+fn extend_with_pattern(
+    store: &RdfStore,
+    bindings: &[Binding],
+    tp: &TriplePattern,
+    vars: &mut VarTable,
+) -> Result<Vec<Binding>, SparqlError> {
+    let slot_of = |t: &TermPattern, vars: &mut VarTable| -> Result<Result<usize, TermId>, ()> {
+        match t {
+            TermPattern::Var(v) => Ok(Ok(vars.slot(v))),
+            TermPattern::Ground(term) => match store.lookup(term) {
+                Some(id) => Ok(Err(id)),
+                None => Err(()),
+            },
+        }
+    };
+    let (s_slot, p_slot, o_slot) =
+        match (slot_of(&tp.s, vars), slot_of(&tp.p, vars), slot_of(&tp.o, vars)) {
+            (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+            // A ground term not in the dictionary matches nothing.
+            _ => return Ok(vec![]),
+        };
+
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    for b in bindings {
+        let resolve = |slot: &Result<usize, TermId>, b: &Binding| -> Option<TermId> {
+            match slot {
+                Ok(var_slot) => b.get(*var_slot).copied().flatten(),
+                Err(id) => Some(*id),
+            }
+        };
+        let s = resolve(&s_slot, b);
+        let p = resolve(&p_slot, b);
+        let o = resolve(&o_slot, b);
+        scratch.clear();
+        store.scan(s, p, o, &mut scratch);
+        for &(ms, mp, mo) in &scratch {
+            let mut nb = b.clone();
+            let mut ok = true;
+            for (slot, value) in [(&s_slot, ms), (&p_slot, mp), (&o_slot, mo)] {
+                if let Ok(var_slot) = slot {
+                    if *var_slot >= nb.len() {
+                        nb.resize(*var_slot + 1, None);
+                    }
+                    match nb[*var_slot] {
+                        None => nb[*var_slot] = Some(value),
+                        Some(existing) if existing == value => {}
+                        Some(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                out.push(nb);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn join_subselect(
+    store: &RdfStore,
+    bindings: Vec<Binding>,
+    sub: &QueryResult,
+    vars: &mut VarTable,
+) -> Vec<Binding> {
+    // Intern sub-result terms into ids for joining; unknown terms cannot join
+    // on shared vars but still extend when the var is fresh.
+    let sub_slots: Vec<usize> = sub.vars.iter().map(|v| vars.slot(v)).collect();
+    let mut out = Vec::new();
+    for b in &bindings {
+        'rows: for row in &sub.rows {
+            let mut nb = b.clone();
+            if nb.len() < vars.names.len() {
+                nb.resize(vars.names.len(), None);
+            }
+            for (i, term) in row.iter().enumerate() {
+                let slot = sub_slots[i];
+                let id = term.as_ref().and_then(|t| store.lookup(t));
+                match (nb[slot], id) {
+                    (None, v) => nb[slot] = v,
+                    (Some(x), Some(y)) if x == y => {}
+                    (Some(_), _) => continue 'rows,
+                }
+            }
+            out.push(nb);
+        }
+    }
+    out
+}
+
+fn eval_expr(store: &RdfStore, expr: &Expr, b: &Binding, vars: &VarTable) -> bool {
+    eval_expr_term(store, expr, b, vars).is_some_and(|v| v.truthy())
+}
+
+enum Value {
+    Term(Term),
+    Bool(bool),
+    Unbound,
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Term(t) => t.numeric() != Some(0.0),
+            Value::Unbound => false,
+        }
+    }
+}
+
+fn eval_expr_term(store: &RdfStore, expr: &Expr, b: &Binding, vars: &VarTable) -> Option<Value> {
+    match expr {
+        Expr::Var(v) => {
+            let slot = vars.get(v)?;
+            match b.get(slot).copied().flatten() {
+                Some(id) => Some(Value::Term(store.resolve(id).clone())),
+                None => Some(Value::Unbound),
+            }
+        }
+        Expr::Const(t) => Some(Value::Term(t.clone())),
+        Expr::Bound(v) => {
+            let slot = vars.get(v)?;
+            Some(Value::Bool(b.get(slot).copied().flatten().is_some()))
+        }
+        Expr::Not(e) => Some(Value::Bool(!eval_expr(store, e, b, vars))),
+        Expr::And(l, r) => Some(Value::Bool(eval_expr(store, l, b, vars) && eval_expr(store, r, b, vars))),
+        Expr::Or(l, r) => Some(Value::Bool(eval_expr(store, l, b, vars) || eval_expr(store, r, b, vars))),
+        Expr::Contains(e, needle) => {
+            let v = eval_expr_term(store, e, b, vars)?;
+            match v {
+                Value::Term(t) => {
+                    let hay = match &t {
+                        Term::Iri(i) => i.as_str(),
+                        Term::Literal { lexical, .. } => lexical.as_str(),
+                        Term::Blank(l) => l.as_str(),
+                    };
+                    Some(Value::Bool(hay.contains(needle.as_str())))
+                }
+                _ => Some(Value::Bool(false)),
+            }
+        }
+        Expr::Eq(l, r) => compare(store, l, r, b, vars, |o| o == std::cmp::Ordering::Equal),
+        Expr::Ne(l, r) => compare(store, l, r, b, vars, |o| o != std::cmp::Ordering::Equal),
+        Expr::Lt(l, r) => compare(store, l, r, b, vars, |o| o == std::cmp::Ordering::Less),
+        Expr::Le(l, r) => compare(store, l, r, b, vars, |o| o != std::cmp::Ordering::Greater),
+        Expr::Gt(l, r) => compare(store, l, r, b, vars, |o| o == std::cmp::Ordering::Greater),
+        Expr::Ge(l, r) => compare(store, l, r, b, vars, |o| o != std::cmp::Ordering::Less),
+    }
+}
+
+fn compare(
+    store: &RdfStore,
+    l: &Expr,
+    r: &Expr,
+    b: &Binding,
+    vars: &VarTable,
+    pred: impl Fn(std::cmp::Ordering) -> bool,
+) -> Option<Value> {
+    let lv = eval_expr_term(store, l, b, vars)?;
+    let rv = eval_expr_term(store, r, b, vars)?;
+    let (Value::Term(lt), Value::Term(rt)) = (lv, rv) else {
+        return Some(Value::Bool(false));
+    };
+    let ord = match (lt.numeric(), rt.numeric()) {
+        (Some(a), Some(c)) => a.partial_cmp(&c)?,
+        _ => {
+            // Non-numeric: compare literals/IRIs textually; equality must
+            // also respect the term kind.
+            if matches!(l, Expr::Const(_)) || matches!(r, Expr::Const(_)) {
+                // fallthrough to textual comparison
+            }
+            let ls = term_text(&lt);
+            let rs = term_text(&rt);
+            if std::mem::discriminant(&lt) != std::mem::discriminant(&rt) {
+                return Some(Value::Bool(false));
+            }
+            ls.cmp(rs)
+        }
+    };
+    Some(Value::Bool(pred(ord)))
+}
+
+fn term_text(t: &Term) -> &str {
+    match t {
+        Term::Iri(i) => i,
+        Term::Literal { lexical, .. } => lexical,
+        Term::Blank(l) => l,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+/// Execute a parsed update.
+pub fn execute_update(store: &mut RdfStore, update: &Update) -> Result<UpdateStats, SparqlError> {
+    let mut stats = UpdateStats::default();
+    match update {
+        Update::InsertData(triples) => {
+            for tp in triples {
+                let (s, p, o) = ground_triple(tp)?;
+                if store.insert(s, p, o) {
+                    stats.inserted += 1;
+                }
+            }
+        }
+        Update::DeleteData(triples) => {
+            for tp in triples {
+                let (s, p, o) = ground_triple(tp)?;
+                if store.remove(&s, &p, &o) {
+                    stats.deleted += 1;
+                }
+            }
+        }
+        Update::DeleteWhere(triples) => {
+            let pattern =
+                GroupPattern { triples: triples.clone(), ..Default::default() };
+            let modify = Update::Modify { delete: triples.clone(), insert: vec![], pattern };
+            return execute_update(store, &modify);
+        }
+        Update::Modify { delete, insert, pattern } => {
+            let mut vars = VarTable::default();
+            collect_vars(pattern, &mut vars);
+            for tp in delete.iter().chain(insert) {
+                for v in tp.vars() {
+                    vars.slot(v);
+                }
+            }
+            let bindings = eval_group(store, pattern, &mut vars)?;
+            let mut to_delete = Vec::new();
+            let mut to_insert = Vec::new();
+            for b in &bindings {
+                for tp in delete {
+                    if let Some(t) = instantiate(store, tp, b, &vars) {
+                        to_delete.push(t);
+                    }
+                }
+                for tp in insert {
+                    if let Some(t) = instantiate(store, tp, b, &vars) {
+                        to_insert.push(t);
+                    }
+                }
+            }
+            for (s, p, o) in to_delete {
+                if store.remove(&s, &p, &o) {
+                    stats.deleted += 1;
+                }
+            }
+            for (s, p, o) in to_insert {
+                if store.insert(s, p, o) {
+                    stats.inserted += 1;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+fn ground_triple(tp: &TriplePattern) -> Result<(Term, Term, Term), SparqlError> {
+    let get = |t: &TermPattern| -> Result<Term, SparqlError> {
+        t.as_ground()
+            .cloned()
+            .ok_or_else(|| SparqlError::eval("variable in ground data template"))
+    };
+    Ok((get(&tp.s)?, get(&tp.p)?, get(&tp.o)?))
+}
+
+fn instantiate(
+    store: &RdfStore,
+    tp: &TriplePattern,
+    b: &Binding,
+    vars: &VarTable,
+) -> Option<(Term, Term, Term)> {
+    let get = |t: &TermPattern| -> Option<Term> {
+        match t {
+            TermPattern::Ground(term) => Some(term.clone()),
+            TermPattern::Var(v) => {
+                let slot = vars.get(v)?;
+                b.get(slot).copied().flatten().map(|id| store.resolve(id).clone())
+            }
+        }
+    };
+    Some((get(&tp.s)?, get(&tp.p)?, get(&tp.o)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_papers() -> RdfStore {
+        let mut st = RdfStore::new();
+        let run = |st: &mut RdfStore, q: &str| execute(st, q).unwrap();
+        run(
+            &mut st,
+            r#"PREFIX x: <http://x/>
+               INSERT DATA {
+                 x:p1 a x:Publication . x:p1 x:title "P one" . x:p1 x:year 2020 .
+                 x:p2 a x:Publication . x:p2 x:title "P two" . x:p2 x:year 2022 .
+                 x:p3 a x:Publication . x:p3 x:title "P three" . x:p3 x:year 2023 .
+                 x:p1 x:cites x:p2 . x:p2 x:cites x:p3 .
+                 x:a1 a x:Author . x:a1 x:wrote x:p1 . x:a1 x:name "Ada" .
+               }"#,
+        );
+        st
+    }
+
+    #[test]
+    fn bgp_join_two_patterns() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?t WHERE { ?p a x:Publication . ?p x:title ?t }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn filter_numeric() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:year ?y . FILTER(?y > 2021) }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn filter_and_or_not() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:year ?y . FILTER(?y = 2020 || ?y = 2023) }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:year ?y . FILTER(!(?y = 2020)) }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn join_chain_and_shared_vars() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?a ?t WHERE {
+               ?a x:wrote ?p . ?p x:title ?t . ?p x:cites ?q }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][1].as_ref().unwrap().as_literal(), Some("P one"));
+    }
+
+    #[test]
+    fn optional_left_join() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p ?q WHERE {
+               ?p a x:Publication . OPTIONAL { ?p x:cites ?q } } ORDER BY ?p",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+        // p3 cites nothing -> unbound ?q.
+        let unbound = r.rows.iter().filter(|row| row[1].is_none()).count();
+        assert_eq!(unbound, 1);
+    }
+
+    #[test]
+    fn distinct_and_order_limit() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT DISTINCT ?y WHERE { ?p x:year ?y } ORDER BY DESC(?y) LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0].as_ref().unwrap().as_int(), Some(2023));
+    }
+
+    #[test]
+    fn count_aggregates() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT (COUNT(*) AS ?n) WHERE { ?p a x:Publication }",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0].as_ref().unwrap().as_int(), Some(3));
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?p x:cites ?q }",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0].as_ref().unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn subselect_joins_on_shared_vars() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p ?t WHERE {
+               ?p x:title ?t .
+               { SELECT ?p WHERE { ?p x:cites ?q } } }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn contains_filter() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:title ?t . FILTER(CONTAINS(?t, \"two\")) }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn modify_insert_where() {
+        let mut st = store_with_papers();
+        let out = execute(
+            &mut st,
+            "PREFIX x: <http://x/> INSERT { ?p x:flag \"old\" } WHERE { ?p x:year ?y . FILTER(?y < 2022) }",
+        )
+        .unwrap();
+        assert_eq!(out, ExecOutcome::Updated(UpdateStats { inserted: 1, deleted: 0 }));
+    }
+
+    #[test]
+    fn delete_where_removes_matching() {
+        let mut st = store_with_papers();
+        let before = st.len();
+        let out = execute(
+            &mut st,
+            "PREFIX x: <http://x/> DELETE WHERE { x:p1 ?p ?o }",
+        )
+        .unwrap();
+        match out {
+            ExecOutcome::Updated(s) => assert_eq!(s.deleted, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(st.len(), before - 4);
+    }
+
+    #[test]
+    fn unknown_ground_term_yields_empty() {
+        let st = store_with_papers();
+        let r = query(&st, "SELECT ?s WHERE { ?s <http://nope/p> ?o }").unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_when_disjoint() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p ?a WHERE { ?p a x:Publication . ?a a x:Author }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn result_table_rendering() {
+        let st = store_with_papers();
+        let r = query(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?t WHERE { <http://x/p1> x:title ?t }",
+        )
+        .unwrap();
+        let table = r.to_table();
+        assert!(table.contains("?t"));
+        assert!(table.contains("P one"));
+    }
+}

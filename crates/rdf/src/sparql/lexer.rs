@@ -1,0 +1,447 @@
+//! Tokenizer for the SPARQL subset (also reused by the SPARQL-ML parser).
+
+use crate::error::SparqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<iri>`.
+    Iri(String),
+    /// Prefixed name `prefix:local` (prefix may be empty).
+    PName(String, String),
+    /// `?name` or `$name`.
+    Var(String),
+    /// String literal with optional datatype/lang, already unescaped.
+    Literal {
+        /// Lexical form.
+        value: String,
+        /// Datatype: either a full IRI (`Ok`) or a prefixed name (`Err((p, l))`).
+        datatype: Option<Result<String, (String, String)>>,
+        /// Language tag.
+        lang: Option<String>,
+    },
+    /// Integer literal.
+    Integer(i64),
+    /// Decimal/double literal.
+    Double(f64),
+    /// Bare word: keyword or function name (case preserved).
+    Word(String),
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `.`.
+    Dot,
+    /// `;`.
+    Semicolon,
+    /// `,`.
+    Comma,
+    /// `*`.
+    Star,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<` (comparison, not IRI).
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(lex_err(i, "expected '&&'"));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(lex_err(i, "expected '||'"));
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => {
+                // IRI if a '>' appears before any whitespace; else comparison.
+                if let Some(end) = scan_iri_end(bytes, i + 1) {
+                    let iri = input[i + 1..end].to_owned();
+                    out.push(Token::Iri(iri));
+                    i = end + 1;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '?' | '$' => {
+                let start = i + 1;
+                let end = scan_name_end(bytes, start);
+                if end == start {
+                    return Err(lex_err(i, "empty variable name"));
+                }
+                out.push(Token::Var(input[start..end].to_owned()));
+                i = end;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut value = String::new();
+                let mut closed = false;
+                while j < bytes.len() {
+                    let ch = bytes[j] as char;
+                    if ch == '\\' {
+                        match bytes.get(j + 1).map(|&b| b as char) {
+                            Some('n') => value.push('\n'),
+                            Some('r') => value.push('\r'),
+                            Some('t') => value.push('\t'),
+                            Some(other) => value.push(other),
+                            None => return Err(lex_err(j, "dangling escape")),
+                        }
+                        j += 2;
+                    } else if ch == quote {
+                        closed = true;
+                        j += 1;
+                        break;
+                    } else {
+                        // Multi-byte UTF-8: copy the full scalar.
+                        let ch = input[j..].chars().next().expect("in-bounds char");
+                        value.push(ch);
+                        j += ch.len_utf8();
+                    }
+                }
+                if !closed {
+                    return Err(lex_err(i, "unterminated string"));
+                }
+                i = j;
+                let mut datatype = None;
+                let mut lang = None;
+                if bytes.get(i) == Some(&b'^') && bytes.get(i + 1) == Some(&b'^') {
+                    i += 2;
+                    if bytes.get(i) == Some(&b'<') {
+                        let end = scan_iri_end(bytes, i + 1)
+                            .ok_or_else(|| lex_err(i, "unterminated datatype IRI"))?;
+                        datatype = Some(Ok(input[i + 1..end].to_owned()));
+                        i = end + 1;
+                    } else {
+                        let (p, l, end) = scan_pname(input, bytes, i)
+                            .ok_or_else(|| lex_err(i, "expected datatype"))?;
+                        datatype = Some(Err((p, l)));
+                        i = end;
+                    }
+                } else if bytes.get(i) == Some(&b'@') {
+                    let start = i + 1;
+                    let mut end = start;
+                    while end < bytes.len()
+                        && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'-')
+                    {
+                        end += 1;
+                    }
+                    lang = Some(input[start..end].to_owned());
+                    i = end;
+                }
+                out.push(Token::Literal { value, datatype, lang });
+            }
+            '0'..='9' | '-' | '+' => {
+                let start = i;
+                let mut end = i + 1;
+                let mut is_double = false;
+                while end < bytes.len() {
+                    match bytes[end] as char {
+                        '0'..='9' => end += 1,
+                        '.' if !is_double
+                            && end + 1 < bytes.len()
+                            && (bytes[end + 1] as char).is_ascii_digit() =>
+                        {
+                            is_double = true;
+                            end += 1;
+                        }
+                        'e' | 'E' if end + 1 < bytes.len() => {
+                            is_double = true;
+                            end += 1;
+                            if matches!(bytes.get(end), Some(b'+') | Some(b'-')) {
+                                end += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..end];
+                if is_double {
+                    let v = text
+                        .parse()
+                        .map_err(|_| lex_err(start, format!("bad double '{text}'")))?;
+                    out.push(Token::Double(v));
+                } else {
+                    let v = text
+                        .parse()
+                        .map_err(|_| lex_err(start, format!("bad integer '{text}'")))?;
+                    out.push(Token::Integer(v));
+                }
+                i = end;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                if let Some((p, l, end)) = scan_pname(input, bytes, i) {
+                    out.push(Token::PName(p, l));
+                    i = end;
+                } else {
+                    let end = scan_name_end(bytes, i);
+                    out.push(Token::Word(input[i..end].to_owned()));
+                    i = end;
+                }
+            }
+            other => return Err(lex_err(i, format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+fn lex_err(position: usize, message: impl Into<String>) -> SparqlError {
+    SparqlError::Lex { position, message: message.into() }
+}
+
+/// Find the closing `>` of an IRI starting at `start`, rejecting whitespace.
+fn scan_iri_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut j = start;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'>' => return Some(j),
+            b' ' | b'\t' | b'\r' | b'\n' | b'"' | b'{' | b'}' => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+fn is_name_char(b: u8) -> bool {
+    (b as char).is_ascii_alphanumeric() || b == b'_' || b == b'-'
+}
+
+fn scan_name_end(bytes: &[u8], start: usize) -> usize {
+    let mut end = start;
+    while end < bytes.len() && is_name_char(bytes[end]) {
+        end += 1;
+    }
+    end
+}
+
+/// Scan a prefixed name `prefix:local`; returns `(prefix, local, end)`.
+/// Local parts may contain dots followed by a name char (e.g. versions) and
+/// also `/` is excluded — keep it simple: letters, digits, `_`, `-`, `.`
+/// (non-terminal).
+fn scan_pname(input: &str, bytes: &[u8], start: usize) -> Option<(String, String, usize)> {
+    let pfx_end = scan_name_end(bytes, start);
+    if bytes.get(pfx_end) != Some(&b':') {
+        return None;
+    }
+    let local_start = pfx_end + 1;
+    let mut end = local_start;
+    while end < bytes.len() {
+        let dot_inside = bytes[end] == b'.'
+            && end + 1 < bytes.len()
+            && is_name_char(bytes[end + 1]);
+        if is_name_char(bytes[end]) || dot_inside {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    Some((input[start..pfx_end].to_owned(), input[local_start..end].to_owned(), end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_select() {
+        let toks = tokenize("SELECT ?s WHERE { ?s a <http://x/T> . }").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Var("s".into()),
+                Token::Word("WHERE".into()),
+                Token::LBrace,
+                Token::Var("s".into()),
+                Token::Word("a".into()),
+                Token::Iri("http://x/T".into()),
+                Token::Dot,
+                Token::RBrace,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_iri_from_less_than() {
+        let toks = tokenize("FILTER(?x < 5)").unwrap();
+        assert!(toks.contains(&Token::Lt));
+        let toks = tokenize("?s <http://p> ?o").unwrap();
+        assert!(toks.contains(&Token::Iri("http://p".into())));
+    }
+
+    #[test]
+    fn string_literals_with_datatype_and_lang() {
+        let toks = tokenize(r#""42"^^<http://www.w3.org/2001/XMLSchema#integer> "hi"@en"#).unwrap();
+        assert_eq!(
+            toks[0],
+            Token::Literal {
+                value: "42".into(),
+                datatype: Some(Ok("http://www.w3.org/2001/XMLSchema#integer".into())),
+                lang: None
+            }
+        );
+        assert_eq!(
+            toks[1],
+            Token::Literal { value: "hi".into(), datatype: None, lang: Some("en".into()) }
+        );
+    }
+
+    #[test]
+    fn pname_with_dots_in_local() {
+        let toks = tokenize("dblp:Publication kgnet:Node_Classifier x:v1.2").unwrap();
+        assert_eq!(toks[0], Token::PName("dblp".into(), "Publication".into()));
+        assert_eq!(toks[1], Token::PName("kgnet".into(), "Node_Classifier".into()));
+        assert_eq!(toks[2], Token::PName("x".into(), "v1.2".into()));
+    }
+
+    #[test]
+    fn numbers_integer_and_double() {
+        let toks = tokenize("10 3.5 -2 1e3").unwrap();
+        assert_eq!(toks[0], Token::Integer(10));
+        assert_eq!(toks[1], Token::Double(3.5));
+        assert_eq!(toks[2], Token::Integer(-2));
+        assert_eq!(toks[3], Token::Double(1000.0));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT # comment ?x\n ?y").unwrap();
+        assert_eq!(toks[1], Token::Var("y".into()));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let toks = tokenize(r#""a\"b""#).unwrap();
+        assert_eq!(
+            toks[0],
+            Token::Literal { value: "a\"b".into(), datatype: None, lang: None }
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("<= >= != && || !").unwrap();
+        assert_eq!(
+            &toks[..6],
+            &[Token::Le, Token::Ge, Token::Ne, Token::AndAnd, Token::OrOr, Token::Bang]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize(r#""abc"#).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! The SPARQL subset: lexer, AST, parser and evaluator.
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    Aggregate, Expr, GroupPattern, Operation, Order, Projection, ProjectionItem, SelectQuery,
+    TermPattern, TriplePattern, Update,
+};
+pub use eval::{evaluate_select, execute, execute_update, query, ExecOutcome, QueryResult, UpdateStats};
+pub use parser::{parse, parse_select, Parser};

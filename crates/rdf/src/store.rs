@@ -1,0 +1,332 @@
+//! The triple store: three orderings (SPO/POS/OSP) over interned triples.
+//!
+//! This is the reproduction's Virtuoso stand-in: the KGNet platform loads
+//! knowledge graphs here, the meta-sampler extracts task-specific subgraphs
+//! from it through pattern scans, and the SPARQL engine evaluates basic
+//! graph patterns against its indexes.
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::dict::{TermDict, TermId};
+use crate::term::{Term, RDF_TYPE};
+
+/// A triple of interned term ids `(subject, predicate, object)`.
+pub type Triple = (TermId, TermId, TermId);
+
+/// One position of a triple pattern: bound to a term id or a wildcard.
+pub type PatternSlot = Option<TermId>;
+
+/// An in-memory RDF store with SPO, POS and OSP indexes.
+#[derive(Default)]
+pub struct RdfStore {
+    dict: TermDict,
+    spo: BTreeSet<(u32, u32, u32)>,
+    pos: BTreeSet<(u32, u32, u32)>,
+    osp: BTreeSet<(u32, u32, u32)>,
+}
+
+impl RdfStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The term dictionary (for id resolution).
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Intern a term without asserting any triple.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Look up an already-interned term.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.dict.get(term)
+    }
+
+    /// Resolve a term id.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        self.dict.resolve(id)
+    }
+
+    /// Insert a triple of terms. Returns `true` when newly added.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.dict.intern(s);
+        let p = self.dict.intern(p);
+        let o = self.dict.intern(o);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Insert a triple of pre-interned ids. Returns `true` when newly added.
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let added = self.spo.insert((s.0, p.0, o.0));
+        if added {
+            self.pos.insert((p.0, o.0, s.0));
+            self.osp.insert((o.0, s.0, p.0));
+        }
+        added
+    }
+
+    /// Remove a triple of terms. Returns `true` when it existed.
+    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.dict.get(s), self.dict.get(p), self.dict.get(o)) {
+            (Some(s), Some(p), Some(o)) => self.remove_ids(s, p, o),
+            _ => false,
+        }
+    }
+
+    /// Remove a triple of ids. Returns `true` when it existed.
+    pub fn remove_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let removed = self.spo.remove(&(s.0, p.0, o.0));
+        if removed {
+            self.pos.remove(&(p.0, o.0, s.0));
+            self.osp.remove(&(o.0, s.0, p.0));
+        }
+        removed
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Membership test on ids.
+    pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo.contains(&(s.0, p.0, o.0))
+    }
+
+    /// Membership test on terms.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.dict.get(s), self.dict.get(p), self.dict.get(o)) {
+            (Some(s), Some(p), Some(o)) => self.contains_ids(s, p, o),
+            _ => false,
+        }
+    }
+
+    /// Iterate every triple in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o)))
+    }
+
+    /// Match a triple pattern, pushing each match into `out`.
+    ///
+    /// Index choice: `S??`/`SP?`/`SPO` use SPO; `?P?`/`?PO` use POS;
+    /// `??O`/`S?O` use OSP; `???` scans SPO.
+    pub fn scan(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot, out: &mut Vec<Triple>) {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.contains_ids(s, p, o) {
+                    out.push((s, p, o));
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for &(a, b, c) in range2(&self.spo, s.0, p.0) {
+                    out.push((TermId(a), TermId(b), TermId(c)));
+                }
+            }
+            (Some(s), None, None) => {
+                for &(a, b, c) in range1(&self.spo, s.0) {
+                    out.push((TermId(a), TermId(b), TermId(c)));
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for &(a, b, c) in range2(&self.pos, p.0, o.0) {
+                    out.push((TermId(c), TermId(a), TermId(b)));
+                }
+            }
+            (None, Some(p), None) => {
+                for &(a, b, c) in range1(&self.pos, p.0) {
+                    out.push((TermId(c), TermId(a), TermId(b)));
+                }
+            }
+            (None, None, Some(o)) => {
+                for &(a, b, c) in range1(&self.osp, o.0) {
+                    out.push((TermId(b), TermId(c), TermId(a)));
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                for &(a, b, c) in range2(&self.osp, o.0, s.0) {
+                    out.push((TermId(b), TermId(c), TermId(a)));
+                }
+            }
+            (None, None, None) => {
+                for &(a, b, c) in &self.spo {
+                    out.push((TermId(a), TermId(b), TermId(c)));
+                }
+            }
+        }
+    }
+
+    /// Collected matches for a pattern.
+    pub fn matches(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.scan(s, p, o, &mut out);
+        out
+    }
+
+    /// Count matches for a pattern without materialising terms.
+    pub fn count(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot) -> usize {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains_ids(s, p, o)),
+            (Some(s), Some(p), None) => range2(&self.spo, s.0, p.0).count(),
+            (Some(s), None, None) => range1(&self.spo, s.0).count(),
+            (None, Some(p), Some(o)) => range2(&self.pos, p.0, o.0).count(),
+            (None, Some(p), None) => range1(&self.pos, p.0).count(),
+            (None, None, Some(o)) => range1(&self.osp, o.0).count(),
+            (Some(s), None, Some(o)) => range2(&self.osp, o.0, s.0).count(),
+            (None, None, None) => self.spo.len(),
+        }
+    }
+
+    /// All subjects with `rdf:type <type_iri>`.
+    pub fn subjects_of_type(&self, type_iri: &str) -> Vec<TermId> {
+        let Some(rdf_type) = self.dict.get(&Term::iri(RDF_TYPE)) else {
+            return vec![];
+        };
+        let Some(ty) = self.dict.get(&Term::iri(type_iri)) else {
+            return vec![];
+        };
+        range2(&self.pos, rdf_type.0, ty.0).map(|&(_, _, s)| TermId(s)).collect()
+    }
+
+    /// The `rdf:type` objects of a subject.
+    pub fn types_of(&self, subject: TermId) -> Vec<TermId> {
+        let Some(rdf_type) = self.dict.get(&Term::iri(RDF_TYPE)) else {
+            return vec![];
+        };
+        range2(&self.spo, subject.0, rdf_type.0).map(|&(_, _, o)| TermId(o)).collect()
+    }
+
+    /// Distinct predicates in the store.
+    pub fn predicates(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        let mut last: Option<u32> = None;
+        for &(p, _, _) in &self.pos {
+            if last != Some(p) {
+                out.push(TermId(p));
+                last = Some(p);
+            }
+        }
+        out
+    }
+
+    /// Serialise to N-Triples text (stable SPO order).
+    pub fn to_ntriples(&self) -> String {
+        let mut out = String::new();
+        for (s, p, o) in self.iter() {
+            out.push_str(&format!(
+                "{} {} {} .\n",
+                self.resolve(s),
+                self.resolve(p),
+                self.resolve(o)
+            ));
+        }
+        out
+    }
+}
+
+fn range1(set: &BTreeSet<(u32, u32, u32)>, a: u32) -> impl Iterator<Item = &(u32, u32, u32)> {
+    set.range((Bound::Included((a, 0, 0)), Bound::Included((a, u32::MAX, u32::MAX))))
+}
+
+fn range2(
+    set: &BTreeSet<(u32, u32, u32)>,
+    a: u32,
+    b: u32,
+) -> impl Iterator<Item = &(u32, u32, u32)> {
+    set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, u32::MAX))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    fn small_store() -> RdfStore {
+        let mut st = RdfStore::new();
+        st.insert(iri("p1"), iri("cites"), iri("p2"));
+        st.insert(iri("p1"), iri("title"), Term::str("Paper one"));
+        st.insert(iri("p2"), iri("cites"), iri("p3"));
+        st.insert(iri("p1"), Term::iri(RDF_TYPE), iri("Publication"));
+        st.insert(iri("p2"), Term::iri(RDF_TYPE), iri("Publication"));
+        st
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut st = RdfStore::new();
+        assert!(st.insert(iri("a"), iri("p"), iri("b")));
+        assert!(!st.insert(iri("a"), iri("p"), iri("b")));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn remove_updates_all_indexes() {
+        let mut st = small_store();
+        assert!(st.remove(&iri("p1"), &iri("cites"), &iri("p2")));
+        assert_eq!(st.len(), 4);
+        let p = st.lookup(&iri("cites")).unwrap();
+        assert_eq!(st.count(None, Some(p), None), 1);
+        let s = st.lookup(&iri("p1")).unwrap();
+        assert_eq!(st.count(Some(s), None, None), 2);
+    }
+
+    #[test]
+    fn scan_each_pattern_shape() {
+        let st = small_store();
+        let s = st.lookup(&iri("p1")).unwrap();
+        let p = st.lookup(&iri("cites")).unwrap();
+        let o = st.lookup(&iri("p2")).unwrap();
+        assert_eq!(st.matches(Some(s), Some(p), Some(o)).len(), 1);
+        assert_eq!(st.matches(Some(s), Some(p), None).len(), 1);
+        assert_eq!(st.matches(Some(s), None, None).len(), 3);
+        assert_eq!(st.matches(None, Some(p), Some(o)).len(), 1);
+        assert_eq!(st.matches(None, Some(p), None).len(), 2);
+        assert_eq!(st.matches(None, None, Some(o)).len(), 1);
+        assert_eq!(st.matches(Some(s), None, Some(o)).len(), 1);
+        assert_eq!(st.matches(None, None, None).len(), 5);
+    }
+
+    #[test]
+    fn count_matches_scan_lengths() {
+        let st = small_store();
+        let p = st.lookup(&iri("cites")).unwrap();
+        assert_eq!(st.count(None, Some(p), None), st.matches(None, Some(p), None).len());
+        assert_eq!(st.count(None, None, None), st.len());
+    }
+
+    #[test]
+    fn subjects_of_type_finds_typed_nodes() {
+        let st = small_store();
+        let subs = st.subjects_of_type("http://x/Publication");
+        assert_eq!(subs.len(), 2);
+        let names: Vec<&Term> = subs.iter().map(|&s| st.resolve(s)).collect();
+        assert!(names.contains(&&iri("p1")));
+        assert!(names.contains(&&iri("p2")));
+    }
+
+    #[test]
+    fn predicates_are_distinct() {
+        let st = small_store();
+        assert_eq!(st.predicates().len(), 3); // cites, title, rdf:type
+    }
+
+    #[test]
+    fn ntriples_dump_contains_all_triples() {
+        let st = small_store();
+        let text = st.to_ntriples();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains("<http://x/p1> <http://x/cites> <http://x/p2> ."));
+    }
+}

@@ -1,0 +1,325 @@
+//! KGMeta: the RDF graph of trained-model metadata (paper Fig. 7) and its
+//! governor.
+//!
+//! Every trained model is described by triples in a dedicated RDF graph —
+//! model class (`kgnet:NodeClassifier` / `kgnet:LinkPredictor` /
+//! `kgnet:NodeSimilarity`), target/label types, accuracy, inference time,
+//! cardinality, method, sampler and budget — interlinked with the data KG
+//! through `kgnet:HasGMLTask` on the target node type. The SPARQL-ML query
+//! optimizer reads its statistics through ordinary SPARQL.
+
+use kgnet_gmlaas::{ModelArtifact, TaskKind};
+use kgnet_rdf::term::RDF_TYPE;
+use kgnet_rdf::{RdfStore, Term};
+
+/// The `kgnet:` vocabulary (IRIs used by KGMeta and SPARQL-ML).
+pub mod vocab {
+    /// Namespace base.
+    pub const NS: &str = "https://www.kgnet.com/";
+
+    /// Node classifier model class.
+    pub const NODE_CLASSIFIER: &str = "https://www.kgnet.com/NodeClassifier";
+    /// Link predictor model class.
+    pub const LINK_PREDICTOR: &str = "https://www.kgnet.com/LinkPredictor";
+    /// Node-similarity (entity search) model class.
+    pub const NODE_SIMILARITY: &str = "https://www.kgnet.com/NodeSimilarity";
+
+    /// Model -> target node type.
+    pub const TARGET_NODE: &str = "https://www.kgnet.com/TargetNode";
+    /// Model -> label edge type (node classification).
+    pub const NODE_LABEL: &str = "https://www.kgnet.com/NodeLabel";
+    /// Model -> source node type (link prediction).
+    pub const SOURCE_NODE: &str = "https://www.kgnet.com/SourceNode";
+    /// Model -> destination node type (link prediction).
+    pub const DESTINATION_NODE: &str = "https://www.kgnet.com/DestinationNode";
+    /// Query constraint: top-k links requested.
+    pub const TOPK_LINKS: &str = "https://www.kgnet.com/TopK-Links";
+    /// Model -> accuracy score.
+    pub const MODEL_ACCURACY: &str = "https://www.kgnet.com/ModelAccuracy";
+    /// Model -> per-call inference time (milliseconds).
+    pub const INFERENCE_TIME: &str = "https://www.kgnet.com/InferenceTime";
+    /// Model -> prediction cardinality.
+    pub const MODEL_CARDINALITY: &str = "https://www.kgnet.com/ModelCardinality";
+    /// Model -> GML method name.
+    pub const GML_METHOD: &str = "https://www.kgnet.com/GMLMethod";
+    /// Model -> meta-sampler scope name.
+    pub const SAMPLER: &str = "https://www.kgnet.com/Sampler";
+    /// Model -> training time in seconds.
+    pub const TRAINING_TIME: &str = "https://www.kgnet.com/TrainingTime";
+    /// Model -> peak training memory in bytes.
+    pub const TRAINING_MEMORY: &str = "https://www.kgnet.com/TrainingMemory";
+    /// Data node type -> model (interlink into the data KG, Fig. 7).
+    pub const HAS_GML_TASK: &str = "https://www.kgnet.com/HasGMLTask";
+
+    /// Model class IRI for a task kind.
+    pub fn class_of(kind: kgnet_gmlaas::TaskKind) -> &'static str {
+        match kind {
+            kgnet_gmlaas::TaskKind::NodeClassifier => NODE_CLASSIFIER,
+            kgnet_gmlaas::TaskKind::LinkPredictor => LINK_PREDICTOR,
+            kgnet_gmlaas::TaskKind::NodeSimilarity => NODE_SIMILARITY,
+        }
+    }
+}
+
+/// Statistics of one registered model, as read back from KGMeta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInfo {
+    /// Model URI.
+    pub uri: String,
+    /// Accuracy in `[0,1]`.
+    pub accuracy: f64,
+    /// Per-call inference time, milliseconds.
+    pub inference_time_ms: f64,
+    /// Prediction cardinality.
+    pub cardinality: usize,
+    /// Method name.
+    pub method: String,
+}
+
+/// Filter describing which models a user-defined predicate accepts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelFilter {
+    /// Required model class (task kind).
+    pub task_kind: Option<TaskKind>,
+    /// Required `kgnet:TargetNode`.
+    pub target_type: Option<String>,
+    /// Required `kgnet:NodeLabel`.
+    pub node_label: Option<String>,
+    /// Required `kgnet:SourceNode`.
+    pub source_type: Option<String>,
+    /// Required `kgnet:DestinationNode`.
+    pub destination_type: Option<String>,
+}
+
+/// The KGMeta governor: maintains the metadata graph.
+#[derive(Default)]
+pub struct KgMeta {
+    store: RdfStore,
+}
+
+impl KgMeta {
+    /// Empty KGMeta graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the underlying RDF graph (for SPARQL).
+    pub fn store(&self) -> &RdfStore {
+        &self.store
+    }
+
+    /// Number of metadata triples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Register a trained model's metadata (Fig. 7 shape).
+    pub fn register(&mut self, artifact: &ModelArtifact) {
+        let m = Term::iri(artifact.uri.clone());
+        let class = vocab::class_of(artifact.task_kind);
+        self.store.insert(m.clone(), Term::iri(RDF_TYPE), Term::iri(class));
+        match artifact.task_kind {
+            TaskKind::NodeClassifier => {
+                self.insert(&m, vocab::TARGET_NODE, Term::iri(artifact.target_type.clone()));
+                self.insert(&m, vocab::NODE_LABEL, Term::iri(artifact.label_predicate.clone()));
+            }
+            TaskKind::LinkPredictor => {
+                self.insert(&m, vocab::SOURCE_NODE, Term::iri(artifact.target_type.clone()));
+                if let Some(dest) = &artifact.destination_type {
+                    self.insert(&m, vocab::DESTINATION_NODE, Term::iri(dest.clone()));
+                }
+                self.insert(&m, vocab::NODE_LABEL, Term::iri(artifact.label_predicate.clone()));
+            }
+            TaskKind::NodeSimilarity => {
+                self.insert(&m, vocab::TARGET_NODE, Term::iri(artifact.target_type.clone()));
+            }
+        }
+        self.insert(&m, vocab::MODEL_ACCURACY, Term::double(artifact.accuracy()));
+        self.insert(&m, vocab::INFERENCE_TIME, Term::double(artifact.inference_time_ms()));
+        self.insert(&m, vocab::MODEL_CARDINALITY, Term::int(artifact.cardinality as i64));
+        self.insert(&m, vocab::GML_METHOD, Term::str(artifact.method.name()));
+        self.insert(&m, vocab::SAMPLER, Term::str(artifact.sampler.clone()));
+        self.insert(&m, vocab::TRAINING_TIME, Term::double(artifact.report.train_time_s));
+        self.insert(
+            &m,
+            vocab::TRAINING_MEMORY,
+            Term::int(artifact.report.peak_mem_bytes as i64),
+        );
+        // Interlink with the data KG: the target type advertises the task.
+        self.store.insert(
+            Term::iri(artifact.target_type.clone()),
+            Term::iri(vocab::HAS_GML_TASK),
+            m,
+        );
+    }
+
+    fn insert(&mut self, model: &Term, predicate: &str, object: Term) {
+        self.store.insert(model.clone(), Term::iri(predicate), object);
+    }
+
+    /// Remove every triple about a model URI (including interlinks).
+    /// Returns the number of triples removed.
+    pub fn unregister(&mut self, uri: &str) -> usize {
+        let model = Term::iri(uri);
+        let Some(id) = self.store.lookup(&model) else { return 0 };
+        let mut doomed = self.store.matches(Some(id), None, None);
+        doomed.extend(self.store.matches(None, None, Some(id)));
+        let n = doomed.len();
+        for (s, p, o) in doomed {
+            let (s, p, o) =
+                (self.store.resolve(s).clone(), self.store.resolve(p).clone(), self.store.resolve(o).clone());
+            self.store.remove(&s, &p, &o);
+        }
+        n
+    }
+
+    /// Find models matching a filter, best accuracy first. Implemented as a
+    /// SPARQL query against the KGMeta graph (exactly what the paper's query
+    /// optimizer does).
+    pub fn find_models(&self, filter: &ModelFilter) -> Vec<ModelInfo> {
+        let class = filter.task_kind.map(vocab::class_of);
+        let mut where_clauses = vec![
+            "?m <https://www.kgnet.com/ModelAccuracy> ?acc .".to_owned(),
+            "?m <https://www.kgnet.com/InferenceTime> ?time .".to_owned(),
+            "?m <https://www.kgnet.com/ModelCardinality> ?card .".to_owned(),
+            "?m <https://www.kgnet.com/GMLMethod> ?method .".to_owned(),
+        ];
+        if let Some(c) = class {
+            where_clauses.push(format!("?m a <{c}> ."));
+        }
+        let mut push_opt = |pred: &str, value: &Option<String>| {
+            if let Some(v) = value {
+                where_clauses.push(format!("?m <{pred}> <{v}> ."));
+            }
+        };
+        push_opt(vocab::TARGET_NODE, &filter.target_type);
+        push_opt(vocab::NODE_LABEL, &filter.node_label);
+        push_opt(vocab::SOURCE_NODE, &filter.source_type);
+        push_opt(vocab::DESTINATION_NODE, &filter.destination_type);
+
+        let query = format!(
+            "SELECT ?m ?acc ?time ?card ?method WHERE {{ {} }}",
+            where_clauses.join(" ")
+        );
+        let result = kgnet_rdf::query(&self.store, &query).expect("well-formed KGMeta query");
+        let mut models: Vec<ModelInfo> = result
+            .rows
+            .iter()
+            .filter_map(|row| {
+                Some(ModelInfo {
+                    uri: row[0].as_ref()?.as_iri()?.to_owned(),
+                    accuracy: row[1].as_ref()?.as_f64()?,
+                    inference_time_ms: row[2].as_ref()?.as_f64()?,
+                    cardinality: row[3].as_ref()?.as_int()? as usize,
+                    method: row[4].as_ref()?.as_literal()?.to_owned(),
+                })
+            })
+            .collect();
+        models.sort_by(|a, b| {
+            b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        models.dedup_by(|a, b| a.uri == b.uri);
+        models
+    }
+
+    /// URIs of models matching a filter (used by DELETE queries).
+    pub fn matching_uris(&self, filter: &ModelFilter) -> Vec<String> {
+        self.find_models(filter).into_iter().map(|m| m.uri).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgnet_gml::config::{GmlMethodKind, TrainReport};
+    use kgnet_gmlaas::ArtifactPayload;
+
+    fn artifact(uri: &str, accuracy: f64, infer_ms: f64) -> ModelArtifact {
+        ModelArtifact {
+            uri: uri.to_owned(),
+            task_kind: TaskKind::NodeClassifier,
+            target_type: "https://www.dblp.org/Publication".into(),
+            label_predicate: "https://www.dblp.org/publishedIn".into(),
+            destination_type: None,
+            method: GmlMethodKind::GraphSaint,
+            report: TrainReport {
+                method: GmlMethodKind::GraphSaint,
+                train_time_s: 12.0,
+                peak_mem_bytes: 4096,
+                test_metric: accuracy,
+                valid_metric: accuracy,
+                mrr: 0.0,
+                loss_curve: vec![],
+                n_nodes: 5,
+                n_edges: 9,
+                inference_time_ms: infer_ms,
+            },
+            sampler: "d1h1".into(),
+            cardinality: 42,
+            payload: ArtifactPayload::NodeClassifier { predictions: Default::default() },
+        }
+    }
+
+    #[test]
+    fn register_creates_fig7_shape() {
+        let mut meta = KgMeta::new();
+        meta.register(&artifact("https://www.kgnet.com/model/nc/m1", 0.9, 0.2));
+        let st = meta.store();
+        assert!(st.contains(
+            &Term::iri("https://www.kgnet.com/model/nc/m1"),
+            &Term::iri(RDF_TYPE),
+            &Term::iri(vocab::NODE_CLASSIFIER)
+        ));
+        assert!(st.contains(
+            &Term::iri("https://www.dblp.org/Publication"),
+            &Term::iri(vocab::HAS_GML_TASK),
+            &Term::iri("https://www.kgnet.com/model/nc/m1")
+        ));
+        assert!(meta.len() >= 10);
+    }
+
+    #[test]
+    fn find_models_filters_and_sorts() {
+        let mut meta = KgMeta::new();
+        meta.register(&artifact("https://www.kgnet.com/model/nc/m1", 0.80, 0.2));
+        meta.register(&artifact("https://www.kgnet.com/model/nc/m2", 0.92, 0.9));
+        let filter = ModelFilter {
+            task_kind: Some(TaskKind::NodeClassifier),
+            target_type: Some("https://www.dblp.org/Publication".into()),
+            node_label: Some("https://www.dblp.org/publishedIn".into()),
+            ..Default::default()
+        };
+        let models = meta.find_models(&filter);
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].uri, "https://www.kgnet.com/model/nc/m2");
+        assert!((models[0].accuracy - 0.92).abs() < 1e-9);
+        assert_eq!(models[0].cardinality, 42);
+        assert_eq!(models[0].method, "G-SAINT");
+    }
+
+    #[test]
+    fn mismatched_filter_finds_nothing() {
+        let mut meta = KgMeta::new();
+        meta.register(&artifact("https://www.kgnet.com/model/nc/m1", 0.8, 0.2));
+        let filter = ModelFilter {
+            task_kind: Some(TaskKind::LinkPredictor),
+            ..Default::default()
+        };
+        assert!(meta.find_models(&filter).is_empty());
+    }
+
+    #[test]
+    fn unregister_removes_all_triples() {
+        let mut meta = KgMeta::new();
+        meta.register(&artifact("https://www.kgnet.com/model/nc/m1", 0.8, 0.2));
+        let removed = meta.unregister("https://www.kgnet.com/model/nc/m1");
+        assert!(removed >= 10);
+        assert!(meta.is_empty());
+        assert_eq!(meta.unregister("https://www.kgnet.com/model/nc/m1"), 0);
+    }
+}

@@ -1,0 +1,768 @@
+//! The Query Manager (paper Fig. 3): end-to-end SPARQL-ML execution.
+//!
+//! `INSERT`/`TrainGML` requests run the full KGNet pipeline — meta-sampling
+//! of `KG'`, budget-constrained training via GMLaaS, KGMeta registration.
+//! `SELECT` queries are optimized (model selection + plan selection integer
+//! programs), rewritten, executed against the RDF store, and their
+//! user-defined predicates are evaluated through the inference service's
+//! JSON boundary. `DELETE` removes models and their KGMeta metadata.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use kgnet_gml::config::{GmlMethodKind, GnnConfig};
+use kgnet_gmlaas::{
+    InferenceRequest, InferenceResponse, InferenceService, ModelStore, ServiceError, TaskKind,
+    TrainError, TrainRequest, TrainingManager,
+};
+use kgnet_rdf::sparql::eval::{evaluate_select, execute_update, QueryResult, UpdateStats};
+use kgnet_rdf::sparql::{Order, Projection, ProjectionItem, TermPattern};
+use kgnet_rdf::{RdfStore, SparqlError, Term};
+use kgnet_sampler::{meta_sample_task, SamplingScope};
+
+use crate::kgmeta::KgMeta;
+use crate::opt::{select_models, select_plans, PlanInputs, RewritePlan};
+use crate::parser::{parse, SparqlMlOperation, SparqlMlQuery};
+use crate::rewrite::{rewrite, RewrittenQuery};
+
+/// Errors surfaced by SPARQL-ML execution.
+#[derive(Debug)]
+pub enum MlError {
+    /// Parse/evaluation error from the SPARQL layer.
+    Sparql(SparqlError),
+    /// A user-defined predicate matched no trained model in KGMeta.
+    NoModel(String),
+    /// Model selection infeasible under the inference-time bound.
+    SelectionInfeasible,
+    /// Training failed.
+    Train(TrainError),
+    /// Inference-service failure.
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::Sparql(e) => write!(f, "{e}"),
+            MlError::NoModel(var) => {
+                write!(f, "no trained model satisfies user-defined predicate ?{var}")
+            }
+            MlError::SelectionInfeasible => {
+                write!(f, "no model combination satisfies the inference-time bound")
+            }
+            MlError::Train(e) => write!(f, "{e}"),
+            MlError::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<SparqlError> for MlError {
+    fn from(e: SparqlError) -> Self {
+        MlError::Sparql(e)
+    }
+}
+
+impl From<TrainError> for MlError {
+    fn from(e: TrainError) -> Self {
+        MlError::Train(e)
+    }
+}
+
+impl From<ServiceError> for MlError {
+    fn from(e: ServiceError) -> Self {
+        MlError::Service(e)
+    }
+}
+
+/// Summary of a completed training request.
+#[derive(Debug, Clone)]
+pub struct TrainedSummary {
+    /// Minted model URI.
+    pub model_uri: String,
+    /// Chosen method.
+    pub method: GmlMethodKind,
+    /// Test metric (accuracy / Hits@10).
+    pub accuracy: f64,
+    /// Meta-sampling scope used.
+    pub sampler: String,
+    /// Triples in the sampled `KG'`.
+    pub kg_prime_triples: usize,
+    /// Training seconds.
+    pub train_time_s: f64,
+    /// Peak tracked training memory, bytes.
+    pub peak_mem_bytes: usize,
+}
+
+/// Result of executing one SPARQL-ML operation.
+#[derive(Debug)]
+pub enum MlOutcome {
+    /// SELECT rows.
+    Rows(QueryResult),
+    /// A model was trained and registered.
+    Trained(TrainedSummary),
+    /// Models deleted (their URIs).
+    DeletedModels(Vec<String>),
+    /// A plain update ran.
+    Updated(UpdateStats),
+}
+
+/// Tuning knobs of the query manager.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Default training hyper-parameters.
+    pub default_cfg: GnnConfig,
+    /// Optional bound on summed per-call inference time across predicates.
+    pub max_inference_ms: Option<f64>,
+    /// Optional cap on total dictionary bytes for plan selection.
+    pub dict_bytes_cap: Option<usize>,
+    /// Estimated bytes per dictionary entry.
+    pub entry_bytes: usize,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            default_cfg: GnnConfig::default(),
+            max_inference_ms: None,
+            dict_bytes_cap: None,
+            entry_bytes: 96,
+        }
+    }
+}
+
+/// The SPARQL-ML query manager.
+pub struct QueryManager {
+    kgmeta: KgMeta,
+    trainer: TrainingManager,
+    service: InferenceService,
+    config: ManagerConfig,
+}
+
+impl Default for QueryManager {
+    fn default() -> Self {
+        Self::new(ManagerConfig::default())
+    }
+}
+
+impl QueryManager {
+    /// Manager with a fresh model store and KGMeta.
+    pub fn new(config: ManagerConfig) -> Self {
+        let models = ModelStore::new();
+        QueryManager {
+            kgmeta: KgMeta::new(),
+            trainer: TrainingManager::new(models.clone()),
+            service: InferenceService::new(models),
+            config,
+        }
+    }
+
+    /// The KGMeta graph.
+    pub fn kgmeta(&self) -> &KgMeta {
+        &self.kgmeta
+    }
+
+    /// The inference service (exposes HTTP-call counters).
+    pub fn service(&self) -> &InferenceService {
+        &self.service
+    }
+
+    /// The training manager / model registry.
+    pub fn trainer(&self) -> &TrainingManager {
+        &self.trainer
+    }
+
+    /// Execute one SPARQL-ML operation against a data KG.
+    pub fn execute(&mut self, data: &mut RdfStore, text: &str) -> Result<MlOutcome, MlError> {
+        match parse(text)? {
+            SparqlMlOperation::PlainSelect(q) => {
+                Ok(MlOutcome::Rows(evaluate_select(data, &q)?))
+            }
+            SparqlMlOperation::PlainUpdate(u) => {
+                Ok(MlOutcome::Updated(execute_update(data, &u)?))
+            }
+            SparqlMlOperation::Train(spec) => self.train(data, spec),
+            SparqlMlOperation::DeleteModels(filter) => {
+                let uris = self.kgmeta.matching_uris(&filter);
+                for uri in &uris {
+                    self.kgmeta.unregister(uri);
+                    self.trainer.model_store().remove(uri);
+                }
+                Ok(MlOutcome::DeletedModels(uris))
+            }
+            SparqlMlOperation::Select(q) => self.select(data, q),
+        }
+    }
+
+    /// Optimize and rewrite a SPARQL-ML SELECT without executing it.
+    pub fn explain(&self, data: &RdfStore, text: &str) -> Result<RewrittenQuery, MlError> {
+        match parse(text)? {
+            SparqlMlOperation::Select(q) => {
+                let (models, plans, _) = self.optimize(data, &q)?;
+                Ok(rewrite(&q, &models, &plans))
+            }
+            _ => Err(MlError::Sparql(SparqlError::parse("explain expects an ML SELECT"))),
+        }
+    }
+
+    // -- training ----------------------------------------------------------
+
+    fn train(
+        &mut self,
+        data: &RdfStore,
+        spec: crate::parser::TrainGmlSpec,
+    ) -> Result<MlOutcome, MlError> {
+        let scope = spec
+            .sampler
+            .as_deref()
+            .and_then(parse_scope)
+            .unwrap_or_else(|| SamplingScope::default_for(&spec.task));
+        let sampled = meta_sample_task(data, &spec.task, scope);
+
+        let mut cfg = self.config.default_cfg.clone();
+        for (key, value) in &spec.hyperparams {
+            match key.as_str() {
+                "Epochs" => cfg.epochs = *value as usize,
+                "Hidden" => cfg.hidden = *value as usize,
+                "LR" | "LearningRate" => cfg.lr = *value as f32,
+                "Dropout" => cfg.dropout = *value as f32,
+                "BatchSize" => cfg.batch_size = *value as usize,
+                "Negatives" => cfg.negatives = *value as usize,
+                "Seed" => cfg.seed = *value as u64,
+                _ => {}
+            }
+        }
+        let req = TrainRequest {
+            name: spec.name.clone(),
+            task: spec.task.clone(),
+            budget: spec.budget,
+            cfg,
+            forced_method: spec.method.as_deref().and_then(parse_method),
+            split_strategy: kgnet_graph::SplitStrategy::Random,
+            sampler: scope.name(),
+        };
+        let outcome = self.trainer.train(&sampled.store, &req)?;
+        self.kgmeta.register(&outcome.artifact);
+        Ok(MlOutcome::Trained(TrainedSummary {
+            model_uri: outcome.artifact.uri.clone(),
+            method: outcome.artifact.method,
+            accuracy: outcome.artifact.accuracy(),
+            sampler: scope.name(),
+            kg_prime_triples: sampled.store.len(),
+            train_time_s: outcome.artifact.report.train_time_s,
+            peak_mem_bytes: outcome.artifact.report.peak_mem_bytes,
+        }))
+    }
+
+    // -- SELECT ------------------------------------------------------------
+
+    /// Model + plan selection for an ML query; returns the per-predicate
+    /// model URIs, plans and the evaluated base result.
+    fn optimize(
+        &self,
+        data: &RdfStore,
+        q: &SparqlMlQuery,
+    ) -> Result<(Vec<String>, Vec<RewritePlan>, QueryResult), MlError> {
+        // Candidate models per predicate from KGMeta.
+        let mut candidates = Vec::with_capacity(q.ud_predicates.len());
+        for ud in &q.ud_predicates {
+            let models = self.kgmeta.find_models(&ud.filter);
+            if models.is_empty() {
+                return Err(MlError::NoModel(ud.var.clone()));
+            }
+            candidates.push(models);
+        }
+        let chosen = select_models(&candidates, self.config.max_inference_ms)
+            .ok_or(MlError::SelectionInfeasible)?;
+        let models: Vec<String> =
+            chosen.iter().zip(&candidates).map(|(&i, c)| c[i].uri.clone()).collect();
+
+        // Evaluate the base query with subjects projected, to count distinct
+        // bindings per predicate (the cardinalities of §IV.B.3).
+        let exec = self.executable_base(q);
+        let base_result = evaluate_select(data, &exec)?;
+        let inputs: Vec<PlanInputs> = q
+            .ud_predicates
+            .iter()
+            .zip(chosen.iter().zip(&candidates))
+            .map(|(ud, (&i, c))| PlanInputs {
+                bindings: distinct_subject_count(&base_result, &ud.subject),
+                model_cardinality: c[i].cardinality,
+                entry_bytes: self.config.entry_bytes,
+            })
+            .collect();
+        let plans = select_plans(&inputs, self.config.dict_bytes_cap);
+        Ok((models, plans, base_result))
+    }
+
+    /// The base query, projected to also bind every UD subject/object var.
+    fn executable_base(&self, q: &SparqlMlQuery) -> kgnet_rdf::sparql::SelectQuery {
+        let mut exec = q.base.clone();
+        exec.distinct = false;
+        exec.limit = None;
+        exec.offset = None;
+        exec.order_by.clear();
+        let mut items: Vec<ProjectionItem> = match &exec.projection {
+            Projection::All => {
+                exec.pattern.bindable_vars().into_iter().map(ProjectionItem::Var).collect()
+            }
+            Projection::Items(items) => items.clone(),
+        };
+        let mut have: FxHashSet<String> = items
+            .iter()
+            .filter_map(|i| match i {
+                ProjectionItem::Var(v) => Some(v.clone()),
+                ProjectionItem::Agg { .. } => None,
+            })
+            .collect();
+        for ud in &q.ud_predicates {
+            if let TermPattern::Var(v) = &ud.subject {
+                if have.insert(v.clone()) {
+                    items.push(ProjectionItem::Var(v.clone()));
+                }
+            }
+            if have.insert(ud.object_var.clone()) {
+                items.push(ProjectionItem::Var(ud.object_var.clone()));
+            }
+        }
+        exec.projection = Projection::Items(items);
+        exec
+    }
+
+    fn select(&mut self, data: &mut RdfStore, q: SparqlMlQuery) -> Result<MlOutcome, MlError> {
+        let (models, plans, mut result) = self.optimize(data, &q)?;
+        let rewritten = rewrite(&q, &models, &plans);
+
+        for step in &rewritten.steps {
+            let subj_col = match &step.ud.subject {
+                TermPattern::Var(v) => result.column(v),
+                TermPattern::Ground(_) => None,
+            };
+            let obj_col = result
+                .column(&step.ud.object_var)
+                .expect("object var projected by executable_base");
+            match step.ud.task_kind {
+                TaskKind::NodeClassifier => {
+                    self.fill_node_class(&mut result, step, subj_col, obj_col)?;
+                }
+                TaskKind::LinkPredictor | TaskKind::NodeSimilarity => {
+                    self.expand_links(&mut result, step, subj_col, obj_col)?;
+                }
+            }
+        }
+
+        // Re-apply the original solution modifiers and projection.
+        let final_vars = q.base.output_vars();
+        let cols: Vec<usize> =
+            final_vars.iter().filter_map(|v| result.column(v)).collect();
+        let mut rows: Vec<Vec<Option<Term>>> = result
+            .rows
+            .iter()
+            .map(|row| cols.iter().map(|&c| row[c].clone()).collect())
+            .collect();
+        if q.base.distinct {
+            let mut seen = FxHashSet::default();
+            rows.retain(|row| {
+                seen.insert(row.iter().map(|t| t.as_ref().map(Term::to_string)).collect::<Vec<_>>())
+            });
+        }
+        if !q.base.order_by.is_empty() {
+            let keys: Vec<(usize, Order)> = q
+                .base
+                .order_by
+                .iter()
+                .filter_map(|(v, o)| final_vars.iter().position(|x| x == v).map(|i| (i, *o)))
+                .collect();
+            rows.sort_by(|a, b| {
+                for &(i, ord) in &keys {
+                    let c = cmp_opt_terms(a[i].as_ref(), b[i].as_ref());
+                    let c = if ord == Order::Desc { c.reverse() } else { c };
+                    if c != std::cmp::Ordering::Equal {
+                        return c;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let offset = q.base.offset.unwrap_or(0);
+        if offset > 0 {
+            rows.drain(..offset.min(rows.len()));
+        }
+        if let Some(limit) = q.base.limit {
+            rows.truncate(limit);
+        }
+        Ok(MlOutcome::Rows(QueryResult { vars: final_vars, rows }))
+    }
+
+    fn fill_node_class(
+        &self,
+        result: &mut QueryResult,
+        step: &crate::rewrite::InferenceStep,
+        subj_col: Option<usize>,
+        obj_col: usize,
+    ) -> Result<(), MlError> {
+        let subjects = collect_subjects(result, step, subj_col);
+        let mut predicted: FxHashMap<String, String> = FxHashMap::default();
+        match step.plan {
+            RewritePlan::Dictionary => {
+                let resp = self
+                    .service
+                    .call(&InferenceRequest::GetNodeClassDict { model: step.model_uri.clone() })?;
+                if let InferenceResponse::NodeClassDict { predictions } = resp {
+                    predicted.extend(predictions);
+                }
+            }
+            RewritePlan::PerBinding => {
+                for iri in &subjects {
+                    let resp = self.service.call(&InferenceRequest::GetNodeClass {
+                        model: step.model_uri.clone(),
+                        node: iri.clone(),
+                    })?;
+                    if let InferenceResponse::NodeClass { class: Some(class), .. } = resp {
+                        predicted.insert(iri.clone(), class);
+                    }
+                }
+            }
+        }
+        // Bind predictions; rows whose subject has no prediction are dropped
+        // (the inferred triple pattern did not match).
+        result.rows.retain_mut(|row| {
+            let subject = subject_of_row(row, step, subj_col);
+            let Some(subject) = subject else { return false };
+            match predicted.get(&subject) {
+                Some(class) => {
+                    row[obj_col] = Some(Term::iri(class.clone()));
+                    true
+                }
+                None => false,
+            }
+        });
+        Ok(())
+    }
+
+    fn expand_links(
+        &self,
+        result: &mut QueryResult,
+        step: &crate::rewrite::InferenceStep,
+        subj_col: Option<usize>,
+        obj_col: usize,
+    ) -> Result<(), MlError> {
+        let subjects = collect_subjects(result, step, subj_col);
+        let k = step.ud.topk;
+        let mut links: FxHashMap<String, Vec<(String, f32)>> = FxHashMap::default();
+        match (step.ud.task_kind, step.plan) {
+            (TaskKind::LinkPredictor, RewritePlan::Dictionary) => {
+                let resp = self.service.call(&InferenceRequest::GetAllTopkLinks {
+                    model: step.model_uri.clone(),
+                    k,
+                })?;
+                if let InferenceResponse::AllTopkLinks { links: l } = resp {
+                    links.extend(l);
+                }
+            }
+            (TaskKind::LinkPredictor, RewritePlan::PerBinding) => {
+                for iri in &subjects {
+                    let resp = self.service.call(&InferenceRequest::GetTopkLinks {
+                        model: step.model_uri.clone(),
+                        source: iri.clone(),
+                        k,
+                    })?;
+                    if let InferenceResponse::TopkLinks { links: l, .. } = resp {
+                        links.insert(iri.clone(), l);
+                    }
+                }
+            }
+            (TaskKind::NodeSimilarity, _) => {
+                for iri in &subjects {
+                    let resp = self.service.call(&InferenceRequest::GetSimilarNodes {
+                        model: step.model_uri.clone(),
+                        node: iri.clone(),
+                        k,
+                    })?;
+                    if let InferenceResponse::SimilarNodes { neighbors } = resp {
+                        links.insert(iri.clone(), neighbors);
+                    }
+                }
+            }
+            (TaskKind::NodeClassifier, _) => unreachable!("handled by fill_node_class"),
+        }
+
+        let mut expanded = Vec::with_capacity(result.rows.len());
+        for row in &result.rows {
+            let Some(subject) = subject_of_row(row, step, subj_col) else { continue };
+            let Some(ranked) = links.get(&subject) else { continue };
+            for (dest, _score) in ranked.iter().take(k) {
+                let mut new_row = row.clone();
+                new_row[obj_col] = Some(Term::iri(dest.clone()));
+                expanded.push(new_row);
+            }
+        }
+        result.rows = expanded;
+        Ok(())
+    }
+}
+
+fn collect_subjects(
+    result: &QueryResult,
+    step: &crate::rewrite::InferenceStep,
+    subj_col: Option<usize>,
+) -> Vec<String> {
+    match (&step.ud.subject, subj_col) {
+        (TermPattern::Ground(t), _) => vec![plain_iri(t)],
+        (TermPattern::Var(_), Some(col)) => {
+            let mut seen = FxHashSet::default();
+            let mut out = Vec::new();
+            for row in &result.rows {
+                if let Some(t) = &row[col] {
+                    let iri = plain_iri(t);
+                    if seen.insert(iri.clone()) {
+                        out.push(iri);
+                    }
+                }
+            }
+            out
+        }
+        (TermPattern::Var(_), None) => vec![],
+    }
+}
+
+fn subject_of_row(
+    row: &[Option<Term>],
+    step: &crate::rewrite::InferenceStep,
+    subj_col: Option<usize>,
+) -> Option<String> {
+    match (&step.ud.subject, subj_col) {
+        (TermPattern::Ground(t), _) => Some(plain_iri(t)),
+        (TermPattern::Var(_), Some(col)) => row[col].as_ref().map(plain_iri),
+        (TermPattern::Var(_), None) => None,
+    }
+}
+
+fn plain_iri(t: &Term) -> String {
+    match t {
+        Term::Iri(i) => i.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn distinct_subject_count(result: &QueryResult, subject: &TermPattern) -> usize {
+    match subject {
+        TermPattern::Ground(_) => 1,
+        TermPattern::Var(v) => {
+            let Some(col) = result.column(v) else { return 0 };
+            result
+                .rows
+                .iter()
+                .filter_map(|r| r[col].as_ref().map(Term::to_string))
+                .collect::<FxHashSet<_>>()
+                .len()
+        }
+    }
+}
+
+fn cmp_opt_terms(a: Option<&Term>, b: Option<&Term>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => match (x.numeric(), y.numeric()) {
+            (Some(nx), Some(ny)) => nx.partial_cmp(&ny).unwrap_or(Ordering::Equal),
+            _ => x.to_string().cmp(&y.to_string()),
+        },
+    }
+}
+
+fn parse_scope(name: &str) -> Option<SamplingScope> {
+    match name.to_ascii_lowercase().as_str() {
+        "d1h1" => Some(SamplingScope::D1H1),
+        "d1h2" => Some(SamplingScope::D1H2),
+        "d2h1" => Some(SamplingScope::D2H1),
+        "d2h2" => Some(SamplingScope::D2H2),
+        _ => None,
+    }
+}
+
+fn parse_method(name: &str) -> Option<GmlMethodKind> {
+    let n = name.to_ascii_lowercase();
+    Some(match n.as_str() {
+        "gcn" => GmlMethodKind::Gcn,
+        "rgcn" => GmlMethodKind::Rgcn,
+        "graphsaint" | "g-saint" | "saint" => GmlMethodKind::GraphSaint,
+        "shadowsaint" | "sh-saint" | "shadow" => GmlMethodKind::ShadowSaint,
+        "morse" => GmlMethodKind::Morse,
+        "transe" => GmlMethodKind::TransE,
+        "distmult" => GmlMethodKind::DistMult,
+        "complex" => GmlMethodKind::ComplEx,
+        "rotate" => GmlMethodKind::RotatE,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::plan_calls;
+    use kgnet_datagen::{generate_dblp, DblpConfig};
+
+    fn manager() -> QueryManager {
+        let cfg = ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() };
+        QueryManager::new(cfg)
+    }
+
+    fn train_nc(mgr: &mut QueryManager, data: &mut RdfStore) -> TrainedSummary {
+        let out = mgr
+            .execute(
+                data,
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                     {Name: 'paper-venue',
+                      GML-Task:{ TaskType: kgnet:NodeClassifier,
+                                 TargetNode: dblp:Publication,
+                                 NodeLabel: dblp:publishedIn},
+                      Method: 'GraphSAINT'})}"#,
+            )
+            .unwrap();
+        match out {
+            MlOutcome::Trained(s) => s,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    const PV_QUERY: &str = r#"
+        PREFIX dblp: <https://www.dblp.org/>
+        PREFIX kgnet: <https://www.kgnet.com/>
+        SELECT ?title ?venue WHERE {
+          ?paper a dblp:Publication .
+          ?paper dblp:title ?title .
+          ?paper ?NodeClassifier ?venue .
+          ?NodeClassifier a kgnet:NodeClassifier .
+          ?NodeClassifier kgnet:TargetNode dblp:Publication .
+          ?NodeClassifier kgnet:NodeLabel dblp:publishedIn . }"#;
+
+    #[test]
+    fn end_to_end_train_then_query() {
+        let (mut data, _) = generate_dblp(&DblpConfig::tiny(41));
+        let mut mgr = manager();
+        let summary = train_nc(&mut mgr, &mut data);
+        assert!(summary.kg_prime_triples < data.len());
+        assert_eq!(summary.sampler, "d1h1");
+
+        let out = mgr.execute(&mut data, PV_QUERY).unwrap();
+        let MlOutcome::Rows(rows) = out else { panic!("expected rows") };
+        assert_eq!(rows.vars, vec!["title", "venue"]);
+        // Every paper gets a predicted venue.
+        assert_eq!(rows.len(), 60);
+        for row in &rows.rows {
+            let venue = row[1].as_ref().unwrap().as_iri().unwrap();
+            assert!(venue.contains("venue/"), "unexpected prediction {venue}");
+        }
+        // Dictionary plan: exactly one HTTP call for 60 papers.
+        assert_eq!(mgr.service().stats().calls, 1);
+    }
+
+    #[test]
+    fn query_without_model_errors() {
+        let (mut data, _) = generate_dblp(&DblpConfig::tiny(43));
+        let mut mgr = manager();
+        match mgr.execute(&mut data, PV_QUERY) {
+            Err(MlError::NoModel(var)) => assert_eq!(var, "NodeClassifier"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_models_clears_kgmeta_and_registry() {
+        let (mut data, _) = generate_dblp(&DblpConfig::tiny(47));
+        let mut mgr = manager();
+        let summary = train_nc(&mut mgr, &mut data);
+        let out = mgr
+            .execute(
+                &mut data,
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   DELETE { ?m ?p ?o } WHERE {
+                     ?m a kgnet:NodeClassifier .
+                     ?m kgnet:TargetNode dblp:Publication .
+                     ?m kgnet:NodeLabel dblp:publishedIn . }"#,
+            )
+            .unwrap();
+        match out {
+            MlOutcome::DeletedModels(uris) => assert_eq!(uris, vec![summary.model_uri]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(mgr.kgmeta().is_empty());
+        assert!(mgr.trainer().model_store().is_empty());
+        // Querying now fails again.
+        assert!(matches!(mgr.execute(&mut data, PV_QUERY), Err(MlError::NoModel(_))));
+    }
+
+    #[test]
+    fn link_prediction_query_expands_topk() {
+        let (mut data, _) = generate_dblp(&DblpConfig::tiny(53));
+        let mut mgr = manager();
+        let out = mgr
+            .execute(
+                &mut data,
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                     {Name: 'author-aff',
+                      GML-Task:{ TaskType: kgnet:LinkPredictor,
+                                 SourceNode: dblp:Person,
+                                 DestinationNode: dblp:Affiliation,
+                                 TargetEdge: dblp:affiliatedWith},
+                      Method: 'MorsE', Sampler: 'd2h1',
+                      Hyperparams: {Epochs: 10}})}"#,
+            )
+            .unwrap();
+        assert!(matches!(out, MlOutcome::Trained(_)));
+
+        let out = mgr
+            .execute(
+                &mut data,
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   SELECT ?author ?affiliation WHERE {
+                     ?author a dblp:Person .
+                     ?author ?LinkPredictor ?affiliation .
+                     ?LinkPredictor a kgnet:LinkPredictor .
+                     ?LinkPredictor kgnet:SourceNode dblp:Person .
+                     ?LinkPredictor kgnet:DestinationNode dblp:Affiliation .
+                     ?LinkPredictor kgnet:TopK-Links 3 . }"#,
+            )
+            .unwrap();
+        let MlOutcome::Rows(rows) = out else { panic!("expected rows") };
+        // 30 authors x top-3 affiliations.
+        assert_eq!(rows.len(), 90);
+        let aff = rows.rows[0][1].as_ref().unwrap().as_iri().unwrap();
+        assert!(aff.contains("org/aff"), "unexpected destination {aff}");
+    }
+
+    #[test]
+    fn plain_sparql_passes_through() {
+        let (mut data, _) = generate_dblp(&DblpConfig::tiny(59));
+        let mut mgr = manager();
+        let out = mgr
+            .execute(
+                &mut data,
+                "PREFIX dblp: <https://www.dblp.org/> SELECT (COUNT(*) AS ?n) WHERE { ?p a dblp:Publication }",
+            )
+            .unwrap();
+        let MlOutcome::Rows(rows) = out else { panic!("expected rows") };
+        assert_eq!(rows.rows[0][0].as_ref().unwrap().as_int(), Some(60));
+    }
+
+    #[test]
+    fn explain_reports_dictionary_plan() {
+        let (mut data, _) = generate_dblp(&DblpConfig::tiny(61));
+        let mut mgr = manager();
+        train_nc(&mut mgr, &mut data);
+        let rewritten = mgr.explain(&data, PV_QUERY).unwrap();
+        assert_eq!(rewritten.steps.len(), 1);
+        assert_eq!(rewritten.steps[0].plan, RewritePlan::Dictionary);
+        assert!(rewritten.sparql.contains("getKeyValue"));
+        assert_eq!(plan_calls(rewritten.steps[0].plan, 60), 1);
+    }
+}

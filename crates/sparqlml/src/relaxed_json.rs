@@ -1,0 +1,280 @@
+//! Parser for the relaxed JSON used by `kgnet.TrainGML({...})` (Fig. 8).
+//!
+//! The paper's insert queries pass a JSON-ish object with unquoted keys,
+//! single-quoted strings, prefixed names (`kgnet:NodeClassifier`) and unit
+//! suffixed values (`50GB`, `1h`). This module tolerantly parses that
+//! dialect into `serde_json::Value`, expanding prefixed names through the
+//! query's `PREFIX` table.
+
+use rustc_hash::FxHashMap;
+use serde_json::{Map, Number, Value};
+
+/// Parse relaxed JSON. `prefixes` maps prefix -> namespace IRI for expanding
+/// bare `prefix:local` tokens.
+pub fn parse(input: &str, prefixes: &FxHashMap<String, String>) -> Result<Value, String> {
+    let mut p = P { bytes: input.as_bytes(), input, pos: 0, prefixes };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct P<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    prefixes: &'a FxHashMap<String, String>,
+}
+
+impl P<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('\'') | Some('"') => Ok(Value::String(self.quoted()?)),
+            Some(c) if c.is_ascii_digit() || c == '-' => self.number_or_word(),
+            Some(_) => self.bareword(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = match self.peek() {
+                Some('\'') | Some('"') => self.quoted()?,
+                _ => self.key_word()?,
+            };
+            self.skip_ws();
+            self.expect(':')?;
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.pos += 1;
+                }
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.pos += 1;
+                }
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(format!("expected '{c}' at byte {}, found {:?}", self.pos, self.peek()))
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String, String> {
+        let quote = self.peek().expect("caller checked");
+        self.pos += 1;
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+            if c == quote {
+                return Ok(out);
+            }
+            if c == '\\' {
+                if let Some(esc) = self.peek() {
+                    self.pos += esc.len_utf8();
+                    out.push(esc);
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// A key: letters, digits, `_`, `-`, spaces are NOT included; the
+    /// paper's `Task Budget` key is written with a space, so allow interior
+    /// single spaces when followed by a word char.
+    fn key_word(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                self.pos += 1;
+            } else if c == ' ' {
+                // Lookahead: space inside a key only if a word char follows
+                // before the ':'.
+                let rest = &self.input[self.pos + 1..];
+                let next = rest.chars().next();
+                if next.is_some_and(|n| n.is_ascii_alphanumeric() || n == '_') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(format!("expected key at byte {start}"));
+        }
+        Ok(self.input[start..self.pos].trim().to_owned())
+    }
+
+    /// Numbers, possibly with a unit suffix (`50GB`, `1h`): a pure number
+    /// becomes a JSON number, a suffixed one stays a string.
+    fn number_or_word(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '+' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Number(i.into()));
+        }
+        if let Ok(f) = text.parse::<f64>() {
+            if let Some(n) = Number::from_f64(f) {
+                return Ok(Value::Number(n));
+            }
+        }
+        Ok(Value::String(text.to_owned()))
+    }
+
+    /// Bare words: `true`/`false`/`null`, `prefix:local` (expanded), or a
+    /// plain token kept as a string.
+    fn bareword(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | ':' | '.' | '/' | '#') {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(format!("unexpected character at byte {start}"));
+        }
+        let word = &self.input[start..self.pos];
+        Ok(match word {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            "null" => Value::Null,
+            _ => Value::String(self.expand(word)),
+        })
+    }
+
+    fn expand(&self, word: &str) -> String {
+        if let Some((prefix, local)) = word.split_once(':') {
+            if let Some(ns) = self.prefixes.get(prefix) {
+                return format!("{ns}{local}");
+            }
+        }
+        word.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefixes() -> FxHashMap<String, String> {
+        let mut m = FxHashMap::default();
+        m.insert("kgnet".to_owned(), "https://www.kgnet.com/".to_owned());
+        m.insert("dblp".to_owned(), "https://www.dblp.org/".to_owned());
+        m
+    }
+
+    #[test]
+    fn parses_fig8_style_object() {
+        let text = "{Name: 'MAG_Paper-Venue_Classifer',\n\
+                    GML-Task:{ TaskType: kgnet:NodeClassifier,\n\
+                               TargetNode: dblp:publication,\n\
+                               NodeLable: dblp:venue},\n\
+                    Task Budget:{ MaxMemory:50GB, MaxTime:1h,\n\
+                                  Priority:ModelScore} }";
+        let v = parse(text, &prefixes()).unwrap();
+        assert_eq!(v["Name"], "MAG_Paper-Venue_Classifer");
+        assert_eq!(v["GML-Task"]["TaskType"], "https://www.kgnet.com/NodeClassifier");
+        assert_eq!(v["GML-Task"]["TargetNode"], "https://www.dblp.org/publication");
+        assert_eq!(v["Task Budget"]["MaxMemory"], "50GB");
+        assert_eq!(v["Task Budget"]["Priority"], "ModelScore");
+    }
+
+    #[test]
+    fn parses_numbers_arrays_bools() {
+        let v = parse("{Epochs: 30, LR: 0.01, Tags: [a, 'b c'], Deep: true}", &prefixes()).unwrap();
+        assert_eq!(v["Epochs"], 30);
+        assert_eq!(v["LR"], 0.01);
+        assert_eq!(v["Tags"][1], "b c");
+        assert_eq!(v["Deep"], true);
+    }
+
+    #[test]
+    fn double_quoted_keys_and_values() {
+        let v = parse(r#"{"Name": "x", "K": 5}"#, &prefixes()).unwrap();
+        assert_eq!(v["Name"], "x");
+        assert_eq!(v["K"], 5);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{Name 'x'}", &prefixes()).is_err());
+        assert!(parse("{Name: 'x'", &prefixes()).is_err());
+        assert!(parse("{} extra", &prefixes()).is_err());
+    }
+
+    #[test]
+    fn unknown_prefix_stays_verbatim() {
+        let v = parse("{T: foo:bar}", &prefixes()).unwrap();
+        assert_eq!(v["T"], "foo:bar");
+    }
+}

@@ -1,0 +1,176 @@
+//! The SPARQL-ML query re-writer (paper §IV.B.3, Figs. 11/12).
+//!
+//! Rewrites a SPARQL-ML SELECT into (a) a candidate plain-SPARQL rendering
+//! with `sql:UDFS.*` calls — the textual form the paper shows — and (b) an
+//! executable plan: the stripped data query plus one inference step per
+//! user-defined predicate.
+
+use kgnet_rdf::sparql::{Projection, ProjectionItem, SelectQuery, TermPattern};
+
+use crate::opt::RewritePlan;
+use crate::parser::{SparqlMlQuery, UdPredicate};
+
+/// One inference step of the rewritten query.
+#[derive(Debug, Clone)]
+pub struct InferenceStep {
+    /// The predicate being evaluated.
+    pub ud: UdPredicate,
+    /// The model chosen by the optimizer.
+    pub model_uri: String,
+    /// The chosen plan.
+    pub plan: RewritePlan,
+}
+
+/// A rewritten SPARQL-ML query.
+#[derive(Debug, Clone)]
+pub struct RewrittenQuery {
+    /// The executable data query (UD triples removed, no modifiers).
+    pub base: SelectQuery,
+    /// Inference steps, applied in order after the base query.
+    pub steps: Vec<InferenceStep>,
+    /// Candidate plain-SPARQL rendering (Figs. 11/12 style), for logging
+    /// and endpoint submission.
+    pub sparql: String,
+}
+
+/// Build the rewritten query from a parsed ML query, the chosen model per
+/// predicate and the chosen plan per predicate.
+pub fn rewrite(
+    query: &SparqlMlQuery,
+    models: &[String],
+    plans: &[RewritePlan],
+) -> RewrittenQuery {
+    assert_eq!(models.len(), query.ud_predicates.len(), "one model per predicate");
+    assert_eq!(plans.len(), query.ud_predicates.len(), "one plan per predicate");
+    let steps: Vec<InferenceStep> = query
+        .ud_predicates
+        .iter()
+        .zip(models.iter().zip(plans))
+        .map(|(ud, (m, &plan))| InferenceStep { ud: ud.clone(), model_uri: m.clone(), plan })
+        .collect();
+
+    // Strip solution modifiers from the executable base: they are re-applied
+    // after the inferred columns are filled.
+    let mut base = query.base.clone();
+    base.distinct = false;
+    base.limit = None;
+    base.offset = None;
+    base.order_by.clear();
+
+    let sparql = render(query, &steps);
+    RewrittenQuery { base, steps, sparql }
+}
+
+/// Render the candidate SPARQL text (the Fig. 11 / Fig. 12 shapes).
+fn render(query: &SparqlMlQuery, steps: &[InferenceStep]) -> String {
+    let mut out = String::from("SELECT");
+    let projected: Vec<String> = match &query.base.projection {
+        Projection::All => query.base.output_vars(),
+        Projection::Items(items) => items
+            .iter()
+            .map(|i| match i {
+                ProjectionItem::Var(v) => v.clone(),
+                ProjectionItem::Agg { alias, .. } => alias.clone(),
+            })
+            .collect(),
+    };
+    let inferred: Vec<&str> = steps.iter().map(|s| s.ud.object_var.as_str()).collect();
+    for v in &projected {
+        if inferred.contains(&v.as_str()) {
+            continue; // rendered as a UDF projection below
+        }
+        out.push_str(&format!(" ?{v}"));
+    }
+    for step in steps {
+        let subject = render_term(&step.ud.subject);
+        match step.plan {
+            RewritePlan::PerBinding => {
+                out.push_str(&format!(
+                    "\n  sql:UDFS.getNodeClass(<{}>, {subject}) as ?{}",
+                    step.model_uri, step.ud.object_var
+                ));
+            }
+            RewritePlan::Dictionary => {
+                out.push_str(&format!(
+                    "\n  sql:UDFS.getKeyValue(?{}_dic, {subject}) as ?{}",
+                    step.ud.object_var, step.ud.object_var
+                ));
+            }
+        }
+    }
+    out.push_str("\nWHERE {\n");
+    for tp in &query.base.pattern.triples {
+        out.push_str(&format!("  {tp}\n"));
+    }
+    for step in steps {
+        if step.plan == RewritePlan::Dictionary {
+            out.push_str(&format!(
+                "  {{ SELECT sql:UDFS.getNodeClassDict(<{}>) as ?{}_dic WHERE {{ }} }}\n",
+                step.model_uri, step.ud.object_var
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn render_term(t: &TermPattern) -> String {
+    match t {
+        TermPattern::Var(v) => format!("?{v}"),
+        TermPattern::Ground(g) => g.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, SparqlMlOperation};
+
+    fn fig2_query() -> SparqlMlQuery {
+        let op = parse(
+            r#"
+            PREFIX dblp: <https://www.dblp.org/>
+            PREFIX kgnet: <https://www.kgnet.com/>
+            SELECT ?title ?venue WHERE {
+              ?paper a dblp:Publication .
+              ?paper dblp:title ?title .
+              ?paper ?NodeClassifier ?venue .
+              ?NodeClassifier a kgnet:NodeClassifier .
+              ?NodeClassifier kgnet:TargetNode dblp:Publication .
+              ?NodeClassifier kgnet:NodeLabel dblp:venue . }"#,
+        )
+        .unwrap();
+        match op {
+            SparqlMlOperation::Select(q) => q,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_binding_renders_fig11_shape() {
+        let q = fig2_query();
+        let rw = rewrite(&q, &["https://www.kgnet.com/model/nc/m1".into()], &[RewritePlan::PerBinding]);
+        assert!(rw.sparql.contains("sql:UDFS.getNodeClass(<https://www.kgnet.com/model/nc/m1>, ?paper) as ?venue"));
+        assert!(!rw.sparql.contains("getKeyValue"));
+        assert_eq!(rw.steps.len(), 1);
+    }
+
+    #[test]
+    fn dictionary_renders_fig12_shape() {
+        let q = fig2_query();
+        let rw = rewrite(&q, &["https://www.kgnet.com/model/nc/m1".into()], &[RewritePlan::Dictionary]);
+        assert!(rw.sparql.contains("sql:UDFS.getKeyValue(?venue_dic, ?paper) as ?venue"));
+        assert!(rw.sparql.contains("getNodeClassDict"));
+        assert!(rw.sparql.contains("{ SELECT"));
+    }
+
+    #[test]
+    fn base_query_loses_modifiers() {
+        let mut q = fig2_query();
+        q.base.limit = Some(5);
+        q.base.distinct = true;
+        let rw = rewrite(&q, &["m".into()], &[RewritePlan::Dictionary]);
+        assert_eq!(rw.base.limit, None);
+        assert!(!rw.base.distinct);
+    }
+}

