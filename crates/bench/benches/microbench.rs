@@ -11,8 +11,8 @@ use kgnet_datagen::{generate_dblp, DblpConfig};
 use kgnet_gml::config::{GmlMethodKind, GnnConfig};
 use kgnet_gml::dataset::{build_lp_dataset, build_nc_dataset};
 use kgnet_gml::lp::train_lp;
-use kgnet_graph::{transform, GmlTask, LpTask, NcTask, SplitRatios, SplitStrategy};
 use kgnet_gmlaas::{EmbeddingStore, Metric};
+use kgnet_graph::{transform, GmlTask, LpTask, NcTask, SplitRatios, SplitStrategy};
 use kgnet_linalg::{init, CsrMatrix, Tape};
 use kgnet_rdf::{query, RdfStore};
 use kgnet_sampler::{meta_sample_task, SamplingScope};
@@ -64,13 +64,7 @@ fn bench_rdf(c: &mut Criterion) {
     });
 
     c.bench_function("rdf/count_aggregate", |b| {
-        b.iter(|| {
-            query(
-                &store,
-                "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t }",
-            )
-            .unwrap()
-        })
+        b.iter(|| query(&store, "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t }").unwrap())
     });
 }
 
@@ -82,13 +76,9 @@ fn bench_pipeline(c: &mut Criterion) {
 
     c.bench_function("pipeline/meta_sample_d1h1", |b| {
         b.iter(|| {
-            meta_sample_task(
-                &store,
-                &GmlTask::NodeClassification(nc_task()),
-                SamplingScope::D1H1,
-            )
-            .store
-            .len()
+            meta_sample_task(&store, &GmlTask::NodeClassification(nc_task()), SamplingScope::D1H1)
+                .store
+                .len()
         })
     });
 
@@ -102,7 +92,8 @@ fn bench_pipeline(c: &mut Criterion) {
 
 fn bench_training(c: &mut Criterion) {
     let store = kg();
-    let data = build_nc_dataset(&store, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
+    let data =
+        build_nc_dataset(&store, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
     let adj = Rc::new(data.graph.gcn_adjacency());
     let n = data.graph.n_nodes();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
@@ -144,7 +135,11 @@ fn bench_spmm(c: &mut Criterion) {
     let store = kg();
     let (graph, _) = transform(&store, &[]);
     let adj = graph.gcn_adjacency();
-    let x = init::xavier_uniform(graph.n_nodes(), 64, &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1));
+    let x = init::xavier_uniform(
+        graph.n_nodes(),
+        64,
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+    );
     c.bench_function("linalg/spmm_13k_graph_d64", |b| b.iter(|| adj.spmm(&x).rows()));
     c.bench_function("linalg/csr_transpose", |b| b.iter(|| adj.transpose().nnz()));
     let _ = CsrMatrix::from_coo(2, 2, vec![(0, 1, 1.0)]);

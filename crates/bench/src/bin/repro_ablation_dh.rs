@@ -16,7 +16,10 @@ fn main() {
     eprintln!("[abl-dh] DBLP-sim: {} triples, epochs={}", kg.len(), cfg.epochs);
 
     println!("\nMeta-sampling ablation — DBLP paper→venue NC (GraphSAINT)");
-    println!("{:<8} {:>9} {:>10} {:>12} {:>10}", "scope", "accuracy", "time(s)", "peak-mem", "#triples");
+    println!(
+        "{:<8} {:>9} {:>10} {:>12} {:>10}",
+        "scope", "accuracy", "time(s)", "peak-mem", "#triples"
+    );
     let mut best_nc = (String::new(), 0.0f64);
     for scope in SamplingScope::ALL {
         let cell = run_nc_cell(
@@ -41,7 +44,10 @@ fn main() {
     }
 
     println!("\nMeta-sampling ablation — DBLP author→affiliation LP (MorsE, Hits@10)");
-    println!("{:<8} {:>9} {:>10} {:>12} {:>10}", "scope", "hits@10", "time(s)", "peak-mem", "#triples");
+    println!(
+        "{:<8} {:>9} {:>10} {:>12} {:>10}",
+        "scope", "hits@10", "time(s)", "peak-mem", "#triples"
+    );
     let mut best_lp = (String::new(), 0.0f64);
     for scope in SamplingScope::ALL {
         let cell = run_lp_cell(
@@ -66,6 +72,11 @@ fn main() {
     }
 
     println!("\nPaper finding: d1h1 best for NC, d2h1 best for LP.");
-    println!("Measured best: NC -> {} ({:.1}%), LP -> {} ({:.1}%)",
-        best_nc.0, best_nc.1 * 100.0, best_lp.0, best_lp.1 * 100.0);
+    println!(
+        "Measured best: NC -> {} ({:.1}%), LP -> {} ({:.1}%)",
+        best_nc.0,
+        best_nc.1 * 100.0,
+        best_lp.0,
+        best_lp.1 * 100.0
+    );
 }

@@ -15,12 +15,7 @@ fn main() {
     let cfg = env.gnn_config();
     let kg = dblp_store(&env);
     let task = dblp_nc_task();
-    eprintln!(
-        "[fig13] DBLP-sim: {} triples, epochs={}, scale={}",
-        kg.len(),
-        cfg.epochs,
-        env.scale
-    );
+    eprintln!("[fig13] DBLP-sim: {} triples, epochs={}, scale={}", kg.len(), cfg.epochs, env.scale);
 
     // Paper values from Fig. 13 (percent, hours, GB).
     let paper: &[(GmlMethodKind, PaperRef, PaperRef)] = &[
@@ -46,14 +41,8 @@ fn main() {
         eprintln!("[fig13] training {} on full KG...", method.name());
         let full = run_nc_cell(&kg, "DBLP", &task, method, Pipeline::FullKg, &cfg);
         eprintln!("[fig13] training {} on KG' (d1h1)...", method.name());
-        let prime = run_nc_cell(
-            &kg,
-            "DBLP",
-            &task,
-            method,
-            Pipeline::KgPrime(SamplingScope::D1H1),
-            &cfg,
-        );
+        let prime =
+            run_nc_cell(&kg, "DBLP", &task, method, Pipeline::KgPrime(SamplingScope::D1H1), &cfg);
         cells.push((full, Some(full_ref)));
         cells.push((prime, Some(prime_ref)));
     }

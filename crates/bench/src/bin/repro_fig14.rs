@@ -14,12 +14,7 @@ fn main() {
     let cfg = env.gnn_config();
     let kg = yago_store(&env);
     let task = yago_nc_task();
-    eprintln!(
-        "[fig14] YAGO-sim: {} triples, epochs={}, scale={}",
-        kg.len(),
-        cfg.epochs,
-        env.scale
-    );
+    eprintln!("[fig14] YAGO-sim: {} triples, epochs={}, scale={}", kg.len(), cfg.epochs, env.scale);
 
     // Paper values from Fig. 14 (percent, hours, GB).
     let paper: &[(GmlMethodKind, PaperRef, PaperRef)] = &[
@@ -45,14 +40,8 @@ fn main() {
         eprintln!("[fig14] training {} on full KG...", method.name());
         let full = run_nc_cell(&kg, "YAGO", &task, method, Pipeline::FullKg, &cfg);
         eprintln!("[fig14] training {} on KG' (d1h1)...", method.name());
-        let prime = run_nc_cell(
-            &kg,
-            "YAGO",
-            &task,
-            method,
-            Pipeline::KgPrime(SamplingScope::D1H1),
-            &cfg,
-        );
+        let prime =
+            run_nc_cell(&kg, "YAGO", &task, method, Pipeline::KgPrime(SamplingScope::D1H1), &cfg);
         cells.push((full, Some(full_ref)));
         cells.push((prime, Some(prime_ref)));
     }

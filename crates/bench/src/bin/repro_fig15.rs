@@ -17,12 +17,7 @@ fn main() {
     cfg.epochs *= 2;
     let kg = dblp_store(&env);
     let task = dblp_lp_task();
-    eprintln!(
-        "[fig15] DBLP-sim: {} triples, epochs={}, scale={}",
-        kg.len(),
-        cfg.epochs,
-        env.scale
-    );
+    eprintln!("[fig15] DBLP-sim: {} triples, epochs={}, scale={}", kg.len(), cfg.epochs, env.scale);
 
     eprintln!("[fig15] training MorsE on full KG...");
     let full = run_lp_cell(&kg, "DBLP", &task, GmlMethodKind::Morse, Pipeline::FullKg, &cfg);
@@ -41,9 +36,6 @@ fn main() {
         (prime, Some(PaperRef { metric_pct: 89.0, time_h: 3.1, mem_gb: 6.0 })),
     ];
 
-    print_figure(
-        "Figure 15 — DBLP author→affiliation link prediction, MorsE (Hits@10)",
-        &cells,
-    );
+    print_figure("Figure 15 — DBLP author→affiliation link prediction, MorsE (Hits@10)", &cells);
     print_shape_checks(&cells);
 }

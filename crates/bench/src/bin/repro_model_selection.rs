@@ -15,7 +15,8 @@ fn main() {
     let env = BenchEnv::from_env();
     let cfg = env.gnn_config();
     let kg = dblp_store(&env);
-    let data = build_nc_dataset(&kg, &dblp_nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
+    let data =
+        build_nc_dataset(&kg, &dblp_nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
     let dims = GraphDims::of_nc(&data);
     println!(
         "Method selection on DBLP-sim NC: n={} nodes, e={} edges, r={} relations\n",
@@ -59,9 +60,27 @@ fn main() {
     // Query-time model selection among trained models (the §IV.B.3 IP).
     println!("\nQuery-time model selection (accuracy-max under inference-time bound):");
     let portfolio = vec![vec![
-        ModelInfo { uri: "m-rgcn".into(), accuracy: 0.80, inference_time_ms: 0.4, cardinality: 6000, method: "RGCN".into() },
-        ModelInfo { uri: "m-saint".into(), accuracy: 0.90, inference_time_ms: 1.8, cardinality: 6000, method: "G-SAINT".into() },
-        ModelInfo { uri: "m-shadow".into(), accuracy: 0.91, inference_time_ms: 6.5, cardinality: 6000, method: "SH-SAINT".into() },
+        ModelInfo {
+            uri: "m-rgcn".into(),
+            accuracy: 0.80,
+            inference_time_ms: 0.4,
+            cardinality: 6000,
+            method: "RGCN".into(),
+        },
+        ModelInfo {
+            uri: "m-saint".into(),
+            accuracy: 0.90,
+            inference_time_ms: 1.8,
+            cardinality: 6000,
+            method: "G-SAINT".into(),
+        },
+        ModelInfo {
+            uri: "m-shadow".into(),
+            accuracy: 0.91,
+            inference_time_ms: 6.5,
+            cardinality: 6000,
+            method: "SH-SAINT".into(),
+        },
     ]];
     for bound in [None, Some(5.0f64), Some(1.0)] {
         let chosen = select_models(&portfolio, bound);

@@ -47,11 +47,7 @@ fn main() {
     );
 
     for &n_papers in &[200usize, 800, 2000] {
-        let cfg = DblpConfig {
-            n_papers,
-            n_authors: n_papers / 2,
-            ..DblpConfig::small(13)
-        };
+        let cfg = DblpConfig { n_papers, n_authors: n_papers / 2, ..DblpConfig::small(13) };
         let (kg, _) = generate_dblp(&cfg);
 
         // Dictionary plan: the optimizer's default choice.
@@ -66,7 +62,12 @@ fn main() {
         let (calls, bytes, time, rows) = run(&mut platform, n_papers);
         println!(
             "{:<10} {:<12} {:>10} {:>12} {:>10.1} {:>8}",
-            n_papers, "dictionary", calls, bytes, time * 1e3, rows
+            n_papers,
+            "dictionary",
+            calls,
+            bytes,
+            time * 1e3,
+            rows
         );
 
         // Per-binding plan: forced by capping the dictionary memory to zero.
@@ -79,7 +80,12 @@ fn main() {
         let (calls, bytes, time, rows) = run(&mut platform, n_papers);
         println!(
             "{:<10} {:<12} {:>10} {:>12} {:>10.1} {:>8}",
-            n_papers, "per-binding", calls, bytes, time * 1e3, rows
+            n_papers,
+            "per-binding",
+            calls,
+            bytes,
+            time * 1e3,
+            rows
         );
     }
     println!("\nShape check: dictionary plan issues exactly 1 call regardless of |?papers|,");

@@ -22,7 +22,14 @@ fn main() {
         let kg_cfg = DblpConfig::benchmark(env.seed).scaled(factor * env.scale);
         let kg = kgnet_datagen::generate_dblp(&kg_cfg).0;
         for pipeline in [Pipeline::FullKg, Pipeline::KgPrime(SamplingScope::D1H1)] {
-            let cell = run_nc_cell(&kg, "DBLP", &dblp_nc_task(), GmlMethodKind::GraphSaint, pipeline, &cfg);
+            let cell = run_nc_cell(
+                &kg,
+                "DBLP",
+                &dblp_nc_task(),
+                GmlMethodKind::GraphSaint,
+                pipeline,
+                &cfg,
+            );
             println!(
                 "{:<8} {:<12} {:>9.1}% {:>10.2} {:>12} {:>10}",
                 factor,

@@ -26,14 +26,8 @@ fn main() {
         "{:<22} {:>14} {:>14}   50 venues / 200 countries",
         "#Label classes", venues, countries
     );
-    println!(
-        "{:<22} {:>14} {:>14}   1.2M papers / (places)",
-        "#NC targets", papers, places
-    );
-    println!(
-        "{:<22} {:>14} {:>14}   51K affiliations / -",
-        "#LP destinations", affiliations, 0
-    );
+    println!("{:<22} {:>14} {:>14}   1.2M papers / (places)", "#NC targets", papers, places);
+    println!("{:<22} {:>14} {:>14}   51K affiliations / -", "#LP destinations", affiliations, 0);
     println!("{:<22} {:>14} {:>14}   48 / 98", "#Edge Types", ds.n_edge_types, ys.n_edge_types);
     println!("{:<22} {:>14} {:>14}   42 / 104", "#Node Types", ds.n_node_types, ys.n_node_types);
     println!("{:<22} {:>14} {:>14}   NC,LP,ES / NC", "Tasks", "NC,LP,ES", "NC");

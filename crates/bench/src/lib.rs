@@ -152,7 +152,8 @@ pub fn run_nc_cell(
     let n_triples = store.len();
     memtrack::reset_peak();
     let t0 = Instant::now();
-    let data = build_nc_dataset(store, task, SplitStrategy::Random, SplitRatios::default(), cfg.seed);
+    let data =
+        build_nc_dataset(store, task, SplitStrategy::Random, SplitRatios::default(), cfg.seed);
     let trained = train_nc(method, &data, cfg);
     let wall = t0.elapsed().as_secs_f64();
     cell_from_report(&trained.report, method, pipeline.label(kg_name), wall, n_triples)

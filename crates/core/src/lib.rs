@@ -96,9 +96,9 @@ impl KgNet {
     pub fn sparql(&mut self, query: &str) -> Result<QueryResult, MlError> {
         match self.execute(query)? {
             MlOutcome::Rows(rows) => Ok(rows),
-            other => Err(MlError::Sparql(SparqlError::eval(format!(
-                "expected rows, got {other:?}"
-            )))),
+            other => {
+                Err(MlError::Sparql(SparqlError::eval(format!("expected rows, got {other:?}"))))
+            }
         }
     }
 

@@ -272,7 +272,8 @@ pub fn generate(cfg: &DblpConfig) -> (RdfStore, DblpGroundTruth) {
         // Citations to same-topic earlier papers.
         let n_cites = poisson_like(&mut rng, cfg.citations_per_paper);
         for _ in 0..n_cites {
-            let pool = if rng.gen_bool(0.85) { &papers_by_topic[topic] } else { &truth.paper_topic };
+            let pool =
+                if rng.gen_bool(0.85) { &papers_by_topic[topic] } else { &truth.paper_topic };
             if pool.is_empty() {
                 continue;
             }
@@ -405,11 +406,8 @@ mod tests {
     fn node_and_edge_type_counts_match_config_shape() {
         let cfg = DblpConfig::tiny(5);
         let (st, _) = generate(&cfg);
-        let q = kgnet_rdf::query(
-            &st,
-            "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t }",
-        )
-        .unwrap();
+        let q =
+            kgnet_rdf::query(&st, "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t }").unwrap();
         let n_types = q.rows[0][0].as_ref().unwrap().as_int().unwrap() as usize;
         // 5 core classes + distractor classes.
         assert_eq!(n_types, 5 + cfg.distractor_classes);

@@ -165,5 +165,4 @@ mod tests {
         assert!(super::yago::place(3).ends_with("place3"));
         assert!(super::dblp::distractor_edge(5).contains("rel5"));
     }
-
 }

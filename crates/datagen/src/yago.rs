@@ -161,8 +161,8 @@ pub fn generate(cfg: &YagoConfig) -> (RdfStore, YagoGroundTruth) {
         } else {
             rng.gen_range(0..cfg.n_countries)
         };
-        let region = region_country * cfg.regions_per_country
-            + rng.gen_range(0..cfg.regions_per_country);
+        let region =
+            region_country * cfg.regions_per_country + rng.gen_range(0..cfg.regions_per_country);
         st.insert(p.clone(), Term::iri(v::IN_REGION), Term::iri(v::region(region)));
         // Neighbours (signal).
         let n_nb = poisson_like(&mut rng, cfg.neighbors_per_place);
@@ -273,12 +273,7 @@ mod tests {
             let p = st.lookup(&Term::iri(v::place(i))).unwrap();
             for (_, _, region) in st.matches(Some(p), Some(in_region), None) {
                 let iri = st.resolve(region).as_iri().unwrap().to_owned();
-                let idx: usize = iri
-                    .rsplit("region")
-                    .next()
-                    .unwrap()
-                    .parse()
-                    .unwrap();
+                let idx: usize = iri.rsplit("region").next().unwrap().parse().unwrap();
                 total += 1;
                 if idx / cfg.regions_per_country == c {
                     consistent += 1;
@@ -292,8 +287,8 @@ mod tests {
     fn type_count_matches_shape() {
         let cfg = YagoConfig::tiny(3);
         let (st, _) = generate(&cfg);
-        let q = kgnet_rdf::query(&st, "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t }")
-            .unwrap();
+        let q =
+            kgnet_rdf::query(&st, "SELECT (COUNT(DISTINCT ?t) AS ?n) WHERE { ?s a ?t }").unwrap();
         let n = q.rows[0][0].as_ref().unwrap().as_int().unwrap() as usize;
         assert_eq!(n, 5 + cfg.distractor_classes);
     }

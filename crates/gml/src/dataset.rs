@@ -13,7 +13,6 @@ use kgnet_graph::{
 };
 use kgnet_rdf::RdfStore;
 
-
 /// Plain-IRI string of a term (falls back to the display form for
 /// non-IRI terms).
 fn iri_string(store: &RdfStore, id: kgnet_rdf::TermId) -> String {
@@ -90,15 +89,7 @@ pub fn build_nc_dataset(
         }
     };
 
-    NcDataset {
-        graph,
-        target_nodes,
-        target_iris,
-        labels: nc.labels,
-        class_iris,
-        split,
-        stats,
-    }
+    NcDataset { graph, target_nodes, target_iris, labels: nc.labels, class_iris, split, stats }
 }
 
 /// A ready-to-train link-prediction dataset.
@@ -194,8 +185,8 @@ pub fn build_lp_dataset(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kgnet_datagen::{generate_dblp, DblpConfig};
     use kgnet_datagen::vocab::dblp as v;
+    use kgnet_datagen::{generate_dblp, DblpConfig};
 
     fn nc_task() -> NcTask {
         NcTask { target_type: v::PUBLICATION.into(), label_predicate: v::PUBLISHED_IN.into() }
@@ -213,7 +204,8 @@ mod tests {
     fn nc_dataset_covers_all_labelled_targets() {
         let cfg = DblpConfig::tiny(11);
         let (st, _) = generate_dblp(&cfg);
-        let ds = build_nc_dataset(&st, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
+        let ds =
+            build_nc_dataset(&st, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
         assert_eq!(ds.n_targets(), cfg.n_papers);
         assert_eq!(ds.n_classes(), cfg.n_venues);
         assert_eq!(ds.split.len(), cfg.n_papers);
@@ -245,7 +237,8 @@ mod tests {
     fn labels_are_within_class_range() {
         let cfg = DblpConfig::tiny(19);
         let (st, _) = generate_dblp(&cfg);
-        let ds = build_nc_dataset(&st, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
+        let ds =
+            build_nc_dataset(&st, &nc_task(), SplitStrategy::Random, SplitRatios::default(), 1);
         assert!(ds.labels.iter().all(|&l| (l as usize) < ds.n_classes()));
     }
 }

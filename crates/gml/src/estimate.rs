@@ -96,16 +96,14 @@ pub fn estimate(method: GmlMethodKind, dims: &GraphDims, cfg: &GnnConfig) -> Res
             let sub = (cfg.saint_roots * (cfg.saint_walk_length + 1)) as f64;
             let steps = (dims.n_targets as f64 / cfg.saint_roots.max(1) as f64).clamp(1.0, 32.0);
             let act = 6.0 * sub * f * bytes + sub * c * bytes;
-            let flops = epochs * steps * (2.0 * sub * f * (f + c)) * 3.0
-                + 2.0 * n * f * (f + c); // final full inference
+            let flops = epochs * steps * (2.0 * sub * f * (f + c)) * 3.0 + 2.0 * n * f * (f + c); // final full inference
             (table + act, flops, 0.82)
         }
         GmlMethodKind::ShadowSaint => {
             let scope = (cfg.shadow_neighbor_cap + 1).pow(cfg.shadow_depth as u32) as f64;
             let batch_nodes = cfg.batch_size as f64 * scope;
             let act = 6.0 * batch_nodes * f * bytes;
-            let flops =
-                epochs * (dims.n_targets as f64 * scope * 2.0 * f * (2.0 * f + c)) * 3.0;
+            let flops = epochs * (dims.n_targets as f64 * scope * 2.0 * f * (2.0 * f + c)) * 3.0;
             (table + act, flops, 0.85)
         }
         GmlMethodKind::Morse => {
@@ -165,10 +163,7 @@ mod tests {
         for method in GmlMethodKind::NC_METHODS {
             let small = estimate(method, &dims(1_000, 5_000, 10), &cfg);
             let large = estimate(method, &dims(100_000, 500_000, 10), &cfg);
-            assert!(
-                large.memory_bytes > small.memory_bytes,
-                "{method} memory does not scale"
-            );
+            assert!(large.memory_bytes > small.memory_bytes, "{method} memory does not scale");
             assert!(large.time_s >= small.time_s, "{method} time does not scale");
         }
     }

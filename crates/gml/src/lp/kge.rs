@@ -286,9 +286,7 @@ fn score_rows(method: GmlMethodKind, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
             }
             -ss.max(1e-12).sqrt()
         }
-        GmlMethodKind::DistMult => {
-            h.iter().zip(r).zip(t).map(|((&a, &b), &c)| a * b * c).sum()
-        }
+        GmlMethodKind::DistMult => h.iter().zip(r).zip(t).map(|((&a, &b), &c)| a * b * c).sum(),
         GmlMethodKind::ComplEx => {
             let half = h.len() / 2;
             let mut s = 0.0f32;

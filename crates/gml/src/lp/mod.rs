@@ -79,11 +79,9 @@ pub(crate) fn finish_lp(
     // Rank test/valid edges straight from the precomputed score matrix.
     let src_pos = |node: u32| data.sources.iter().position(|&s| s == node);
     let eval = |idx: &[u32]| -> (f64, f64) {
-        rank_edges(data, idx, |s| {
-            match src_pos(s) {
-                Some(p) => scores.row(p).to_vec(),
-                None => vec![0.0; data.destinations.len()],
-            }
+        rank_edges(data, idx, |s| match src_pos(s) {
+            Some(p) => scores.row(p).to_vec(),
+            None => vec![0.0; data.destinations.len()],
         })
     };
     let (test_hits, test_mrr) = eval(&data.split.test);

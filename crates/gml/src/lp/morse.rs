@@ -257,10 +257,8 @@ mod tests {
         let cfg = GnnConfig { epochs: 40, batch_size: 64, ..GnnConfig::fast_test() };
         let out = train(&data, &cfg);
         let first: f32 = out.report.loss_curve[..5].iter().sum::<f32>() / 5.0;
-        let last: f32 = out.report.loss_curve[out.report.loss_curve.len() - 5..]
-            .iter()
-            .sum::<f32>()
-            / 5.0;
+        let last: f32 =
+            out.report.loss_curve[out.report.loss_curve.len() - 5..].iter().sum::<f32>() / 5.0;
         assert!(last < first, "loss did not decrease: {first} -> {last}");
     }
 

@@ -128,10 +128,7 @@ pub(crate) mod testutil {
         let (st, _) = generate_dblp(&DblpConfig::tiny(23));
         build_nc_dataset(
             &st,
-            &NcTask {
-                target_type: v::PUBLICATION.into(),
-                label_predicate: v::PUBLISHED_IN.into(),
-            },
+            &NcTask { target_type: v::PUBLICATION.into(), label_predicate: v::PUBLISHED_IN.into() },
             SplitStrategy::Random,
             SplitRatios::default(),
             5,

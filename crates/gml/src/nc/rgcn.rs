@@ -22,7 +22,9 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use kgnet_linalg::{init, memtrack, Adam, CsrMatrix, Matrix, Optimizer, ParamId, ParamStore, Tape, Var};
+use kgnet_linalg::{
+    init, memtrack, Adam, CsrMatrix, Matrix, Optimizer, ParamId, ParamStore, Tape, Var,
+};
 
 use crate::config::{GmlMethodKind, GnnConfig};
 use crate::dataset::NcDataset;

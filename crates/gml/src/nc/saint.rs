@@ -49,8 +49,7 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
     let train_target_nodes: Vec<u32> =
         data.split.train.iter().map(|&i| data.target_nodes[i as usize]).collect();
 
-    let steps_per_epoch =
-        (train_target_nodes.len() / cfg.saint_roots.max(1)).clamp(1, 32);
+    let steps_per_epoch = (train_target_nodes.len() / cfg.saint_roots.max(1)).clamp(1, 32);
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
@@ -58,7 +57,8 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
         let mut counted = 0usize;
         for _step in 0..steps_per_epoch {
             // --- Sample subgraph by random walks.
-            let mut nodes: Vec<u32> = Vec::with_capacity(cfg.saint_roots * (cfg.saint_walk_length + 1));
+            let mut nodes: Vec<u32> =
+                Vec::with_capacity(cfg.saint_roots * (cfg.saint_walk_length + 1));
             let mut local: FxHashMap<u32, u32> = FxHashMap::default();
             let push = |v: u32, nodes: &mut Vec<u32>, local: &mut FxHashMap<u32, u32>| {
                 local.entry(v).or_insert_with(|| {

@@ -23,5 +23,7 @@ pub use embedding_store::{EmbeddingStore, Metric};
 pub use ip::{solve, IntegerProgram, IpSolution};
 pub use model_store::{ArtifactPayload, ModelArtifact, ModelStore, TaskKind};
 pub use selector::{select_method, Candidate, SelectionTrace};
-pub use service::{InferenceRequest, InferenceResponse, InferenceService, ServiceError, ServiceStats};
+pub use service::{
+    InferenceRequest, InferenceResponse, InferenceService, ServiceError, ServiceStats,
+};
 pub use training::{TrainError, TrainOutcome, TrainRequest, TrainingManager};

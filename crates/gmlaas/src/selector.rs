@@ -119,12 +119,8 @@ mod tests {
     #[test]
     fn impossible_budget_selects_nothing() {
         let budget = TaskBudget::with_memory(16);
-        let trace = select_method(
-            &GmlMethodKind::NC_METHODS,
-            &dims(),
-            &GnnConfig::default(),
-            &budget,
-        );
+        let trace =
+            select_method(&GmlMethodKind::NC_METHODS, &dims(), &GnnConfig::default(), &budget);
         assert_eq!(trace.chosen, None);
         assert!(trace.candidates.iter().all(|c| !c.feasible));
     }
@@ -132,12 +128,8 @@ mod tests {
     #[test]
     fn time_priority_picks_fastest() {
         let budget = TaskBudget { priority: Priority::TrainingTime, ..Default::default() };
-        let trace = select_method(
-            &GmlMethodKind::NC_METHODS,
-            &dims(),
-            &GnnConfig::default(),
-            &budget,
-        );
+        let trace =
+            select_method(&GmlMethodKind::NC_METHODS, &dims(), &GnnConfig::default(), &budget);
         let chosen = trace.chosen.unwrap();
         let min = trace
             .candidates

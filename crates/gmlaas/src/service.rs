@@ -306,7 +306,10 @@ mod tests {
     fn node_class_lookup_counts_calls() {
         let (svc, uri) = service_with_nc();
         let resp = svc
-            .call(&InferenceRequest::GetNodeClass { model: uri.clone(), node: "http://x/p1".into() })
+            .call(&InferenceRequest::GetNodeClass {
+                model: uri.clone(),
+                node: "http://x/p1".into(),
+            })
             .unwrap();
         assert_eq!(
             resp,

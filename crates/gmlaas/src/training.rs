@@ -108,7 +108,11 @@ impl TrainingManager {
     }
 
     /// Run the automated pipeline on a task-specific subgraph.
-    pub fn train(&self, kg_prime: &RdfStore, req: &TrainRequest) -> Result<TrainOutcome, TrainError> {
+    pub fn train(
+        &self,
+        kg_prime: &RdfStore,
+        req: &TrainRequest,
+    ) -> Result<TrainOutcome, TrainError> {
         match &req.task {
             GmlTask::NodeClassification(nc) => self.train_nc_task(kg_prime, req, nc),
             GmlTask::LinkPrediction(lp) => self.train_lp_task(kg_prime, req, lp),
@@ -120,10 +124,8 @@ impl TrainingManager {
 
     fn mint_uri(&self, kind: &str, method: GmlMethodKind, name: &str) -> String {
         let id = self.counter.fetch_add(1, Ordering::Relaxed);
-        let slug: String = name
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-            .collect();
+        let slug: String =
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
         format!("https://www.kgnet.com/model/{kind}/{}-{slug}-{id}", method.name())
     }
 
@@ -133,7 +135,8 @@ impl TrainingManager {
         req: &TrainRequest,
         task: &kgnet_graph::NcTask,
     ) -> Result<TrainOutcome, TrainError> {
-        let data = build_nc_dataset(kg, task, req.split_strategy, SplitRatios::default(), req.cfg.seed);
+        let data =
+            build_nc_dataset(kg, task, req.split_strategy, SplitRatios::default(), req.cfg.seed);
         if data.n_targets() == 0 || data.n_classes() == 0 {
             return Err(TrainError::EmptyTask);
         }

@@ -266,7 +266,10 @@ mod tests {
         assert_eq!(adjs.len(), 4);
         // "wrote" forward has edge a0 -> p0.
         let wrote_fwd = &adjs[0];
-        assert_eq!(wrote_fwd.row(2).0.len() + wrote_fwd.row(0).0.len() + wrote_fwd.row(1).0.len(), 1);
+        assert_eq!(
+            wrote_fwd.row(2).0.len() + wrote_fwd.row(0).0.len() + wrote_fwd.row(1).0.len(),
+            1
+        );
     }
 
     #[test]

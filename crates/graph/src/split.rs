@@ -80,11 +80,7 @@ pub fn random_split(n: usize, ratios: SplitRatios, seed: u64) -> Split {
 ///
 /// `target_neighbors[i]` lists opaque neighbour keys of target `i` (e.g.
 /// global node ids of its graph neighbours).
-pub fn community_split(
-    target_neighbors: &[Vec<u32>],
-    ratios: SplitRatios,
-    seed: u64,
-) -> Split {
+pub fn community_split(target_neighbors: &[Vec<u32>], ratios: SplitRatios, seed: u64) -> Split {
     let n = target_neighbors.len();
     let mut uf = UnionFind::new(n);
     let mut owner_of_neighbor: FxHashMap<u32, usize> = FxHashMap::default();
@@ -162,8 +158,7 @@ mod tests {
     fn random_split_partitions_exactly() {
         let s = random_split(100, SplitRatios::default(), 42);
         assert_eq!(s.len(), 100);
-        let all: FxHashSet<u32> =
-            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        let all: FxHashSet<u32> = s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
         assert_eq!(all.len(), 100);
         assert_eq!(s.train.len(), 70);
         assert_eq!(s.valid.len(), 10);
@@ -206,8 +201,7 @@ mod tests {
         let neighbors: Vec<Vec<u32>> = (0..40).map(|i| vec![i / 4]).collect();
         let s = community_split(&neighbors, SplitRatios::default(), 3);
         assert_eq!(s.len(), 40);
-        let all: FxHashSet<u32> =
-            s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        let all: FxHashSet<u32> = s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
         assert_eq!(all.len(), 40);
         assert!(s.train.len() >= s.test.len());
     }

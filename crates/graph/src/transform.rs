@@ -115,10 +115,8 @@ pub fn transform(store: &RdfStore, exclude_predicates: &[String]) -> (HeteroGrap
     let mut g = HeteroGraph::new();
     let mut stats = TransformStats { triples_in: store.len(), ..Default::default() };
 
-    let excluded: FxHashSet<TermId> = exclude_predicates
-        .iter()
-        .filter_map(|p| store.lookup(&Term::iri(p.clone())))
-        .collect();
+    let excluded: FxHashSet<TermId> =
+        exclude_predicates.iter().filter_map(|p| store.lookup(&Term::iri(p.clone()))).collect();
     let rdf_type = store.lookup(&Term::iri(RDF_TYPE));
 
     // Pass 1: node types from rdf:type.
@@ -132,9 +130,9 @@ pub fn transform(store: &RdfStore, exclude_predicates: &[String]) -> (HeteroGrap
 
     let unknown = g.add_node_type("kgnet:UntypedNode");
     let node_of = |g: &mut HeteroGraph,
-                       type_of: &FxHashMap<TermId, TermId>,
-                       store: &RdfStore,
-                       t: TermId|
+                   type_of: &FxHashMap<TermId, TermId>,
+                   store: &RdfStore,
+                   t: TermId|
      -> u32 {
         match g.node_of(t) {
             Some(n) => n,
@@ -205,7 +203,8 @@ pub fn extract_lp_edges(store: &RdfStore, task: &LpTask) -> LpEdges {
     let Some(pred) = store.lookup(&Term::iri(task.edge_predicate.clone())) else {
         return LpEdges { edges, destinations: vec![] };
     };
-    let sources: FxHashSet<TermId> = store.subjects_of_type(&task.source_type).into_iter().collect();
+    let sources: FxHashSet<TermId> =
+        store.subjects_of_type(&task.source_type).into_iter().collect();
     let mut dest_set: FxHashSet<TermId> = FxHashSet::default();
     for (s, _, o) in store.matches(None, Some(pred), None) {
         if sources.contains(&s) {

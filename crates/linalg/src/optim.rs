@@ -137,7 +137,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas (0.9 / 0.999) and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: vec![], v: vec![] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: vec![],
+            v: vec![],
+        }
     }
 
     /// Builder-style weight decay.

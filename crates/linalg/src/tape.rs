@@ -26,7 +26,10 @@ enum Op {
     /// Leaf value (parameter or constant input).
     Leaf,
     MatMul(Var, Var),
-    SpMM { adj: usize, x: Var },
+    SpMM {
+        adj: usize,
+        x: Var,
+    },
     Add(Var, Var),
     /// `a + bias` where bias is `1 x cols` broadcast over rows.
     AddBias(Var, Var),
@@ -45,7 +48,10 @@ enum Op {
         parts: Vec<(Var, Rc<Vec<u32>>)>,
     },
     /// Scalar softmax cross-entropy against integer labels.
-    SoftmaxCe { logits: Var, probs: Matrix },
+    SoftmaxCe {
+        logits: Var,
+        probs: Matrix,
+    },
     /// Scalar mean squared L2 norm of a var (weight decay à la carte).
     L2(Var),
     /// Add a scalar constant elementwise (constant kept for Debug).
@@ -524,7 +530,8 @@ impl Tape {
             Op::Mul(a, b) => {
                 if self.needs(*a) {
                     let mut ga = grad.clone();
-                    for (g, &y) in ga.as_mut_slice().iter_mut().zip(self.nodes[b.0].value.as_slice())
+                    for (g, &y) in
+                        ga.as_mut_slice().iter_mut().zip(self.nodes[b.0].value.as_slice())
                     {
                         *g *= y;
                     }
@@ -532,7 +539,8 @@ impl Tape {
                 }
                 if self.needs(*b) {
                     let mut gb = grad.clone();
-                    for (g, &x) in gb.as_mut_slice().iter_mut().zip(self.nodes[a.0].value.as_slice())
+                    for (g, &x) in
+                        gb.as_mut_slice().iter_mut().zip(self.nodes[a.0].value.as_slice())
                     {
                         *g *= x;
                     }

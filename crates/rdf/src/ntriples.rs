@@ -22,8 +22,8 @@ pub fn load_ntriples(store: &mut RdfStore, text: &str) -> Result<usize, SparqlEr
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (s, p, o) = parse_line(line)
-            .map_err(|message| SparqlError::Lex { position: lineno, message })?;
+        let (s, p, o) =
+            parse_line(line).map_err(|message| SparqlError::Lex { position: lineno, message })?;
         if store.insert(s, p, o) {
             added += 1;
         }
@@ -72,10 +72,8 @@ impl Cursor<'_> {
         match self.peek() {
             Some(b'<') => {
                 let start = self.pos + 1;
-                let end = self.text[start..]
-                    .find('>')
-                    .map(|i| start + i)
-                    .ok_or("unterminated IRI")?;
+                let end =
+                    self.text[start..].find('>').map(|i| start + i).ok_or("unterminated IRI")?;
                 self.pos = end + 1;
                 Ok(Term::iri(&self.text[start..end]))
             }
@@ -180,7 +178,11 @@ mod tests {
     #[test]
     fn roundtrips_store_serialisation() {
         let mut original = RdfStore::new();
-        original.insert(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::str("line1\nline2"));
+        original.insert(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::str("line1\nline2"),
+        );
         original.insert(Term::iri("http://x/s"), Term::iri("http://x/q"), Term::int(-5));
         original.insert(Term::blank("n1"), Term::iri("http://x/p"), Term::iri("http://x/s"));
         let text = original.to_ntriples();

@@ -308,7 +308,10 @@ mod tests {
     #[test]
     fn expr_vars_collects_all() {
         let e = Expr::And(
-            Box::new(Expr::Gt(Box::new(Expr::Var("x".into())), Box::new(Expr::Const(Term::int(3))))),
+            Box::new(Expr::Gt(
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Const(Term::int(3))),
+            )),
             Box::new(Expr::Bound("y".into())),
         );
         let mut vars = Vec::new();

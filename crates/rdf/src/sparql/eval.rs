@@ -594,8 +594,12 @@ fn eval_expr_term(store: &RdfStore, expr: &Expr, b: &Binding, vars: &VarTable) -
             Some(Value::Bool(b.get(slot).copied().flatten().is_some()))
         }
         Expr::Not(e) => Some(Value::Bool(!eval_expr(store, e, b, vars))),
-        Expr::And(l, r) => Some(Value::Bool(eval_expr(store, l, b, vars) && eval_expr(store, r, b, vars))),
-        Expr::Or(l, r) => Some(Value::Bool(eval_expr(store, l, b, vars) || eval_expr(store, r, b, vars))),
+        Expr::And(l, r) => {
+            Some(Value::Bool(eval_expr(store, l, b, vars) && eval_expr(store, r, b, vars)))
+        }
+        Expr::Or(l, r) => {
+            Some(Value::Bool(eval_expr(store, l, b, vars) || eval_expr(store, r, b, vars)))
+        }
         Expr::Contains(e, needle) => {
             let v = eval_expr_term(store, e, b, vars)?;
             match v {
@@ -684,8 +688,7 @@ pub fn execute_update(store: &mut RdfStore, update: &Update) -> Result<UpdateSta
             }
         }
         Update::DeleteWhere(triples) => {
-            let pattern =
-                GroupPattern { triples: triples.clone(), ..Default::default() };
+            let pattern = GroupPattern { triples: triples.clone(), ..Default::default() };
             let modify = Update::Modify { delete: triples.clone(), insert: vec![], pattern };
             return execute_update(store, &modify);
         }
@@ -729,9 +732,7 @@ pub fn execute_update(store: &mut RdfStore, update: &Update) -> Result<UpdateSta
 
 fn ground_triple(tp: &TriplePattern) -> Result<(Term, Term, Term), SparqlError> {
     let get = |t: &TermPattern| -> Result<Term, SparqlError> {
-        t.as_ground()
-            .cloned()
-            .ok_or_else(|| SparqlError::eval("variable in ground data template"))
+        t.as_ground().cloned().ok_or_else(|| SparqlError::eval("variable in ground data template"))
     };
     Ok((get(&tp.s)?, get(&tp.p)?, get(&tp.o)?))
 }
@@ -910,11 +911,7 @@ mod tests {
     fn delete_where_removes_matching() {
         let mut st = store_with_papers();
         let before = st.len();
-        let out = execute(
-            &mut st,
-            "PREFIX x: <http://x/> DELETE WHERE { x:p1 ?p ?o }",
-        )
-        .unwrap();
+        let out = execute(&mut st, "PREFIX x: <http://x/> DELETE WHERE { x:p1 ?p ?o }").unwrap();
         match out {
             ExecOutcome::Updated(s) => assert_eq!(s.deleted, 4),
             other => panic!("unexpected {other:?}"),
@@ -943,11 +940,8 @@ mod tests {
     #[test]
     fn result_table_rendering() {
         let st = store_with_papers();
-        let r = query(
-            &st,
-            "PREFIX x: <http://x/> SELECT ?t WHERE { <http://x/p1> x:title ?t }",
-        )
-        .unwrap();
+        let r = query(&st, "PREFIX x: <http://x/> SELECT ?t WHERE { <http://x/p1> x:title ?t }")
+            .unwrap();
         let table = r.to_table();
         assert!(table.contains("?t"));
         assert!(table.contains("P one"));

@@ -268,9 +268,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                 }
                 let text = &input[start..end];
                 if is_double {
-                    let v = text
-                        .parse()
-                        .map_err(|_| lex_err(start, format!("bad double '{text}'")))?;
+                    let v =
+                        text.parse().map_err(|_| lex_err(start, format!("bad double '{text}'")))?;
                     out.push(Token::Double(v));
                 } else {
                     let v = text
@@ -338,9 +337,8 @@ fn scan_pname(input: &str, bytes: &[u8], start: usize) -> Option<(String, String
     let local_start = pfx_end + 1;
     let mut end = local_start;
     while end < bytes.len() {
-        let dot_inside = bytes[end] == b'.'
-            && end + 1 < bytes.len()
-            && is_name_char(bytes[end + 1]);
+        let dot_inside =
+            bytes[end] == b'.' && end + 1 < bytes.len() && is_name_char(bytes[end + 1]);
         if is_name_char(bytes[end]) || dot_inside {
             end += 1;
         } else {
@@ -425,10 +423,7 @@ mod tests {
     #[test]
     fn escaped_quotes_in_strings() {
         let toks = tokenize(r#""a\"b""#).unwrap();
-        assert_eq!(
-            toks[0],
-            Token::Literal { value: "a\"b".into(), datatype: None, lang: None }
-        );
+        assert_eq!(toks[0], Token::Literal { value: "a\"b".into(), datatype: None, lang: None });
     }
 
     #[test]

@@ -9,5 +9,7 @@ pub use ast::{
     Aggregate, Expr, GroupPattern, Operation, Order, Projection, ProjectionItem, SelectQuery,
     TermPattern, TriplePattern, Update,
 };
-pub use eval::{evaluate_select, execute, execute_update, query, ExecOutcome, QueryResult, UpdateStats};
+pub use eval::{
+    evaluate_select, execute, execute_update, query, ExecOutcome, QueryResult, UpdateStats,
+};
 pub use parser::{parse, parse_select, Parser};

@@ -580,10 +580,7 @@ mod tests {
             Projection::Items(items) => match &items[0] {
                 ProjectionItem::Agg { agg, alias } => {
                     assert_eq!(alias, "n");
-                    assert_eq!(
-                        agg,
-                        &Aggregate::CountVar { var: "x".into(), distinct: true }
-                    );
+                    assert_eq!(agg, &Aggregate::CountVar { var: "x".into(), distinct: true });
                 }
                 other => panic!("unexpected projection {other:?}"),
             },
@@ -593,10 +590,9 @@ mod tests {
 
     #[test]
     fn parses_filters() {
-        let q = parse_select(
-            "SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?a >= 18 && ?a < 65) }",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?a >= 18 && ?a < 65) }")
+                .unwrap();
         assert_eq!(q.pattern.filters.len(), 1);
         match &q.pattern.filters[0] {
             Expr::And(l, _) => assert!(matches!(**l, Expr::Ge(_, _))),
@@ -620,20 +616,16 @@ mod tests {
 
     #[test]
     fn parses_predicate_object_lists() {
-        let q = parse_select(
-            "SELECT ?s WHERE { ?s a <http://x/T> ; <http://x/p> ?v , ?w . }",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT ?s WHERE { ?s a <http://x/T> ; <http://x/p> ?v , ?w . }").unwrap();
         assert_eq!(q.pattern.triples.len(), 3);
         assert_eq!(q.pattern.triples[2].o.as_var(), Some("w"));
     }
 
     #[test]
     fn parses_order_limit_offset() {
-        let q = parse_select(
-            "SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) LIMIT 5 OFFSET 2",
-        )
-        .unwrap();
+        let q = parse_select("SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) LIMIT 5 OFFSET 2")
+            .unwrap();
         assert_eq!(q.order_by, vec![("s".into(), Order::Desc)]);
         assert_eq!(q.limit, Some(5));
         assert_eq!(q.offset, Some(2));
@@ -641,10 +633,8 @@ mod tests {
 
     #[test]
     fn parses_insert_data() {
-        let op = parse(
-            "PREFIX x: <http://x/>\nINSERT DATA { x:a x:p x:b . x:a x:q \"lit\" }",
-        )
-        .unwrap();
+        let op =
+            parse("PREFIX x: <http://x/>\nINSERT DATA { x:a x:p x:b . x:a x:q \"lit\" }").unwrap();
         match op {
             Operation::Update(Update::InsertData(ts)) => assert_eq!(ts.len(), 2),
             other => panic!("unexpected {other:?}"),
@@ -662,10 +652,9 @@ mod tests {
 
     #[test]
     fn parses_delete_template_where() {
-        let op = parse(
-            "DELETE { ?m ?p ?o } WHERE { ?m a <http://kgnet/NodeClassifier> . ?m ?p ?o }",
-        )
-        .unwrap();
+        let op =
+            parse("DELETE { ?m ?p ?o } WHERE { ?m a <http://kgnet/NodeClassifier> . ?m ?p ?o }")
+                .unwrap();
         match op {
             Operation::Update(Update::Modify { delete, insert, pattern }) => {
                 assert_eq!(delete.len(), 1);

@@ -197,10 +197,7 @@ mod tests {
     fn display_ntriples_forms() {
         assert_eq!(Term::iri("http://x/a").to_string(), "<http://x/a>");
         assert_eq!(Term::str("hi").to_string(), "\"hi\"");
-        assert_eq!(
-            Term::int(7).to_string(),
-            "\"7\"^^<http://www.w3.org/2001/XMLSchema#integer>"
-        );
+        assert_eq!(Term::int(7).to_string(), "\"7\"^^<http://www.w3.org/2001/XMLSchema#integer>");
         assert_eq!(Term::blank("b1").to_string(), "_:b1");
     }
 

@@ -145,11 +145,7 @@ impl KgMeta {
         self.insert(&m, vocab::GML_METHOD, Term::str(artifact.method.name()));
         self.insert(&m, vocab::SAMPLER, Term::str(artifact.sampler.clone()));
         self.insert(&m, vocab::TRAINING_TIME, Term::double(artifact.report.train_time_s));
-        self.insert(
-            &m,
-            vocab::TRAINING_MEMORY,
-            Term::int(artifact.report.peak_mem_bytes as i64),
-        );
+        self.insert(&m, vocab::TRAINING_MEMORY, Term::int(artifact.report.peak_mem_bytes as i64));
         // Interlink with the data KG: the target type advertises the task.
         self.store.insert(
             Term::iri(artifact.target_type.clone()),
@@ -171,8 +167,11 @@ impl KgMeta {
         doomed.extend(self.store.matches(None, None, Some(id)));
         let n = doomed.len();
         for (s, p, o) in doomed {
-            let (s, p, o) =
-                (self.store.resolve(s).clone(), self.store.resolve(p).clone(), self.store.resolve(o).clone());
+            let (s, p, o) = (
+                self.store.resolve(s).clone(),
+                self.store.resolve(p).clone(),
+                self.store.resolve(o).clone(),
+            );
             self.store.remove(&s, &p, &o);
         }
         n
@@ -202,10 +201,8 @@ impl KgMeta {
         push_opt(vocab::SOURCE_NODE, &filter.source_type);
         push_opt(vocab::DESTINATION_NODE, &filter.destination_type);
 
-        let query = format!(
-            "SELECT ?m ?acc ?time ?card ?method WHERE {{ {} }}",
-            where_clauses.join(" ")
-        );
+        let query =
+            format!("SELECT ?m ?acc ?time ?card ?method WHERE {{ {} }}", where_clauses.join(" "));
         let result = kgnet_rdf::query(&self.store, &query).expect("well-formed KGMeta query");
         let mut models: Vec<ModelInfo> = result
             .rows
@@ -306,10 +303,7 @@ mod tests {
     fn mismatched_filter_finds_nothing() {
         let mut meta = KgMeta::new();
         meta.register(&artifact("https://www.kgnet.com/model/nc/m1", 0.8, 0.2));
-        let filter = ModelFilter {
-            task_kind: Some(TaskKind::LinkPredictor),
-            ..Default::default()
-        };
+        let filter = ModelFilter { task_kind: Some(TaskKind::LinkPredictor), ..Default::default() };
         assert!(meta.find_models(&filter).is_empty());
     }
 

@@ -175,12 +175,8 @@ impl QueryManager {
     /// Execute one SPARQL-ML operation against a data KG.
     pub fn execute(&mut self, data: &mut RdfStore, text: &str) -> Result<MlOutcome, MlError> {
         match parse(text)? {
-            SparqlMlOperation::PlainSelect(q) => {
-                Ok(MlOutcome::Rows(evaluate_select(data, &q)?))
-            }
-            SparqlMlOperation::PlainUpdate(u) => {
-                Ok(MlOutcome::Updated(execute_update(data, &u)?))
-            }
+            SparqlMlOperation::PlainSelect(q) => Ok(MlOutcome::Rows(evaluate_select(data, &q)?)),
+            SparqlMlOperation::PlainUpdate(u) => Ok(MlOutcome::Updated(execute_update(data, &u)?)),
             SparqlMlOperation::Train(spec) => self.train(data, spec),
             SparqlMlOperation::DeleteModels(filter) => {
                 let uris = self.kgmeta.matching_uris(&filter);
@@ -353,13 +349,9 @@ impl QueryManager {
 
         // Re-apply the original solution modifiers and projection.
         let final_vars = q.base.output_vars();
-        let cols: Vec<usize> =
-            final_vars.iter().filter_map(|v| result.column(v)).collect();
-        let mut rows: Vec<Vec<Option<Term>>> = result
-            .rows
-            .iter()
-            .map(|row| cols.iter().map(|&c| row[c].clone()).collect())
-            .collect();
+        let cols: Vec<usize> = final_vars.iter().filter_map(|v| result.column(v)).collect();
+        let mut rows: Vec<Vec<Option<Term>>> =
+            result.rows.iter().map(|row| cols.iter().map(|&c| row[c].clone()).collect()).collect();
         if q.base.distinct {
             let mut seen = FxHashSet::default();
             rows.retain(|row| {

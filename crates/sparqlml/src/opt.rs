@@ -49,8 +49,7 @@ pub fn select_models(
         ip.objective[i] = candidates[p][m].accuracy;
     }
     for (p, _) in candidates.iter().enumerate() {
-        let row: Vec<f64> =
-            layout.iter().map(|&(pp, _)| if pp == p { 1.0 } else { 0.0 }).collect();
+        let row: Vec<f64> = layout.iter().map(|&(pp, _)| if pp == p { 1.0 } else { 0.0 }).collect();
         ip.add_eq(row, 1.0);
     }
     if let Some(cap) = max_total_inference_ms {
@@ -142,10 +141,8 @@ mod tests {
 
     #[test]
     fn inference_bound_forces_faster_model() {
-        let candidates = vec![
-            vec![model("a", 0.7, 1.0), model("b", 0.9, 5.0)],
-            vec![model("c", 0.8, 1.0)],
-        ];
+        let candidates =
+            vec![vec![model("a", 0.7, 1.0), model("b", 0.9, 5.0)], vec![model("c", 0.8, 1.0)]];
         // Total budget 3 ms: b (5ms) + c (1ms) violates; must use a + c.
         let chosen = select_models(&candidates, Some(3.0)).unwrap();
         assert_eq!(chosen, vec![0, 0]);

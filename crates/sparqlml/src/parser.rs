@@ -15,9 +15,7 @@ use rustc_hash::FxHashMap;
 
 use kgnet_gmlaas::{Priority, TaskBudget, TaskKind};
 use kgnet_graph::{GmlTask, LpTask, NcTask};
-use kgnet_rdf::sparql::{
-    Operation, SelectQuery, TermPattern, TriplePattern, Update,
-};
+use kgnet_rdf::sparql::{Operation, SelectQuery, TermPattern, TriplePattern, Update};
 use kgnet_rdf::{SparqlError, Term};
 
 use crate::kgmeta::{vocab, ModelFilter};
@@ -263,11 +261,7 @@ fn parse_traingml(input: &str) -> Result<SparqlMlOperation, SparqlError> {
     let json = relaxed_json::parse(arg.trim(), &prefixes)
         .map_err(|e| SparqlError::parse(format!("TrainGML JSON: {e}")))?;
 
-    let name = json
-        .get("Name")
-        .and_then(|v| v.as_str())
-        .unwrap_or("unnamed-model")
-        .to_owned();
+    let name = json.get("Name").and_then(|v| v.as_str()).unwrap_or("unnamed-model").to_owned();
     let task_obj = json
         .get("GML-Task")
         .or_else(|| json.get("GMLTask"))
@@ -276,16 +270,16 @@ fn parse_traingml(input: &str) -> Result<SparqlMlOperation, SparqlError> {
     let get_s = |key: &str| -> Option<String> {
         task_obj.get(key).and_then(|v| v.as_str()).map(str::to_owned)
     };
-    let task_type = get_s("TaskType")
-        .ok_or_else(|| SparqlError::parse("TrainGML: missing TaskType"))?;
+    let task_type =
+        get_s("TaskType").ok_or_else(|| SparqlError::parse("TrainGML: missing TaskType"))?;
     let task = match task_kind_of_class(&task_type) {
         Some(TaskKind::NodeClassifier) => {
             let target = get_s("TargetNode")
                 .ok_or_else(|| SparqlError::parse("TrainGML: missing TargetNode"))?;
             // The paper's Fig. 8 spells it "NodeLable"; accept both.
-            let label = get_s("NodeLabel").or_else(|| get_s("NodeLable")).ok_or_else(|| {
-                SparqlError::parse("TrainGML: missing NodeLabel")
-            })?;
+            let label = get_s("NodeLabel")
+                .or_else(|| get_s("NodeLable"))
+                .ok_or_else(|| SparqlError::parse("TrainGML: missing NodeLabel"))?;
             GmlTask::NodeClassification(NcTask { target_type: target, label_predicate: label })
         }
         Some(TaskKind::LinkPredictor) => {
@@ -307,9 +301,7 @@ fn parse_traingml(input: &str) -> Result<SparqlMlOperation, SparqlError> {
             GmlTask::EntitySimilarity { target_type: target }
         }
         None => {
-            return Err(SparqlError::parse(format!(
-                "TrainGML: unknown TaskType '{task_type}'"
-            )))
+            return Err(SparqlError::parse(format!("TrainGML: unknown TaskType '{task_type}'")))
         }
     };
 
@@ -435,10 +427,7 @@ mod tests {
         assert_eq!(ud.task_kind, TaskKind::LinkPredictor);
         assert_eq!(ud.topk, 10);
         assert_eq!(ud.filter.source_type.as_deref(), Some("https://www.dblp.org/Person"));
-        assert_eq!(
-            ud.filter.destination_type.as_deref(),
-            Some("https://www.dblp.org/Affiliation")
-        );
+        assert_eq!(ud.filter.destination_type.as_deref(), Some("https://www.dblp.org/Affiliation"));
     }
 
     #[test]

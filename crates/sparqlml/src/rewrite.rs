@@ -35,11 +35,7 @@ pub struct RewrittenQuery {
 
 /// Build the rewritten query from a parsed ML query, the chosen model per
 /// predicate and the chosen plan per predicate.
-pub fn rewrite(
-    query: &SparqlMlQuery,
-    models: &[String],
-    plans: &[RewritePlan],
-) -> RewrittenQuery {
+pub fn rewrite(query: &SparqlMlQuery, models: &[String], plans: &[RewritePlan]) -> RewrittenQuery {
     assert_eq!(models.len(), query.ud_predicates.len(), "one model per predicate");
     assert_eq!(plans.len(), query.ud_predicates.len(), "one plan per predicate");
     let steps: Vec<InferenceStep> = query
@@ -149,8 +145,11 @@ mod tests {
     #[test]
     fn per_binding_renders_fig11_shape() {
         let q = fig2_query();
-        let rw = rewrite(&q, &["https://www.kgnet.com/model/nc/m1".into()], &[RewritePlan::PerBinding]);
-        assert!(rw.sparql.contains("sql:UDFS.getNodeClass(<https://www.kgnet.com/model/nc/m1>, ?paper) as ?venue"));
+        let rw =
+            rewrite(&q, &["https://www.kgnet.com/model/nc/m1".into()], &[RewritePlan::PerBinding]);
+        assert!(rw.sparql.contains(
+            "sql:UDFS.getNodeClass(<https://www.kgnet.com/model/nc/m1>, ?paper) as ?venue"
+        ));
         assert!(!rw.sparql.contains("getKeyValue"));
         assert_eq!(rw.steps.len(), 1);
     }
@@ -158,7 +157,8 @@ mod tests {
     #[test]
     fn dictionary_renders_fig12_shape() {
         let q = fig2_query();
-        let rw = rewrite(&q, &["https://www.kgnet.com/model/nc/m1".into()], &[RewritePlan::Dictionary]);
+        let rw =
+            rewrite(&q, &["https://www.kgnet.com/model/nc/m1".into()], &[RewritePlan::Dictionary]);
         assert!(rw.sparql.contains("sql:UDFS.getKeyValue(?venue_dic, ?paper) as ?venue"));
         assert!(rw.sparql.contains("getNodeClassDict"));
         assert!(rw.sparql.contains("{ SELECT"));

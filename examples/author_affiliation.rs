@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example author_affiliation`
 
-use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
 use kgnet::datagen::{generate_dblp, DblpConfig};
+use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
 
 fn main() {
     let (kg, truth) = generate_dblp(&DblpConfig::small(33));
@@ -32,7 +32,9 @@ fn main() {
     let MlOutcome::Trained(model) = out else { panic!("expected trained model") };
     println!(
         "Trained {} (sampler {}): Hits@10 {:.1}% on held-out affiliation links\n",
-        model.method, model.sampler, model.accuracy * 100.0
+        model.method,
+        model.sampler,
+        model.accuracy * 100.0
     );
 
     // Fig. 10: predict affiliation links for authors.

@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example entity_similarity`
 
-use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
 use kgnet::datagen::{generate_dblp, DblpConfig};
 use kgnet::gmlaas::{EmbeddingStore, Metric};
+use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
 
 fn main() {
     // Direct embedding-store usage (exact vs IVF approximate search).

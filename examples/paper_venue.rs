@@ -20,14 +20,23 @@ fn main() {
     };
     let cfg = GnnConfig { epochs: 30, dropout: 0.0, ..GnnConfig::default() };
 
-    println!("{:<12} {:>10} {:>10} {:>12} {:>10}", "pipeline", "accuracy", "time(s)", "peak-mem", "#triples");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>10}",
+        "pipeline", "accuracy", "time(s)", "peak-mem", "#triples"
+    );
     for (label, store) in [
         ("Full KG", None),
-        ("KGNET(KG')", Some(meta_sample_task(
-            &kg,
-            &GmlTask::NodeClassification(task.clone()),
-            SamplingScope::D1H1,
-        ).store)),
+        (
+            "KGNET(KG')",
+            Some(
+                meta_sample_task(
+                    &kg,
+                    &GmlTask::NodeClassification(task.clone()),
+                    SamplingScope::D1H1,
+                )
+                .store,
+            ),
+        ),
     ] {
         let graph = store.as_ref().unwrap_or(&kg);
         memtrack::reset_peak();

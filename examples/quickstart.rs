@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
 use kgnet::datagen::{generate_dblp, DblpConfig};
+use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
 
 fn main() {
     // 1. A DBLP-shaped knowledge graph (synthetic stand-in for dblp.org).
@@ -16,8 +16,10 @@ fn main() {
     };
     let mut platform = KgNet::with_graph_and_config(kg, config);
     let stats = platform.stats();
-    println!("Loaded KG: {} triples, {} node types, {} edge types",
-        stats.n_triples, stats.n_node_types, stats.n_edge_types);
+    println!(
+        "Loaded KG: {} triples, {} node types, {} edge types",
+        stats.n_triples, stats.n_node_types, stats.n_edge_types
+    );
 
     // 2. Train a paper -> venue classifier (Fig. 8's TrainGML INSERT).
     //    KGNet meta-samples the task-specific subgraph (d1h1), picks a
@@ -38,8 +40,12 @@ fn main() {
     let MlOutcome::Trained(model) = out else { panic!("expected a trained model") };
     println!(
         "\nTrained {} on KG' ({} triples, sampler {}): accuracy {:.1}%, {:.2}s, peak {} bytes",
-        model.method, model.kg_prime_triples, model.sampler,
-        model.accuracy * 100.0, model.train_time_s, model.peak_mem_bytes
+        model.method,
+        model.kg_prime_triples,
+        model.sampler,
+        model.accuracy * 100.0,
+        model.train_time_s,
+        model.peak_mem_bytes
     );
     println!("Model URI: {}", model.model_uri);
 
@@ -63,6 +69,9 @@ fn main() {
         panic!("expected rows")
     };
     println!("\nPredicted venues (8 of many):\n{}", rows.to_table());
-    println!("Inference used {} HTTP-style service call(s) — the optimizer chose", platform.inference_calls());
+    println!(
+        "Inference used {} HTTP-style service call(s) — the optimizer chose",
+        platform.inference_calls()
+    );
     println!("the Fig. 12 dictionary plan instead of one call per paper.");
 }

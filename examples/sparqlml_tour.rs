@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example sparqlml_tour`
 
-use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
 use kgnet::datagen::{generate_dblp, DblpConfig};
+use kgnet::{GnnConfig, KgNet, ManagerConfig, MlOutcome};
 
 fn main() {
     let (kg, _) = generate_dblp(&DblpConfig::small(3));
@@ -38,7 +38,12 @@ fn main() {
         )
         .unwrap();
     if let MlOutcome::Trained(m) = out {
-        println!("2. Trained: {} via {} (accuracy {:.1}%)\n", m.model_uri, m.method, m.accuracy * 100.0);
+        println!(
+            "2. Trained: {} via {} (accuracy {:.1}%)\n",
+            m.model_uri,
+            m.method,
+            m.accuracy * 100.0
+        );
     }
 
     // --- 3. KGMeta is an RDF graph: inspect it with SPARQL (Fig. 7).
@@ -66,11 +71,18 @@ fn main() {
           ?NodeClassifier kgnet:TargetNode dblp:Publication .
           ?NodeClassifier kgnet:NodeLabel dblp:publishedIn . }"#;
     let rewritten = platform.explain(QUERY).unwrap();
-    println!("4. Chosen plan: {:?}; candidate SPARQL:\n{}\n", rewritten.steps[0].plan, rewritten.sparql);
+    println!(
+        "4. Chosen plan: {:?}; candidate SPARQL:\n{}\n",
+        rewritten.steps[0].plan, rewritten.sparql
+    );
 
     // --- 5. Execute the ML SELECT.
     if let MlOutcome::Rows(rows) = platform.execute(QUERY).unwrap() {
-        println!("5. {} rows inferred with {} service call(s)\n", rows.len(), platform.inference_calls());
+        println!(
+            "5. {} rows inferred with {} service call(s)\n",
+            rows.len(),
+            platform.inference_calls()
+        );
     }
 
     // --- 6. DELETE the model (Fig. 9).
@@ -85,7 +97,10 @@ fn main() {
         )
         .unwrap();
     if let MlOutcome::DeletedModels(uris) = out {
-        println!("6. Deleted {} model(s); KGMeta now has {} triples", uris.len(),
-            platform.manager().kgmeta().len());
+        println!(
+            "6. Deleted {} model(s); KGMeta now has {} triples",
+            uris.len(),
+            platform.manager().kgmeta().len()
+        );
     }
 }

@@ -64,10 +64,7 @@ fn sampler_scopes_are_monotone_in_size() {
 fn label_edges_never_leak_into_training_graph() {
     let (kg, _) = generate_dblp(&DblpConfig::tiny(107));
     let data = build_nc_dataset(&kg, &task(), SplitStrategy::Random, SplitRatios::default(), 1);
-    assert!(data
-        .graph
-        .edge_type_id("<https://www.dblp.org/publishedIn>")
-        .is_none());
+    assert!(data.graph.edge_type_id("<https://www.dblp.org/publishedIn>").is_none());
     // Sanity: other edges are still present.
     assert!(data.graph.edge_type_id("<https://www.dblp.org/authoredBy>").is_some());
 }

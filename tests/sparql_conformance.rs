@@ -88,11 +88,8 @@ fn yago_structure_is_queryable() {
 fn updates_roundtrip_through_execute() {
     let mut kg = dblp();
     let before = kg.len();
-    kgnet::rdf::execute(
-        &mut kg,
-        "INSERT DATA { <http://x/new> <http://x/p> <http://x/other> }",
-    )
-    .unwrap();
+    kgnet::rdf::execute(&mut kg, "INSERT DATA { <http://x/new> <http://x/p> <http://x/other> }")
+        .unwrap();
     assert_eq!(kg.len(), before + 1);
     kgnet::rdf::execute(&mut kg, "DELETE WHERE { <http://x/new> ?p ?o }").unwrap();
     assert_eq!(kg.len(), before);

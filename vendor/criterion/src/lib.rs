@@ -1,0 +1,168 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness
+//! with the `criterion_group!` / `criterion_main!` entry points,
+//! `Criterion::bench_function`, `Bencher::iter` / `iter_batched` and
+//! [`black_box`]. Reports min / median / mean per benchmark; no plots, no
+//! statistical regression analysis.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-set-up on every iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `routine` and print a one-line report.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One untimed warm-up, then the timed samples.
+        routine(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+        }
+        report(id, &bencher.samples);
+        self
+    }
+}
+
+/// Collects one timing sample per `iter*` call.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+/// Keep timing iterations until one sample accumulates this much wall
+/// clock, so `Instant` granularity and call overhead don't dominate
+/// nanosecond-scale routines.
+const SAMPLE_FLOOR: Duration = Duration::from_millis(1);
+const MAX_ITERS_PER_SAMPLE: u32 = 1_000_000;
+
+impl Bencher {
+    /// Time `routine`, batching fast routines; one averaged sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u32;
+        while total < SAMPLE_FLOOR && iters < MAX_ITERS_PER_SAMPLE {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.samples.push(total / iters);
+    }
+
+    /// Like [`Bencher::iter`] with a fresh input from `setup` per
+    /// iteration, setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u32;
+        while total < SAMPLE_FLOOR && iters < MAX_ITERS_PER_SAMPLE {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.samples.push(total / iters);
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<44} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{id:<44} min {:>12} median {:>12} mean {:>12} ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        sorted.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

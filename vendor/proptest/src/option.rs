@@ -1,0 +1,28 @@
+//! Option strategies: [`of`].
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy for `Option<S::Value>`: `Some` three times out of four.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The [`of`] strategy.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Sanity tests for the vendored proptest engine itself.
+
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Num(i64),
+}
+
+fn arb_token() -> impl Strategy<Value = Token> {
+    prop_oneof!["[a-z]{1,6}".prop_map(Token::Word), any::<i32>().prop_map(|v| Token::Num(v as i64)),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_stay_in_bounds(x in 3usize..9, y in -2.0f32..2.0) {
+        prop_assert!((3..9).contains(&x));
+        prop_assert!((-2.0..2.0).contains(&y));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size(items in proptest::collection::vec(0u32..5, 2..7)) {
+        prop_assert!((2..7).contains(&items.len()));
+        prop_assert!(items.iter().all(|&v| v < 5));
+    }
+
+    #[test]
+    fn exact_size_vec(items in proptest::collection::vec(0u32..5, 4)) {
+        prop_assert_eq!(items.len(), 4);
+    }
+
+    #[test]
+    fn string_pattern_matches_class(s in "[a-z ]{0,8}") {
+        prop_assert!(s.len() <= 8);
+        prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+    }
+
+    #[test]
+    fn oneof_and_prop_map_compose(t in arb_token()) {
+        match t {
+            Token::Word(w) => prop_assert!(!w.is_empty() && w.len() <= 6),
+            Token::Num(_) => {}
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both(opt in proptest::option::of(0u32..10)) {
+        if let Some(v) = opt {
+            prop_assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn assume_rejects_without_failing(n in 0u32..10) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Distributions: [`Standard`] for primitives and uniform range sampling.
+
+use crate::Rng;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform over the full domain (unit interval
+/// for floats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform range sampling (`Rng::gen_range`).
+pub mod uniform {
+    use crate::Rng;
+
+    /// A primitive sampleable uniformly between two bounds. The single
+    /// generic [`SampleRange`] impl below pins range-literal inference to
+    /// the surrounding expression's type, as in real rand.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform sample in `[lo, hi)` (`hi` included when `inclusive`).
+        fn sample_between<R: Rng + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// A range usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for ::std::ops::Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for ::std::ops::RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "cannot sample empty range");
+            T::sample_between(rng, start, end, true)
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: Rng + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (hi as i128 - lo as i128 + if inclusive { 1 } else { 0 }) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (lo as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty: $mantissa:literal),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: Rng + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    // Draw the unit at the target type's own mantissa width
+                    // so it stays strictly below 1.0 after any rounding.
+                    let unit = ((rng.next_u64() >> (64 - $mantissa)) as $t)
+                        * (1.0 / (1u64 << $mantissa) as $t);
+                    lo + (hi - lo) * unit
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32: 24, f64: 53);
+}

@@ -1,0 +1,37 @@
+//! Sequence helpers: [`SliceRandom`].
+
+use crate::{Rng, RngCore};
+
+fn uniform_index<R: RngCore + ?Sized>(rng: &mut R, n: usize) -> usize {
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, `None` on an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(uniform_index(rng, self.len()))
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, uniform_index(rng, i + 1));
+        }
+    }
+}

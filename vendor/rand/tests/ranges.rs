@@ -1,0 +1,62 @@
+//! Sanity tests for the vendored rand: range contracts, determinism, and
+//! slice helpers.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn seeding_is_deterministic() {
+    let mut a = StdRng::seed_from_u64(42);
+    let mut b = StdRng::seed_from_u64(42);
+    let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+    let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+    assert_eq!(xs, ys);
+    let mut c = StdRng::seed_from_u64(43);
+    assert_ne!(xs, (0..8).map(|_| c.gen::<u64>()).collect::<Vec<_>>());
+}
+
+#[test]
+fn int_ranges_respect_bounds() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..10_000 {
+        let v = rng.gen_range(-3i32..5);
+        assert!((-3..5).contains(&v));
+        let w = rng.gen_range(0usize..=3);
+        assert!(w <= 3);
+    }
+    // Both endpoints of a small inclusive range are reachable.
+    let hits: std::collections::HashSet<u8> = (0..200).map(|_| rng.gen_range(0u8..=1)).collect();
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn f32_range_excludes_upper_bound() {
+    // Regression: the unit must be drawn at f32 mantissa width, otherwise
+    // f64->f32 rounding can return exactly the exclusive upper bound.
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..2_000_000 {
+        let v = rng.gen_range(0.0f32..1.0);
+        assert!((0.0..1.0).contains(&v), "got {v}");
+    }
+}
+
+#[test]
+fn gen_bool_matches_probability_roughly() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+    assert!((20_000..30_000).contains(&hits), "got {hits}");
+}
+
+#[test]
+fn shuffle_is_a_permutation_and_choose_stays_in_slice() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut xs: Vec<u32> = (0..100).collect();
+    xs.shuffle(&mut rng);
+    let mut sorted = xs.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    assert!(xs.choose(&mut rng).is_some());
+    let empty: [u32; 0] = [];
+    assert!(empty.choose(&mut rng).is_none());
+}

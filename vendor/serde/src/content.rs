@@ -1,0 +1,133 @@
+//! The in-memory data model every value serialises into and deserialises
+//! from, plus the `Content`-backed serializer/deserializer pair the derive
+//! macros target.
+
+use std::fmt;
+
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, SerializeStruct, Serializer};
+
+/// A serialised value: the JSON data model plus distinct integer widths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key-ordered map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map`.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Find `key` among map `entries`, cloning the value (derive-macro helper).
+pub fn get_field(entries: &[(String, Content)], key: &str) -> Option<Content> {
+    entries.iter().find(|(k, _)| k.as_str() == key).map(|(_, v)| v.clone())
+}
+
+/// The error type of the content-tree serializer/deserializer.
+#[derive(Debug, Clone)]
+pub struct ContentError(pub String);
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serialize `value` into a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Deserialize a `T` out of a [`Content`] tree.
+pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+/// [`Serializer`] building a [`Content`] tree.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+    type SerializeStruct = ContentStructSerializer;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<ContentStructSerializer, ContentError> {
+        Ok(ContentStructSerializer { fields: Vec::with_capacity(len) })
+    }
+}
+
+/// Struct body under construction by [`ContentSerializer`].
+pub struct ContentStructSerializer {
+    fields: Vec<(String, Content)>,
+}
+
+impl SerializeStruct for ContentStructSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), ContentError> {
+        self.fields.push((key.to_owned(), to_content(value)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, ContentError> {
+        Ok(Content::Map(self.fields))
+    }
+}
+
+/// [`Deserializer`] reading back out of a [`Content`] tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}

@@ -1,0 +1,176 @@
+//! Deserialization traits and the blanket impls for std types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+use std::hash::{BuildHasher, Hash};
+
+use crate::content::{from_content, Content};
+
+/// Error constraint for deserializers.
+pub trait Error: Sized {
+    /// Build an error from any message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format deserializer. In this stand-in every format produces one
+/// [`Content`] tree through [`Deserializer::deserialize_content`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produce the full content tree of the input.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value reconstructible from any data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, got {got:?}"))
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let out = match &content {
+                    Content::I64(v) => <$t>::try_from(*v).ok(),
+                    Content::U64(v) => <$t>::try_from(*v).ok(),
+                    // Whole floats convert only when in range (no silent
+                    // saturation).
+                    Content::F64(v)
+                        if v.fract() == 0.0
+                            && *v >= <$t>::MIN as f64
+                            && *v <= <$t>::MAX as f64 =>
+                    {
+                        Some(*v as $t)
+                    }
+                    _ => None,
+                };
+                out.ok_or_else(|| unexpected(stringify!($t), &content))
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                match content {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    other => Err(unexpected("float", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => {
+                items.into_iter().map(|c| from_content(c).map_err(D::Error::custom)).collect()
+            }
+            other => Err(unexpected("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal : $($name:ident . $idx:tt),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            from_content::<$name>(it.next().expect("length checked"))
+                                .map_err(__D::Error::custom)?
+                        },)+))
+                    }
+                    other => Err(unexpected(concat!("sequence of ", $len), &other)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1: A.0)
+    (2: A.0, B.1)
+    (3: A.0, B.1, C.2)
+    (4: A.0, B.1, C.2, D.3)
+}
+
+impl<'de, V: Deserialize<'de>, H: BuildHasher + Default> Deserialize<'de> for HashMap<String, V, H>
+where
+    String: Eq + Hash,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content(v).map_err(D::Error::custom)?)))
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content(v).map_err(D::Error::custom)?)))
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}

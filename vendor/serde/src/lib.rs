@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde streams values through visitor-based `Serializer` /
+//! `Deserializer` traits; this stand-in routes everything through one
+//! in-memory [`content::Content`] tree, while keeping the trait *shapes*
+//! (`serialize_struct`, `SerializeStruct::serialize_field`,
+//! `de::Error::custom`, …) source-compatible with the subset this workspace
+//! uses, so hand-written impls like `kgnet_linalg::Matrix`'s compile
+//! unchanged. `serde_json` (also vendored) is the only data format.
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// Derive macros live in the macro namespace, so re-exporting them alongside
+// the traits of the same name is fine — exactly how real serde does it.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub use content::{
+    from_content, get_field, to_content, Content, ContentDeserializer, ContentError,
+};

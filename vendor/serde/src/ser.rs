@@ -1,0 +1,185 @@
+//! Serialization traits and the blanket impls for std types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+use crate::content::{to_content, Content, ContentError};
+
+/// Error constraint for serializers.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format serializer. In this stand-in every format consumes one
+/// [`Content`] tree through [`Serializer::serialize_content`].
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Struct sub-serializer returned by [`Serializer::serialize_struct`].
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Consume a fully-built content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Begin serializing a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// Field-at-a-time struct serialization (`serialize_struct` result).
+pub trait SerializeStruct {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Serialize one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finish the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value serialisable into any data format.
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+fn lift<S: Serializer>(r: Result<Content, ContentError>, serializer: S) -> Result<S::Ok, S::Error> {
+    match r {
+        Ok(content) => serializer.serialize_content(content),
+        Err(e) => Err(S::Error::custom(e)),
+    }
+}
+
+macro_rules! serialize_prim {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::$variant(*self as $cast))
+            }
+        }
+    )*};
+}
+
+serialize_prim!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    f32 => F64 as f64, f64 => F64 as f64,
+    bool => Bool as bool,
+);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_content<'a, T: Serialize + 'a>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Content, ContentError> {
+    Ok(Content::Seq(items.map(to_content).collect::<Result<_, _>>()?))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        lift(seq_content(self.iter()), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        lift(seq_content(self.iter()), serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        lift(seq_content(self.iter()), serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let build = || -> Result<Content, ContentError> {
+                    Ok(Content::Seq(vec![$(to_content(&self.$idx)?),+]))
+                };
+                lift(build(), serializer)
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+fn map_content<'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+) -> Result<Content, ContentError> {
+    Ok(Content::Map(
+        entries
+            .map(|(k, v)| Ok((k.clone(), to_content(v)?)))
+            .collect::<Result<_, ContentError>>()?,
+    ))
+}
+
+impl<V: Serialize, H> Serialize for HashMap<String, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort for a deterministic wire form (hash maps iterate randomly).
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        lift(map_content(entries.into_iter()), serializer)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        lift(map_content(self.iter()), serializer)
+    }
+}

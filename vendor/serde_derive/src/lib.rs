@@ -1,0 +1,469 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline) derives of the vendored
+//! serde's `Serialize`/`Deserialize` traits. Supports the shapes this
+//! workspace uses: non-generic structs with named fields, and enums with
+//! unit, newtype/tuple and struct variants, optionally internally tagged via
+//! `#[serde(tag = "...")]` (unit and struct variants only, as in real serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    tag: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Skip one `#[...]` attribute, returning its bracket group.
+fn take_attr(iter: &mut Iter) -> Option<TokenStream> {
+    if matches!(iter.peek(), Some(tt) if is_punct(tt, '#')) {
+        iter.next();
+        // `#![...]` inner attributes cannot appear here; expect the group.
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                return Some(g.stream());
+            }
+            other => panic!("serde derive: malformed attribute: {other:?}"),
+        }
+    }
+    None
+}
+
+fn skip_visibility(iter: &mut Iter) {
+    if matches!(iter.peek(), Some(tt) if is_ident(tt, "pub")) {
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                iter.next();
+            }
+        }
+    }
+}
+
+/// Extract `tag = "..."` from a `serde(...)` attribute body, if present.
+fn parse_serde_tag(stream: TokenStream) -> Option<String> {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(tt) if is_ident(&tt, "serde") => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(g)) = iter.next() else { return None };
+    let mut inner = g.stream().into_iter();
+    match inner.next() {
+        Some(tt) if is_ident(&tt, "tag") => {}
+        Some(other) => panic!("serde derive stand-in: unsupported serde attribute `{other}`"),
+        None => return None,
+    }
+    match inner.next() {
+        Some(tt) if is_punct(&tt, '=') => {}
+        _ => panic!("serde derive stand-in: expected `tag = \"...\"`"),
+    }
+    match inner.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let text = lit.to_string();
+            Some(text.trim_matches('"').to_owned())
+        }
+        _ => panic!("serde derive stand-in: expected string literal tag"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut tag = None;
+    loop {
+        if let Some(attr) = take_attr(&mut iter) {
+            if tag.is_none() {
+                tag = parse_serde_tag(attr);
+            }
+            continue;
+        }
+        if matches!(iter.peek(), Some(tt) if is_ident(tt, "pub")) {
+            skip_visibility(&mut iter);
+            continue;
+        }
+        break;
+    }
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive stand-in: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive stand-in: expected type name, got {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(tt) if is_punct(&tt, '<') => {
+            panic!("serde derive stand-in: generic types are not supported (`{name}`)")
+        }
+        other => panic!("serde derive stand-in: expected braced body for `{name}`, got {other:?}"),
+    };
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("serde derive stand-in: cannot derive for `{other}`"),
+    };
+    Item { name, tag, kind }
+}
+
+/// Consume a type up to a top-level `,` (only `<...>` needs manual depth
+/// tracking — parens/brackets/braces arrive as single groups).
+fn skip_type(iter: &mut Iter) {
+    let mut depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            iter.next();
+            return;
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        while take_attr(&mut iter).is_some() {}
+        skip_visibility(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(tt) if is_punct(&tt, ':') => {}
+                    other => {
+                        panic!("serde derive stand-in: expected `:` after field, got {other:?}")
+                    }
+                }
+                skip_type(&mut iter);
+            }
+            Some(other) => panic!("serde derive stand-in: unexpected field token {other:?}"),
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while take_attr(&mut iter).is_some() {}
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let shape = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        iter.next();
+                        Shape::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        iter.next();
+                        Shape::Struct(fields)
+                    }
+                    _ => Shape::Unit,
+                };
+                if matches!(iter.peek(), Some(tt) if is_punct(tt, ',')) {
+                    iter.next();
+                }
+                variants.push(Variant { name, shape });
+            }
+            Some(other) => panic!("serde derive stand-in: unexpected variant token {other:?}"),
+        }
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        while take_attr(&mut iter).is_some() {}
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut iter);
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+fn tuple_bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("__f{i}")).collect()
+}
+
+/// `("key".to_owned(), ::serde::to_content(expr).map_err(...)?)`
+fn field_entry(key: &str, expr: &str) -> String {
+    format!("(\"{key}\".to_owned(), ::serde::to_content({expr}).map_err({SER_ERR})?)")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut out = format!(
+                "let mut state = ::serde::Serializer::serialize_struct(serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                out += &format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut state, \"{f}\", &self.{f})?;\n"
+                );
+            }
+            out += "::serde::ser::SerializeStruct::end(state)";
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let arm = match (&v.shape, &item.tag) {
+                    (Shape::Unit, None) => format!(
+                        "{name}::{vname} => serializer.serialize_content(::serde::Content::Str(\"{vname}\".to_owned())),\n"
+                    ),
+                    (Shape::Unit, Some(tag)) => format!(
+                        "{name}::{vname} => serializer.serialize_content(::serde::Content::Map(vec![(\"{tag}\".to_owned(), ::serde::Content::Str(\"{vname}\".to_owned()))])),\n"
+                    ),
+                    (Shape::Tuple(1), None) => format!(
+                        "{name}::{vname}(__f0) => {{\nlet inner = ::serde::to_content(__f0).map_err({SER_ERR})?;\nserializer.serialize_content(::serde::Content::Map(vec![(\"{vname}\".to_owned(), inner)]))\n}}\n"
+                    ),
+                    (Shape::Tuple(arity), None) => {
+                        let binds = tuple_bindings(*arity);
+                        let items = binds
+                            .iter()
+                            .map(|b| format!("::serde::to_content({b}).map_err({SER_ERR})?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{vname}({}) => {{\nlet inner = ::serde::Content::Seq(vec![{items}]);\nserializer.serialize_content(::serde::Content::Map(vec![(\"{vname}\".to_owned(), inner)]))\n}}\n",
+                            binds.join(", ")
+                        )
+                    }
+                    (Shape::Tuple(_), Some(_)) => panic!(
+                        "serde derive stand-in: tuple variant `{vname}` cannot be internally tagged"
+                    ),
+                    (Shape::Struct(fields), tag) => {
+                        let binds = fields.join(", ");
+                        let mut entries: Vec<String> = Vec::new();
+                        if let Some(tag) = tag {
+                            entries.push(format!(
+                                "(\"{tag}\".to_owned(), ::serde::Content::Str(\"{vname}\".to_owned()))"
+                            ));
+                        }
+                        for f in fields {
+                            entries.push(field_entry(f, f));
+                        }
+                        let map = format!("::serde::Content::Map(vec![{}])", entries.join(", "));
+                        let value = if tag.is_some() {
+                            map
+                        } else {
+                            format!("::serde::Content::Map(vec![(\"{vname}\".to_owned(), {map})])")
+                        };
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => serializer.serialize_content({value}),\n"
+                        )
+                    }
+                };
+                arms += &arm;
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+/// `::serde::get_field(&entries, "key")` unwrapped into a value of the
+/// field's type, erroring on absence.
+fn extract_field(entries_expr: &str, key: &str, owner: &str) -> String {
+    format!(
+        "match ::serde::get_field({entries_expr}, \"{key}\") {{\n\
+         Some(v) => ::serde::from_content(v).map_err({DE_ERR})?,\n\
+         None => return ::std::result::Result::Err({DE_ERR}(\"missing field `{key}` in `{owner}`\")),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: {},", extract_field("&entries", f, name)))
+                .collect::<String>();
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Map(entries) => ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                 other => ::std::result::Result::Err({DE_ERR}(format!(\"expected map for `{name}`, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        Kind::Enum(variants) => match &item.tag {
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            arms += &format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                            );
+                        }
+                        Shape::Struct(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!("{f}: {},", extract_field("&entries", f, vname)))
+                                .collect::<String>();
+                            arms += &format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),\n"
+                            );
+                        }
+                        Shape::Tuple(_) => panic!(
+                            "serde derive stand-in: tuple variant `{vname}` cannot be internally tagged"
+                        ),
+                    }
+                }
+                format!(
+                    "match content {{\n\
+                     ::serde::Content::Map(entries) => {{\n\
+                     let tag = match ::serde::get_field(&entries, \"{tag}\") {{\n\
+                     Some(::serde::Content::Str(s)) => s,\n\
+                     _ => return ::std::result::Result::Err({DE_ERR}(\"missing `{tag}` tag for `{name}`\")),\n\
+                     }};\n\
+                     match tag.as_str() {{\n{arms}\
+                     other => ::std::result::Result::Err({DE_ERR}(format!(\"unknown `{name}` variant {{other}}\"))),\n\
+                     }}\n}}\n\
+                     other => ::std::result::Result::Err({DE_ERR}(format!(\"expected map for `{name}`, got {{other:?}}\"))),\n\
+                     }}"
+                )
+            }
+            None => {
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            unit_arms += &format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                            );
+                        }
+                        Shape::Tuple(1) => {
+                            keyed_arms += &format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::from_content(value).map_err({DE_ERR})?)),\n"
+                            );
+                        }
+                        Shape::Tuple(arity) => {
+                            let binds = tuple_bindings(*arity);
+                            let inits = binds
+                                .iter()
+                                .map(|b| format!("let {b} = ::serde::from_content(items.next().expect(\"arity checked\")).map_err({DE_ERR})?;\n"))
+                                .collect::<String>();
+                            keyed_arms += &format!(
+                                "\"{vname}\" => match value {{\n\
+                                 ::serde::Content::Seq(seq) if seq.len() == {arity} => {{\n\
+                                 let mut items = seq.into_iter();\n\
+                                 {inits}\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n}}\n\
+                                 other => ::std::result::Result::Err({DE_ERR}(format!(\"expected {arity}-tuple for `{vname}`, got {{other:?}}\"))),\n\
+                                 }},\n",
+                                binds.join(", ")
+                            );
+                        }
+                        Shape::Struct(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!("{f}: {},", extract_field("&entries", f, vname)))
+                                .collect::<String>();
+                            keyed_arms += &format!(
+                                "\"{vname}\" => match value {{\n\
+                                 ::serde::Content::Map(entries) => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),\n\
+                                 other => ::std::result::Result::Err({DE_ERR}(format!(\"expected map for `{vname}`, got {{other:?}}\"))),\n\
+                                 }},\n"
+                            );
+                        }
+                    }
+                }
+                format!(
+                    "match content {{\n\
+                     ::serde::Content::Str(s) => match s.as_str() {{\n{unit_arms}\
+                     other => ::std::result::Result::Err({DE_ERR}(format!(\"unknown `{name}` variant {{other}}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(mut entries) if entries.len() == 1 => {{\n\
+                     let (key, value) = entries.pop().expect(\"length checked\");\n\
+                     match key.as_str() {{\n{keyed_arms}\
+                     other => ::std::result::Result::Err({DE_ERR}(format!(\"unknown `{name}` variant {{other}}\"))),\n\
+                     }}\n}}\n\
+                     other => ::std::result::Result::Err({DE_ERR}(format!(\"expected `{name}` variant, got {{other:?}}\"))),\n\
+                     }}"
+                )
+            }
+        },
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::std::result::Result<Self, D::Error> {{\n\
+         let content = ::serde::Deserializer::deserialize_content(deserializer)?;\n\
+         {body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for `serde_json`: the [`Value`] / [`Map`] / [`Number`]
+//! data model, a strict JSON text parser and printer, and
+//! [`to_string`] / [`from_str`] bridging any vendored-serde
+//! `Serialize` / `Deserialize` type through the content tree.
+
+mod text;
+mod value;
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+pub use value::{Map, Number, Value};
+
+/// Errors from (de)serializing JSON text.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = serde::to_content(value).map_err(|e| Error(e.to_string()))?;
+    Ok(text::write_content(&content))
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<'de, T: Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let content = text::parse(input).map_err(Error)?;
+    serde::from_content(content).map_err(|e| Error(e.to_string()))
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    let content = serde::to_content(value).map_err(|e| Error(e.to_string()))?;
+    Ok(Value::from_content(content))
+}
+
+/// Reconstruct a `T` out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    serde::from_content(value.into_content()).map_err(|e| Error(e.to_string()))
+}
+
+impl Value {
+    pub(crate) fn from_content(content: Content) -> Value {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::I64(v) => Value::Number(Number::from(v)),
+            Content::U64(v) => Value::Number(Number::from(v)),
+            Content::F64(v) => Number::from_f64(v).map_or(Value::Null, Value::Number),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => {
+                let mut map = Map::new();
+                for (k, v) in entries {
+                    map.insert(k, Value::from_content(v));
+                }
+                Value::Object(map)
+            }
+        }
+    }
+
+    pub(crate) fn into_content(self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::Number(n) => n.into_content(),
+            Value::String(s) => Content::Str(s),
+            Value::Array(items) => {
+                Content::Seq(items.into_iter().map(Value::into_content).collect())
+            }
+            Value::Object(map) => {
+                Content::Map(map.into_iter().map(|(k, v)| (k, v.into_content())).collect())
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Sanity tests for the vendored serde_json: JSON text round-trips, escape
+//! handling (including surrogate pairs), numbers, and derive shapes.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+#[test]
+fn surrogate_pair_escapes_decode() {
+    let v: Value = serde_json::from_str(r#"{"name":"😀"}"#).unwrap();
+    assert_eq!(v["name"], "\u{1F600}");
+}
+
+#[test]
+fn unpaired_surrogate_is_an_error() {
+    assert!(serde_json::from_str::<Value>(r#""\ud83d""#).is_err());
+    assert!(serde_json::from_str::<Value>(r#""\ud83dA""#).is_err());
+}
+
+#[test]
+fn string_escapes_roundtrip() {
+    let original = "line\nquote\"back\\slash\ttab\u{1F600}\u{7}";
+    let json = serde_json::to_string(&original.to_owned()).unwrap();
+    let back: String = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, original);
+}
+
+#[test]
+fn numbers_roundtrip_with_type_fidelity() {
+    let json = serde_json::to_string(&(-3i64, 7u64, 2.5f64, 4.0f64)).unwrap();
+    let (a, b, c, d): (i64, u64, f64, f64) = serde_json::from_str(&json).unwrap();
+    assert_eq!((a, b, c, d), (-3, 7, 2.5, 4.0));
+    // Floats keep a trailing `.0` so they re-parse as floats.
+    let v: Value = serde_json::from_str(&serde_json::to_string(&4.0f64).unwrap()).unwrap();
+    assert!(matches!(v, Value::Number(n) if n.is_f64()));
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Plain {
+    id: u32,
+    name: String,
+    weights: Vec<f32>,
+    maybe: Option<String>,
+}
+
+#[test]
+fn derived_struct_roundtrips() {
+    let original =
+        Plain { id: 9, name: "a \"quoted\" name".into(), weights: vec![1.5, -2.0], maybe: None };
+    let json = serde_json::to_string(&original).unwrap();
+    let back: Plain = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, original);
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op")]
+enum Tagged {
+    Ping,
+    Put { key: String, value: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Untagged {
+    Unit,
+    Newtype(String),
+    Pair(u32, u32),
+    Struct { x: i64 },
+}
+
+#[test]
+fn derived_enums_roundtrip() {
+    for original in [Tagged::Ping, Tagged::Put { key: "k".into(), value: 3 }] {
+        let json = serde_json::to_string(&original).unwrap();
+        assert!(json.contains("\"op\""), "internally tagged: {json}");
+        let back: Tagged = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+    for original in [
+        Untagged::Unit,
+        Untagged::Newtype("x".into()),
+        Untagged::Pair(1, 2),
+        Untagged::Struct { x: -5 },
+    ] {
+        let json = serde_json::to_string(&original).unwrap();
+        let back: Untagged = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+}
+
+#[test]
+fn value_int_equality_has_no_false_positives() {
+    // Regression: a failed conversion on both sides must not compare equal.
+    assert!(Value::Null != u64::MAX);
+    assert!(Value::String("x".into()) != u64::MAX);
+    let big: Value = serde_json::from_str(&u64::MAX.to_string()).unwrap();
+    assert_eq!(big, u64::MAX);
+    assert!(big != u64::MAX - 1);
+    assert!(big != 0i64);
+}
+
+#[test]
+fn numeric_equality_matches_real_serde_json() {
+    // Value vs f64 compares through f64, like real serde_json...
+    let int3: Value = serde_json::from_str("3").unwrap();
+    assert_eq!(int3, 3.0f64);
+    // ...but Number-to-Number never equates ints with floats.
+    let float3: Value = serde_json::from_str("3.0").unwrap();
+    assert!(int3 != float3);
+}
+
+#[test]
+fn out_of_range_floats_error_instead_of_saturating() {
+    // Regression: `1e300` must not deserialize into u8 as 255.
+    assert!(serde_json::from_str::<u8>("1e300").is_err());
+    assert!(serde_json::from_str::<u64>("-1.0").is_err());
+    assert_eq!(serde_json::from_str::<u8>("25.0").unwrap(), 25);
+}
+
+#[test]
+fn missing_field_is_an_error() {
+    let err = serde_json::from_str::<Plain>(r#"{"id":1,"name":"x","weights":[]}"#);
+    assert!(err.is_err(), "missing `maybe` must not default");
+}
