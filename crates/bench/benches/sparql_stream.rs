@@ -1,0 +1,58 @@
+//! Streaming vs materialised SPARQL evaluation on a DBLP-shaped graph:
+//! `LIMIT k` short-circuit wins and deep-join intermediate-table savings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgnet_datagen::{generate_dblp, DblpConfig};
+use kgnet_rdf::sparql::ast::SelectQuery;
+use kgnet_rdf::sparql::{evaluate_select, evaluate_select_materialised, parse_select};
+use kgnet_rdf::RdfStore;
+
+fn parse(text: &str) -> SelectQuery {
+    parse_select(&format!("PREFIX dblp: <https://www.dblp.org/> {text}")).unwrap()
+}
+
+fn both(c: &mut Criterion, store: &RdfStore, name: &str, q: &SelectQuery) {
+    c.bench_function(&format!("{name} (streaming)"), |b| {
+        b.iter(|| evaluate_select(store, q).unwrap().len())
+    });
+    c.bench_function(&format!("{name} (materialised)"), |b| {
+        b.iter(|| evaluate_select_materialised(store, q).unwrap().len())
+    });
+}
+
+fn bench_limit_short_circuit(c: &mut Criterion) {
+    let store = generate_dblp(&DblpConfig::small(11)).0;
+    // The streaming evaluator stops the index scans after 10 join results;
+    // the materialised one joins the full publication-author table first.
+    let q = parse("SELECT ?p ?a WHERE { ?p a dblp:Publication . ?p dblp:authoredBy ?a } LIMIT 10");
+    both(c, &store, "sparql/join_limit10", &q);
+
+    let q = parse("SELECT ?p WHERE { ?p dblp:yearOfPublication ?y . FILTER(?y >= 2010) } LIMIT 5");
+    both(c, &store, "sparql/filter_limit5", &q);
+}
+
+fn bench_deep_join(c: &mut Criterion) {
+    let store = generate_dblp(&DblpConfig::small(11)).0;
+    // Four-pattern join: streaming pipelines bindings through all joins
+    // without materialising the intermediate tables.
+    let q = parse(
+        "SELECT ?p ?a ?u WHERE {
+           ?p a dblp:Publication .
+           ?p dblp:authoredBy ?a .
+           ?a dblp:affiliatedWith ?u .
+           ?p dblp:publishedIn ?v } LIMIT 50",
+    );
+    both(c, &store, "sparql/deep_join_limit50", &q);
+
+    let q = parse(
+        "SELECT ?p ?a ?u WHERE {
+           ?p a dblp:Publication .
+           ?p dblp:authoredBy ?a .
+           ?a dblp:affiliatedWith ?u .
+           ?p dblp:publishedIn ?v }",
+    );
+    both(c, &store, "sparql/deep_join_full", &q);
+}
+
+criterion_group!(benches, bench_limit_short_circuit, bench_deep_join);
+criterion_main!(benches);

@@ -22,8 +22,8 @@ pub mod term;
 pub use dict::{TermDict, TermId};
 pub use error::SparqlError;
 pub use ntriples::{load_ntriples, parse_ntriples};
-pub use sparql::{execute, query, ExecOutcome, QueryResult};
-pub use store::{RdfStore, Triple};
+pub use sparql::{execute, query, query_with_stats, ExecOutcome, ExecStats, QueryResult};
+pub use store::{PredicateStats, RdfStore, Triple};
 pub use term::Term;
 
 #[cfg(test)]

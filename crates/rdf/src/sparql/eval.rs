@@ -1,18 +1,26 @@
 //! Evaluation of the SPARQL subset against an [`RdfStore`].
 //!
-//! Basic graph patterns are evaluated with index nested-loop joins; the
-//! pattern order is chosen greedily by boundness and index cardinality
-//! estimates (the classic heuristic of SPARQL engines). Filters are applied
-//! as soon as their variables are bound; OPTIONAL blocks are left-joined and
-//! sub-SELECTs are hash-joined on shared variables.
+//! SELECT queries are compiled to an explicit join plan (`sparql::plan`) —
+//! triple patterns reordered by cardinality estimates from the store's real
+//! per-predicate statistics, filters pushed down to the earliest step that
+//! binds their variables — and executed by the streaming operator pipeline
+//! in `sparql::stream`, which yields bindings one at a time so `LIMIT k`
+//! queries stop scanning after k results. A loop-based materialised executor
+//! over the same plan is kept as the reference oracle
+//! ([`evaluate_select_materialised`]) and as the baseline for the evaluator
+//! microbenchmarks.
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::dict::TermId;
 use crate::error::SparqlError;
 use crate::sparql::ast::*;
+use crate::sparql::plan::plan_group;
+use crate::sparql::stream::{
+    build_group_stream, exec_group_materialised, ExecCounters, ExecCtx, ExecStats,
+};
 use crate::store::RdfStore;
-use crate::term::Term;
+use crate::term::{xsd, Term};
 
 /// A materialised query result.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,18 +117,30 @@ pub fn query(store: &RdfStore, text: &str) -> Result<QueryResult, SparqlError> {
     evaluate_select(store, &q)
 }
 
+/// Parse and run a SELECT query, also returning execution counters (index
+/// triples scanned, bindings produced) — the observable proof that `LIMIT k`
+/// short-circuits the scan.
+pub fn query_with_stats(
+    store: &RdfStore,
+    text: &str,
+) -> Result<(QueryResult, ExecStats), SparqlError> {
+    let q = crate::sparql::parser::parse_select(text)?;
+    evaluate_streaming(store, &q)
+}
+
 // ---------------------------------------------------------------------------
 // Variable table and bindings
 // ---------------------------------------------------------------------------
 
+/// Interns variable names to dense slot indexes in the binding vector.
 #[derive(Default)]
-struct VarTable {
+pub(crate) struct VarTable {
     names: Vec<String>,
     index: FxHashMap<String, usize>,
 }
 
 impl VarTable {
-    fn slot(&mut self, name: &str) -> usize {
+    pub(crate) fn slot(&mut self, name: &str) -> usize {
         if let Some(&i) = self.index.get(name) {
             return i;
         }
@@ -130,19 +150,32 @@ impl VarTable {
         i
     }
 
-    fn get(&self, name: &str) -> Option<usize> {
+    pub(crate) fn get(&self, name: &str) -> Option<usize> {
         self.index.get(name).copied()
+    }
+
+    /// Number of registered variables (the binding width).
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
     }
 }
 
-type Binding = Vec<Option<TermId>>;
+pub(crate) type Binding = Vec<Option<TermId>>;
 
 // ---------------------------------------------------------------------------
 // SELECT evaluation
 // ---------------------------------------------------------------------------
 
-/// Evaluate a parsed SELECT query.
+/// Evaluate a parsed SELECT query on the streaming pipeline.
 pub fn evaluate_select(store: &RdfStore, q: &SelectQuery) -> Result<QueryResult, SparqlError> {
+    evaluate_streaming(store, q).map(|(result, _)| result)
+}
+
+/// Register every variable of the query in a fresh table and build the plan.
+fn prepare(
+    store: &RdfStore,
+    q: &SelectQuery,
+) -> Result<(VarTable, crate::sparql::plan::GroupPlan), SparqlError> {
     let mut vars = VarTable::default();
     collect_vars(&q.pattern, &mut vars);
     if let Projection::Items(items) = &q.projection {
@@ -157,105 +190,175 @@ pub fn evaluate_select(store: &RdfStore, q: &SelectQuery) -> Result<QueryResult,
             }
         }
     }
-    let bindings = eval_group(store, &q.pattern, &mut vars)?;
+    let plan = plan_group(store, &q.pattern, &vars, &FxHashSet::default())?;
+    Ok((vars, plan))
+}
 
-    // Projection (with aggregates).
+fn has_agg(q: &SelectQuery) -> bool {
+    matches!(&q.projection, Projection::Items(items)
+        if items.iter().any(|i| matches!(i, ProjectionItem::Agg { .. })))
+}
+
+fn evaluate_streaming(
+    store: &RdfStore,
+    q: &SelectQuery,
+) -> Result<(QueryResult, ExecStats), SparqlError> {
+    let (vars, plan) = prepare(store, q)?;
+    let counters = ExecCounters::default();
+    let ctx = ExecCtx { store, vars: &vars, counters: &counters };
+    let mut stream = build_group_stream(ctx, &plan, vec![None; vars.len()]);
     let out_vars = q.output_vars();
-    let mut rows: Vec<Vec<Option<TermId>>> = Vec::new();
-    let mut agg_rows: Vec<Vec<Option<Term>>> = Vec::new();
-    let has_agg = matches!(&q.projection, Projection::Items(items)
-        if items.iter().any(|i| matches!(i, ProjectionItem::Agg { .. })));
-    if has_agg {
-        let Projection::Items(items) = &q.projection else { unreachable!() };
-        let mut row = Vec::with_capacity(items.len());
-        for item in items {
-            match item {
-                ProjectionItem::Var(v) => {
-                    // A non-aggregated var alongside aggregates: take the
-                    // first binding (we do not support GROUP BY).
-                    let slot = vars.get(v);
-                    let val = bindings
-                        .first()
-                        .and_then(|b| slot.and_then(|s| b[s]))
-                        .map(|id| store.resolve(id).clone());
-                    row.push(val);
-                }
-                ProjectionItem::Agg { agg, .. } => {
-                    let count = match agg {
-                        Aggregate::CountAll => bindings.len(),
-                        Aggregate::CountVar { var, distinct } => {
-                            let slot = vars.get(var);
-                            match slot {
-                                None => 0,
-                                Some(s) => {
-                                    if *distinct {
-                                        bindings
-                                            .iter()
-                                            .filter_map(|b| b[s])
-                                            .collect::<FxHashSet<_>>()
-                                            .len()
-                                    } else {
-                                        bindings.iter().filter(|b| b[s].is_some()).count()
-                                    }
-                                }
-                            }
-                        }
-                    };
-                    row.push(Some(Term::int(count as i64)));
-                }
-            }
-        }
-        agg_rows.push(row);
-    } else {
-        let slots: Vec<Option<usize>> = out_vars.iter().map(|v| vars.get(v)).collect();
-        rows.reserve(bindings.len());
-        for b in &bindings {
-            rows.push(slots.iter().map(|s| s.and_then(|i| b[i])).collect());
-        }
-        if q.distinct {
-            let mut seen = FxHashSet::default();
-            rows.retain(|row| seen.insert(row.iter().map(|o| o.map(|t| t.0)).collect::<Vec<_>>()));
-        }
-    }
+    let mut emitted = 0u64;
 
-    // Materialise terms.
-    let mut out_rows: Vec<Vec<Option<Term>>> = if has_agg {
-        agg_rows
+    let rows: Vec<Vec<Option<Term>>> = if has_agg(q) {
+        // Aggregation consumes the stream but accumulates incrementally: no
+        // binding table is materialised.
+        let Projection::Items(items) = &q.projection else { unreachable!() };
+        let mut acc = AggAcc::new(items, &vars);
+        while let Some(b) = stream.next_binding() {
+            emitted += 1;
+            acc.push(&b);
+        }
+        let mut rows = vec![acc.finish(store)];
+        apply_offset_limit(&mut rows, q);
+        rows
+    } else if !q.order_by.is_empty() {
+        // ORDER BY is blocking: collect, sort on binding slots (so keys need
+        // not be projected), then project.
+        let mut bindings = Vec::new();
+        while let Some(b) = stream.next_binding() {
+            emitted += 1;
+            bindings.push(b);
+        }
+        sort_bindings(store, &mut bindings, &q.order_by, &vars);
+        project_all(store, q, &vars, &out_vars, &bindings)
     } else {
-        rows.into_iter()
-            .map(|row| row.into_iter().map(|id| id.map(|i| store.resolve(i).clone())).collect())
-            .collect()
+        // Fully streaming path: DISTINCT/OFFSET/LIMIT applied per binding,
+        // and LIMIT stops pulling (and therefore scanning) early.
+        let slots: Vec<Option<usize>> = out_vars.iter().map(|v| vars.get(v)).collect();
+        let offset = q.offset.unwrap_or(0);
+        let mut seen: FxHashSet<Vec<Option<TermId>>> = FxHashSet::default();
+        let mut rows = Vec::new();
+        let mut kept = 0usize;
+        loop {
+            if q.limit.is_some_and(|limit| rows.len() >= limit) {
+                break;
+            }
+            let Some(b) = stream.next_binding() else { break };
+            emitted += 1;
+            let id_row: Vec<Option<TermId>> = slots.iter().map(|s| s.and_then(|i| b[i])).collect();
+            if q.distinct && !seen.insert(id_row.clone()) {
+                continue;
+            }
+            kept += 1;
+            if kept <= offset {
+                continue;
+            }
+            rows.push(materialise_row(store, &id_row));
+        }
+        rows
     };
 
-    // ORDER BY.
-    if !q.order_by.is_empty() {
-        let keys: Vec<(usize, Order)> = q
-            .order_by
-            .iter()
-            .filter_map(|(v, ord)| out_vars.iter().position(|x| x == v).map(|i| (i, *ord)))
-            .collect();
-        out_rows.sort_by(|a, b| {
-            for &(i, ord) in &keys {
-                let c = cmp_terms(a[i].as_ref(), b[i].as_ref());
-                let c = if ord == Order::Desc { c.reverse() } else { c };
-                if c != std::cmp::Ordering::Equal {
-                    return c;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-    }
+    let stats =
+        ExecStats { triples_scanned: counters.triples_scanned.get(), bindings_emitted: emitted };
+    Ok((QueryResult { vars: out_vars, rows }, stats))
+}
 
-    // OFFSET / LIMIT.
+/// Evaluate a parsed SELECT query on the materialised reference executor.
+///
+/// Runs the same plan as [`evaluate_select`] but with full binding tables
+/// between operators, enumerating solutions in the same order. Kept as the
+/// correctness oracle for the streaming pipeline (see the equivalence
+/// property test in the conformance suite) and as the microbenchmark
+/// baseline; production call sites should use [`evaluate_select`].
+pub fn evaluate_select_materialised(
+    store: &RdfStore,
+    q: &SelectQuery,
+) -> Result<QueryResult, SparqlError> {
+    let (vars, plan) = prepare(store, q)?;
+    let counters = ExecCounters::default();
+    let ctx = ExecCtx { store, vars: &vars, counters: &counters };
+    let mut bindings = exec_group_materialised(ctx, &plan, vec![None; vars.len()]);
+    let out_vars = q.output_vars();
+
+    let rows = if has_agg(q) {
+        let Projection::Items(items) = &q.projection else { unreachable!() };
+        let mut acc = AggAcc::new(items, &vars);
+        for b in &bindings {
+            acc.push(b);
+        }
+        let mut rows = vec![acc.finish(store)];
+        apply_offset_limit(&mut rows, q);
+        rows
+    } else {
+        if !q.order_by.is_empty() {
+            sort_bindings(store, &mut bindings, &q.order_by, &vars);
+        }
+        project_all(store, q, &vars, &out_vars, &bindings)
+    };
+    Ok(QueryResult { vars: out_vars, rows })
+}
+
+/// Project bindings to term rows, applying DISTINCT, OFFSET and LIMIT.
+fn project_all(
+    store: &RdfStore,
+    q: &SelectQuery,
+    vars: &VarTable,
+    out_vars: &[String],
+    bindings: &[Binding],
+) -> Vec<Vec<Option<Term>>> {
+    let slots: Vec<Option<usize>> = out_vars.iter().map(|v| vars.get(v)).collect();
+    let mut id_rows: Vec<Vec<Option<TermId>>> =
+        bindings.iter().map(|b| slots.iter().map(|s| s.and_then(|i| b[i])).collect()).collect();
+    if q.distinct {
+        let mut seen: FxHashSet<Vec<Option<TermId>>> = FxHashSet::default();
+        id_rows.retain(|row| seen.insert(row.clone()));
+    }
+    apply_offset_limit(&mut id_rows, q);
+    id_rows.iter().map(|row| materialise_row(store, row)).collect()
+}
+
+/// Apply the OFFSET/LIMIT solution modifiers (they follow aggregation and
+/// projection per the SPARQL processing order).
+fn apply_offset_limit<T>(rows: &mut Vec<T>, q: &SelectQuery) {
     let offset = q.offset.unwrap_or(0);
     if offset > 0 {
-        out_rows.drain(..offset.min(out_rows.len()));
+        rows.drain(..offset.min(rows.len()));
     }
     if let Some(limit) = q.limit {
-        out_rows.truncate(limit);
+        rows.truncate(limit);
     }
+}
 
-    Ok(QueryResult { vars: out_vars, rows: out_rows })
+fn materialise_row(store: &RdfStore, row: &[Option<TermId>]) -> Vec<Option<Term>> {
+    row.iter().map(|id| id.map(|i| store.resolve(i).clone())).collect()
+}
+
+/// Sort bindings by ORDER BY keys resolved against variable slots, so keys
+/// that are not projected still order the result.
+fn sort_bindings(
+    store: &RdfStore,
+    bindings: &mut [Binding],
+    order_by: &[(String, Order)],
+    vars: &VarTable,
+) {
+    let keys: Vec<(usize, Order)> =
+        order_by.iter().filter_map(|(v, ord)| vars.get(v).map(|s| (s, *ord))).collect();
+    if keys.is_empty() {
+        return;
+    }
+    bindings.sort_by(|a, b| {
+        for &(slot, ord) in &keys {
+            let ta = a[slot].map(|id| store.resolve(id));
+            let tb = b[slot].map(|id| store.resolve(id));
+            let c = cmp_terms(ta, tb);
+            let c = if ord == Order::Desc { c.reverse() } else { c };
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
 }
 
 /// Total order over optional terms used by ORDER BY: unbound < numeric <
@@ -273,7 +376,7 @@ fn cmp_terms(a: Option<&Term>, b: Option<&Term>) -> std::cmp::Ordering {
     }
 }
 
-fn collect_vars(group: &GroupPattern, vars: &mut VarTable) {
+pub(crate) fn collect_vars(group: &GroupPattern, vars: &mut VarTable) {
     for t in &group.triples {
         for v in t.vars() {
             vars.slot(v);
@@ -296,270 +399,100 @@ fn collect_vars(group: &GroupPattern, vars: &mut VarTable) {
     }
 }
 
-fn eval_group(
-    store: &RdfStore,
-    group: &GroupPattern,
-    vars: &mut VarTable,
-) -> Result<Vec<Binding>, SparqlError> {
-    let width = vars.names.len();
-    let mut bindings: Vec<Binding> = vec![vec![None; width]];
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
 
-    // Order patterns greedily: prefer more bound slots, then lower estimate.
-    let mut remaining: Vec<&TriplePattern> = group.triples.iter().collect();
-    let mut bound_vars: FxHashSet<usize> = FxHashSet::default();
-    let mut ordered: Vec<&TriplePattern> = Vec::with_capacity(remaining.len());
-    while !remaining.is_empty() {
-        let (best_idx, _) = remaining
+/// Incremental accumulator for the supported aggregates, fed one binding at
+/// a time so the streaming path never stores the binding table.
+struct AggAcc {
+    slots: Vec<Option<usize>>,
+    states: Vec<AggState>,
+    first: Option<Binding>,
+    total: usize,
+}
+
+enum AggState {
+    /// A non-aggregated variable alongside aggregates: takes the first
+    /// binding's value (no GROUP BY support).
+    Var,
+    CountAll,
+    Count(usize),
+    CountDistinct(FxHashSet<TermId>),
+}
+
+impl AggAcc {
+    fn new(items: &[ProjectionItem], vars: &VarTable) -> Self {
+        let slots = items
             .iter()
-            .enumerate()
-            .map(|(i, tp)| {
-                let score = pattern_score(store, tp, vars, &bound_vars);
-                (i, score)
+            .map(|i| match i {
+                ProjectionItem::Var(v) => vars.get(v),
+                ProjectionItem::Agg { agg: Aggregate::CountVar { var, .. }, .. } => vars.get(var),
+                ProjectionItem::Agg { agg: Aggregate::CountAll, .. } => None,
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("remaining is non-empty");
-        let tp = remaining.swap_remove(best_idx);
-        for v in tp.vars() {
-            if let Some(s) = vars.get(v) {
-                bound_vars.insert(s);
-            }
-        }
-        ordered.push(tp);
+            .collect();
+        let states = items
+            .iter()
+            .map(|i| match i {
+                ProjectionItem::Var(_) => AggState::Var,
+                ProjectionItem::Agg { agg: Aggregate::CountAll, .. } => AggState::CountAll,
+                ProjectionItem::Agg { agg: Aggregate::CountVar { distinct: true, .. }, .. } => {
+                    AggState::CountDistinct(FxHashSet::default())
+                }
+                ProjectionItem::Agg {
+                    agg: Aggregate::CountVar { distinct: false, .. }, ..
+                } => AggState::Count(0),
+            })
+            .collect();
+        AggAcc { slots, states, first: None, total: 0 }
     }
 
-    // Pending filters evaluated as soon as their vars are bound.
-    let mut pending: Vec<(&Expr, FxHashSet<usize>)> = group
-        .filters
-        .iter()
-        .map(|f| {
-            let mut names = Vec::new();
-            f.vars(&mut names);
-            let slots = names.iter().filter_map(|v| vars.get(v)).collect();
-            (f, slots)
-        })
-        .collect();
-
-    let mut currently_bound: FxHashSet<usize> = FxHashSet::default();
-    for tp in ordered {
-        bindings = extend_with_pattern(store, &bindings, tp, vars)?;
-        for v in tp.vars() {
-            if let Some(s) = vars.get(v) {
-                currently_bound.insert(s);
-            }
+    fn push(&mut self, b: &Binding) {
+        self.total += 1;
+        if self.first.is_none() {
+            self.first = Some(b.clone());
         }
-        let mut i = 0;
-        while i < pending.len() {
-            if pending[i].1.iter().all(|s| currently_bound.contains(s)) {
-                let (f, _) = pending.swap_remove(i);
-                bindings.retain(|b| eval_expr(store, f, b, vars));
-            } else {
-                i += 1;
-            }
-        }
-        if bindings.is_empty() {
-            break;
-        }
-    }
-
-    // Sub-selects: hash-join on shared vars.
-    for sub in &group.subselects {
-        let sub_result = evaluate_select(store, sub)?;
-        bindings = join_subselect(store, bindings, &sub_result, vars);
-        if bindings.is_empty() {
-            break;
-        }
-    }
-
-    // Optionals: left join.
-    for opt in &group.optionals {
-        let mut next = Vec::with_capacity(bindings.len());
-        for b in &bindings {
-            let seeded = eval_group_seeded(store, opt, vars, b)?;
-            if seeded.is_empty() {
-                next.push(b.clone());
-            } else {
-                next.extend(seeded);
-            }
-        }
-        bindings = next;
-    }
-
-    // Remaining filters (e.g. over optional/subselect vars).
-    for (f, _) in pending {
-        bindings.retain(|b| eval_expr(store, f, b, vars));
-    }
-
-    Ok(bindings)
-}
-
-/// Evaluate a group starting from an existing binding (used by OPTIONAL).
-fn eval_group_seeded(
-    store: &RdfStore,
-    group: &GroupPattern,
-    vars: &mut VarTable,
-    seed: &Binding,
-) -> Result<Vec<Binding>, SparqlError> {
-    let mut bindings = vec![seed.clone()];
-    for tp in &group.triples {
-        bindings = extend_with_pattern(store, &bindings, tp, vars)?;
-        if bindings.is_empty() {
-            return Ok(vec![]);
-        }
-    }
-    for f in &group.filters {
-        bindings.retain(|b| eval_expr(store, f, b, vars));
-    }
-    for opt in &group.optionals {
-        let mut next = Vec::with_capacity(bindings.len());
-        for b in &bindings {
-            let seeded = eval_group_seeded(store, opt, vars, b)?;
-            if seeded.is_empty() {
-                next.push(b.clone());
-            } else {
-                next.extend(seeded);
-            }
-        }
-        bindings = next;
-    }
-    Ok(bindings)
-}
-
-/// Cost proxy for pattern ordering: store-estimated matches assuming
-/// already-bound variables behave like constants (divide by a nominal
-/// fan-out).
-fn pattern_score(
-    store: &RdfStore,
-    tp: &TriplePattern,
-    vars: &VarTable,
-    bound: &FxHashSet<usize>,
-) -> f64 {
-    let ground = |t: &TermPattern| -> Option<Option<TermId>> {
-        match t {
-            TermPattern::Ground(term) => Some(store.lookup(term)),
-            TermPattern::Var(_) => None,
-        }
-    };
-    let slot = |t: &TermPattern| -> Option<TermId> {
-        match ground(t) {
-            Some(Some(id)) => Some(id),
-            _ => None,
-        }
-    };
-    let s = slot(&tp.s);
-    let p = slot(&tp.p);
-    let o = slot(&tp.o);
-    // A ground term missing from the dictionary means zero matches.
-    for t in [&tp.s, &tp.p, &tp.o] {
-        if let Some(None) = ground(t) {
-            return 0.0;
-        }
-    }
-    let mut est = store.count(s, p, o) as f64;
-    for t in [&tp.s, &tp.p, &tp.o] {
-        if let TermPattern::Var(v) = t {
-            if vars.get(v).is_some_and(|sl| bound.contains(&sl)) {
-                // A bound variable narrows the scan roughly like a constant.
-                est /= 16.0;
-            }
-        }
-    }
-    est
-}
-
-fn extend_with_pattern(
-    store: &RdfStore,
-    bindings: &[Binding],
-    tp: &TriplePattern,
-    vars: &mut VarTable,
-) -> Result<Vec<Binding>, SparqlError> {
-    let slot_of = |t: &TermPattern, vars: &mut VarTable| -> Result<Result<usize, TermId>, ()> {
-        match t {
-            TermPattern::Var(v) => Ok(Ok(vars.slot(v))),
-            TermPattern::Ground(term) => match store.lookup(term) {
-                Some(id) => Ok(Err(id)),
-                None => Err(()),
-            },
-        }
-    };
-    let (s_slot, p_slot, o_slot) =
-        match (slot_of(&tp.s, vars), slot_of(&tp.p, vars), slot_of(&tp.o, vars)) {
-            (Ok(a), Ok(b), Ok(c)) => (a, b, c),
-            // A ground term not in the dictionary matches nothing.
-            _ => return Ok(vec![]),
-        };
-
-    let mut out = Vec::new();
-    let mut scratch = Vec::new();
-    for b in bindings {
-        let resolve = |slot: &Result<usize, TermId>, b: &Binding| -> Option<TermId> {
-            match slot {
-                Ok(var_slot) => b.get(*var_slot).copied().flatten(),
-                Err(id) => Some(*id),
-            }
-        };
-        let s = resolve(&s_slot, b);
-        let p = resolve(&p_slot, b);
-        let o = resolve(&o_slot, b);
-        scratch.clear();
-        store.scan(s, p, o, &mut scratch);
-        for &(ms, mp, mo) in &scratch {
-            let mut nb = b.clone();
-            let mut ok = true;
-            for (slot, value) in [(&s_slot, ms), (&p_slot, mp), (&o_slot, mo)] {
-                if let Ok(var_slot) = slot {
-                    if *var_slot >= nb.len() {
-                        nb.resize(*var_slot + 1, None);
-                    }
-                    match nb[*var_slot] {
-                        None => nb[*var_slot] = Some(value),
-                        Some(existing) if existing == value => {}
-                        Some(_) => {
-                            ok = false;
-                            break;
-                        }
+        for (state, slot) in self.states.iter_mut().zip(&self.slots) {
+            let value = slot.and_then(|s| b[s]);
+            match state {
+                AggState::Count(n) => {
+                    if value.is_some() {
+                        *n += 1;
                     }
                 }
-            }
-            if ok {
-                out.push(nb);
-            }
-        }
-    }
-    Ok(out)
-}
-
-fn join_subselect(
-    store: &RdfStore,
-    bindings: Vec<Binding>,
-    sub: &QueryResult,
-    vars: &mut VarTable,
-) -> Vec<Binding> {
-    // Intern sub-result terms into ids for joining; unknown terms cannot join
-    // on shared vars but still extend when the var is fresh.
-    let sub_slots: Vec<usize> = sub.vars.iter().map(|v| vars.slot(v)).collect();
-    let mut out = Vec::new();
-    for b in &bindings {
-        'rows: for row in &sub.rows {
-            let mut nb = b.clone();
-            if nb.len() < vars.names.len() {
-                nb.resize(vars.names.len(), None);
-            }
-            for (i, term) in row.iter().enumerate() {
-                let slot = sub_slots[i];
-                let id = term.as_ref().and_then(|t| store.lookup(t));
-                match (nb[slot], id) {
-                    (None, v) => nb[slot] = v,
-                    (Some(x), Some(y)) if x == y => {}
-                    (Some(_), _) => continue 'rows,
+                AggState::CountDistinct(set) => {
+                    if let Some(id) = value {
+                        set.insert(id);
+                    }
                 }
+                AggState::Var | AggState::CountAll => {}
             }
-            out.push(nb);
         }
     }
-    out
+
+    fn finish(self, store: &RdfStore) -> Vec<Option<Term>> {
+        self.states
+            .iter()
+            .zip(&self.slots)
+            .map(|(state, slot)| match state {
+                AggState::Var => self
+                    .first
+                    .as_ref()
+                    .and_then(|b| slot.and_then(|s| b[s]))
+                    .map(|id| store.resolve(id).clone()),
+                AggState::CountAll => Some(Term::int(self.total as i64)),
+                AggState::Count(n) => Some(Term::int(*n as i64)),
+                AggState::CountDistinct(set) => Some(Term::int(set.len() as i64)),
+            })
+            .collect()
+    }
 }
 
-fn eval_expr(store: &RdfStore, expr: &Expr, b: &Binding, vars: &VarTable) -> bool {
+// ---------------------------------------------------------------------------
+// Filter expressions
+// ---------------------------------------------------------------------------
+
+pub(crate) fn eval_expr(store: &RdfStore, expr: &Expr, b: &Binding, vars: &VarTable) -> bool {
     eval_expr_term(store, expr, b, vars).is_some_and(|v| v.truthy())
 }
 
@@ -570,12 +503,35 @@ enum Value {
 }
 
 impl Value {
+    /// SPARQL effective boolean value (spec §17.2.2): booleans by value,
+    /// strings by non-emptiness, numerics by non-zero (and not NaN); IRIs,
+    /// blank nodes and unknown datatypes are type errors, treated as false.
     fn truthy(&self) -> bool {
         match self {
             Value::Bool(b) => *b,
-            Value::Term(t) => t.numeric() != Some(0.0),
+            Value::Term(t) => effective_boolean_value(t),
             Value::Unbound => false,
         }
+    }
+}
+
+fn effective_boolean_value(t: &Term) -> bool {
+    let Term::Literal { lexical, datatype, lang } = t else {
+        // The EBV of an IRI or blank node is a type error.
+        return false;
+    };
+    if lang.is_some() {
+        return !lexical.is_empty();
+    }
+    match datatype.as_deref() {
+        Some(xsd::BOOLEAN) => lexical == "true" || lexical == "1",
+        Some(xsd::INTEGER) | Some(xsd::DOUBLE) => {
+            lexical.parse::<f64>().is_ok_and(|v| v != 0.0 && !v.is_nan())
+        }
+        // Simple, xsd:string and language-tagged literals: non-emptiness.
+        Some(xsd::STRING) | None => !lexical.is_empty(),
+        // Any other datatype is a type error.
+        Some(_) => false,
     }
 }
 
@@ -614,13 +570,23 @@ fn eval_expr_term(store: &RdfStore, expr: &Expr, b: &Binding, vars: &VarTable) -
                 _ => Some(Value::Bool(false)),
             }
         }
-        Expr::Eq(l, r) => compare(store, l, r, b, vars, |o| o == std::cmp::Ordering::Equal),
-        Expr::Ne(l, r) => compare(store, l, r, b, vars, |o| o != std::cmp::Ordering::Equal),
-        Expr::Lt(l, r) => compare(store, l, r, b, vars, |o| o == std::cmp::Ordering::Less),
-        Expr::Le(l, r) => compare(store, l, r, b, vars, |o| o != std::cmp::Ordering::Greater),
-        Expr::Gt(l, r) => compare(store, l, r, b, vars, |o| o == std::cmp::Ordering::Greater),
-        Expr::Ge(l, r) => compare(store, l, r, b, vars, |o| o != std::cmp::Ordering::Less),
+        Expr::Eq(l, r) => compare(store, l, r, b, vars, CmpOp::Eq),
+        Expr::Ne(l, r) => compare(store, l, r, b, vars, CmpOp::Ne),
+        Expr::Lt(l, r) => compare(store, l, r, b, vars, CmpOp::Lt),
+        Expr::Le(l, r) => compare(store, l, r, b, vars, CmpOp::Le),
+        Expr::Gt(l, r) => compare(store, l, r, b, vars, CmpOp::Gt),
+        Expr::Ge(l, r) => compare(store, l, r, b, vars, CmpOp::Ge),
     }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
 }
 
 fn compare(
@@ -629,30 +595,47 @@ fn compare(
     r: &Expr,
     b: &Binding,
     vars: &VarTable,
-    pred: impl Fn(std::cmp::Ordering) -> bool,
+    op: CmpOp,
 ) -> Option<Value> {
+    use std::cmp::Ordering;
     let lv = eval_expr_term(store, l, b, vars)?;
     let rv = eval_expr_term(store, r, b, vars)?;
     let (Value::Term(lt), Value::Term(rt)) = (lv, rv) else {
+        // Comparison with an unbound/boolean operand is a type error.
         return Some(Value::Bool(false));
     };
-    let ord = match (lt.numeric(), rt.numeric()) {
-        (Some(a), Some(c)) => a.partial_cmp(&c)?,
-        _ => {
-            // Non-numeric: compare literals/IRIs textually; equality must
-            // also respect the term kind.
-            if matches!(l, Expr::Const(_)) || matches!(r, Expr::Const(_)) {
-                // fallthrough to textual comparison
-            }
-            let ls = term_text(&lt);
-            let rs = term_text(&rt);
-            if std::mem::discriminant(&lt) != std::mem::discriminant(&rt) {
-                return Some(Value::Bool(false));
-            }
-            ls.cmp(rs)
+    match op {
+        CmpOp::Eq | CmpOp::Ne => {
+            // Term (in)equality: numerically when both sides are numeric
+            // literals, otherwise exact term identity — so `?lit != <iri>`
+            // holds across term kinds.
+            let equal = match (lt.numeric(), rt.numeric()) {
+                (Some(a), Some(c)) => a == c,
+                _ => lt == rt,
+            };
+            Some(Value::Bool((op == CmpOp::Eq) == equal))
         }
-    };
-    Some(Value::Bool(pred(ord)))
+        _ => {
+            let ord = match (lt.numeric(), rt.numeric()) {
+                (Some(a), Some(c)) => a.partial_cmp(&c)?,
+                _ => {
+                    // Ordering across different term kinds is a type error;
+                    // same-kind terms compare textually.
+                    if std::mem::discriminant(&lt) != std::mem::discriminant(&rt) {
+                        return Some(Value::Bool(false));
+                    }
+                    term_text(&lt).cmp(term_text(&rt))
+                }
+            };
+            Some(Value::Bool(match op {
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+                CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+            }))
+        }
+    }
 }
 
 fn term_text(t: &Term) -> &str {
@@ -700,7 +683,10 @@ pub fn execute_update(store: &mut RdfStore, update: &Update) -> Result<UpdateSta
                     vars.slot(v);
                 }
             }
-            let bindings = eval_group(store, pattern, &mut vars)?;
+            let plan = plan_group(store, pattern, &vars, &FxHashSet::default())?;
+            let counters = ExecCounters::default();
+            let ctx = ExecCtx { store, vars: &vars, counters: &counters };
+            let bindings = exec_group_materialised(ctx, &plan, vec![None; vars.len()]);
             let mut to_delete = Vec::new();
             let mut to_insert = Vec::new();
             for b in &bindings {
@@ -776,54 +762,58 @@ mod tests {
         st
     }
 
+    /// Run one query on both executors, asserting they agree exactly.
+    fn query_both(st: &RdfStore, text: &str) -> QueryResult {
+        let q = crate::sparql::parser::parse_select(text).unwrap();
+        let streaming = evaluate_select(st, &q).unwrap();
+        let materialised = evaluate_select_materialised(st, &q).unwrap();
+        assert_eq!(streaming, materialised, "executors disagree on {text}");
+        streaming
+    }
+
     #[test]
     fn bgp_join_two_patterns() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?t WHERE { ?p a x:Publication . ?p x:title ?t }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 3);
     }
 
     #[test]
     fn filter_numeric() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:year ?y . FILTER(?y > 2021) }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 2);
     }
 
     #[test]
     fn filter_and_or_not() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:year ?y . FILTER(?y = 2020 || ?y = 2023) }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 2);
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:year ?y . FILTER(!(?y = 2020)) }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 2);
     }
 
     #[test]
     fn join_chain_and_shared_vars() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?a ?t WHERE {
                ?a x:wrote ?p . ?p x:title ?t . ?p x:cites ?q }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 1);
         assert_eq!(r.rows[0][1].as_ref().unwrap().as_literal(), Some("P one"));
     }
@@ -831,12 +821,11 @@ mod tests {
     #[test]
     fn optional_left_join() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?p ?q WHERE {
                ?p a x:Publication . OPTIONAL { ?p x:cites ?q } } ORDER BY ?p",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 3);
         // p3 cites nothing -> unbound ?q.
         let unbound = r.rows.iter().filter(|row| row[1].is_none()).count();
@@ -846,11 +835,10 @@ mod tests {
     #[test]
     fn distinct_and_order_limit() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT DISTINCT ?y WHERE { ?p x:year ?y } ORDER BY DESC(?y) LIMIT 2",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 2);
         assert_eq!(r.rows[0][0].as_ref().unwrap().as_int(), Some(2023));
     }
@@ -858,41 +846,37 @@ mod tests {
     #[test]
     fn count_aggregates() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT (COUNT(*) AS ?n) WHERE { ?p a x:Publication }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.rows[0][0].as_ref().unwrap().as_int(), Some(3));
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?p x:cites ?q }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.rows[0][0].as_ref().unwrap().as_int(), Some(2));
     }
 
     #[test]
     fn subselect_joins_on_shared_vars() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?p ?t WHERE {
                ?p x:title ?t .
                { SELECT ?p WHERE { ?p x:cites ?q } } }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 2);
     }
 
     #[test]
     fn contains_filter() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:title ?t . FILTER(CONTAINS(?t, \"two\")) }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 1);
     }
 
@@ -922,28 +906,158 @@ mod tests {
     #[test]
     fn unknown_ground_term_yields_empty() {
         let st = store_with_papers();
-        let r = query(&st, "SELECT ?s WHERE { ?s <http://nope/p> ?o }").unwrap();
+        let r = query_both(&st, "SELECT ?s WHERE { ?s <http://nope/p> ?o }");
         assert!(r.is_empty());
     }
 
     #[test]
     fn cartesian_product_when_disjoint() {
         let st = store_with_papers();
-        let r = query(
+        let r = query_both(
             &st,
             "PREFIX x: <http://x/> SELECT ?p ?a WHERE { ?p a x:Publication . ?a a x:Author }",
-        )
-        .unwrap();
+        );
         assert_eq!(r.len(), 3);
     }
 
     #[test]
     fn result_table_rendering() {
         let st = store_with_papers();
-        let r = query(&st, "PREFIX x: <http://x/> SELECT ?t WHERE { <http://x/p1> x:title ?t }")
-            .unwrap();
+        let r =
+            query_both(&st, "PREFIX x: <http://x/> SELECT ?t WHERE { <http://x/p1> x:title ?t }");
         let table = r.to_table();
         assert!(table.contains("?t"));
         assert!(table.contains("P one"));
+    }
+
+    // -- regression tests for the SPARQL-semantics fixes --------------------
+
+    #[test]
+    fn ebv_follows_the_spec() {
+        let mut st = RdfStore::new();
+        execute(
+            &mut st,
+            r#"PREFIX x: <http://x/> PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+               INSERT DATA {
+                 x:empty x:v "" . x:str x:v "yes" .
+                 x:f x:v "false"^^xsd:boolean . x:t x:v "true"^^xsd:boolean .
+                 x:zero x:v 0 . x:three x:v 3 . x:iri x:v x:other .
+               }"#,
+        )
+        .unwrap();
+        let r = query_both(&st, "PREFIX x: <http://x/> SELECT ?s WHERE { ?s x:v ?o . FILTER(?o) }");
+        let mut names: Vec<String> =
+            r.rows.iter().map(|row| row[0].as_ref().unwrap().to_string()).collect();
+        names.sort();
+        assert_eq!(names, vec!["<http://x/str>", "<http://x/t>", "<http://x/three>"]);
+    }
+
+    #[test]
+    fn ne_holds_across_term_kinds() {
+        let mut st = RdfStore::new();
+        execute(&mut st, r#"PREFIX x: <http://x/> INSERT DATA { x:a x:p x:b . x:a x:p "lit" }"#)
+            .unwrap();
+        let r = query_both(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?o WHERE { x:a x:p ?o . FILTER(?o != x:b) }",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][0].as_ref().unwrap().as_literal(), Some("lit"));
+        let r = query_both(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?o WHERE { x:a x:p ?o . FILTER(?o = x:b) }",
+        );
+        assert_eq!(r.len(), 1);
+        assert!(r.rows[0][0].as_ref().unwrap().is_iri());
+    }
+
+    #[test]
+    fn optional_subselect_is_evaluated() {
+        let st = store_with_papers();
+        let r = query_both(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p ?q WHERE {
+               ?p a x:Publication .
+               OPTIONAL { { SELECT ?p ?q WHERE { ?p x:cites ?q } } } } ORDER BY ?p",
+        );
+        assert_eq!(r.len(), 3);
+        // p1 cites p2, p2 cites p3, p3 cites nothing.
+        assert_eq!(r.rows[0][1].as_ref().unwrap().as_iri(), Some("http://x/p2"));
+        assert_eq!(r.rows[1][1].as_ref().unwrap().as_iri(), Some("http://x/p3"));
+        assert!(r.rows[2][1].is_none());
+    }
+
+    #[test]
+    fn order_by_on_unprojected_var() {
+        let st = store_with_papers();
+        let r = query_both(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p WHERE { ?p x:year ?y } ORDER BY DESC(?y)",
+        );
+        assert_eq!(r.rows[0][0].as_ref().unwrap().as_iri(), Some("http://x/p3"));
+        assert_eq!(r.rows[2][0].as_ref().unwrap().as_iri(), Some("http://x/p1"));
+    }
+
+    #[test]
+    fn limit_short_circuits_the_scan() {
+        let mut st = RdfStore::new();
+        for i in 0..1000 {
+            st.insert(Term::iri(format!("http://x/s{i}")), Term::iri("http://x/p"), Term::int(i));
+        }
+        let (r, stats) =
+            query_with_stats(&st, "SELECT ?s ?o WHERE { ?s <http://x/p> ?o } LIMIT 5").unwrap();
+        assert_eq!(r.len(), 5);
+        assert!(
+            stats.triples_scanned <= 5,
+            "LIMIT 5 should scan at most 5 triples, scanned {}",
+            stats.triples_scanned
+        );
+        // The same query without LIMIT walks the whole index.
+        let (_, full) = query_with_stats(&st, "SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert_eq!(full.triples_scanned, 1000);
+    }
+
+    #[test]
+    fn aggregates_respect_offset_and_limit() {
+        let st = store_with_papers();
+        let r = query_both(
+            &st,
+            "PREFIX x: <http://x/> SELECT (COUNT(*) AS ?n) WHERE { ?p a x:Publication } LIMIT 0",
+        );
+        assert!(r.is_empty());
+        let r = query_both(
+            &st,
+            "PREFIX x: <http://x/> SELECT (COUNT(*) AS ?n) WHERE { ?p a x:Publication } OFFSET 1",
+        );
+        assert!(r.is_empty());
+        let r = query_both(
+            &st,
+            "PREFIX x: <http://x/> SELECT (COUNT(*) AS ?n) WHERE { ?p a x:Publication } LIMIT 1",
+        );
+        assert_eq!(r.rows[0][0].as_ref().unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn subselect_unbound_value_is_join_compatible() {
+        let st = store_with_papers();
+        // The sub-select projects ?q but never binds it (the OPTIONAL cannot
+        // match); outer rows keep their own ?q bindings instead of being
+        // dropped.
+        let r = query_both(
+            &st,
+            "PREFIX x: <http://x/> SELECT ?p ?q WHERE {
+               ?p x:cites ?q .
+               { SELECT ?p ?q WHERE { ?p x:title ?t . OPTIONAL { ?p x:nope ?q } } } }",
+        );
+        assert_eq!(r.len(), 2);
+        assert!(r.rows.iter().all(|row| row[1].is_some()));
+    }
+
+    #[test]
+    fn limit_zero_yields_nothing() {
+        let st = store_with_papers();
+        let (r, stats) = query_with_stats(&st, "SELECT ?s WHERE { ?s ?p ?o } LIMIT 0").unwrap();
+        assert!(r.is_empty());
+        assert_eq!(stats.triples_scanned, 0);
     }
 }

@@ -1,15 +1,20 @@
-//! The SPARQL subset: lexer, AST, parser and evaluator.
+//! The SPARQL subset: lexer, AST, parser, planner and evaluators.
 
 pub mod ast;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
+pub mod stream;
 
 pub use ast::{
     Aggregate, Expr, GroupPattern, Operation, Order, Projection, ProjectionItem, SelectQuery,
     TermPattern, TriplePattern, Update,
 };
 pub use eval::{
-    evaluate_select, execute, execute_update, query, ExecOutcome, QueryResult, UpdateStats,
+    evaluate_select, evaluate_select_materialised, execute, execute_update, query,
+    query_with_stats, ExecOutcome, QueryResult, UpdateStats,
 };
 pub use parser::{parse, parse_select, Parser};
+pub use plan::{GroupPlan, PatternStep, Slot, SubPlan};
+pub use stream::{BindingStream, ExecStats};

@@ -5,8 +5,11 @@
 //! from it through pattern scans, and the SPARQL engine evaluates basic
 //! graph patterns against its indexes.
 
-use std::collections::BTreeSet;
+use std::collections::{btree_set, BTreeSet};
 use std::ops::Bound;
+use std::sync::Mutex;
+
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::dict::{TermDict, TermId};
 use crate::term::{Term, RDF_TYPE};
@@ -17,6 +20,26 @@ pub type Triple = (TermId, TermId, TermId);
 /// One position of a triple pattern: bound to a term id or a wildcard.
 pub type PatternSlot = Option<TermId>;
 
+/// Cached index statistics for one predicate, used by the query planner to
+/// order joins by estimated cardinality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredicateStats {
+    /// Triples using this predicate.
+    pub triples: usize,
+    /// Distinct subjects appearing with this predicate.
+    pub distinct_subjects: usize,
+    /// Distinct objects appearing with this predicate.
+    pub distinct_objects: usize,
+}
+
+/// Lazily computed per-predicate statistics, invalidated wholesale whenever
+/// the store mutates (tracked by a generation counter).
+#[derive(Debug, Default)]
+struct StatsCache {
+    generation: u64,
+    by_pred: FxHashMap<u32, PredicateStats>,
+}
+
 /// An in-memory RDF store with SPO, POS and OSP indexes.
 #[derive(Default)]
 pub struct RdfStore {
@@ -24,6 +47,9 @@ pub struct RdfStore {
     spo: BTreeSet<(u32, u32, u32)>,
     pos: BTreeSet<(u32, u32, u32)>,
     osp: BTreeSet<(u32, u32, u32)>,
+    /// Bumped on every successful insert/remove; stats cached per generation.
+    generation: u64,
+    stats: Mutex<StatsCache>,
 }
 
 impl RdfStore {
@@ -66,6 +92,7 @@ impl RdfStore {
         if added {
             self.pos.insert((p.0, o.0, s.0));
             self.osp.insert((o.0, s.0, p.0));
+            self.generation += 1;
         }
         added
     }
@@ -84,8 +111,14 @@ impl RdfStore {
         if removed {
             self.pos.remove(&(p.0, o.0, s.0));
             self.osp.remove(&(o.0, s.0, p.0));
+            self.generation += 1;
         }
         removed
+    }
+
+    /// Mutation counter; bumped whenever a triple is added or removed.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of triples.
@@ -116,74 +149,79 @@ impl RdfStore {
         self.spo.iter().map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o)))
     }
 
-    /// Match a triple pattern, pushing each match into `out`.
+    /// Lazily match a triple pattern, yielding each match in index order.
     ///
     /// Index choice: `S??`/`SP?`/`SPO` use SPO; `?P?`/`?PO` use POS;
-    /// `??O`/`S?O` use OSP; `???` scans SPO.
-    pub fn scan(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot, out: &mut Vec<Triple>) {
-        match (s, p, o) {
+    /// `??O`/`S?O` use OSP; `???` scans SPO. Because the iterator walks the
+    /// underlying B-tree range on demand, short-circuiting consumers (e.g. a
+    /// `LIMIT k` query) stop the index scan as soon as they have enough
+    /// matches.
+    pub fn scan_iter(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot) -> ScanIter<'_> {
+        let inner = match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
-                if self.contains_ids(s, p, o) {
-                    out.push((s, p, o));
-                }
+                ScanInner::One(self.contains_ids(s, p, o).then_some((s, p, o)))
             }
-            (Some(s), Some(p), None) => {
-                for &(a, b, c) in range2(&self.spo, s.0, p.0) {
-                    out.push((TermId(a), TermId(b), TermId(c)));
-                }
-            }
-            (Some(s), None, None) => {
-                for &(a, b, c) in range1(&self.spo, s.0) {
-                    out.push((TermId(a), TermId(b), TermId(c)));
-                }
-            }
-            (None, Some(p), Some(o)) => {
-                for &(a, b, c) in range2(&self.pos, p.0, o.0) {
-                    out.push((TermId(c), TermId(a), TermId(b)));
-                }
-            }
-            (None, Some(p), None) => {
-                for &(a, b, c) in range1(&self.pos, p.0) {
-                    out.push((TermId(c), TermId(a), TermId(b)));
-                }
-            }
-            (None, None, Some(o)) => {
-                for &(a, b, c) in range1(&self.osp, o.0) {
-                    out.push((TermId(b), TermId(c), TermId(a)));
-                }
-            }
-            (Some(s), None, Some(o)) => {
-                for &(a, b, c) in range2(&self.osp, o.0, s.0) {
-                    out.push((TermId(b), TermId(c), TermId(a)));
-                }
-            }
-            (None, None, None) => {
-                for &(a, b, c) in &self.spo {
-                    out.push((TermId(a), TermId(b), TermId(c)));
-                }
-            }
-        }
+            (Some(s), Some(p), None) => ScanInner::Spo(range2(&self.spo, s.0, p.0)),
+            (Some(s), None, None) => ScanInner::Spo(range1(&self.spo, s.0)),
+            (None, Some(p), Some(o)) => ScanInner::Pos(range2(&self.pos, p.0, o.0)),
+            (None, Some(p), None) => ScanInner::Pos(range1(&self.pos, p.0)),
+            (None, None, Some(o)) => ScanInner::Osp(range1(&self.osp, o.0)),
+            (Some(s), None, Some(o)) => ScanInner::Osp(range2(&self.osp, o.0, s.0)),
+            (None, None, None) => ScanInner::Full(self.spo.iter()),
+        };
+        ScanIter { inner }
+    }
+
+    /// Match a triple pattern, pushing each match into `out`.
+    pub fn scan(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot, out: &mut Vec<Triple>) {
+        out.extend(self.scan_iter(s, p, o));
     }
 
     /// Collected matches for a pattern.
     pub fn matches(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot) -> Vec<Triple> {
-        let mut out = Vec::new();
-        self.scan(s, p, o, &mut out);
-        out
+        self.scan_iter(s, p, o).collect()
     }
 
     /// Count matches for a pattern without materialising terms.
     pub fn count(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot) -> usize {
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => usize::from(self.contains_ids(s, p, o)),
-            (Some(s), Some(p), None) => range2(&self.spo, s.0, p.0).count(),
-            (Some(s), None, None) => range1(&self.spo, s.0).count(),
-            (None, Some(p), Some(o)) => range2(&self.pos, p.0, o.0).count(),
-            (None, Some(p), None) => range1(&self.pos, p.0).count(),
-            (None, None, Some(o)) => range1(&self.osp, o.0).count(),
-            (Some(s), None, Some(o)) => range2(&self.osp, o.0, s.0).count(),
             (None, None, None) => self.spo.len(),
+            _ => self.scan_iter(s, p, o).count(),
         }
+    }
+
+    /// Index statistics for one predicate: triple count plus distinct
+    /// subject/object counts, i.e. the fan-outs the join planner divides by
+    /// when a variable position is already bound.
+    ///
+    /// Computed on first request per predicate and cached; the cache is
+    /// invalidated wholesale when the store mutates.
+    pub fn predicate_stats(&self, p: TermId) -> PredicateStats {
+        let mut cache = self.stats.lock().expect("stats cache lock");
+        if cache.generation != self.generation {
+            cache.by_pred.clear();
+            cache.generation = self.generation;
+        }
+        if let Some(&stats) = cache.by_pred.get(&p.0) {
+            return stats;
+        }
+        // POS range for p is sorted by object: distinct objects fall out of
+        // run-length counting, distinct subjects need a set.
+        let mut stats = PredicateStats::default();
+        let mut last_object = None;
+        let mut subjects = FxHashSet::default();
+        for &(_, o, s) in range1(&self.pos, p.0) {
+            stats.triples += 1;
+            if last_object != Some(o) {
+                stats.distinct_objects += 1;
+                last_object = Some(o);
+            }
+            subjects.insert(s);
+        }
+        stats.distinct_subjects = subjects.len();
+        cache.by_pred.insert(p.0, stats);
+        stats
     }
 
     /// All subjects with `rdf:type <type_iri>`.
@@ -233,7 +271,40 @@ impl RdfStore {
     }
 }
 
-fn range1(set: &BTreeSet<(u32, u32, u32)>, a: u32) -> impl Iterator<Item = &(u32, u32, u32)> {
+/// Lazy pattern-match iterator returned by [`RdfStore::scan_iter`].
+pub struct ScanIter<'a> {
+    inner: ScanInner<'a>,
+}
+
+/// Which index backs the scan, with its tuple order.
+enum ScanInner<'a> {
+    /// Fully-ground pattern: at most one match.
+    One(Option<Triple>),
+    /// SPO-ordered range: tuples are `(s, p, o)`.
+    Spo(btree_set::Range<'a, (u32, u32, u32)>),
+    /// POS-ordered range: tuples are `(p, o, s)`.
+    Pos(btree_set::Range<'a, (u32, u32, u32)>),
+    /// OSP-ordered range: tuples are `(o, s, p)`.
+    Osp(btree_set::Range<'a, (u32, u32, u32)>),
+    /// Unconstrained scan over the whole SPO index.
+    Full(btree_set::Iter<'a, (u32, u32, u32)>),
+}
+
+impl Iterator for ScanIter<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        match &mut self.inner {
+            ScanInner::One(t) => t.take(),
+            ScanInner::Spo(r) => r.next().map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o))),
+            ScanInner::Pos(r) => r.next().map(|&(p, o, s)| (TermId(s), TermId(p), TermId(o))),
+            ScanInner::Osp(r) => r.next().map(|&(o, s, p)| (TermId(s), TermId(p), TermId(o))),
+            ScanInner::Full(it) => it.next().map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o))),
+        }
+    }
+}
+
+fn range1(set: &BTreeSet<(u32, u32, u32)>, a: u32) -> btree_set::Range<'_, (u32, u32, u32)> {
     set.range((Bound::Included((a, 0, 0)), Bound::Included((a, u32::MAX, u32::MAX))))
 }
 
@@ -241,7 +312,7 @@ fn range2(
     set: &BTreeSet<(u32, u32, u32)>,
     a: u32,
     b: u32,
-) -> impl Iterator<Item = &(u32, u32, u32)> {
+) -> btree_set::Range<'_, (u32, u32, u32)> {
     set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, u32::MAX))))
 }
 
@@ -320,6 +391,53 @@ mod tests {
     fn predicates_are_distinct() {
         let st = small_store();
         assert_eq!(st.predicates().len(), 3); // cites, title, rdf:type
+    }
+
+    #[test]
+    fn scan_iter_is_lazy_and_matches_scan() {
+        let st = small_store();
+        let p = st.lookup(&iri("cites")).unwrap();
+        // Taking one match must not require walking the whole range.
+        let first = st.scan_iter(None, Some(p), None).next().unwrap();
+        assert!(st.matches(None, Some(p), None).contains(&first));
+        // Full drain agrees with the eager scan for every shape.
+        let s = st.lookup(&iri("p1")).unwrap();
+        for (a, b, c) in [(None, None, None), (Some(s), None, None), (None, Some(p), None)] {
+            assert_eq!(st.scan_iter(a, b, c).collect::<Vec<_>>(), st.matches(a, b, c));
+        }
+    }
+
+    #[test]
+    fn predicate_stats_counts_and_invalidates() {
+        let mut st = small_store();
+        let cites = st.lookup(&iri("cites")).unwrap();
+        let stats = st.predicate_stats(cites);
+        assert_eq!(stats.triples, 2);
+        assert_eq!(stats.distinct_subjects, 2); // p1, p2
+        assert_eq!(stats.distinct_objects, 2); // p2, p3
+
+        // rdf:type has two subjects sharing one object class.
+        let ty = st.lookup(&Term::iri(RDF_TYPE)).unwrap();
+        let stats = st.predicate_stats(ty);
+        assert_eq!(stats.distinct_subjects, 2);
+        assert_eq!(stats.distinct_objects, 1);
+
+        // Mutations invalidate the cache via the generation counter.
+        let generation = st.generation();
+        st.insert(iri("p3"), iri("cites"), iri("p1"));
+        assert!(st.generation() > generation);
+        assert_eq!(st.predicate_stats(cites).triples, 3);
+        assert_eq!(st.predicate_stats(cites).distinct_subjects, 3);
+    }
+
+    #[test]
+    fn predicate_stats_of_unknown_predicate_is_zero() {
+        let st = small_store();
+        let dangling = st.lookup(&iri("title")).unwrap();
+        assert_eq!(st.predicate_stats(dangling).triples, 1);
+        // An id never used as predicate has empty stats.
+        let p1 = st.lookup(&iri("p1")).unwrap();
+        assert_eq!(st.predicate_stats(p1), PredicateStats::default());
     }
 
     #[test]

@@ -84,6 +84,260 @@ fn yago_structure_is_queryable() {
     assert_eq!(rows.len(), truth.place_country.len());
 }
 
+// ---------------------------------------------------------------------------
+// Regression tests for the SPARQL-semantics fixes
+// ---------------------------------------------------------------------------
+
+fn tiny_store(data: &str) -> RdfStore {
+    let mut st = RdfStore::new();
+    kgnet::rdf::execute(&mut st, &format!("PREFIX x: <http://x/> INSERT DATA {{ {data} }}"))
+        .unwrap();
+    st
+}
+
+/// Run one query on both the streaming and the materialised evaluator,
+/// asserting they agree exactly before returning the result.
+fn query_both(st: &RdfStore, text: &str) -> kgnet::rdf::QueryResult {
+    let q = kgnet::rdf::sparql::parse_select(text).unwrap();
+    let streaming = kgnet::rdf::sparql::evaluate_select(st, &q).unwrap();
+    let materialised = kgnet::rdf::sparql::evaluate_select_materialised(st, &q).unwrap();
+    assert_eq!(streaming, materialised, "executors disagree on {text}");
+    streaming
+}
+
+#[test]
+fn effective_boolean_value_per_spec() {
+    let mut st = RdfStore::new();
+    kgnet::rdf::execute(
+        &mut st,
+        r#"PREFIX x: <http://x/> PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+           INSERT DATA {
+             x:empty x:v "" . x:str x:v "yes" .
+             x:false x:v "false"^^xsd:boolean . x:true x:v "true"^^xsd:boolean .
+             x:zero x:v 0 . x:three x:v 3 .
+           }"#,
+    )
+    .unwrap();
+    let r = query_both(&st, "PREFIX x: <http://x/> SELECT ?s WHERE { ?s x:v ?o . FILTER(?o) }");
+    let mut hits: Vec<String> = r.rows.iter().map(|w| w[0].as_ref().unwrap().to_string()).collect();
+    hits.sort();
+    // Empty strings, xsd:boolean "false" and numeric zero are all falsy.
+    assert_eq!(hits, vec!["<http://x/str>", "<http://x/three>", "<http://x/true>"]);
+}
+
+#[test]
+fn inequality_across_term_kinds_keeps_rows() {
+    let st = tiny_store(r#"x:a x:p x:b . x:a x:p "lit" . x:a x:p 7"#);
+    // `?o != x:b` must keep the literal and the integer.
+    let r =
+        query_both(&st, "PREFIX x: <http://x/> SELECT ?o WHERE { x:a x:p ?o . FILTER(?o != x:b) }");
+    assert_eq!(r.len(), 2);
+    assert!(r.rows.iter().all(|row| !row[0].as_ref().unwrap().is_iri()));
+}
+
+#[test]
+fn optional_subselect_binds_instead_of_dropping() {
+    let st = tiny_store(
+        "x:p1 a x:Pub . x:p2 a x:Pub . x:p3 a x:Pub . x:p1 x:cites x:p2 . x:p2 x:cites x:p3",
+    );
+    let r = query_both(
+        &st,
+        "PREFIX x: <http://x/> SELECT ?p ?q WHERE {
+           ?p a x:Pub . OPTIONAL { { SELECT ?p ?q WHERE { ?p x:cites ?q } } } } ORDER BY ?p",
+    );
+    assert_eq!(r.len(), 3);
+    assert_eq!(r.rows[0][1].as_ref().unwrap().as_iri(), Some("http://x/p2"));
+    assert_eq!(r.rows[1][1].as_ref().unwrap().as_iri(), Some("http://x/p3"));
+    assert!(r.rows[2][1].is_none(), "p3 cites nothing and must survive unbound");
+}
+
+#[test]
+fn order_by_on_unprojected_variable_sorts() {
+    let st = tiny_store("x:a x:year 2020 . x:b x:year 2023 . x:c x:year 2021");
+    let r =
+        query_both(&st, "PREFIX x: <http://x/> SELECT ?s WHERE { ?s x:year ?y } ORDER BY DESC(?y)");
+    let order: Vec<&str> =
+        r.rows.iter().map(|w| w[0].as_ref().unwrap().as_iri().unwrap()).collect();
+    assert_eq!(order, vec!["http://x/b", "http://x/c", "http://x/a"]);
+}
+
+#[test]
+fn limit_short_circuits_on_generated_dblp() {
+    let kg = dblp();
+    let q = "PREFIX dblp: <https://www.dblp.org/>
+             SELECT ?p ?a WHERE { ?p a dblp:Publication . ?p dblp:authoredBy ?a } LIMIT 5";
+    let (rows, stats) = kgnet::rdf::query_with_stats(&kg, q).unwrap();
+    assert_eq!(rows.len(), 5);
+    let (_, full) = kgnet::rdf::query_with_stats(
+        &kg,
+        "PREFIX dblp: <https://www.dblp.org/>
+         SELECT ?p ?a WHERE { ?p a dblp:Publication . ?p dblp:authoredBy ?a }",
+    )
+    .unwrap();
+    assert!(
+        stats.triples_scanned * 10 < full.triples_scanned,
+        "LIMIT 5 scanned {} triples, unbounded scan visited {}",
+        stats.triples_scanned,
+        full.triples_scanned
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Streaming vs materialised evaluator equivalence (property test)
+// ---------------------------------------------------------------------------
+
+mod evaluator_equivalence {
+    use kgnet::rdf::sparql::ast::{
+        Expr, GroupPattern, Order, Projection, ProjectionItem, SelectQuery, TermPattern,
+        TriplePattern,
+    };
+    use kgnet::rdf::sparql::{evaluate_select, evaluate_select_materialised};
+    use kgnet::rdf::{RdfStore, Term};
+    use proptest::prelude::*;
+    use proptest::strategy::Just;
+
+    const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+    fn node(i: usize) -> Term {
+        Term::iri(format!("http://x/n{i}"))
+    }
+
+    fn pred(i: usize) -> Term {
+        Term::iri(format!("http://x/p{i}"))
+    }
+
+    /// Object values: graph nodes (for joins) or small integers (for
+    /// filters and EBV edge cases).
+    fn arb_object() -> impl Strategy<Value = Term> {
+        prop_oneof![(0..6usize).prop_map(node), (0..4i64).prop_map(Term::int)]
+    }
+
+    fn arb_store() -> impl Strategy<Value = RdfStore> {
+        proptest::collection::vec((0..6usize, 0..4usize, arb_object()), 1..40).prop_map(|triples| {
+            let mut st = RdfStore::new();
+            for (s, p, o) in triples {
+                st.insert(node(s), pred(p), o);
+            }
+            st
+        })
+    }
+
+    fn arb_term_pattern() -> impl Strategy<Value = TermPattern> {
+        prop_oneof![
+            (0..4usize).prop_map(|v| TermPattern::Var(VARS[v].to_owned())),
+            (0..6usize).prop_map(|i| TermPattern::Ground(node(i))),
+        ]
+    }
+
+    fn arb_triple() -> impl Strategy<Value = TriplePattern> {
+        (
+            arb_term_pattern(),
+            // Mostly ground predicates, occasionally a variable.
+            prop_oneof![
+                (0..4usize).prop_map(|i| TermPattern::Ground(pred(i))),
+                Just(TermPattern::Var("p".to_owned())),
+            ],
+            prop_oneof![
+                arb_term_pattern(),
+                (0..4i64).prop_map(|v| TermPattern::Ground(Term::int(v)))
+            ],
+        )
+            .prop_map(|(s, p, o)| TriplePattern::new(s, p, o))
+    }
+
+    fn arb_filter() -> impl Strategy<Value = Expr> {
+        let var = |v: usize| Box::new(Expr::Var(VARS[v].to_owned()));
+        prop_oneof![
+            (0..4usize, 0..4i64)
+                .prop_map(move |(v, n)| Expr::Gt(var(v), Box::new(Expr::Const(Term::int(n))))),
+            (0..4usize, 0..4usize).prop_map(move |(v, w)| Expr::Ne(var(v), var(w))),
+            (0..4usize, 0..6usize)
+                .prop_map(move |(v, n)| Expr::Eq(var(v), Box::new(Expr::Const(node(n))))),
+            // Bare variable: exercises effective-boolean-value agreement.
+            (0..4usize).prop_map(move |v| *var(v)),
+            (0..4usize).prop_map(|v| Expr::Bound(VARS[v].to_owned())),
+        ]
+    }
+
+    fn arb_query() -> impl Strategy<Value = SelectQuery> {
+        let pattern = (
+            proptest::collection::vec(arb_triple(), 1..=3),
+            proptest::collection::vec(arb_filter(), 0..=2),
+            proptest::option::of(arb_triple()),
+            proptest::option::of(proptest::collection::vec(arb_triple(), 1..=2)),
+        )
+            .prop_map(|(triples, filters, optional, subselect)| {
+                let optionals = optional
+                    .map(|t| GroupPattern { triples: vec![t], ..Default::default() })
+                    .into_iter()
+                    .collect();
+                let subselects = subselect
+                    .map(|triples| {
+                        let vars = GroupPattern { triples: triples.clone(), ..Default::default() }
+                            .bindable_vars();
+                        SelectQuery {
+                            distinct: false,
+                            projection: Projection::Items(
+                                vars.into_iter().map(ProjectionItem::Var).collect(),
+                            ),
+                            pattern: GroupPattern { triples, ..Default::default() },
+                            order_by: vec![],
+                            limit: None,
+                            offset: None,
+                        }
+                    })
+                    .into_iter()
+                    .collect();
+                GroupPattern { triples, filters, optionals, subselects }
+            });
+        (
+            pattern,
+            any::<bool>(),
+            proptest::option::of(0..4usize),
+            proptest::option::of((0..4usize, any::<bool>())),
+            (proptest::option::of(0..6usize), proptest::option::of(0..3usize)),
+        )
+            .prop_map(|(pattern, distinct, proj, order, (limit, offset))| SelectQuery {
+                distinct,
+                projection: match proj {
+                    // Project one variable, or everything.
+                    Some(v) => Projection::Items(vec![ProjectionItem::Var(VARS[v].to_owned())]),
+                    None => Projection::All,
+                },
+                pattern,
+                order_by: order
+                    .map(|(v, desc)| {
+                        (VARS[v].to_owned(), if desc { Order::Desc } else { Order::Asc })
+                    })
+                    .into_iter()
+                    .collect(),
+                limit,
+                offset,
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// The streaming pipeline and the materialised reference executor
+        /// run the same plan and must produce identical results — same rows,
+        /// same order — across BGP joins, FILTER, OPTIONAL, sub-SELECT,
+        /// DISTINCT, ORDER BY, LIMIT and OFFSET.
+        #[test]
+        fn streaming_matches_materialised(store in arb_store(), query in arb_query()) {
+            let streaming = evaluate_select(&store, &query);
+            let materialised = evaluate_select_materialised(&store, &query);
+            match (streaming, materialised) {
+                (Ok(s), Ok(m)) => {
+                    prop_assert_eq!(s.vars, m.vars);
+                    prop_assert_eq!(s.rows, m.rows);
+                }
+                (s, m) => prop_assert!(false, "evaluator outcomes diverge: {s:?} vs {m:?}"),
+            }
+        }
+    }
+}
+
 #[test]
 fn updates_roundtrip_through_execute() {
     let mut kg = dblp();
