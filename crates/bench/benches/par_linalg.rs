@@ -1,0 +1,68 @@
+//! Thread-count sweep over the parallel linalg kernels: 512x512 dense
+//! matmul and a banded CSR spmm, each on dedicated pools of 1, 2 and 4
+//! workers plus the sequential (cutoff-forced) reference. On multi-core
+//! hardware the 4-thread rows should come in at >= 2x the 1-thread rows;
+//! on a single hardware core all pool sizes degenerate to roughly the
+//! sequential cost (scheduling overhead stays within a few percent thanks
+//! to the one-thread fast path in `join`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kgnet_linalg::{CsrMatrix, Matrix};
+use rayon::ThreadPoolBuilder;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn dense_pair(n: usize) -> (Matrix, Matrix) {
+    let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.125 - 0.75);
+    let b = Matrix::from_fn(n, n, |r, c| ((r * 5 + c * 17) % 11) as f32 * 0.25 - 1.25);
+    (a, b)
+}
+
+fn banded_csr(n: usize, band: usize) -> CsrMatrix {
+    let entries: Vec<(u32, u32, f32)> = (0..n as u32)
+        .flat_map(|r| {
+            (0..band as u32).map(move |k| (r, (r + k * 37) % n as u32, (k + 1) as f32 * 0.1))
+        })
+        .collect();
+    CsrMatrix::from_coo(n, n, entries)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let (a, b) = dense_pair(512);
+    c.bench_function("par_linalg/matmul_512/seq", |bench| bench.iter(|| a.matmul(&b).sum()));
+    for threads in THREAD_SWEEP {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        c.bench_function(&format!("par_linalg/matmul_512/t{threads}"), |bench| {
+            bench.iter(|| pool.install(|| a.matmul(&b).sum()))
+        });
+    }
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let m = banded_csr(8192, 12);
+    let x = Matrix::from_fn(8192, 64, |r, cc| ((r * 3 + cc * 5) % 9) as f32 * 0.2 - 0.8);
+    c.bench_function("par_linalg/spmm_8192x12_d64/seq", |bench| bench.iter(|| m.spmm(&x).sum()));
+    for threads in THREAD_SWEEP {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        c.bench_function(&format!("par_linalg/spmm_8192x12_d64/t{threads}"), |bench| {
+            bench.iter(|| pool.install(|| m.spmm(&x).sum()))
+        });
+    }
+}
+
+fn bench_matmul_tn_nt(c: &mut Criterion) {
+    let (a, b) = dense_pair(384);
+    for threads in THREAD_SWEEP {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        c.bench_function(&format!("par_linalg/matmul_tn_384/t{threads}"), |bench| {
+            bench.iter(|| pool.install(|| a.matmul_tn(&b).sum()))
+        });
+        c.bench_function(&format!("par_linalg/matmul_nt_384/t{threads}"), |bench| {
+            bench.iter(|| pool.install(|| a.matmul_nt(&b).sum()))
+        });
+    }
+}
+
+criterion_group!(par_linalg, bench_matmul, bench_spmm, bench_matmul_tn_nt);
+criterion_main!(par_linalg);

@@ -12,6 +12,11 @@
 //! * dataset builders (the Fig. 6 data-transformer hand-off), evaluation
 //!   metrics, and the closed-form resource estimators the method selector
 //!   uses to respect time/memory budgets.
+//!
+//! The sampling-based trainers are data-parallel: per-batch gradient tapes
+//! fan out over the vendored `rayon` work-stealing pool in fixed-width
+//! waves and reduce deterministically in batch order (see [`par`]), so a
+//! fixed seed reproduces identical results on any `RAYON_NUM_THREADS`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +27,7 @@ pub mod estimate;
 pub mod lp;
 pub mod metrics;
 pub mod nc;
+pub mod par;
 
 pub use config::{GmlMethodKind, GnnConfig, TrainReport};
 pub use dataset::{build_lp_dataset, build_nc_dataset, LpDataset, NcDataset};

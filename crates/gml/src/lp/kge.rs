@@ -18,6 +18,16 @@ use kgnet_linalg::{init, memtrack, Adam, Matrix, Optimizer, ParamStore, Tape, Va
 use crate::config::{GmlMethodKind, GnnConfig};
 use crate::dataset::LpDataset;
 use crate::lp::{finish_lp, TrainedLp};
+use crate::par;
+
+/// One sampled triple batch (positives plus corrupted tails), ready for
+/// tape evaluation on any worker.
+struct PreparedBatch {
+    heads: Vec<u32>,
+    rels: Vec<u32>,
+    tails: Vec<u32>,
+    negs: Vec<u32>,
+}
 
 /// Train a KGE method on the dataset.
 pub fn train(method: GmlMethodKind, data: &LpDataset, cfg: &GnnConfig) -> TrainedLp {
@@ -54,55 +64,67 @@ pub fn train(method: GmlMethodKind, data: &LpDataset, cfg: &GnnConfig) -> Traine
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
         let mut epoch_loss = 0.0f32;
-        for _ in 0..batches_per_epoch {
-            let mut batch: Vec<(u16, u32, u32)> = Vec::with_capacity(cfg.batch_size);
-            for _ in 0..cfg.batch_size {
-                batch.push(*triples.choose(&mut rng).expect("non-empty triples"));
-            }
-            let heads: Rc<Vec<u32>> = Rc::new(batch.iter().map(|&(_, s, _)| s).collect());
-            let rels: Rc<Vec<u32>> = Rc::new(batch.iter().map(|&(r, _, _)| r as u32).collect());
-            let tails: Rc<Vec<u32>> = Rc::new(batch.iter().map(|&(_, _, t)| t).collect());
-            let negs: Rc<Vec<u32>> =
-                Rc::new(batch.iter().map(|_| rng.gen_range(0..n as u32)).collect());
+        let mut done = 0usize;
+        // Waves of GRAD_WAVE batches: sampling (positives and corrupted
+        // tails) stays on the trainer's RNG stream; the scoring/gradient
+        // tapes run in parallel and reduce in batch order.
+        while done < batches_per_epoch {
+            let wave_len = par::GRAD_WAVE.min(batches_per_epoch - done);
+            let mut prepared: Vec<PreparedBatch> = (0..wave_len)
+                .map(|_| {
+                    let mut batch: Vec<(u16, u32, u32)> = Vec::with_capacity(cfg.batch_size);
+                    for _ in 0..cfg.batch_size {
+                        batch.push(*triples.choose(&mut rng).expect("non-empty triples"));
+                    }
+                    PreparedBatch {
+                        heads: batch.iter().map(|&(_, s, _)| s).collect(),
+                        rels: batch.iter().map(|&(r, _, _)| r as u32).collect(),
+                        tails: batch.iter().map(|&(_, _, t)| t).collect(),
+                        negs: batch.iter().map(|_| rng.gen_range(0..n as u32)).collect(),
+                    }
+                })
+                .collect();
+            done += wave_len;
 
-            let mut tape = Tape::new();
-            let ve = tape.param(ps.get(entities).clone());
-            let vr = tape.param(ps.get(relations).clone());
-            let h = tape.gather(ve, heads.clone());
-            let r = tape.gather(vr, rels.clone());
-            let t = tape.gather(ve, tails.clone());
-            let t_neg = tape.gather(ve, negs.clone());
+            let wave = par::parallel_batch_grads(&mut prepared, |pb| {
+                let mut tape = Tape::new();
+                let ve = tape.param(ps.get(entities).clone());
+                let vr = tape.param(ps.get(relations).clone());
+                let h = tape.gather(ve, Rc::new(std::mem::take(&mut pb.heads)));
+                let r = tape.gather(vr, Rc::new(std::mem::take(&mut pb.rels)));
+                let t = tape.gather(ve, Rc::new(std::mem::take(&mut pb.tails)));
+                let t_neg = tape.gather(ve, Rc::new(std::mem::take(&mut pb.negs)));
 
-            let loss = match method {
-                GmlMethodKind::TransE => {
-                    let pos = transe_dist(&mut tape, h, r, t);
-                    let neg = transe_dist(&mut tape, h, r, t_neg);
-                    margin_loss(&mut tape, pos, neg, cfg.margin)
-                }
-                GmlMethodKind::RotatE => {
-                    let pos = rotate_dist(&mut tape, h, r, t, d);
-                    let neg = rotate_dist(&mut tape, h, r, t_neg, d);
-                    margin_loss(&mut tape, pos, neg, cfg.margin)
-                }
-                GmlMethodKind::DistMult => {
-                    let pos = distmult_score(&mut tape, h, r, t);
-                    let neg = distmult_score(&mut tape, h, r, t_neg);
-                    logistic_loss(&mut tape, pos, neg)
-                }
-                GmlMethodKind::ComplEx => {
-                    let pos = complex_score(&mut tape, h, r, t, d);
-                    let neg = complex_score(&mut tape, h, r, t_neg, d);
-                    logistic_loss(&mut tape, pos, neg)
-                }
-                other => panic!("{other} is not a KGE method"),
-            };
-            tape.backward(loss);
-            epoch_loss += tape.scalar(loss);
-            for (pid, var) in [(entities, ve), (relations, vr)] {
-                if let Some(g) = tape.take_grad(var) {
-                    ps.set_grad(pid, g);
-                }
-            }
+                let loss = match method {
+                    GmlMethodKind::TransE => {
+                        let pos = transe_dist(&mut tape, h, r, t);
+                        let neg = transe_dist(&mut tape, h, r, t_neg);
+                        margin_loss(&mut tape, pos, neg, cfg.margin)
+                    }
+                    GmlMethodKind::RotatE => {
+                        let pos = rotate_dist(&mut tape, h, r, t, d);
+                        let neg = rotate_dist(&mut tape, h, r, t_neg, d);
+                        margin_loss(&mut tape, pos, neg, cfg.margin)
+                    }
+                    GmlMethodKind::DistMult => {
+                        let pos = distmult_score(&mut tape, h, r, t);
+                        let neg = distmult_score(&mut tape, h, r, t_neg);
+                        logistic_loss(&mut tape, pos, neg)
+                    }
+                    GmlMethodKind::ComplEx => {
+                        let pos = complex_score(&mut tape, h, r, t, d);
+                        let neg = complex_score(&mut tape, h, r, t_neg, d);
+                        logistic_loss(&mut tape, pos, neg)
+                    }
+                    other => panic!("{other} is not a KGE method"),
+                };
+                tape.backward(loss);
+                let grads = [(entities, ve), (relations, vr)]
+                    .map(|(pid, var)| (pid, tape.take_grad(var)))
+                    .to_vec();
+                (tape.scalar(loss), grads)
+            });
+            epoch_loss += par::reduce_grads_into(&mut ps, wave);
             opt.step(&mut ps);
         }
         loss_curve.push(epoch_loss / batches_per_epoch as f32);

@@ -21,6 +21,17 @@ use kgnet_linalg::{init, memtrack, Adam, CsrMatrix, Matrix, Optimizer, ParamStor
 use crate::config::{GmlMethodKind, GnnConfig};
 use crate::dataset::NcDataset;
 use crate::nc::{finish, gcn_forward, TrainedNc};
+use crate::par;
+
+/// One sampled subgraph batch, ready for tape evaluation on any worker.
+struct PreparedBatch {
+    nodes: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    batch_rows: Vec<u32>,
+    batch_labels: Vec<u32>,
+    /// Derived dropout seed (see [`par::batch_seed`]).
+    seed: u64,
+}
 
 /// Train GraphSAINT on the dataset.
 pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
@@ -52,93 +63,108 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
     let steps_per_epoch = (train_target_nodes.len() / cfg.saint_roots.max(1)).clamp(1, 32);
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         let mut epoch_loss = 0.0f32;
         let mut counted = 0usize;
-        for _step in 0..steps_per_epoch {
-            // --- Sample subgraph by random walks.
-            let mut nodes: Vec<u32> =
-                Vec::with_capacity(cfg.saint_roots * (cfg.saint_walk_length + 1));
-            let mut local: FxHashMap<u32, u32> = FxHashMap::default();
-            let push = |v: u32, nodes: &mut Vec<u32>, local: &mut FxHashMap<u32, u32>| {
-                local.entry(v).or_insert_with(|| {
-                    nodes.push(v);
-                    (nodes.len() - 1) as u32
-                });
-            };
-            for r in 0..cfg.saint_roots {
-                let root = if r % 2 == 0 {
-                    *train_target_nodes.choose(&mut rng).expect("train targets")
-                } else {
-                    rng.gen_range(0..n as u32)
+        let mut step = 0usize;
+        // Waves of GRAD_WAVE sampled subgraphs: sampling stays sequential on
+        // the trainer's RNG stream; the gradient tapes run in parallel and
+        // reduce in batch order into one synchronous optimizer step.
+        while step < steps_per_epoch {
+            let wave_len = par::GRAD_WAVE.min(steps_per_epoch - step);
+            let mut prepared: Vec<PreparedBatch> = Vec::with_capacity(wave_len);
+            for wave_step in 0..wave_len {
+                // --- Sample subgraph by random walks.
+                let mut nodes: Vec<u32> =
+                    Vec::with_capacity(cfg.saint_roots * (cfg.saint_walk_length + 1));
+                let mut local: FxHashMap<u32, u32> = FxHashMap::default();
+                let push = |v: u32, nodes: &mut Vec<u32>, local: &mut FxHashMap<u32, u32>| {
+                    local.entry(v).or_insert_with(|| {
+                        nodes.push(v);
+                        (nodes.len() - 1) as u32
+                    });
                 };
-                push(root, &mut nodes, &mut local);
-                let mut cur = root;
-                for _ in 0..cfg.saint_walk_length {
-                    let (s, e) = (offsets[cur as usize], offsets[cur as usize + 1]);
-                    if s == e {
-                        break;
+                for r in 0..cfg.saint_roots {
+                    let root = if r % 2 == 0 {
+                        *train_target_nodes.choose(&mut rng).expect("train targets")
+                    } else {
+                        rng.gen_range(0..n as u32)
+                    };
+                    push(root, &mut nodes, &mut local);
+                    let mut cur = root;
+                    for _ in 0..cfg.saint_walk_length {
+                        let (s, e) = (offsets[cur as usize], offsets[cur as usize + 1]);
+                        if s == e {
+                            break;
+                        }
+                        cur = neighbors[rng.gen_range(s..e)];
+                        push(cur, &mut nodes, &mut local);
                     }
-                    cur = neighbors[rng.gen_range(s..e)];
-                    push(cur, &mut nodes, &mut local);
                 }
-            }
-            // --- Induce edges among sampled nodes.
-            let mut edges = Vec::new();
-            for (&u, &lu) in local.iter() {
-                let (s, e) = (offsets[u as usize], offsets[u as usize + 1]);
-                for &v in &neighbors[s..e] {
-                    if let Some(&lv) = local.get(&v) {
-                        if lu < lv {
-                            edges.push((lu, lv));
+                // --- Induce edges among sampled nodes.
+                let mut edges = Vec::new();
+                for (&u, &lu) in local.iter() {
+                    let (s, e) = (offsets[u as usize], offsets[u as usize + 1]);
+                    for &v in &neighbors[s..e] {
+                        if let Some(&lv) = local.get(&v) {
+                            if lu < lv {
+                                edges.push((lu, lv));
+                            }
                         }
                     }
                 }
-            }
-            let k = nodes.len();
-            let sub_adj = Rc::new(CsrMatrix::gcn_norm(k, &edges));
 
-            // --- Train targets inside the subgraph.
-            let mut batch_rows = Vec::new();
-            let mut batch_labels = Vec::new();
-            for (i, &g) in nodes.iter().enumerate() {
-                if let Some(&lab) = label_of_node.get(&g) {
-                    batch_rows.push(i as u32);
-                    batch_labels.push(lab);
+                // --- Train targets inside the subgraph.
+                let mut batch_rows = Vec::new();
+                let mut batch_labels = Vec::new();
+                for (i, &g) in nodes.iter().enumerate() {
+                    if let Some(&lab) = label_of_node.get(&g) {
+                        batch_rows.push(i as u32);
+                        batch_labels.push(lab);
+                    }
                 }
+                if batch_labels.is_empty() {
+                    continue;
+                }
+                let seed = par::batch_seed(cfg.seed, epoch, step + wave_step);
+                prepared.push(PreparedBatch { nodes, edges, batch_rows, batch_labels, seed });
             }
-            if batch_labels.is_empty() {
+            step += wave_len;
+            if prepared.is_empty() {
                 continue;
             }
 
-            // --- One GCN step on the subgraph.
-            let mut tape = Tape::new();
-            let a = tape.adjacency(sub_adj);
-            let vx = tape.param(ps.get(x).clone());
-            let vw1 = tape.param(ps.get(w1).clone());
-            let vb1 = tape.param(ps.get(b1).clone());
-            let vw2 = tape.param(ps.get(w2).clone());
-            let vb2 = tape.param(ps.get(b2).clone());
-            let xs = tape.gather(vx, Rc::new(nodes));
-            let xw = tape.matmul(xs, vw1);
-            let h = tape.spmm(a, xw);
-            let h = tape.add_bias(h, vb1);
-            let h = tape.relu(h);
-            let h = tape.dropout(h, cfg.dropout, &mut rng);
-            let hw = tape.matmul(h, vw2);
-            let z = tape.spmm(a, hw);
-            let z = tape.add_bias(z, vb2);
-            let zt = tape.gather(z, Rc::new(batch_rows));
-            let loss = tape.softmax_ce(zt, Rc::new(batch_labels));
-            tape.backward(loss);
-            epoch_loss += tape.scalar(loss);
-            counted += 1;
-
-            for (pid, var) in [(x, vx), (w1, vw1), (b1, vb1), (w2, vw2), (b2, vb2)] {
-                if let Some(g) = tape.take_grad(var) {
-                    ps.set_grad(pid, g);
-                }
-            }
+            // --- One data-parallel GCN wave over the sampled subgraphs.
+            counted += prepared.len();
+            let wave = par::parallel_batch_grads(&mut prepared, |batch| {
+                let mut drop_rng = StdRng::seed_from_u64(batch.seed);
+                let k = batch.nodes.len();
+                let sub_adj = Rc::new(CsrMatrix::gcn_norm(k, &batch.edges));
+                let mut tape = Tape::new();
+                let a = tape.adjacency(sub_adj);
+                let vx = tape.param(ps.get(x).clone());
+                let vw1 = tape.param(ps.get(w1).clone());
+                let vb1 = tape.param(ps.get(b1).clone());
+                let vw2 = tape.param(ps.get(w2).clone());
+                let vb2 = tape.param(ps.get(b2).clone());
+                let xs = tape.gather(vx, Rc::new(std::mem::take(&mut batch.nodes)));
+                let xw = tape.matmul(xs, vw1);
+                let h = tape.spmm(a, xw);
+                let h = tape.add_bias(h, vb1);
+                let h = tape.relu(h);
+                let h = tape.dropout(h, cfg.dropout, &mut drop_rng);
+                let hw = tape.matmul(h, vw2);
+                let z = tape.spmm(a, hw);
+                let z = tape.add_bias(z, vb2);
+                let zt = tape.gather(z, Rc::new(std::mem::take(&mut batch.batch_rows)));
+                let loss = tape.softmax_ce(zt, Rc::new(std::mem::take(&mut batch.batch_labels)));
+                tape.backward(loss);
+                let grads = [(x, vx), (w1, vw1), (b1, vb1), (w2, vw2), (b2, vb2)]
+                    .map(|(pid, var)| (pid, tape.take_grad(var)))
+                    .to_vec();
+                (tape.scalar(loss), grads)
+            });
+            epoch_loss += par::reduce_grads_into(&mut ps, wave);
             opt.step(&mut ps);
         }
         loss_curve.push(if counted > 0 { epoch_loss / counted as f32 } else { f32::NAN });

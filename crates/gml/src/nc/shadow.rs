@@ -20,11 +20,22 @@ use kgnet_linalg::{init, memtrack, Adam, CsrMatrix, Matrix, Optimizer, ParamStor
 use crate::config::{GmlMethodKind, GnnConfig};
 use crate::dataset::NcDataset;
 use crate::nc::{finish, TrainedNc};
+use crate::par;
 
 /// A cached per-target ego subgraph (local node 0 is the root).
 struct EgoNet {
     nodes: Vec<u32>,
     edges: Vec<(u32, u32)>,
+}
+
+/// One assembled mini-batch, ready for tape evaluation on any worker.
+struct PreparedBatch {
+    nodes: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    roots: Vec<u32>,
+    labels: Vec<u32>,
+    /// Derived dropout seed (see [`par::batch_seed`]).
+    seed: u64,
 }
 
 /// Train ShadowSAINT on the dataset.
@@ -57,51 +68,62 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
 
     let mut train_idx: Vec<u32> = data.split.train.clone();
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         train_idx.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
-        for chunk in train_idx.chunks(cfg.batch_size) {
-            let (batch_nodes, batch_edges, roots) = assemble_batch(&egos, chunk);
-            let labels: Vec<u32> = chunk.iter().map(|&i| data.labels[i as usize]).collect();
-            let k = batch_nodes.len();
-            let sub_adj = Rc::new(CsrMatrix::gcn_norm(k, &batch_edges));
+        // Waves of GRAD_WAVE batches: assembled sequentially (one RNG
+        // stream), tapes evaluated in parallel, gradients averaged in batch
+        // order into one synchronous step — identical on any pool size.
+        for wave_idx in train_idx.chunks(cfg.batch_size * par::GRAD_WAVE) {
+            let mut prepared: Vec<PreparedBatch> = wave_idx
+                .chunks(cfg.batch_size)
+                .map(|chunk| {
+                    let (nodes, edges, roots) = assemble_batch(&egos, chunk);
+                    let labels: Vec<u32> = chunk.iter().map(|&i| data.labels[i as usize]).collect();
+                    let seed = par::batch_seed(cfg.seed, epoch, batches);
+                    batches += 1;
+                    PreparedBatch { nodes, edges, roots, labels, seed }
+                })
+                .collect();
 
-            let mut tape = Tape::new();
-            let a = tape.adjacency(sub_adj);
-            let vx = tape.param(ps.get(x).clone());
-            let vw1 = tape.param(ps.get(w1).clone());
-            let vb1 = tape.param(ps.get(b1).clone());
-            let vw2 = tape.param(ps.get(w2).clone());
-            let vb2 = tape.param(ps.get(b2).clone());
-            let vw3 = tape.param(ps.get(w3).clone());
-            let vb3 = tape.param(ps.get(b3).clone());
+            let wave = par::parallel_batch_grads(&mut prepared, |batch| {
+                let mut drop_rng = StdRng::seed_from_u64(batch.seed);
+                let k = batch.nodes.len();
+                let sub_adj = Rc::new(CsrMatrix::gcn_norm(k, &batch.edges));
 
-            let xs = tape.gather(vx, Rc::new(batch_nodes));
-            let xw = tape.matmul(xs, vw1);
-            let h = tape.spmm(a, xw);
-            let h = tape.add_bias(h, vb1);
-            let h = tape.relu(h);
-            let h = tape.dropout(h, cfg.dropout, &mut rng);
-            let hw = tape.matmul(h, vw2);
-            let h2 = tape.spmm(a, hw);
-            let h2 = tape.add_bias(h2, vb2);
-            let h2 = tape.relu(h2);
-            let root_emb = tape.gather(h2, Rc::new(roots));
-            let z = tape.matmul(root_emb, vw3);
-            let z = tape.add_bias(z, vb3);
-            let loss = tape.softmax_ce(z, Rc::new(labels));
-            tape.backward(loss);
-            epoch_loss += tape.scalar(loss);
-            batches += 1;
+                let mut tape = Tape::new();
+                let a = tape.adjacency(sub_adj);
+                let vx = tape.param(ps.get(x).clone());
+                let vw1 = tape.param(ps.get(w1).clone());
+                let vb1 = tape.param(ps.get(b1).clone());
+                let vw2 = tape.param(ps.get(w2).clone());
+                let vb2 = tape.param(ps.get(b2).clone());
+                let vw3 = tape.param(ps.get(w3).clone());
+                let vb3 = tape.param(ps.get(b3).clone());
 
-            for (pid, var) in
-                [(x, vx), (w1, vw1), (b1, vb1), (w2, vw2), (b2, vb2), (w3, vw3), (b3, vb3)]
-            {
-                if let Some(g) = tape.take_grad(var) {
-                    ps.set_grad(pid, g);
-                }
-            }
+                let xs = tape.gather(vx, Rc::new(std::mem::take(&mut batch.nodes)));
+                let xw = tape.matmul(xs, vw1);
+                let h = tape.spmm(a, xw);
+                let h = tape.add_bias(h, vb1);
+                let h = tape.relu(h);
+                let h = tape.dropout(h, cfg.dropout, &mut drop_rng);
+                let hw = tape.matmul(h, vw2);
+                let h2 = tape.spmm(a, hw);
+                let h2 = tape.add_bias(h2, vb2);
+                let h2 = tape.relu(h2);
+                let root_emb = tape.gather(h2, Rc::new(std::mem::take(&mut batch.roots)));
+                let z = tape.matmul(root_emb, vw3);
+                let z = tape.add_bias(z, vb3);
+                let loss = tape.softmax_ce(z, Rc::new(std::mem::take(&mut batch.labels)));
+                tape.backward(loss);
+                let grads =
+                    [(x, vx), (w1, vw1), (b1, vb1), (w2, vw2), (b2, vb2), (w3, vw3), (b3, vb3)]
+                        .map(|(pid, var)| (pid, tape.take_grad(var)))
+                        .to_vec();
+                (tape.scalar(loss), grads)
+            });
+            epoch_loss += par::reduce_grads_into(&mut ps, wave);
             opt.step(&mut ps);
         }
         loss_curve.push(if batches > 0 { epoch_loss / batches as f32 } else { f32::NAN });

@@ -1,0 +1,122 @@
+//! Determinism of data-parallel training: a fixed seed must produce the
+//! same model on a one-thread pool as on a multi-thread pool.
+//!
+//! The trainers' wave width and reduction order are independent of the pool
+//! size and per-batch dropout streams are derived from the logical batch
+//! position, so the trajectories should in fact agree bit-for-bit; the
+//! assertions allow 1e-5 to keep the contract (the documented guarantee)
+//! rather than the implementation detail as the bar.
+
+use kgnet_datagen::vocab::dblp as v;
+use kgnet_datagen::{generate_dblp, DblpConfig};
+use kgnet_gml::config::{GmlMethodKind, GnnConfig};
+use kgnet_gml::dataset::{build_lp_dataset, build_nc_dataset, LpDataset, NcDataset};
+use kgnet_gml::{train_lp, train_nc};
+use kgnet_graph::{LpTask, NcTask, SplitRatios, SplitStrategy};
+
+fn tiny_nc() -> NcDataset {
+    let (st, _) = generate_dblp(&DblpConfig::tiny(23));
+    build_nc_dataset(
+        &st,
+        &NcTask { target_type: v::PUBLICATION.into(), label_predicate: v::PUBLISHED_IN.into() },
+        SplitStrategy::Random,
+        SplitRatios::default(),
+        5,
+    )
+}
+
+fn tiny_lp() -> LpDataset {
+    let cfg =
+        DblpConfig { n_affiliations: 40, n_authors: 120, n_papers: 150, ..DblpConfig::tiny(29) };
+    let (st, _) = generate_dblp(&cfg);
+    build_lp_dataset(
+        &st,
+        &LpTask {
+            source_type: v::PERSON.into(),
+            edge_predicate: v::AFFILIATED_WITH.into(),
+            dest_type: v::AFFILIATION.into(),
+        },
+        SplitRatios::default(),
+        7,
+    )
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "output shapes differ between pools");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Run `train` once on a 1-thread pool and once on a 4-thread pool, and
+/// bound the divergence of the returned buffer.
+fn assert_pools_agree<T: Send>(
+    train: impl Fn() -> T + Sync + Send,
+    logits: impl Fn(&T) -> &[f32],
+    what: &str,
+) {
+    let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let multi = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let a = single.install(&train);
+    let b = multi.install(&train);
+    let diff = max_abs_diff(logits(&a), logits(&b));
+    assert!(diff <= 1e-5, "{what}: 1-thread vs 4-thread outputs diverged by {diff}");
+}
+
+#[test]
+fn shadow_saint_training_is_pool_size_invariant() {
+    let data = tiny_nc();
+    let cfg = GnnConfig { epochs: 8, batch_size: 32, ..GnnConfig::fast_test() };
+    assert_pools_agree(
+        || train_nc(GmlMethodKind::ShadowSaint, &data, &cfg),
+        |t| t.target_logits.as_slice(),
+        "ShadowSAINT",
+    );
+}
+
+#[test]
+fn graph_saint_training_is_pool_size_invariant() {
+    let data = tiny_nc();
+    let cfg =
+        GnnConfig { epochs: 8, saint_roots: 24, saint_walk_length: 2, ..GnnConfig::fast_test() };
+    assert_pools_agree(
+        || train_nc(GmlMethodKind::GraphSaint, &data, &cfg),
+        |t| t.target_logits.as_slice(),
+        "GraphSAINT",
+    );
+}
+
+#[test]
+fn transe_training_is_pool_size_invariant() {
+    let data = tiny_lp();
+    let cfg = GnnConfig { epochs: 10, batch_size: 64, ..GnnConfig::fast_test() };
+    assert_pools_agree(
+        || train_lp(GmlMethodKind::TransE, &data, &cfg),
+        |t| t.scores.as_slice(),
+        "TransE",
+    );
+}
+
+#[test]
+fn distmult_training_is_pool_size_invariant() {
+    let data = tiny_lp();
+    let cfg = GnnConfig { epochs: 10, batch_size: 64, ..GnnConfig::fast_test() };
+    assert_pools_agree(
+        || train_lp(GmlMethodKind::DistMult, &data, &cfg),
+        |t| t.scores.as_slice(),
+        "DistMult",
+    );
+}
+
+#[test]
+fn repeated_runs_on_same_pool_are_bit_identical() {
+    let data = tiny_nc();
+    let cfg = GnnConfig { epochs: 5, batch_size: 32, ..GnnConfig::fast_test() };
+    let a = train_nc(GmlMethodKind::ShadowSaint, &data, &cfg);
+    let b = train_nc(GmlMethodKind::ShadowSaint, &data, &cfg);
+    let bits_equal = a
+        .target_logits
+        .as_slice()
+        .iter()
+        .zip(b.target_logits.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(bits_equal, "same pool, same seed must be bit-identical");
+}

@@ -1,11 +1,22 @@
 //! The embedding store (the paper's FAISS substitute): exact and IVF
 //! (inverted-file) top-k similarity search over entity embeddings, powering
 //! the entity-similarity (ES) task of Table I.
+//!
+//! Candidate scoring — the probed IVF posting lists, and the linear scan of
+//! the exact path — runs data-parallel on the work-stealing pool once the
+//! candidate count crosses [`PAR_MIN_CANDIDATES`]; scored candidates keep
+//! their sequential order (cells in probe order, vectors in list order), so
+//! parallel and sequential searches return identical rankings.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Candidate count below which search scoring stays sequential (scoring a
+/// handful of vectors is cheaper than fork/join scheduling).
+const PAR_MIN_CANDIDATES: usize = 2048;
 
 /// Similarity metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,15 +102,18 @@ impl EmbeddingStore {
         self.keys.iter().position(|k| k == key).map(|i| self.vectors[i].as_slice())
     }
 
-    /// Exact top-k search (linear scan).
+    /// Exact top-k search (linear scan, parallel over the vector table once
+    /// it is large enough).
     pub fn search_exact(&self, query: &[f32], k: usize) -> Vec<(String, f32)> {
         assert_eq!(query.len(), self.dim, "query width mismatch");
-        let mut scored: Vec<(usize, f32)> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i, self.metric.score(query, v)))
-            .collect();
+        // One scoring closure shared by both branches, so the parallel and
+        // sequential paths cannot drift apart.
+        let score_one = |(i, v): (usize, &Vec<f32>)| (i, self.metric.score(query, v));
+        let mut scored: Vec<(usize, f32)> = if self.vectors.len() >= PAR_MIN_CANDIDATES {
+            self.vectors.par_iter().enumerate().map(score_one).collect()
+        } else {
+            self.vectors.iter().enumerate().map(score_one).collect()
+        };
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.into_iter().take(k).map(|(i, s)| (self.keys[i].clone(), s)).collect()
     }
@@ -160,12 +174,22 @@ impl EmbeddingStore {
             })
             .collect();
         cells.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let mut scored: Vec<(u32, f32)> = Vec::new();
-        for &(cell, _) in cells.iter().take(nprobe.max(1)) {
-            for &i in &ivf.lists[cell] {
-                scored.push((i, self.metric.score(query, &self.vectors[i as usize])));
-            }
-        }
+        // Probe-list scanning: score each probed cell's posting list; large
+        // probe sets fan the per-list scans out over the pool. Collect is
+        // order-preserving (cells in probe order, entries in list order), so
+        // both paths produce the same candidate sequence and ranking.
+        let probed: Vec<&Vec<u32>> =
+            cells.iter().take(nprobe.max(1)).map(|&(cell, _)| &ivf.lists[cell]).collect();
+        let total: usize = probed.iter().map(|l| l.len()).sum();
+        let score_list = |list: &&Vec<u32>| -> Vec<(u32, f32)> {
+            list.iter().map(|&i| (i, self.metric.score(query, &self.vectors[i as usize]))).collect()
+        };
+        let per_cell: Vec<Vec<(u32, f32)>> = if total >= PAR_MIN_CANDIDATES {
+            probed.par_iter().map(score_list).collect()
+        } else {
+            probed.iter().map(score_list).collect()
+        };
+        let mut scored: Vec<(u32, f32)> = per_cell.into_iter().flatten().collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.into_iter().take(k).map(|(i, s)| (self.keys[i as usize].clone(), s)).collect()
     }
@@ -251,6 +275,26 @@ mod tests {
         // Falls back to exact search and must find the new key.
         let hits = store.search(&[0.0; 4], 1, 2);
         assert_eq!(hits[0].0, "new");
+    }
+
+    #[test]
+    fn parallel_search_matches_single_thread_above_cutoff() {
+        // 3000 vectors with nprobe covering most cells pushes the candidate
+        // count past PAR_MIN_CANDIDATES, so the parallel scoring path runs;
+        // it must return exactly what a one-thread pool returns, for both
+        // the IVF and the exact scan.
+        let mut store = filled_store(3000, 8, 9);
+        store.build_ivf(8, 3, 1);
+        let q = store.get("e1234").unwrap().to_vec();
+        let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let multi = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ivf_1 = single.install(|| store.search(&q, 25, 7));
+        let ivf_4 = multi.install(|| store.search(&q, 25, 7));
+        assert_eq!(ivf_1, ivf_4);
+        assert_eq!(ivf_1[0].0, "e1234");
+        let exact_1 = single.install(|| store.search_exact(&q, 25));
+        let exact_4 = multi.install(|| store.search_exact(&q, 25));
+        assert_eq!(exact_1, exact_4);
     }
 
     #[test]

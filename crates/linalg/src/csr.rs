@@ -4,7 +4,7 @@
 //! transformer converts the task-specific subgraph into CSR adjacency
 //! matrices, and every GNN method consumes them through [`CsrMatrix::spmm`].
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, PAR_MIN_FLOPS};
 use crate::memtrack;
 
 /// An immutable CSR sparse matrix of `f32` values.
@@ -77,13 +77,11 @@ impl CsrMatrix {
         self.indptr[r + 1] - self.indptr[r]
     }
 
-    /// Sparse-dense product: `self @ dense`.
-    pub fn spmm(&self, dense: &Matrix) -> Matrix {
-        assert_eq!(self.n_cols, dense.rows(), "spmm shape mismatch");
-        let mut out = Matrix::zeros(self.n_rows, dense.cols());
-        for r in 0..self.n_rows {
-            let (cols, vals) = self.row(r);
-            let out_row = out.row_mut(r);
+    /// Kernel for output rows `r0..`, writing into a row block of the output.
+    fn spmm_block(&self, dense: &Matrix, r0: usize, out_chunk: &mut [f32]) {
+        let n = dense.cols();
+        for (i, out_row) in out_chunk.chunks_mut(n).enumerate() {
+            let (cols, vals) = self.row(r0 + i);
             for (&c, &v) in cols.iter().zip(vals) {
                 let d_row = dense.row(c as usize);
                 for (o, &d) in out_row.iter_mut().zip(d_row) {
@@ -91,6 +89,23 @@ impl CsrMatrix {
                 }
             }
         }
+    }
+
+    /// Sparse-dense product: `self @ dense`, row-block parallel above a
+    /// work cutoff. Each output row is written by one thread with the
+    /// sequential kernel's accumulation order, so results are bit-identical
+    /// for every pool size.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        self.spmm_impl(dense, PAR_MIN_FLOPS)
+    }
+
+    pub(crate) fn spmm_impl(&self, dense: &Matrix, par_min_flops: usize) -> Matrix {
+        assert_eq!(self.n_cols, dense.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.n_rows, dense.cols());
+        let work = self.nnz() * dense.cols();
+        Matrix::run_row_blocks(&mut out, work, par_min_flops, |r0, chunk| {
+            self.spmm_block(dense, r0, chunk)
+        });
         out
     }
 
@@ -250,6 +265,24 @@ mod tests {
         let row1: f32 = (0..3).map(|c| d.get(1, c)).sum();
         assert!((row0 - 1.0).abs() < 1e-6);
         assert!((row1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_spmm_bitwise_equals_sequential() {
+        // A 200-row band matrix against a 64-wide dense block is far above
+        // the cutoff; forced-parallel and forced-sequential must agree
+        // exactly, on pools of any size.
+        let entries: Vec<(u32, u32, f32)> = (0..200u32)
+            .flat_map(|r| (0..5u32).map(move |k| (r, (r + k * 17) % 200, (r + k) as f32 * 0.1)))
+            .collect();
+        let m = CsrMatrix::from_coo(200, 200, entries);
+        let x = Matrix::from_fn(200, 64, |r, c| ((r * 3 + c * 5) % 9) as f32 - 4.0);
+        let seq = m.spmm_impl(&x, usize::MAX);
+        let par = m.spmm_impl(&x, 0);
+        assert_eq!(seq, par);
+        let p4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let par4 = p4.install(|| m.spmm_impl(&x, 0));
+        assert_eq!(seq, par4);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //!
 //! This crate is the stand-in for `torch.sparse`/PyG tensor machinery in the
 //! paper's Fig. 6 pipeline; every GML method in `kgnet-gml` is built on it.
+//!
+//! The dense matmul and CSR spmm kernels are data-parallel over output-row
+//! blocks on the vendored `rayon` work-stealing pool (sized by
+//! `RAYON_NUM_THREADS`), with a sequential cutoff for small shapes. Each
+//! output row keeps the sequential accumulation order, so results are
+//! bit-identical on pools of any size.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -82,6 +88,38 @@ mod proptests {
             for (i, &r) in idx.iter().enumerate() {
                 prop_assert_eq!(g.row(i), m.row(r as usize));
             }
+        }
+
+        /// The forced-parallel matmul kernels must equal the forced-sequential
+        /// reference bit-for-bit on arbitrary shapes (cutoff 0 drives every
+        /// shape down the row-block parallel path).
+        #[test]
+        fn parallel_matmul_matches_sequential(
+            seed in 0u64..1000,
+            rows in 1usize..24,
+            inner in 1usize..24,
+            cols in 1usize..24,
+        ) {
+            let s = seed as usize;
+            let a = Matrix::from_fn(rows, inner, |r, c| ((s + r * 13 + c * 7) % 17) as f32 - 8.0);
+            let b = Matrix::from_fn(inner, cols, |r, c| ((s + r * 3 + c * 11) % 19) as f32 - 9.0);
+            prop_assert_eq!(a.matmul_impl(&b, 0), a.matmul_impl(&b, usize::MAX));
+            let bt = Matrix::from_fn(rows, cols, |r, c| ((s + r * 5 + c) % 23) as f32 - 11.0);
+            prop_assert_eq!(a.matmul_tn_impl(&bt, 0), a.matmul_tn_impl(&bt, usize::MAX));
+            let bn = Matrix::from_fn(cols, inner, |r, c| ((s + r + c * 9) % 13) as f32 - 6.0);
+            prop_assert_eq!(a.matmul_nt_impl(&bn, 0), a.matmul_nt_impl(&bn, usize::MAX));
+        }
+
+        /// The forced-parallel spmm must equal the forced-sequential
+        /// reference bit-for-bit on arbitrary sparse patterns.
+        #[test]
+        fn parallel_spmm_matches_sequential(
+            entries in proptest::collection::vec((0u32..16, 0u32..16, -2.0f32..2.0), 0..80),
+            cols in 1usize..6,
+        ) {
+            let m = CsrMatrix::from_coo(16, 16, entries);
+            let x = Matrix::from_fn(16, cols, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+            prop_assert_eq!(m.spmm_impl(&x, 0), m.spmm_impl(&x, usize::MAX));
         }
     }
 }

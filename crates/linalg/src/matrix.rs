@@ -3,11 +3,43 @@
 //! All dense buffers used by the GML substrate go through [`Matrix`], which
 //! charges its backing storage to [`crate::memtrack`] so that experiment
 //! harnesses can report training memory the way the paper does.
+//!
+//! The matmul kernels run data-parallel over row blocks of the output once
+//! the arithmetic volume crosses [`PAR_MIN_FLOPS`] (tiny shapes stay on the
+//! sequential path, so they pay no scheduling overhead). Each output row is
+//! produced by exactly one thread with the same per-row accumulation order
+//! as the sequential kernel, so parallel and sequential results — and runs
+//! on pools of any size — are bit-identical.
 
 use crate::memtrack;
+use rayon::prelude::*;
 use serde::de::{self, Deserializer};
 use serde::ser::{SerializeStruct, Serializer};
 use serde::{Deserialize, Serialize};
+
+/// Arithmetic volume (multiply-adds) below which the matmul/spmm kernels
+/// stay sequential: at this size the work is cheaper than fork/join
+/// scheduling. Shared with [`crate::csr::CsrMatrix::spmm`].
+pub(crate) const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// Number of output-row blocks to split a parallel kernel into, per worker
+/// thread; >1 lets work stealing rebalance rows of uneven cost.
+pub(crate) const PAR_PIECES_PER_THREAD: usize = 4;
+
+/// Pairwise (block) summation of `f(x)` over `xs`: splits in half down to a
+/// fixed base block, giving O(log n) rounding-error growth instead of the
+/// O(n) of a running sum. The combine tree depends only on the length, so
+/// every caller — sequential or parallel, any pool size — agrees
+/// bit-for-bit.
+pub(crate) fn pairwise_sum_by(xs: &[f32], f: &impl Fn(f32) -> f32) -> f32 {
+    const BASE: usize = 128;
+    if xs.len() <= BASE {
+        xs.iter().map(|&v| f(v)).sum()
+    } else {
+        let mid = xs.len() / 2;
+        pairwise_sum_by(&xs[..mid], f) + pairwise_sum_by(&xs[mid..], f)
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 pub struct Matrix {
@@ -115,14 +147,38 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self @ other` (naive ikj kernel; adequate at reproduction scale).
-    pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+    /// Split `out`'s buffer into row blocks and run `kernel(first_row,
+    /// block)` over them — in parallel above the flop cutoff, sequentially
+    /// (as one whole block, with zero scheduling overhead) below it. Shared
+    /// by the matmul kernels here and `CsrMatrix::spmm`, so cutoff and
+    /// block-sizing policy live in one place.
+    pub(crate) fn run_row_blocks(
+        out: &mut Matrix,
+        flops: usize,
+        par_min_flops: usize,
+        kernel: impl Fn(usize, &mut [f32]) + Sync + Send,
+    ) {
+        let (rows, cols) = out.shape();
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        if flops < par_min_flops {
+            kernel(0, &mut out.data);
+            return;
+        }
+        let pieces = PAR_PIECES_PER_THREAD * rayon::current_num_threads();
+        let block_rows = rows.div_ceil(pieces.max(1)).max(1);
+        out.data
+            .par_chunks_mut(block_rows * cols)
+            .enumerate()
+            .for_each(|(block, chunk)| kernel(block * block_rows, chunk));
+    }
+
+    /// ikj kernel for rows `r0..` of `self @ other`, writing into `out_chunk`.
+    fn matmul_block(&self, other: &Matrix, r0: usize, out_chunk: &mut [f32]) {
         let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
+        for (i, out_row) in out_chunk.chunks_mut(n).enumerate() {
+            let a_row = self.row(r0 + i);
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -133,45 +189,88 @@ impl Matrix {
                 }
             }
         }
+    }
+
+    /// `self @ other` (naive ikj kernel, row-block parallel; adequate at
+    /// reproduction scale).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_impl(other, PAR_MIN_FLOPS)
+    }
+
+    pub(crate) fn matmul_impl(&self, other: &Matrix, par_min_flops: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let flops = self.rows * self.cols * other.cols;
+        Self::run_row_blocks(&mut out, flops, par_min_flops, |r0, chunk| {
+            self.matmul_block(other, r0, chunk)
+        });
         out
     }
 
-    /// `selfᵀ @ other`.
-    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
+    /// Kernel for output rows `i0..` of `selfᵀ @ other` (output row `i` is
+    /// column `i` of `self`): accumulates over `self.rows` in the same order
+    /// as the sequential loop, restricted to one column block.
+    fn matmul_tn_block(&self, other: &Matrix, i0: usize, out_chunk: &mut [f32]) {
         let n = other.cols;
+        let i1 = i0 + out_chunk.len() / n;
         for r in 0..self.rows {
-            let a_row = self.row(r);
+            let a_row = &self.row(r)[i0..i1];
             let b_row = other.row(r);
             for (i, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let out_row = &mut out_chunk[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
+    }
+
+    /// `selfᵀ @ other`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        self.matmul_tn_impl(other, PAR_MIN_FLOPS)
+    }
+
+    pub(crate) fn matmul_tn_impl(&self, other: &Matrix, par_min_flops: usize) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let flops = self.rows * self.cols * other.cols;
+        Self::run_row_blocks(&mut out, flops, par_min_flops, |i0, chunk| {
+            self.matmul_tn_block(other, i0, chunk)
+        });
         out
     }
 
-    /// `self @ otherᵀ`.
-    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
+    /// Kernel for rows `i0..` of `self @ otherᵀ`: independent dot products.
+    fn matmul_nt_block(&self, other: &Matrix, i0: usize, out_chunk: &mut [f32]) {
+        let m = other.rows;
+        for (i, out_row) in out_chunk.chunks_mut(m).enumerate() {
+            let a_row = self.row(i0 + i);
+            for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = other.row(j);
                 let mut acc = 0.0f32;
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
-                out.data[i * other.rows + j] = acc;
+                *o = acc;
             }
         }
+    }
+
+    /// `self @ otherᵀ`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        self.matmul_nt_impl(other, PAR_MIN_FLOPS)
+    }
+
+    pub(crate) fn matmul_nt_impl(&self, other: &Matrix, par_min_flops: usize) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let flops = self.rows * self.cols * other.rows;
+        Self::run_row_blocks(&mut out, flops, par_min_flops, |i0, chunk| {
+            self.matmul_nt_block(other, i0, chunk)
+        });
         out
     }
 
@@ -233,14 +332,15 @@ impl Matrix {
             .collect()
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm, accumulated by pairwise (block) summation so the
+    /// result is stable in `f32` and identical for every pool size.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        pairwise_sum_by(&self.data, &|v| v * v).sqrt()
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements, accumulated by pairwise (block) summation.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        pairwise_sum_by(&self.data, &|v| v)
     }
 
     /// Copy the rows indexed by `rows` into a new matrix.
@@ -393,6 +493,43 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let b: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matmul_bitwise_equals_sequential_above_cutoff() {
+        // 96x96x96 ≈ 884k flops: well above PAR_MIN_FLOPS, so the parallel
+        // row-block path runs; it must agree with the forced-sequential
+        // kernel exactly, not just within tolerance.
+        let a = Matrix::from_fn(96, 96, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(96, 96, |r, c| ((r * 5 + c * 17) % 11) as f32 - 5.0);
+        assert_eq!(a.matmul_impl(&b, 0), a.matmul_impl(&b, usize::MAX));
+        assert_eq!(a.matmul_tn_impl(&b, 0), a.matmul_tn_impl(&b, usize::MAX));
+        assert_eq!(a.matmul_nt_impl(&b, 0), a.matmul_nt_impl(&b, usize::MAX));
+    }
+
+    #[test]
+    fn parallel_matmul_on_dedicated_pools_is_identical() {
+        let a = Matrix::from_fn(64, 48, |r, c| ((r * 3 + c) % 7) as f32 * 0.25 - 0.5);
+        let b = Matrix::from_fn(48, 40, |r, c| ((r + c * 3) % 5) as f32 * 0.5 - 1.0);
+        let p1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let p4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let r1 = p1.install(|| a.matmul_impl(&b, 0));
+        let r4 = p4.install(|| a.matmul_impl(&b, 0));
+        assert_eq!(r1, r4);
+    }
+
+    #[test]
+    fn pairwise_sum_is_tight_against_f64_reference() {
+        let data: Vec<f32> = (0..200_000).map(|i| ((i % 7) as f32) * 0.01 + 0.001).collect();
+        let reference: f64 = data.iter().map(|&v| v as f64).sum();
+        let m = Matrix::from_vec(1000, 200, data);
+        let pairwise = m.sum() as f64;
+        let rel = ((pairwise - reference) / reference).abs();
+        assert!(rel < 1e-6, "pairwise sum drifted: rel err {rel}");
+        let fro_ref: f64 =
+            m.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+        let fro = m.frobenius_norm() as f64;
+        assert!(((fro - fro_ref) / fro_ref).abs() < 1e-6);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! gradients, optimizer state), so the tracked peak preserves the relative
 //! shape the paper reports.
 //!
-//! The tracker is process-global and lock-free. Experiments call
+//! The tracker is process-global, lock-free, and safe to update from the
+//! thread-pool workers that now run parallel kernels and per-batch gradient
+//! tapes: `LIVE` is a plain atomic counter, and the peak is maintained with
+//! a CAS max-loop, so no concurrent charge can be lost. Experiments call
 //! [`reset_peak`] before a run and read [`peak_bytes`] after it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -16,11 +19,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
 
-/// Record an allocation of `bytes` logical bytes.
+/// Record an allocation of `bytes` logical bytes. Callable from any thread.
 pub fn charge(bytes: usize) {
     let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
-    // Racy max update is fine: the peak is a measurement, not a correctness
-    // invariant, and experiments are effectively single-threaded.
+    // CAS max-loop: every concurrent charger either installs its own live
+    // volume or observes a strictly larger one, so the recorded peak is
+    // exact under parallel allocation (Relaxed suffices — the counters are
+    // measurements with no ordering dependencies on other memory).
     let mut peak = PEAK.load(Ordering::Relaxed);
     while live > peak {
         match PEAK.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
@@ -119,6 +124,44 @@ mod tests {
         charge(10_000);
         discharge(10_000);
         assert!(scope.peak_delta() >= 10_000);
+    }
+
+    #[test]
+    fn concurrent_charges_from_pool_workers_balance() {
+        // Charge/discharge storms from a dedicated 4-thread pool: the books
+        // must balance, and the peak must see at least one allocation's
+        // worth above the starting point. Retried because unrelated tests
+        // allocate concurrently in this process.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ok = (0..50).any(|_| {
+            let before = live_bytes();
+            pool.scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|_| {
+                        charge(4096);
+                        std::hint::spin_loop();
+                        discharge(4096);
+                    });
+                }
+            });
+            live_bytes() == before
+        });
+        assert!(ok, "parallel charge/discharge never balanced");
+        // Same retry discipline for the peak assertion: a concurrent test
+        // discharging a large buffer mid-scope could otherwise mask the peak.
+        let peaked = (0..50).any(|_| {
+            let scope = MemScope::begin();
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        charge(10_000);
+                        discharge(10_000);
+                    });
+                }
+            });
+            scope.peak_delta() >= 10_000
+        });
+        assert!(peaked, "parallel charges never registered in the peak");
     }
 
     #[test]

@@ -1,0 +1,832 @@
+//! Parallel iterators: the subset of rayon's `iter` module this workspace
+//! uses, built on recursive [`crate::join`] splitting.
+//!
+//! Pipelines are driven by splitting an indexed *producer* (slice, chunk
+//! list, range) down to leaf ranges, folding each leaf sequentially with a
+//! *consumer*, and combining adjacent partial results in index order. The
+//! split tree depends only on input length and pool size — not on runtime
+//! interleaving — so order-preserving operations (`map` + `collect`,
+//! `for_each` over `par_chunks_mut`) produce bit-identical results on any
+//! pool size, and `sum`/`reduce` are reproducible for a fixed pool size.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::join;
+
+// ---------------------------------------------------------------------------
+// Plumbing: producers, consumers, and the recursive driver.
+// ---------------------------------------------------------------------------
+
+/// A splittable, indexed source of items (internal plumbing, public only so
+/// source types can name it in trait impls).
+pub trait Producer: Sized + Send {
+    /// Item produced.
+    type Item: Send;
+    /// Sequential iterator over one leaf range.
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Items remaining in this producer.
+    fn len(&self) -> usize;
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Sequential traversal of a leaf.
+    fn seq_iter(self) -> Self::IntoIter;
+}
+
+/// Folds leaf iterators and combines adjacent partial results in index
+/// order (internal plumbing). Consumers are tiny `Copy` handles (shared
+/// references to closures), duplicated freely across the split tree.
+pub trait Consumer<Item>: Copy + Send {
+    /// Partial (and final) result type.
+    type Result: Send;
+    /// Fold one sequential leaf.
+    fn consume_iter<I: Iterator<Item = Item>>(self, iter: I) -> Self::Result;
+    /// Combine an adjacent left/right pair, left side first.
+    fn combine(self, left: Self::Result, right: Self::Result) -> Self::Result;
+}
+
+fn drive_producer<P: Producer, C: Consumer<P::Item>>(
+    producer: P,
+    consumer: C,
+    min_len: usize,
+) -> C::Result {
+    // Aim for ~4 leaves per worker so stealing can rebalance uneven leaf
+    // costs, but never split below the requested minimum leaf size.
+    let pieces = 4 * crate::current_num_threads();
+    let threshold = producer.len().div_ceil(pieces.max(1)).max(min_len).max(1);
+    drive_rec(producer, consumer, threshold)
+}
+
+fn drive_rec<P: Producer, C: Consumer<P::Item>>(
+    producer: P,
+    consumer: C,
+    threshold: usize,
+) -> C::Result {
+    if producer.len() <= threshold {
+        consumer.consume_iter(producer.seq_iter())
+    } else {
+        let mid = producer.len() / 2;
+        let (left, right) = producer.split_at(mid);
+        let (l, r) = join(
+            move || drive_rec(left, consumer, threshold),
+            move || drive_rec(right, consumer, threshold),
+        );
+        consumer.combine(l, r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The iterator traits.
+// ---------------------------------------------------------------------------
+
+/// A potentially-parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Item yielded.
+    type Item: Send;
+
+    /// Drive the pipeline with a consumer (internal plumbing).
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result;
+
+    /// Transform every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.drive(ForEachConsumer { f: &f });
+    }
+
+    /// Sum all items. The combining tree is fixed by input length and pool
+    /// size, so results are reproducible run-to-run on the same pool.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        self.drive(SumConsumer { _marker: PhantomData::<fn() -> S> })
+    }
+
+    /// Reduce items with `op`, seeding each leaf fold with `identity()`.
+    /// `op` must be associative and `identity()` its neutral element.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.drive(ReduceConsumer { identity: &identity, op: &op })
+    }
+
+    /// Collect into a collection, preserving item order (`Vec` supported).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.map(|_| 1usize).sum()
+    }
+}
+
+/// Collections buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build from the given iterator, preserving item order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.drive(CollectConsumer { _marker: PhantomData::<fn() -> T> })
+    }
+}
+
+/// Source iterators backed by an indexed, random-access producer; these
+/// additionally support [`IndexedParallelIterator::enumerate`] and leaf-size
+/// control.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// The backing producer type (internal plumbing).
+    type Producer: Producer<Item = Self::Item>;
+
+    /// Minimum leaf size currently configured.
+    fn min_len(&self) -> usize;
+    /// Convert into the backing producer.
+    fn into_producer(self) -> Self::Producer;
+
+    /// Pair every item with its index (chunk index for chunked sources).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Never split below `min` items per leaf (bounds scheduling overhead
+    /// for cheap per-item work).
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consumers.
+// ---------------------------------------------------------------------------
+
+struct ForEachConsumer<'f, F> {
+    f: &'f F,
+}
+
+impl<F> Clone for ForEachConsumer<'_, F> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<F> Copy for ForEachConsumer<'_, F> {}
+
+impl<T, F> Consumer<T> for ForEachConsumer<'_, F>
+where
+    F: Fn(T) + Sync,
+{
+    type Result = ();
+
+    fn consume_iter<I: Iterator<Item = T>>(self, iter: I) {
+        for item in iter {
+            (self.f)(item);
+        }
+    }
+
+    fn combine(self, (): (), (): ()) {}
+}
+
+struct MapConsumer<'f, C, F> {
+    inner: C,
+    f: &'f F,
+}
+
+impl<C: Copy, F> Clone for MapConsumer<'_, C, F> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<C: Copy, F> Copy for MapConsumer<'_, C, F> {}
+
+impl<T, R, C, F> Consumer<T> for MapConsumer<'_, C, F>
+where
+    R: Send,
+    C: Consumer<R>,
+    F: Fn(T) -> R + Sync,
+{
+    type Result = C::Result;
+
+    fn consume_iter<I: Iterator<Item = T>>(self, iter: I) -> C::Result {
+        self.inner.consume_iter(iter.map(self.f))
+    }
+
+    fn combine(self, left: C::Result, right: C::Result) -> C::Result {
+        self.inner.combine(left, right)
+    }
+}
+
+struct SumConsumer<S> {
+    _marker: PhantomData<fn() -> S>,
+}
+
+impl<S> Clone for SumConsumer<S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S> Copy for SumConsumer<S> {}
+
+impl<T, S> Consumer<T> for SumConsumer<S>
+where
+    T: Send,
+    S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+{
+    type Result = S;
+
+    fn consume_iter<I: Iterator<Item = T>>(self, iter: I) -> S {
+        iter.sum()
+    }
+
+    fn combine(self, left: S, right: S) -> S {
+        std::iter::once(left).chain(std::iter::once(right)).sum()
+    }
+}
+
+struct ReduceConsumer<'f, ID, OP> {
+    identity: &'f ID,
+    op: &'f OP,
+}
+
+impl<ID, OP> Clone for ReduceConsumer<'_, ID, OP> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<ID, OP> Copy for ReduceConsumer<'_, ID, OP> {}
+
+impl<T, ID, OP> Consumer<T> for ReduceConsumer<'_, ID, OP>
+where
+    T: Send,
+    ID: Fn() -> T + Sync,
+    OP: Fn(T, T) -> T + Sync,
+{
+    type Result = T;
+
+    fn consume_iter<I: Iterator<Item = T>>(self, iter: I) -> T {
+        iter.fold((self.identity)(), |a, b| (self.op)(a, b))
+    }
+
+    fn combine(self, left: T, right: T) -> T {
+        (self.op)(left, right)
+    }
+}
+
+struct CollectConsumer<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for CollectConsumer<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for CollectConsumer<T> {}
+
+impl<T: Send> Consumer<T> for CollectConsumer<T> {
+    type Result = Vec<T>;
+
+    fn consume_iter<I: Iterator<Item = T>>(self, iter: I) -> Vec<T> {
+        iter.collect()
+    }
+
+    fn combine(self, mut left: Vec<T>, right: Vec<T>) -> Vec<T> {
+        left.extend(right);
+        left
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptors.
+// ---------------------------------------------------------------------------
+
+/// Mapped parallel iterator; see [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive<C: Consumer<R>>(self, consumer: C) -> C::Result {
+        let f = self.f;
+        self.base.drive(MapConsumer { inner: consumer, f: &f })
+    }
+}
+
+/// Index-pairing adaptor; see [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+/// Producer for [`Enumerate`].
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = std::iter::Zip<std::ops::RangeFrom<usize>, P::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            EnumerateProducer { base: l, offset: self.offset },
+            EnumerateProducer { base: r, offset: self.offset + mid },
+        )
+    }
+
+    fn seq_iter(self) -> Self::IntoIter {
+        (self.offset..).zip(self.base.seq_iter())
+    }
+}
+
+impl<I: IndexedParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result {
+        let min_len = self.base.min_len();
+        let producer = EnumerateProducer { base: self.base.into_producer(), offset: 0 };
+        drive_producer(producer, consumer, min_len)
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Producer = EnumerateProducer<I::Producer>;
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        EnumerateProducer { base: self.base.into_producer(), offset: 0 }
+    }
+}
+
+/// Leaf-size bounding adaptor; see [`IndexedParallelIterator::with_min_len`].
+pub struct MinLen<I> {
+    base: I,
+    min: usize,
+}
+
+impl<I: IndexedParallelIterator> ParallelIterator for MinLen<I> {
+    type Item = I::Item;
+
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result {
+        let min_len = self.min_len();
+        drive_producer(self.base.into_producer(), consumer, min_len)
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for MinLen<I> {
+    type Producer = I::Producer;
+
+    fn min_len(&self) -> usize {
+        self.base.min_len().max(self.min)
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        self.base.into_producer()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources: slices, chunks, mutable chunks, ranges.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`; see [`IntoParallelRefIterator::par_iter`].
+pub struct Iter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+/// Producer for [`Iter`].
+pub struct IterProducer<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for IterProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (IterProducer { slice: l }, IterProducer { slice: r })
+    }
+
+    fn seq_iter(self) -> Self::IntoIter {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result {
+        drive_producer(IterProducer { slice: self.slice }, consumer, 1)
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for Iter<'a, T> {
+    type Producer = IterProducer<'a, T>;
+
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        IterProducer { slice: self.slice }
+    }
+}
+
+/// Parallel iterator over immutable chunks; see [`ParallelSlice::par_chunks`].
+pub struct Chunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+/// Producer for [`Chunks`].
+pub struct ChunksProducer<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            ChunksProducer { slice: l, chunk: self.chunk },
+            ChunksProducer { slice: r, chunk: self.chunk },
+        )
+    }
+
+    fn seq_iter(self) -> Self::IntoIter {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result {
+        drive_producer(ChunksProducer { slice: self.slice, chunk: self.chunk }, consumer, 1)
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for Chunks<'a, T> {
+    type Producer = ChunksProducer<'a, T>;
+
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        ChunksProducer { slice: self.slice, chunk: self.chunk }
+    }
+}
+
+/// Parallel iterator over mutable chunks; see
+/// [`ParallelSliceMut::par_chunks_mut`].
+pub struct ChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+/// Producer for [`ChunksMut`].
+pub struct ChunksMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMutProducer { slice: l, chunk: self.chunk },
+            ChunksMutProducer { slice: r, chunk: self.chunk },
+        )
+    }
+
+    fn seq_iter(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> C::Result {
+        drive_producer(ChunksMutProducer { slice: self.slice, chunk: self.chunk }, consumer, 1)
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ChunksMut<'a, T> {
+    type Producer = ChunksMutProducer<'a, T>;
+
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        ChunksMutProducer { slice: self.slice, chunk: self.chunk }
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+/// Producer for [`RangeIter`].
+pub struct RangeProducer {
+    range: Range<usize>,
+}
+
+impl Producer for RangeProducer {
+    type Item = usize;
+    type IntoIter = Range<usize>;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = self.range.start + mid;
+        (RangeProducer { range: self.range.start..at }, RangeProducer { range: at..self.range.end })
+    }
+
+    fn seq_iter(self) -> Self::IntoIter {
+        self.range
+    }
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn drive<C: Consumer<usize>>(self, consumer: C) -> C::Result {
+        drive_producer(RangeProducer { range: self.range }, consumer, 1)
+    }
+}
+
+impl IndexedParallelIterator for RangeIter {
+    type Producer = RangeProducer;
+
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        RangeProducer { range: self.range }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits.
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item yielded.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = Iter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = Iter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        Iter { slice: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> Self::Iter {
+        RangeIter { range: self }
+    }
+}
+
+/// `par_iter()` on shared references (blanket over [`IntoParallelIterator`]
+/// for `&Self`, so it covers slices and `Vec`s).
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item yielded (a shared reference).
+    type Item: Send + 'data;
+    /// Iterate in parallel by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_chunks()` over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized pieces (last may be short).
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Chunks { slice: self, chunk: chunk_size }
+    }
+}
+
+/// `par_chunks_mut()` over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable `chunk_size`-sized pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut { slice: self, chunk: chunk_size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_iter_sum_matches_sequential() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let par: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(par, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..5_000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 5_000);
+        for (i, &v) in doubled.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        let idx: Vec<usize> = (0..hits.len()).collect();
+        idx.par_iter().for_each(|&i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn par_chunks_sees_every_chunk() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let partials: Vec<u64> =
+            xs.par_chunks(64).map(|c| c.iter().map(|&v| v as u64).sum()).collect();
+        assert_eq!(partials.len(), 1000usize.div_ceil(64));
+        assert_eq!(partials.iter().sum::<u64>(), (0..1000u64).sum());
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjoint_chunks() {
+        let mut xs = vec![0usize; 1003];
+        xs.par_chunks_mut(100).enumerate().for_each(|(ci, chunk)| {
+            for v in chunk {
+                *v = ci;
+            }
+        });
+        for (i, &v) in xs.iter().enumerate() {
+            assert_eq!(v, i / 100);
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let xs = [7u8; 777];
+        let idx: Vec<usize> = xs.as_slice().par_iter().enumerate().map(|(i, _)| i).collect();
+        let want: Vec<usize> = (0..777).collect();
+        assert_eq!(idx, want);
+    }
+
+    #[test]
+    fn range_into_par_iter_count_and_sum() {
+        assert_eq!((0..12345usize).into_par_iter().count(), 12345);
+        let s: usize = (0..1000usize).into_par_iter().map(|i| i % 7).sum();
+        assert_eq!(s, (0..1000usize).map(|i| i % 7).sum());
+    }
+
+    #[test]
+    fn reduce_computes_max() {
+        let xs: Vec<i64> = (0..4096).map(|i| (i * 37) % 1013).collect();
+        let max = xs.par_iter().map(|&x| x).reduce(|| i64::MIN, i64::max);
+        assert_eq!(max, *xs.iter().max().unwrap());
+    }
+
+    #[test]
+    fn with_min_len_bounds_leaves() {
+        // Functional check only: results must be unaffected by leaf size.
+        let xs: Vec<u64> = (0..513).collect();
+        let a: u64 = xs.par_iter().with_min_len(128).map(|&x| x).sum();
+        let b: u64 = xs.par_iter().with_min_len(1).map(|&x| x).sum();
+        let seq: u64 = xs.iter().sum();
+        assert_eq!(a, seq);
+        assert_eq!(b, seq);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let xs: Vec<u32> = Vec::new();
+        assert_eq!(xs.par_iter().count(), 0);
+        let collected: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(collected.is_empty());
+        let mut ys: Vec<u32> = Vec::new();
+        ys.par_chunks_mut(8).for_each(|c| {
+            for v in c {
+                *v = 1;
+            }
+        });
+    }
+
+    #[test]
+    fn float_sum_is_reproducible_on_same_pool() {
+        let xs: Vec<f32> = (0..100_000).map(|i| (i as f32).sin()).collect();
+        let a: f32 = xs.par_iter().map(|&x| x).sum();
+        let b: f32 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

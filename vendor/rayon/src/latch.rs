@@ -1,0 +1,84 @@
+//! Completion latches: the synchronisation primitive blocked threads poll
+//! (workers, which keep stealing while they wait) or sleep on (external
+//! threads, which park on a condvar).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Something a thread can wait for: workers poll [`Probe::probe`] between
+/// stealing jobs, external threads call [`Probe::block_on`].
+pub(crate) trait Probe {
+    /// True once the awaited event has happened.
+    fn probe(&self) -> bool;
+    /// Sleep until the event happens (no helping).
+    fn block_on(&self);
+}
+
+/// Counts outstanding jobs; waiters proceed when the count reaches zero.
+pub(crate) struct CountLatch {
+    count: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    /// Latch with `count` outstanding events.
+    pub(crate) fn new(count: usize) -> Self {
+        CountLatch { count: AtomicUsize::new(count), mutex: Mutex::new(()), cond: Condvar::new() }
+    }
+
+    /// Record one more outstanding event.
+    pub(crate) fn increment(&self) {
+        self.count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Record the completion of one event, waking sleepers on the last one.
+    pub(crate) fn decrement(&self) {
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Taking the mutex orders this notification after any concurrent
+            // probe-then-wait in `block_on`, so the wakeup cannot be lost.
+            let _guard = self.mutex.lock().unwrap();
+            self.cond.notify_all();
+        }
+    }
+}
+
+impl Probe for CountLatch {
+    fn probe(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+
+    fn block_on(&self) {
+        let mut guard = self.mutex.lock().unwrap();
+        while self.count.load(Ordering::Acquire) != 0 {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn latch_counts_down() {
+        let latch = CountLatch::new(2);
+        assert!(!latch.probe());
+        latch.decrement();
+        assert!(!latch.probe());
+        latch.decrement();
+        assert!(latch.probe());
+    }
+
+    #[test]
+    fn block_on_wakes_external_waiter() {
+        let latch = Arc::new(CountLatch::new(1));
+        let l2 = Arc::clone(&latch);
+        let t = std::thread::spawn(move || l2.block_on());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        latch.decrement();
+        t.join().unwrap();
+        assert!(latch.probe());
+    }
+}

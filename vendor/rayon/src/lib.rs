@@ -1,0 +1,364 @@
+//! Offline stand-in for `rayon`: a real work-stealing thread pool over
+//! `std::thread`, covering the API subset this workspace uses.
+//!
+//! What's here, and faithful to the upstream crate:
+//!
+//! * [`join`] — potentially-parallel fork/join of two closures;
+//! * [`scope`]/[`Scope::spawn`] — structured tasks that may borrow the stack;
+//! * [`spawn`] — fire-and-forget `'static` tasks;
+//! * [`ThreadPool`]/[`ThreadPoolBuilder`] — dedicated pools with
+//!   [`ThreadPool::install`];
+//! * a global pool, lazily started, sized by `RAYON_NUM_THREADS` (or the
+//!   machine's available parallelism);
+//! * the parallel-iterator subset in [`iter`]: `par_iter`, `par_chunks`,
+//!   `par_chunks_mut`, ranges, `map`/`for_each`/`sum`/`reduce`/`collect`/
+//!   `enumerate`.
+//!
+//! Scheduling is a classic work-stealing design: each worker owns a LIFO
+//! deque and steals FIFO from its peers, so the deepest splits run locally
+//! (cache-friendly) while thieves pick up the largest pending subtrees. A
+//! worker that blocks on a `join`/`scope` result *helps* — it keeps
+//! executing queued jobs until its latch opens — which makes arbitrarily
+//! nested parallelism deadlock-free.
+//!
+//! Determinism note: with `RAYON_NUM_THREADS=1` (or a one-thread
+//! [`ThreadPool`]) every operation degenerates to strict sequential
+//! execution in submission order. The combining tree of `sum`/`reduce`
+//! depends only on input length and pool size — never on runtime
+//! interleaving — so repeated runs on the same pool are bit-identical, and
+//! order-preserving operations (`map`+`collect`, `for_each` over disjoint
+//! chunks) are bit-identical across *any* pool size.
+
+mod latch;
+mod registry;
+mod scope;
+
+pub mod iter;
+
+/// The traits needed to call the parallel-iterator methods.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+pub use registry::{
+    current_num_threads, current_thread_index, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
+pub use scope::{scope, Scope};
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use latch::CountLatch;
+use registry::{Job, Registry};
+
+/// The queued half of a `join`: the closure waits in a pool queue until it
+/// is claimed — by a thief, or by the submitting thread once it finishes the
+/// other half. The `Mutex<Option<_>>` is the claim: `take()` transfers
+/// ownership to exactly one executor, and a queue entry that loses the race
+/// simply becomes a no-op.
+struct JobSlot<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<std::thread::Result<R>>>,
+    latch: CountLatch,
+}
+
+impl<F, R> JobSlot<F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(func: F) -> Self {
+        JobSlot {
+            func: Mutex::new(Some(func)),
+            result: Mutex::new(None),
+            latch: CountLatch::new(1),
+        }
+    }
+
+    /// Execute if not yet claimed (the path taken by a thief).
+    fn run_queued(&self) {
+        let Some(func) = self.func.lock().unwrap().take() else { return };
+        let result = catch_unwind(AssertUnwindSafe(func));
+        *self.result.lock().unwrap() = Some(result);
+        self.latch.decrement();
+    }
+}
+
+/// Ensures the queued half of a `join` can no longer touch the caller's
+/// stack if `oper_a` unwinds: on drop, either claim-and-discard the closure
+/// or wait for the thief that is running it.
+struct JoinAbortGuard<'a, F, R> {
+    slot: &'a Arc<JobSlot<F, R>>,
+    registry: &'a Arc<Registry>,
+    armed: bool,
+}
+
+impl<F, R> Drop for JoinAbortGuard<'_, F, R> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Some(func) = self.slot.func.lock().unwrap().take() {
+            drop(func);
+            self.slot.latch.decrement();
+        } else {
+            self.registry.wait_until(&self.slot.latch);
+        }
+    }
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+///
+/// `oper_b` is published to the current pool while the calling thread runs
+/// `oper_a`; if no other worker has claimed it by then, the caller runs it
+/// inline (so a busy pool degrades to plain sequential execution rather
+/// than blocking). Panics from either closure propagate to the caller. On a
+/// one-thread pool this is exactly `(oper_a(), oper_b())`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = Registry::current();
+    if registry.num_threads() == 1 {
+        return (oper_a(), oper_b());
+    }
+
+    let slot = Arc::new(JobSlot::new(oper_b));
+    {
+        let slot = Arc::clone(&slot);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || slot.run_queued());
+        // SAFETY: `join` does not return (or unwind — see JoinAbortGuard)
+        // until the closure in the slot has been claimed and executed or
+        // discarded, so the borrows erased here never outlive their data. A
+        // stale queue entry left behind after an inline claim only touches
+        // the slot's claim mutex (kept alive by its Arc) and is a no-op.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(job)
+        };
+        registry.push(job);
+    }
+
+    let mut guard = JoinAbortGuard { slot: &slot, registry: &registry, armed: true };
+    let ra = oper_a();
+    guard.armed = false;
+    drop(guard);
+
+    let claimed = slot.func.lock().unwrap().take();
+    match claimed {
+        Some(func) => {
+            // Not stolen: run inline on the submitting thread.
+            let result = catch_unwind(AssertUnwindSafe(func));
+            *slot.result.lock().unwrap() = Some(result);
+            slot.latch.decrement();
+        }
+        None => registry.wait_until(&slot.latch),
+    }
+
+    let rb = slot.result.lock().unwrap().take().expect("join: missing result for stolen closure");
+    match rb {
+        Ok(rb) => (ra, rb),
+        Err(panic) => resume_unwind(panic),
+    }
+}
+
+/// Queue fire-and-forget work on the current pool. Panics in `op` are
+/// swallowed (matching rayon's "does not propagate" contract closely enough
+/// for this workspace; upstream aborts the process instead).
+pub fn spawn<F>(op: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let job: Job = Box::new(move || {
+        let _ = catch_unwind(AssertUnwindSafe(op));
+    });
+    Registry::current().push(job);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_runs_both_closures() {
+        let (a, b) = join(|| 6 * 7, || "b".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "b");
+    }
+
+    fn par_fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        if n < 10 {
+            return par_fib(n - 1) + par_fib(n - 2);
+        }
+        let (a, b) = join(|| par_fib(n - 1), || par_fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn nested_join_computes_fib() {
+        assert_eq!(par_fib(20), 6765);
+    }
+
+    #[test]
+    fn join_borrows_stack_data() {
+        let xs = [1u64, 2, 3, 4, 5];
+        let (front, back) = join(|| xs[..2].iter().sum::<u64>(), || xs[2..].iter().sum::<u64>());
+        assert_eq!(front + back, 15);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_second_closure() {
+        let caught = std::panic::catch_unwind(|| {
+            join(|| 1, || panic!("boom in b"));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn join_propagates_panic_from_first_closure() {
+        let caught = std::panic::catch_unwind(|| {
+            join(|| panic!("boom in a"), || 1);
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn scope_spawn_completes_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_nested_spawns_complete() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn scope_propagates_task_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task panic"));
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn dedicated_pool_install_and_size() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let n = pool.install(current_num_threads);
+        assert_eq!(n, 3);
+        // Outside install we are back to the global default.
+        assert!(current_thread_index().is_none());
+    }
+
+    #[test]
+    fn one_thread_pool_runs_everything() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let total: u64 = pool.install(|| {
+            let xs: Vec<u64> = (0..1000).collect();
+            xs.par_iter().map(|&x| x * 2).sum()
+        });
+        assert_eq!(total, 999 * 1000);
+    }
+
+    #[test]
+    fn pool_join_executes_on_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.join(|| par_fib(15), || par_fib(16));
+        assert_eq!((a, b), (610, 987));
+    }
+
+    #[test]
+    fn pool_scope_and_spawn() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn nested_pools_target_correct_registry() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let (o, i) = outer.install(|| {
+            let o = current_num_threads();
+            let i = inner.install(current_num_threads);
+            (o, i)
+        });
+        assert_eq!((o, i), (2, 3));
+    }
+
+    #[test]
+    fn spawn_fire_and_forget_runs() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let before = HITS.load(Ordering::SeqCst);
+        spawn(|| {
+            HITS.fetch_add(1, Ordering::SeqCst);
+        });
+        for _ in 0..2000 {
+            if HITS.load(Ordering::SeqCst) > before {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("spawned job never ran");
+    }
+
+    #[test]
+    fn build_global_second_call_errors() {
+        // The global pool may already exist (other tests use it); all this
+        // asserts is that at most one build_global can ever succeed.
+        let first = ThreadPoolBuilder::new().num_threads(2).build_global();
+        let second = ThreadPoolBuilder::new().num_threads(2).build_global();
+        assert!(second.is_err() || first.is_ok());
+        assert!(ThreadPoolBuilder::new().num_threads(2).build_global().is_err());
+    }
+
+    #[test]
+    fn heavy_fanout_under_contention() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let sums: Vec<u64> = pool.install(|| {
+            let rows: Vec<u64> = (0..512).collect();
+            rows.par_iter().map(|&r| (0..1000u64).map(|c| r * c % 97).sum()).collect()
+        });
+        assert_eq!(sums.len(), 512);
+        let reference: u64 =
+            (0..512u64).map(|r| (0..1000u64).map(|c| r * c % 97).sum::<u64>()).sum();
+        assert_eq!(sums.iter().sum::<u64>(), reference);
+    }
+}

@@ -1,0 +1,403 @@
+//! The work-stealing scheduler.
+//!
+//! A [`Registry`] owns one LIFO deque per worker thread plus a shared FIFO
+//! injector for jobs submitted from outside the pool. Workers pop their own
+//! deque from the back (depth-first, cache-friendly), steal from the front
+//! of other deques (breadth-first, taking the largest pending subtrees), and
+//! park on a condvar when the whole pool is idle. Waiting for a latch from a
+//! worker thread *helps*: the worker keeps executing other jobs until the
+//! latch opens, which is what makes nested `join`/`scope` calls deadlock-free.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::latch::Probe;
+
+/// A type-erased unit of work. Lifetime erasure happens at the `join`/`scope`
+/// layer, which guarantees the job runs (or is claimed and dropped) before
+/// the borrows it captures expire.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub(crate) struct Registry {
+    /// One deque per worker: owner pushes/pops the back, thieves pop the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs submitted from threads that are not workers of this pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Queued-but-unclaimed job count; gates worker sleep.
+    pending: AtomicUsize,
+    /// Cumulative successful steals (observability; exercised by tests).
+    steals: AtomicUsize,
+    terminate: AtomicBool,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    n_threads: usize,
+}
+
+struct WorkerCtx {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+thread_local! {
+    /// Set once at worker startup; identifies the pool a thread serves.
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+    /// Stack of `ThreadPool::install` scopes (innermost last). Job execution
+    /// also pushes the owning registry so nested operations stay in-pool.
+    static INSTALLED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops the top of the `INSTALLED` stack on drop (unwind-safe).
+struct InstallGuard;
+
+impl InstallGuard {
+    fn push(registry: Arc<Registry>) -> InstallGuard {
+        INSTALLED.with(|s| s.borrow_mut().push(registry));
+        InstallGuard
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|s| s.borrow_mut().pop());
+    }
+}
+
+impl Registry {
+    fn new(n_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let n_threads = n_threads.max(1);
+        let registry = Arc::new(Registry {
+            deques: (0..n_threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            n_threads,
+        });
+        let handles = (0..n_threads)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("kgnet-rayon-{index}"))
+                    .spawn(move || worker_loop(registry, index))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    /// The registry operations on the current thread should target: the
+    /// innermost `install` scope, else the pool this thread serves as a
+    /// worker, else the lazily-started global pool.
+    pub(crate) fn current() -> Arc<Registry> {
+        if let Some(r) = INSTALLED.with(|s| s.borrow().last().cloned()) {
+            return r;
+        }
+        if let Some(r) = WORKER.with(|w| w.borrow().as_ref().map(|ctx| Arc::clone(&ctx.registry))) {
+            return r;
+        }
+        Arc::clone(global_registry())
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Number of successful steals so far (tests/observability).
+    pub(crate) fn steal_count(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Index of the current thread within this pool, if it is one of its
+    /// workers.
+    pub(crate) fn current_worker_index(self: &Arc<Self>) -> Option<usize> {
+        WORKER.with(|w| {
+            w.borrow()
+                .as_ref()
+                .and_then(|ctx| Arc::ptr_eq(&ctx.registry, self).then_some(ctx.index))
+        })
+    }
+
+    /// Queue a job: onto the local deque when called from one of this pool's
+    /// workers, onto the shared injector otherwise.
+    pub(crate) fn push(self: &Arc<Self>, job: Job) {
+        match self.current_worker_index() {
+            Some(i) => self.deques[i].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.pending.fetch_add(1, Ordering::Release);
+        // Lock-then-notify orders the wakeup after a worker's probe-then-wait,
+        // so a worker deciding to sleep cannot miss this job.
+        drop(self.sleep_mutex.lock().unwrap());
+        self.sleep_cond.notify_one();
+    }
+
+    /// Take one queued job: own deque back, then injector front, then steal
+    /// from the front of the other workers' deques.
+    fn find_work(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(i) = me {
+            let job = self.deques[i].lock().unwrap().pop_back();
+            if let Some(job) = job {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        let job = self.injector.lock().unwrap().pop_front();
+        if let Some(job) = job {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if me == Some(victim) {
+                continue;
+            }
+            let job = self.deques[victim].lock().unwrap().pop_front();
+            if let Some(job) = job {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Run a job in the context of this registry (nested `join`/`par_iter`
+    /// calls inside the job target the pool that owns it, not whatever
+    /// `install` scope the executing thread happens to be inside).
+    fn execute(self: &Arc<Self>, job: Job) {
+        let _guard = InstallGuard::push(Arc::clone(self));
+        job();
+    }
+
+    /// Wait for `probe` to open. Workers of this pool keep executing queued
+    /// jobs while they wait; other threads sleep on the latch.
+    pub(crate) fn wait_until<P: Probe>(self: &Arc<Self>, probe: &P) {
+        match self.current_worker_index() {
+            Some(i) => {
+                let mut idle = 0u32;
+                while !probe.probe() {
+                    if let Some(job) = self.find_work(Some(i)) {
+                        self.execute(job);
+                        idle = 0;
+                    } else if idle < 64 {
+                        idle += 1;
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            None => probe.block_on(),
+        }
+    }
+
+    /// Run `op` with this registry installed as the current one.
+    pub(crate) fn install<R>(self: &Arc<Self>, op: impl FnOnce() -> R) -> R {
+        let _guard = InstallGuard::push(Arc::clone(self));
+        op()
+    }
+
+    fn terminate(&self) {
+        self.terminate.store(true, Ordering::Release);
+        drop(self.sleep_mutex.lock().unwrap());
+        self.sleep_cond.notify_all();
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerCtx { registry: Arc::clone(&registry), index });
+    });
+    loop {
+        if let Some(job) = registry.find_work(Some(index)) {
+            registry.execute(job);
+            continue;
+        }
+        if registry.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        let guard = registry.sleep_mutex.lock().unwrap();
+        if registry.pending.load(Ordering::Acquire) == 0
+            && !registry.terminate.load(Ordering::Acquire)
+        {
+            // The lock-then-notify protocol in `push`/`terminate` prevents
+            // lost wakeups, so the timeout is purely a belt-and-braces
+            // backstop; it is long enough that an idle pool (e.g. the global
+            // one, which lives for the process) costs ~2 wakeups/s/worker.
+            let _ = registry.sleep_cond.wait_timeout(guard, Duration::from_millis(500)).unwrap();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The process-wide pool, started on first use. Thread count comes from
+/// `RAYON_NUM_THREADS` when set to a positive integer, else from
+/// `std::thread::available_parallelism`.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| {
+        let n = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        // Global workers are detached: they live for the process.
+        let (registry, _handles) = Registry::new(n);
+        registry
+    })
+}
+
+/// Error returned when a [`ThreadPoolBuilder`] cannot build a pool.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a dedicated [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Builder with default settings (thread count = `RAYON_NUM_THREADS` or
+    /// the machine's available parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker-thread count. Zero means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(|| {
+            std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        })
+    }
+
+    /// Build a dedicated pool whose workers are joined when the pool drops.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let (registry, handles) = Registry::new(self.resolved_threads());
+        Ok(ThreadPool { registry, handles })
+    }
+
+    /// Install this configuration as the global pool. Errors if the global
+    /// pool has already been initialised.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = self.resolved_threads();
+        let mut fresh = false;
+        GLOBAL.get_or_init(|| {
+            fresh = true;
+            let (registry, _handles) = Registry::new(n);
+            registry
+        });
+        if fresh {
+            Ok(())
+        } else {
+            Err(ThreadPoolBuildError { msg: "the global thread pool is already initialised" })
+        }
+    }
+}
+
+/// A dedicated work-stealing thread pool.
+///
+/// Operations run "inside" the pool via [`ThreadPool::install`]: the closure
+/// executes on the caller's thread, but every `join`, `scope` and parallel
+/// iterator reached from it schedules onto this pool's workers.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Execute `op` with this pool as the scheduling target for any nested
+    /// parallelism, returning its result.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.registry.install(op)
+    }
+
+    /// [`crate::join`] targeted at this pool.
+    pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| crate::join(oper_a, oper_b))
+    }
+
+    /// [`crate::scope`] targeted at this pool.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&crate::Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        self.install(|| crate::scope(op))
+    }
+
+    /// Queue fire-and-forget work on this pool.
+    pub fn spawn(&self, op: impl FnOnce() + Send + 'static) {
+        let job: Job = Box::new(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(op));
+        });
+        self.registry.push(job);
+    }
+
+    /// Cumulative number of successful steals (observability hook for tests
+    /// and benches; not part of the real rayon API).
+    pub fn steal_count(&self) -> usize {
+        self.registry.steal_count()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Number of threads in the current scheduling context's pool.
+pub fn current_num_threads() -> usize {
+    Registry::current().num_threads()
+}
+
+/// Index of the current thread within the current pool, if it is one of its
+/// worker threads.
+pub fn current_thread_index() -> Option<usize> {
+    Registry::current().current_worker_index()
+}

@@ -1,0 +1,78 @@
+//! Structured fork-join scopes: spawn borrowed tasks, wait for all of them.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::latch::CountLatch;
+use crate::registry::{Job, Registry};
+
+struct ScopeState {
+    registry: Arc<Registry>,
+    /// Starts at 1 for the scope body itself; each spawn adds one.
+    latch: CountLatch,
+    /// First panic raised by a spawned task, rethrown when the scope ends.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A spawn handle passed to the closure of [`scope`]; tasks may borrow
+/// anything that outlives `'scope`.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+/// Create a fork-join scope: `op` may spawn tasks borrowing from the
+/// enclosing stack frame, and `scope` only returns once every spawned task
+/// (including nested spawns) has completed. Panics from tasks are rethrown.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let registry = Registry::current();
+    let state = Arc::new(ScopeState {
+        registry: Arc::clone(&registry),
+        latch: CountLatch::new(1),
+        panic: Mutex::new(None),
+    });
+    let scope = Scope { state: Arc::clone(&state), _marker: PhantomData };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Whatever happened in the body, every spawned task must finish before
+    // the borrows in `'scope` can expire.
+    state.latch.decrement();
+    registry.wait_until(&state.latch);
+    if let Some(panic) = state.panic.lock().unwrap().take() {
+        resume_unwind(panic);
+    }
+    match result {
+        Ok(r) => r,
+        Err(panic) => resume_unwind(panic),
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue a task on the scope's pool. The task may itself spawn onto the
+    /// scope it receives.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.latch.increment();
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope { state: Arc::clone(&state), _marker: PhantomData };
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                state.panic.lock().unwrap().get_or_insert(panic);
+            }
+            state.latch.decrement();
+        });
+        // SAFETY: `scope` waits on the latch before returning, so this job
+        // runs to completion while every `'scope` borrow it captures is
+        // still live; the erased lifetime is never actually exceeded.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.state.registry.push(job);
+    }
+}
