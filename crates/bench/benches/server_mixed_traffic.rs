@@ -1,0 +1,141 @@
+//! Mixed OLTP-style traffic driver for the serving layer: query latency
+//! (p50/p99) under 0 vs 2 concurrent training jobs.
+//!
+//! Four reader threads issue a fixed mix of SPARQL-ML SELECTs (through the
+//! trained node classifier) and plain SELECTs (through the session plan
+//! cache) against one `SharedStore`. The "loaded" run submits two
+//! link-prediction training jobs to the admission-controlled queue right
+//! before the readers start, so training churns on its dedicated pools
+//! while the latencies are sampled. On a multi-core host the p99 gap
+//! between the two runs is the cost of sharing the machine with training;
+//! the single-core CI container shows the scheduling overhead instead.
+//!
+//! Run with `cargo bench --bench server_mixed_traffic`.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use kgnet_core::{GmlMethodKind, GmlTask, GnnConfig, LpTask, ManagerConfig, NcTask};
+use kgnet_datagen::{generate_dblp, DblpConfig};
+use kgnet_gmlaas::TrainRequest;
+use kgnet_server::{JobState, KgServer, ServerConfig};
+
+const READERS: usize = 4;
+const ROUNDS: usize = 30;
+
+const PV_QUERY: &str = r#"
+    PREFIX dblp: <https://www.dblp.org/>
+    PREFIX kgnet: <https://www.kgnet.com/>
+    SELECT ?title ?venue WHERE {
+      ?paper a dblp:Publication .
+      ?paper dblp:title ?title .
+      ?paper ?NodeClassifier ?venue .
+      ?NodeClassifier a kgnet:NodeClassifier .
+      ?NodeClassifier kgnet:TargetNode dblp:Publication .
+      ?NodeClassifier kgnet:NodeLabel dblp:publishedIn . }"#;
+
+const JOIN_QUERY: &str = "PREFIX dblp: <https://www.dblp.org/> \
+    SELECT ?p ?a WHERE { ?p a dblp:Publication . ?p dblp:authoredBy ?a } LIMIT 50";
+
+fn nc_request() -> TrainRequest {
+    let mut req = TrainRequest::new(
+        "paper-venue",
+        GmlTask::NodeClassification(NcTask {
+            target_type: "https://www.dblp.org/Publication".into(),
+            label_predicate: "https://www.dblp.org/publishedIn".into(),
+        }),
+    );
+    req.cfg = GnnConfig::fast_test();
+    req.forced_method = Some(GmlMethodKind::GraphSaint);
+    req
+}
+
+fn lp_request(name: &str, epochs: usize) -> TrainRequest {
+    let mut req = TrainRequest::new(
+        name,
+        GmlTask::LinkPrediction(LpTask {
+            source_type: "https://www.dblp.org/Person".into(),
+            edge_predicate: "https://www.dblp.org/affiliatedWith".into(),
+            dest_type: "https://www.dblp.org/Affiliation".into(),
+        }),
+    );
+    req.cfg = GnnConfig { epochs, ..GnnConfig::fast_test() };
+    req.forced_method = Some(GmlMethodKind::Morse);
+    req.sampler = "d2h1".into();
+    req
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One measured run: returns (p50, p99, total queries) of per-query latency
+/// across all readers, with `background_jobs` LP trainings churning.
+fn measure(background_jobs: usize) -> (Duration, Duration, usize) {
+    let (kg, _) = generate_dblp(&DblpConfig::small(11));
+    let config = ServerConfig {
+        manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
+        ..Default::default()
+    };
+    let server = Arc::new(KgServer::new(kg, config));
+
+    // The model the ML SELECT resolves must exist before readers start.
+    let nc = server.submit_train(nc_request()).unwrap();
+    assert!(matches!(server.wait(nc).state, JobState::Done { .. }), "NC training failed");
+
+    let jobs: Vec<_> = (0..background_jobs)
+        .map(|i| server.submit_train(lp_request(&format!("churn-{i}"), 60)).unwrap())
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(READERS));
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let server = server.clone();
+            let barrier = barrier.clone();
+            let latencies = latencies.clone();
+            std::thread::spawn(move || {
+                let mut session = server.read_session();
+                let mut local = Vec::with_capacity(ROUNDS * 2);
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    for query in [PV_QUERY, JOIN_QUERY] {
+                        let start = Instant::now();
+                        let rows = session.sparql(query).expect("query");
+                        local.push(start.elapsed());
+                        assert!(!rows.is_empty());
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            })
+        })
+        .collect();
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    for job in jobs {
+        // Let stragglers finish so the next run starts clean.
+        let _ = server.wait(job);
+    }
+
+    let mut all = Arc::try_unwrap(latencies).unwrap().into_inner().unwrap();
+    all.sort();
+    let (p50, p99) = (percentile(&all, 0.50), percentile(&all, 0.99));
+    (p50, p99, READERS * ROUNDS * 2)
+}
+
+fn main() {
+    println!("server_mixed_traffic: {READERS} readers x {ROUNDS} rounds x 2 queries");
+    for background_jobs in [0usize, 2] {
+        let (p50, p99, n) = measure(background_jobs);
+        println!(
+            "  {background_jobs} training jobs: p50 {:>8.3} ms   p99 {:>8.3} ms   ({n} queries)",
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
+        );
+    }
+}

@@ -10,7 +10,7 @@
 //! use kgnet_datagen::{generate_dblp, DblpConfig};
 //!
 //! let (kg, _) = generate_dblp(&DblpConfig::tiny(1));
-//! let mut platform = KgNet::with_graph(kg);
+//! let platform = KgNet::with_graph(kg);
 //! let result = platform
 //!     .sparql("PREFIX dblp: <https://www.dblp.org/> \
 //!              SELECT (COUNT(*) AS ?n) WHERE { ?p a dblp:Publication }")
@@ -92,9 +92,17 @@ impl KgNet {
         self.manager.execute(&mut self.data, query)
     }
 
+    /// Execute a read-only SELECT (plain or SPARQL-ML) through shared
+    /// borrows: the concurrency-friendly path, usable from `&KgNet`. Write
+    /// operations are rejected with [`MlError::ReadOnly`]; for a platform
+    /// serving many threads at once, see the `kgnet-server` crate.
+    pub fn query(&self, query: &str) -> Result<MlOutcome, MlError> {
+        self.manager.query(&self.data, query)
+    }
+
     /// Execute a plain SPARQL SELECT and return its rows.
-    pub fn sparql(&mut self, query: &str) -> Result<QueryResult, MlError> {
-        match self.execute(query)? {
+    pub fn sparql(&self, query: &str) -> Result<QueryResult, MlError> {
+        match self.query(query)? {
             MlOutcome::Rows(rows) => Ok(rows),
             other => {
                 Err(MlError::Sparql(SparqlError::eval(format!("expected rows, got {other:?}"))))
@@ -208,8 +216,37 @@ mod tests {
 
     #[test]
     fn sparql_on_missing_rows_is_error() {
-        let mut platform = fast_platform(7);
+        let platform = fast_platform(7);
         let err = platform.sparql("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }");
-        assert!(err.is_err());
+        assert!(matches!(err, Err(MlError::ReadOnly)));
+    }
+
+    #[test]
+    fn query_reads_through_shared_borrow() {
+        let mut platform = fast_platform(9);
+        platform
+            .execute(
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                     {Name: 'pv', GML-Task:{ TaskType: kgnet:NodeClassifier,
+                        TargetNode: dblp:Publication, NodeLabel: dblp:publishedIn},
+                      Method: 'GCN'})}"#,
+            )
+            .unwrap();
+        let shared: &KgNet = &platform;
+        let rows = shared
+            .sparql(
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   SELECT ?paper ?venue WHERE {
+                     ?paper a dblp:Publication .
+                     ?paper ?NC ?venue .
+                     ?NC a kgnet:NodeClassifier .
+                     ?NC kgnet:TargetNode dblp:Publication .
+                     ?NC kgnet:NodeLabel dblp:publishedIn . }"#,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 60);
     }
 }

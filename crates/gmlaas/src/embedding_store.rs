@@ -120,6 +120,14 @@ impl EmbeddingStore {
 
     /// Build an IVF index with `n_cells` k-means cells (a few Lloyd
     /// iterations, like FAISS's coarse quantiser training).
+    ///
+    /// The dominant O(n·cells·dim) phase — nearest-centroid assignment —
+    /// runs data-parallel on the work-stealing pool once the store is large
+    /// enough, as a pure per-vector map with an order-preserving collect.
+    /// The O(n·dim) centroid accumulation stays a single sequential fold in
+    /// vector index order (one `cells × dim` buffer, no per-chunk
+    /// partials), so the index is bit-identical to the sequential build on
+    /// any `RAYON_NUM_THREADS`.
     pub fn build_ivf(&mut self, n_cells: usize, iterations: usize, seed: u64) {
         let n = self.len();
         if n == 0 {
@@ -134,14 +142,12 @@ impl EmbeddingStore {
 
         let mut assign = vec![0usize; n];
         for _ in 0..iterations.max(1) {
-            for (i, v) in self.vectors.iter().enumerate() {
-                assign[i] = nearest_centroid(&centroids, v);
-            }
+            self.assign_cells(&centroids, &mut assign);
             let mut sums = vec![vec![0.0f32; self.dim]; n_cells];
             let mut counts = vec![0usize; n_cells];
-            for (i, v) in self.vectors.iter().enumerate() {
-                counts[assign[i]] += 1;
-                for (s, &x) in sums[assign[i]].iter_mut().zip(v) {
+            for (&cell, v) in assign.iter().zip(&self.vectors) {
+                counts[cell] += 1;
+                for (s, &x) in sums[cell].iter_mut().zip(v) {
                     *s += x;
                 }
             }
@@ -151,11 +157,27 @@ impl EmbeddingStore {
                 }
             }
         }
+        self.assign_cells(&centroids, &mut assign);
         let mut lists = vec![Vec::new(); n_cells];
-        for (i, v) in self.vectors.iter().enumerate() {
-            lists[nearest_centroid(&centroids, v)].push(i as u32);
+        for (i, &cell) in assign.iter().enumerate() {
+            lists[cell].push(i as u32);
         }
         self.ivf = Some(IvfIndex { centroids, lists });
+    }
+
+    /// Nearest-centroid assignment for every stored vector: a pure map, run
+    /// on the pool above the parallel cutoff with an order-preserving
+    /// collect, so the result is identical to the sequential loop.
+    fn assign_cells(&self, centroids: &[Vec<f32>], assign: &mut [usize]) {
+        if self.vectors.len() >= PAR_MIN_CANDIDATES {
+            let cells: Vec<usize> =
+                self.vectors.par_iter().map(|v| nearest_centroid(centroids, v)).collect();
+            assign.copy_from_slice(&cells);
+        } else {
+            for (a, v) in assign.iter_mut().zip(&self.vectors) {
+                *a = nearest_centroid(centroids, v);
+            }
+        }
     }
 
     /// Approximate top-k search probing the `nprobe` nearest cells. Falls
@@ -295,6 +317,20 @@ mod tests {
         let exact_1 = single.install(|| store.search_exact(&q, 25));
         let exact_4 = multi.install(|| store.search_exact(&q, 25));
         assert_eq!(exact_1, exact_4);
+    }
+
+    #[test]
+    fn build_ivf_is_deterministic_across_pool_sizes() {
+        // 3000 vectors crosses the parallel cutoff: cell assignment runs on
+        // the pool, and must produce the same index (centroids bit-for-bit,
+        // identical posting lists) as one thread.
+        let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let multi = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut a = filled_store(3000, 8, 9);
+        let mut b = filled_store(3000, 8, 9);
+        single.install(|| a.build_ivf(32, 4, 7));
+        multi.install(|| b.build_ivf(32, 4, 7));
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
     }
 
     #[test]

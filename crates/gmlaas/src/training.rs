@@ -85,9 +85,14 @@ pub struct TrainOutcome {
 }
 
 /// The training manager: owns the model registry and mints model URIs.
+///
+/// Cloning produces a handle over the *same* registry and URI counter, so
+/// concurrent trainers (e.g. a server's training job queue next to the
+/// query manager) never mint colliding URIs or diverge on visible models.
+#[derive(Clone)]
 pub struct TrainingManager {
     store: ModelStore,
-    counter: AtomicU64,
+    counter: Arc<AtomicU64>,
 }
 
 impl Default for TrainingManager {
@@ -99,7 +104,7 @@ impl Default for TrainingManager {
 impl TrainingManager {
     /// Manager over an existing model store.
     pub fn new(store: ModelStore) -> Self {
-        TrainingManager { store, counter: AtomicU64::new(1) }
+        TrainingManager { store, counter: Arc::new(AtomicU64::new(1)) }
     }
 
     /// The shared model store.
@@ -108,18 +113,26 @@ impl TrainingManager {
     }
 
     /// Run the automated pipeline on a task-specific subgraph.
+    ///
+    /// Atomicity: the pipeline builds the complete [`ModelArtifact`] first
+    /// and registers it in the model store as the single final step, so a
+    /// failure anywhere (infeasible budget, empty task, a panicking trainer)
+    /// leaves the registry exactly as it was — readers can never observe a
+    /// half-trained model.
     pub fn train(
         &self,
         kg_prime: &RdfStore,
         req: &TrainRequest,
     ) -> Result<TrainOutcome, TrainError> {
-        match &req.task {
-            GmlTask::NodeClassification(nc) => self.train_nc_task(kg_prime, req, nc),
-            GmlTask::LinkPrediction(lp) => self.train_lp_task(kg_prime, req, lp),
+        let (artifact, trace) = match &req.task {
+            GmlTask::NodeClassification(nc) => self.train_nc_task(kg_prime, req, nc)?,
+            GmlTask::LinkPrediction(lp) => self.train_lp_task(kg_prime, req, lp)?,
             GmlTask::EntitySimilarity { target_type } => {
-                self.train_similarity(kg_prime, req, target_type)
+                self.train_similarity(kg_prime, req, target_type)?
             }
-        }
+        };
+        // The one commit point: nothing above touches the store.
+        Ok(TrainOutcome { artifact: self.store.insert(artifact), trace })
     }
 
     fn mint_uri(&self, kind: &str, method: GmlMethodKind, name: &str) -> String {
@@ -134,7 +147,7 @@ impl TrainingManager {
         kg: &RdfStore,
         req: &TrainRequest,
         task: &kgnet_graph::NcTask,
-    ) -> Result<TrainOutcome, TrainError> {
+    ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
         let data =
             build_nc_dataset(kg, task, req.split_strategy, SplitRatios::default(), req.cfg.seed);
         if data.n_targets() == 0 || data.n_classes() == 0 {
@@ -166,7 +179,7 @@ impl TrainingManager {
             cardinality: data.n_targets(),
             payload: ArtifactPayload::NodeClassifier { predictions },
         };
-        Ok(TrainOutcome { artifact: self.store.insert(artifact), trace })
+        Ok((artifact, trace))
     }
 
     fn train_lp_task(
@@ -174,7 +187,7 @@ impl TrainingManager {
         kg: &RdfStore,
         req: &TrainRequest,
         task: &kgnet_graph::LpTask,
-    ) -> Result<TrainOutcome, TrainError> {
+    ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
         let data = build_lp_dataset(kg, task, SplitRatios::default(), req.cfg.seed);
         if data.n_edges() == 0 || data.destinations.is_empty() {
             return Err(TrainError::EmptyTask);
@@ -208,7 +221,7 @@ impl TrainingManager {
             cardinality: data.sources.len(),
             payload: ArtifactPayload::LinkPredictor { topk },
         };
-        Ok(TrainOutcome { artifact: self.store.insert(artifact), trace })
+        Ok((artifact, trace))
     }
 
     fn train_similarity(
@@ -216,7 +229,7 @@ impl TrainingManager {
         kg: &RdfStore,
         req: &TrainRequest,
         target_type: &str,
-    ) -> Result<TrainOutcome, TrainError> {
+    ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
         let (graph, _stats) = transform(kg, &[]);
         if graph.n_nodes() == 0 {
             return Err(TrainError::EmptyTask);
@@ -258,7 +271,7 @@ impl TrainingManager {
             payload: ArtifactPayload::NodeSimilarity { store },
         };
         let trace = SelectionTrace { candidates: vec![], chosen: Some(GmlMethodKind::TransE) };
-        Ok(TrainOutcome { artifact: self.store.insert(artifact), trace })
+        Ok((artifact, trace))
     }
 }
 
@@ -359,6 +372,49 @@ mod tests {
             Err(e) => assert_eq!(e, TrainError::BudgetInfeasible),
             Ok(_) => panic!("expected budget error"),
         }
+    }
+
+    #[test]
+    fn failed_training_leaves_model_store_unchanged() {
+        // Insert-on-success: a request that fails anywhere in the pipeline
+        // must leave the registry exactly as it was, even when the store
+        // already holds models.
+        let st = tiny_store();
+        let mgr = TrainingManager::default();
+        let mut ok = TrainRequest::new("good", nc_task());
+        ok.cfg = GnnConfig::fast_test();
+        mgr.train(&st, &ok).unwrap();
+        let uris_before = mgr.model_store().uris();
+
+        let mut bad = TrainRequest::new("starved", nc_task());
+        bad.budget = TaskBudget::with_memory(1);
+        match mgr.train(&st, &bad) {
+            Err(e) => assert_eq!(e, TrainError::BudgetInfeasible),
+            Ok(_) => panic!("expected budget error"),
+        }
+        let empty = TrainRequest::new(
+            "empty",
+            GmlTask::NodeClassification(NcTask {
+                target_type: "http://nope/T".into(),
+                label_predicate: "http://nope/p".into(),
+            }),
+        );
+        assert!(mgr.train(&st, &empty).is_err());
+        assert_eq!(mgr.model_store().uris(), uris_before);
+    }
+
+    #[test]
+    fn cloned_managers_share_registry_and_never_collide_on_uris() {
+        let st = tiny_store();
+        let a = TrainingManager::default();
+        let b = a.clone();
+        let mut req = TrainRequest::new("shared", nc_task());
+        req.cfg = GnnConfig::fast_test();
+        let ua = a.train(&st, &req).unwrap().artifact.uri.clone();
+        let ub = b.train(&st, &req).unwrap().artifact.uri.clone();
+        assert_ne!(ua, ub, "shared counter must keep minted URIs distinct");
+        assert_eq!(a.model_store().len(), 2);
+        assert!(b.model_store().get(&ua).is_some());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 pub mod dict;
 pub mod error;
 pub mod ntriples;
+pub mod shared;
 pub mod sparql;
 pub mod store;
 pub mod term;
@@ -22,7 +23,10 @@ pub mod term;
 pub use dict::{TermDict, TermId};
 pub use error::SparqlError;
 pub use ntriples::{load_ntriples, parse_ntriples};
-pub use sparql::{execute, query, query_with_stats, ExecOutcome, ExecStats, QueryResult};
+pub use shared::SharedStore;
+pub use sparql::{
+    execute, query, query_with_stats, ExecOutcome, ExecStats, PreparedQuery, QueryResult,
+};
 pub use store::{PredicateStats, RdfStore, Triple};
 pub use term::Term;
 

@@ -1,0 +1,209 @@
+//! A concurrently shareable [`RdfStore`]: the engine-side half of the
+//! platform's read/write split.
+//!
+//! [`SharedStore`] wraps the store in an [`Arc`]`<`[`RwLock`]`>` so any
+//! number of read sessions evaluate SPARQL against `&RdfStore` at the same
+//! time while writers (data updates, bulk loads) take the exclusive side.
+//! Every mutation goes through the store's own insert/remove methods and
+//! therefore bumps the [`RdfStore::generation`] epoch counter, which is what
+//! keeps the `predicate_stats` planner cache and any prepared-query caches
+//! coherent: a reader that captured a generation can tell whether its cached
+//! plans are still valid without re-reading the data.
+//!
+//! Consistency contract: everything observed through one read guard — the
+//! generation, triple count, scans, full query evaluations — comes from a
+//! single store snapshot; the generation cannot change while the guard is
+//! held (property-tested below under real writer threads).
+
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::store::RdfStore;
+
+/// A cheaply cloneable handle to one RDF store shared between concurrent
+/// readers and exclusive writers.
+#[derive(Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<RwLock<RdfStore>>,
+}
+
+impl std::fmt::Debug for SharedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let guard = self.read();
+        f.debug_struct("SharedStore")
+            .field("triples", &guard.len())
+            .field("generation", &guard.generation())
+            .finish()
+    }
+}
+
+impl SharedStore {
+    /// Share an existing store.
+    pub fn new(store: RdfStore) -> Self {
+        SharedStore { inner: Arc::new(RwLock::new(store)) }
+    }
+
+    /// Acquire shared read access. Any number of readers proceed in
+    /// parallel; the snapshot is frozen for the guard's lifetime.
+    pub fn read(&self) -> RwLockReadGuard<'_, RdfStore> {
+        self.inner.read()
+    }
+
+    /// Acquire exclusive write access. Mutations through the guard bump the
+    /// store's generation, invalidating statistics and plan caches.
+    pub fn write(&self) -> RwLockWriteGuard<'_, RdfStore> {
+        self.inner.write()
+    }
+
+    /// The current mutation epoch (acquires a read lock briefly).
+    pub fn generation(&self) -> u64 {
+        self.read().generation()
+    }
+
+    /// Triple count (acquires a read lock briefly).
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// True when the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Recover the store when this is the last handle; otherwise the shared
+    /// handle is returned unchanged.
+    pub fn try_unwrap(self) -> Result<RdfStore, SharedStore> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner()),
+            Err(inner) => Err(SharedStore { inner }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use proptest::prelude::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    #[test]
+    fn clone_shares_one_store() {
+        let shared = SharedStore::new(RdfStore::new());
+        let other = shared.clone();
+        shared.write().insert(iri("a"), iri("p"), iri("b"));
+        assert_eq!(other.len(), 1);
+        assert_eq!(other.generation(), shared.generation());
+    }
+
+    #[test]
+    fn try_unwrap_returns_store_only_when_unique() {
+        let shared = SharedStore::new(RdfStore::new());
+        let other = shared.clone();
+        let Err(shared) = shared.try_unwrap() else { panic!("two handles alive") };
+        drop(other);
+        let Ok(store) = shared.try_unwrap() else { panic!("last handle must unwrap") };
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_see_frozen_generation() {
+        let shared = SharedStore::new(RdfStore::new());
+        let writer = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    shared.write().insert(iri(&format!("s{i}")), iri("p"), iri("o"));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let g = shared.read();
+                        let before = g.generation();
+                        let len = g.len();
+                        let scanned = g.scan_iter(None, None, None).count();
+                        assert_eq!(len, scanned, "scan disagrees with len under one guard");
+                        assert_eq!(before, g.generation(), "generation moved under a read guard");
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(shared.len(), 200);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Interleaved reads, writes and scans: every read guard observes a
+        /// consistent snapshot (generation frozen, len == full-scan count,
+        /// per-predicate scans never exceed len), and the final store equals
+        /// the sequential application of the writer's operations.
+        #[test]
+        fn interleaved_ops_keep_reads_consistent(
+            ops in proptest::collection::vec(
+                ("[a-d]{1,2}", "[p-r]", "[x-z]{1,2}", any::<bool>()), 1..40),
+        ) {
+            let shared = SharedStore::new(RdfStore::new());
+            let writer = {
+                let shared = shared.clone();
+                let ops = ops.clone();
+                std::thread::spawn(move || {
+                    for (s, p, o, insert) in ops {
+                        let mut st = shared.write();
+                        if insert {
+                            st.insert(iri(&s), iri(&p), iri(&o));
+                        } else {
+                            st.remove(&iri(&s), &iri(&p), &iri(&o));
+                        }
+                    }
+                })
+            };
+            let readers: Vec<_> = (0..2).map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..60 {
+                        let g = shared.read();
+                        let generation = g.generation();
+                        let len = g.len();
+                        assert_eq!(g.scan_iter(None, None, None).count(), len);
+                        for pred in g.predicates() {
+                            assert!(g.scan_iter(None, Some(pred), None).count() <= len);
+                        }
+                        assert_eq!(g.generation(), generation);
+                    }
+                })
+            }).collect();
+            writer.join().unwrap();
+            for r in readers {
+                r.join().unwrap();
+            }
+
+            // Serial reference.
+            let mut reference = std::collections::BTreeSet::new();
+            for (s, p, o, insert) in &ops {
+                if *insert {
+                    reference.insert((s.clone(), p.clone(), o.clone()));
+                } else {
+                    reference.remove(&(s.clone(), p.clone(), o.clone()));
+                }
+            }
+            let Ok(store) = shared.try_unwrap() else { panic!("all threads joined") };
+            prop_assert_eq!(store.len(), reference.len());
+            for (s, p, o) in &reference {
+                prop_assert!(store.contains(&iri(s), &iri(p), &iri(o)));
+            }
+        }
+    }
+}

@@ -204,9 +204,80 @@ fn evaluate_streaming(
     q: &SelectQuery,
 ) -> Result<(QueryResult, ExecStats), SparqlError> {
     let (vars, plan) = prepare(store, q)?;
+    evaluate_with_plan(store, q, &vars, &plan)
+}
+
+// ---------------------------------------------------------------------------
+// Prepared queries
+// ---------------------------------------------------------------------------
+
+/// A SELECT compiled against one store snapshot: the parsed query, its
+/// variable table, and the join plan (patterns resolved to dictionary ids,
+/// sub-SELECTs materialised, join order fixed by the statistics of that
+/// snapshot).
+///
+/// A prepared query is only valid while the store's [`RdfStore::generation`]
+/// equals [`PreparedQuery::generation`]: ids, materialised sub-selects and
+/// the chosen join order all capture store state. [`evaluate_prepared`]
+/// refuses stale plans, so caches (e.g. a server session's plan LRU) key by
+/// `(query text, generation)` and re-prepare after any write.
+pub struct PreparedQuery {
+    query: SelectQuery,
+    vars: VarTable,
+    plan: crate::sparql::plan::GroupPlan,
+    generation: u64,
+}
+
+impl PreparedQuery {
+    /// The store generation this plan was compiled against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The parsed query the plan executes.
+    pub fn query(&self) -> &SelectQuery {
+        &self.query
+    }
+
+    /// Number of join steps in the compiled plan (diagnostics).
+    pub fn n_steps(&self) -> usize {
+        self.plan.n_steps()
+    }
+}
+
+/// Compile a parsed SELECT into a reusable [`PreparedQuery`] bound to the
+/// store's current generation.
+pub fn prepare_select(store: &RdfStore, query: SelectQuery) -> Result<PreparedQuery, SparqlError> {
+    let (vars, plan) = prepare(store, &query)?;
+    Ok(PreparedQuery { query, vars, plan, generation: store.generation() })
+}
+
+/// Execute a prepared SELECT, skipping parsing and planning. Errors when the
+/// store has mutated since preparation (the plan would be unsound).
+pub fn evaluate_prepared(
+    store: &RdfStore,
+    prepared: &PreparedQuery,
+) -> Result<(QueryResult, ExecStats), SparqlError> {
+    if store.generation() != prepared.generation {
+        return Err(SparqlError::eval(format!(
+            "stale prepared query: planned at generation {}, store is at {}",
+            prepared.generation,
+            store.generation()
+        )));
+    }
+    evaluate_with_plan(store, &prepared.query, &prepared.vars, &prepared.plan)
+}
+
+/// Run the streaming pipeline for an already-planned query.
+fn evaluate_with_plan(
+    store: &RdfStore,
+    q: &SelectQuery,
+    vars: &VarTable,
+    plan: &crate::sparql::plan::GroupPlan,
+) -> Result<(QueryResult, ExecStats), SparqlError> {
     let counters = ExecCounters::default();
-    let ctx = ExecCtx { store, vars: &vars, counters: &counters };
-    let mut stream = build_group_stream(ctx, &plan, vec![None; vars.len()]);
+    let ctx = ExecCtx { store, vars, counters: &counters };
+    let mut stream = build_group_stream(ctx, plan, vec![None; vars.len()]);
     let out_vars = q.output_vars();
     let mut emitted = 0u64;
 
@@ -214,7 +285,7 @@ fn evaluate_streaming(
         // Aggregation consumes the stream but accumulates incrementally: no
         // binding table is materialised.
         let Projection::Items(items) = &q.projection else { unreachable!() };
-        let mut acc = AggAcc::new(items, &vars);
+        let mut acc = AggAcc::new(items, vars);
         while let Some(b) = stream.next_binding() {
             emitted += 1;
             acc.push(&b);
@@ -230,8 +301,8 @@ fn evaluate_streaming(
             emitted += 1;
             bindings.push(b);
         }
-        sort_bindings(store, &mut bindings, &q.order_by, &vars);
-        project_all(store, q, &vars, &out_vars, &bindings)
+        sort_bindings(store, &mut bindings, &q.order_by, vars);
+        project_all(store, q, vars, &out_vars, &bindings)
     } else {
         // Fully streaming path: DISTINCT/OFFSET/LIMIT applied per binding,
         // and LIMIT stops pulling (and therefore scanning) early.
@@ -779,6 +850,31 @@ mod tests {
             "PREFIX x: <http://x/> SELECT ?t WHERE { ?p a x:Publication . ?p x:title ?t }",
         );
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn prepared_query_reuses_plan_and_matches_fresh_evaluation() {
+        let st = store_with_papers();
+        let text = "PREFIX x: <http://x/> SELECT ?t WHERE { ?p a x:Publication . ?p x:title ?t }";
+        let q = crate::sparql::parser::parse_select(text).unwrap();
+        let prepared = prepare_select(&st, q.clone()).unwrap();
+        assert_eq!(prepared.generation(), st.generation());
+        assert_eq!(prepared.n_steps(), 2);
+        let fresh = evaluate_select(&st, &q).unwrap();
+        for _ in 0..3 {
+            let (result, _) = evaluate_prepared(&st, &prepared).unwrap();
+            assert_eq!(result, fresh);
+        }
+    }
+
+    #[test]
+    fn prepared_query_rejects_stale_generation() {
+        let mut st = store_with_papers();
+        let q = crate::sparql::parser::parse_select("SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        let prepared = prepare_select(&st, q).unwrap();
+        st.insert(Term::iri("http://x/new"), Term::iri("http://x/p"), Term::iri("http://x/o"));
+        let err = evaluate_prepared(&st, &prepared).unwrap_err();
+        assert!(err.to_string().contains("stale"), "unexpected error: {err}");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use std::collections::{btree_set, BTreeSet};
 use std::ops::Bound;
-use std::sync::Mutex;
 
+use parking_lot::Mutex;
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::dict::{TermDict, TermId};
@@ -198,7 +198,9 @@ impl RdfStore {
     /// Computed on first request per predicate and cached; the cache is
     /// invalidated wholesale when the store mutates.
     pub fn predicate_stats(&self, p: TermId) -> PredicateStats {
-        let mut cache = self.stats.lock().expect("stats cache lock");
+        // parking_lot mutex: no poisoning, so a reader that panics (e.g. a
+        // cancelled training job sharing the store) cannot wedge the cache.
+        let mut cache = self.stats.lock();
         if cache.generation != self.generation {
             cache.by_pred.clear();
             cache.generation = self.generation;

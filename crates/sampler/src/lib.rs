@@ -66,6 +66,18 @@ impl SamplingScope {
         }
     }
 
+    /// Parse a scope name like `"d2h1"` (case-insensitive); `None` for
+    /// anything that is not one of the paper's four scopes.
+    pub fn parse(name: &str) -> Option<SamplingScope> {
+        match name.to_ascii_lowercase().as_str() {
+            "d1h1" => Some(Self::D1H1),
+            "d1h2" => Some(Self::D1H2),
+            "d2h1" => Some(Self::D2H1),
+            "d2h2" => Some(Self::D2H2),
+            _ => None,
+        }
+    }
+
     /// Short name, e.g. `d1h1`.
     pub fn name(&self) -> String {
         let d = match self.direction {

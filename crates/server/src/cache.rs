@@ -1,0 +1,221 @@
+//! Per-session LRU cache of prepared SPARQL plans.
+//!
+//! Planning a SELECT re-resolves every ground term, re-reads predicate
+//! statistics and re-materialises sub-selects; for the repeated parametric
+//! queries of an OLTP-style workload that work is identical run after run.
+//! The cache keys plans by *normalized query text* plus the store
+//! [`generation`](kgnet_rdf::RdfStore::generation) they were compiled
+//! against, so any write to the shared store invalidates every cached plan
+//! implicitly — a stale entry simply misses and is re-prepared against the
+//! new snapshot.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kgnet_rdf::sparql::{prepare_select, SelectQuery};
+use kgnet_rdf::{PreparedQuery, RdfStore, SparqlError};
+
+/// Hit/miss counters and occupancy of one plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (same text, same generation).
+    pub hits: u64,
+    /// Lookups that had to plan (cold, or invalidated by a store write).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+struct Entry {
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+/// An LRU map from normalized query text to a prepared plan.
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans (at least one).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, entries: self.entries.len() }
+    }
+
+    /// Fetch the plan for `text` compiled against the store's current
+    /// generation, planning (and caching) on a miss. `parsed` is the
+    /// already-parsed query, consumed only when planning is needed.
+    pub fn get_or_prepare(
+        &mut self,
+        store: &RdfStore,
+        text: &str,
+        parsed: SelectQuery,
+    ) -> Result<Arc<PreparedQuery>, SparqlError> {
+        let key = normalize(text);
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            if entry.prepared.generation() == store.generation() {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                return Ok(entry.prepared.clone());
+            }
+            // Compiled against an older snapshot: evict and re-plan.
+            self.entries.remove(&key);
+        }
+        self.misses += 1;
+        let prepared = Arc::new(prepare_select(store, parsed)?);
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(key, Entry { prepared: prepared.clone(), last_used: self.tick });
+        Ok(prepared)
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) =
+            self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&key);
+        }
+    }
+}
+
+/// Collapse whitespace runs *outside string literals* to single spaces so
+/// formatting differences do not fragment the cache. Whitespace inside
+/// quoted literals is significant (`"a  b"` and `"a b"` are different
+/// terms) and is preserved verbatim, including escaped quotes.
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push('"');
+            let mut escaped = false;
+            for c in chars.by_ref() {
+                out.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    break;
+                }
+            }
+        } else if c.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgnet_rdf::sparql::parse_select;
+    use kgnet_rdf::Term;
+
+    fn store() -> RdfStore {
+        let mut st = RdfStore::new();
+        for i in 0..5 {
+            st.insert(Term::iri(format!("http://x/s{i}")), Term::iri("http://x/p"), Term::int(i));
+        }
+        st
+    }
+
+    fn parsed(text: &str) -> SelectQuery {
+        parse_select(text).unwrap()
+    }
+
+    #[test]
+    fn hit_on_repeat_and_whitespace_variants() {
+        let st = store();
+        let mut cache = PlanCache::new(8);
+        let q = "SELECT ?s WHERE { ?s <http://x/p> ?o }";
+        let a = cache.get_or_prepare(&st, q, parsed(q)).unwrap();
+        let variant = "SELECT ?s  WHERE {\n  ?s <http://x/p> ?o\n}";
+        let b = cache.get_or_prepare(&st, variant, parsed(variant)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "normalized variants must share one plan");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn literal_whitespace_is_significant() {
+        // Two queries differing only inside a string literal must not share
+        // a cache key — otherwise the second silently gets the first's plan
+        // (and, for ground literals, the first's results).
+        let mut st = RdfStore::new();
+        st.insert(Term::iri("http://x/two"), Term::iri("http://x/t"), Term::str("a  b"));
+        st.insert(Term::iri("http://x/one"), Term::iri("http://x/t"), Term::str("a b"));
+        let mut cache = PlanCache::new(8);
+        let two_spaces = r#"SELECT ?p WHERE { ?p <http://x/t> "a  b" }"#;
+        let one_space = r#"SELECT ?p WHERE { ?p <http://x/t> "a b" }"#;
+        assert_ne!(normalize(two_spaces), normalize(one_space));
+        let a = cache.get_or_prepare(&st, two_spaces, parsed(two_spaces)).unwrap();
+        let b = cache.get_or_prepare(&st, one_space, parsed(one_space)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+        // Escaped quotes do not terminate the literal early.
+        assert_eq!(normalize(r#"a "x\" y" b"#), r#"a "x\" y" b"#);
+        // Whitespace outside literals still folds.
+        assert_eq!(normalize("  a \n b  "), "a b");
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let mut st = store();
+        let mut cache = PlanCache::new(8);
+        let q = "SELECT ?s WHERE { ?s <http://x/p> ?o }";
+        let a = cache.get_or_prepare(&st, q, parsed(q)).unwrap();
+        st.insert(Term::iri("http://x/new"), Term::iri("http://x/p"), Term::int(9));
+        let b = cache.get_or_prepare(&st, q, parsed(q)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "write must invalidate the cached plan");
+        assert_eq!(b.generation(), st.generation());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let st = store();
+        let mut cache = PlanCache::new(2);
+        let q1 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 1";
+        let q2 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 2";
+        let q3 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 3";
+        cache.get_or_prepare(&st, q1, parsed(q1)).unwrap();
+        cache.get_or_prepare(&st, q2, parsed(q2)).unwrap();
+        cache.get_or_prepare(&st, q1, parsed(q1)).unwrap(); // refresh q1
+        cache.get_or_prepare(&st, q3, parsed(q3)).unwrap(); // evicts q2
+        assert_eq!(cache.stats().entries, 2);
+        cache.get_or_prepare(&st, q1, parsed(q1)).unwrap();
+        assert_eq!(cache.stats().hits, 2, "q1 must still be cached");
+        cache.get_or_prepare(&st, q2, parsed(q2)).unwrap();
+        assert_eq!(cache.stats().misses, 4, "q2 must have been evicted");
+    }
+}

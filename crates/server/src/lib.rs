@@ -1,0 +1,318 @@
+//! # kgnet-server
+//!
+//! The concurrent serving layer of the KGNet platform: one shared data KG
+//! behind a read/write split, SELECT-serving sessions that run in parallel,
+//! and an admission-controlled queue that trains GML models in the
+//! background without stalling queries — the "GML as a service under load"
+//! shape the paper assumes of its platform.
+//!
+//! Architecture:
+//!
+//! ```text
+//!   client threads                     KgServer
+//!   ┌────────────┐  query   ┌───────────────────────────────┐
+//!   │ ReadSession├─────────►│ SharedStore (RwLock<RdfStore>) │  N readers
+//!   │  plan LRU  │          │ QueryManager (RwLock)          │  in parallel
+//!   └────────────┘          │   KGMeta · InferenceService    │
+//!   ┌────────────┐  execute │                               │
+//!   │WriteSession├─────────►│  exclusive side                │
+//!   └────────────┘          └───────────────┬───────────────┘
+//!   submit_train ──► JobQueue ──► workers ──┘ register on success
+//!                    (admission)   (dedicated rayon pools)
+//! ```
+//!
+//! Training jobs sample their task subgraph under a brief read lock, train
+//! on the private copy inside a dedicated thread pool, and commit results in
+//! two cheap steps: the artifact lands in the lock-free-to-readers
+//! [`ModelStore`](kgnet_gmlaas::ModelStore) (readers only clone an `Arc`),
+//! and the KGMeta registration takes the manager write lock for a few
+//! metadata triples. Queries therefore keep flowing while models train.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod queue;
+pub mod session;
+
+pub use cache::{CacheStats, PlanCache};
+pub use queue::{
+    AdmissionError, JobId, JobInfo, JobOutcome, JobQueue, JobRunner, JobState, QueueConfig,
+};
+pub use session::{ReadSession, WriteSession};
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use kgnet_gmlaas::{TrainRequest, TrainingManager};
+use kgnet_rdf::{RdfStore, SharedStore};
+use kgnet_sampler::{meta_sample_task, SamplingScope};
+use kgnet_sparqlml::{ManagerConfig, QueryManager};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Query-manager configuration (training defaults, optimizer bounds).
+    pub manager: ManagerConfig,
+    /// Training-queue sizing and admission policy.
+    pub queue: QueueConfig,
+    /// Plans cached per read session (0 uses the default of 64).
+    pub plan_cache_capacity: usize,
+}
+
+const DEFAULT_PLAN_CACHE: usize = 64;
+
+/// The concurrently servable platform: a shared data KG, a shared SPARQL-ML
+/// manager, and a background training queue.
+pub struct KgServer {
+    store: SharedStore,
+    manager: Arc<RwLock<QueryManager>>,
+    queue: JobQueue,
+    plan_cache_capacity: usize,
+}
+
+impl KgServer {
+    /// Serve a knowledge graph with custom configuration.
+    pub fn new(data: RdfStore, config: ServerConfig) -> Self {
+        let store = SharedStore::new(data);
+        let manager = Arc::new(RwLock::new(QueryManager::new(config.manager)));
+        let trainer = manager.read().trainer().clone();
+        let runner = train_runner(store.clone(), manager.clone(), trainer);
+        let queue = JobQueue::new(config.queue, runner);
+        let plan_cache_capacity = if config.plan_cache_capacity == 0 {
+            DEFAULT_PLAN_CACHE
+        } else {
+            config.plan_cache_capacity
+        };
+        KgServer { store, manager, queue, plan_cache_capacity }
+    }
+
+    /// Serve a knowledge graph with default configuration.
+    pub fn with_graph(data: RdfStore) -> Self {
+        Self::new(data, ServerConfig::default())
+    }
+
+    /// The shared store handle (cloneable; reads never block each other).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// The shared query manager (advanced use: KGMeta inspection, service
+    /// statistics). Lock order when combining with store access: manager
+    /// first, store second.
+    pub fn manager(&self) -> Arc<RwLock<QueryManager>> {
+        self.manager.clone()
+    }
+
+    /// Open a concurrent read session with its own plan cache. Sessions are
+    /// independent: hand one to each client thread.
+    pub fn read_session(&self) -> ReadSession {
+        ReadSession::new(self.store.clone(), self.manager.clone(), self.plan_cache_capacity)
+    }
+
+    /// Open an exclusive write session for data updates and model deletion.
+    pub fn write_session(&self) -> WriteSession {
+        WriteSession::new(self.store.clone(), self.manager.clone())
+    }
+
+    /// Submit a training job to the background queue. Returns immediately
+    /// with a job id after admission (budget envelope, queue capacity).
+    pub fn submit_train(&self, req: TrainRequest) -> Result<JobId, AdmissionError> {
+        self.queue.submit(req)
+    }
+
+    /// Poll one job's lifecycle state.
+    pub fn job(&self, id: JobId) -> Option<JobInfo> {
+        self.queue.status(id)
+    }
+
+    /// Snapshot of every submitted job, ordered by id.
+    pub fn jobs(&self) -> Vec<JobInfo> {
+        self.queue.jobs()
+    }
+
+    /// Request cancellation of a job (immediate when queued, checkpointed
+    /// when running). `false` when unknown or already terminal.
+    pub fn cancel(&self, id: JobId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Block until a job reaches a terminal state.
+    pub fn wait(&self, id: JobId) -> JobInfo {
+        self.queue.wait(id)
+    }
+}
+
+/// The production job runner: sample under a read lock, train on the
+/// private subgraph inside the worker's dedicated pool, then commit — model
+/// into the registry (readers see it via `Arc` swap), metadata into KGMeta
+/// under a brief manager write lock. Cancellation is checkpointed after
+/// sampling and again before the KGMeta commit; a job cancelled after its
+/// model landed rolls the registry entry back.
+fn train_runner(
+    store: SharedStore,
+    manager: Arc<RwLock<QueryManager>>,
+    trainer: TrainingManager,
+) -> Arc<JobRunner> {
+    Arc::new(move |req, cancel| {
+        let scope = SamplingScope::parse(&req.sampler)
+            .unwrap_or_else(|| SamplingScope::default_for(&req.task));
+        let sampled = {
+            let guard = store.read();
+            meta_sample_task(&guard, &req.task, scope)
+        };
+        if cancel.load(Ordering::SeqCst) {
+            return JobOutcome::Cancelled;
+        }
+        let outcome = match trainer.train(&sampled.store, req) {
+            Ok(outcome) => outcome,
+            Err(e) => return JobOutcome::Failed(e.to_string()),
+        };
+        if cancel.load(Ordering::SeqCst) {
+            trainer.model_store().remove(&outcome.artifact.uri);
+            return JobOutcome::Cancelled;
+        }
+        manager.write().register_artifact(&outcome.artifact);
+        JobOutcome::Done(outcome.artifact.uri.clone())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgnet_datagen::{generate_dblp, DblpConfig};
+    use kgnet_gml::config::GnnConfig;
+    use kgnet_graph::{GmlTask, NcTask};
+    use kgnet_sparqlml::MlOutcome;
+
+    fn fast_server(seed: u64) -> KgServer {
+        let (kg, _) = generate_dblp(&DblpConfig::tiny(seed));
+        let config = ServerConfig {
+            manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
+            ..Default::default()
+        };
+        KgServer::new(kg, config)
+    }
+
+    fn nc_request(name: &str) -> TrainRequest {
+        let mut req = TrainRequest::new(
+            name,
+            GmlTask::NodeClassification(NcTask {
+                target_type: "https://www.dblp.org/Publication".into(),
+                label_predicate: "https://www.dblp.org/publishedIn".into(),
+            }),
+        );
+        req.cfg = GnnConfig::fast_test();
+        req
+    }
+
+    const PV_QUERY: &str = r#"
+        PREFIX dblp: <https://www.dblp.org/>
+        PREFIX kgnet: <https://www.kgnet.com/>
+        SELECT ?title ?venue WHERE {
+          ?paper a dblp:Publication .
+          ?paper dblp:title ?title .
+          ?paper ?NodeClassifier ?venue .
+          ?NodeClassifier a kgnet:NodeClassifier .
+          ?NodeClassifier kgnet:TargetNode dblp:Publication .
+          ?NodeClassifier kgnet:NodeLabel dblp:publishedIn . }"#;
+
+    #[test]
+    fn train_job_then_ml_select_through_read_session() {
+        let server = fast_server(41);
+        let id = server.submit_train(nc_request("paper-venue")).unwrap();
+        let done = server.wait(id);
+        let JobState::Done { model_uri } = &done.state else { panic!("job failed: {done:?}") };
+        assert!(model_uri.contains("/model/nc/"));
+
+        let mut session = server.read_session();
+        let rows = session.sparql(PV_QUERY).unwrap();
+        assert_eq!(rows.len(), 60);
+        // KGMeta visible through the session.
+        let meta = session
+            .sparql_kgmeta(
+                "PREFIX kgnet: <https://www.kgnet.com/>
+                 SELECT ?m WHERE { ?m a kgnet:NodeClassifier }",
+            )
+            .unwrap();
+        assert_eq!(meta.len(), 1);
+    }
+
+    #[test]
+    fn read_session_caches_plain_select_plans() {
+        let server = fast_server(43);
+        let mut session = server.read_session();
+        let q = "PREFIX dblp: <https://www.dblp.org/> \
+                 SELECT (COUNT(*) AS ?n) WHERE { ?p a dblp:Publication }";
+        let first = session.sparql(q).unwrap();
+        let second = session.sparql(q).unwrap();
+        assert_eq!(first, second);
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // A write through the write session invalidates the plan.
+        server
+            .write_session()
+            .execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }")
+            .unwrap();
+        let third = session.sparql(q).unwrap();
+        assert_eq!(first, third);
+        assert_eq!(session.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn read_session_rejects_writes() {
+        let server = fast_server(47);
+        let mut session = server.read_session();
+        let err =
+            session.query("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap_err();
+        assert!(matches!(err, kgnet_sparqlml::MlError::ReadOnly));
+    }
+
+    #[test]
+    fn cancelled_queued_job_registers_nothing() {
+        // One worker, so the second submission waits behind the first:
+        // cancelling it exercises the queued-cancel path against the real
+        // training runner.
+        let (kg, _) = generate_dblp(&DblpConfig::tiny(53));
+        let config = ServerConfig {
+            manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
+            queue: QueueConfig { max_concurrent: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let server = KgServer::new(kg, config);
+        let running = server.submit_train(nc_request("first")).unwrap();
+        let doomed = server.submit_train(nc_request("second")).unwrap();
+        // The single worker is busy training `first` (tens of milliseconds),
+        // so the cancel lands while `second` is still queued.
+        assert!(server.cancel(doomed), "cancel of the queued job must be acknowledged");
+        assert_eq!(server.job(doomed).unwrap().state, JobState::Cancelled);
+        let first = server.wait(running);
+        assert!(matches!(first.state, JobState::Done { .. }), "first job failed: {first:?}");
+        assert_eq!(server.wait(doomed).state, JobState::Cancelled);
+        let manager = server.manager();
+        let guard = manager.read();
+        assert_eq!(guard.trainer().model_store().len(), 1, "cancelled job left a model");
+    }
+
+    #[test]
+    fn write_session_trains_synchronously_via_sparql_ml() {
+        let server = fast_server(59);
+        let out = server
+            .write_session()
+            .execute(
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                     {Name: 'pv', GML-Task:{ TaskType: kgnet:NodeClassifier,
+                        TargetNode: dblp:Publication, NodeLabel: dblp:publishedIn},
+                      Method: 'GCN'})}"#,
+            )
+            .unwrap();
+        assert!(matches!(out, MlOutcome::Trained(_)));
+        let mut session = server.read_session();
+        assert_eq!(session.sparql(PV_QUERY).unwrap().len(), 60);
+    }
+}

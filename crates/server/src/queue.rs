@@ -1,0 +1,596 @@
+//! The admission-controlled training job queue.
+//!
+//! `TrainGML` requests submitted to a server do not train inline: they are
+//! admitted against a configurable resource envelope (reusing the
+//! [`TaskBudget`] machinery of `kgnet-gmlaas`), queued, and executed by a
+//! fixed set of worker threads — each with its *own* dedicated rayon
+//! [`ThreadPool`](rayon::ThreadPool) — so training parallelism can never
+//! starve the query threads or the global pool. Jobs move through an
+//! explicit lifecycle:
+//!
+//! ```text
+//!            submit                    worker picks up
+//!   (admission checks) ──► Queued ───────────────────► Running
+//!                             │                           │
+//!                             │ cancel                    ├─► Done { model_uri }
+//!                             ▼                           ├─► Failed { error }
+//!                         Cancelled ◄─────────────────────┘ (cancel observed
+//!                                                            before commit, or
+//!                                                            a panicking job)
+//! ```
+//!
+//! Transitions are the only ones drawn: a terminal state (`Done`, `Failed`,
+//! `Cancelled`) never changes again, and cancelling a `Running` job is
+//! best-effort — `cancel` returning `true` only means the flag was
+//! delivered while the job was still live; if the runner is already past
+//! its last checkpoint the job still finishes `Done` with its model
+//! registered, so only the terminal state reported by `status`/`wait` is
+//! authoritative. Cancelling an already-terminal job returns `false`. The
+//! two-thread interleaving tests below pin both orders of the
+//! cancel/complete race.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use kgnet_gmlaas::{TaskBudget, TrainRequest};
+
+/// Identifier of one submitted job, unique within a queue.
+pub type JobId = u64;
+
+/// Lifecycle state of a training job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted and waiting for a worker.
+    Queued,
+    /// A worker is executing the job on its dedicated pool.
+    Running,
+    /// Training succeeded and the model was registered.
+    Done {
+        /// URI of the registered model.
+        model_uri: String,
+    },
+    /// Training failed (or panicked); nothing was registered.
+    Failed {
+        /// Human-readable failure cause.
+        error: String,
+    },
+    /// Cancelled before completion; nothing was registered.
+    Cancelled,
+}
+
+impl JobState {
+    /// True for `Done`, `Failed` and `Cancelled`.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// A snapshot of one job's identity and state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobInfo {
+    /// The job id handed out at submission.
+    pub id: JobId,
+    /// The model name from the originating request.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+}
+
+/// Why a submission was refused at admission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The pending queue is at capacity.
+    QueueFull {
+        /// Jobs currently waiting.
+        pending: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The request asks for more resources than the server envelope allows.
+    BudgetExceedsEnvelope(String),
+    /// The queue is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { pending, limit } => {
+                write!(f, "training queue full: {pending} pending (limit {limit})")
+            }
+            AdmissionError::BudgetExceedsEnvelope(msg) => {
+                write!(f, "budget exceeds server envelope: {msg}")
+            }
+            AdmissionError::ShuttingDown => write!(f, "training queue is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Sizing and admission policy of a [`JobQueue`].
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Worker threads, i.e. training jobs running concurrently.
+    pub max_concurrent: usize,
+    /// Cap on jobs waiting in the queue (running jobs excluded).
+    pub max_pending: usize,
+    /// Threads in each worker's dedicated training pool.
+    pub training_threads: usize,
+    /// Server-wide per-job resource envelope. A job requesting more memory
+    /// or time than the envelope is rejected; a job requesting *less* keeps
+    /// its own (tighter) budget; an unlimited request is clamped to the
+    /// envelope.
+    pub envelope: TaskBudget,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            max_concurrent: 2,
+            max_pending: 64,
+            training_threads: 2,
+            envelope: TaskBudget::unlimited(),
+        }
+    }
+}
+
+/// What a runner reports for one executed job.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// The model was trained and registered under this URI.
+    Done(String),
+    /// The runner observed the cancellation flag and rolled back.
+    Cancelled,
+    /// Training failed; the error is surfaced in [`JobState::Failed`].
+    Failed(String),
+}
+
+/// The function a worker invokes to execute one admitted request. The
+/// [`AtomicBool`] is the job's cancellation flag: runners should check it at
+/// phase boundaries (after sampling, before committing results) and report
+/// [`JobOutcome::Cancelled`] instead of registering anything when it is set.
+pub type JobRunner = dyn Fn(&TrainRequest, &AtomicBool) -> JobOutcome + Send + Sync;
+
+struct QueuedJob {
+    id: JobId,
+    req: TrainRequest,
+    cancel: Arc<AtomicBool>,
+}
+
+struct JobEntry {
+    name: String,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<QueuedJob>,
+    jobs: HashMap<JobId, JobEntry>,
+    next_id: JobId,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    signal: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The admission-controlled training queue.
+pub struct JobQueue {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    config: QueueConfig,
+}
+
+impl JobQueue {
+    /// Start a queue with `config.max_concurrent` workers, each executing
+    /// admitted requests through `runner` inside its own dedicated rayon
+    /// pool of `config.training_threads` threads.
+    pub fn new(config: QueueConfig, runner: Arc<JobRunner>) -> Self {
+        let shared =
+            Arc::new(Shared { state: Mutex::new(QueueState::default()), signal: Condvar::new() });
+        let workers = (0..config.max_concurrent.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let runner = runner.clone();
+                let threads = config.training_threads.max(1);
+                std::thread::Builder::new()
+                    .name(format!("kgnet-train-{i}"))
+                    .spawn(move || worker_loop(&shared, &runner, threads))
+                    .expect("spawn training worker")
+            })
+            .collect();
+        JobQueue { shared, workers, config }
+    }
+
+    /// Admit and enqueue a training request. Admission enforces the pending
+    /// cap and the budget envelope; the returned id is used for status
+    /// polling, waiting and cancellation.
+    pub fn submit(&self, mut req: TrainRequest) -> Result<JobId, AdmissionError> {
+        req.budget = admit_budget(&req.budget, &self.config.envelope)?;
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if state.pending.len() >= self.config.max_pending {
+            return Err(AdmissionError::QueueFull {
+                pending: state.pending.len(),
+                limit: self.config.max_pending,
+            });
+        }
+        state.next_id += 1;
+        let id = state.next_id;
+        let cancel = Arc::new(AtomicBool::new(false));
+        state.jobs.insert(
+            id,
+            JobEntry { name: req.name.clone(), state: JobState::Queued, cancel: cancel.clone() },
+        );
+        state.pending.push_back(QueuedJob { id, req, cancel });
+        self.shared.signal.notify_all();
+        Ok(id)
+    }
+
+    /// Snapshot one job.
+    pub fn status(&self, id: JobId) -> Option<JobInfo> {
+        let state = self.shared.lock();
+        state.jobs.get(&id).map(|e| JobInfo { id, name: e.name.clone(), state: e.state.clone() })
+    }
+
+    /// Snapshot every job, ordered by id.
+    pub fn jobs(&self) -> Vec<JobInfo> {
+        let state = self.shared.lock();
+        let mut out: Vec<JobInfo> = state
+            .jobs
+            .iter()
+            .map(|(&id, e)| JobInfo { id, name: e.name.clone(), state: e.state.clone() })
+            .collect();
+        out.sort_by_key(|j| j.id);
+        out
+    }
+
+    /// Jobs currently waiting (not running).
+    pub fn pending_len(&self) -> usize {
+        self.shared.lock().pending.len()
+    }
+
+    /// Request cancellation. A `Queued` job is cancelled immediately; a
+    /// `Running` job is flagged and cancels at the runner's next checkpoint.
+    /// Returns `false` when the job is unknown or already terminal; `true`
+    /// means only that the flag was delivered — a running job past its last
+    /// checkpoint still finishes `Done`, so check `status`/`wait` for the
+    /// authoritative terminal state before assuming nothing was registered.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut state = self.shared.lock();
+        let Some(entry) = state.jobs.get_mut(&id) else { return false };
+        match entry.state {
+            JobState::Queued => {
+                entry.cancel.store(true, Ordering::SeqCst);
+                entry.state = JobState::Cancelled;
+                state.pending.retain(|j| j.id != id);
+                self.shared.signal.notify_all();
+                true
+            }
+            JobState::Running => {
+                entry.cancel.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Block until the job reaches a terminal state and return its info.
+    /// Panics on an unknown id.
+    pub fn wait(&self, id: JobId) -> JobInfo {
+        let mut state = self.shared.lock();
+        loop {
+            let entry = state.jobs.get(&id).expect("wait on unknown job id");
+            if entry.state.is_terminal() {
+                return JobInfo { id, name: entry.name.clone(), state: entry.state.clone() };
+            }
+            state = self.shared.signal.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stop accepting work, cancel everything still queued, let running jobs
+    /// finish, and join the workers. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+            while let Some(job) = state.pending.pop_front() {
+                if let Some(entry) = state.jobs.get_mut(&job.id) {
+                    entry.state = JobState::Cancelled;
+                }
+            }
+            self.shared.signal.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The effective budget for a job under the server envelope: reject
+/// requests exceeding a finite envelope cap, clamp unlimited requests down
+/// to it, keep tighter requests as-is.
+fn admit_budget(job: &TaskBudget, envelope: &TaskBudget) -> Result<TaskBudget, AdmissionError> {
+    let mut effective = *job;
+    match (job.max_memory_bytes, envelope.max_memory_bytes) {
+        (Some(want), Some(cap)) if want > cap => {
+            return Err(AdmissionError::BudgetExceedsEnvelope(format!(
+                "requested {want} B of training memory, envelope allows {cap} B"
+            )));
+        }
+        (None, Some(cap)) => effective.max_memory_bytes = Some(cap),
+        _ => {}
+    }
+    match (job.max_time_s, envelope.max_time_s) {
+        (Some(want), Some(cap)) if want > cap => {
+            return Err(AdmissionError::BudgetExceedsEnvelope(format!(
+                "requested {want} s of training time, envelope allows {cap} s"
+            )));
+        }
+        (None, Some(cap)) => effective.max_time_s = Some(cap),
+        _ => {}
+    }
+    Ok(effective)
+}
+
+fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize) {
+    // One dedicated pool per worker: training fan-out stays inside it and
+    // never competes with the global pool serving queries.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(training_threads)
+        .build()
+        .expect("build training pool");
+    loop {
+        let job = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(job) = state.pending.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.signal.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        {
+            let mut state = shared.lock();
+            let entry = state.jobs.get_mut(&job.id).expect("popped job is registered");
+            if job.cancel.load(Ordering::SeqCst) {
+                entry.state = JobState::Cancelled;
+                shared.signal.notify_all();
+                continue;
+            }
+            entry.state = JobState::Running;
+            shared.signal.notify_all();
+        }
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| pool.install(|| runner(&job.req, &job.cancel))))
+                .unwrap_or_else(|panic| JobOutcome::Failed(panic_message(&panic)));
+        let mut state = shared.lock();
+        let entry = state.jobs.get_mut(&job.id).expect("running job is registered");
+        entry.state = match outcome {
+            JobOutcome::Done(model_uri) => JobState::Done { model_uri },
+            JobOutcome::Cancelled => JobState::Cancelled,
+            JobOutcome::Failed(error) => JobState::Failed { error },
+        };
+        shared.signal.notify_all();
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("training job panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("training job panicked: {s}")
+    } else {
+        "training job panicked".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgnet_graph::{GmlTask, NcTask};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn request(name: &str) -> TrainRequest {
+        TrainRequest::new(
+            name,
+            GmlTask::NodeClassification(NcTask {
+                target_type: "http://x/T".into(),
+                label_predicate: "http://x/p".into(),
+            }),
+        )
+    }
+
+    /// A runner remote-controlled by the test: it reports `started` on a
+    /// channel and blocks until the matching `proceed` message, then obeys
+    /// the cancellation flag exactly like the real training runner.
+    fn gated_runner(started: mpsc::Sender<JobId>, proceed: mpsc::Receiver<()>) -> Arc<JobRunner> {
+        let proceed = Mutex::new(proceed);
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        Arc::new(move |_req, cancel| {
+            let seq = counter.fetch_add(1, Ordering::SeqCst) + 1;
+            started.send(seq).unwrap();
+            proceed.lock().unwrap().recv().unwrap();
+            if cancel.load(Ordering::SeqCst) {
+                JobOutcome::Cancelled
+            } else {
+                JobOutcome::Done(format!("http://model/{seq}"))
+            }
+        })
+    }
+
+    #[test]
+    fn lifecycle_queued_running_done_with_concurrency_one() {
+        let (started_tx, started_rx) = mpsc::channel();
+        let (proceed_tx, proceed_rx) = mpsc::channel();
+        let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
+        let queue = JobQueue::new(cfg, gated_runner(started_tx, proceed_rx));
+
+        let a = queue.submit(request("a")).unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(queue.status(a).unwrap().state, JobState::Running);
+
+        // One worker: b must wait behind a.
+        let b = queue.submit(request("b")).unwrap();
+        assert_eq!(queue.status(b).unwrap().state, JobState::Queued);
+        assert_eq!(queue.pending_len(), 1);
+
+        proceed_tx.send(()).unwrap();
+        let done = queue.wait(a);
+        assert_eq!(done.state, JobState::Done { model_uri: "http://model/1".into() });
+
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        proceed_tx.send(()).unwrap();
+        assert!(matches!(queue.wait(b).state, JobState::Done { .. }));
+    }
+
+    #[test]
+    fn interleaving_cancel_wins_when_flagged_before_checkpoint() {
+        // Thread 1 (worker) is parked inside the job; thread 2 (test)
+        // cancels *before* releasing it, so the runner's checkpoint observes
+        // the flag: the only legal terminal state is Cancelled.
+        let (started_tx, started_rx) = mpsc::channel();
+        let (proceed_tx, proceed_rx) = mpsc::channel();
+        let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
+        let queue = JobQueue::new(cfg, gated_runner(started_tx, proceed_rx));
+
+        let id = queue.submit(request("victim")).unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(queue.cancel(id), "cancel of a running job is acknowledged");
+        proceed_tx.send(()).unwrap();
+        assert_eq!(queue.wait(id).state, JobState::Cancelled);
+        // A terminal job cannot be cancelled again.
+        assert!(!queue.cancel(id));
+    }
+
+    #[test]
+    fn interleaving_completion_wins_when_cancel_arrives_late() {
+        // Thread 1 completes the job before thread 2's cancel: the job must
+        // stay Done and the late cancel must report failure.
+        let (started_tx, started_rx) = mpsc::channel();
+        let (proceed_tx, proceed_rx) = mpsc::channel();
+        let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
+        let queue = JobQueue::new(cfg, gated_runner(started_tx, proceed_rx));
+
+        let id = queue.submit(request("survivor")).unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        proceed_tx.send(()).unwrap();
+        let done = queue.wait(id);
+        assert!(matches!(done.state, JobState::Done { .. }));
+        assert!(!queue.cancel(id), "late cancel must not rewrite a terminal state");
+        assert!(matches!(queue.status(id).unwrap().state, JobState::Done { .. }));
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_never_runs_it() {
+        let (started_tx, started_rx) = mpsc::channel();
+        let (proceed_tx, proceed_rx) = mpsc::channel();
+        let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
+        let queue = JobQueue::new(cfg, gated_runner(started_tx, proceed_rx));
+
+        let blocker = queue.submit(request("blocker")).unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let doomed = queue.submit(request("doomed")).unwrap();
+        assert!(queue.cancel(doomed));
+        assert_eq!(queue.status(doomed).unwrap().state, JobState::Cancelled);
+        proceed_tx.send(()).unwrap();
+        assert!(matches!(queue.wait(blocker).state, JobState::Done { .. }));
+        // The cancelled job never reached the runner: exactly one start.
+        assert!(started_rx.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn panicking_job_fails_and_worker_survives() {
+        let runner: Arc<JobRunner> = Arc::new(|req, _cancel| {
+            if req.name == "bomb" {
+                panic!("boom");
+            }
+            JobOutcome::Done("http://model/ok".into())
+        });
+        let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
+        let queue = JobQueue::new(cfg, runner);
+        let bomb = queue.submit(request("bomb")).unwrap();
+        let ok = queue.submit(request("fine")).unwrap();
+        match queue.wait(bomb).state {
+            // The dedicated pool re-wraps the payload while propagating, so
+            // only the panic marker is guaranteed to survive.
+            JobState::Failed { error } => assert!(error.contains("panicked"), "error: {error}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(queue.wait(ok).state, JobState::Done { .. }));
+    }
+
+    #[test]
+    fn admission_rejects_over_budget_and_full_queue() {
+        let (started_tx, started_rx) = mpsc::channel();
+        let (proceed_tx, proceed_rx) = mpsc::channel::<()>();
+        let cfg = QueueConfig {
+            max_concurrent: 1,
+            max_pending: 1,
+            envelope: TaskBudget::with_memory(1024),
+            ..Default::default()
+        };
+        let queue = JobQueue::new(cfg, gated_runner(started_tx, proceed_rx));
+
+        // Over-envelope request is refused outright.
+        let mut greedy = request("greedy");
+        greedy.budget = TaskBudget::with_memory(4096);
+        assert!(matches!(queue.submit(greedy), Err(AdmissionError::BudgetExceedsEnvelope(_))));
+
+        // An unlimited request is clamped, not refused.
+        let a = queue.submit(request("a")).unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let _b = queue.submit(request("b")).unwrap(); // fills the pending slot
+        assert!(matches!(
+            queue.submit(request("c")),
+            Err(AdmissionError::QueueFull { pending: 1, limit: 1 })
+        ));
+        // Shutdown with a job still running and one queued: closing the
+        // proceed channel makes the parked runner panic (recv error), which
+        // the worker reports as Failed; the queued job is cancelled by
+        // shutdown and the worker joins cleanly.
+        drop(proceed_tx);
+        drop(queue);
+        let _ = a;
+    }
+
+    #[test]
+    fn tighter_job_budget_is_preserved_by_admission() {
+        let envelope = TaskBudget {
+            max_memory_bytes: Some(1000),
+            max_time_s: Some(60.0),
+            ..Default::default()
+        };
+        let tight =
+            TaskBudget { max_memory_bytes: Some(10), max_time_s: None, ..Default::default() };
+        let admitted = admit_budget(&tight, &envelope).unwrap();
+        assert_eq!(admitted.max_memory_bytes, Some(10), "tighter cap kept");
+        assert_eq!(admitted.max_time_s, Some(60.0), "unlimited time clamped to envelope");
+        let unlimited = admit_budget(&TaskBudget::unlimited(), &envelope).unwrap();
+        assert_eq!(unlimited.max_memory_bytes, Some(1000));
+    }
+}

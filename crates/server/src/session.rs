@@ -1,0 +1,125 @@
+//! Read and write sessions over one shared platform.
+//!
+//! A [`ReadSession`] evaluates plain SPARQL and SPARQL-ML SELECTs through
+//! shared borrows only (`&QueryManager`, `&RdfStore`), so any number of
+//! sessions — one per client thread — run concurrently against the same
+//! [`SharedStore`]. Each session carries its own [`PlanCache`], keyed by
+//! normalized query text and store generation, so repeated queries skip
+//! parsing-adjacent planning work until a write invalidates them.
+//!
+//! A [`WriteSession`] takes the exclusive side of both the manager and the
+//! store for data updates and model deletion. Lock order is fixed —
+//! *manager before store* — everywhere in this crate, which rules out
+//! lock-order deadlocks between sessions and training jobs.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use kgnet_rdf::sparql::evaluate_prepared;
+use kgnet_rdf::{QueryResult, RdfStore, SharedStore, SparqlError};
+use kgnet_sparqlml::{parse, MlError, MlOutcome, QueryManager, SparqlMlOperation};
+
+use crate::cache::{CacheStats, PlanCache};
+
+/// A concurrent read handle: SELECT-only execution with plan caching.
+pub struct ReadSession {
+    store: SharedStore,
+    manager: Arc<RwLock<QueryManager>>,
+    cache: PlanCache,
+}
+
+impl ReadSession {
+    pub(crate) fn new(
+        store: SharedStore,
+        manager: Arc<RwLock<QueryManager>>,
+        plan_cache_capacity: usize,
+    ) -> Self {
+        ReadSession { store, manager, cache: PlanCache::new(plan_cache_capacity) }
+    }
+
+    /// Execute a plain or SPARQL-ML SELECT. Updates, `TrainGML` and model
+    /// DELETEs are rejected with [`MlError::ReadOnly`] — use a
+    /// [`WriteSession`] or the server's training queue.
+    ///
+    /// Plain SELECTs run through this session's plan cache; ML SELECTs are
+    /// optimized per call (their rewriting depends on live KGMeta state) but
+    /// still execute through shared borrows end-to-end.
+    pub fn query(&mut self, text: &str) -> Result<MlOutcome, MlError> {
+        match parse(text)? {
+            SparqlMlOperation::PlainSelect(q) => {
+                let store = self.store.read();
+                let prepared = self.cache.get_or_prepare(&store, text, q)?;
+                let (rows, _) = evaluate_prepared(&store, &prepared)?;
+                Ok(MlOutcome::Rows(rows))
+            }
+            SparqlMlOperation::Select(q) => {
+                // Lock order: manager, then store.
+                let manager = self.manager.read();
+                let store = self.store.read();
+                manager.query_select(&store, q)
+            }
+            SparqlMlOperation::PlainUpdate(_)
+            | SparqlMlOperation::Train(_)
+            | SparqlMlOperation::DeleteModels(_) => Err(MlError::ReadOnly),
+        }
+    }
+
+    /// Execute a SELECT and return its rows (errors on non-row outcomes).
+    pub fn sparql(&mut self, text: &str) -> Result<QueryResult, MlError> {
+        match self.query(text)? {
+            MlOutcome::Rows(rows) => Ok(rows),
+            other => {
+                Err(MlError::Sparql(SparqlError::eval(format!("expected rows, got {other:?}"))))
+            }
+        }
+    }
+
+    /// Query the KGMeta metadata graph (plain SPARQL over model metadata).
+    pub fn sparql_kgmeta(&self, text: &str) -> Result<QueryResult, SparqlError> {
+        let q = kgnet_rdf::sparql::parse_select(text)?;
+        let manager = self.manager.read();
+        kgnet_rdf::sparql::evaluate_select(manager.kgmeta().store(), &q)
+    }
+
+    /// Hit/miss counters of this session's plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The shared store handle (for generation checks and direct scans).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+}
+
+/// An exclusive write handle: data updates, synchronous `TrainGML` and
+/// model deletion.
+pub struct WriteSession {
+    store: SharedStore,
+    manager: Arc<RwLock<QueryManager>>,
+}
+
+impl WriteSession {
+    pub(crate) fn new(store: SharedStore, manager: Arc<RwLock<QueryManager>>) -> Self {
+        WriteSession { store, manager }
+    }
+
+    /// Execute any SPARQL-ML operation under exclusive locks. Note that a
+    /// `TrainGML` here trains *synchronously while holding the write locks*,
+    /// stalling every reader; concurrent serving should submit training
+    /// through the server's job queue instead.
+    pub fn execute(&self, text: &str) -> Result<MlOutcome, MlError> {
+        // Lock order: manager, then store.
+        let mut manager = self.manager.write();
+        let mut store = self.store.write();
+        manager.update(&mut store, text)
+    }
+
+    /// Run a closure with exclusive store access (bulk loads, manual
+    /// asserts). Mutations bump the store generation, invalidating plan
+    /// caches and predicate statistics.
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut RdfStore) -> R) -> R {
+        f(&mut self.store.write())
+    }
+}

@@ -11,8 +11,8 @@ use rustc_hash::{FxHashMap, FxHashSet};
 
 use kgnet_gml::config::{GmlMethodKind, GnnConfig};
 use kgnet_gmlaas::{
-    InferenceRequest, InferenceResponse, InferenceService, ModelStore, ServiceError, TaskKind,
-    TrainError, TrainRequest, TrainingManager,
+    InferenceRequest, InferenceResponse, InferenceService, ModelArtifact, ModelStore, ServiceError,
+    TaskKind, TrainError, TrainRequest, TrainingManager,
 };
 use kgnet_rdf::sparql::eval::{evaluate_select, execute_update, QueryResult, UpdateStats};
 use kgnet_rdf::sparql::{Order, Projection, ProjectionItem, TermPattern};
@@ -37,6 +37,9 @@ pub enum MlError {
     Train(TrainError),
     /// Inference-service failure.
     Service(ServiceError),
+    /// A write operation (update, TrainGML, model DELETE) was submitted
+    /// through the read-only [`QueryManager::query`] path.
+    ReadOnly,
 }
 
 impl std::fmt::Display for MlError {
@@ -51,6 +54,9 @@ impl std::fmt::Display for MlError {
             }
             MlError::Train(e) => write!(f, "{e}"),
             MlError::Service(e) => write!(f, "{e}"),
+            MlError::ReadOnly => {
+                write!(f, "write operation rejected: this execution path is read-only")
+            }
         }
     }
 }
@@ -172,10 +178,39 @@ impl QueryManager {
         &self.trainer
     }
 
-    /// Execute one SPARQL-ML operation against a data KG.
+    /// Execute one SPARQL-ML operation against a data KG (reads and writes;
+    /// equivalent to [`QueryManager::update`]).
     pub fn execute(&mut self, data: &mut RdfStore, text: &str) -> Result<MlOutcome, MlError> {
+        self.update(data, text)
+    }
+
+    /// The read path: evaluate a plain or ML SELECT through shared borrows
+    /// only, so any number of queries run concurrently against one store.
+    /// Rejects every state-mutating operation with [`MlError::ReadOnly`].
+    pub fn query(&self, data: &RdfStore, text: &str) -> Result<MlOutcome, MlError> {
         match parse(text)? {
             SparqlMlOperation::PlainSelect(q) => Ok(MlOutcome::Rows(evaluate_select(data, &q)?)),
+            SparqlMlOperation::Select(q) => self.select(data, q),
+            SparqlMlOperation::PlainUpdate(_)
+            | SparqlMlOperation::Train(_)
+            | SparqlMlOperation::DeleteModels(_) => Err(MlError::ReadOnly),
+        }
+    }
+
+    /// Evaluate an already-parsed SPARQL-ML SELECT through shared borrows —
+    /// the read path without re-parsing, for serving layers that classify
+    /// the operation themselves.
+    pub fn query_select(&self, data: &RdfStore, q: SparqlMlQuery) -> Result<MlOutcome, MlError> {
+        self.select(data, q)
+    }
+
+    /// The write path: INSERT-MODEL (`TrainGML`), model DELETE and plain
+    /// data updates, requiring exclusive access to both the manager state
+    /// (KGMeta) and the store. SELECTs are delegated to the read path.
+    pub fn update(&mut self, data: &mut RdfStore, text: &str) -> Result<MlOutcome, MlError> {
+        match parse(text)? {
+            SparqlMlOperation::PlainSelect(q) => Ok(MlOutcome::Rows(evaluate_select(data, &q)?)),
+            SparqlMlOperation::Select(q) => self.select(data, q),
             SparqlMlOperation::PlainUpdate(u) => Ok(MlOutcome::Updated(execute_update(data, &u)?)),
             SparqlMlOperation::Train(spec) => self.train(data, spec),
             SparqlMlOperation::DeleteModels(filter) => {
@@ -186,8 +221,15 @@ impl QueryManager {
                 }
                 Ok(MlOutcome::DeletedModels(uris))
             }
-            SparqlMlOperation::Select(q) => self.select(data, q),
         }
+    }
+
+    /// Register an externally trained artifact in KGMeta. Used by serving
+    /// layers whose job queues train through a [`TrainingManager`] clone
+    /// outside any manager lock and commit the metadata under a brief
+    /// exclusive borrow once training has succeeded.
+    pub fn register_artifact(&mut self, artifact: &ModelArtifact) {
+        self.kgmeta.register(artifact);
     }
 
     /// Optimize and rewrite a SPARQL-ML SELECT without executing it.
@@ -211,7 +253,7 @@ impl QueryManager {
         let scope = spec
             .sampler
             .as_deref()
-            .and_then(parse_scope)
+            .and_then(SamplingScope::parse)
             .unwrap_or_else(|| SamplingScope::default_for(&spec.task));
         let sampled = meta_sample_task(data, &spec.task, scope);
 
@@ -325,7 +367,7 @@ impl QueryManager {
         exec
     }
 
-    fn select(&mut self, data: &mut RdfStore, q: SparqlMlQuery) -> Result<MlOutcome, MlError> {
+    fn select(&self, data: &RdfStore, q: SparqlMlQuery) -> Result<MlOutcome, MlError> {
         let (models, plans, mut result) = self.optimize(data, &q)?;
         let rewritten = rewrite(&q, &models, &plans);
 
@@ -565,16 +607,6 @@ fn cmp_opt_terms(a: Option<&Term>, b: Option<&Term>) -> std::cmp::Ordering {
     }
 }
 
-fn parse_scope(name: &str) -> Option<SamplingScope> {
-    match name.to_ascii_lowercase().as_str() {
-        "d1h1" => Some(SamplingScope::D1H1),
-        "d1h2" => Some(SamplingScope::D1H2),
-        "d2h1" => Some(SamplingScope::D2H1),
-        "d2h2" => Some(SamplingScope::D2H2),
-        _ => None,
-    }
-}
-
 fn parse_method(name: &str) -> Option<GmlMethodKind> {
     let n = name.to_ascii_lowercase();
     Some(match n.as_str() {
@@ -652,6 +684,64 @@ mod tests {
         }
         // Dictionary plan: exactly one HTTP call for 60 papers.
         assert_eq!(mgr.service().stats().calls, 1);
+    }
+
+    #[test]
+    fn read_path_runs_ml_select_through_shared_borrows() {
+        let (mut data, _) = generate_dblp(&DblpConfig::tiny(41));
+        let mut mgr = manager();
+        train_nc(&mut mgr, &mut data);
+        // From here on: &QueryManager and &RdfStore only.
+        let mgr_ref: &QueryManager = &mgr;
+        let data_ref: &RdfStore = &data;
+        let MlOutcome::Rows(via_query) = mgr_ref.query(data_ref, PV_QUERY).unwrap() else {
+            panic!("expected rows")
+        };
+        assert_eq!(via_query.len(), 60);
+        // The read and write paths agree exactly.
+        let MlOutcome::Rows(via_execute) = mgr.execute(&mut data, PV_QUERY).unwrap() else {
+            panic!("expected rows")
+        };
+        assert_eq!(via_query, via_execute);
+    }
+
+    #[test]
+    fn read_path_rejects_writes() {
+        let (data, _) = generate_dblp(&DblpConfig::tiny(43));
+        let mgr = manager();
+        let err =
+            mgr.query(&data, "INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap_err();
+        assert!(matches!(err, MlError::ReadOnly));
+        let err = mgr
+            .query(
+                &data,
+                r#"PREFIX kgnet: <https://www.kgnet.com/>
+                   DELETE { ?m ?p ?o } WHERE { ?m a kgnet:NodeClassifier . }"#,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MlError::ReadOnly));
+    }
+
+    #[test]
+    fn failed_training_leaves_kgmeta_and_registry_unchanged() {
+        let (mut data, _) = generate_dblp(&DblpConfig::tiny(45));
+        let mut mgr = manager();
+        // Unsatisfiable task: no such target type in the graph.
+        let err = mgr
+            .execute(
+                &mut data,
+                r#"PREFIX kgnet: <https://www.kgnet.com/>
+                   PREFIX nope: <http://nope/>
+                   INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                     {Name: 'doomed',
+                      GML-Task:{ TaskType: kgnet:NodeClassifier,
+                                 TargetNode: nope:T,
+                                 NodeLabel: nope:p}})}"#,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MlError::Train(TrainError::EmptyTask)), "unexpected error: {err}");
+        assert!(mgr.kgmeta().is_empty(), "failed training must not touch KGMeta");
+        assert!(mgr.trainer().model_store().is_empty(), "failed training must not register models");
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub use kgnet_gmlaas as gmlaas;
 /// The SPARQL-ML language layer: parser, KGMeta, optimizer, rewriter.
 pub use kgnet_sparqlml as sparqlml;
 
+/// Concurrent serving: shared-store read/write sessions and the
+/// admission-controlled training job queue.
+pub use kgnet_server as server;
+
 /// Synthetic DBLP/YAGO4-shaped KG generators.
 pub use kgnet_datagen as datagen;
 

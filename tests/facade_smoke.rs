@@ -43,7 +43,7 @@ fn facade_round_trips_tiny_dblp_graph() {
     assert!(n_triples > 0, "generator must emit triples");
 
     let config = ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() };
-    let mut platform = KgNet::with_graph_and_config(kg, config);
+    let platform = KgNet::with_graph_and_config(kg, config);
 
     // The loaded graph is exactly what the generator produced.
     assert_eq!(platform.data().len(), n_triples);

@@ -1,0 +1,135 @@
+//! Mixed-traffic proof for the serving layer: SPARQL-ML SELECTs execute
+//! through `&self`/`&RdfStore` end-to-end, so four concurrent reader
+//! threads serve against one `SharedStore` while training jobs churn on the
+//! admission-controlled queue — and every concurrent result is identical to
+//! serial execution.
+
+use std::sync::{Arc, Barrier};
+
+use kgnet::datagen::{generate_dblp, DblpConfig};
+use kgnet::gmlaas::TrainRequest;
+use kgnet::server::{JobState, KgServer, ServerConfig};
+use kgnet::{GmlMethodKind, GmlTask, GnnConfig, KgNet, LpTask, ManagerConfig, NcTask};
+
+const PV_QUERY: &str = r#"
+    PREFIX dblp: <https://www.dblp.org/>
+    PREFIX kgnet: <https://www.kgnet.com/>
+    SELECT ?title ?venue WHERE {
+      ?paper a dblp:Publication .
+      ?paper dblp:title ?title .
+      ?paper ?NodeClassifier ?venue .
+      ?NodeClassifier a kgnet:NodeClassifier .
+      ?NodeClassifier kgnet:TargetNode dblp:Publication .
+      ?NodeClassifier kgnet:NodeLabel dblp:publishedIn . }"#;
+
+const COUNT_QUERY: &str = "PREFIX dblp: <https://www.dblp.org/> \
+    SELECT (COUNT(*) AS ?n) WHERE { ?p a dblp:Publication }";
+
+const TRAIN_NC: &str = r#"
+    PREFIX dblp: <https://www.dblp.org/>
+    PREFIX kgnet: <https://www.kgnet.com/>
+    INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+      {Name: 'paper-venue',
+       GML-Task:{ TaskType: kgnet:NodeClassifier,
+                  TargetNode: dblp:Publication,
+                  NodeLabel: dblp:publishedIn},
+       Method: 'GraphSAINT'})}"#;
+
+fn fast_config() -> ManagerConfig {
+    ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() }
+}
+
+/// The queue-submitted twin of `TRAIN_NC`: same task, method, sampler and
+/// hyper-parameters, so the trained model is bit-identical (the trainers are
+/// deterministic under any pool size).
+fn nc_request() -> TrainRequest {
+    let mut req = TrainRequest::new(
+        "paper-venue",
+        GmlTask::NodeClassification(NcTask {
+            target_type: "https://www.dblp.org/Publication".into(),
+            label_predicate: "https://www.dblp.org/publishedIn".into(),
+        }),
+    );
+    req.cfg = GnnConfig::fast_test();
+    req.forced_method = Some(GmlMethodKind::GraphSaint);
+    req
+}
+
+/// A background job over a *different* task kind, so its registration
+/// cannot perturb which model the NC query selects mid-run.
+fn lp_request(name: &str) -> TrainRequest {
+    let mut req = TrainRequest::new(
+        name,
+        GmlTask::LinkPrediction(LpTask {
+            source_type: "https://www.dblp.org/Person".into(),
+            edge_predicate: "https://www.dblp.org/affiliatedWith".into(),
+            dest_type: "https://www.dblp.org/Affiliation".into(),
+        }),
+    );
+    req.cfg = GnnConfig { epochs: 10, ..GnnConfig::fast_test() };
+    req.forced_method = Some(GmlMethodKind::Morse);
+    req.sampler = "d2h1".into();
+    req
+}
+
+#[test]
+fn four_readers_serve_while_training_jobs_churn() {
+    // Serial baseline on an identical graph (the generator is seeded).
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(41));
+    let mut baseline = KgNet::with_graph_and_config(kg, fast_config());
+    baseline.execute(TRAIN_NC).unwrap();
+    let expected = baseline.sparql(PV_QUERY).unwrap();
+    assert_eq!(expected.len(), 60);
+    let expected_count = baseline.sparql(COUNT_QUERY).unwrap();
+
+    // Concurrent server over the same graph: the NC model arrives through
+    // the job queue, not through an exclusive execute().
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(41));
+    let server =
+        Arc::new(KgServer::new(kg, ServerConfig { manager: fast_config(), ..Default::default() }));
+    let nc_job = server.submit_train(nc_request()).unwrap();
+    let done = server.wait(nc_job);
+    assert!(matches!(done.state, JobState::Done { .. }), "NC training failed: {done:?}");
+
+    // Two more jobs churn in the background while the readers run.
+    let lp_a = server.submit_train(lp_request("aff-a")).unwrap();
+    let lp_b = server.submit_train(lp_request("aff-b")).unwrap();
+
+    const READERS: usize = 4;
+    const ROUNDS: usize = 8;
+    let barrier = Arc::new(Barrier::new(READERS));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let server = server.clone();
+            let barrier = barrier.clone();
+            let expected = expected.clone();
+            let expected_count = expected_count.clone();
+            std::thread::spawn(move || {
+                let mut session = server.read_session();
+                barrier.wait(); // all four issue their first SELECT together
+                for _ in 0..ROUNDS {
+                    let rows = session.sparql(PV_QUERY).expect("ML SELECT");
+                    assert_eq!(rows, expected, "concurrent result diverged from serial");
+                    let count = session.sparql(COUNT_QUERY).expect("plain SELECT");
+                    assert_eq!(count, expected_count);
+                }
+                let stats = session.cache_stats();
+                assert!(stats.hits >= (ROUNDS - 1) as u64, "plan cache never hit: {stats:?}");
+            })
+        })
+        .collect();
+    for reader in readers {
+        reader.join().expect("reader thread panicked");
+    }
+
+    // The background jobs complete and register their models.
+    assert!(matches!(server.wait(lp_a).state, JobState::Done { .. }));
+    assert!(matches!(server.wait(lp_b).state, JobState::Done { .. }));
+    let manager = server.manager();
+    let guard = manager.read();
+    assert_eq!(guard.trainer().model_store().len(), 3);
+
+    // Readers still see the stable NC answer afterwards.
+    let mut session = server.read_session();
+    assert_eq!(session.sparql(PV_QUERY).unwrap(), expected);
+}
