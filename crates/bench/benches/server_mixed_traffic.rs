@@ -85,7 +85,7 @@ fn measure(background_jobs: usize) -> (Duration, Duration, usize) {
 
     // The model the ML SELECT resolves must exist before readers start.
     let nc = server.submit_train(nc_request()).unwrap();
-    assert!(matches!(server.wait(nc).state, JobState::Done { .. }), "NC training failed");
+    assert!(matches!(server.wait(nc).unwrap().state, JobState::Done { .. }), "NC training failed");
 
     let jobs: Vec<_> = (0..background_jobs)
         .map(|i| server.submit_train(lp_request(&format!("churn-{i}"), 60)).unwrap())

@@ -124,15 +124,28 @@ impl TrainingManager {
         kg_prime: &RdfStore,
         req: &TrainRequest,
     ) -> Result<TrainOutcome, TrainError> {
-        let (artifact, trace) = match &req.task {
-            GmlTask::NodeClassification(nc) => self.train_nc_task(kg_prime, req, nc)?,
-            GmlTask::LinkPrediction(lp) => self.train_lp_task(kg_prime, req, lp)?,
-            GmlTask::EntitySimilarity { target_type } => {
-                self.train_similarity(kg_prime, req, target_type)?
-            }
-        };
+        let (artifact, trace) = self.train_uncommitted(kg_prime, req)?;
         // The one commit point: nothing above touches the store.
         Ok(TrainOutcome { artifact: self.store.insert(artifact), trace })
+    }
+
+    /// Everything [`train`](Self::train) does short of the registry insert:
+    /// the built artifact exists only on the caller's stack. Serving layers
+    /// use this to interpose a cancellation checkpoint between training and
+    /// commit, then insert into the [`model_store`](Self::model_store)
+    /// together with their own metadata registration.
+    pub fn train_uncommitted(
+        &self,
+        kg_prime: &RdfStore,
+        req: &TrainRequest,
+    ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
+        match &req.task {
+            GmlTask::NodeClassification(nc) => self.train_nc_task(kg_prime, req, nc),
+            GmlTask::LinkPrediction(lp) => self.train_lp_task(kg_prime, req, lp),
+            GmlTask::EntitySimilarity { target_type } => {
+                self.train_similarity(kg_prime, req, target_type)
+            }
+        }
     }
 
     fn mint_uri(&self, kind: &str, method: GmlMethodKind, name: &str) -> String {

@@ -3,24 +3,35 @@
 //! Planning a SELECT re-resolves every ground term, re-reads predicate
 //! statistics and re-materialises sub-selects; for the repeated parametric
 //! queries of an OLTP-style workload that work is identical run after run.
-//! The cache keys plans by *normalized query text* plus the store
+//! The cache keys plans by the *lexer's token stream* plus the store
 //! [`generation`](kgnet_rdf::RdfStore::generation) they were compiled
-//! against, so any write to the shared store invalidates every cached plan
-//! implicitly — a stale entry simply misses and is re-prepared against the
-//! new snapshot.
+//! against. Deriving the key from [`tokenize`] makes it agree with the
+//! parser by construction — whitespace and `#` comments never fragment the
+//! cache, both `"..."` and `'...'` literal styles keep their content
+//! significant, a `#` inside an `<...>` IRI is a fragment — and any write
+//! to the shared store invalidates every cached plan implicitly: a stale
+//! entry simply misses and is re-prepared against the new snapshot.
+//!
+//! Lookup ([`PlanCache::get`]) and insertion ([`PlanCache::prepare_insert`])
+//! are split so a hit costs one tokenize + hash — callers skip re-parsing
+//! the query text entirely on the hot path.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 
+use kgnet_rdf::sparql::lexer::tokenize;
 use kgnet_rdf::sparql::{prepare_select, SelectQuery};
 use kgnet_rdf::{PreparedQuery, RdfStore, SparqlError};
 
 /// Hit/miss counters and occupancy of one plan cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache (same text, same generation).
+    /// Lookups answered from the cache (same token stream, same generation).
     pub hits: u64,
-    /// Lookups that had to plan (cold, or invalidated by a store write).
+    /// Plans prepared and inserted (cold, or invalidated by a store write).
+    /// Lookups for queries that are never cached (ML SELECTs, updates) do
+    /// not count, so hits/misses reflect only cacheable traffic.
     pub misses: u64,
     /// Entries currently cached.
     pub entries: usize,
@@ -31,7 +42,7 @@ struct Entry {
     last_used: u64,
 }
 
-/// An LRU map from normalized query text to a prepared plan.
+/// An LRU map from a query's token stream to a prepared plan.
 pub struct PlanCache {
     capacity: usize,
     entries: HashMap<String, Entry>,
@@ -57,32 +68,43 @@ impl PlanCache {
         CacheStats { hits: self.hits, misses: self.misses, entries: self.entries.len() }
     }
 
-    /// Fetch the plan for `text` compiled against the store's current
-    /// generation, planning (and caching) on a miss. `parsed` is the
-    /// already-parsed query, consumed only when planning is needed.
-    pub fn get_or_prepare(
-        &mut self,
-        store: &RdfStore,
-        text: &str,
-        parsed: SelectQuery,
-    ) -> Result<Arc<PreparedQuery>, SparqlError> {
-        let key = normalize(text);
+    /// Fetch the plan for `text` if one was compiled against the store's
+    /// current generation, dropping any stale entry on the way. On `None`
+    /// the caller should parse and [`prepare_insert`](Self::prepare_insert)
+    /// next; the miss is counted there, so lookups for never-cached query
+    /// kinds do not skew the stats.
+    pub fn get(&mut self, store: &RdfStore, text: &str) -> Option<Arc<PreparedQuery>> {
+        let key = key_of(text)?;
         self.tick += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
             if entry.prepared.generation() == store.generation() {
                 entry.last_used = self.tick;
                 self.hits += 1;
-                return Ok(entry.prepared.clone());
+                return Some(entry.prepared.clone());
             }
             // Compiled against an older snapshot: evict and re-plan.
             self.entries.remove(&key);
         }
-        self.misses += 1;
+        None
+    }
+
+    /// Plan `parsed` against the store's current snapshot and cache it
+    /// under `text`'s token stream for the next [`get`](Self::get).
+    pub fn prepare_insert(
+        &mut self,
+        store: &RdfStore,
+        text: &str,
+        parsed: SelectQuery,
+    ) -> Result<Arc<PreparedQuery>, SparqlError> {
         let prepared = Arc::new(prepare_select(store, parsed)?);
-        if self.entries.len() >= self.capacity {
-            self.evict_lru();
+        self.misses += 1;
+        if let Some(key) = key_of(text) {
+            self.tick += 1;
+            if self.entries.len() >= self.capacity {
+                self.evict_lru();
+            }
+            self.entries.insert(key, Entry { prepared: prepared.clone(), last_used: self.tick });
         }
-        self.entries.insert(key, Entry { prepared: prepared.clone(), last_used: self.tick });
         Ok(prepared)
     }
 
@@ -95,43 +117,21 @@ impl PlanCache {
     }
 }
 
-/// Collapse whitespace runs *outside string literals* to single spaces so
-/// formatting differences do not fragment the cache. Whitespace inside
-/// quoted literals is significant (`"a  b"` and `"a b"` are different
-/// terms) and is preserved verbatim, including escaped quotes.
-pub fn normalize(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    let mut chars = text.chars().peekable();
-    let mut pending_space = false;
-    while let Some(c) = chars.next() {
-        if c == '"' {
-            if pending_space && !out.is_empty() {
-                out.push(' ');
-            }
-            pending_space = false;
-            out.push('"');
-            let mut escaped = false;
-            for c in chars.by_ref() {
-                out.push(c);
-                if escaped {
-                    escaped = false;
-                } else if c == '\\' {
-                    escaped = true;
-                } else if c == '"' {
-                    break;
-                }
-            }
-        } else if c.is_whitespace() {
-            pending_space = true;
-        } else {
-            if pending_space && !out.is_empty() {
-                out.push(' ');
-            }
-            pending_space = false;
-            out.push(c);
-        }
+/// The cache key: the query's token stream rendered unambiguously. Built on
+/// the parser's own [`tokenize`], so "same query" can never drift from what
+/// the parser sees — whitespace and comments are discarded, literal content
+/// (either quote style) is significant, IRIs are scanned atomically. `None`
+/// when the text does not lex; such a query cannot have produced a plan and
+/// is never cached.
+fn key_of(text: &str) -> Option<String> {
+    let tokens = tokenize(text).ok()?;
+    let mut key = String::with_capacity(text.len());
+    for token in &tokens {
+        // Debug rendering is self-delimiting: variant name + quoted,
+        // escaped payloads.
+        let _ = write!(key, "{token:?} ");
     }
-    out
+    Some(key)
 }
 
 #[cfg(test)]
@@ -148,8 +148,12 @@ mod tests {
         st
     }
 
-    fn parsed(text: &str) -> SelectQuery {
-        parse_select(text).unwrap()
+    /// The caller-side protocol: consult the cache, parse + insert on miss.
+    fn fetch(cache: &mut PlanCache, st: &RdfStore, q: &str) -> Arc<PreparedQuery> {
+        if let Some(prepared) = cache.get(st, q) {
+            return prepared;
+        }
+        cache.prepare_insert(st, q, parse_select(q).unwrap()).unwrap()
     }
 
     #[test]
@@ -157,10 +161,10 @@ mod tests {
         let st = store();
         let mut cache = PlanCache::new(8);
         let q = "SELECT ?s WHERE { ?s <http://x/p> ?o }";
-        let a = cache.get_or_prepare(&st, q, parsed(q)).unwrap();
+        let a = fetch(&mut cache, &st, q);
         let variant = "SELECT ?s  WHERE {\n  ?s <http://x/p> ?o\n}";
-        let b = cache.get_or_prepare(&st, variant, parsed(variant)).unwrap();
-        assert!(Arc::ptr_eq(&a, &b), "normalized variants must share one plan");
+        let b = fetch(&mut cache, &st, variant);
+        assert!(Arc::ptr_eq(&a, &b), "token-identical variants must share one plan");
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
     }
@@ -176,15 +180,58 @@ mod tests {
         let mut cache = PlanCache::new(8);
         let two_spaces = r#"SELECT ?p WHERE { ?p <http://x/t> "a  b" }"#;
         let one_space = r#"SELECT ?p WHERE { ?p <http://x/t> "a b" }"#;
-        assert_ne!(normalize(two_spaces), normalize(one_space));
-        let a = cache.get_or_prepare(&st, two_spaces, parsed(two_spaces)).unwrap();
-        let b = cache.get_or_prepare(&st, one_space, parsed(one_space)).unwrap();
+        assert_ne!(key_of(two_spaces), key_of(one_space));
+        let a = fetch(&mut cache, &st, two_spaces);
+        let b = fetch(&mut cache, &st, one_space);
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats().misses, 2);
         // Escaped quotes do not terminate the literal early.
-        assert_eq!(normalize(r#"a "x\" y" b"#), r#"a "x\" y" b"#);
-        // Whitespace outside literals still folds.
-        assert_eq!(normalize("  a \n b  "), "a b");
+        assert_ne!(
+            key_of(r#"SELECT ?p WHERE { ?p <http://x/t> "x\" y" }"#),
+            key_of(r#"SELECT ?p WHERE { ?p <http://x/t> "x\"  y" }"#),
+        );
+    }
+
+    #[test]
+    fn single_quoted_literal_whitespace_is_significant() {
+        // The lexer accepts '...' literals too: they must get the same
+        // treatment as "...", or two queries differing only inside a
+        // single-quoted literal would share one cache key (and plan).
+        let mut st = RdfStore::new();
+        st.insert(Term::iri("http://x/two"), Term::iri("http://x/t"), Term::str("a  b"));
+        st.insert(Term::iri("http://x/one"), Term::iri("http://x/t"), Term::str("a b"));
+        let mut cache = PlanCache::new(8);
+        let two_spaces = "SELECT ?p WHERE { ?p <http://x/t> 'a  b' }";
+        let one_space = "SELECT ?p WHERE { ?p <http://x/t> 'a b' }";
+        assert_ne!(key_of(two_spaces), key_of(one_space));
+        let a = fetch(&mut cache, &st, two_spaces);
+        let b = fetch(&mut cache, &st, one_space);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+        // Both quote styles of the same content are the same token stream.
+        assert_eq!(key_of("{ 'a b' }"), key_of("{ \"a b\" }"));
+    }
+
+    #[test]
+    fn comments_are_stripped_like_the_lexer() {
+        // The lexer discards #-to-end-of-line comments, so comment text must
+        // not fragment the key...
+        assert_eq!(
+            key_of("SELECT ?s # fetch\nWHERE { ?s <http://x/p> ?o }"),
+            key_of("SELECT ?s WHERE { ?s <http://x/p> ?o }"),
+        );
+        // ...and an unmatched quote inside a comment must not desync the
+        // literal tracking for a real literal later in the query.
+        let a = "SELECT ?s # don't\nWHERE { ?s <http://x/p> \"a  b\" }";
+        let b = "SELECT ?s # don't\nWHERE { ?s <http://x/p> \"a b\" }";
+        assert_ne!(key_of(a), key_of(b));
+        // '#' inside an IRI is a fragment, not a comment start.
+        assert_ne!(
+            key_of("SELECT ?s WHERE { ?s <http://x/p#frag> ?o }"),
+            key_of("SELECT ?s WHERE { ?s <http://x/p> ?o }"),
+        );
+        // Unlexable text never produces a key (and is never cached).
+        assert_eq!(key_of("SELECT ?s WHERE { \"unterminated }"), None);
     }
 
     #[test]
@@ -192,9 +239,9 @@ mod tests {
         let mut st = store();
         let mut cache = PlanCache::new(8);
         let q = "SELECT ?s WHERE { ?s <http://x/p> ?o }";
-        let a = cache.get_or_prepare(&st, q, parsed(q)).unwrap();
+        let a = fetch(&mut cache, &st, q);
         st.insert(Term::iri("http://x/new"), Term::iri("http://x/p"), Term::int(9));
-        let b = cache.get_or_prepare(&st, q, parsed(q)).unwrap();
+        let b = fetch(&mut cache, &st, q);
         assert!(!Arc::ptr_eq(&a, &b), "write must invalidate the cached plan");
         assert_eq!(b.generation(), st.generation());
         assert_eq!(cache.stats().misses, 2);
@@ -208,14 +255,14 @@ mod tests {
         let q1 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 1";
         let q2 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 2";
         let q3 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 3";
-        cache.get_or_prepare(&st, q1, parsed(q1)).unwrap();
-        cache.get_or_prepare(&st, q2, parsed(q2)).unwrap();
-        cache.get_or_prepare(&st, q1, parsed(q1)).unwrap(); // refresh q1
-        cache.get_or_prepare(&st, q3, parsed(q3)).unwrap(); // evicts q2
+        fetch(&mut cache, &st, q1);
+        fetch(&mut cache, &st, q2);
+        fetch(&mut cache, &st, q1); // refresh q1
+        fetch(&mut cache, &st, q3); // evicts q2
         assert_eq!(cache.stats().entries, 2);
-        cache.get_or_prepare(&st, q1, parsed(q1)).unwrap();
+        fetch(&mut cache, &st, q1);
         assert_eq!(cache.stats().hits, 2, "q1 must still be cached");
-        cache.get_or_prepare(&st, q2, parsed(q2)).unwrap();
+        fetch(&mut cache, &st, q2);
         assert_eq!(cache.stats().misses, 4, "q2 must have been evicted");
     }
 }

@@ -22,11 +22,12 @@
 //! ```
 //!
 //! Training jobs sample their task subgraph under a brief read lock, train
-//! on the private copy inside a dedicated thread pool, and commit results in
-//! two cheap steps: the artifact lands in the lock-free-to-readers
-//! [`ModelStore`](kgnet_gmlaas::ModelStore) (readers only clone an `Arc`),
-//! and the KGMeta registration takes the manager write lock for a few
-//! metadata triples. Queries therefore keep flowing while models train.
+//! on the private copy inside a dedicated thread pool, and commit in one
+//! cheap final step under the manager write lock: the artifact lands in the
+//! lock-free-to-readers [`ModelStore`](kgnet_gmlaas::ModelStore) (readers
+//! only clone an `Arc`) and its KGMeta registration adds a few metadata
+//! triples, together or not at all. Queries therefore keep flowing while
+//! models train, and a cancelled or failed job leaves both untouched.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -128,7 +129,9 @@ impl KgServer {
         self.queue.status(id)
     }
 
-    /// Snapshot of every submitted job, ordered by id.
+    /// Snapshot of every job still on record, ordered by id (terminal
+    /// records past the retention cap, or dropped via
+    /// [`forget`](Self::forget), are excluded).
     pub fn jobs(&self) -> Vec<JobInfo> {
         self.queue.jobs()
     }
@@ -139,18 +142,28 @@ impl KgServer {
         self.queue.cancel(id)
     }
 
-    /// Block until a job reaches a terminal state.
-    pub fn wait(&self, id: JobId) -> JobInfo {
+    /// Block until a job reaches a terminal state. `None` when the id is
+    /// unknown — never submitted, or its terminal record already pruned or
+    /// forgotten.
+    pub fn wait(&self, id: JobId) -> Option<JobInfo> {
         self.queue.wait(id)
+    }
+
+    /// Drop a finished job's record once its outcome has been observed
+    /// (ahead of the queue's automatic retention pruning). `false` when the
+    /// id is unknown or the job is still live.
+    pub fn forget(&self, id: JobId) -> bool {
+        self.queue.forget(id)
     }
 }
 
 /// The production job runner: sample under a read lock, train on the
-/// private subgraph inside the worker's dedicated pool, then commit — model
-/// into the registry (readers see it via `Arc` swap), metadata into KGMeta
-/// under a brief manager write lock. Cancellation is checkpointed after
-/// sampling and again before the KGMeta commit; a job cancelled after its
-/// model landed rolls the registry entry back.
+/// private subgraph inside the worker's dedicated pool, then commit as the
+/// single final step — registry insert and KGMeta registration land
+/// together under the manager write lock. Cancellation is checkpointed
+/// after sampling and again after training; until the commit the artifact
+/// exists only on the worker's stack, so a cancelled or failed job leaves
+/// both the model store and KGMeta exactly as they were.
 fn train_runner(
     store: SharedStore,
     manager: Arc<RwLock<QueryManager>>,
@@ -166,16 +179,17 @@ fn train_runner(
         if cancel.load(Ordering::SeqCst) {
             return JobOutcome::Cancelled;
         }
-        let outcome = match trainer.train(&sampled.store, req) {
-            Ok(outcome) => outcome,
+        let (artifact, _trace) = match trainer.train_uncommitted(&sampled.store, req) {
+            Ok(built) => built,
             Err(e) => return JobOutcome::Failed(e.to_string()),
         };
         if cancel.load(Ordering::SeqCst) {
-            trainer.model_store().remove(&outcome.artifact.uri);
             return JobOutcome::Cancelled;
         }
-        manager.write().register_artifact(&outcome.artifact);
-        JobOutcome::Done(outcome.artifact.uri.clone())
+        let mut guard = manager.write();
+        let artifact = trainer.model_store().insert(artifact);
+        guard.register_artifact(&artifact);
+        JobOutcome::Done(artifact.uri.clone())
     })
 }
 
@@ -223,7 +237,7 @@ mod tests {
     fn train_job_then_ml_select_through_read_session() {
         let server = fast_server(41);
         let id = server.submit_train(nc_request("paper-venue")).unwrap();
-        let done = server.wait(id);
+        let done = server.wait(id).unwrap();
         let JobState::Done { model_uri } = &done.state else { panic!("job failed: {done:?}") };
         assert!(model_uri.contains("/model/nc/"));
 
@@ -273,28 +287,42 @@ mod tests {
 
     #[test]
     fn cancelled_queued_job_registers_nothing() {
-        // One worker, so the second submission waits behind the first:
-        // cancelling it exercises the queued-cancel path against the real
-        // training runner.
+        // The real training runner behind a gate: the single worker parks
+        // inside `first` until the test releases it, so the cancel of
+        // `second` deterministically lands while it is still queued (no
+        // reliance on training being slower than the test thread).
+        use std::sync::mpsc;
+        use std::sync::Mutex;
+
         let (kg, _) = generate_dblp(&DblpConfig::tiny(53));
-        let config = ServerConfig {
-            manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
-            queue: QueueConfig { max_concurrent: 1, ..Default::default() },
+        let store = SharedStore::new(kg);
+        let manager = Arc::new(RwLock::new(QueryManager::new(ManagerConfig {
+            default_cfg: GnnConfig::fast_test(),
             ..Default::default()
-        };
-        let server = KgServer::new(kg, config);
-        let running = server.submit_train(nc_request("first")).unwrap();
-        let doomed = server.submit_train(nc_request("second")).unwrap();
-        // The single worker is busy training `first` (tens of milliseconds),
-        // so the cancel lands while `second` is still queued.
-        assert!(server.cancel(doomed), "cancel of the queued job must be acknowledged");
-        assert_eq!(server.job(doomed).unwrap().state, JobState::Cancelled);
-        let first = server.wait(running);
+        })));
+        let trainer = manager.read().trainer().clone();
+        let real = train_runner(store, manager, trainer.clone());
+        let (started_tx, started_rx) = mpsc::channel();
+        let (proceed_tx, proceed_rx) = mpsc::channel::<()>();
+        let proceed = Mutex::new(proceed_rx);
+        let gated: Arc<JobRunner> = Arc::new(move |req, cancel| {
+            started_tx.send(()).unwrap();
+            proceed.lock().unwrap().recv().unwrap();
+            real(req, cancel)
+        });
+        let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
+        let queue = JobQueue::new(cfg, gated);
+
+        let running = queue.submit(nc_request("first")).unwrap();
+        started_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        let doomed = queue.submit(nc_request("second")).unwrap();
+        assert!(queue.cancel(doomed), "cancel of the queued job must be acknowledged");
+        assert_eq!(queue.status(doomed).unwrap().state, JobState::Cancelled);
+        proceed_tx.send(()).unwrap();
+        let first = queue.wait(running).unwrap();
         assert!(matches!(first.state, JobState::Done { .. }), "first job failed: {first:?}");
-        assert_eq!(server.wait(doomed).state, JobState::Cancelled);
-        let manager = server.manager();
-        let guard = manager.read();
-        assert_eq!(guard.trainer().model_store().len(), 1, "cancelled job left a model");
+        assert_eq!(queue.wait(doomed).unwrap().state, JobState::Cancelled);
+        assert_eq!(trainer.model_store().len(), 1, "cancelled job left a model");
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //! authoritative. Cancelling an already-terminal job returns `false`. The
 //! two-thread interleaving tests below pin both orders of the
 //! cancel/complete race.
+//!
+//! Terminal records are kept for status polling but not forever: the queue
+//! retains at most [`QueueConfig::max_terminal_retained`] of them (oldest
+//! pruned first), and [`JobQueue::forget`] drops one eagerly once its
+//! outcome has been observed, so the job-history map stays bounded on a
+//! long-running server.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -125,6 +131,11 @@ pub struct QueueConfig {
     /// its own (tighter) budget; an unlimited request is clamped to the
     /// envelope.
     pub envelope: TaskBudget,
+    /// Terminal (`Done`/`Failed`/`Cancelled`) job records retained for
+    /// status polling (at least 1). The oldest are pruned beyond this cap
+    /// so a long-running server's job history stays bounded; a pruned id
+    /// becomes unknown to [`JobQueue::status`] and [`JobQueue::wait`].
+    pub max_terminal_retained: usize,
 }
 
 impl Default for QueueConfig {
@@ -134,6 +145,7 @@ impl Default for QueueConfig {
             max_pending: 64,
             training_threads: 2,
             envelope: TaskBudget::unlimited(),
+            max_terminal_retained: 256,
         }
     }
 }
@@ -143,7 +155,7 @@ impl Default for QueueConfig {
 pub enum JobOutcome {
     /// The model was trained and registered under this URI.
     Done(String),
-    /// The runner observed the cancellation flag and rolled back.
+    /// The runner observed the cancellation flag and committed nothing.
     Cancelled,
     /// Training failed; the error is surfaced in [`JobState::Failed`].
     Failed(String),
@@ -171,8 +183,33 @@ struct JobEntry {
 struct QueueState {
     pending: VecDeque<QueuedJob>,
     jobs: HashMap<JobId, JobEntry>,
+    /// Ids in the order they reached a terminal state, oldest first; the
+    /// pruning window for the bounded job history.
+    terminal_order: VecDeque<JobId>,
     next_id: JobId,
     shutdown: bool,
+}
+
+impl QueueState {
+    /// Move `id` to a terminal `state` and prune the oldest terminal
+    /// records beyond `cap` so the history map stays bounded. A no-op when
+    /// the job is already terminal (a cancel can race the worker between
+    /// popping a job and observing its flag, finishing it first) or its
+    /// record is gone — re-finishing would rewrite a terminal state and
+    /// double-count the id in the retention window.
+    fn finish(&mut self, id: JobId, state: JobState, cap: usize) {
+        debug_assert!(state.is_terminal());
+        match self.jobs.get_mut(&id) {
+            Some(entry) if !entry.state.is_terminal() => entry.state = state,
+            _ => return,
+        }
+        self.terminal_order.push_back(id);
+        while self.terminal_order.len() > cap.max(1) {
+            if let Some(old) = self.terminal_order.pop_front() {
+                self.jobs.remove(&old);
+            }
+        }
+    }
 }
 
 struct Shared {
@@ -205,9 +242,10 @@ impl JobQueue {
                 let shared = shared.clone();
                 let runner = runner.clone();
                 let threads = config.training_threads.max(1);
+                let retain = config.max_terminal_retained;
                 std::thread::Builder::new()
                     .name(format!("kgnet-train-{i}"))
-                    .spawn(move || worker_loop(&shared, &runner, threads))
+                    .spawn(move || worker_loop(&shared, &runner, threads, retain))
                     .expect("spawn training worker")
             })
             .collect();
@@ -247,7 +285,9 @@ impl JobQueue {
         state.jobs.get(&id).map(|e| JobInfo { id, name: e.name.clone(), state: e.state.clone() })
     }
 
-    /// Snapshot every job, ordered by id.
+    /// Snapshot every job still on record, ordered by id. Terminal records
+    /// pruned by the retention cap or dropped via [`forget`](Self::forget)
+    /// are excluded.
     pub fn jobs(&self) -> Vec<JobInfo> {
         let state = self.shared.lock();
         let mut out: Vec<JobInfo> = state
@@ -276,8 +316,8 @@ impl JobQueue {
         match entry.state {
             JobState::Queued => {
                 entry.cancel.store(true, Ordering::SeqCst);
-                entry.state = JobState::Cancelled;
                 state.pending.retain(|j| j.id != id);
+                state.finish(id, JobState::Cancelled, self.config.max_terminal_retained);
                 self.shared.signal.notify_all();
                 true
             }
@@ -289,14 +329,31 @@ impl JobQueue {
         }
     }
 
+    /// Drop a terminal job's record once its outcome has been observed,
+    /// ahead of the automatic retention pruning. Returns `false` when the
+    /// id is unknown or the job has not finished yet.
+    pub fn forget(&self, id: JobId) -> bool {
+        let mut state = self.shared.lock();
+        match state.jobs.get(&id) {
+            Some(entry) if entry.state.is_terminal() => {
+                state.jobs.remove(&id);
+                state.terminal_order.retain(|&t| t != id);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Block until the job reaches a terminal state and return its info.
-    /// Panics on an unknown id.
-    pub fn wait(&self, id: JobId) -> JobInfo {
+    /// `None` when the id is unknown: never submitted, or its terminal
+    /// record was pruned or forgotten (possibly while this call was
+    /// blocked, if enough other jobs finished in between).
+    pub fn wait(&self, id: JobId) -> Option<JobInfo> {
         let mut state = self.shared.lock();
         loop {
-            let entry = state.jobs.get(&id).expect("wait on unknown job id");
+            let entry = state.jobs.get(&id)?;
             if entry.state.is_terminal() {
-                return JobInfo { id, name: entry.name.clone(), state: entry.state.clone() };
+                return Some(JobInfo { id, name: entry.name.clone(), state: entry.state.clone() });
             }
             state = self.shared.signal.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
@@ -309,9 +366,7 @@ impl JobQueue {
             let mut state = self.shared.lock();
             state.shutdown = true;
             while let Some(job) = state.pending.pop_front() {
-                if let Some(entry) = state.jobs.get_mut(&job.id) {
-                    entry.state = JobState::Cancelled;
-                }
+                state.finish(job.id, JobState::Cancelled, self.config.max_terminal_retained);
             }
             self.shared.signal.notify_all();
         }
@@ -353,7 +408,7 @@ fn admit_budget(job: &TaskBudget, envelope: &TaskBudget) -> Result<TaskBudget, A
     Ok(effective)
 }
 
-fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize) {
+fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize, retain: usize) {
     // One dedicated pool per worker: training fan-out stays inside it and
     // never competes with the global pool serving queries.
     let pool = rayon::ThreadPoolBuilder::new()
@@ -375,25 +430,25 @@ fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize
         };
         {
             let mut state = shared.lock();
-            let entry = state.jobs.get_mut(&job.id).expect("popped job is registered");
             if job.cancel.load(Ordering::SeqCst) {
-                entry.state = JobState::Cancelled;
+                state.finish(job.id, JobState::Cancelled, retain);
                 shared.signal.notify_all();
                 continue;
             }
+            let entry = state.jobs.get_mut(&job.id).expect("popped job is registered");
             entry.state = JobState::Running;
             shared.signal.notify_all();
         }
         let outcome =
             catch_unwind(AssertUnwindSafe(|| pool.install(|| runner(&job.req, &job.cancel))))
                 .unwrap_or_else(|panic| JobOutcome::Failed(panic_message(&panic)));
-        let mut state = shared.lock();
-        let entry = state.jobs.get_mut(&job.id).expect("running job is registered");
-        entry.state = match outcome {
+        let terminal = match outcome {
             JobOutcome::Done(model_uri) => JobState::Done { model_uri },
             JobOutcome::Cancelled => JobState::Cancelled,
             JobOutcome::Failed(error) => JobState::Failed { error },
         };
+        let mut state = shared.lock();
+        state.finish(job.id, terminal, retain);
         shared.signal.notify_all();
     }
 }
@@ -460,12 +515,12 @@ mod tests {
         assert_eq!(queue.pending_len(), 1);
 
         proceed_tx.send(()).unwrap();
-        let done = queue.wait(a);
+        let done = queue.wait(a).unwrap();
         assert_eq!(done.state, JobState::Done { model_uri: "http://model/1".into() });
 
         started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         proceed_tx.send(()).unwrap();
-        assert!(matches!(queue.wait(b).state, JobState::Done { .. }));
+        assert!(matches!(queue.wait(b).unwrap().state, JobState::Done { .. }));
     }
 
     #[test]
@@ -482,7 +537,7 @@ mod tests {
         started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(queue.cancel(id), "cancel of a running job is acknowledged");
         proceed_tx.send(()).unwrap();
-        assert_eq!(queue.wait(id).state, JobState::Cancelled);
+        assert_eq!(queue.wait(id).unwrap().state, JobState::Cancelled);
         // A terminal job cannot be cancelled again.
         assert!(!queue.cancel(id));
     }
@@ -499,7 +554,7 @@ mod tests {
         let id = queue.submit(request("survivor")).unwrap();
         started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         proceed_tx.send(()).unwrap();
-        let done = queue.wait(id);
+        let done = queue.wait(id).unwrap();
         assert!(matches!(done.state, JobState::Done { .. }));
         assert!(!queue.cancel(id), "late cancel must not rewrite a terminal state");
         assert!(matches!(queue.status(id).unwrap().state, JobState::Done { .. }));
@@ -518,7 +573,7 @@ mod tests {
         assert!(queue.cancel(doomed));
         assert_eq!(queue.status(doomed).unwrap().state, JobState::Cancelled);
         proceed_tx.send(()).unwrap();
-        assert!(matches!(queue.wait(blocker).state, JobState::Done { .. }));
+        assert!(matches!(queue.wait(blocker).unwrap().state, JobState::Done { .. }));
         // The cancelled job never reached the runner: exactly one start.
         assert!(started_rx.recv_timeout(Duration::from_millis(300)).is_err());
     }
@@ -535,13 +590,13 @@ mod tests {
         let queue = JobQueue::new(cfg, runner);
         let bomb = queue.submit(request("bomb")).unwrap();
         let ok = queue.submit(request("fine")).unwrap();
-        match queue.wait(bomb).state {
+        match queue.wait(bomb).unwrap().state {
             // The dedicated pool re-wraps the payload while propagating, so
             // only the panic marker is guaranteed to survive.
             JobState::Failed { error } => assert!(error.contains("panicked"), "error: {error}"),
             other => panic!("unexpected {other:?}"),
         }
-        assert!(matches!(queue.wait(ok).state, JobState::Done { .. }));
+        assert!(matches!(queue.wait(ok).unwrap().state, JobState::Done { .. }));
     }
 
     #[test]
@@ -576,6 +631,72 @@ mod tests {
         drop(proceed_tx);
         drop(queue);
         let _ = a;
+    }
+
+    #[test]
+    fn terminal_history_is_bounded_and_forgettable() {
+        let runner: Arc<JobRunner> = Arc::new(|_, _| JobOutcome::Done("http://model/x".into()));
+        let cfg = QueueConfig { max_concurrent: 1, max_terminal_retained: 2, ..Default::default() };
+        let queue = JobQueue::new(cfg, runner);
+        let ids: Vec<JobId> = (0..4)
+            .map(|i| {
+                let id = queue.submit(request(&format!("j{i}"))).unwrap();
+                queue.wait(id).unwrap();
+                id
+            })
+            .collect();
+        // Only the two newest terminal records survive pruning; waiting on
+        // a pruned (or never-submitted) id reports unknown instead of
+        // blocking or panicking.
+        assert!(queue.wait(ids[0]).is_none());
+        assert!(queue.wait(9999).is_none());
+        assert!(queue.status(ids[0]).is_none());
+        assert!(queue.status(ids[1]).is_none());
+        assert!(matches!(queue.status(ids[2]).unwrap().state, JobState::Done { .. }));
+        assert!(matches!(queue.status(ids[3]).unwrap().state, JobState::Done { .. }));
+        // Explicit forget drops a terminal record at once; repeated and
+        // already-pruned ids report failure.
+        assert!(queue.forget(ids[3]));
+        assert!(queue.status(ids[3]).is_none());
+        assert!(!queue.forget(ids[3]));
+        assert!(!queue.forget(ids[0]));
+    }
+
+    #[test]
+    fn finish_never_rewrites_or_double_counts_a_terminal_job() {
+        // The cancel/pickup race calls finish twice for one job (cancel
+        // sees Queued after the worker popped it; the worker then observes
+        // the flag): the second call must be a no-op, or the duplicate id
+        // would shrink the retention window by evicting another job's
+        // record early.
+        let mut state = QueueState::default();
+        let cancel = Arc::new(AtomicBool::new(true));
+        state.jobs.insert(1, JobEntry { name: "a".into(), state: JobState::Queued, cancel });
+        state.finish(1, JobState::Cancelled, 8);
+        state.finish(1, JobState::Cancelled, 8);
+        assert_eq!(state.terminal_order.len(), 1);
+        state.finish(1, JobState::Done { model_uri: "u".into() }, 8);
+        assert_eq!(state.jobs[&1].state, JobState::Cancelled, "terminal states are immutable");
+        assert_eq!(state.terminal_order.len(), 1);
+    }
+
+    #[test]
+    fn forget_refuses_live_jobs() {
+        let (started_tx, started_rx) = mpsc::channel();
+        let (proceed_tx, proceed_rx) = mpsc::channel();
+        let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
+        let queue = JobQueue::new(cfg, gated_runner(started_tx, proceed_rx));
+        let running = queue.submit(request("running")).unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let queued = queue.submit(request("queued")).unwrap();
+        assert!(!queue.forget(running), "running jobs keep their record");
+        assert!(!queue.forget(queued), "queued jobs keep their record");
+        proceed_tx.send(()).unwrap();
+        queue.wait(running).unwrap();
+        assert!(queue.forget(running));
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        proceed_tx.send(()).unwrap();
+        assert!(matches!(queue.wait(queued).unwrap().state, JobState::Done { .. }));
     }
 
     #[test]

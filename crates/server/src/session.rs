@@ -4,8 +4,8 @@
 //! shared borrows only (`&QueryManager`, `&RdfStore`), so any number of
 //! sessions — one per client thread — run concurrently against the same
 //! [`SharedStore`]. Each session carries its own [`PlanCache`], keyed by
-//! normalized query text and store generation, so repeated queries skip
-//! parsing-adjacent planning work until a write invalidates them.
+//! the lexer's token stream and the store generation, so a repeated query
+//! skips parsing *and* planning until a write invalidates it.
 //!
 //! A [`WriteSession`] takes the exclusive side of both the manager and the
 //! store for data updates and model deletion. Lock order is fixed —
@@ -18,7 +18,9 @@ use parking_lot::RwLock;
 
 use kgnet_rdf::sparql::evaluate_prepared;
 use kgnet_rdf::{QueryResult, RdfStore, SharedStore, SparqlError};
-use kgnet_sparqlml::{parse, MlError, MlOutcome, QueryManager, SparqlMlOperation};
+use kgnet_sparqlml::{
+    contains_traingml, parse, MlError, MlOutcome, QueryManager, SparqlMlOperation,
+};
 
 use crate::cache::{CacheStats, PlanCache};
 
@@ -42,14 +44,28 @@ impl ReadSession {
     /// DELETEs are rejected with [`MlError::ReadOnly`] — use a
     /// [`WriteSession`] or the server's training queue.
     ///
-    /// Plain SELECTs run through this session's plan cache; ML SELECTs are
-    /// optimized per call (their rewriting depends on live KGMeta state) but
-    /// still execute through shared borrows end-to-end.
+    /// Plain SELECTs run through this session's plan cache — a hit skips
+    /// re-parsing as well as re-planning; ML SELECTs are optimized per call
+    /// (their rewriting depends on live KGMeta state) but still execute
+    /// through shared borrows end-to-end.
     pub fn query(&mut self, text: &str) -> Result<MlOutcome, MlError> {
+        // Fast path: only plain SELECTs are ever cached, and the key is the
+        // token stream classification is a pure function of, so a hit
+        // proves this text parses to the cached plan's query. The one
+        // exception is `contains_traingml` — `parse` applies it to *raw*
+        // text (comments included) before tokenizing — so apply the same
+        // gate first.
+        if !contains_traingml(text) {
+            let store = self.store.read();
+            if let Some(prepared) = self.cache.get(&store, text) {
+                let (rows, _) = evaluate_prepared(&store, &prepared)?;
+                return Ok(MlOutcome::Rows(rows));
+            }
+        }
         match parse(text)? {
             SparqlMlOperation::PlainSelect(q) => {
                 let store = self.store.read();
-                let prepared = self.cache.get_or_prepare(&store, text, q)?;
+                let prepared = self.cache.prepare_insert(&store, text, q)?;
                 let (rows, _) = evaluate_prepared(&store, &prepared)?;
                 Ok(MlOutcome::Rows(rows))
             }

@@ -20,5 +20,7 @@ pub mod rewrite;
 pub use kgmeta::{KgMeta, ModelFilter, ModelInfo};
 pub use manager::{ManagerConfig, MlError, MlOutcome, QueryManager, TrainedSummary};
 pub use opt::{plan_calls, select_models, select_plans, PlanInputs, RewritePlan};
-pub use parser::{parse, SparqlMlOperation, SparqlMlQuery, TrainGmlSpec, UdPredicate};
+pub use parser::{
+    contains_traingml, parse, SparqlMlOperation, SparqlMlQuery, TrainGmlSpec, UdPredicate,
+};
 pub use rewrite::{rewrite, InferenceStep, RewrittenQuery};

@@ -90,9 +90,12 @@ pub fn parse(input: &str) -> Result<SparqlMlOperation, SparqlError> {
     }
 }
 
-fn contains_traingml(input: &str) -> bool {
-    let lower = input.to_ascii_lowercase();
-    lower.contains("traingml")
+/// The raw-text gate [`parse`] applies *before* tokenizing: a query
+/// mentioning TrainGML anywhere (comments included) is routed to the
+/// relaxed TrainGML parser. Exported so serving layers that cache by token
+/// stream can mirror the classification exactly instead of re-deriving it.
+pub fn contains_traingml(input: &str) -> bool {
+    input.as_bytes().windows("traingml".len()).any(|w| w.eq_ignore_ascii_case(b"traingml"))
 }
 
 // ---------------------------------------------------------------------------

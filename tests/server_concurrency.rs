@@ -88,7 +88,7 @@ fn four_readers_serve_while_training_jobs_churn() {
     let server =
         Arc::new(KgServer::new(kg, ServerConfig { manager: fast_config(), ..Default::default() }));
     let nc_job = server.submit_train(nc_request()).unwrap();
-    let done = server.wait(nc_job);
+    let done = server.wait(nc_job).expect("job record retained");
     assert!(matches!(done.state, JobState::Done { .. }), "NC training failed: {done:?}");
 
     // Two more jobs churn in the background while the readers run.
@@ -123,8 +123,8 @@ fn four_readers_serve_while_training_jobs_churn() {
     }
 
     // The background jobs complete and register their models.
-    assert!(matches!(server.wait(lp_a).state, JobState::Done { .. }));
-    assert!(matches!(server.wait(lp_b).state, JobState::Done { .. }));
+    assert!(matches!(server.wait(lp_a).unwrap().state, JobState::Done { .. }));
+    assert!(matches!(server.wait(lp_b).unwrap().state, JobState::Done { .. }));
     let manager = server.manager();
     let guard = manager.read();
     assert_eq!(guard.trainer().model_store().len(), 3);
