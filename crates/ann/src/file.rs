@@ -1,0 +1,275 @@
+//! Persisted embedding artifacts: the composition of a key table, the
+//! vector matrix and an optional built index into one binary file, and
+//! the memory-mapped load that serves searches straight off the page
+//! cache — the replacement for JSON round-trips of embedding payloads.
+
+use std::path::Path;
+
+use crate::format::{AnnFile, AnnFileWriter, FormatError};
+use crate::hnsw::HnswIndex;
+use crate::index::AnyIndex;
+use crate::ivf::IvfIndex;
+use crate::metric::Metric;
+use crate::pq::PqIndex;
+use crate::vectors::{VectorTable, Vectors};
+use crate::AnnError;
+
+/// Artifact-kind tag of an embedding store file.
+pub const KIND_EMBEDDING_STORE: u32 = 1;
+
+const INDEX_NONE: u32 = 0;
+const INDEX_IVF: u32 = 1;
+const INDEX_HNSW: u32 = 2;
+const INDEX_PQ: u32 = 3;
+
+/// The contents of a persisted embedding artifact: everything an
+/// embedding store needs to serve searches.
+pub struct EmbeddingFileContents {
+    /// Vector width.
+    pub dim: usize,
+    /// Similarity metric the vectors are searched under.
+    pub metric: Metric,
+    /// Entity key per vector id (same order as the table rows).
+    pub keys: Vec<String>,
+    /// The vector matrix — memory-mapped (zero-copy) after a load.
+    pub vectors: VectorTable,
+    /// The built index, if one was persisted.
+    pub index: Option<AnyIndex>,
+}
+
+impl EmbeddingFileContents {
+    /// Borrowed view for re-saving loaded contents.
+    pub fn as_view(&self) -> EmbeddingFileView<'_> {
+        EmbeddingFileView {
+            dim: self.dim,
+            metric: self.metric,
+            keys: &self.keys,
+            vectors: &self.vectors,
+            index: self.index.as_ref(),
+        }
+    }
+}
+
+/// A borrowed view of embedding-artifact contents: what
+/// [`save_embedding_file`] consumes, so saving never clones the key table
+/// or the vector matrix.
+#[derive(Clone, Copy)]
+pub struct EmbeddingFileView<'a> {
+    /// Vector width.
+    pub dim: usize,
+    /// Similarity metric the vectors are searched under.
+    pub metric: Metric,
+    /// Entity key per vector id (same order as the table rows).
+    pub keys: &'a [String],
+    /// The vector matrix.
+    pub vectors: &'a VectorTable,
+    /// The built index, if any.
+    pub index: Option<&'a AnyIndex>,
+}
+
+/// Persist an embedding artifact to `path` in the binary columnar format.
+pub fn save_embedding_file(path: &Path, c: EmbeddingFileView<'_>) -> Result<(), AnnError> {
+    let mut w = AnnFileWriter::new(KIND_EMBEDDING_STORE);
+    let index_tag = match c.index {
+        None => INDEX_NONE,
+        Some(AnyIndex::Ivf(_)) => INDEX_IVF,
+        Some(AnyIndex::Hnsw(_)) => INDEX_HNSW,
+        Some(AnyIndex::Pq(_)) => INDEX_PQ,
+    };
+    w.put_u32s("meta", &[c.dim as u32, c.metric.code(), c.keys.len() as u32, index_tag]);
+    w.put_strings("keys", c.keys);
+    w.put_f32s("vectors", c.vectors.flat());
+    match c.index {
+        None => {}
+        Some(AnyIndex::Ivf(i)) => i.put_sections(&mut w),
+        Some(AnyIndex::Hnsw(i)) => i.put_sections(&mut w),
+        Some(AnyIndex::Pq(i)) => i.put_sections(&mut w),
+    }
+    w.write_to(path)?;
+    Ok(())
+}
+
+/// Load an embedding artifact from `path`. The checksum is verified, then
+/// the vector matrix is served zero-copy from the memory map (owned
+/// fallback on exotic targets); the index structures are decoded into
+/// memory.
+pub fn load_embedding_file(path: &Path) -> Result<EmbeddingFileContents, AnnError> {
+    let f = AnnFile::open(path)?;
+    if f.kind() != KIND_EMBEDDING_STORE {
+        return Err(AnnError::Format(FormatError::Malformed(format!(
+            "expected an embedding-store artifact, found kind {}",
+            f.kind()
+        ))));
+    }
+    let meta = f.u32s("meta")?;
+    if meta.len() != 4 {
+        return Err(AnnError::Format(FormatError::Malformed(
+            "meta section has wrong arity".into(),
+        )));
+    }
+    let dim = meta[0] as usize;
+    let metric = Metric::from_code(meta[1]).ok_or_else(|| {
+        AnnError::Format(FormatError::Malformed(format!("unknown metric code {}", meta[1])))
+    })?;
+    let n = meta[2] as usize;
+    let keys = f.strings("keys")?;
+    if keys.len() != n {
+        return Err(AnnError::Format(FormatError::Malformed(format!(
+            "key count {} disagrees with meta count {n}",
+            keys.len()
+        ))));
+    }
+    let vectors = if dim == 0 { VectorTable::new(0) } else { f.f32_table("vectors", dim)? };
+    if vectors.len() != n {
+        return Err(AnnError::Format(FormatError::Malformed(format!(
+            "vector count {} disagrees with key count {n}",
+            vectors.len()
+        ))));
+    }
+    let index = match meta[3] {
+        INDEX_NONE => None,
+        INDEX_IVF => Some(AnyIndex::Ivf(IvfIndex::from_file(&f)?)),
+        INDEX_HNSW => Some(AnyIndex::Hnsw(HnswIndex::from_file(&f)?)),
+        INDEX_PQ => Some(AnyIndex::Pq(PqIndex::from_file(&f)?)),
+        other => {
+            return Err(AnnError::Format(FormatError::Malformed(format!(
+                "unknown index tag {other}"
+            ))))
+        }
+    };
+    if let Some(ix) = &index {
+        use crate::index::AnnIndex;
+        if ix.len() != n {
+            return Err(AnnError::Format(FormatError::Malformed(format!(
+                "index covers {} vectors but the table holds {n}",
+                ix.len()
+            ))));
+        }
+    }
+    Ok(EmbeddingFileContents { dim, metric, keys, vectors, index })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnsw::HnswConfig;
+    use crate::index::{search_exact, AnnIndex, SearchParams};
+    use crate::pq::PqConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("kgnet-ann-file-{}-{name}.ann", std::process::id()))
+    }
+
+    fn sample_contents(n: usize, dim: usize, seed: u64) -> EmbeddingFileContents {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vectors = VectorTable::new(dim);
+        let mut keys = Vec::new();
+        for i in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            vectors.push(&v).unwrap();
+            keys.push(format!("e{i}"));
+        }
+        EmbeddingFileContents { dim, metric: Metric::L2, keys, vectors, index: None }
+    }
+
+    #[test]
+    fn roundtrip_without_index() {
+        let path = temp_path("noindex");
+        let c = sample_contents(50, 8, 1);
+        save_embedding_file(&path, c.as_view()).unwrap();
+        let back = load_embedding_file(&path).unwrap();
+        assert_eq!(back.dim, 8);
+        assert_eq!(back.metric, Metric::L2);
+        assert_eq!(back.keys, c.keys);
+        assert_eq!(back.vectors, c.vectors);
+        assert!(back.index.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_load_serves_searches_identical_to_owned() {
+        let path = temp_path("identical");
+        let mut c = sample_contents(600, 12, 2);
+        let hnsw = HnswIndex::build(&c.vectors, c.metric, &HnswConfig::default());
+        c.index = Some(AnyIndex::Hnsw(hnsw));
+        save_embedding_file(&path, c.as_view()).unwrap();
+        let back = load_embedding_file(&path).unwrap();
+        let (orig, loaded) = (c.index.as_ref().unwrap(), back.index.as_ref().unwrap());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let q: Vec<f32> = (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let a = orig.search(&c.vectors, c.metric, &q, 7, &SearchParams::default());
+            let b = loaded.search(&back.vectors, back.metric, &q, 7, &SearchParams::default());
+            assert_eq!(a, b, "mapped search diverged from in-memory search");
+            assert_eq!(
+                search_exact(&c.vectors, c.metric, &q, 7),
+                search_exact(&back.vectors, back.metric, &q, 7),
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pq_roundtrips_with_exact_scores() {
+        let path = temp_path("pq");
+        let mut c = sample_contents(400, 8, 4);
+        c.index = Some(AnyIndex::Pq(PqIndex::build(
+            &c.vectors,
+            &PqConfig { ks: 16, ..Default::default() },
+        )));
+        save_embedding_file(&path, c.as_view()).unwrap();
+        let back = load_embedding_file(&path).unwrap();
+        let q = c.vectors.vector(17).to_vec();
+        let a = c.index.as_ref().unwrap().search(&c.vectors, c.metric, &q, 5, &Default::default());
+        let b = back.index.as_ref().unwrap().search(
+            &back.vectors,
+            back.metric,
+            &q,
+            5,
+            &Default::default(),
+        );
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_range_ivf_entries_are_rejected_at_load() {
+        // A structurally valid, checksummed file whose posting lists point
+        // past the vector table must fail at load, not panic at search.
+        let path = temp_path("badivf");
+        let mut w = AnnFileWriter::new(KIND_EMBEDDING_STORE);
+        w.put_u32s("meta", &[2, Metric::L2.code(), 2, 1]);
+        w.put_strings("keys", &["a".into(), "b".into()]);
+        w.put_f32s("vectors", &[0.0, 0.0, 1.0, 1.0]);
+        w.put_u32s("index.params", &[1, 2, 2]);
+        w.put_f32s("index.centroids", &[0.5, 0.5]);
+        w.put_u32s("index.list_offsets", &[0, 2]);
+        w.put_u32s("index.list_entries", &[0, 9]); // id 9 of a 2-vector table
+        w.write_to(&path).unwrap();
+        match load_embedding_file(&path).map(|_| ()) {
+            Err(AnnError::Format(FormatError::Malformed(m))) => {
+                assert!(m.contains("out of range"), "unexpected reason: {m}")
+            }
+            other => panic!("out-of-range posting entry accepted: {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ivf_roundtrips() {
+        let path = temp_path("ivf");
+        let mut c = sample_contents(300, 6, 5);
+        c.index = Some(AnyIndex::Ivf(IvfIndex::build(&c.vectors, 12, 4, 9)));
+        save_embedding_file(&path, c.as_view()).unwrap();
+        let back = load_embedding_file(&path).unwrap();
+        let q = c.vectors.vector(200).to_vec();
+        let params = SearchParams::with_nprobe(3);
+        assert_eq!(
+            c.index.as_ref().unwrap().search(&c.vectors, c.metric, &q, 9, &params),
+            back.index.as_ref().unwrap().search(&back.vectors, back.metric, &q, 9, &params),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,525 @@
+//! The binary columnar persistence format: a versioned, checksummed flat
+//! file of named, typed sections, with a memory-mapped reader.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header   magic "KGNETANN" · version u32 · kind u32 · n_sections u32 · 0u32
+//! section  name_len u32 · type u32 · count u64 · name bytes · pad8
+//!          payload (count × elem_size bytes) · pad8
+//! footer   crc32 u32 (over everything above) · sentinel u32
+//! ```
+//!
+//! Sections are 8-byte aligned so a memory-mapped `f32` payload can be
+//! viewed in place without copying (see [`AnnFile::f32_table`]); the
+//! trailing CRC-32 rejects truncated or corrupted files before any
+//! payload is interpreted.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+use memmap2::Mmap;
+
+use crate::vectors::VectorTable;
+use crate::view;
+
+/// File magic: the first eight bytes of every persisted artifact.
+pub const MAGIC: &[u8; 8] = b"KGNETANN";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Footer sentinel following the checksum.
+const FOOTER_SENTINEL: u32 = 0xA22C_57E1;
+
+const HEADER_LEN: usize = 24;
+const FOOTER_LEN: usize = 8;
+
+/// Element type of a section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionType {
+    /// Raw bytes.
+    U8,
+    /// Little-endian `u32`s.
+    U32,
+    /// Little-endian IEEE-754 `f32`s.
+    F32,
+}
+
+impl SectionType {
+    fn code(self) -> u32 {
+        match self {
+            SectionType::U8 => 0,
+            SectionType::U32 => 1,
+            SectionType::F32 => 2,
+        }
+    }
+
+    fn from_code(code: u32) -> Option<SectionType> {
+        match code {
+            0 => Some(SectionType::U8),
+            1 => Some(SectionType::U32),
+            2 => Some(SectionType::F32),
+            _ => None,
+        }
+    }
+
+    fn elem_size(self) -> usize {
+        match self {
+            SectionType::U8 => 1,
+            SectionType::U32 | SectionType::F32 => 4,
+        }
+    }
+}
+
+/// Errors raised by the persistence format.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid file (bad magic, bounds, arity, …).
+    Malformed(String),
+    /// Unsupported format version.
+    Version(u32),
+    /// The checksum over the file body does not match the footer.
+    Checksum {
+        /// CRC recorded in the footer.
+        expected: u32,
+        /// CRC computed over the file body.
+        actual: u32,
+    },
+    /// A required section is absent.
+    MissingSection(String),
+    /// A section exists but under a different element type.
+    WrongType(String),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::Malformed(m) => write!(f, "malformed file: {m}"),
+            FormatError::Version(v) => write!(f, "unsupported format version {v}"),
+            FormatError::Checksum { expected, actual } => {
+                write!(f, "checksum mismatch: footer {expected:#010x}, body {actual:#010x}")
+            }
+            FormatError::MissingSection(s) => write!(f, "missing section `{s}`"),
+            FormatError::WrongType(s) => write!(f, "section `{s}` has the wrong element type"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+struct Section {
+    name: String,
+    stype: SectionType,
+    count: u64,
+    payload: Vec<u8>,
+}
+
+/// Builder for a persisted artifact: collect named typed sections, then
+/// [`AnnFileWriter::write_to`] a path (via a temp file + rename, so a
+/// crash mid-write never leaves a half-written artifact under the final
+/// name).
+pub struct AnnFileWriter {
+    kind: u32,
+    sections: Vec<Section>,
+}
+
+impl AnnFileWriter {
+    /// New writer for an artifact of the given `kind` tag.
+    pub fn new(kind: u32) -> Self {
+        AnnFileWriter { kind, sections: Vec::new() }
+    }
+
+    /// Append a raw-byte section.
+    pub fn put_u8s(&mut self, name: &str, data: &[u8]) {
+        self.sections.push(Section {
+            name: name.to_owned(),
+            stype: SectionType::U8,
+            count: data.len() as u64,
+            payload: data.to_vec(),
+        });
+    }
+
+    /// Append a `u32` section.
+    pub fn put_u32s(&mut self, name: &str, data: &[u32]) {
+        let mut payload = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.sections.push(Section {
+            name: name.to_owned(),
+            stype: SectionType::U32,
+            count: data.len() as u64,
+            payload,
+        });
+    }
+
+    /// Append an `f32` section.
+    pub fn put_f32s(&mut self, name: &str, data: &[f32]) {
+        let mut payload = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.sections.push(Section {
+            name: name.to_owned(),
+            stype: SectionType::F32,
+            count: data.len() as u64,
+            payload,
+        });
+    }
+
+    /// Append a string list as an offsets + bytes section pair
+    /// (`<name>.offsets`, `<name>.bytes`).
+    pub fn put_strings(&mut self, name: &str, strings: &[String]) {
+        let mut offsets = Vec::with_capacity(strings.len() + 1);
+        let mut bytes = Vec::new();
+        offsets.push(0u32);
+        for s in strings {
+            bytes.extend_from_slice(s.as_bytes());
+            offsets.push(bytes.len() as u32);
+        }
+        self.put_u32s(&format!("{name}.offsets"), &offsets);
+        self.put_u8s(&format!("{name}.bytes"), &bytes);
+    }
+
+    /// Serialise all sections and atomically replace `path`.
+    pub fn write_to(&self, path: &Path) -> Result<(), FormatError> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.kind.to_le_bytes());
+        buf.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        debug_assert_eq!(buf.len(), HEADER_LEN);
+        for s in &self.sections {
+            buf.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&s.stype.code().to_le_bytes());
+            buf.extend_from_slice(&s.count.to_le_bytes());
+            buf.extend_from_slice(s.name.as_bytes());
+            pad8(&mut buf);
+            buf.extend_from_slice(&s.payload);
+            pad8(&mut buf);
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&FOOTER_SENTINEL.to_le_bytes());
+
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+fn pad8(buf: &mut Vec<u8>) {
+    while !buf.len().is_multiple_of(8) {
+        buf.push(0);
+    }
+}
+
+fn pad8_len(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+struct SectionMeta {
+    name: String,
+    stype: SectionType,
+    offset: usize,
+    count: usize,
+}
+
+/// A memory-mapped persisted artifact: the checksum is verified once at
+/// open, after which sections are served straight from the map (zero-copy
+/// for byte and — alignment permitting — `f32` payloads).
+pub struct AnnFile {
+    map: Arc<Mmap>,
+    kind: u32,
+    sections: Vec<SectionMeta>,
+}
+
+impl std::fmt::Debug for AnnFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnnFile")
+            .field("kind", &self.kind)
+            .field("bytes", &self.map.len())
+            .field("sections", &self.section_names())
+            .finish()
+    }
+}
+
+impl AnnFile {
+    /// Open, verify and parse `path`.
+    pub fn open(path: &Path) -> Result<AnnFile, FormatError> {
+        let file = File::open(path)?;
+        // SAFETY-adjacent contract (documented on the vendored stand-in):
+        // the artifact files this crate writes are never mutated in place —
+        // writers go through temp-file + rename.
+        #[allow(unsafe_code)]
+        let map = Arc::new(unsafe { Mmap::map(&file)? });
+        Self::parse(map)
+    }
+
+    fn parse(map: Arc<Mmap>) -> Result<AnnFile, FormatError> {
+        let bytes: &[u8] = &map;
+        if bytes.len() < HEADER_LEN + FOOTER_LEN {
+            return Err(FormatError::Malformed("file shorter than header + footer".into()));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(FormatError::Malformed("bad magic".into()));
+        }
+        let version = read_u32(bytes, 8);
+        if version != VERSION {
+            return Err(FormatError::Version(version));
+        }
+        let kind = read_u32(bytes, 12);
+        let n_sections = read_u32(bytes, 16) as usize;
+
+        let body_len = bytes.len() - FOOTER_LEN;
+        let expected = read_u32(bytes, body_len);
+        let sentinel = read_u32(bytes, body_len + 4);
+        if sentinel != FOOTER_SENTINEL {
+            return Err(FormatError::Malformed("bad footer sentinel (truncated file?)".into()));
+        }
+        let actual = crc32(&bytes[..body_len]);
+        if actual != expected {
+            return Err(FormatError::Checksum { expected, actual });
+        }
+
+        let mut sections = Vec::with_capacity(n_sections);
+        let mut at = HEADER_LEN;
+        for _ in 0..n_sections {
+            if at + 16 > body_len {
+                return Err(FormatError::Malformed("section header out of bounds".into()));
+            }
+            let name_len = read_u32(bytes, at) as usize;
+            let stype = SectionType::from_code(read_u32(bytes, at + 4))
+                .ok_or_else(|| FormatError::Malformed("unknown section type".into()))?;
+            let count =
+                u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("bounds checked"))
+                    as usize;
+            at += 16;
+            if at + name_len > body_len {
+                return Err(FormatError::Malformed("section name out of bounds".into()));
+            }
+            let name = std::str::from_utf8(&bytes[at..at + name_len])
+                .map_err(|_| FormatError::Malformed("section name is not UTF-8".into()))?
+                .to_owned();
+            at = pad8_len(at + name_len);
+            let payload_len = count
+                .checked_mul(stype.elem_size())
+                .ok_or_else(|| FormatError::Malformed("section size overflow".into()))?;
+            if at + payload_len > body_len {
+                return Err(FormatError::Malformed(format!("section `{name}` out of bounds")));
+            }
+            sections.push(SectionMeta { name, stype, offset: at, count });
+            at = pad8_len(at + payload_len);
+        }
+        if at != body_len {
+            return Err(FormatError::Malformed("trailing bytes after last section".into()));
+        }
+        Ok(AnnFile { map, kind, sections })
+    }
+
+    /// The artifact kind tag from the header.
+    pub fn kind(&self) -> u32 {
+        self.kind
+    }
+
+    /// Names of all sections, in file order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    fn find(&self, name: &str, stype: SectionType) -> Result<&SectionMeta, FormatError> {
+        let s = self
+            .sections
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| FormatError::MissingSection(name.to_owned()))?;
+        if s.stype != stype {
+            return Err(FormatError::WrongType(name.to_owned()));
+        }
+        Ok(s)
+    }
+
+    /// A byte section, zero-copy from the map.
+    pub fn u8s(&self, name: &str) -> Result<&[u8], FormatError> {
+        let s = self.find(name, SectionType::U8)?;
+        Ok(&self.map[s.offset..s.offset + s.count])
+    }
+
+    /// A `u32` section (decoded copy; these sections are small).
+    pub fn u32s(&self, name: &str) -> Result<Vec<u32>, FormatError> {
+        let s = self.find(name, SectionType::U32)?;
+        Ok(view::decode_u32s(&self.map[s.offset..s.offset + s.count * 4]))
+    }
+
+    /// An `f32` section (decoded copy — use [`AnnFile::f32_table`] for the
+    /// zero-copy path over large matrices).
+    pub fn f32s(&self, name: &str) -> Result<Vec<f32>, FormatError> {
+        let s = self.find(name, SectionType::F32)?;
+        Ok(view::decode_f32s(&self.map[s.offset..s.offset + s.count * 4]))
+    }
+
+    /// A string-list section pair written by [`AnnFileWriter::put_strings`].
+    pub fn strings(&self, name: &str) -> Result<Vec<String>, FormatError> {
+        let offsets = self.u32s(&format!("{name}.offsets"))?;
+        let bytes = self.u8s(&format!("{name}.bytes"))?;
+        if offsets.first() != Some(&0) || offsets.last().map_or(0, |&o| o as usize) != bytes.len() {
+            return Err(FormatError::Malformed(format!("string section `{name}` inconsistent")));
+        }
+        let mut out = Vec::with_capacity(offsets.len().saturating_sub(1));
+        for w in offsets.windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            if a > b || b > bytes.len() {
+                return Err(FormatError::Malformed(format!(
+                    "string section `{name}` range out of bounds"
+                )));
+            }
+            let s = std::str::from_utf8(&bytes[a..b])
+                .map_err(|_| FormatError::Malformed(format!("string in `{name}` not UTF-8")))?;
+            out.push(s.to_owned());
+        }
+        Ok(out)
+    }
+
+    /// An `f32` section viewed as a `rows × dim` [`VectorTable`]. Serves
+    /// zero-copy from the shared map whenever alignment and endianness
+    /// allow (always, on the little-endian targets the writer runs on),
+    /// falling back to an owned decode otherwise.
+    pub fn f32_table(&self, name: &str, dim: usize) -> Result<VectorTable, FormatError> {
+        let s = self.find(name, SectionType::F32)?;
+        if dim == 0 || s.count % dim != 0 {
+            return Err(FormatError::Malformed(format!(
+                "section `{name}` ({} floats) is not a multiple of dim {dim}",
+                s.count
+            )));
+        }
+        let rows = s.count / dim;
+        if let Some(table) = VectorTable::mapped(self.map.clone(), s.offset, rows, dim) {
+            return Ok(table);
+        }
+        let flat = view::decode_f32s(&self.map[s.offset..s.offset + s.count * 4]);
+        let rows_vec: Vec<Vec<f32>> = flat.chunks_exact(dim).map(<[f32]>::to_vec).collect();
+        VectorTable::from_rows(dim, &rows_vec)
+            .map_err(|e| FormatError::Malformed(format!("decoded table rejected: {e}")))
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked by caller"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::Vectors;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("kgnet-ann-fmt-{}-{name}.ann", std::process::id()))
+    }
+
+    fn sample_file(path: &Path) {
+        let mut w = AnnFileWriter::new(7);
+        w.put_u32s("meta", &[3, 2, 1]);
+        w.put_f32s("vectors", &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        w.put_u8s("codes", &[9, 8, 7]);
+        w.put_strings("keys", &["alpha".into(), "beta".into(), String::new()]);
+        w.write_to(path).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_all_section_types() {
+        let path = temp_path("roundtrip");
+        sample_file(&path);
+        let f = AnnFile::open(&path).unwrap();
+        assert_eq!(f.kind(), 7);
+        assert_eq!(f.u32s("meta").unwrap(), vec![3, 2, 1]);
+        assert_eq!(f.f32s("vectors").unwrap(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(f.u8s("codes").unwrap(), &[9, 8, 7]);
+        assert_eq!(f.strings("keys").unwrap(), vec!["alpha", "beta", ""]);
+        let table = f.f32_table("vectors", 3).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.vector(1), &[4.0, 5.0, 6.0]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_and_mistyped_sections_are_reported() {
+        let path = temp_path("missing");
+        sample_file(&path);
+        let f = AnnFile::open(&path).unwrap();
+        assert!(matches!(f.u32s("nope"), Err(FormatError::MissingSection(_))));
+        assert!(matches!(f.f32s("codes"), Err(FormatError::WrongType(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = temp_path("trunc");
+        sample_file(&path);
+        let full = std::fs::read(&path).unwrap();
+        for cut in [full.len() - 3, full.len() / 2, 10] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(AnnFile::open(&path).is_err(), "truncation at {cut} accepted");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_byte_is_rejected_by_checksum() {
+        let path = temp_path("corrupt");
+        sample_file(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match AnnFile::open(&path) {
+            Err(FormatError::Checksum { .. }) | Err(FormatError::Malformed(_)) => {}
+            other => panic!("corrupted file accepted: {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic test vector: crc32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

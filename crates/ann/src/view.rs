@@ -1,0 +1,77 @@
+//! Zero-copy typed views over little-endian byte buffers.
+//!
+//! This is the one module in the crate allowed to use `unsafe`: it
+//! reinterprets a `&[u8]` from a memory-mapped file as `&[f32]` when — and
+//! only when — the target is little-endian (matching the on-disk byte
+//! order), the pointer is 4-byte aligned, and the length is an exact
+//! multiple of four. Callers fall back to a copying decode whenever any of
+//! those checks fail, so the casts here are a performance path, never a
+//! correctness requirement.
+
+#![allow(unsafe_code)]
+
+/// Reinterpret `bytes` as a slice of `f32`. Returns `None` (callers must
+/// copy-decode instead) unless the target is little-endian, the buffer is
+/// 4-byte aligned and its length is a multiple of four.
+pub(crate) fn bytes_as_f32s(bytes: &[u8]) -> Option<&[f32]> {
+    if cfg!(target_endian = "big") {
+        return None;
+    }
+    if !bytes.len().is_multiple_of(4)
+        || !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f32>())
+    {
+        return None;
+    }
+    // SAFETY: alignment and length were just checked; f32 has no invalid
+    // bit patterns; the on-disk representation is little-endian, which the
+    // cfg check above guarantees matches the host.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f32, bytes.len() / 4) })
+}
+
+/// Copying little-endian decode of an `f32` section (the fallback path,
+/// and the writer's inverse for tests).
+pub(crate) fn decode_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+/// Copying little-endian decode of a `u32` section.
+pub(crate) fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_le_bytes_view_as_f32s() {
+        let values = [1.5f32, -2.25, 0.0, 3.0e7];
+        let mut bytes = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        // Vec<u8> from extend of 4-byte chunks is at least 1-aligned; copy
+        // into a Vec<f32>-backed buffer to guarantee 4-byte alignment.
+        let owned = decode_f32s(&bytes);
+        assert_eq!(owned, values);
+        let realigned: &[u8] = {
+            // A slice over a Vec<f32>'s bytes is always 4-aligned.
+            let flat: &[f32] = &owned;
+            if let Some(view) = bytes_as_f32s(&bytes) {
+                assert_eq!(view, flat);
+            }
+            &bytes
+        };
+        assert_eq!(decode_u32s(realigned).len(), 4);
+    }
+
+    #[test]
+    fn misaligned_or_ragged_views_are_refused() {
+        let buf = vec![0u8; 9];
+        assert!(bytes_as_f32s(&buf).is_none(), "length not a multiple of four");
+        let aligned = [0u8; 8];
+        if (aligned.as_ptr() as usize).is_multiple_of(4) {
+            assert!(bytes_as_f32s(&aligned[1..5]).is_none(), "misaligned view accepted");
+        }
+    }
+}

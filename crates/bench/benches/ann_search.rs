@@ -1,0 +1,127 @@
+//! Vector-search shootout: build time, per-query p50/p99 latency and
+//! recall@10 for exact scan vs IVF vs HNSW vs PQ on one random embedding
+//! workload (100k × 32 by default; override the scale with
+//! `KGNET_ANN_BENCH_N=…` for quick local runs).
+//!
+//! Recall is measured against `search_exact` on the same store, so the
+//! acceptance bar of the vector-search subsystem — recall@10 ≥ 0.9 for
+//! HNSW and PQ at 100k vectors — is read straight off the output.
+//!
+//! Run with `cargo bench --bench ann_search`.
+
+use std::time::{Duration, Instant};
+
+use kgnet_ann::{HnswConfig, PqConfig};
+use kgnet_gmlaas::{EmbeddingStore, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 32;
+const QUERIES: usize = 200;
+const K: usize = 10;
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct Run {
+    name: &'static str,
+    build: Duration,
+    p50: Duration,
+    p99: Duration,
+    recall: f64,
+}
+
+fn measure(
+    name: &'static str,
+    store: &EmbeddingStore,
+    build: Duration,
+    queries: &[Vec<f32>],
+    exact: &[Vec<String>],
+) -> Run {
+    let mut lat = Vec::with_capacity(queries.len());
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (q, truth) in queries.iter().zip(exact) {
+        let start = Instant::now();
+        let got = store.search(q, K, 8);
+        lat.push(start.elapsed());
+        total += truth.len();
+        hits += truth.iter().filter(|k| got.iter().any(|(g, _)| g == *k)).count();
+    }
+    lat.sort();
+    Run {
+        name,
+        build,
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+        recall: hits as f64 / total.max(1) as f64,
+    }
+}
+
+fn main() {
+    let n: usize =
+        std::env::var("KGNET_ANN_BENCH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    println!("ann_search: {n} vectors x {DIM}d, {QUERIES} queries, top-{K}");
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut store = EmbeddingStore::new(DIM, Metric::L2);
+    for i in 0..n {
+        let v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        store.add(format!("e{i}"), v).expect("widths match");
+    }
+    let queries: Vec<Vec<f32>> =
+        (0..QUERIES).map(|_| (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+
+    // Ground truth (and the exact scan's own latency profile).
+    let mut exact_lat = Vec::with_capacity(QUERIES);
+    let exact: Vec<Vec<String>> = queries
+        .iter()
+        .map(|q| {
+            let start = Instant::now();
+            let hits = store.search_exact(q, K);
+            exact_lat.push(start.elapsed());
+            hits.into_iter().map(|(k, _)| k).collect()
+        })
+        .collect();
+    exact_lat.sort();
+
+    let mut runs = vec![Run {
+        name: "exact",
+        build: Duration::ZERO,
+        p50: percentile(&exact_lat, 0.50),
+        p99: percentile(&exact_lat, 0.99),
+        recall: 1.0,
+    }];
+
+    let start = Instant::now();
+    store.build_ivf((n / 64).clamp(16, 4096), 4, 7);
+    let build = start.elapsed();
+    runs.push(measure("ivf(nprobe=8)", &store, build, &queries, &exact));
+
+    let start = Instant::now();
+    store.build_hnsw(&HnswConfig::default());
+    let build = start.elapsed();
+    runs.push(measure("hnsw(m=16,ef=128)", &store, build, &queries, &exact));
+
+    let start = Instant::now();
+    store.build_pq(&PqConfig::default());
+    let build = start.elapsed();
+    runs.push(measure("pq(m=8,refine=8)", &store, build, &queries, &exact));
+
+    println!("  {:<18} {:>12} {:>12} {:>12} {:>10}", "index", "build", "p50", "p99", "recall@10");
+    for r in runs {
+        println!(
+            "  {:<18} {:>9.2} ms {:>9.3} ms {:>9.3} ms {:>10.3}",
+            r.name,
+            r.build.as_secs_f64() * 1e3,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.recall,
+        );
+    }
+}

@@ -150,7 +150,7 @@ fn bench_embedding(c: &mut Criterion) {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
     for i in 0..2000 {
         let v = init::xavier_uniform(1, 32, &mut rng).as_slice().to_vec();
-        store.add(format!("e{i}"), v);
+        store.add(format!("e{i}"), v).expect("widths match");
     }
     let q = store.get("e42").unwrap().to_vec();
     c.bench_function("embedding/exact_top10_of_2000", |b| {

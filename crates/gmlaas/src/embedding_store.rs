@@ -1,77 +1,109 @@
-//! The embedding store (the paper's FAISS substitute): exact and IVF
-//! (inverted-file) top-k similarity search over entity embeddings, powering
-//! the entity-similarity (ES) task of Table I.
+//! The embedding store (the paper's FAISS substitute): keyed top-k
+//! similarity search over entity embeddings, powering the
+//! entity-similarity (ES) task of Table I.
 //!
-//! Candidate scoring — the probed IVF posting lists, and the linear scan of
-//! the exact path — runs data-parallel on the work-stealing pool once the
-//! candidate count crosses [`PAR_MIN_CANDIDATES`]; scored candidates keep
-//! their sequential order (cells in probe order, vectors in list order), so
-//! parallel and sequential searches return identical rankings.
+//! The store is a thin key-management layer over the `kgnet-ann`
+//! subsystem: vectors live in a flat [`VectorTable`] (owned, or zero-copy
+//! over a memory-mapped artifact after [`EmbeddingStore::load_binary`]),
+//! and approximate search goes through any of the three [`AnnIndex`]
+//! families — exact scan, IVF, HNSW or product quantization — built by
+//! [`build_ivf`](EmbeddingStore::build_ivf),
+//! [`build_hnsw`](EmbeddingStore::build_hnsw) and
+//! [`build_pq`](EmbeddingStore::build_pq). All index construction is
+//! deterministic-parallel on the work-stealing pool (bit-identical on any
+//! `RAYON_NUM_THREADS`), and every search tie-breaks deterministically on
+//! (score, then key), so results are stable across runs and pool sizes.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use std::path::Path;
 
-/// Candidate count below which search scoring stays sequential (scoring a
-/// handful of vectors is cheaper than fork/join scheduling).
-const PAR_MIN_CANDIDATES: usize = 2048;
+use serde::{
+    de::{Deserializer, Error as DeError},
+    from_content, Content, Deserialize, Serialize,
+};
 
-/// Similarity metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Metric {
-    /// Negative Euclidean distance (larger = closer).
-    L2,
-    /// Cosine similarity.
-    Cosine,
-    /// Inner product.
-    Dot,
-}
+pub use kgnet_ann::{AnnError, HnswConfig, Metric, PqConfig, SearchParams};
 
-impl Metric {
-    fn score(&self, a: &[f32], b: &[f32]) -> f32 {
-        match self {
-            Metric::L2 => {
-                let d: f32 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
-                -d.max(0.0).sqrt()
-            }
-            Metric::Dot => a.iter().zip(b).map(|(&x, &y)| x * y).sum(),
-            Metric::Cosine => {
-                let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
-                let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
-                let nb: f32 = b.iter().map(|&y| y * y).sum::<f32>().sqrt();
-                if na == 0.0 || nb == 0.0 {
-                    0.0
-                } else {
-                    dot / (na * nb)
-                }
-            }
-        }
-    }
-}
-
-/// An inverted-file coarse index (k-means cells + posting lists).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct IvfIndex {
-    centroids: Vec<Vec<f32>>,
-    lists: Vec<Vec<u32>>,
-}
+use kgnet_ann::{
+    load_embedding_file, save_embedding_file, search_exact as ann_search_exact, AnnIndex, AnyIndex,
+    EmbeddingFileView, HnswIndex, IvfIndex, PqIndex, VectorTable, Vectors,
+};
 
 /// A keyed vector store with exact and approximate search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct EmbeddingStore {
     dim: usize,
     metric: Metric,
     keys: Vec<String>,
-    vectors: Vec<Vec<f32>>,
-    ivf: Option<IvfIndex>,
+    vectors: VectorTable,
+    index: Option<AnyIndex>,
+}
+
+// Deserialization is hand-written so the pre-`kgnet-ann` JSON layout —
+// `vectors` as a bare row sequence and a flat-IVF `ivf` field instead of
+// the tagged `index` — keeps loading: old `ModelStore` directories fall
+// back to whole-artifact JSON, and that promise covers their wire shape.
+impl<'de> Deserialize<'de> for EmbeddingStore {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        let field = |name: &str| {
+            content
+                .get(name)
+                .cloned()
+                .ok_or_else(|| D::Error::custom(format!("EmbeddingStore: missing `{name}`")))
+        };
+        let dim: usize = from_content(field("dim")?).map_err(D::Error::custom)?;
+        let metric: Metric = from_content(field("metric")?).map_err(D::Error::custom)?;
+        let keys: Vec<String> = from_content(field("keys")?).map_err(D::Error::custom)?;
+        let vectors = match field("vectors")? {
+            // Legacy layout: a plain sequence of rows (width from `dim`).
+            Content::Seq(rows) => {
+                let rows: Vec<Vec<f32>> =
+                    from_content(Content::Seq(rows)).map_err(D::Error::custom)?;
+                VectorTable::from_rows(dim, &rows).map_err(D::Error::custom)?
+            }
+            table => from_content::<VectorTable>(table).map_err(D::Error::custom)?,
+        };
+        let index = match content.get("index") {
+            Some(Content::Null) | None => match content.get("ivf") {
+                // Legacy layout: an untagged flat-IVF index.
+                Some(ivf @ Content::Map(_)) => {
+                    let centroids: Vec<Vec<f32>> =
+                        from_content(field_of(ivf, "centroids").map_err(D::Error::custom)?)
+                            .map_err(D::Error::custom)?;
+                    let lists: Vec<Vec<u32>> =
+                        from_content(field_of(ivf, "lists").map_err(D::Error::custom)?)
+                            .map_err(D::Error::custom)?;
+                    let ivf =
+                        IvfIndex::from_parts(centroids, lists, keys.len()).ok_or_else(|| {
+                            D::Error::custom("EmbeddingStore: legacy ivf index is inconsistent")
+                        })?;
+                    Some(AnyIndex::Ivf(ivf))
+                }
+                _ => None,
+            },
+            Some(index) => from_content(index.clone()).map_err(D::Error::custom)?,
+        };
+        if vectors.len() != keys.len() {
+            return Err(D::Error::custom("EmbeddingStore: key/vector counts disagree"));
+        }
+        Ok(EmbeddingStore { dim, metric, keys, vectors, index })
+    }
+}
+
+fn field_of(content: &Content, name: &str) -> Result<Content, String> {
+    content.get(name).cloned().ok_or_else(|| format!("missing `{name}` in legacy ivf index"))
 }
 
 impl EmbeddingStore {
     /// New empty store for vectors of width `dim`.
     pub fn new(dim: usize, metric: Metric) -> Self {
-        EmbeddingStore { dim, metric, keys: Vec::new(), vectors: Vec::new(), ivf: None }
+        EmbeddingStore {
+            dim,
+            metric,
+            keys: Vec::new(),
+            vectors: VectorTable::new(dim),
+            index: None,
+        }
     }
 
     /// Number of stored vectors.
@@ -89,160 +121,173 @@ impl EmbeddingStore {
         self.dim
     }
 
-    /// Add one keyed vector. Invalidates any built IVF index.
-    pub fn add(&mut self, key: impl Into<String>, vector: Vec<f32>) {
-        assert_eq!(vector.len(), self.dim, "vector width mismatch");
+    /// The similarity metric searches rank by.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Family of the currently built index (`"ivf"`, `"hnsw"`, `"pq"`),
+    /// or `None` when searches fall back to the exact scan.
+    pub fn index_kind(&self) -> Option<&'static str> {
+        self.index.as_ref().map(AnnIndex::kind)
+    }
+
+    /// Add one keyed vector. Rejects width mismatches (which would
+    /// otherwise corrupt every later scan over the flat table) and leaves
+    /// the store untouched on error. Invalidates any built index.
+    pub fn add(&mut self, key: impl Into<String>, vector: Vec<f32>) -> Result<(), AnnError> {
+        self.vectors.push(&vector)?;
         self.keys.push(key.into());
-        self.vectors.push(vector);
-        self.ivf = None;
+        self.index = None;
+        Ok(())
     }
 
     /// Fetch a vector by key.
     pub fn get(&self, key: &str) -> Option<&[f32]> {
-        self.keys.iter().position(|k| k == key).map(|i| self.vectors[i].as_slice())
+        self.keys.iter().position(|k| k == key).map(|i| self.vectors.vector(i as u32))
     }
 
-    /// Exact top-k search (linear scan, parallel over the vector table once
-    /// it is large enough).
+    /// The stored keys, in insertion (vector id) order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.keys.iter().map(String::as_str)
+    }
+
+    /// Exact top-k search: a linear scan, parallel over the vector table
+    /// once it is large enough, with deterministic (score, then key)
+    /// tie-breaking.
     pub fn search_exact(&self, query: &[f32], k: usize) -> Vec<(String, f32)> {
         assert_eq!(query.len(), self.dim, "query width mismatch");
-        // One scoring closure shared by both branches, so the parallel and
-        // sequential paths cannot drift apart.
-        let score_one = |(i, v): (usize, &Vec<f32>)| (i, self.metric.score(query, v));
-        let mut scored: Vec<(usize, f32)> = if self.vectors.len() >= PAR_MIN_CANDIDATES {
-            self.vectors.par_iter().enumerate().map(score_one).collect()
-        } else {
-            self.vectors.iter().enumerate().map(score_one).collect()
-        };
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.into_iter().take(k).map(|(i, s)| (self.keys[i].clone(), s)).collect()
+        self.to_keyed(ann_search_exact(&self.vectors, self.metric, query, k))
     }
 
     /// Build an IVF index with `n_cells` k-means cells (a few Lloyd
-    /// iterations, like FAISS's coarse quantiser training).
-    ///
-    /// The dominant O(n·cells·dim) phase — nearest-centroid assignment —
-    /// runs data-parallel on the work-stealing pool once the store is large
-    /// enough, as a pure per-vector map with an order-preserving collect.
-    /// The O(n·dim) centroid accumulation stays a single sequential fold in
-    /// vector index order (one `cells × dim` buffer, no per-chunk
-    /// partials), so the index is bit-identical to the sequential build on
-    /// any `RAYON_NUM_THREADS`.
+    /// iterations, like FAISS's coarse quantiser training). Bit-identical
+    /// on any pool size.
     pub fn build_ivf(&mut self, n_cells: usize, iterations: usize, seed: u64) {
-        let n = self.len();
-        if n == 0 {
+        if self.is_empty() {
             return;
         }
-        let n_cells = n_cells.clamp(1, n);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(&mut rng);
-        let mut centroids: Vec<Vec<f32>> =
-            order[..n_cells].iter().map(|&i| self.vectors[i].clone()).collect();
-
-        let mut assign = vec![0usize; n];
-        for _ in 0..iterations.max(1) {
-            self.assign_cells(&centroids, &mut assign);
-            let mut sums = vec![vec![0.0f32; self.dim]; n_cells];
-            let mut counts = vec![0usize; n_cells];
-            for (&cell, v) in assign.iter().zip(&self.vectors) {
-                counts[cell] += 1;
-                for (s, &x) in sums[cell].iter_mut().zip(v) {
-                    *s += x;
-                }
-            }
-            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
-                if count > 0 {
-                    *c = sum.iter().map(|&s| s / count as f32).collect();
-                }
-            }
-        }
-        self.assign_cells(&centroids, &mut assign);
-        let mut lists = vec![Vec::new(); n_cells];
-        for (i, &cell) in assign.iter().enumerate() {
-            lists[cell].push(i as u32);
-        }
-        self.ivf = Some(IvfIndex { centroids, lists });
+        self.index = Some(AnyIndex::Ivf(IvfIndex::build(&self.vectors, n_cells, iterations, seed)));
     }
 
-    /// Nearest-centroid assignment for every stored vector: a pure map, run
-    /// on the pool above the parallel cutoff with an order-preserving
-    /// collect, so the result is identical to the sequential loop.
-    fn assign_cells(&self, centroids: &[Vec<f32>], assign: &mut [usize]) {
-        if self.vectors.len() >= PAR_MIN_CANDIDATES {
-            let cells: Vec<usize> =
-                self.vectors.par_iter().map(|v| nearest_centroid(centroids, v)).collect();
-            assign.copy_from_slice(&cells);
-        } else {
-            for (a, v) in assign.iter_mut().zip(&self.vectors) {
-                *a = nearest_centroid(centroids, v);
-            }
+    /// Build an HNSW graph index. Construction is wave-parallel on the
+    /// work-stealing pool and bit-identical on any pool size; levels are
+    /// assigned deterministically from the config seed.
+    pub fn build_hnsw(&mut self, cfg: &HnswConfig) {
+        if self.is_empty() {
+            return;
         }
+        self.index = Some(AnyIndex::Hnsw(HnswIndex::build(&self.vectors, self.metric, cfg)));
     }
 
-    /// Approximate top-k search probing the `nprobe` nearest cells. Falls
-    /// back to exact search when no index is built.
+    /// Train a product-quantization index (k-means sub-codebooks,
+    /// asymmetric distance computation, refine-over-raw-vectors).
+    /// Bit-identical on any pool size.
+    pub fn build_pq(&mut self, cfg: &PqConfig) {
+        if self.is_empty() {
+            return;
+        }
+        self.index = Some(AnyIndex::Pq(PqIndex::build(&self.vectors, cfg)));
+    }
+
+    /// Approximate top-k search through the built index, probing `nprobe`
+    /// cells when that index is IVF (other families use their build-time
+    /// defaults — see [`EmbeddingStore::search_with`] for full control).
+    /// Falls back to exact search when no index is built.
     pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(String, f32)> {
-        let Some(ivf) = &self.ivf else {
-            return self.search_exact(query, k);
-        };
-        let mut cells: Vec<(usize, f32)> = ivf
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let d: f32 = query.iter().zip(c).map(|(&x, &y)| (x - y) * (x - y)).sum();
-                (i, d)
-            })
-            .collect();
-        cells.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        // Probe-list scanning: score each probed cell's posting list; large
-        // probe sets fan the per-list scans out over the pool. Collect is
-        // order-preserving (cells in probe order, entries in list order), so
-        // both paths produce the same candidate sequence and ranking.
-        let probed: Vec<&Vec<u32>> =
-            cells.iter().take(nprobe.max(1)).map(|&(cell, _)| &ivf.lists[cell]).collect();
-        let total: usize = probed.iter().map(|l| l.len()).sum();
-        let score_list = |list: &&Vec<u32>| -> Vec<(u32, f32)> {
-            list.iter().map(|&i| (i, self.metric.score(query, &self.vectors[i as usize]))).collect()
-        };
-        let per_cell: Vec<Vec<(u32, f32)>> = if total >= PAR_MIN_CANDIDATES {
-            probed.par_iter().map(score_list).collect()
-        } else {
-            probed.iter().map(score_list).collect()
-        };
-        let mut scored: Vec<(u32, f32)> = per_cell.into_iter().flatten().collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.into_iter().take(k).map(|(i, s)| (self.keys[i as usize].clone(), s)).collect()
+        self.search_with(query, k, &SearchParams::with_nprobe(nprobe))
     }
-}
 
-fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
-    let mut best = 0usize;
-    let mut best_d = f32::INFINITY;
-    for (i, c) in centroids.iter().enumerate() {
-        let d: f32 = v.iter().zip(c).map(|(&x, &y)| (x - y) * (x - y)).sum();
-        if d < best_d {
-            best_d = d;
-            best = i;
+    /// Approximate top-k search with explicit per-query tunables.
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Vec<(String, f32)> {
+        assert_eq!(query.len(), self.dim, "query width mismatch");
+        match &self.index {
+            None => self.search_exact(query, k),
+            Some(ix) => self.to_keyed(ix.search(&self.vectors, self.metric, query, k, params)),
         }
     }
-    best
+
+    /// Map id-level hits to keys, re-breaking ties on (score desc, key
+    /// asc) so the public result order never depends on insertion order.
+    fn to_keyed(&self, hits: Vec<(u32, f32)>) -> Vec<(String, f32)> {
+        let mut out: Vec<(String, f32)> =
+            hits.into_iter().map(|(i, s)| (self.keys[i as usize].clone(), s)).collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Persist this store (keys, vectors and any built index) as one
+    /// checksummed binary artifact — the paper-scale replacement for JSON
+    /// round-trips.
+    pub fn save_binary(&self, path: &Path) -> Result<(), AnnError> {
+        save_embedding_file(
+            path,
+            EmbeddingFileView {
+                dim: self.dim,
+                metric: self.metric,
+                keys: &self.keys,
+                vectors: &self.vectors,
+                index: self.index.as_ref(),
+            },
+        )
+    }
+
+    /// Load a store persisted by [`EmbeddingStore::save_binary`]. The
+    /// vector matrix is served zero-copy from the memory-mapped file, and
+    /// searches return exactly what the in-memory store returned before
+    /// saving.
+    pub fn load_binary(path: &Path) -> Result<EmbeddingStore, AnnError> {
+        let c = load_embedding_file(path)?;
+        Ok(EmbeddingStore {
+            dim: c.dim,
+            metric: c.metric,
+            keys: c.keys,
+            vectors: c.vectors,
+            index: c.index,
+        })
+    }
+
+    /// True when the vector table reads from a memory-mapped artifact
+    /// rather than owned memory (diagnostics only).
+    pub fn is_mapped(&self) -> bool {
+        self.vectors.is_mapped()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn filled_store(n: usize, dim: usize, seed: u64) -> EmbeddingStore {
         let mut store = EmbeddingStore::new(dim, Metric::L2);
         let mut rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
             let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            store.add(format!("e{i}"), v);
+            store.add(format!("e{i}"), v).unwrap();
         }
         store
+    }
+
+    fn recall(store: &EmbeddingStore, queries: usize, dim: usize, seed: u64, nprobe: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut hits, mut total) = (0usize, 0usize);
+        for _ in 0..queries {
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact: Vec<String> =
+                store.search_exact(&q, 10).into_iter().map(|(k, _)| k).collect();
+            let approx: Vec<String> =
+                store.search(&q, 10, nprobe).into_iter().map(|(k, _)| k).collect();
+            total += exact.len();
+            hits += exact.iter().filter(|k| approx.contains(k)).count();
+        }
+        hits as f64 / total as f64
     }
 
     #[test]
@@ -257,52 +302,91 @@ mod tests {
     #[test]
     fn cosine_and_dot_metrics() {
         let mut store = EmbeddingStore::new(2, Metric::Cosine);
-        store.add("x", vec![1.0, 0.0]);
-        store.add("y", vec![0.0, 1.0]);
+        store.add("x", vec![1.0, 0.0]).unwrap();
+        store.add("y", vec![0.0, 1.0]).unwrap();
         let hits = store.search_exact(&[2.0, 0.1], 2);
         assert_eq!(hits[0].0, "x");
         assert!((hits[0].1 - 1.0).abs() < 0.01);
 
         let mut store = EmbeddingStore::new(2, Metric::Dot);
-        store.add("x", vec![1.0, 0.0]);
-        store.add("y", vec![3.0, 0.0]);
+        store.add("x", vec![1.0, 0.0]).unwrap();
+        store.add("y", vec![3.0, 0.0]).unwrap();
         let hits = store.search_exact(&[1.0, 0.0], 2);
         assert_eq!(hits[0].0, "y");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected_without_corruption() {
+        let mut store = filled_store(5, 4, 3);
+        let err = store.add("bad", vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, AnnError::DimensionMismatch { expected: 4, got: 2 }));
+        assert_eq!(store.len(), 5, "failed add must not grow the store");
+        // Later scans stay healthy: every stored key still resolves.
+        let q = store.get("e0").unwrap().to_vec();
+        assert_eq!(store.search_exact(&q, 1)[0].0, "e0");
+    }
+
+    #[test]
+    fn ties_break_on_key_order() {
+        let mut store = EmbeddingStore::new(2, Metric::L2);
+        // Insert in reverse-lexicographic order; scores tie exactly.
+        store.add("zeta", vec![1.0, 0.0]).unwrap();
+        store.add("beta", vec![1.0, 0.0]).unwrap();
+        store.add("alpha", vec![1.0, 0.0]).unwrap();
+        store.add("omega", vec![0.0, 9.0]).unwrap();
+        let hits = store.search_exact(&[1.0, 0.0], 3);
+        let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "beta", "zeta"]);
     }
 
     #[test]
     fn ivf_recall_at_10_is_high() {
         let mut store = filled_store(400, 16, 2);
         store.build_ivf(16, 5, 3);
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut recall_hits = 0usize;
-        let mut total = 0usize;
-        for _ in 0..20 {
-            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-            let exact: Vec<String> =
-                store.search_exact(&q, 10).into_iter().map(|(k, _)| k).collect();
-            let approx: Vec<String> = store.search(&q, 10, 4).into_iter().map(|(k, _)| k).collect();
-            total += exact.len();
-            recall_hits += exact.iter().filter(|k| approx.contains(k)).count();
-        }
-        let recall = recall_hits as f64 / total as f64;
-        assert!(recall > 0.6, "IVF recall too low: {recall}");
+        assert_eq!(store.index_kind(), Some("ivf"));
+        let r = recall(&store, 20, 16, 4, 4);
+        assert!(r > 0.6, "IVF recall too low: {r}");
+    }
+
+    #[test]
+    fn hnsw_recall_at_10_beats_point_nine() {
+        let mut store = filled_store(1500, 16, 12);
+        store.build_hnsw(&HnswConfig::default());
+        assert_eq!(store.index_kind(), Some("hnsw"));
+        let r = recall(&store, 20, 16, 13, 4);
+        assert!(r >= 0.9, "HNSW recall too low: {r}");
+    }
+
+    #[test]
+    fn pq_recall_at_10_beats_point_nine() {
+        let mut store = filled_store(1500, 16, 14);
+        store.build_pq(&PqConfig { ks: 64, ..Default::default() });
+        assert_eq!(store.index_kind(), Some("pq"));
+        let r = recall(&store, 20, 16, 15, 4);
+        assert!(r >= 0.9, "PQ recall too low: {r}");
     }
 
     #[test]
     fn adding_invalidates_index() {
-        let mut store = filled_store(20, 4, 5);
-        store.build_ivf(4, 3, 1);
-        store.add("new", vec![0.0; 4]);
-        // Falls back to exact search and must find the new key.
-        let hits = store.search(&[0.0; 4], 1, 2);
-        assert_eq!(hits[0].0, "new");
+        for build in [0usize, 1, 2] {
+            let mut store = filled_store(20, 4, 5);
+            match build {
+                0 => store.build_ivf(4, 3, 1),
+                1 => store.build_hnsw(&HnswConfig::default()),
+                _ => store.build_pq(&PqConfig::default()),
+            }
+            store.add("new", vec![0.0; 4]).unwrap();
+            assert_eq!(store.index_kind(), None);
+            // Falls back to exact search and must find the new key.
+            let hits = store.search(&[0.0; 4], 1, 2);
+            assert_eq!(hits[0].0, "new");
+        }
     }
 
     #[test]
     fn parallel_search_matches_single_thread_above_cutoff() {
         // 3000 vectors with nprobe covering most cells pushes the candidate
-        // count past PAR_MIN_CANDIDATES, so the parallel scoring path runs;
+        // count past the parallel cutoff, so the parallel scoring path runs;
         // it must return exactly what a one-thread pool returns, for both
         // the IVF and the exact scan.
         let mut store = filled_store(3000, 8, 9);
@@ -320,17 +404,37 @@ mod tests {
     }
 
     #[test]
-    fn build_ivf_is_deterministic_across_pool_sizes() {
-        // 3000 vectors crosses the parallel cutoff: cell assignment runs on
-        // the pool, and must produce the same index (centroids bit-for-bit,
-        // identical posting lists) as one thread.
+    fn builds_are_deterministic_across_pool_sizes() {
+        // 3000 vectors crosses the parallel cutoff for all three builders:
+        // each must produce the same index (centroids/graph/codebooks
+        // bit-for-bit) on one thread and on four.
         let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let multi = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        let mut a = filled_store(3000, 8, 9);
-        let mut b = filled_store(3000, 8, 9);
-        single.install(|| a.build_ivf(32, 4, 7));
-        multi.install(|| b.build_ivf(32, 4, 7));
-        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        for build in [0usize, 1, 2] {
+            let mut a = filled_store(3000, 8, 9);
+            let mut b = filled_store(3000, 8, 9);
+            match build {
+                0 => {
+                    single.install(|| a.build_ivf(32, 4, 7));
+                    multi.install(|| b.build_ivf(32, 4, 7));
+                }
+                1 => {
+                    let cfg = HnswConfig { ef_construction: 48, ..Default::default() };
+                    single.install(|| a.build_hnsw(&cfg));
+                    multi.install(|| b.build_hnsw(&cfg));
+                }
+                _ => {
+                    let cfg = PqConfig { ks: 32, ..Default::default() };
+                    single.install(|| a.build_pq(&cfg));
+                    multi.install(|| b.build_pq(&cfg));
+                }
+            }
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "builder {build} diverged across pool sizes"
+            );
+        }
     }
 
     #[test]
@@ -342,5 +446,52 @@ mod tests {
         assert_eq!(back.len(), 10);
         let q = store.get("e3").unwrap().to_vec();
         assert_eq!(store.search(&q, 3, 2), back.search(&q, 3, 2));
+    }
+
+    #[test]
+    fn legacy_json_layout_still_deserializes() {
+        // The pre-`kgnet-ann` wire shape: `vectors` as a bare row sequence
+        // and an untagged flat-IVF `ivf` field. Old ModelStore directories
+        // fall back to whole-artifact JSON, so this must keep parsing.
+        let legacy = r#"{"dim":2,"metric":"L2","keys":["a","b","c"],
+            "vectors":[[1.0,0.0],[0.0,1.0],[1.0,1.0]],
+            "ivf":{"centroids":[[1.0,0.5],[0.0,1.0]],"lists":[[0,2],[1]]}}"#;
+        let store: EmbeddingStore = serde_json::from_str(legacy).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.dim(), 2);
+        assert_eq!(store.index_kind(), Some("ivf"));
+        assert_eq!(store.search(&[1.0, 0.0], 1, 2)[0].0, "a");
+
+        let no_index = r#"{"dim":2,"metric":"Cosine","keys":["x"],
+            "vectors":[[0.5,0.5]],"ivf":null}"#;
+        let store: EmbeddingStore = serde_json::from_str(no_index).unwrap();
+        assert_eq!((store.len(), store.index_kind()), (1, None));
+
+        // A corrupt legacy index (posting id past the table) is rejected
+        // rather than loaded into a panic-at-search-time store.
+        let bad = r#"{"dim":1,"metric":"L2","keys":["a"],"vectors":[[1.0]],
+            "ivf":{"centroids":[[1.0]],"lists":[[7]]}}"#;
+        assert!(serde_json::from_str::<EmbeddingStore>(bad).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_serves_identical_searches() {
+        let path = std::env::temp_dir().join(format!("kgnet-embstore-{}.ann", std::process::id()));
+        for build in [0usize, 1, 2] {
+            let mut store = filled_store(500, 8, 20 + build as u64);
+            match build {
+                0 => store.build_ivf(16, 4, 2),
+                1 => store.build_hnsw(&HnswConfig::default()),
+                _ => store.build_pq(&PqConfig { ks: 32, ..Default::default() }),
+            }
+            store.save_binary(&path).unwrap();
+            let back = EmbeddingStore::load_binary(&path).unwrap();
+            assert_eq!(back.len(), store.len());
+            assert_eq!(back.index_kind(), store.index_kind());
+            let q = store.get("e123").unwrap().to_vec();
+            assert_eq!(store.search(&q, 10, 4), back.search(&q, 10, 4));
+            assert_eq!(store.search_exact(&q, 10), back.search_exact(&q, 10));
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

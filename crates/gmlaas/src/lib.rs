@@ -19,9 +19,9 @@ pub mod service;
 pub mod training;
 
 pub use budget::{Priority, TaskBudget};
-pub use embedding_store::{EmbeddingStore, Metric};
+pub use embedding_store::{AnnError, EmbeddingStore, HnswConfig, Metric, PqConfig, SearchParams};
 pub use ip::{solve, IntegerProgram, IpSolution};
-pub use model_store::{ArtifactPayload, ModelArtifact, ModelStore, TaskKind};
+pub use model_store::{ArtifactPayload, LoadReport, ModelArtifact, ModelStore, TaskKind};
 pub use selector::{select_method, Candidate, SelectionTrace};
 pub use service::{
     InferenceRequest, InferenceResponse, InferenceService, ServiceError, ServiceStats,

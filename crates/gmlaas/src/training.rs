@@ -263,7 +263,9 @@ impl TrainingManager {
                 kgnet_rdf::Term::Iri(i) => i.clone(),
                 other => other.to_string(),
             };
-            store.add(iri, embeddings.row(node as usize).to_vec());
+            store
+                .add(iri, embeddings.row(node as usize).to_vec())
+                .expect("KGE embedding rows all share the trained output width");
             cardinality += 1;
         }
         if cardinality == 0 {

@@ -1,0 +1,105 @@
+//! Dense f32 distance kernels shared by the embedding store and the ANN
+//! indexes: dot product, squared Euclidean distance and vector norm, each
+//! accumulated over four fixed lanes.
+//!
+//! The four-lane split breaks the sequential dependency chain of a naive
+//! fold (letting the CPU keep several FMAs in flight) while staying fully
+//! deterministic: the lane structure depends only on the input length, so
+//! the same inputs always produce the same bits, on any thread count and
+//! whether called from the parallel or sequential paths.
+
+/// Dot product `Σ a[i]·b[i]` over the common prefix of the two slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let chunks = n / 4;
+    let mut acc = [0.0f32; 4];
+    for i in 0..chunks {
+        let base = i * 4;
+        acc[0] += a[base] * b[base];
+        acc[1] += a[base + 1] * b[base + 1];
+        acc[2] += a[base + 2] * b[base + 2];
+        acc[3] += a[base + 3] * b[base + 3];
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..n {
+        tail += a[i] * b[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Squared Euclidean distance `Σ (a[i]-b[i])²` over the common prefix.
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let chunks = n / 4;
+    let mut acc = [0.0f32; 4];
+    for i in 0..chunks {
+        let base = i * 4;
+        let d0 = a[base] - b[base];
+        let d1 = a[base + 1] - b[base + 1];
+        let d2 = a[base + 2] - b[base + 2];
+        let d3 = a[base + 3] - b[base + 3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..n {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Euclidean norm `√(Σ a[i]²)`.
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_within_f32_noise() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 33, 100] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            assert!((dot(&a, &b) as f64 - naive).abs() < 1e-4 * (1.0 + naive.abs()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn l2_matches_naive_within_f32_noise() {
+        for n in [0usize, 1, 4, 9, 64, 100] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.29).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.53).cos()).collect();
+            let naive: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as f64 - y as f64) * (x as f64 - y as f64))
+                .sum();
+            assert!((l2_sq(&a, &b) as f64 - naive).abs() < 1e-4 * (1.0 + naive), "n={n}");
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let a: Vec<f32> = (0..103).map(|i| (i as f32 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..103).map(|i| (i as f32 * 1.3).cos()).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+        assert_eq!(l2_sq(&a, &b).to_bits(), l2_sq(&a, &b).to_bits());
+        assert_eq!(norm(&a).to_bits(), norm(&a).to_bits());
+    }
+
+    #[test]
+    fn norm_of_unit_axis_is_one() {
+        let mut v = vec![0.0f32; 9];
+        v[5] = 1.0;
+        assert_eq!(norm(&v), 1.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+}

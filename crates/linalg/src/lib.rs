@@ -19,6 +19,7 @@
 
 pub mod csr;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod memtrack;
 pub mod optim;

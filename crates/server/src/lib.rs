@@ -326,6 +326,43 @@ mod tests {
     }
 
     #[test]
+    fn similarity_search_needs_no_store_lock() {
+        let server = fast_server(61);
+        server
+            .write_session()
+            .execute(
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                     {Name: 'paper-sim', GML-Task:{ TaskType: kgnet:NodeSimilarity,
+                        TargetNode: dblp:Publication}})}"#,
+            )
+            .unwrap();
+        let manager = server.manager();
+        let (model_uri, probe) = {
+            let guard = manager.read();
+            let uri = guard.trainer().model_store().uris().pop().unwrap();
+            let artifact = guard.trainer().model_store().get(&uri).unwrap();
+            let kgnet_gmlaas::ArtifactPayload::NodeSimilarity { store } = &artifact.payload else {
+                panic!("expected a similarity payload")
+            };
+            let probe = store.keys().next().unwrap().to_owned();
+            (uri, probe)
+        };
+        let session = server.read_session();
+        // Hold the data store's *exclusive* lock across the search: the
+        // similarity path must not touch it, so this cannot deadlock.
+        let store_guard = server.store().write();
+        let hits = session.similar_nodes(&model_uri, &probe, 3).unwrap();
+        drop(store_guard);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].0, probe, "self-query must rank the probe node first");
+        assert!(session.similar_nodes(&model_uri, "http://nope/x", 3).unwrap().is_empty());
+        let err = session.similar_nodes("http://kgnet/nope", &probe, 3).unwrap_err();
+        assert!(matches!(err, kgnet_sparqlml::MlError::Service(_)));
+    }
+
+    #[test]
     fn write_session_trains_synchronously_via_sparql_ml() {
         let server = fast_server(59);
         let out = server

@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use kgnet_gmlaas::{ArtifactPayload, ServiceError};
 use kgnet_rdf::sparql::evaluate_prepared;
 use kgnet_rdf::{QueryResult, RdfStore, SharedStore, SparqlError};
 use kgnet_sparqlml::{
@@ -96,6 +97,35 @@ impl ReadSession {
         let q = kgnet_rdf::sparql::parse_select(text)?;
         let manager = self.manager.read();
         kgnet_rdf::sparql::evaluate_select(manager.kgmeta().store(), &q)
+    }
+
+    /// Top-k entity-similarity search against a trained NodeSimilarity
+    /// model, served *without* touching the data-store lock: the manager
+    /// read lock is held only long enough to clone the artifact's `Arc`
+    /// out of the lock-free-to-readers model registry, then the search
+    /// runs against that shared immutable ANN index — concurrent readers
+    /// and even the exclusive write session never wait on it.
+    pub fn similar_nodes(
+        &self,
+        model_uri: &str,
+        node: &str,
+        k: usize,
+    ) -> Result<Vec<(String, f32)>, MlError> {
+        let artifact = {
+            let manager = self.manager.read();
+            manager.trainer().model_store().get(model_uri)
+        };
+        let Some(artifact) = artifact else {
+            return Err(MlError::Service(ServiceError::ModelNotFound(model_uri.to_owned())));
+        };
+        let ArtifactPayload::NodeSimilarity { store } = &artifact.payload else {
+            return Err(MlError::Service(ServiceError::WrongTask(format!(
+                "{model_uri} is not a similarity model"
+            ))));
+        };
+        let Some(query) = store.get(node) else { return Ok(Vec::new()) };
+        let q = query.to_vec();
+        Ok(store.search(&q, k, 4))
     }
 
     /// Hit/miss counters of this session's plan cache.

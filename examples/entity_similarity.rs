@@ -13,14 +13,23 @@ fn main() {
     let mut store = EmbeddingStore::new(8, Metric::Cosine);
     for i in 0..500 {
         let angle = i as f32 * 0.1;
-        store.add(
-            format!("e{i}"),
-            vec![angle.cos(), angle.sin(), (i % 7) as f32, 1.0, 0.0, 0.5, -0.5, (i % 3) as f32],
-        );
+        store
+            .add(
+                format!("e{i}"),
+                vec![angle.cos(), angle.sin(), (i % 7) as f32, 1.0, 0.0, 0.5, -0.5, (i % 3) as f32],
+            )
+            .expect("widths match");
     }
     store.build_ivf(16, 4, 42);
     let probe = store.get("e100").unwrap().to_vec();
     println!("IVF search around e100: {:?}\n", store.search(&probe, 4, 4));
+
+    // The same store behind the other ANN families: an HNSW graph and a
+    // product-quantization codebook (see `kgnet::ann` for the tunables).
+    store.build_hnsw(&kgnet::ann::HnswConfig::default());
+    println!("HNSW search around e100: {:?}\n", store.search(&probe, 4, 4));
+    store.build_pq(&kgnet::ann::PqConfig { ks: 64, ..Default::default() });
+    println!("PQ search around e100:   {:?}\n", store.search(&probe, 4, 4));
 
     // Through the platform: a NodeSimilarity model over papers.
     let (kg, _) = generate_dblp(&DblpConfig::small(11));

@@ -28,6 +28,9 @@ pub use kgnet_sampler as sampler;
 /// GML methods: GCN, RGCN, GraphSAINT, ShadowSAINT, MorsE, KGE family.
 pub use kgnet_gml as gml;
 
+/// Vector search: HNSW/PQ/IVF indexes and binary embedding persistence.
+pub use kgnet_ann as ann;
+
 /// GML-as-a-service: training manager, model/embedding stores, inference.
 pub use kgnet_gmlaas as gmlaas;
 

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `memmap2` crate covering the surface this
+//! workspace uses: a read-only [`Mmap`] over a whole file, dereferencing to
+//! `&[u8]`.
+//!
+//! On Unix targets the mapping is a real `mmap(2)` (`PROT_READ` /
+//! `MAP_PRIVATE`), called through locally-declared FFI prototypes — the
+//! symbols come from the libc that `std` already links, so no external
+//! crate is needed. Anywhere the map cannot be established (non-Unix
+//! target, zero-length file, or a failing syscall) the type transparently
+//! falls back to reading the file into an owned buffer, so callers get the
+//! same `&[u8]` view either way; only the paging behaviour differs.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+
+/// An immutable memory map of an entire file.
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    /// A live `mmap(2)` region (Unix only).
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// Owned fallback: the file's bytes read into memory.
+    Owned(Vec<u8>),
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// As with the real `memmap2`, the caller must ensure the underlying
+    /// file is not truncated or mutated for the lifetime of the map;
+    /// otherwise reads through the returned slice are undefined (on the
+    /// owned fallback path the bytes are snapshotted instead, which is
+    /// strictly safer).
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(Mmap { inner: Inner::Owned(Vec::new()) });
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        #[cfg(unix)]
+        {
+            if let Some(ptr) = unix_map(file, len) {
+                return Ok(Mmap { inner: Inner::Mapped { ptr, len } });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        let mut handle = file;
+        handle.read_to_end(&mut buf)?;
+        Ok(Mmap { inner: Inner::Owned(buf) })
+    }
+
+    /// Length of the mapped region in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when this map is backed by a live `mmap(2)` region rather than
+    /// the owned-buffer fallback (diagnostics only).
+    pub fn is_zero_copy(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+            Inner::Owned(_) => false,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: `ptr` came from a successful mmap of `len` bytes
+                // and stays valid until `Drop` unmaps it.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Inner::Owned(buf) => buf,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("zero_copy", &self.is_zero_copy())
+            .finish()
+    }
+}
+
+// SAFETY: the region is immutable for the lifetime of the map (read-only
+// protection, private mapping), so shared references from any thread are
+// fine, as is moving ownership across threads.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: exactly one munmap for the region mmap returned.
+            unsafe {
+                munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+extern "C" {
+    // Prototypes for the libc `std` already links; identical to the ones
+    // the `libc` crate would declare on 64-bit Unix.
+    fn mmap(
+        addr: *mut std::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut std::ffi::c_void;
+    fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+}
+
+#[cfg(unix)]
+fn unix_map(file: &File, len: usize) -> Option<*const u8> {
+    use std::os::unix::io::AsRawFd;
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of an open fd; failure
+    // is reported as MAP_FAILED (-1), checked below.
+    let ptr =
+        unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0) };
+    if ptr as isize == -1 || ptr.is_null() {
+        None
+    } else {
+        Some(ptr as *const u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap2-stub-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let payload = b"hello mapped world".repeat(500);
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_empty());
+        assert!(!map.is_zero_copy());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn map_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_maps_are_zero_copy() {
+        let path = temp_path("zerocopy");
+        std::fs::File::create(&path).unwrap().write_all(&[7u8; 4096]).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_zero_copy());
+        assert_eq!(map[4095], 7);
+        let _ = std::fs::remove_file(&path);
+    }
+}
