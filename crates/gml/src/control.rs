@@ -1,0 +1,64 @@
+//! Cooperative cancellation for training loops.
+//!
+//! [`TrainControl`] carries an optional cancel flag into every trainer's
+//! epoch loop. Trainers poll it at the top of each epoch and stop early
+//! when it is raised, so cancelling a running job costs at most one epoch
+//! of latency — not the remainder of the run. A cancelled run returns the
+//! partial result built so far (its `loss_curve` records exactly the epochs
+//! that completed); deciding whether to keep or discard it is the caller's
+//! job (the GML-as-a-service layer discards and reports cancellation).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A borrowed, copyable handle polled by trainers between epochs.
+#[derive(Clone, Copy, Default)]
+pub struct TrainControl<'a> {
+    cancel: Option<&'a AtomicBool>,
+}
+
+impl<'a> TrainControl<'a> {
+    /// No cancellation: the run always goes to completion.
+    pub const NONE: TrainControl<'static> = TrainControl { cancel: None };
+
+    /// Observe `flag`: the run stops at the next epoch boundary after the
+    /// flag becomes `true`.
+    pub fn with_flag(flag: &'a AtomicBool) -> Self {
+        TrainControl { cancel: Some(flag) }
+    }
+
+    /// True once cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+}
+
+impl std::fmt::Debug for TrainControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainControl")
+            .field("cancellable", &self.cancel.is_some())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_cancels() {
+        assert!(!TrainControl::NONE.is_cancelled());
+    }
+
+    #[test]
+    fn flag_controls_cancellation() {
+        let flag = AtomicBool::new(false);
+        let ctl = TrainControl::with_flag(&flag);
+        assert!(!ctl.is_cancelled());
+        flag.store(true, Ordering::SeqCst);
+        assert!(ctl.is_cancelled());
+        // Copies observe the same flag.
+        let copy = ctl;
+        assert!(copy.is_cancelled());
+    }
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod control;
 pub mod dataset;
 pub mod estimate;
 pub mod lp;
@@ -30,7 +31,8 @@ pub mod nc;
 pub mod par;
 
 pub use config::{GmlMethodKind, GnnConfig, TrainReport};
+pub use control::TrainControl;
 pub use dataset::{build_lp_dataset, build_nc_dataset, LpDataset, NcDataset};
 pub use estimate::{estimate, GraphDims, ResourceEstimate};
-pub use lp::{train_lp, TrainedLp};
-pub use nc::{train_nc, TrainedNc};
+pub use lp::{train_lp, train_lp_ctl, TrainedLp};
+pub use nc::{train_nc, train_nc_ctl, TrainedNc};

@@ -16,6 +16,7 @@ use rand::{Rng, SeedableRng};
 use kgnet_linalg::{init, memtrack, Adam, Matrix, Optimizer, ParamStore, Tape, Var};
 
 use crate::config::{GmlMethodKind, GnnConfig};
+use crate::control::TrainControl;
 use crate::dataset::LpDataset;
 use crate::lp::{finish_lp, TrainedLp};
 use crate::par;
@@ -29,8 +30,14 @@ struct PreparedBatch {
     negs: Vec<u32>,
 }
 
-/// Train a KGE method on the dataset.
-pub fn train(method: GmlMethodKind, data: &LpDataset, cfg: &GnnConfig) -> TrainedLp {
+/// Train a KGE method on the dataset. Cancellation via `ctl` is polled at
+/// every epoch boundary.
+pub fn train(
+    method: GmlMethodKind,
+    data: &LpDataset,
+    cfg: &GnnConfig,
+    ctl: TrainControl<'_>,
+) -> TrainedLp {
     let scope = memtrack::MemScope::begin();
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -63,6 +70,9 @@ pub fn train(method: GmlMethodKind, data: &LpDataset, cfg: &GnnConfig) -> Traine
     let batches_per_epoch = (triples.len() / cfg.batch_size.max(1)).clamp(1, 16);
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
+        if ctl.is_cancelled() {
+            break;
+        }
         let mut epoch_loss = 0.0f32;
         let mut done = 0usize;
         // Waves of GRAD_WAVE batches: sampling (positives and corrupted
@@ -159,6 +169,15 @@ pub fn train_unsupervised(
     graph: &kgnet_graph::HeteroGraph,
     cfg: &GnnConfig,
 ) -> (Matrix, crate::config::TrainReport) {
+    train_unsupervised_ctl(graph, cfg, TrainControl::NONE)
+}
+
+/// [`train_unsupervised`] with a cancellation handle polled between epochs.
+pub fn train_unsupervised_ctl(
+    graph: &kgnet_graph::HeteroGraph,
+    cfg: &GnnConfig,
+    ctl: TrainControl<'_>,
+) -> (Matrix, crate::config::TrainReport) {
     let scope = memtrack::MemScope::begin();
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -180,6 +199,9 @@ pub fn train_unsupervised(
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     if !triples.is_empty() {
         for _epoch in 0..cfg.epochs {
+            if ctl.is_cancelled() {
+                break;
+            }
             let mut batch: Vec<(u16, u32, u32)> = Vec::with_capacity(cfg.batch_size);
             for _ in 0..cfg.batch_size {
                 batch.push(*triples.choose(&mut rng).expect("non-empty triples"));
@@ -346,7 +368,7 @@ mod tests {
     fn run(method: GmlMethodKind) -> f64 {
         let data = tiny_lp();
         let cfg = GnnConfig { epochs: 40, batch_size: 128, ..GnnConfig::fast_test() };
-        let out = train(method, &data, &cfg);
+        let out = train(method, &data, &cfg, TrainControl::NONE);
         let random = 10.0 / data.destinations.len() as f64;
         assert!(out.report.loss_curve.len() == 40);
         assert!(

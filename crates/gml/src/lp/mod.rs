@@ -6,6 +6,7 @@ pub mod morse;
 use kgnet_linalg::Matrix;
 
 use crate::config::{GmlMethodKind, GnnConfig, TrainReport};
+use crate::control::TrainControl;
 use crate::dataset::LpDataset;
 use crate::metrics::{hits_at, mrr, rank_of, Rank};
 
@@ -35,12 +36,23 @@ impl TrainedLp {
 ///
 /// Panics if `method` is not an LP method.
 pub fn train_lp(method: GmlMethodKind, data: &LpDataset, cfg: &GnnConfig) -> TrainedLp {
+    train_lp_ctl(method, data, cfg, TrainControl::NONE)
+}
+
+/// [`train_lp`] with a cancellation handle polled between epochs: raising
+/// the flag stops the run at the next epoch boundary with a partial result.
+pub fn train_lp_ctl(
+    method: GmlMethodKind,
+    data: &LpDataset,
+    cfg: &GnnConfig,
+    ctl: TrainControl<'_>,
+) -> TrainedLp {
     match method {
-        GmlMethodKind::Morse => morse::train(data, cfg),
+        GmlMethodKind::Morse => morse::train(data, cfg, ctl),
         GmlMethodKind::TransE
         | GmlMethodKind::DistMult
         | GmlMethodKind::ComplEx
-        | GmlMethodKind::RotatE => kge::train(method, data, cfg),
+        | GmlMethodKind::RotatE => kge::train(method, data, cfg, ctl),
         other => panic!("{other} is not a link-prediction method"),
     }
 }
@@ -138,6 +150,26 @@ pub(crate) mod testutil {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pre_raised_cancel_runs_zero_epochs() {
+        use std::sync::atomic::AtomicBool;
+        let data = testutil::tiny_lp();
+        let cfg = GnnConfig { epochs: 5000, ..GnnConfig::fast_test() };
+        let flag = AtomicBool::new(true);
+        for method in [GmlMethodKind::Morse, GmlMethodKind::TransE, GmlMethodKind::DistMult] {
+            let out = train_lp_ctl(method, &data, &cfg, TrainControl::with_flag(&flag));
+            assert!(
+                out.report.loss_curve.is_empty(),
+                "{method} ran {} epochs after cancellation",
+                out.report.loss_curve.len()
+            );
+        }
+        // The unsupervised similarity trainer polls the same handle.
+        let (_, report) =
+            kge::train_unsupervised_ctl(&data.graph, &cfg, TrainControl::with_flag(&flag));
+        assert!(report.loss_curve.is_empty());
+    }
 
     #[test]
     fn topk_orders_by_score() {

@@ -34,11 +34,13 @@ use rand::{Rng, SeedableRng};
 use kgnet_linalg::{init, memtrack, Adam, CsrMatrix, Matrix, Optimizer, ParamStore, Tape};
 
 use crate::config::{GmlMethodKind, GnnConfig};
+use crate::control::TrainControl;
 use crate::dataset::LpDataset;
 use crate::lp::{finish_lp, TrainedLp};
 
-/// Train MorsE on the dataset.
-pub fn train(data: &LpDataset, cfg: &GnnConfig) -> TrainedLp {
+/// Train MorsE on the dataset. Cancellation via `ctl` is polled at every
+/// epoch boundary.
+pub fn train(data: &LpDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> TrainedLp {
     let scope = memtrack::MemScope::begin();
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -83,6 +85,9 @@ pub fn train(data: &LpDataset, cfg: &GnnConfig) -> TrainedLp {
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
+        if ctl.is_cancelled() {
+            break;
+        }
         // --- Sample a sub-KG: 80% of the context edges.
         let sampled: Vec<(u16, u32, u32)> =
             context.iter().filter(|_| rng.gen_bool(0.8)).copied().collect();
@@ -240,7 +245,7 @@ mod tests {
     fn morse_beats_random_ranking() {
         let data = tiny_lp();
         let cfg = GnnConfig { epochs: 60, batch_size: 64, ..GnnConfig::fast_test() };
-        let out = train(&data, &cfg);
+        let out = train(&data, &cfg, TrainControl::NONE);
         // Random ranking over D destinations gives Hits@10 = 10/D.
         let random = 10.0 / data.destinations.len() as f64;
         assert!(
@@ -255,7 +260,7 @@ mod tests {
     fn morse_loss_decreases() {
         let data = tiny_lp();
         let cfg = GnnConfig { epochs: 40, batch_size: 64, ..GnnConfig::fast_test() };
-        let out = train(&data, &cfg);
+        let out = train(&data, &cfg, TrainControl::NONE);
         let first: f32 = out.report.loss_curve[..5].iter().sum::<f32>() / 5.0;
         let last: f32 =
             out.report.loss_curve[out.report.loss_curve.len() - 5..].iter().sum::<f32>() / 5.0;

@@ -13,11 +13,13 @@ use rand::SeedableRng;
 use kgnet_linalg::{init, memtrack, Adam, CsrMatrix, Matrix, Optimizer, ParamStore, Tape};
 
 use crate::config::{GmlMethodKind, GnnConfig};
+use crate::control::TrainControl;
 use crate::dataset::NcDataset;
 use crate::nc::{finish, gcn_forward, TrainedNc};
 
-/// Train a full-batch GCN on the dataset.
-pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
+/// Train a full-batch GCN on the dataset. Cancellation via `ctl` is polled
+/// at every epoch boundary.
+pub fn train(data: &NcDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> TrainedNc {
     let scope = memtrack::MemScope::begin();
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -42,6 +44,9 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
+        if ctl.is_cancelled() {
+            break;
+        }
         let mut tape = Tape::new();
         let a = tape.adjacency(adj.clone());
         let vx = tape.param(ps.get(x).clone());
@@ -114,7 +119,7 @@ mod tests {
     fn gcn_learns_better_than_chance() {
         let data = tiny_nc();
         let cfg = GnnConfig { epochs: 60, dropout: 0.0, ..GnnConfig::fast_test() };
-        let out = train(&data, &cfg);
+        let out = train(&data, &cfg, TrainControl::NONE);
         let chance = 1.0 / data.n_classes() as f64;
         assert!(
             out.report.test_metric > chance * 2.0,
@@ -129,7 +134,7 @@ mod tests {
     fn loss_decreases_over_training() {
         let data = tiny_nc();
         let cfg = GnnConfig { epochs: 30, dropout: 0.0, ..GnnConfig::fast_test() };
-        let out = train(&data, &cfg);
+        let out = train(&data, &cfg, TrainControl::NONE);
         let first = out.report.loss_curve[0];
         let last = *out.report.loss_curve.last().unwrap();
         assert!(last < first, "loss did not decrease: {first} -> {last}");
@@ -138,7 +143,7 @@ mod tests {
     #[test]
     fn report_records_resources() {
         let data = tiny_nc();
-        let out = train(&data, &GnnConfig::fast_test());
+        let out = train(&data, &GnnConfig::fast_test(), TrainControl::NONE);
         assert!(out.report.train_time_s > 0.0);
         assert!(out.report.peak_mem_bytes > 0);
         assert!(out.report.n_nodes > 0 && out.report.n_edges > 0);

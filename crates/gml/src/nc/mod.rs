@@ -12,6 +12,7 @@ pub mod shadow;
 use kgnet_linalg::{CsrMatrix, Matrix};
 
 use crate::config::{GmlMethodKind, GnnConfig, TrainReport};
+use crate::control::TrainControl;
 use crate::dataset::NcDataset;
 use crate::metrics::accuracy;
 
@@ -31,11 +32,22 @@ pub struct TrainedNc {
 ///
 /// Panics if `method` is not an NC method.
 pub fn train_nc(method: GmlMethodKind, data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
+    train_nc_ctl(method, data, cfg, TrainControl::NONE)
+}
+
+/// [`train_nc`] with a cancellation handle polled between epochs: raising
+/// the flag stops the run at the next epoch boundary with a partial result.
+pub fn train_nc_ctl(
+    method: GmlMethodKind,
+    data: &NcDataset,
+    cfg: &GnnConfig,
+    ctl: TrainControl<'_>,
+) -> TrainedNc {
     match method {
-        GmlMethodKind::Gcn => gcn::train(data, cfg),
-        GmlMethodKind::Rgcn => rgcn::train(data, cfg),
-        GmlMethodKind::GraphSaint => saint::train(data, cfg),
-        GmlMethodKind::ShadowSaint => shadow::train(data, cfg),
+        GmlMethodKind::Gcn => gcn::train(data, cfg, ctl),
+        GmlMethodKind::Rgcn => rgcn::train(data, cfg, ctl),
+        GmlMethodKind::GraphSaint => saint::train(data, cfg, ctl),
+        GmlMethodKind::ShadowSaint => shadow::train(data, cfg, ctl),
         other => panic!("{other} is not a node-classification method"),
     }
 }
@@ -151,6 +163,57 @@ mod tests {
         let (h, z) = gcn_forward(&adj, &x, &w1, &b1, &w2, &b2);
         assert_eq!(h.shape(), (4, 5));
         assert_eq!(z.shape(), (4, 2));
+    }
+
+    #[test]
+    fn pre_raised_cancel_runs_zero_epochs() {
+        use std::sync::atomic::AtomicBool;
+        // A flag raised before the run starts proves the poll sits at the
+        // top of every epoch loop: not a single epoch may execute, no
+        // matter how many are configured.
+        let data = testutil::tiny_nc();
+        let cfg = GnnConfig { epochs: 5000, ..GnnConfig::fast_test() };
+        let flag = AtomicBool::new(true);
+        for method in [
+            GmlMethodKind::Gcn,
+            GmlMethodKind::Rgcn,
+            GmlMethodKind::GraphSaint,
+            GmlMethodKind::ShadowSaint,
+        ] {
+            let out = train_nc_ctl(method, &data, &cfg, TrainControl::with_flag(&flag));
+            assert!(
+                out.report.loss_curve.is_empty(),
+                "{method} ran {} epochs after cancellation",
+                out.report.loss_curve.len()
+            );
+        }
+    }
+
+    #[test]
+    fn mid_run_cancel_stops_within_epochs_not_at_run_end() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // The run is configured far beyond what could finish quickly; a
+        // cancel raised shortly after the start must end it long before the
+        // configured horizon (the per-epoch poll bounds the overshoot).
+        let data = testutil::tiny_nc();
+        let cfg = GnnConfig { epochs: 200_000, dropout: 0.0, ..GnnConfig::fast_test() };
+        let flag = Arc::new(AtomicBool::new(false));
+        let raiser = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                flag.store(true, Ordering::SeqCst);
+            })
+        };
+        let out = train_nc_ctl(GmlMethodKind::Gcn, &data, &cfg, TrainControl::with_flag(&flag));
+        raiser.join().unwrap();
+        let epochs_run = out.report.loss_curve.len();
+        assert!(
+            epochs_run < cfg.epochs / 10,
+            "cancel did not bound the run: {epochs_run}/{} epochs",
+            cfg.epochs
+        );
     }
 
     #[test]

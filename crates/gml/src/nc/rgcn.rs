@@ -27,6 +27,7 @@ use kgnet_linalg::{
 };
 
 use crate::config::{GmlMethodKind, GnnConfig};
+use crate::control::TrainControl;
 use crate::dataset::NcDataset;
 use crate::nc::{add_bias_inplace, finish, relu_inplace, TrainedNc};
 
@@ -37,8 +38,9 @@ struct Relation {
     rows: Rc<Vec<u32>>,
 }
 
-/// Train a full-batch RGCN on the dataset.
-pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
+/// Train a full-batch RGCN on the dataset. Cancellation via `ctl` is
+/// polled at every epoch boundary.
+pub fn train(data: &NcDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> TrainedNc {
     let scope = memtrack::MemScope::begin();
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -80,6 +82,9 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
+        if ctl.is_cancelled() {
+            break;
+        }
         let mut tape = Tape::new();
         let adj_ids: Vec<usize> =
             relations.iter().map(|r| tape.adjacency(r.sub_adj.clone())).collect();
@@ -209,7 +214,7 @@ mod tests {
     fn rgcn_learns_better_than_chance() {
         let data = tiny_nc();
         let cfg = GnnConfig { epochs: 40, dropout: 0.0, ..GnnConfig::fast_test() };
-        let out = train(&data, &cfg);
+        let out = train(&data, &cfg, TrainControl::NONE);
         let chance = 1.0 / data.n_classes() as f64;
         assert!(
             out.report.test_metric > chance * 2.0,
@@ -222,7 +227,7 @@ mod tests {
     fn rgcn_loss_decreases() {
         let data = tiny_nc();
         let cfg = GnnConfig { epochs: 25, dropout: 0.0, ..GnnConfig::fast_test() };
-        let out = train(&data, &cfg);
+        let out = train(&data, &cfg, TrainControl::NONE);
         assert!(out.report.loss_curve.last().unwrap() < &out.report.loss_curve[0]);
     }
 
@@ -230,7 +235,7 @@ mod tests {
     fn rgcn_uses_more_memory_than_sampled_methods_would() {
         // Full-batch RGCN must at least allocate per-relation activations.
         let data = tiny_nc();
-        let out = train(&data, &GnnConfig::fast_test());
+        let out = train(&data, &GnnConfig::fast_test(), TrainControl::NONE);
         assert!(out.report.peak_mem_bytes > data.graph.n_nodes() * 16);
     }
 }

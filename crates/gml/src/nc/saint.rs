@@ -19,6 +19,7 @@ use rustc_hash::FxHashMap;
 use kgnet_linalg::{init, memtrack, Adam, CsrMatrix, Matrix, Optimizer, ParamStore, Tape};
 
 use crate::config::{GmlMethodKind, GnnConfig};
+use crate::control::TrainControl;
 use crate::dataset::NcDataset;
 use crate::nc::{finish, gcn_forward, TrainedNc};
 use crate::par;
@@ -33,8 +34,9 @@ struct PreparedBatch {
     seed: u64,
 }
 
-/// Train GraphSAINT on the dataset.
-pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
+/// Train GraphSAINT on the dataset. Cancellation via `ctl` is polled at
+/// every epoch boundary.
+pub fn train(data: &NcDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> TrainedNc {
     let scope = memtrack::MemScope::begin();
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -64,6 +66,9 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        if ctl.is_cancelled() {
+            break;
+        }
         let mut epoch_loss = 0.0f32;
         let mut counted = 0usize;
         let mut step = 0usize;
@@ -207,7 +212,7 @@ mod tests {
             saint_walk_length: 2,
             ..GnnConfig::fast_test()
         };
-        let out = train(&data, &cfg);
+        let out = train(&data, &cfg, TrainControl::NONE);
         let chance = 1.0 / data.n_classes() as f64;
         assert!(
             out.report.test_metric > chance * 2.0,
@@ -219,7 +224,7 @@ mod tests {
     #[test]
     fn saint_records_sampling_based_profile() {
         let data = tiny_nc();
-        let out = train(&data, &GnnConfig::fast_test());
+        let out = train(&data, &GnnConfig::fast_test(), TrainControl::NONE);
         assert_eq!(out.report.method, GmlMethodKind::GraphSaint);
         assert!(out.report.train_time_s > 0.0);
         assert_eq!(out.target_logits.rows(), data.n_targets());

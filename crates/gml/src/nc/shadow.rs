@@ -18,6 +18,7 @@ use rustc_hash::FxHashMap;
 use kgnet_linalg::{init, memtrack, Adam, CsrMatrix, Matrix, Optimizer, ParamStore, Tape};
 
 use crate::config::{GmlMethodKind, GnnConfig};
+use crate::control::TrainControl;
 use crate::dataset::NcDataset;
 use crate::nc::{finish, TrainedNc};
 use crate::par;
@@ -38,8 +39,9 @@ struct PreparedBatch {
     seed: u64,
 }
 
-/// Train ShadowSAINT on the dataset.
-pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
+/// Train ShadowSAINT on the dataset. Cancellation via `ctl` is polled at
+/// every epoch boundary.
+pub fn train(data: &NcDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> TrainedNc {
     let scope = memtrack::MemScope::begin();
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -69,6 +71,9 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig) -> TrainedNc {
     let mut train_idx: Vec<u32> = data.split.train.clone();
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        if ctl.is_cancelled() {
+            break;
+        }
         train_idx.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
@@ -231,7 +236,7 @@ mod tests {
     fn shadow_learns_better_than_chance() {
         let data = tiny_nc();
         let cfg = GnnConfig { epochs: 50, dropout: 0.0, batch_size: 32, ..GnnConfig::fast_test() };
-        let out = train(&data, &cfg);
+        let out = train(&data, &cfg, TrainControl::NONE);
         let chance = 1.0 / data.n_classes() as f64;
         assert!(
             out.report.test_metric > chance * 2.0,

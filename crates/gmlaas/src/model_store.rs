@@ -73,6 +73,9 @@ pub struct ModelArtifact {
     /// Number of entities the model can answer for (the paper's "model
     /// cardinality", used by the query optimizer).
     pub cardinality: usize,
+    /// Store generation (MVCC version) of the snapshot the model was
+    /// trained against; `0` for standalone/ad-hoc training runs.
+    pub trained_generation: u64,
     /// The inference payload.
     pub payload: ArtifactPayload,
 }
@@ -162,6 +165,7 @@ impl ModelStore {
                         report: artifact.report.clone(),
                         sampler: artifact.sampler.clone(),
                         cardinality: artifact.cardinality,
+                        trained_generation: artifact.trained_generation,
                         payload: ArtifactPayload::NodeSimilarity {
                             store: EmbeddingStore::new(store.dim(), store.metric()),
                         },
@@ -273,6 +277,7 @@ mod tests {
             },
             sampler: "d1h1".into(),
             cardinality: 10,
+            trained_generation: 0,
             payload: ArtifactPayload::NodeClassifier {
                 predictions: [("http://x/p1".to_owned(), "http://x/v1".to_owned())]
                     .into_iter()

@@ -290,6 +290,7 @@ mod tests {
             report: report(),
             sampler: "d1h1".into(),
             cardinality: 2,
+            trained_generation: 0,
             payload: ArtifactPayload::NodeClassifier {
                 predictions: [
                     ("http://x/p1".to_owned(), "http://x/v1".to_owned()),

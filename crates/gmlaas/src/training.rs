@@ -7,10 +7,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use kgnet_gml::config::{GmlMethodKind, GnnConfig};
+use kgnet_gml::control::TrainControl;
 use kgnet_gml::dataset::{build_lp_dataset, build_nc_dataset};
 use kgnet_gml::estimate::GraphDims;
-use kgnet_gml::lp::{kge, train_lp};
-use kgnet_gml::nc::train_nc;
+use kgnet_gml::lp::{kge, train_lp_ctl};
+use kgnet_gml::nc::train_nc_ctl;
 use kgnet_graph::{transform, GmlTask, SplitRatios, SplitStrategy};
 use kgnet_rdf::RdfStore;
 
@@ -63,6 +64,8 @@ pub enum TrainError {
     BudgetInfeasible,
     /// The task matched no targets/edges in the provided graph.
     EmptyTask,
+    /// The run was cancelled mid-training; any partial result was discarded.
+    Cancelled,
 }
 
 impl std::fmt::Display for TrainError {
@@ -70,6 +73,7 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::BudgetInfeasible => write!(f, "no GML method fits the task budget"),
             TrainError::EmptyTask => write!(f, "task selects no targets in the graph"),
+            TrainError::Cancelled => write!(f, "training cancelled before completion"),
         }
     }
 }
@@ -139,11 +143,24 @@ impl TrainingManager {
         kg_prime: &RdfStore,
         req: &TrainRequest,
     ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
+        self.train_uncommitted_ctl(kg_prime, req, TrainControl::NONE)
+    }
+
+    /// [`train_uncommitted`](Self::train_uncommitted) with a cancellation
+    /// handle threaded into the trainer's epoch loop: a raised flag stops
+    /// the run within one epoch and yields [`TrainError::Cancelled`] (the
+    /// partial model is dropped, never built into an artifact).
+    pub fn train_uncommitted_ctl(
+        &self,
+        kg_prime: &RdfStore,
+        req: &TrainRequest,
+        ctl: TrainControl<'_>,
+    ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
         match &req.task {
-            GmlTask::NodeClassification(nc) => self.train_nc_task(kg_prime, req, nc),
-            GmlTask::LinkPrediction(lp) => self.train_lp_task(kg_prime, req, lp),
+            GmlTask::NodeClassification(nc) => self.train_nc_task(kg_prime, req, nc, ctl),
+            GmlTask::LinkPrediction(lp) => self.train_lp_task(kg_prime, req, lp, ctl),
             GmlTask::EntitySimilarity { target_type } => {
-                self.train_similarity(kg_prime, req, target_type)
+                self.train_similarity(kg_prime, req, target_type, ctl)
             }
         }
     }
@@ -160,6 +177,7 @@ impl TrainingManager {
         kg: &RdfStore,
         req: &TrainRequest,
         task: &kgnet_graph::NcTask,
+        ctl: TrainControl<'_>,
     ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
         let data =
             build_nc_dataset(kg, task, req.split_strategy, SplitRatios::default(), req.cfg.seed);
@@ -172,7 +190,10 @@ impl TrainingManager {
             None => select_method(&GmlMethodKind::NC_METHODS, &dims, &req.cfg, &req.budget),
         };
         let method = trace.chosen.ok_or(TrainError::BudgetInfeasible)?;
-        let trained = train_nc(method, &data, &req.cfg);
+        let trained = train_nc_ctl(method, &data, &req.cfg, ctl);
+        if ctl.is_cancelled() {
+            return Err(TrainError::Cancelled);
+        }
 
         let predictions = data
             .target_iris
@@ -190,6 +211,7 @@ impl TrainingManager {
             report: trained.report,
             sampler: req.sampler.clone(),
             cardinality: data.n_targets(),
+            trained_generation: 0,
             payload: ArtifactPayload::NodeClassifier { predictions },
         };
         Ok((artifact, trace))
@@ -200,6 +222,7 @@ impl TrainingManager {
         kg: &RdfStore,
         req: &TrainRequest,
         task: &kgnet_graph::LpTask,
+        ctl: TrainControl<'_>,
     ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
         let data = build_lp_dataset(kg, task, SplitRatios::default(), req.cfg.seed);
         if data.n_edges() == 0 || data.destinations.is_empty() {
@@ -211,7 +234,10 @@ impl TrainingManager {
             None => select_method(&GmlMethodKind::LP_METHODS, &dims, &req.cfg, &req.budget),
         };
         let method = trace.chosen.ok_or(TrainError::BudgetInfeasible)?;
-        let trained = train_lp(method, &data, &req.cfg);
+        let trained = train_lp_ctl(method, &data, &req.cfg, ctl);
+        if ctl.is_cancelled() {
+            return Err(TrainError::Cancelled);
+        }
 
         let mut topk = std::collections::HashMap::with_capacity(data.sources.len());
         for (pos, iri) in data.source_iris.iter().enumerate() {
@@ -232,6 +258,7 @@ impl TrainingManager {
             report: trained.report,
             sampler: req.sampler.clone(),
             cardinality: data.sources.len(),
+            trained_generation: 0,
             payload: ArtifactPayload::LinkPredictor { topk },
         };
         Ok((artifact, trace))
@@ -242,12 +269,16 @@ impl TrainingManager {
         kg: &RdfStore,
         req: &TrainRequest,
         target_type: &str,
+        ctl: TrainControl<'_>,
     ) -> Result<(ModelArtifact, SelectionTrace), TrainError> {
         let (graph, _stats) = transform(kg, &[]);
         if graph.n_nodes() == 0 {
             return Err(TrainError::EmptyTask);
         }
-        let (embeddings, report) = kge::train_unsupervised(&graph, &req.cfg);
+        let (embeddings, report) = kge::train_unsupervised_ctl(&graph, &req.cfg, ctl);
+        if ctl.is_cancelled() {
+            return Err(TrainError::Cancelled);
+        }
 
         let mut store = EmbeddingStore::new(embeddings.cols(), Metric::Cosine);
         let wanted_type = graph.node_type_id(&format!("<{target_type}>"));
@@ -283,6 +314,7 @@ impl TrainingManager {
             report,
             sampler: req.sampler.clone(),
             cardinality,
+            trained_generation: 0,
             payload: ArtifactPayload::NodeSimilarity { store },
         };
         let trace = SelectionTrace { candidates: vec![], chosen: Some(GmlMethodKind::TransE) };

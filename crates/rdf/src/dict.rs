@@ -13,7 +13,11 @@ use crate::term::Term;
 pub struct TermId(pub u32);
 
 /// Bidirectional term <-> id mapping.
-#[derive(Default)]
+///
+/// `Clone` supports the store's copy-on-write versioning: an `Arc`-shared
+/// dictionary is deep-copied only when a new version interns its first new
+/// term.
+#[derive(Default, Clone)]
 pub struct TermDict {
     by_term: FxHashMap<Term, TermId>,
     by_id: Vec<Term>,

@@ -1,83 +1,239 @@
-//! A concurrently shareable [`RdfStore`]: the engine-side half of the
-//! platform's read/write split.
+//! MVCC snapshot publishing: the engine-side half of the platform's
+//! read/write split, where writers never block readers.
 //!
-//! [`SharedStore`] wraps the store in an [`Arc`]`<`[`RwLock`]`>` so any
-//! number of read sessions evaluate SPARQL against `&RdfStore` at the same
-//! time while writers (data updates, bulk loads) take the exclusive side.
-//! Every mutation goes through the store's own insert/remove methods and
-//! therefore bumps the [`RdfStore::generation`] epoch counter, which is what
-//! keeps the `predicate_stats` planner cache and any prepared-query caches
-//! coherent: a reader that captured a generation can tell whether its cached
-//! plans are still valid without re-reading the data.
+//! [`SharedStore`] holds the *current* immutable store version behind an
+//! `Arc<RwLock<Arc<RdfStore>>>`. Readers call [`SharedStore::snapshot`] to
+//! pin the current version — a single `Arc` clone under a momentary read
+//! lock — and then evaluate against that [`Snapshot`] for as long as they
+//! like with **zero** locks held. Writers call [`SharedStore::begin`] (or
+//! the [`SharedStore::commit`] convenience) to build the *next* version
+//! privately on a copy-on-write clone and publish it as one atomic pointer
+//! swap. The [`RdfStore::generation`] epoch doubles as the version id.
 //!
-//! Consistency contract: everything observed through one read guard — the
+//! Writers are serialised by an internal gate (one pending version at a
+//! time, so no committed change can be lost), but a writer holding the gate
+//! never blocks snapshot acquisition: the `RwLock` is only touched for the
+//! nanoseconds of the pointer read/swap itself.
+//!
+//! Consistency contract: everything observed through one [`Snapshot`] — the
 //! generation, triple count, scans, full query evaluations — comes from a
-//! single store snapshot; the generation cannot change while the guard is
-//! held (property-tested below under real writer threads).
+//! single frozen version. A concurrent commit, however large, is either
+//! entirely visible to a *later* snapshot or not visible at all; a pinned
+//! snapshot never observes a torn intermediate state (property-tested below
+//! under real writer threads).
 
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::RwLock;
 
 use crate::store::RdfStore;
 
-/// A cheaply cloneable handle to one RDF store shared between concurrent
-/// readers and exclusive writers.
+/// An immutable, cheaply clonable pin of one published store version.
+///
+/// Dereferences to [`RdfStore`], so every `&RdfStore` consumer (SPARQL
+/// evaluation, sampling, statistics) works on a snapshot unchanged. Holding
+/// a snapshot keeps that version's shards alive but holds no lock: writers
+/// publish new versions freely while old pins stay readable.
+#[derive(Clone)]
+pub struct Snapshot {
+    inner: Arc<RdfStore>,
+}
+
+impl Snapshot {
+    /// Freeze a standalone store into a snapshot (version 0 of nothing in
+    /// particular; mostly useful in tests and one-shot pipelines).
+    pub fn freeze(store: RdfStore) -> Self {
+        Snapshot { inner: Arc::new(store) }
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = RdfStore;
+
+    fn deref(&self) -> &RdfStore {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("triples", &self.len())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+/// Serialises writers: at most one [`WriteTxn`] exists per store at a time.
+/// A plain mutex+condvar semaphore rather than a lock guard so the permit
+/// can be *owned* (stored in a session struct) instead of borrowed.
+#[derive(Default)]
+struct WriterGate {
+    busy: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl WriterGate {
+    fn acquire(self: &Arc<Self>) -> WriterPermit {
+        let mut busy = self.busy.lock().unwrap_or_else(PoisonError::into_inner);
+        while *busy {
+            busy = self.cv.wait(busy).unwrap_or_else(PoisonError::into_inner);
+        }
+        *busy = true;
+        WriterPermit { gate: Arc::clone(self) }
+    }
+}
+
+/// Owned writer slot; releasing it (on drop) wakes the next queued writer.
+struct WriterPermit {
+    gate: Arc<WriterGate>,
+}
+
+impl Drop for WriterPermit {
+    fn drop(&mut self) {
+        *self.gate.busy.lock().unwrap_or_else(PoisonError::into_inner) = false;
+        self.gate.cv.notify_one();
+    }
+}
+
+/// A cheaply cloneable handle publishing MVCC versions of one RDF store.
 #[derive(Clone, Default)]
 pub struct SharedStore {
-    inner: Arc<RwLock<RdfStore>>,
+    current: Arc<RwLock<Arc<RdfStore>>>,
+    gate: Arc<WriterGate>,
 }
 
 impl std::fmt::Debug for SharedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let guard = self.read();
+        let snap = self.snapshot();
         f.debug_struct("SharedStore")
-            .field("triples", &guard.len())
-            .field("generation", &guard.generation())
+            .field("triples", &snap.len())
+            .field("generation", &snap.generation())
             .finish()
     }
 }
 
 impl SharedStore {
-    /// Share an existing store.
+    /// Publish an existing store as the initial version.
     pub fn new(store: RdfStore) -> Self {
-        SharedStore { inner: Arc::new(RwLock::new(store)) }
+        SharedStore {
+            current: Arc::new(RwLock::new(Arc::new(store))),
+            gate: Arc::new(WriterGate::default()),
+        }
     }
 
-    /// Acquire shared read access. Any number of readers proceed in
-    /// parallel; the snapshot is frozen for the guard's lifetime.
-    pub fn read(&self) -> RwLockReadGuard<'_, RdfStore> {
-        self.inner.read()
+    /// Pin the current version. One `Arc` clone under a momentary read
+    /// lock; after that the snapshot holds no lock whatsoever.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { inner: Arc::clone(&self.current.read()) }
     }
 
-    /// Acquire exclusive write access. Mutations through the guard bump the
-    /// store's generation, invalidating statistics and plan caches.
-    pub fn write(&self) -> RwLockWriteGuard<'_, RdfStore> {
-        self.inner.write()
+    /// Open a write transaction on a private copy-on-write clone of the
+    /// current version. Blocks while another transaction is open (writers
+    /// are serialised); never blocks readers. Dropping the transaction
+    /// without [`WriteTxn::commit`] discards the pending version.
+    pub fn begin(&self) -> WriteTxn {
+        // Acquire the gate *before* reading `current`: only the permit
+        // holder publishes, so the clone is guaranteed to be of the latest
+        // committed version and no committed change can be lost.
+        let permit = self.gate.acquire();
+        let base = Arc::clone(&self.current.read());
+        let pending = (*base).clone();
+        WriteTxn {
+            current: Arc::clone(&self.current),
+            base_generation: pending.generation(),
+            pending,
+            _permit: permit,
+        }
     }
 
-    /// The current mutation epoch (acquires a read lock briefly).
+    /// Apply one batch of mutations and publish them as a single version
+    /// flip: `begin` → mutate → commit.
+    pub fn commit<R>(&self, f: impl FnOnce(&mut RdfStore) -> R) -> R {
+        let mut txn = self.begin();
+        let out = f(txn.store_mut());
+        txn.commit();
+        out
+    }
+
+    /// The current version id (momentary read lock).
     pub fn generation(&self) -> u64 {
-        self.read().generation()
+        self.snapshot().generation()
     }
 
-    /// Triple count (acquires a read lock briefly).
+    /// Triple count of the current version (momentary read lock).
     pub fn len(&self) -> usize {
-        self.read().len()
+        self.snapshot().len()
     }
 
-    /// True when the store holds no triples.
+    /// True when the current version holds no triples.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Recover the store when this is the last handle; otherwise the shared
-    /// handle is returned unchanged.
+    /// handle is returned unchanged. Outstanding [`Snapshot`]s do not block
+    /// recovery — the current version is copy-on-write extracted from under
+    /// them.
     pub fn try_unwrap(self) -> Result<RdfStore, SharedStore> {
-        match Arc::try_unwrap(self.inner) {
-            Ok(lock) => Ok(lock.into_inner()),
-            Err(inner) => Err(SharedStore { inner }),
+        match Arc::try_unwrap(self.current) {
+            Ok(lock) => {
+                let version = lock.into_inner();
+                Ok(Arc::try_unwrap(version).unwrap_or_else(|shared| (*shared).clone()))
+            }
+            Err(current) => Err(SharedStore { current, gate: self.gate }),
         }
+    }
+}
+
+/// An exclusive, owned write transaction: the next store version being
+/// built privately. Readers keep pinning and scanning the published version
+/// while this exists; nothing becomes visible until [`WriteTxn::commit`].
+pub struct WriteTxn {
+    current: Arc<RwLock<Arc<RdfStore>>>,
+    pending: RdfStore,
+    base_generation: u64,
+    _permit: WriterPermit,
+}
+
+impl WriteTxn {
+    /// The pending version, readable: a transaction sees its own writes.
+    pub fn store(&self) -> &RdfStore {
+        &self.pending
+    }
+
+    /// The pending version, mutable. Mutations stay private until commit.
+    pub fn store_mut(&mut self) -> &mut RdfStore {
+        &mut self.pending
+    }
+
+    /// The generation of the version this transaction branched from.
+    pub fn base_generation(&self) -> u64 {
+        self.base_generation
+    }
+
+    /// Atomically publish the pending version; returns its generation.
+    /// Every snapshot pinned afterwards sees all of this transaction's
+    /// mutations; every snapshot pinned before sees none of them.
+    pub fn commit(self) -> u64 {
+        let generation = self.pending.generation();
+        *self.current.write() = Arc::new(self.pending);
+        generation
+    }
+
+    /// Discard the pending version: nothing is published, the store stays
+    /// at the version it was. Equivalent to dropping the transaction.
+    pub fn abort(self) {}
+}
+
+impl std::fmt::Debug for WriteTxn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteTxn")
+            .field("base_generation", &self.base_generation)
+            .field("pending_generation", &self.pending.generation())
+            .field("pending_triples", &self.pending.len())
+            .finish()
     }
 }
 
@@ -95,7 +251,7 @@ mod tests {
     fn clone_shares_one_store() {
         let shared = SharedStore::new(RdfStore::new());
         let other = shared.clone();
-        shared.write().insert(iri("a"), iri("p"), iri("b"));
+        shared.commit(|st| st.insert(iri("a"), iri("p"), iri("b")));
         assert_eq!(other.len(), 1);
         assert_eq!(other.generation(), shared.generation());
     }
@@ -111,13 +267,98 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_readers_see_frozen_generation() {
+    fn try_unwrap_succeeds_under_outstanding_snapshot() {
         let shared = SharedStore::new(RdfStore::new());
+        shared.commit(|st| st.insert(iri("a"), iri("p"), iri("b")));
+        let pin = shared.snapshot();
+        let Ok(store) = shared.try_unwrap() else { panic!("snapshots must not block unwrap") };
+        assert_eq!(store.len(), 1);
+        assert_eq!(pin.len(), 1);
+    }
+
+    #[test]
+    fn pinned_snapshot_is_frozen_across_commits() {
+        let shared = SharedStore::new(RdfStore::new());
+        shared.commit(|st| {
+            st.insert(iri("p1"), iri("cites"), iri("p2"));
+            st.insert(iri("p2"), iri("cites"), iri("p3"));
+        });
+        let pin = shared.snapshot();
+        let dump = pin.to_ntriples();
+        let generation = pin.generation();
+
+        // Bulk DELETE+INSERT commits while the pin is held.
+        shared.commit(|st| {
+            st.remove(&iri("p1"), &iri("cites"), &iri("p2"));
+            st.remove(&iri("p2"), &iri("cites"), &iri("p3"));
+            for i in 0..50u32 {
+                st.insert(iri(&format!("n{i}")), iri("p"), iri("o"));
+            }
+        });
+
+        // The pin is bit-identical; a fresh snapshot sees the new version.
+        assert_eq!(pin.generation(), generation);
+        assert_eq!(pin.len(), 2);
+        assert_eq!(pin.to_ntriples(), dump);
+        let fresh = shared.snapshot();
+        assert_eq!(fresh.len(), 50);
+        assert!(fresh.generation() > generation);
+    }
+
+    #[test]
+    fn abort_discards_the_pending_version() {
+        let shared = SharedStore::new(RdfStore::new());
+        shared.commit(|st| st.insert(iri("keep"), iri("p"), iri("o")));
+        let generation = shared.generation();
+
+        let mut txn = shared.begin();
+        txn.store_mut().insert(iri("scrapped"), iri("p"), iri("o"));
+        txn.store_mut().remove(&iri("keep"), &iri("p"), &iri("o"));
+        assert_eq!(txn.store().len(), 1, "transaction reads its own writes");
+        txn.abort();
+
+        assert_eq!(shared.generation(), generation);
+        assert_eq!(shared.len(), 1);
+        assert!(shared.snapshot().contains(&iri("keep"), &iri("p"), &iri("o")));
+        // The gate was released: the next writer proceeds.
+        let published = shared.commit(|st| st.insert(iri("next"), iri("p"), iri("o")));
+        assert!(published);
+    }
+
+    #[test]
+    fn open_transaction_never_blocks_snapshots() {
+        let shared = SharedStore::new(RdfStore::new());
+        shared.commit(|st| st.insert(iri("a"), iri("p"), iri("b")));
+        let mut txn = shared.begin();
+        txn.store_mut().insert(iri("pending"), iri("p"), iri("o"));
+        // With the writer gate held and a dirty pending version, readers
+        // still pin and scan the published version without blocking.
+        let snap = shared.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(!snap.contains(&iri("pending"), &iri("p"), &iri("o")));
+        txn.commit();
+        assert_eq!(shared.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn commits_are_atomic_never_torn() {
+        // The writer flips between state A {x} and state B {y} with a
+        // remove+insert batch per commit. Any snapshot must see exactly one
+        // of the two markers — both or neither means a torn publication.
+        let shared = SharedStore::new(RdfStore::new());
+        shared.commit(|st| st.insert(iri("x"), iri("state"), iri("on")));
         let writer = {
             let shared = shared.clone();
             std::thread::spawn(move || {
-                for i in 0..200u32 {
-                    shared.write().insert(iri(&format!("s{i}")), iri("p"), iri("o"));
+                for _ in 0..300 {
+                    shared.commit(|st| {
+                        st.remove(&iri("x"), &iri("state"), &iri("on"));
+                        st.insert(iri("y"), iri("state"), iri("on"));
+                    });
+                    shared.commit(|st| {
+                        st.remove(&iri("y"), &iri("state"), &iri("on"));
+                        st.insert(iri("x"), iri("state"), iri("on"));
+                    });
                 }
             })
         };
@@ -125,13 +366,12 @@ mod tests {
             .map(|_| {
                 let shared = shared.clone();
                 std::thread::spawn(move || {
-                    for _ in 0..200 {
-                        let g = shared.read();
-                        let before = g.generation();
-                        let len = g.len();
-                        let scanned = g.scan_iter(None, None, None).count();
-                        assert_eq!(len, scanned, "scan disagrees with len under one guard");
-                        assert_eq!(before, g.generation(), "generation moved under a read guard");
+                    for _ in 0..300 {
+                        let snap = shared.snapshot();
+                        let has_x = snap.contains(&iri("x"), &iri("state"), &iri("on"));
+                        let has_y = snap.contains(&iri("y"), &iri("state"), &iri("on"));
+                        assert!(has_x ^ has_y, "torn commit: x={has_x} y={has_y}");
+                        assert_eq!(snap.len(), 1);
                     }
                 })
             })
@@ -140,18 +380,37 @@ mod tests {
         for r in readers {
             r.join().unwrap();
         }
-        assert_eq!(shared.len(), 200);
+    }
+
+    #[test]
+    fn serialised_writers_lose_no_commits() {
+        let shared = SharedStore::new(RdfStore::new());
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        shared
+                            .commit(|st| st.insert(iri(&format!("w{w}-{i}")), iri("p"), iri("o")));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(shared.len(), 200, "a concurrent commit was lost");
     }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
 
-        /// Interleaved reads, writes and scans: every read guard observes a
-        /// consistent snapshot (generation frozen, len == full-scan count,
-        /// per-predicate scans never exceed len), and the final store equals
-        /// the sequential application of the writer's operations.
+        /// Interleaved batched commits vs pinned snapshots: every snapshot
+        /// is internally consistent (len == full-scan count) and *stays*
+        /// bit-identical while the writer churns; the final store equals the
+        /// sequential application of the writer's operations.
         #[test]
-        fn interleaved_ops_keep_reads_consistent(
+        fn interleaved_commits_keep_snapshots_frozen(
             ops in proptest::collection::vec(
                 ("[a-d]{1,2}", "[p-r]", "[x-z]{1,2}", any::<bool>()), 1..40),
         ) {
@@ -160,28 +419,36 @@ mod tests {
                 let shared = shared.clone();
                 let ops = ops.clone();
                 std::thread::spawn(move || {
-                    for (s, p, o, insert) in ops {
-                        let mut st = shared.write();
-                        if insert {
-                            st.insert(iri(&s), iri(&p), iri(&o));
-                        } else {
-                            st.remove(&iri(&s), &iri(&p), &iri(&o));
-                        }
+                    // Commit in small batches: each batch is one version flip.
+                    for batch in ops.chunks(3) {
+                        shared.commit(|st| {
+                            for (s, p, o, insert) in batch {
+                                if *insert {
+                                    st.insert(iri(s), iri(p), iri(o));
+                                } else {
+                                    st.remove(&iri(s), &iri(p), &iri(o));
+                                }
+                            }
+                        });
                     }
                 })
             };
             let readers: Vec<_> = (0..2).map(|_| {
                 let shared = shared.clone();
                 std::thread::spawn(move || {
-                    for _ in 0..60 {
-                        let g = shared.read();
-                        let generation = g.generation();
-                        let len = g.len();
-                        assert_eq!(g.scan_iter(None, None, None).count(), len);
-                        for pred in g.predicates() {
-                            assert!(g.scan_iter(None, Some(pred), None).count() <= len);
+                    for _ in 0..30 {
+                        let snap = shared.snapshot();
+                        let generation = snap.generation();
+                        let len = snap.len();
+                        let dump = snap.to_ntriples();
+                        assert_eq!(snap.scan_iter(None, None, None).count(), len);
+                        for pred in snap.predicates() {
+                            assert!(snap.scan_iter(None, Some(pred), None).count() <= len);
                         }
-                        assert_eq!(g.generation(), generation);
+                        // Re-inspect the same pin: nothing may have moved.
+                        assert_eq!(snap.generation(), generation);
+                        assert_eq!(snap.len(), len);
+                        assert_eq!(snap.to_ntriples(), dump, "pinned snapshot mutated");
                     }
                 })
             }).collect();

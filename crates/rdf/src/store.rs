@@ -4,9 +4,27 @@
 //! knowledge graphs here, the meta-sampler extracts task-specific subgraphs
 //! from it through pattern scans, and the SPARQL engine evaluates basic
 //! graph patterns against its indexes.
+//!
+//! # Copy-on-write interior
+//!
+//! Each index is split into [`SHARDS`] B-tree shards keyed by the tuple's
+//! first component, every shard behind its own [`Arc`]. Cloning a store is
+//! therefore O(shards): the clone shares every shard (and the term
+//! dictionary) with the original until one side mutates, at which point only
+//! the touched shard is deep-copied ([`Arc::make_mut`]). This is what makes
+//! MVCC snapshots cheap: a writer clones the current version, mutates its
+//! private copy shard-by-shard, and publishes the result atomically while
+//! readers keep scanning the old shards (see `shared.rs`).
+//!
+//! Because a shard holds every tuple whose first component hashes to it,
+//! bound-first-component scans (`S??`, `?P?`, `??O` and their refinements)
+//! stay single-shard range walks; only the unconstrained `???` scan pays a
+//! k-way merge across shards to preserve global SPO order.
 
 use std::collections::{btree_set, BTreeSet};
+use std::iter::Peekable;
 use std::ops::Bound;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -19,6 +37,10 @@ pub type Triple = (TermId, TermId, TermId);
 
 /// One position of a triple pattern: bound to a term id or a wildcard.
 pub type PatternSlot = Option<TermId>;
+
+/// Number of copy-on-write B-tree shards per index.
+const SHARDS: usize = 16;
+const SHARD_MASK: u32 = SHARDS as u32 - 1;
 
 /// Cached index statistics for one predicate, used by the query planner to
 /// order joins by estimated cardinality.
@@ -40,16 +62,119 @@ struct StatsCache {
     by_pred: FxHashMap<u32, PredicateStats>,
 }
 
+/// One index ordering as copy-on-write B-tree shards, partitioned by the
+/// first tuple component (`first & SHARD_MASK`). Tuples sharing a first
+/// component live in one shard, so fixing the first component keeps range
+/// scans single-shard.
+#[derive(Clone, Default)]
+struct ShardedIndex {
+    shards: [Arc<BTreeSet<(u32, u32, u32)>>; SHARDS],
+}
+
+impl ShardedIndex {
+    fn shard_of(first: u32) -> usize {
+        (first & SHARD_MASK) as usize
+    }
+
+    fn contains(&self, t: &(u32, u32, u32)) -> bool {
+        self.shards[Self::shard_of(t.0)].contains(t)
+    }
+
+    /// Insert, deep-copying the target shard only if it is shared *and* the
+    /// tuple is actually new.
+    fn insert(&mut self, t: (u32, u32, u32)) -> bool {
+        let shard = &mut self.shards[Self::shard_of(t.0)];
+        if shard.contains(&t) {
+            return false;
+        }
+        Arc::make_mut(shard).insert(t)
+    }
+
+    /// Remove, deep-copying the target shard only if it is shared *and* the
+    /// tuple is actually present.
+    fn remove(&mut self, t: &(u32, u32, u32)) -> bool {
+        let shard = &mut self.shards[Self::shard_of(t.0)];
+        if !shard.contains(t) {
+            return false;
+        }
+        Arc::make_mut(shard).remove(t)
+    }
+
+    /// All tuples whose first component is `a` (one shard, one range).
+    fn range1(&self, a: u32) -> btree_set::Range<'_, (u32, u32, u32)> {
+        self.shards[Self::shard_of(a)]
+            .range((Bound::Included((a, 0, 0)), Bound::Included((a, u32::MAX, u32::MAX))))
+    }
+
+    /// All tuples with first component `a` and second component `b`.
+    fn range2(&self, a: u32, b: u32) -> btree_set::Range<'_, (u32, u32, u32)> {
+        self.shards[Self::shard_of(a)]
+            .range((Bound::Included((a, b, 0)), Bound::Included((a, b, u32::MAX))))
+    }
+
+    /// Every tuple across all shards in global sort order (k-way merge).
+    fn iter_merged(&self) -> MergeIter<'_> {
+        MergeIter { heads: self.shards.iter().map(|s| s.iter().peekable()).collect() }
+    }
+}
+
+/// K-way merge over the sorted shards of one index, restoring global tuple
+/// order for unconstrained scans. With [`SHARDS`] = 16 heads the linear
+/// min-scan per item beats a binary heap on constant factors.
+struct MergeIter<'a> {
+    heads: Vec<Peekable<btree_set::Iter<'a, (u32, u32, u32)>>>,
+}
+
+impl Iterator for MergeIter<'_> {
+    type Item = (u32, u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32, u32)> {
+        let mut best: Option<(usize, (u32, u32, u32))> = None;
+        for (i, head) in self.heads.iter_mut().enumerate() {
+            if let Some(&&t) = head.peek() {
+                if best.is_none_or(|(_, b)| t < b) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        let (i, t) = best?;
+        self.heads[i].next();
+        Some(t)
+    }
+}
+
 /// An in-memory RDF store with SPO, POS and OSP indexes.
+///
+/// `Clone` is cheap (copy-on-write): the clone shares the term dictionary
+/// and all index shards until either side mutates. The statistics cache is
+/// *not* shared between clones — each version computes its own on demand —
+/// so a pinned old snapshot and the current version never thrash one cache.
 #[derive(Default)]
 pub struct RdfStore {
-    dict: TermDict,
-    spo: BTreeSet<(u32, u32, u32)>,
-    pos: BTreeSet<(u32, u32, u32)>,
-    osp: BTreeSet<(u32, u32, u32)>,
+    dict: Arc<TermDict>,
+    spo: ShardedIndex,
+    pos: ShardedIndex,
+    osp: ShardedIndex,
+    /// Triple count, maintained incrementally (shards make summing O(k)).
+    triples: usize,
     /// Bumped on every successful insert/remove; stats cached per generation.
     generation: u64,
     stats: Mutex<StatsCache>,
+}
+
+impl Clone for RdfStore {
+    fn clone(&self) -> Self {
+        RdfStore {
+            dict: Arc::clone(&self.dict),
+            spo: self.spo.clone(),
+            pos: self.pos.clone(),
+            osp: self.osp.clone(),
+            triples: self.triples,
+            generation: self.generation,
+            // Fresh, empty cache: stats are recomputed lazily per version.
+            stats: Mutex::new(StatsCache::default()),
+        }
+    }
 }
 
 impl RdfStore {
@@ -64,8 +189,14 @@ impl RdfStore {
     }
 
     /// Intern a term without asserting any triple.
+    ///
+    /// Looking up an already-interned term never copies the shared
+    /// dictionary; only a genuinely new term pays the copy-on-write.
     pub fn intern(&mut self, term: Term) -> TermId {
-        self.dict.intern(term)
+        if let Some(id) = self.dict.get(&term) {
+            return id;
+        }
+        Arc::make_mut(&mut self.dict).intern(term)
     }
 
     /// Look up an already-interned term.
@@ -80,9 +211,9 @@ impl RdfStore {
 
     /// Insert a triple of terms. Returns `true` when newly added.
     pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
-        let s = self.dict.intern(s);
-        let p = self.dict.intern(p);
-        let o = self.dict.intern(o);
+        let s = self.intern(s);
+        let p = self.intern(p);
+        let o = self.intern(o);
         self.insert_ids(s, p, o)
     }
 
@@ -92,6 +223,7 @@ impl RdfStore {
         if added {
             self.pos.insert((p.0, o.0, s.0));
             self.osp.insert((o.0, s.0, p.0));
+            self.triples += 1;
             self.generation += 1;
         }
         added
@@ -111,24 +243,27 @@ impl RdfStore {
         if removed {
             self.pos.remove(&(p.0, o.0, s.0));
             self.osp.remove(&(o.0, s.0, p.0));
+            self.triples -= 1;
             self.generation += 1;
         }
         removed
     }
 
-    /// Mutation counter; bumped whenever a triple is added or removed.
+    /// Mutation counter; bumped whenever a triple is added or removed. This
+    /// is the MVCC version id: a published snapshot is identified by the
+    /// generation it was committed at.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
     /// Number of triples.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.triples
     }
 
     /// True when the store holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.triples == 0
     }
 
     /// Membership test on ids.
@@ -146,28 +281,28 @@ impl RdfStore {
 
     /// Iterate every triple in SPO order.
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o)))
+        self.spo.iter_merged().map(|(s, p, o)| (TermId(s), TermId(p), TermId(o)))
     }
 
     /// Lazily match a triple pattern, yielding each match in index order.
     ///
     /// Index choice: `S??`/`SP?`/`SPO` use SPO; `?P?`/`?PO` use POS;
-    /// `??O`/`S?O` use OSP; `???` scans SPO. Because the iterator walks the
-    /// underlying B-tree range on demand, short-circuiting consumers (e.g. a
-    /// `LIMIT k` query) stop the index scan as soon as they have enough
-    /// matches.
+    /// `??O`/`S?O` use OSP; `???` merges the SPO shards. Because the
+    /// iterator walks the underlying B-tree ranges on demand,
+    /// short-circuiting consumers (e.g. a `LIMIT k` query) stop the index
+    /// scan as soon as they have enough matches.
     pub fn scan_iter(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot) -> ScanIter<'_> {
         let inner = match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
                 ScanInner::One(self.contains_ids(s, p, o).then_some((s, p, o)))
             }
-            (Some(s), Some(p), None) => ScanInner::Spo(range2(&self.spo, s.0, p.0)),
-            (Some(s), None, None) => ScanInner::Spo(range1(&self.spo, s.0)),
-            (None, Some(p), Some(o)) => ScanInner::Pos(range2(&self.pos, p.0, o.0)),
-            (None, Some(p), None) => ScanInner::Pos(range1(&self.pos, p.0)),
-            (None, None, Some(o)) => ScanInner::Osp(range1(&self.osp, o.0)),
-            (Some(s), None, Some(o)) => ScanInner::Osp(range2(&self.osp, o.0, s.0)),
-            (None, None, None) => ScanInner::Full(self.spo.iter()),
+            (Some(s), Some(p), None) => ScanInner::Spo(self.spo.range2(s.0, p.0)),
+            (Some(s), None, None) => ScanInner::Spo(self.spo.range1(s.0)),
+            (None, Some(p), Some(o)) => ScanInner::Pos(self.pos.range2(p.0, o.0)),
+            (None, Some(p), None) => ScanInner::Pos(self.pos.range1(p.0)),
+            (None, None, Some(o)) => ScanInner::Osp(self.osp.range1(o.0)),
+            (Some(s), None, Some(o)) => ScanInner::Osp(self.osp.range2(o.0, s.0)),
+            (None, None, None) => ScanInner::Full(self.spo.iter_merged()),
         };
         ScanIter { inner }
     }
@@ -186,7 +321,7 @@ impl RdfStore {
     pub fn count(&self, s: PatternSlot, p: PatternSlot, o: PatternSlot) -> usize {
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => usize::from(self.contains_ids(s, p, o)),
-            (None, None, None) => self.spo.len(),
+            (None, None, None) => self.triples,
             _ => self.scan_iter(s, p, o).count(),
         }
     }
@@ -196,7 +331,8 @@ impl RdfStore {
     /// when a variable position is already bound.
     ///
     /// Computed on first request per predicate and cached; the cache is
-    /// invalidated wholesale when the store mutates.
+    /// invalidated wholesale when the store mutates. Each store version
+    /// (snapshot) owns its cache, so stats are effectively snapshot-keyed.
     pub fn predicate_stats(&self, p: TermId) -> PredicateStats {
         // parking_lot mutex: no poisoning, so a reader that panics (e.g. a
         // cancelled training job sharing the store) cannot wedge the cache.
@@ -213,7 +349,7 @@ impl RdfStore {
         let mut stats = PredicateStats::default();
         let mut last_object = None;
         let mut subjects = FxHashSet::default();
-        for &(_, o, s) in range1(&self.pos, p.0) {
+        for &(_, o, s) in self.pos.range1(p.0) {
             stats.triples += 1;
             if last_object != Some(o) {
                 stats.distinct_objects += 1;
@@ -234,7 +370,7 @@ impl RdfStore {
         let Some(ty) = self.dict.get(&Term::iri(type_iri)) else {
             return vec![];
         };
-        range2(&self.pos, rdf_type.0, ty.0).map(|&(_, _, s)| TermId(s)).collect()
+        self.pos.range2(rdf_type.0, ty.0).map(|&(_, _, s)| TermId(s)).collect()
     }
 
     /// The `rdf:type` objects of a subject.
@@ -242,20 +378,26 @@ impl RdfStore {
         let Some(rdf_type) = self.dict.get(&Term::iri(RDF_TYPE)) else {
             return vec![];
         };
-        range2(&self.spo, subject.0, rdf_type.0).map(|&(_, _, o)| TermId(o)).collect()
+        self.spo.range2(subject.0, rdf_type.0).map(|&(_, _, o)| TermId(o)).collect()
     }
 
-    /// Distinct predicates in the store.
+    /// Distinct predicates in the store, ascending by id.
     pub fn predicates(&self) -> Vec<TermId> {
+        // Shards partition the POS index by predicate id, so per-shard
+        // run-length distincts never collide across shards; one global sort
+        // restores ascending order.
         let mut out = Vec::new();
-        let mut last: Option<u32> = None;
-        for &(p, _, _) in &self.pos {
-            if last != Some(p) {
-                out.push(TermId(p));
-                last = Some(p);
+        for shard in &self.pos.shards {
+            let mut last: Option<u32> = None;
+            for &(p, _, _) in shard.iter() {
+                if last != Some(p) {
+                    out.push(p);
+                    last = Some(p);
+                }
             }
         }
-        out
+        out.sort_unstable();
+        out.into_iter().map(TermId).collect()
     }
 
     /// Serialise to N-Triples text (stable SPO order).
@@ -288,8 +430,8 @@ enum ScanInner<'a> {
     Pos(btree_set::Range<'a, (u32, u32, u32)>),
     /// OSP-ordered range: tuples are `(o, s, p)`.
     Osp(btree_set::Range<'a, (u32, u32, u32)>),
-    /// Unconstrained scan over the whole SPO index.
-    Full(btree_set::Iter<'a, (u32, u32, u32)>),
+    /// Unconstrained scan: k-way merge across the SPO shards.
+    Full(MergeIter<'a>),
 }
 
 impl Iterator for ScanIter<'_> {
@@ -301,21 +443,9 @@ impl Iterator for ScanIter<'_> {
             ScanInner::Spo(r) => r.next().map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o))),
             ScanInner::Pos(r) => r.next().map(|&(p, o, s)| (TermId(s), TermId(p), TermId(o))),
             ScanInner::Osp(r) => r.next().map(|&(o, s, p)| (TermId(s), TermId(p), TermId(o))),
-            ScanInner::Full(it) => it.next().map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o))),
+            ScanInner::Full(it) => it.next().map(|(s, p, o)| (TermId(s), TermId(p), TermId(o))),
         }
     }
-}
-
-fn range1(set: &BTreeSet<(u32, u32, u32)>, a: u32) -> btree_set::Range<'_, (u32, u32, u32)> {
-    set.range((Bound::Included((a, 0, 0)), Bound::Included((a, u32::MAX, u32::MAX))))
-}
-
-fn range2(
-    set: &BTreeSet<(u32, u32, u32)>,
-    a: u32,
-    b: u32,
-) -> btree_set::Range<'_, (u32, u32, u32)> {
-    set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, u32::MAX))))
 }
 
 #[cfg(test)]
@@ -407,6 +537,45 @@ mod tests {
         for (a, b, c) in [(None, None, None), (Some(s), None, None), (None, Some(p), None)] {
             assert_eq!(st.scan_iter(a, b, c).collect::<Vec<_>>(), st.matches(a, b, c));
         }
+    }
+
+    #[test]
+    fn full_scan_merges_shards_in_global_spo_order() {
+        // Enough triples that every shard is populated.
+        let mut st = RdfStore::new();
+        for i in 0..100u32 {
+            st.insert(iri(&format!("s{i}")), iri(&format!("q{}", i % 7)), iri(&format!("o{i}")));
+        }
+        let merged: Vec<_> =
+            st.scan_iter(None, None, None).map(|(s, p, o)| (s.0, p.0, o.0)).collect();
+        assert_eq!(merged.len(), 100);
+        let mut sorted = merged.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(merged, sorted, "merge must restore global sorted order without duplicates");
+    }
+
+    #[test]
+    fn clone_is_copy_on_write_snapshot() {
+        let st = small_store();
+        let before = st.to_ntriples();
+        let generation = st.generation();
+
+        let mut clone = st.clone();
+        clone.remove(&iri("p1"), &iri("cites"), &iri("p2"));
+        clone.insert(iri("p9"), iri("cites"), iri("p1"));
+        clone.insert(iri("p9"), iri("extra"), Term::str("new term"));
+
+        // The original is bit-identical: same dump, length and generation.
+        assert_eq!(st.to_ntriples(), before);
+        assert_eq!(st.len(), 5);
+        assert_eq!(st.generation(), generation);
+        assert!(st.lookup(&iri("extra")).is_none(), "dict mutation leaked into the original");
+        // The clone diverged independently.
+        assert_eq!(clone.len(), 6);
+        assert!(clone.generation() > generation);
+        assert!(clone.contains(&iri("p9"), &iri("cites"), &iri("p1")));
+        assert!(!clone.contains(&iri("p1"), &iri("cites"), &iri("p2")));
     }
 
     #[test]

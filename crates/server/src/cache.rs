@@ -1,39 +1,50 @@
-//! Per-session LRU cache of prepared SPARQL plans.
+//! The server-wide shared LRU cache of prepared SPARQL plans.
 //!
 //! Planning a SELECT re-resolves every ground term, re-reads predicate
 //! statistics and re-materialises sub-selects; for the repeated parametric
-//! queries of an OLTP-style workload that work is identical run after run.
-//! The cache keys plans by the *lexer's token stream* plus the store
-//! [`generation`](kgnet_rdf::RdfStore::generation) they were compiled
-//! against. Deriving the key from [`tokenize`] makes it agree with the
-//! parser by construction — whitespace and `#` comments never fragment the
-//! cache, both `"..."` and `'...'` literal styles keep their content
-//! significant, a `#` inside an `<...>` IRI is a fragment — and any write
-//! to the shared store invalidates every cached plan implicitly: a stale
-//! entry simply misses and is re-prepared against the new snapshot.
+//! queries of an OLTP-style workload that work is identical run after run —
+//! and identical *across sessions*, so one [`SharedPlanCache`] hangs off
+//! the server and every [`ReadSession`](crate::ReadSession) consults it. A
+//! plan prepared by any session serves all of them.
 //!
-//! Lookup ([`PlanCache::get`]) and insertion ([`PlanCache::prepare_insert`])
-//! are split so a hit costs one tokenize + hash — callers skip re-parsing
-//! the query text entirely on the hot path.
+//! Entries are keyed by the *lexer's token stream* plus the store
+//! [`generation`](kgnet_rdf::RdfStore::generation) (MVCC snapshot version)
+//! they were compiled against. Deriving the key from [`tokenize`] makes it
+//! agree with the parser by construction — whitespace and `#` comments
+//! never fragment the cache, both `"..."` and `'...'` literal styles keep
+//! their content significant, a `#` inside an `<...>` IRI is a fragment.
+//! Because the generation is part of the key (not a validity check), a
+//! session pinned to an older snapshot keeps hitting the plans compiled
+//! for *its* version while sessions on the current version populate
+//! theirs; superseded-generation entries age out through the LRU policy.
+//!
+//! Lookup ([`SharedPlanCache::get`]) and insertion
+//! ([`SharedPlanCache::prepare_insert`]) are split so a hit costs one
+//! tokenize + hash under a short mutex hold — callers skip re-parsing the
+//! query text entirely on the hot path. Sessions count their own hits and
+//! misses; the cache keeps the server-wide totals.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use kgnet_rdf::sparql::lexer::tokenize;
 use kgnet_rdf::sparql::{prepare_select, SelectQuery};
 use kgnet_rdf::{PreparedQuery, RdfStore, SparqlError};
 
-/// Hit/miss counters and occupancy of one plan cache.
+/// Hit/miss counters and occupancy of a plan cache (server-wide when read
+/// off the cache itself, per-session when read off a `ReadSession`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache (same token stream, same generation).
     pub hits: u64,
-    /// Plans prepared and inserted (cold, or invalidated by a store write).
+    /// Plans prepared and inserted (cold, or a generation not yet seen).
     /// Lookups for queries that are never cached (ML SELECTs, updates) do
     /// not count, so hits/misses reflect only cacheable traffic.
     pub misses: u64,
-    /// Entries currently cached.
+    /// Entries currently cached (across all generations).
     pub entries: usize,
 }
 
@@ -42,78 +53,87 @@ struct Entry {
     last_used: u64,
 }
 
-/// An LRU map from a query's token stream to a prepared plan.
-pub struct PlanCache {
-    capacity: usize,
-    entries: HashMap<String, Entry>,
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<(String, u64), Entry>,
     tick: u64,
     hits: u64,
     misses: u64,
 }
 
-impl PlanCache {
+/// A shared LRU map from `(query token stream, store generation)` to a
+/// prepared plan. Interior-mutable: sessions hold it behind an `Arc` and
+/// call through `&self` concurrently.
+pub struct SharedPlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SharedPlanCache {
     /// Cache holding at most `capacity` plans (at least one).
     pub fn new(capacity: usize) -> Self {
-        PlanCache {
-            capacity: capacity.max(1),
-            entries: HashMap::new(),
-            tick: 0,
-            hits: 0,
-            misses: 0,
-        }
+        SharedPlanCache { capacity: capacity.max(1), inner: Mutex::new(Inner::default()) }
     }
 
-    /// Current counters.
+    /// Server-wide counters.
     pub fn stats(&self) -> CacheStats {
-        CacheStats { hits: self.hits, misses: self.misses, entries: self.entries.len() }
+        let inner = self.inner.lock();
+        CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.entries.len() }
     }
 
-    /// Fetch the plan for `text` if one was compiled against the store's
-    /// current generation, dropping any stale entry on the way. On `None`
-    /// the caller should parse and [`prepare_insert`](Self::prepare_insert)
-    /// next; the miss is counted there, so lookups for never-cached query
-    /// kinds do not skew the stats.
-    pub fn get(&mut self, store: &RdfStore, text: &str) -> Option<Arc<PreparedQuery>> {
+    /// Fetch the plan for `text` compiled against snapshot `generation`.
+    /// On `None` the caller should parse and
+    /// [`prepare_insert`](Self::prepare_insert) next; the miss is counted
+    /// there, so lookups for never-cached query kinds do not skew the
+    /// stats.
+    pub fn get(&self, generation: u64, text: &str) -> Option<Arc<PreparedQuery>> {
         let key = key_of(text)?;
-        self.tick += 1;
-        if let Some(entry) = self.entries.get_mut(&key) {
-            if entry.prepared.generation() == store.generation() {
-                entry.last_used = self.tick;
-                self.hits += 1;
-                return Some(entry.prepared.clone());
-            }
-            // Compiled against an older snapshot: evict and re-plan.
-            self.entries.remove(&key);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&(key, generation)) {
+            entry.last_used = tick;
+            let prepared = entry.prepared.clone();
+            inner.hits += 1;
+            return Some(prepared);
         }
         None
     }
 
-    /// Plan `parsed` against the store's current snapshot and cache it
-    /// under `text`'s token stream for the next [`get`](Self::get).
+    /// Plan `parsed` against `store` (a pinned snapshot) and cache it under
+    /// `text`'s token stream and the snapshot's generation for the next
+    /// [`get`](Self::get) — by this session or any other. Planning runs
+    /// outside the cache lock; when two sessions race on the same cold
+    /// query both prepare and the last insert wins, which is correct
+    /// because equal keys imply equal plans.
     pub fn prepare_insert(
-        &mut self,
+        &self,
         store: &RdfStore,
         text: &str,
         parsed: SelectQuery,
     ) -> Result<Arc<PreparedQuery>, SparqlError> {
         let prepared = Arc::new(prepare_select(store, parsed)?);
-        self.misses += 1;
+        let mut inner = self.inner.lock();
+        inner.misses += 1;
         if let Some(key) = key_of(text) {
-            self.tick += 1;
-            if self.entries.len() >= self.capacity {
-                self.evict_lru();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if inner.entries.len() >= self.capacity {
+                evict_lru(&mut inner);
             }
-            self.entries.insert(key, Entry { prepared: prepared.clone(), last_used: self.tick });
+            inner.entries.insert(
+                (key, store.generation()),
+                Entry { prepared: prepared.clone(), last_used: tick },
+            );
         }
         Ok(prepared)
     }
+}
 
-    fn evict_lru(&mut self) {
-        if let Some(key) =
-            self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
-        {
-            self.entries.remove(&key);
-        }
+fn evict_lru(inner: &mut Inner) {
+    if let Some(key) = inner.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+    {
+        inner.entries.remove(&key);
     }
 }
 
@@ -149,8 +169,8 @@ mod tests {
     }
 
     /// The caller-side protocol: consult the cache, parse + insert on miss.
-    fn fetch(cache: &mut PlanCache, st: &RdfStore, q: &str) -> Arc<PreparedQuery> {
-        if let Some(prepared) = cache.get(st, q) {
+    fn fetch(cache: &SharedPlanCache, st: &RdfStore, q: &str) -> Arc<PreparedQuery> {
+        if let Some(prepared) = cache.get(st.generation(), q) {
             return prepared;
         }
         cache.prepare_insert(st, q, parse_select(q).unwrap()).unwrap()
@@ -159,11 +179,11 @@ mod tests {
     #[test]
     fn hit_on_repeat_and_whitespace_variants() {
         let st = store();
-        let mut cache = PlanCache::new(8);
+        let cache = SharedPlanCache::new(8);
         let q = "SELECT ?s WHERE { ?s <http://x/p> ?o }";
-        let a = fetch(&mut cache, &st, q);
+        let a = fetch(&cache, &st, q);
         let variant = "SELECT ?s  WHERE {\n  ?s <http://x/p> ?o\n}";
-        let b = fetch(&mut cache, &st, variant);
+        let b = fetch(&cache, &st, variant);
         assert!(Arc::ptr_eq(&a, &b), "token-identical variants must share one plan");
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
@@ -177,12 +197,12 @@ mod tests {
         let mut st = RdfStore::new();
         st.insert(Term::iri("http://x/two"), Term::iri("http://x/t"), Term::str("a  b"));
         st.insert(Term::iri("http://x/one"), Term::iri("http://x/t"), Term::str("a b"));
-        let mut cache = PlanCache::new(8);
+        let cache = SharedPlanCache::new(8);
         let two_spaces = r#"SELECT ?p WHERE { ?p <http://x/t> "a  b" }"#;
         let one_space = r#"SELECT ?p WHERE { ?p <http://x/t> "a b" }"#;
         assert_ne!(key_of(two_spaces), key_of(one_space));
-        let a = fetch(&mut cache, &st, two_spaces);
-        let b = fetch(&mut cache, &st, one_space);
+        let a = fetch(&cache, &st, two_spaces);
+        let b = fetch(&cache, &st, one_space);
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats().misses, 2);
         // Escaped quotes do not terminate the literal early.
@@ -200,12 +220,12 @@ mod tests {
         let mut st = RdfStore::new();
         st.insert(Term::iri("http://x/two"), Term::iri("http://x/t"), Term::str("a  b"));
         st.insert(Term::iri("http://x/one"), Term::iri("http://x/t"), Term::str("a b"));
-        let mut cache = PlanCache::new(8);
+        let cache = SharedPlanCache::new(8);
         let two_spaces = "SELECT ?p WHERE { ?p <http://x/t> 'a  b' }";
         let one_space = "SELECT ?p WHERE { ?p <http://x/t> 'a b' }";
         assert_ne!(key_of(two_spaces), key_of(one_space));
-        let a = fetch(&mut cache, &st, two_spaces);
-        let b = fetch(&mut cache, &st, one_space);
+        let a = fetch(&cache, &st, two_spaces);
+        let b = fetch(&cache, &st, one_space);
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats().misses, 2);
         // Both quote styles of the same content are the same token stream.
@@ -235,34 +255,54 @@ mod tests {
     }
 
     #[test]
-    fn generation_bump_invalidates() {
+    fn generations_key_independent_entries() {
+        // A new store version misses (its plan is compiled fresh), but the
+        // old version's plan survives under its own key: a session pinned
+        // to the older snapshot keeps hitting it.
         let mut st = store();
-        let mut cache = PlanCache::new(8);
+        let cache = SharedPlanCache::new(8);
         let q = "SELECT ?s WHERE { ?s <http://x/p> ?o }";
-        let a = fetch(&mut cache, &st, q);
+        let old_gen = st.generation();
+        let a = fetch(&cache, &st, q);
         st.insert(Term::iri("http://x/new"), Term::iri("http://x/p"), Term::int(9));
-        let b = fetch(&mut cache, &st, q);
-        assert!(!Arc::ptr_eq(&a, &b), "write must invalidate the cached plan");
+        let b = fetch(&cache, &st, q);
+        assert!(!Arc::ptr_eq(&a, &b), "a new version must get a freshly compiled plan");
         assert_eq!(b.generation(), st.generation());
         assert_eq!(cache.stats().misses, 2);
-        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().entries, 2, "both versions' plans coexist");
+        let pinned = cache.get(old_gen, q).expect("old version's plan must survive");
+        assert!(Arc::ptr_eq(&a, &pinned));
+    }
+
+    #[test]
+    fn plans_are_shared_across_caller_identities() {
+        // The same `&SharedPlanCache` consulted by two independent callers
+        // (standing in for two read sessions): the second caller hits the
+        // plan the first one prepared.
+        let st = store();
+        let cache = SharedPlanCache::new(8);
+        let q = "SELECT ?s WHERE { ?s <http://x/p> ?o }";
+        let a = fetch(&cache, &st, q);
+        let b = cache.get(st.generation(), q).expect("cross-caller hit");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
         let st = store();
-        let mut cache = PlanCache::new(2);
+        let cache = SharedPlanCache::new(2);
         let q1 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 1";
         let q2 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 2";
         let q3 = "SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 3";
-        fetch(&mut cache, &st, q1);
-        fetch(&mut cache, &st, q2);
-        fetch(&mut cache, &st, q1); // refresh q1
-        fetch(&mut cache, &st, q3); // evicts q2
+        fetch(&cache, &st, q1);
+        fetch(&cache, &st, q2);
+        fetch(&cache, &st, q1); // refresh q1
+        fetch(&cache, &st, q3); // evicts q2
         assert_eq!(cache.stats().entries, 2);
-        fetch(&mut cache, &st, q1);
+        fetch(&cache, &st, q1);
         assert_eq!(cache.stats().hits, 2, "q1 must still be cached");
-        fetch(&mut cache, &st, q2);
+        fetch(&cache, &st, q2);
         assert_eq!(cache.stats().misses, 4, "q2 must have been evicted");
     }
 }

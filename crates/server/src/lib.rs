@@ -1,33 +1,37 @@
 //! # kgnet-server
 //!
 //! The concurrent serving layer of the KGNet platform: one shared data KG
-//! behind a read/write split, SELECT-serving sessions that run in parallel,
-//! and an admission-controlled queue that trains GML models in the
-//! background without stalling queries — the "GML as a service under load"
-//! shape the paper assumes of its platform.
+//! published as generation-versioned MVCC snapshots, SELECT-serving
+//! sessions that run in parallel against pinned versions, and an
+//! admission-controlled queue that trains GML models in the background
+//! without stalling queries — the "GML as a service under load" shape the
+//! paper assumes of its platform.
 //!
 //! Architecture:
 //!
 //! ```text
-//!   client threads                     KgServer
-//!   ┌────────────┐  query   ┌───────────────────────────────┐
-//!   │ ReadSession├─────────►│ SharedStore (RwLock<RdfStore>) │  N readers
-//!   │  plan LRU  │          │ QueryManager (RwLock)          │  in parallel
-//!   └────────────┘          │   KGMeta · InferenceService    │
-//!   ┌────────────┐  execute │                               │
-//!   │WriteSession├─────────►│  exclusive side                │
-//!   └────────────┘          └───────────────┬───────────────┘
-//!   submit_train ──► JobQueue ──► workers ──┘ register on success
-//!                    (admission)   (dedicated rayon pools)
+//!   client threads                      KgServer
+//!   ┌────────────┐ pin+query ┌────────────────────────────────┐
+//!   │ ReadSession├──────────►│ SharedStore (versioned Arcs)   │ N readers,
+//!   │  Snapshot  │           │   snapshot() ──► frozen vN     │ zero locks
+//!   └────────────┘           │   begin()/commit ─► publish vN+1│
+//!   ┌────────────┐  execute  │ SharedPlanCache ((query, vN))  │
+//!   │WriteSession├──────────►│ QueryManager (RwLock)          │
+//!   │  WriteTxn  │ commit/   │   KGMeta · InferenceService    │
+//!   └────────────┘  abort    └───────────────┬────────────────┘
+//!   submit_train ──► JobQueue ──► workers ───┘ register on success
+//!                    (admission)   (pin snapshot, train, commit)
 //! ```
 //!
-//! Training jobs sample their task subgraph under a brief read lock, train
-//! on the private copy inside a dedicated thread pool, and commit in one
-//! cheap final step under the manager write lock: the artifact lands in the
-//! lock-free-to-readers [`ModelStore`](kgnet_gmlaas::ModelStore) (readers
-//! only clone an `Arc`) and its KGMeta registration adds a few metadata
-//! triples, together or not at all. Queries therefore keep flowing while
-//! models train, and a cancelled or failed job leaves both untouched.
+//! Training jobs pin a snapshot with zero lock hold, sample their task
+//! subgraph from it, train on the private copy inside a dedicated thread
+//! pool — polling the job's cancellation flag between epochs — and commit
+//! in one cheap final step under the manager write lock: the artifact
+//! (stamped with the generation it was trained against) lands in the
+//! lock-free-to-readers [`ModelStore`](kgnet_gmlaas::ModelStore) and its
+//! KGMeta registration adds a few metadata triples, together or not at
+//! all. Queries keep flowing while models train and while writers commit;
+//! a cancelled or failed job leaves both untouched.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,7 +40,7 @@ pub mod cache;
 pub mod queue;
 pub mod session;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, SharedPlanCache};
 pub use queue::{
     AdmissionError, JobId, JobInfo, JobOutcome, JobQueue, JobRunner, JobState, QueueConfig,
 };
@@ -47,7 +51,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use kgnet_gmlaas::{TrainRequest, TrainingManager};
+use kgnet_gml::control::TrainControl;
+use kgnet_gmlaas::{TrainError, TrainRequest, TrainingManager};
 use kgnet_rdf::{RdfStore, SharedStore};
 use kgnet_sampler::{meta_sample_task, SamplingScope};
 use kgnet_sparqlml::{ManagerConfig, QueryManager};
@@ -59,19 +64,21 @@ pub struct ServerConfig {
     pub manager: ManagerConfig,
     /// Training-queue sizing and admission policy.
     pub queue: QueueConfig,
-    /// Plans cached per read session (0 uses the default of 64).
+    /// Plans held in the server-wide shared cache, across all read
+    /// sessions and snapshot versions (0 uses the default of 128).
     pub plan_cache_capacity: usize,
 }
 
-const DEFAULT_PLAN_CACHE: usize = 64;
+const DEFAULT_PLAN_CACHE: usize = 128;
 
-/// The concurrently servable platform: a shared data KG, a shared SPARQL-ML
-/// manager, and a background training queue.
+/// The concurrently servable platform: a snapshot-published data KG, a
+/// shared SPARQL-ML manager, a server-wide plan cache and a background
+/// training queue.
 pub struct KgServer {
     store: SharedStore,
     manager: Arc<RwLock<QueryManager>>,
     queue: JobQueue,
-    plan_cache_capacity: usize,
+    plan_cache: Arc<SharedPlanCache>,
 }
 
 impl KgServer {
@@ -82,12 +89,12 @@ impl KgServer {
         let trainer = manager.read().trainer().clone();
         let runner = train_runner(store.clone(), manager.clone(), trainer);
         let queue = JobQueue::new(config.queue, runner);
-        let plan_cache_capacity = if config.plan_cache_capacity == 0 {
+        let capacity = if config.plan_cache_capacity == 0 {
             DEFAULT_PLAN_CACHE
         } else {
             config.plan_cache_capacity
         };
-        KgServer { store, manager, queue, plan_cache_capacity }
+        KgServer { store, manager, queue, plan_cache: Arc::new(SharedPlanCache::new(capacity)) }
     }
 
     /// Serve a knowledge graph with default configuration.
@@ -95,25 +102,37 @@ impl KgServer {
         Self::new(data, ServerConfig::default())
     }
 
-    /// The shared store handle (cloneable; reads never block each other).
+    /// The shared store handle (cloneable; snapshot pinning and write
+    /// transactions).
     pub fn store(&self) -> &SharedStore {
         &self.store
     }
 
     /// The shared query manager (advanced use: KGMeta inspection, service
-    /// statistics). Lock order when combining with store access: manager
-    /// first, store second.
+    /// statistics). Lock order when combining with an open write
+    /// transaction: transaction (writer gate) first, manager second.
     pub fn manager(&self) -> Arc<RwLock<QueryManager>> {
         self.manager.clone()
     }
 
-    /// Open a concurrent read session with its own plan cache. Sessions are
-    /// independent: hand one to each client thread.
-    pub fn read_session(&self) -> ReadSession {
-        ReadSession::new(self.store.clone(), self.manager.clone(), self.plan_cache_capacity)
+    /// Server-wide plan-cache counters (sessions report their own local
+    /// hit/miss splits on top of these totals).
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
     }
 
-    /// Open an exclusive write session for data updates and model deletion.
+    /// Open a concurrent read session pinned to the current snapshot.
+    /// Sessions are independent — hand one to each client thread — and
+    /// all share the server's plan cache.
+    pub fn read_session(&self) -> ReadSession {
+        ReadSession::new(self.store.clone(), self.manager.clone(), Arc::clone(&self.plan_cache))
+    }
+
+    /// Open a write session holding an open transaction on the next store
+    /// version. Blocks while another write session is open (writers are
+    /// serialised); never blocks or is blocked by readers. Call
+    /// [`WriteSession::commit`] to publish — dropping the session discards
+    /// its data mutations.
     pub fn write_session(&self) -> WriteSession {
         WriteSession::new(self.store.clone(), self.manager.clone())
     }
@@ -136,8 +155,9 @@ impl KgServer {
         self.queue.jobs()
     }
 
-    /// Request cancellation of a job (immediate when queued, checkpointed
-    /// when running). `false` when unknown or already terminal.
+    /// Request cancellation of a job: immediate when queued, within one
+    /// training epoch when running (the flag is polled at every epoch
+    /// boundary). `false` when unknown or already terminal.
     pub fn cancel(&self, id: JobId) -> bool {
         self.queue.cancel(id)
     }
@@ -157,13 +177,17 @@ impl KgServer {
     }
 }
 
-/// The production job runner: sample under a read lock, train on the
-/// private subgraph inside the worker's dedicated pool, then commit as the
-/// single final step — registry insert and KGMeta registration land
-/// together under the manager write lock. Cancellation is checkpointed
-/// after sampling and again after training; until the commit the artifact
-/// exists only on the worker's stack, so a cancelled or failed job leaves
-/// both the model store and KGMeta exactly as they were.
+/// The production job runner: pin a snapshot (zero lock hold), sample the
+/// task subgraph from it, train on the private subgraph inside the
+/// worker's dedicated pool with the job's cancellation flag threaded into
+/// the trainer's epoch loop, then commit as the single final step —
+/// registry insert and KGMeta registration land together under the
+/// manager write lock, with the artifact stamped by the snapshot
+/// generation it was trained against. Cancellation is observed between
+/// epochs (a raised flag ends the run within one epoch) and re-checked
+/// before the commit; until the commit the artifact exists only on the
+/// worker's stack, so a cancelled or failed job leaves both the model
+/// store and KGMeta exactly as they were.
 fn train_runner(
     store: SharedStore,
     manager: Arc<RwLock<QueryManager>>,
@@ -172,20 +196,21 @@ fn train_runner(
     Arc::new(move |req, cancel| {
         let scope = SamplingScope::parse(&req.sampler)
             .unwrap_or_else(|| SamplingScope::default_for(&req.task));
-        let sampled = {
-            let guard = store.read();
-            meta_sample_task(&guard, &req.task, scope)
-        };
+        let snapshot = store.snapshot();
+        let sampled = meta_sample_task(&snapshot, &req.task, scope);
         if cancel.load(Ordering::SeqCst) {
             return JobOutcome::Cancelled;
         }
-        let (artifact, _trace) = match trainer.train_uncommitted(&sampled.store, req) {
+        let ctl = TrainControl::with_flag(cancel);
+        let (mut artifact, _trace) = match trainer.train_uncommitted_ctl(&sampled.store, req, ctl) {
             Ok(built) => built,
+            Err(TrainError::Cancelled) => return JobOutcome::Cancelled,
             Err(e) => return JobOutcome::Failed(e.to_string()),
         };
         if cancel.load(Ordering::SeqCst) {
             return JobOutcome::Cancelled;
         }
+        artifact.trained_generation = snapshot.generation();
         let mut guard = manager.write();
         let artifact = trainer.model_store().insert(artifact);
         guard.register_artifact(&artifact);
@@ -255,7 +280,36 @@ mod tests {
     }
 
     #[test]
-    fn read_session_caches_plain_select_plans() {
+    fn queued_artifact_is_stamped_with_its_snapshot_generation() {
+        let server = fast_server(67);
+        // Bump the published version first so the stamp is a non-trivial
+        // generation.
+        let mut writer = server.write_session();
+        writer.execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap();
+        writer.commit();
+        let trained_against = server.store().generation();
+
+        let id = server.submit_train(nc_request("stamped")).unwrap();
+        let done = server.wait(id).unwrap();
+        let JobState::Done { model_uri } = &done.state else { panic!("job failed: {done:?}") };
+
+        let manager = server.manager();
+        let artifact = manager.read().trainer().model_store().get(model_uri).unwrap();
+        assert_eq!(artifact.trained_generation, trained_against);
+        // The stamp is queryable through KGMeta (Fig. 7 metadata).
+        let session = server.read_session();
+        let rows = session
+            .sparql_kgmeta(
+                "PREFIX kgnet: <https://www.kgnet.com/>
+                 SELECT ?m ?g WHERE { ?m kgnet:TrainedGeneration ?g }",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.rows[0][1].as_ref().unwrap().as_int(), Some(trained_against as i64));
+    }
+
+    #[test]
+    fn read_session_pins_its_snapshot_until_refresh() {
         let server = fast_server(43);
         let mut session = server.read_session();
         let q = "PREFIX dblp: <https://www.dblp.org/> \
@@ -266,14 +320,48 @@ mod tests {
         let stats = session.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
 
-        // A write through the write session invalidates the plan.
-        server
-            .write_session()
-            .execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }")
+        // A committed write does not perturb the pinned session: its plan
+        // stays valid for its version and keeps hitting.
+        let mut writer = server.write_session();
+        writer
+            .execute(
+                "INSERT DATA { <http://x/extra> a <https://www.dblp.org/Publication> . \
+                 <http://x/extra> <https://www.dblp.org/title> \"extra\" }",
+            )
             .unwrap();
+        writer.commit();
         let third = session.sparql(q).unwrap();
-        assert_eq!(first, third);
+        assert_eq!(first, third, "pinned snapshot must not see the commit");
+        assert_eq!(session.cache_stats().hits, 2);
+
+        // Refresh re-pins onto the new version: one more plan compile, and
+        // the count now includes the inserted publication.
+        let pinned = session.generation();
+        let refreshed = session.refresh();
+        assert!(refreshed > pinned);
+        let fourth = session.sparql(q).unwrap();
+        assert_ne!(first, fourth, "refreshed session must see the commit");
         assert_eq!(session.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn plan_cache_is_shared_across_sessions() {
+        let server = fast_server(71);
+        let q = "PREFIX dblp: <https://www.dblp.org/> \
+                 SELECT (COUNT(*) AS ?n) WHERE { ?p a dblp:Publication }";
+        let mut first = server.read_session();
+        first.sparql(q).unwrap();
+        assert_eq!((first.cache_stats().hits, first.cache_stats().misses), (0, 1));
+
+        // A second session on the same version hits the plan the first one
+        // compiled, without ever having prepared it itself.
+        let mut second = server.read_session();
+        second.sparql(q).unwrap();
+        assert_eq!((second.cache_stats().hits, second.cache_stats().misses), (1, 0));
+
+        // Server-wide totals aggregate both sessions.
+        let total = server.plan_cache_stats();
+        assert_eq!((total.hits, total.misses, total.entries), (1, 1, 1));
     }
 
     #[test]
@@ -283,6 +371,44 @@ mod tests {
         let err =
             session.query("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap_err();
         assert!(matches!(err, kgnet_sparqlml::MlError::ReadOnly));
+    }
+
+    #[test]
+    fn write_session_commit_publishes_and_abort_discards() {
+        let server = fast_server(73);
+        let before = server.store().generation();
+        let len_before = server.store().len();
+
+        // Abort path: the mutation is visible inside the session
+        // (read-your-writes) but never published.
+        let mut aborted = server.write_session();
+        aborted.execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap();
+        assert_eq!(aborted.store().len(), len_before + 1);
+        aborted.abort();
+        assert_eq!(server.store().generation(), before, "abort must not publish");
+        assert_eq!(server.store().len(), len_before);
+
+        // Drop path behaves identically to abort.
+        {
+            let mut dropped = server.write_session();
+            dropped.with_store(|st| {
+                st.insert(
+                    kgnet_rdf::Term::iri("http://x/c"),
+                    kgnet_rdf::Term::iri("http://x/p"),
+                    kgnet_rdf::Term::iri("http://x/d"),
+                );
+            });
+        }
+        assert_eq!(server.store().len(), len_before, "drop must discard the pending version");
+
+        // Commit path publishes atomically.
+        let mut committed = server.write_session();
+        assert_eq!(committed.base_generation(), before);
+        committed.execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap();
+        let published = committed.commit();
+        assert!(published > before);
+        assert_eq!(server.store().generation(), published);
+        assert_eq!(server.store().len(), len_before + 1);
     }
 
     #[test]
@@ -326,10 +452,38 @@ mod tests {
     }
 
     #[test]
-    fn similarity_search_needs_no_store_lock() {
+    fn cancelling_a_running_job_stops_it_mid_training() {
+        // The job is configured with a training horizon far beyond what the
+        // test would tolerate; the epoch-boundary cancellation checkpoint
+        // must end it early, report Cancelled and register nothing.
+        let server = fast_server(57);
+        let mut req = nc_request("marathon");
+        req.cfg = GnnConfig { epochs: 200_000, dropout: 0.0, ..GnnConfig::fast_test() };
+        let id = server.submit_train(req).unwrap();
+        // Wait until the worker has actually picked the job up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            match server.job(id).map(|j| j.state) {
+                Some(JobState::Running) => break,
+                Some(JobState::Queued) => {
+                    assert!(std::time::Instant::now() < deadline, "job never started running");
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                other => panic!("job reached {other:?} without being cancelled"),
+            }
+        }
+        assert!(server.cancel(id));
+        let finished = server.wait(id).unwrap();
+        assert_eq!(finished.state, JobState::Cancelled);
+        let manager = server.manager();
+        assert_eq!(manager.read().trainer().model_store().len(), 0, "cancelled job left a model");
+    }
+
+    #[test]
+    fn similarity_search_needs_no_store_access() {
         let server = fast_server(61);
-        server
-            .write_session()
+        let mut writer = server.write_session();
+        writer
             .execute(
                 r#"PREFIX dblp: <https://www.dblp.org/>
                    PREFIX kgnet: <https://www.kgnet.com/>
@@ -338,6 +492,7 @@ mod tests {
                         TargetNode: dblp:Publication}})}"#,
             )
             .unwrap();
+        writer.commit();
         let manager = server.manager();
         let (model_uri, probe) = {
             let guard = manager.read();
@@ -350,11 +505,12 @@ mod tests {
             (uri, probe)
         };
         let session = server.read_session();
-        // Hold the data store's *exclusive* lock across the search: the
-        // similarity path must not touch it, so this cannot deadlock.
-        let store_guard = server.store().write();
+        // Hold an open write transaction across the search: the similarity
+        // path touches neither the store versions nor the writer gate, so
+        // this cannot block or deadlock.
+        let txn = server.store().begin();
         let hits = session.similar_nodes(&model_uri, &probe, 3).unwrap();
-        drop(store_guard);
+        txn.abort();
         assert!(!hits.is_empty());
         assert_eq!(hits[0].0, probe, "self-query must rank the probe node first");
         assert!(session.similar_nodes(&model_uri, "http://nope/x", 3).unwrap().is_empty());
@@ -365,8 +521,8 @@ mod tests {
     #[test]
     fn write_session_trains_synchronously_via_sparql_ml() {
         let server = fast_server(59);
-        let out = server
-            .write_session()
+        let mut writer = server.write_session();
+        let out = writer
             .execute(
                 r#"PREFIX dblp: <https://www.dblp.org/>
                    PREFIX kgnet: <https://www.kgnet.com/>
@@ -376,6 +532,7 @@ mod tests {
                       Method: 'GCN'})}"#,
             )
             .unwrap();
+        writer.commit();
         assert!(matches!(out, MlOutcome::Trained(_)));
         let mut session = server.read_session();
         assert_eq!(session.sparql(PV_QUERY).unwrap().len(), 60);

@@ -1,16 +1,29 @@
 //! Read and write sessions over one shared platform.
 //!
-//! A [`ReadSession`] evaluates plain SPARQL and SPARQL-ML SELECTs through
-//! shared borrows only (`&QueryManager`, `&RdfStore`), so any number of
-//! sessions — one per client thread — run concurrently against the same
-//! [`SharedStore`]. Each session carries its own [`PlanCache`], keyed by
-//! the lexer's token stream and the store generation, so a repeated query
-//! skips parsing *and* planning until a write invalidates it.
+//! A [`ReadSession`] *pins* an MVCC [`Snapshot`] when it opens and
+//! evaluates every plain SPARQL and SPARQL-ML SELECT against that frozen
+//! version with zero store locks held — concurrent writers commit new
+//! versions without ever blocking it, and the session's results are
+//! repeatable until it chooses to [`refresh`](ReadSession::refresh) onto
+//! the latest version. Plans come from the server-wide
+//! [`SharedPlanCache`], keyed by the lexer's token stream and the pinned
+//! snapshot's generation, so a query planned by any session serves all
+//! sessions on the same version; each session keeps its own hit/miss
+//! counters on top of the shared totals.
 //!
-//! A [`WriteSession`] takes the exclusive side of both the manager and the
-//! store for data updates and model deletion. Lock order is fixed —
-//! *manager before store* — everywhere in this crate, which rules out
-//! lock-order deadlocks between sessions and training jobs.
+//! A [`WriteSession`] owns a [`WriteTxn`]: it batches data mutations into
+//! a private next version and publishes them in one atomic
+//! [`commit`](WriteSession::commit); [`abort`](WriteSession::abort) (or
+//! just dropping the session) discards the pending version and no reader
+//! ever sees it. Writers are serialised against each other by the store's
+//! writer gate but never block readers. One caveat is inherited from the
+//! manager: SPARQL-ML *model* operations (`TrainGML`, model DELETE) act on
+//! the shared model registry and KGMeta immediately, not transactionally —
+//! only *data* triples ride the commit/abort cycle.
+//!
+//! Lock order is fixed — *writer gate, then manager* — everywhere in this
+//! crate, which rules out lock-order deadlocks between sessions and
+//! training jobs.
 
 use std::sync::Arc;
 
@@ -18,37 +31,42 @@ use parking_lot::RwLock;
 
 use kgnet_gmlaas::{ArtifactPayload, ServiceError};
 use kgnet_rdf::sparql::evaluate_prepared;
-use kgnet_rdf::{QueryResult, RdfStore, SharedStore, SparqlError};
+use kgnet_rdf::{QueryResult, RdfStore, SharedStore, Snapshot, SparqlError, WriteTxn};
 use kgnet_sparqlml::{
     contains_traingml, parse, MlError, MlOutcome, QueryManager, SparqlMlOperation,
 };
 
-use crate::cache::{CacheStats, PlanCache};
+use crate::cache::{CacheStats, SharedPlanCache};
 
-/// A concurrent read handle: SELECT-only execution with plan caching.
+/// A concurrent read handle: SELECT-only execution against a pinned
+/// snapshot, with shared plan caching.
 pub struct ReadSession {
+    snapshot: Snapshot,
     store: SharedStore,
     manager: Arc<RwLock<QueryManager>>,
-    cache: PlanCache,
+    cache: Arc<SharedPlanCache>,
+    hits: u64,
+    misses: u64,
 }
 
 impl ReadSession {
     pub(crate) fn new(
         store: SharedStore,
         manager: Arc<RwLock<QueryManager>>,
-        plan_cache_capacity: usize,
+        cache: Arc<SharedPlanCache>,
     ) -> Self {
-        ReadSession { store, manager, cache: PlanCache::new(plan_cache_capacity) }
+        ReadSession { snapshot: store.snapshot(), store, manager, cache, hits: 0, misses: 0 }
     }
 
-    /// Execute a plain or SPARQL-ML SELECT. Updates, `TrainGML` and model
-    /// DELETEs are rejected with [`MlError::ReadOnly`] — use a
-    /// [`WriteSession`] or the server's training queue.
+    /// Execute a plain or SPARQL-ML SELECT against the pinned snapshot.
+    /// Updates, `TrainGML` and model DELETEs are rejected with
+    /// [`MlError::ReadOnly`] — use a [`WriteSession`] or the server's
+    /// training queue.
     ///
-    /// Plain SELECTs run through this session's plan cache — a hit skips
+    /// Plain SELECTs run through the shared plan cache — a hit skips
     /// re-parsing as well as re-planning; ML SELECTs are optimized per call
     /// (their rewriting depends on live KGMeta state) but still execute
-    /// through shared borrows end-to-end.
+    /// lock-free against the snapshot.
     pub fn query(&mut self, text: &str) -> Result<MlOutcome, MlError> {
         // Fast path: only plain SELECTs are ever cached, and the key is the
         // token stream classification is a pure function of, so a hit
@@ -57,24 +75,22 @@ impl ReadSession {
         // text (comments included) before tokenizing — so apply the same
         // gate first.
         if !contains_traingml(text) {
-            let store = self.store.read();
-            if let Some(prepared) = self.cache.get(&store, text) {
-                let (rows, _) = evaluate_prepared(&store, &prepared)?;
+            if let Some(prepared) = self.cache.get(self.snapshot.generation(), text) {
+                self.hits += 1;
+                let (rows, _) = evaluate_prepared(&self.snapshot, &prepared)?;
                 return Ok(MlOutcome::Rows(rows));
             }
         }
         match parse(text)? {
             SparqlMlOperation::PlainSelect(q) => {
-                let store = self.store.read();
-                let prepared = self.cache.prepare_insert(&store, text, q)?;
-                let (rows, _) = evaluate_prepared(&store, &prepared)?;
+                let prepared = self.cache.prepare_insert(&self.snapshot, text, q)?;
+                self.misses += 1;
+                let (rows, _) = evaluate_prepared(&self.snapshot, &prepared)?;
                 Ok(MlOutcome::Rows(rows))
             }
             SparqlMlOperation::Select(q) => {
-                // Lock order: manager, then store.
                 let manager = self.manager.read();
-                let store = self.store.read();
-                manager.query_select(&store, q)
+                manager.query_select(&self.snapshot, q)
             }
             SparqlMlOperation::PlainUpdate(_)
             | SparqlMlOperation::Train(_)
@@ -93,6 +109,8 @@ impl ReadSession {
     }
 
     /// Query the KGMeta metadata graph (plain SPARQL over model metadata).
+    /// KGMeta is *live* manager state, not part of the pinned data
+    /// snapshot: models registered after this session opened are visible.
     pub fn sparql_kgmeta(&self, text: &str) -> Result<QueryResult, SparqlError> {
         let q = kgnet_rdf::sparql::parse_select(text)?;
         let manager = self.manager.read();
@@ -100,11 +118,11 @@ impl ReadSession {
     }
 
     /// Top-k entity-similarity search against a trained NodeSimilarity
-    /// model, served *without* touching the data-store lock: the manager
+    /// model, served without touching the data store at all: the manager
     /// read lock is held only long enough to clone the artifact's `Arc`
     /// out of the lock-free-to-readers model registry, then the search
     /// runs against that shared immutable ANN index — concurrent readers
-    /// and even the exclusive write session never wait on it.
+    /// and writers never wait on it.
     pub fn similar_nodes(
         &self,
         model_uri: &str,
@@ -128,44 +146,94 @@ impl ReadSession {
         Ok(store.search(&q, k, 4))
     }
 
-    /// Hit/miss counters of this session's plan cache.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+    /// Re-pin onto the store's current version, making every commit since
+    /// the last pin visible. Returns the new generation. Cached plans for
+    /// the new version are picked up from the shared cache automatically.
+    pub fn refresh(&mut self) -> u64 {
+        self.snapshot = self.store.snapshot();
+        self.snapshot.generation()
     }
 
-    /// The shared store handle (for generation checks and direct scans).
+    /// The pinned snapshot (direct scans, term resolution).
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Generation (MVCC version id) of the pinned snapshot.
+    pub fn generation(&self) -> u64 {
+        self.snapshot.generation()
+    }
+
+    /// This session's own plan-cache hit/miss counters (`entries` reports
+    /// the shared cache's occupancy).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, entries: self.cache.stats().entries }
+    }
+
+    /// The shared store handle (for re-pinning checks and new sessions).
     pub fn store(&self) -> &SharedStore {
         &self.store
     }
 }
 
-/// An exclusive write handle: data updates, synchronous `TrainGML` and
-/// model deletion.
+/// A write handle owning one open [`WriteTxn`]: data updates, synchronous
+/// `TrainGML` and model deletion, batched into a private next version.
+///
+/// Nothing is visible to readers until [`commit`](Self::commit) publishes
+/// the version atomically; [`abort`](Self::abort) — or simply dropping the
+/// session — discards every pending data mutation. Opening a second write
+/// session blocks until the first commits or aborts (writers are
+/// serialised), but readers are never blocked either way.
 pub struct WriteSession {
-    store: SharedStore,
+    txn: WriteTxn,
     manager: Arc<RwLock<QueryManager>>,
 }
 
 impl WriteSession {
     pub(crate) fn new(store: SharedStore, manager: Arc<RwLock<QueryManager>>) -> Self {
-        WriteSession { store, manager }
+        WriteSession { txn: store.begin(), manager }
     }
 
-    /// Execute any SPARQL-ML operation under exclusive locks. Note that a
-    /// `TrainGML` here trains *synchronously while holding the write locks*,
-    /// stalling every reader; concurrent serving should submit training
-    /// through the server's job queue instead.
-    pub fn execute(&self, text: &str) -> Result<MlOutcome, MlError> {
-        // Lock order: manager, then store.
+    /// Execute any SPARQL-ML operation against the pending version. Data
+    /// mutations stay private until [`commit`](Self::commit); reads through
+    /// this session see them immediately (read-your-writes). Note that a
+    /// `TrainGML` here trains *synchronously while holding the manager
+    /// write lock* and registers its model at once (model registry and
+    /// KGMeta are not transactional); concurrent serving should submit
+    /// training through the server's job queue instead.
+    pub fn execute(&mut self, text: &str) -> Result<MlOutcome, MlError> {
         let mut manager = self.manager.write();
-        let mut store = self.store.write();
-        manager.update(&mut store, text)
+        manager.update(self.txn.store_mut(), text)
     }
 
-    /// Run a closure with exclusive store access (bulk loads, manual
-    /// asserts). Mutations bump the store generation, invalidating plan
-    /// caches and predicate statistics.
-    pub fn with_store<R>(&self, f: impl FnOnce(&mut RdfStore) -> R) -> R {
-        f(&mut self.store.write())
+    /// Run a closure with exclusive access to the pending version (bulk
+    /// loads, manual asserts). Mutations bump the pending generation and
+    /// stay invisible to readers until [`commit`](Self::commit).
+    pub fn with_store<R>(&mut self, f: impl FnOnce(&mut RdfStore) -> R) -> R {
+        f(self.txn.store_mut())
+    }
+
+    /// Read access to the pending version (this session's own view).
+    pub fn store(&self) -> &RdfStore {
+        self.txn.store()
+    }
+
+    /// Generation of the published version this session branched from.
+    pub fn base_generation(&self) -> u64 {
+        self.txn.base_generation()
+    }
+
+    /// Atomically publish the pending version; every snapshot pinned from
+    /// now on sees all of this session's mutations, snapshots pinned
+    /// earlier see none. Returns the committed generation.
+    pub fn commit(self) -> u64 {
+        self.txn.commit()
+    }
+
+    /// Discard the pending version: readers never observe any of this
+    /// session's data mutations. Equivalent to dropping the session;
+    /// spelled out for call sites that want the intent visible.
+    pub fn abort(self) {
+        self.txn.abort();
     }
 }

@@ -48,6 +48,8 @@ pub mod vocab {
     pub const TRAINING_TIME: &str = "https://www.kgnet.com/TrainingTime";
     /// Model -> peak training memory in bytes.
     pub const TRAINING_MEMORY: &str = "https://www.kgnet.com/TrainingMemory";
+    /// Model -> store generation (MVCC snapshot version) it was trained on.
+    pub const TRAINED_GENERATION: &str = "https://www.kgnet.com/TrainedGeneration";
     /// Data node type -> model (interlink into the data KG, Fig. 7).
     pub const HAS_GML_TASK: &str = "https://www.kgnet.com/HasGMLTask";
 
@@ -146,6 +148,7 @@ impl KgMeta {
         self.insert(&m, vocab::SAMPLER, Term::str(artifact.sampler.clone()));
         self.insert(&m, vocab::TRAINING_TIME, Term::double(artifact.report.train_time_s));
         self.insert(&m, vocab::TRAINING_MEMORY, Term::int(artifact.report.peak_mem_bytes as i64));
+        self.insert(&m, vocab::TRAINED_GENERATION, Term::int(artifact.trained_generation as i64));
         // Interlink with the data KG: the target type advertises the task.
         self.store.insert(
             Term::iri(artifact.target_type.clone()),
@@ -258,6 +261,7 @@ mod tests {
             },
             sampler: "d1h1".into(),
             cardinality: 42,
+            trained_generation: 0,
             payload: ArtifactPayload::NodeClassifier { predictions: Default::default() },
         }
     }

@@ -98,6 +98,8 @@ pub struct TrainedSummary {
     pub train_time_s: f64,
     /// Peak tracked training memory, bytes.
     pub peak_mem_bytes: usize,
+    /// Store generation (MVCC snapshot version) the model was trained on.
+    pub trained_generation: u64,
 }
 
 /// Result of executing one SPARQL-ML operation.
@@ -279,16 +281,21 @@ impl QueryManager {
             split_strategy: kgnet_graph::SplitStrategy::Random,
             sampler: scope.name(),
         };
-        let outcome = self.trainer.train(&sampled.store, &req)?;
-        self.kgmeta.register(&outcome.artifact);
+        let (mut artifact, _trace) = self.trainer.train_uncommitted(&sampled.store, &req)?;
+        // Stamp which store version the model saw, then commit: registry
+        // insert and KGMeta registration happen together as the final step.
+        artifact.trained_generation = data.generation();
+        let artifact = self.trainer.model_store().insert(artifact);
+        self.kgmeta.register(&artifact);
         Ok(MlOutcome::Trained(TrainedSummary {
-            model_uri: outcome.artifact.uri.clone(),
-            method: outcome.artifact.method,
-            accuracy: outcome.artifact.accuracy(),
+            model_uri: artifact.uri.clone(),
+            method: artifact.method,
+            accuracy: artifact.accuracy(),
             sampler: scope.name(),
             kg_prime_triples: sampled.store.len(),
-            train_time_s: outcome.artifact.report.train_time_s,
-            peak_mem_bytes: outcome.artifact.report.peak_mem_bytes,
+            train_time_s: artifact.report.train_time_s,
+            peak_mem_bytes: artifact.report.peak_mem_bytes,
+            trained_generation: artifact.trained_generation,
         }))
     }
 

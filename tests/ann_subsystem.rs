@@ -199,6 +199,7 @@ fn sample_similarity_artifact(uri: &str, emb: EmbeddingStore) -> kgnet::gmlaas::
         },
         sampler: "d1h1".into(),
         cardinality: 80,
+        trained_generation: 0,
         payload: ArtifactPayload::NodeSimilarity { store: emb },
     }
 }

@@ -1,8 +1,9 @@
 //! Mixed-traffic proof for the serving layer: SPARQL-ML SELECTs execute
-//! through `&self`/`&RdfStore` end-to-end, so four concurrent reader
+//! against pinned MVCC snapshots end-to-end, so four concurrent reader
 //! threads serve against one `SharedStore` while training jobs churn on the
 //! admission-controlled queue — and every concurrent result is identical to
-//! serial execution.
+//! serial execution. A second scenario pins one reader's snapshot across
+//! concurrent bulk DELETE+INSERT commits and asserts repeatable reads.
 
 use std::sync::{Arc, Barrier};
 
@@ -132,4 +133,92 @@ fn four_readers_serve_while_training_jobs_churn() {
     // Readers still see the stable NC answer afterwards.
     let mut session = server.read_session();
     assert_eq!(session.sparql(PV_QUERY).unwrap(), expected);
+}
+
+#[test]
+fn pinned_reader_holds_repeatable_reads_across_bulk_rewrites() {
+    use kgnet::rdf::term::RDF_TYPE;
+    use kgnet::rdf::Term;
+
+    const ROUNDS: usize = 4;
+    const EXTRA_PER_ROUND: usize = 3;
+    let pub_class = "https://www.dblp.org/Publication";
+
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(83));
+    let server =
+        Arc::new(KgServer::new(kg, ServerConfig { manager: fast_config(), ..Default::default() }));
+
+    // Pin a snapshot before any write and take its full fingerprint.
+    let mut session = server.read_session();
+    let count_before = session.sparql(COUNT_QUERY).unwrap();
+    let dump_before = session.snapshot().to_ntriples();
+    let pinned_generation = session.generation();
+
+    // Writer thread: each round bulk-DELETEs every publication typing
+    // triple and re-INSERTs the same population under fresh IRIs (plus a
+    // few extra), committing one new version per round.
+    let barrier = Arc::new(Barrier::new(2));
+    let writer = {
+        let server = server.clone();
+        let barrier = barrier.clone();
+        std::thread::spawn(move || {
+            barrier.wait();
+            for round in 0..ROUNDS {
+                let mut txn = server.write_session();
+                txn.with_store(|st| {
+                    let t = st.lookup(&Term::iri(RDF_TYPE)).expect("rdf:type interned");
+                    let c = st.lookup(&Term::iri(pub_class)).expect("class interned");
+                    let doomed: Vec<(Term, Term, Term)> = st
+                        .matches(None, Some(t), Some(c))
+                        .into_iter()
+                        .map(|(s, p, o)| {
+                            (st.resolve(s).clone(), st.resolve(p).clone(), st.resolve(o).clone())
+                        })
+                        .collect();
+                    let population = doomed.len();
+                    for (s, p, o) in &doomed {
+                        st.remove(s, p, o);
+                    }
+                    for i in 0..population + EXTRA_PER_ROUND {
+                        st.insert(
+                            Term::iri(format!("http://churn/{round}/{i}")),
+                            Term::iri(RDF_TYPE),
+                            Term::iri(pub_class),
+                        );
+                    }
+                });
+                txn.commit();
+            }
+        })
+    };
+
+    // While the writer churns versions, the pinned session must keep
+    // answering from its frozen one.
+    barrier.wait();
+    for _ in 0..32 {
+        assert_eq!(
+            session.sparql(COUNT_QUERY).unwrap(),
+            count_before,
+            "pinned snapshot leaked a concurrent commit"
+        );
+    }
+    writer.join().expect("writer thread panicked");
+
+    // After every commit has landed: the pinned view is bit-identical to
+    // what it was before the first write.
+    assert_eq!(session.generation(), pinned_generation);
+    assert_eq!(session.sparql(COUNT_QUERY).unwrap(), count_before);
+    assert_eq!(session.snapshot().to_ntriples(), dump_before, "pinned snapshot mutated");
+
+    // Refreshing the same session exposes the rewritten population.
+    let as_int = |rows: &kgnet::rdf::QueryResult| {
+        rows.rows[0][0].as_ref().unwrap().as_int().expect("count is an int")
+    };
+    session.refresh();
+    let after = session.sparql(COUNT_QUERY).unwrap();
+    assert_eq!(
+        as_int(&after),
+        as_int(&count_before) + (ROUNDS * EXTRA_PER_ROUND) as i64,
+        "refreshed session must see all committed rounds"
+    );
 }
