@@ -287,9 +287,10 @@ impl AnnFile {
     /// Open, verify and parse `path`.
     pub fn open(path: &Path) -> Result<AnnFile, FormatError> {
         let file = File::open(path)?;
-        // SAFETY-adjacent contract (documented on the vendored stand-in):
-        // the artifact files this crate writes are never mutated in place —
-        // writers go through temp-file + rename.
+        // SAFETY: `Mmap::map`'s contract is that the underlying file is not
+        // truncated or mutated in place while mapped. The artifact files
+        // this crate writes are immutable once published — writers go
+        // through temp-file + rename — so the mapping stays valid.
         #[allow(unsafe_code)]
         let map = Arc::new(unsafe { Mmap::map(&file)? });
         Self::parse(map)

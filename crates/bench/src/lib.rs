@@ -18,6 +18,8 @@
 //! Environment knobs: `KGNET_SCALE` (entity-count multiplier, default 1.0),
 //! `KGNET_EPOCHS` (default 30), `KGNET_SEED` (default 13).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use kgnet_datagen::{DblpConfig, YagoConfig};

@@ -1,0 +1,692 @@
+//! The deterministic scheduler: one logical thread runs at a time.
+//!
+//! Every logical thread is a real OS thread, but a central token
+//! (`ExecState::active`) admits exactly one of them at any moment; all
+//! others are parked on a condvar. Each instrumented sync operation calls
+//! [`SchedShared::yield_with`], which records the thread's intent (acquire
+//! this mutex, wait on that condvar, join thread t, …), asks the current
+//! [`Chooser`] which *eligible* thread runs next, and parks until the token
+//! comes back. Because the scheduler only ever hands the token to a thread
+//! whose pending operation can complete, the operation is finished
+//! atomically under the scheduler lock the moment the thread wakes
+//! ([`SchedShared::complete_op`]) — there are no races inside the model
+//! itself.
+//!
+//! A whole execution is therefore a deterministic function of the sequence
+//! of choices made at decision points (moments with more than one eligible
+//! thread). [`Chooser::Dfs`] enumerates those sequences depth-first with a
+//! bounded number of preemptions; [`Chooser::Random`] drives them from a
+//! SplitMix64 stream so a failing schedule is reproducible from its printed
+//! seed; [`Chooser::Trace`] replays an explicit recorded choice vector.
+//!
+//! Blocked-forever states are detected, not suffered: if no thread is
+//! eligible and no timed waiter remains, the execution fails with a
+//! deadlock report naming every thread and what it is blocked on. Timed
+//! condvar waits time out only when nothing else can run, which models the
+//! scheduler-independent guarantee "a timeout eventually fires" without
+//! exploding the schedule space.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+
+use crate::{Config, Report};
+
+pub(crate) type Tid = usize;
+pub(crate) type ObjId = usize;
+
+/// Panic payload used to unwind logical threads when the execution they
+/// belong to has aborted (another thread failed, or a deadlock/step-budget
+/// failure was recorded). Never reported as a failure itself.
+pub(crate) struct AbortExecution;
+
+pub(crate) fn panic_abort() -> ! {
+    panic::panic_any(AbortExecution)
+}
+
+/// Monotone process-wide execution counter: lets primitives created in one
+/// execution (or outside any execution, e.g. in statics) lazily re-register
+/// themselves when first touched by a later execution.
+static EXEC_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    /// Wants the mutex; eligible once it is free.
+    Lock(ObjId),
+    /// Wants shared access; eligible while no writer holds the lock.
+    ReadLock(ObjId),
+    /// Wants exclusive access; eligible once no reader or writer remains.
+    WriteLock(ObjId),
+    /// Parked on a condvar having logically released `mutex`; eligible once
+    /// notified (or timed out) *and* the mutex can be reacquired.
+    Waiting {
+        cv: ObjId,
+        mutex: ObjId,
+        timed: bool,
+        notified: bool,
+        timed_out: bool,
+    },
+    /// Joining another logical thread; eligible once it has finished.
+    Join(Tid),
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) enum Obj {
+    Mutex { held: bool },
+    RwLock { readers: usize, writer: bool },
+    Condvar,
+}
+
+#[derive(Debug)]
+struct ThreadSlot {
+    status: Status,
+    name: String,
+}
+
+/// One record per decision point: how many threads were eligible and which
+/// index (in the canonical current-thread-first ordering) was chosen.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TracePoint {
+    pub options: usize,
+    pub chosen: usize,
+}
+
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub(crate) enum Chooser {
+    Dfs { prefix: Vec<usize>, cursor: usize },
+    Random(SplitMix64),
+    Trace { choices: Vec<usize>, cursor: usize },
+}
+
+impl Chooser {
+    fn next(&mut self, n: usize) -> usize {
+        match self {
+            Chooser::Dfs { prefix, cursor } => {
+                let i = if *cursor < prefix.len() {
+                    prefix[*cursor]
+                } else {
+                    prefix.push(0);
+                    0
+                };
+                *cursor += 1;
+                i.min(n - 1)
+            }
+            Chooser::Random(rng) => (rng.next() % n as u64) as usize,
+            Chooser::Trace { choices, cursor } => {
+                let i = choices.get(*cursor).copied().unwrap_or(0);
+                *cursor += 1;
+                i.min(n - 1)
+            }
+        }
+    }
+
+    /// DFS bounds preemptions; random walks and trace replays of random
+    /// walks do not. Trace replay of a DFS trace must re-apply the bound so
+    /// forced (unrecorded) continuations are recomputed identically.
+    fn preemption_bound(&self, config: &Config) -> Option<usize> {
+        match self {
+            Chooser::Random(_) => None,
+            Chooser::Dfs { .. } | Chooser::Trace { .. } => config.preemption_bound,
+        }
+    }
+}
+
+struct ExecState {
+    threads: Vec<ThreadSlot>,
+    objects: Vec<Obj>,
+    active: Option<Tid>,
+    live: usize,
+    steps: usize,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    abort: bool,
+    failure: Option<String>,
+    trace: Vec<TracePoint>,
+    chooser: Chooser,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct SchedShared {
+    state: StdMutex<ExecState>,
+    /// Logical threads park here waiting for the activation token.
+    cv: StdCondvar,
+    /// The runner parks here waiting for the execution to drain.
+    done: StdCondvar,
+    pub(crate) exec_id: u64,
+    max_steps: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<SchedShared>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler context of the calling thread, if it is a logical thread
+/// of an execution in progress. `None` means "run on the real primitives".
+pub(crate) fn current() -> Option<(Arc<SchedShared>, Tid)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn lock_ignore_poison<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SchedShared {
+    fn eligible(st: &ExecState, tid: Tid) -> bool {
+        match st.threads[tid].status {
+            Status::Runnable => true,
+            Status::Lock(o) => matches!(st.objects[o], Obj::Mutex { held: false }),
+            Status::ReadLock(o) => matches!(st.objects[o], Obj::RwLock { writer: false, .. }),
+            Status::WriteLock(o) => {
+                matches!(st.objects[o], Obj::RwLock { readers: 0, writer: false })
+            }
+            Status::Waiting { mutex, notified, .. } => {
+                notified && matches!(st.objects[mutex], Obj::Mutex { held: false })
+            }
+            Status::Join(t) => st.threads[t].status == Status::Finished,
+            Status::Finished => false,
+        }
+    }
+
+    fn fail_locked(&self, st: &mut ExecState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        st.active = None;
+        self.cv.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Pick and activate the next thread. `from` is the thread that just
+    /// yielded (None when called from thread-exit bookkeeping).
+    fn schedule_from(&self, st: &mut ExecState, from: Option<Tid>) {
+        if st.live == 0 {
+            st.active = None;
+            self.done.notify_all();
+            return;
+        }
+        loop {
+            let mut options: Vec<Tid> =
+                (0..st.threads.len()).filter(|&t| Self::eligible(st, t)).collect();
+            if options.is_empty() {
+                // Fire a timeout: timed waiters only wake this way when the
+                // execution cannot otherwise make progress.
+                let timed = (0..st.threads.len()).find(|&t| {
+                    matches!(
+                        st.threads[t].status,
+                        Status::Waiting { timed: true, notified: false, .. }
+                    )
+                });
+                if let Some(t) = timed {
+                    if let Status::Waiting { notified, timed_out, .. } = &mut st.threads[t].status {
+                        *notified = true;
+                        *timed_out = true;
+                    }
+                    continue;
+                }
+                let report: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.status != Status::Finished)
+                    .map(|(t, s)| format!("  thread {t} '{}': {:?}", s.name, s.status))
+                    .collect();
+                self.fail_locked(
+                    st,
+                    format!(
+                        "deadlock: {} live thread(s), none eligible\n{}",
+                        st.live,
+                        report.join("\n")
+                    ),
+                );
+                return;
+            }
+            // Canonical ordering: the yielding thread first (index 0 means
+            // "continue without preempting"), then ascending thread id.
+            let from_eligible = match from {
+                Some(f) => {
+                    if let Some(pos) = options.iter().position(|&t| t == f) {
+                        options.remove(pos);
+                        options.insert(0, f);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            let forced = from_eligible
+                && st.preemption_bound.is_some_and(|b| st.preemptions >= b)
+                && options.len() > 1;
+            let chosen = if options.len() == 1 || forced {
+                options[0]
+            } else {
+                let idx = st.chooser.next(options.len());
+                st.trace.push(TracePoint { options: options.len(), chosen: idx });
+                options[idx]
+            };
+            if from_eligible && Some(chosen) != from {
+                st.preemptions += 1;
+            }
+            st.active = Some(chosen);
+            self.cv.notify_all();
+            return;
+        }
+    }
+
+    /// Complete the operation the thread declared before parking. Only
+    /// called with the activation token held, so the updates are atomic.
+    fn complete_op(st: &mut ExecState, me: Tid) {
+        match st.threads[me].status.clone() {
+            Status::Lock(o) | Status::Waiting { mutex: o, .. } => {
+                if let Obj::Mutex { held } = &mut st.objects[o] {
+                    debug_assert!(!*held);
+                    *held = true;
+                }
+            }
+            Status::ReadLock(o) => {
+                if let Obj::RwLock { readers, .. } = &mut st.objects[o] {
+                    *readers += 1;
+                }
+            }
+            Status::WriteLock(o) => {
+                if let Obj::RwLock { writer, .. } = &mut st.objects[o] {
+                    debug_assert!(!*writer);
+                    *writer = true;
+                }
+            }
+            Status::Runnable | Status::Join(_) => {}
+            Status::Finished => unreachable!("finished thread scheduled"),
+        }
+        st.threads[me].status = Status::Runnable;
+    }
+
+    /// The heart of the model: declare intent, reschedule, park until the
+    /// token returns, then complete the declared operation. Returns the
+    /// status as it was at wakeup (so condvar waits can see `timed_out`).
+    pub(crate) fn yield_with(&self, me: Tid, status: Status) -> Status {
+        self.yield_inner(me, status, |_| {})
+    }
+
+    fn yield_inner(&self, me: Tid, status: Status, pre: impl FnOnce(&mut ExecState)) -> Status {
+        let mut st = lock_ignore_poison(&self.state);
+        if st.abort {
+            drop(st);
+            panic_abort();
+        }
+        pre(&mut st);
+        st.threads[me].status = status;
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            self.fail_locked(
+                &mut st,
+                format!("step budget ({}) exceeded: possible livelock", self.max_steps),
+            );
+            drop(st);
+            panic_abort();
+        }
+        self.schedule_from(&mut st, Some(me));
+        while st.active != Some(me) {
+            if st.abort {
+                drop(st);
+                panic_abort();
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let woken = st.threads[me].status.clone();
+        Self::complete_op(&mut st, me);
+        woken
+    }
+
+    // ---- operations exposed to the instrumented primitives ----
+
+    pub(crate) fn register_object(&self, obj: Obj) -> ObjId {
+        let mut st = lock_ignore_poison(&self.state);
+        st.objects.push(obj);
+        st.objects.len() - 1
+    }
+
+    pub(crate) fn mutex_lock(&self, me: Tid, id: ObjId) {
+        self.yield_with(me, Status::Lock(id));
+    }
+
+    pub(crate) fn mutex_unlock(&self, id: ObjId) {
+        let mut st = lock_ignore_poison(&self.state);
+        if let Obj::Mutex { held } = &mut st.objects[id] {
+            *held = false;
+        }
+    }
+
+    pub(crate) fn rw_read(&self, me: Tid, id: ObjId) {
+        self.yield_with(me, Status::ReadLock(id));
+    }
+
+    pub(crate) fn rw_read_unlock(&self, id: ObjId) {
+        let mut st = lock_ignore_poison(&self.state);
+        if let Obj::RwLock { readers, .. } = &mut st.objects[id] {
+            *readers = readers.saturating_sub(1);
+        }
+    }
+
+    pub(crate) fn rw_write(&self, me: Tid, id: ObjId) {
+        self.yield_with(me, Status::WriteLock(id));
+    }
+
+    pub(crate) fn rw_write_unlock(&self, id: ObjId) {
+        let mut st = lock_ignore_poison(&self.state);
+        if let Obj::RwLock { writer, .. } = &mut st.objects[id] {
+            *writer = false;
+        }
+    }
+
+    /// Atomically release `mutex`, park on `cv`, and on wakeup reacquire
+    /// `mutex`. Returns true when the wakeup was a timeout.
+    pub(crate) fn condvar_wait(&self, me: Tid, cv: ObjId, mutex: ObjId, timed: bool) -> bool {
+        // A plain yield *before* the wait registers: in real code the thread
+        // can be preempted between its last predicate check and the moment
+        // `wait` parks it, and a notify landing in that window is lost if
+        // the predicate state is not protected by `mutex`. Without this
+        // yield the model would make check-then-wait look atomic and hide
+        // exactly that class of lost-wakeup bug.
+        self.pause(me);
+        let woken = self.yield_inner(
+            me,
+            Status::Waiting { cv, mutex, timed, notified: false, timed_out: false },
+            |st| {
+                if let Obj::Mutex { held } = &mut st.objects[mutex] {
+                    *held = false;
+                }
+            },
+        );
+        matches!(woken, Status::Waiting { timed_out: true, .. })
+    }
+
+    pub(crate) fn condvar_notify(&self, me: Tid, cv: ObjId, all: bool) {
+        // The notify itself is a yield point (ordering of notify vs wait is
+        // exactly what lost-wakeup bugs depend on), then the wakeup flags
+        // are applied atomically.
+        self.yield_with(me, Status::Runnable);
+        let mut st = lock_ignore_poison(&self.state);
+        let mut remaining = if all { usize::MAX } else { 1 };
+        for t in 0..st.threads.len() {
+            if remaining == 0 {
+                break;
+            }
+            if let Status::Waiting { cv: c, notified, .. } = &mut st.threads[t].status {
+                if *c == cv && !*notified {
+                    *notified = true;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn join(&self, me: Tid, target: Tid) {
+        self.yield_with(me, Status::Join(target));
+    }
+
+    /// An un-annotated interleaving point (atomic ops, yield_now, spawn).
+    pub(crate) fn pause(&self, me: Tid) {
+        self.yield_with(me, Status::Runnable);
+    }
+
+    // ---- thread lifecycle ----
+
+    fn finish(&self, tid: Tid, panicked: Option<String>) {
+        let mut st = lock_ignore_poison(&self.state);
+        st.threads[tid].status = Status::Finished;
+        st.live -= 1;
+        if let Some(msg) = panicked {
+            let name = st.threads[tid].name.clone();
+            self.fail_locked(&mut st, format!("thread {tid} '{name}' panicked: {msg}"));
+        }
+        if st.abort || st.live == 0 {
+            st.active = None;
+            self.done.notify_all();
+            return;
+        }
+        self.schedule_from(&mut st, None);
+    }
+}
+
+/// Register and start a new logical thread. The real OS thread parks until
+/// the scheduler first hands it the token.
+pub(crate) fn spawn_logical<T: Send + 'static>(
+    shared: &Arc<SchedShared>,
+    name: Option<String>,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> (Tid, Arc<StdMutex<Option<T>>>) {
+    let (tid, os_name) = {
+        let mut st = lock_ignore_poison(&shared.state);
+        let tid = st.threads.len();
+        let name = name.unwrap_or_else(|| format!("logical-{tid}"));
+        st.threads.push(ThreadSlot { status: Status::Runnable, name: name.clone() });
+        st.live += 1;
+        (tid, name)
+    };
+    let result = Arc::new(StdMutex::new(None));
+    let shared2 = Arc::clone(shared);
+    let result2 = Arc::clone(&result);
+    let handle = std::thread::Builder::new()
+        .name(format!("kgnet-check-{os_name}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared2), tid)));
+            // Park until first scheduled (or the execution aborts first).
+            {
+                let mut st = lock_ignore_poison(&shared2.state);
+                while st.active != Some(tid) {
+                    if st.abort {
+                        drop(st);
+                        shared2.finish(tid, None);
+                        return;
+                    }
+                    st = shared2.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            match panic::catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => {
+                    *lock_ignore_poison(&result2) = Some(v);
+                    shared2.finish(tid, None);
+                }
+                Err(payload) => {
+                    if payload.is::<AbortExecution>() {
+                        shared2.finish(tid, None);
+                    } else {
+                        shared2.finish(tid, Some(panic_message(&*payload)));
+                    }
+                }
+            }
+        })
+        .expect("spawn logical thread");
+    lock_ignore_poison(&shared.state).handles.push(handle);
+    (tid, result)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+pub(crate) struct RunOutcome {
+    pub trace: Vec<TracePoint>,
+    pub failure: Option<String>,
+}
+
+/// Run the scenario once under the given chooser and return the decision
+/// trace plus any failure. Each execution gets a fresh `SchedShared` and a
+/// globally unique execution id (primitives re-register lazily against it).
+pub(crate) fn run_once(
+    config: &Config,
+    chooser: Chooser,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let bound = chooser.preemption_bound(config);
+    let shared = Arc::new(SchedShared {
+        state: StdMutex::new(ExecState {
+            threads: Vec::new(),
+            objects: Vec::new(),
+            active: None,
+            live: 0,
+            steps: 0,
+            preemptions: 0,
+            preemption_bound: bound,
+            abort: false,
+            failure: None,
+            trace: Vec::new(),
+            chooser,
+            handles: Vec::new(),
+        }),
+        cv: StdCondvar::new(),
+        done: StdCondvar::new(),
+        exec_id: EXEC_COUNTER.fetch_add(1, Ordering::Relaxed),
+        max_steps: config.max_steps,
+    });
+    let (root, _result) = spawn_logical(&shared, Some("root".to_owned()), move || f());
+    {
+        let mut st = lock_ignore_poison(&shared.state);
+        st.active = Some(root);
+        shared.cv.notify_all();
+        while st.live > 0 {
+            st = shared.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let handles = std::mem::take(&mut lock_ignore_poison(&shared.state).handles);
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = lock_ignore_poison(&shared.state);
+    RunOutcome { trace: std::mem::take(&mut st.trace), failure: st.failure.take() }
+}
+
+/// Advance the DFS prefix to the next unexplored branch; false = exhausted.
+fn dfs_advance(prefix: &mut Vec<usize>, trace: &[TracePoint]) -> bool {
+    let mut i = trace.len();
+    while i > 0 {
+        i -= 1;
+        if trace[i].chosen + 1 < trace[i].options {
+            prefix.clear();
+            prefix.extend(trace[..i].iter().map(|p| p.chosen));
+            prefix.push(trace[i].chosen + 1);
+            return true;
+        }
+    }
+    false
+}
+
+fn trace_hash(trace: &[TracePoint]) -> u64 {
+    // FxHash-style mix; enough to count distinct schedules.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in trace {
+        for v in [p.options as u64, p.chosen as u64] {
+            h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn chosen_column(trace: &[TracePoint]) -> Vec<usize> {
+    trace.iter().map(|p| p.chosen).collect()
+}
+
+/// Install a panic hook that silences the internal [`AbortExecution`]
+/// unwinds (they are control flow, not failures). Idempotent.
+pub(crate) fn install_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortExecution>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+pub(crate) fn explore_impl(config: &Config, f: Arc<dyn Fn() + Send + Sync>) -> Report {
+    install_hook();
+    let mut distinct: HashSet<u64> = HashSet::new();
+    let mut schedules = 0usize;
+    let mut exhausted = false;
+
+    // Phase 1: bounded-preemption DFS.
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        let outcome =
+            run_once(config, Chooser::Dfs { prefix: prefix.clone(), cursor: 0 }, Arc::clone(&f));
+        schedules += 1;
+        distinct.insert(trace_hash(&outcome.trace));
+        if let Some(cause) = outcome.failure {
+            panic!(
+                "kgnet-check: schedule failure (DFS schedule #{schedules}, preemption bound {:?})\n\
+                 cause: {cause}\n\
+                 replay: kgnet_check::replay_trace(&config, &{:?}, scenario)",
+                config.preemption_bound,
+                chosen_column(&outcome.trace),
+            );
+        }
+        if !dfs_advance(&mut prefix, &outcome.trace) {
+            exhausted = true;
+            break;
+        }
+        if schedules >= config.max_schedules {
+            break;
+        }
+    }
+
+    // Phase 2: seeded random walks (unbounded preemptions).
+    let mut gen = SplitMix64(config.seed);
+    for i in 0..config.random_iters {
+        let seed = gen.next();
+        let outcome = run_once(config, Chooser::Random(SplitMix64(seed)), Arc::clone(&f));
+        schedules += 1;
+        distinct.insert(trace_hash(&outcome.trace));
+        if let Some(cause) = outcome.failure {
+            panic!(
+                "kgnet-check: schedule failure (random walk #{i}, seed {seed:#018x})\n\
+                 cause: {cause}\n\
+                 replay: kgnet_check::replay_seed({seed:#018x}, scenario)",
+            );
+        }
+    }
+
+    Report { schedules, distinct_schedules: distinct.len(), dfs_exhausted: exhausted }
+}
+
+pub(crate) fn replay_seed_impl(config: &Config, seed: u64, f: Arc<dyn Fn() + Send + Sync>) {
+    install_hook();
+    let outcome = run_once(config, Chooser::Random(SplitMix64(seed)), f);
+    if let Some(cause) = outcome.failure {
+        panic!("kgnet-check: replayed failure (seed {seed:#018x})\ncause: {cause}");
+    }
+}
+
+pub(crate) fn replay_trace_impl(config: &Config, trace: &[usize], f: Arc<dyn Fn() + Send + Sync>) {
+    install_hook();
+    let outcome = run_once(config, Chooser::Trace { choices: trace.to_vec(), cursor: 0 }, f);
+    if let Some(cause) = outcome.failure {
+        panic!("kgnet-check: replayed failure (trace {trace:?})\ncause: {cause}");
+    }
+}

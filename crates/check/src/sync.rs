@@ -1,0 +1,546 @@
+//! Instrumented sync primitives: identical API to the `kgnet-sync` facade,
+//! but every operation is a scheduler yield point when the calling thread
+//! belongs to a model-checking execution.
+//!
+//! Outside an execution (unit tests compiled under `--cfg kgnet_check`,
+//! helper threads the checker does not manage) every primitive falls back
+//! to the real `std::sync` implementation, so code is always correct — the
+//! scheduler only *adds* control over interleavings.
+//!
+//! Model notes: atomics are explored with sequentially-consistent semantics
+//! regardless of the `Ordering` argument (the scheduler serialises all
+//! operations), and a primitive must not be held across the boundary of an
+//! execution (locked outside, released inside, or vice versa).
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+    RwLock as StdRwLock, RwLockReadGuard as StdRwLockReadGuard,
+    RwLockWriteGuard as StdRwLockWriteGuard,
+};
+use std::time::Duration;
+
+use crate::sched::{self, Obj, ObjId, SchedShared};
+use std::sync::Arc;
+
+fn lock_ignore_poison<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Lazily-assigned per-execution object identity. Executions are numbered
+/// by a process-global counter, so a primitive created in one execution (or
+/// in a `static`) re-registers itself the first time a later execution
+/// touches it.
+struct ObjMeta {
+    slot: StdMutex<(u64, ObjId)>,
+}
+
+impl ObjMeta {
+    const fn new() -> Self {
+        ObjMeta { slot: StdMutex::new((0, 0)) }
+    }
+
+    fn id(&self, shared: &SchedShared, make: impl FnOnce() -> Obj) -> ObjId {
+        let mut s = lock_ignore_poison(&self.slot);
+        if s.0 != shared.exec_id {
+            s.1 = shared.register_object(make());
+            s.0 = shared.exec_id;
+        }
+        s.1
+    }
+}
+
+// ---------------------------------------------------------------- Mutex --
+
+/// A mutex with the non-poisoning `parking_lot` API shape the facade uses.
+pub struct Mutex<T: ?Sized> {
+    meta: ObjMeta,
+    raw: StdMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: same bounds as `std::sync::Mutex` — exclusive access to the inner
+// value is guaranteed either by the raw mutex (fallback mode) or by the
+// scheduler admitting one logical thread at a time (checked mode).
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: see above; `&Mutex<T>` only hands out `&T`/`&mut T` under the
+// exclusion property, so `T: Send` suffices exactly as for `std`.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { meta: ObjMeta::new(), raw: StdMutex::new(()), data: UnsafeCell::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match sched::current() {
+            Some((shared, me)) => {
+                let id = self.meta.id(&shared, || Obj::Mutex { held: false });
+                shared.mutex_lock(me, id);
+                MutexGuard { lock: self, raw: None, sched: Some((shared, id)) }
+            }
+            None => {
+                MutexGuard { lock: self, raw: Some(lock_ignore_poison(&self.raw)), sched: None }
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `Some` in fallback mode: the real lock that provides exclusion.
+    raw: Option<StdMutexGuard<'a, ()>>,
+    /// `Some` in checked mode: the execution that logically holds the lock.
+    sched: Option<(Arc<SchedShared>, ObjId)>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Decompose without running `Drop` (the condvar wait protocol hands
+    /// ownership of the raw/logical lock to the condvar).
+    #[allow(clippy::type_complexity)]
+    fn into_parts(
+        self,
+    ) -> (&'a Mutex<T>, Option<StdMutexGuard<'a, ()>>, Option<(Arc<SchedShared>, ObjId)>) {
+        let mut g = ManuallyDrop::new(self);
+        (g.lock, g.raw.take(), g.sched.take())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive access — via the held raw
+        // mutex in fallback mode, or via the scheduler's one-active-thread
+        // invariant plus the logical `held` flag in checked mode.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`; the guard is unique while it exists.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((shared, id)) = self.sched.take() {
+            shared.mutex_unlock(id);
+        }
+    }
+}
+
+// -------------------------------------------------------------- Condvar --
+
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+pub struct Condvar {
+    meta: ObjMeta,
+    raw: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { meta: ObjMeta::new(), raw: StdCondvar::new() }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let (lock, raw, sched_ctx) = guard.into_parts();
+        match sched_ctx {
+            Some((shared, mutex_id)) => {
+                let (_, me) = sched::current().expect("checked guard outside its execution");
+                let cv_id = self.meta.id(&shared, || Obj::Condvar);
+                shared.condvar_wait(me, cv_id, mutex_id, false);
+                MutexGuard { lock, raw: None, sched: Some((shared, mutex_id)) }
+            }
+            None => {
+                let raw = raw.expect("fallback guard always holds the raw lock");
+                let raw = self.raw.wait(raw).unwrap_or_else(PoisonError::into_inner);
+                MutexGuard { lock, raw: Some(raw), sched: None }
+            }
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (lock, raw, sched_ctx) = guard.into_parts();
+        match sched_ctx {
+            Some((shared, mutex_id)) => {
+                let (_, me) = sched::current().expect("checked guard outside its execution");
+                let cv_id = self.meta.id(&shared, || Obj::Condvar);
+                // In the model a timeout fires only when nothing else can
+                // run: progress is never silently lost, livelocks are still
+                // caught by the step budget.
+                let timed_out = shared.condvar_wait(me, cv_id, mutex_id, true);
+                (
+                    MutexGuard { lock, raw: None, sched: Some((shared, mutex_id)) },
+                    WaitTimeoutResult { timed_out },
+                )
+            }
+            None => {
+                let raw = raw.expect("fallback guard always holds the raw lock");
+                let (raw, res) =
+                    self.raw.wait_timeout(raw, timeout).unwrap_or_else(PoisonError::into_inner);
+                (
+                    MutexGuard { lock, raw: Some(raw), sched: None },
+                    WaitTimeoutResult { timed_out: res.timed_out() },
+                )
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match sched::current() {
+            Some((shared, me)) => {
+                let cv_id = self.meta.id(&shared, || Obj::Condvar);
+                shared.condvar_notify(me, cv_id, false);
+            }
+            None => self.raw.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match sched::current() {
+            Some((shared, me)) => {
+                let cv_id = self.meta.id(&shared, || Obj::Condvar);
+                shared.condvar_notify(me, cv_id, true);
+            }
+            None => self.raw.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+// --------------------------------------------------------------- RwLock --
+
+pub struct RwLock<T: ?Sized> {
+    meta: ObjMeta,
+    raw: StdRwLock<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: same bounds as `std::sync::RwLock` — shared/exclusive access is
+// guaranteed by the raw rwlock or the scheduler's reader/writer accounting.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: readers hand out `&T` concurrently, so `T: Sync` is required on
+// top of `T: Send`, exactly as for `std::sync::RwLock`.
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock { meta: ObjMeta::new(), raw: StdRwLock::new(()), data: UnsafeCell::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match sched::current() {
+            Some((shared, me)) => {
+                let id = self.meta.id(&shared, || Obj::RwLock { readers: 0, writer: false });
+                shared.rw_read(me, id);
+                RwLockReadGuard { lock: self, _raw: None, sched: Some((shared, id)) }
+            }
+            None => RwLockReadGuard {
+                lock: self,
+                _raw: Some(self.raw.read().unwrap_or_else(PoisonError::into_inner)),
+                sched: None,
+            },
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match sched::current() {
+            Some((shared, me)) => {
+                let id = self.meta.id(&shared, || Obj::RwLock { readers: 0, writer: false });
+                shared.rw_write(me, id);
+                RwLockWriteGuard { lock: self, _raw: None, sched: Some((shared, id)) }
+            }
+            None => RwLockWriteGuard {
+                lock: self,
+                _raw: Some(self.raw.write().unwrap_or_else(PoisonError::into_inner)),
+                sched: None,
+            },
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    /// Held purely for its unlock-on-drop effect in fallback mode.
+    _raw: Option<StdRwLockReadGuard<'a, ()>>,
+    sched: Option<(Arc<SchedShared>, ObjId)>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves shared access: real read lock held, or
+        // the scheduler's reader count excludes any writer.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((shared, id)) = self.sched.take() {
+            shared.rw_read_unlock(id);
+        }
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    /// Held purely for its unlock-on-drop effect in fallback mode.
+    _raw: Option<StdRwLockWriteGuard<'a, ()>>,
+    sched: Option<(Arc<SchedShared>, ObjId)>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive access: real write lock held,
+        // or the scheduler's writer flag excludes all other threads.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`; the write guard is unique while it exists.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((shared, id)) = self.sched.take() {
+            shared.rw_write_unlock(id);
+        }
+    }
+}
+
+// -------------------------------------------------------------- Atomics --
+
+/// Atomics with a scheduler yield before every operation. Orderings are
+/// accepted for API compatibility but the model is sequentially consistent.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched;
+
+    fn pause() {
+        if let Some((shared, me)) = sched::current() {
+            shared.pause(me);
+        }
+    }
+
+    macro_rules! checked_int_atomic {
+        ($name:ident, $std:ident, $t:ty) => {
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub const fn new(v: $t) -> Self {
+                    Self { inner: std::sync::atomic::$std::new(v) }
+                }
+
+                pub fn load(&self, o: Ordering) -> $t {
+                    pause();
+                    self.inner.load(o)
+                }
+
+                pub fn store(&self, v: $t, o: Ordering) {
+                    pause();
+                    self.inner.store(v, o)
+                }
+
+                pub fn swap(&self, v: $t, o: Ordering) -> $t {
+                    pause();
+                    self.inner.swap(v, o)
+                }
+
+                pub fn fetch_add(&self, v: $t, o: Ordering) -> $t {
+                    pause();
+                    self.inner.fetch_add(v, o)
+                }
+
+                pub fn fetch_sub(&self, v: $t, o: Ordering) -> $t {
+                    pause();
+                    self.inner.fetch_sub(v, o)
+                }
+
+                pub fn fetch_max(&self, v: $t, o: Ordering) -> $t {
+                    pause();
+                    self.inner.fetch_max(v, o)
+                }
+
+                pub fn fetch_min(&self, v: $t, o: Ordering) -> $t {
+                    pause();
+                    self.inner.fetch_min(v, o)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$t, $t> {
+                    pause();
+                    self.inner.compare_exchange(current, new, ok, err)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $t,
+                    new: $t,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$t, $t> {
+                    pause();
+                    self.inner.compare_exchange(current, new, ok, err)
+                }
+
+                pub fn into_inner(self) -> $t {
+                    self.inner.into_inner()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$t>::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "{:?}", self.inner)
+                }
+            }
+        };
+    }
+
+    checked_int_atomic!(AtomicUsize, AtomicUsize, usize);
+    checked_int_atomic!(AtomicU64, AtomicU64, u64);
+    checked_int_atomic!(AtomicU32, AtomicU32, u32);
+    checked_int_atomic!(AtomicI64, AtomicI64, i64);
+
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            Self { inner: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        pub fn load(&self, o: Ordering) -> bool {
+            pause();
+            self.inner.load(o)
+        }
+
+        pub fn store(&self, v: bool, o: Ordering) {
+            pause();
+            self.inner.store(v, o)
+        }
+
+        pub fn swap(&self, v: bool, o: Ordering) -> bool {
+            pause();
+            self.inner.swap(v, o)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            ok: Ordering,
+            err: Ordering,
+        ) -> Result<bool, bool> {
+            pause();
+            self.inner.compare_exchange(current, new, ok, err)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{:?}", self.inner)
+        }
+    }
+}

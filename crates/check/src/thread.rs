@@ -1,0 +1,91 @@
+//! Thread spawn/join shims: logical (scheduler-managed) threads inside a
+//! model-checking execution, real `std::thread` threads otherwise.
+
+use std::io;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::sched::{self, SchedShared, Tid};
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Logical { shared: Arc<SchedShared>, tid: Tid, result: Arc<StdMutex<Option<T>>> },
+}
+
+/// Owned permission to join a thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Real(h) => h.join(),
+            Inner::Logical { shared, tid, result } => {
+                let (_, me) =
+                    sched::current().expect("logical threads must be joined from their execution");
+                shared.join(me, tid);
+                match result.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(v) => Ok(v),
+                    // The target unwound without a value: the execution is
+                    // aborting (its failure is already recorded), so unwind
+                    // this thread too instead of fabricating a result.
+                    None => sched::panic_abort(),
+                }
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("thread spawn failed")
+}
+
+/// Mirror of `std::thread::Builder` covering the surface the workspace uses.
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match sched::current() {
+            Some((shared, me)) => {
+                let (tid, result) = sched::spawn_logical(&shared, self.name, f);
+                // Spawning is itself a schedulable event: the child may run
+                // before the parent's next instruction.
+                shared.pause(me);
+                Ok(JoinHandle(Inner::Logical { shared, tid, result }))
+            }
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(name) = self.name {
+                    b = b.name(name);
+                }
+                b.spawn(f).map(|h| JoinHandle(Inner::Real(h)))
+            }
+        }
+    }
+}
+
+/// A pure interleaving point under the scheduler; a real OS yield otherwise.
+pub fn yield_now() {
+    match sched::current() {
+        Some((shared, me)) => shared.pause(me),
+        None => std::thread::yield_now(),
+    }
+}

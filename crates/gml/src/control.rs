@@ -8,7 +8,7 @@
 //! that completed); deciding whether to keep or discard it is the caller's
 //! job (the GML-as-a-service layer discards and reports cancellation).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use kgnet_sync::atomic::{AtomicBool, Ordering};
 
 /// A borrowed, copyable handle polled by trainers between epochs.
 #[derive(Clone, Copy, Default)]

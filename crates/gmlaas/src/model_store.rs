@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use kgnet_sync::RwLock;
 use serde::{Deserialize, Serialize};
 
 use kgnet_gml::config::{GmlMethodKind, TrainReport};

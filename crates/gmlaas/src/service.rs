@@ -7,8 +7,8 @@
 //! JSON, and the service counts calls and payload bytes so the optimizer's
 //! objective is observable.
 
+use kgnet_sync::atomic::{AtomicUsize, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};

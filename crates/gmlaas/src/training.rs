@@ -3,7 +3,7 @@
 //! pipeline — data transformation, budget-constrained method selection,
 //! training, evaluation — and packages the result as a [`ModelArtifact`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use kgnet_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use kgnet_gml::config::{GmlMethodKind, GnnConfig};

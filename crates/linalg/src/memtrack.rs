@@ -14,7 +14,7 @@
 //! a CAS max-loop, so no concurrent charge can be lost. Experiments call
 //! [`reset_peak`] before a run and read [`peak_bytes`] after it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use kgnet_sync::atomic::{AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);

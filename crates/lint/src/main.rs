@@ -1,0 +1,967 @@
+//! kgnet-lint: the workspace's source-level invariant gate.
+//!
+//! Rust's compiler enforces memory safety; it cannot enforce *project*
+//! discipline. This binary walks every `.rs` file in the workspace with a
+//! small hand-rolled Rust lexer (same spirit as the SPARQL lexer in
+//! `kgnet-rdf`: chars in, classified tokens out, no external crates) and
+//! checks the concurrency/safety rules the kgnet codebase relies on:
+//!
+//! - **sync-imports** — blocking synchronisation primitives must come from
+//!   the `kgnet-sync` facade. Direct `std::sync::{Mutex, RwLock, Condvar,
+//!   Barrier}`, `std::sync::atomic` or `parking_lot` imports in non-test
+//!   code (outside the facade crates and `vendor/`) would silently escape
+//!   the deterministic model checker.
+//! - **safety-comment** — every `unsafe` token is preceded by a
+//!   `// SAFETY:` comment (or a `# Safety` doc section), vendor included.
+//! - **lock-order** — in `kgnet-server`, the fixed order is *writer gate
+//!   first, manager second*: opening a write transaction while a manager
+//!   guard is live is flagged.
+//! - **unwrap-on-sync** — `.unwrap()` directly on lock/channel/join results
+//!   (`lock()`, zero-arg `read()`/`write()`, `recv()`, `join()`) in
+//!   non-test code; the facade's non-poisoning locks make these
+//!   unnecessary, and on channels an `unwrap` turns a peer's panic into a
+//!   cascade.
+//! - **forbid-unsafe** — every crate root carries
+//!   `#![forbid(unsafe_code)]`, except the two crates that need raw
+//!   pointers (`kgnet-ann`'s mmap views, `kgnet-check`'s instrumented
+//!   cells) and `vendor/`.
+//!
+//! A deliberate exception is waived in place with `// lint:allow(<rule>)`
+//! on the offending line or the line above. Run as
+//! `cargo run -p kgnet-lint -- --deny` (CI does) to exit non-zero on any
+//! finding.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+/// Classification of one lexed Rust token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TokKind {
+    /// Identifier or keyword (`unsafe`, `mod`, `let`, names, ...).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `(`, `{`, `#`, ...).
+    Punct,
+    /// `// ...` comment (doc or plain), newline excluded.
+    LineComment,
+    /// `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// String literal: `"..."`, raw `r"..."`/`r#"..."#`, byte variants.
+    Str,
+    /// Character literal `'x'` (including escapes).
+    Char,
+    /// Lifetime like `'a` (no closing quote).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokKind,
+    text: String,
+    line: usize,
+}
+
+/// Lex Rust source into tokens. Never fails: unrecognised bytes become
+/// single-char `Punct` tokens, and an unterminated literal swallows the
+/// rest of the file (good enough for linting — rustc rejects such files
+/// long before we see them).
+fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::LineComment, text: b[start..i].iter().collect(), line });
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let (start, start_line) = (i, line);
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# etc.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let (start, start_line) = (i, line);
+            while i < n && (b[i] == 'r' || b[i] == 'b') {
+                i += 1;
+            }
+            let mut hashes = 0;
+            while i < n && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // opening quote
+            loop {
+                if i >= n {
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                    continue;
+                }
+                if b[i] == '"' {
+                    let mut k = 0;
+                    while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        i += 1 + hashes;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Plain (or byte) strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let (start, start_line) = (i, line);
+            i += if c == 'b' { 2 } else { 1 };
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                } else if b[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // 'a' / '\n' are char literals; 'a (no closing quote) is a
+            // lifetime. Look for the closing quote within a short window.
+            let is_char =
+                if i + 2 < n && b[i + 1] == '\\' { true } else { i + 2 < n && b[i + 2] == '\'' };
+            if is_char {
+                let start = i;
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i.min(n)].iter().collect(),
+                    line,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: b[start..i].iter().collect(), line });
+            continue;
+        }
+        // Numbers (coarse: consume alphanumerics, dots handled as punct).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Num, text: b[start..i].iter().collect(), line });
+            continue;
+        }
+        // `::` matters to every path rule — lex it as one token.
+        if c == ':' && i + 1 < n && b[i + 1] == ':' {
+            toks.push(Tok { kind: TokKind::Punct, text: "::".to_owned(), line });
+            i += 2;
+            continue;
+        }
+        toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    toks
+}
+
+/// True when position `i` starts a raw-string literal (`r"`, `r#`, `br"`,
+/// `br#`...), as opposed to an identifier beginning with `r`/`b`.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+// ---------------------------------------------------------------------------
+// Findings and rule context
+// ---------------------------------------------------------------------------
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Finding {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// A source file prepared for linting: tokens, raw lines, and the line
+/// ranges covered by `#[cfg(test)]` modules.
+struct SourceFile {
+    path: PathBuf,
+    lines: Vec<String>,
+    toks: Vec<Tok>,
+    /// Inclusive line ranges inside `#[cfg(test)] mod ... { }` bodies.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    fn parse(path: PathBuf, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let test_ranges = find_cfg_test_ranges(&toks);
+        let lines = src.lines().map(str::to_owned).collect();
+        SourceFile { path, lines, toks, test_ranges }
+    }
+
+    /// Code tokens only (comments stripped) — what the path rules scan.
+    fn code(&self) -> Vec<&Tok> {
+        self.toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect()
+    }
+
+    fn in_test_code(&self, line: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// `// lint:allow(rule)` on the finding's line or the one above waives
+    /// it.
+    fn waived(&self, line: usize, rule: &str) -> bool {
+        let marker = format!("lint:allow({rule})");
+        [line, line.saturating_sub(1)]
+            .iter()
+            .filter(|&&l| l >= 1)
+            .any(|&l| self.lines.get(l - 1).is_some_and(|s| s.contains(&marker)))
+    }
+}
+
+/// Line ranges of `#[cfg(test)] mod ... { ... }` bodies, so test-only code
+/// can be exempted from the production-code rules.
+fn find_cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // Match `# [ cfg ( test ) ]` (also `cfg(all(test, ...))` etc. — any
+        // attribute that mentions `test` inside `cfg(...)`).
+        if code[i].text == "#"
+            && i + 2 < code.len()
+            && code[i + 1].text == "["
+            && code[i + 2].text == "cfg"
+        {
+            let mut j = i + 3;
+            let mut depth = 0usize;
+            let mut mentions_test = false;
+            while j < code.len() {
+                match code[j].text.as_str() {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                        if depth == 0 && code[j].text == ")" {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    "test" => mentions_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Skip the closing `]` of the attribute.
+            while j < code.len() && code[j].text == "]" {
+                j += 1;
+            }
+            if mentions_test && j < code.len() && code[j].text == "mod" {
+                // Find the module's opening brace, then its close.
+                let mut k = j;
+                while k < code.len() && code[k].text != "{" && code[k].text != ";" {
+                    k += 1;
+                }
+                if k < code.len() && code[k].text == "{" {
+                    let start_line = code[i].line;
+                    let mut depth = 0usize;
+                    let mut end_line = code[k].line;
+                    while k < code.len() {
+                        match code[k].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end_line = code[k].line;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    ranges.push((start_line, end_line));
+                    i = k;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+fn path_has_component(path: &Path, name: &str) -> bool {
+    path.components().any(|c| c.as_os_str() == name)
+}
+
+/// Integration tests, benches and bin fixtures: exempt from the
+/// production-code rules.
+fn is_test_path(path: &Path) -> bool {
+    path_has_component(path, "tests") || path_has_component(path, "benches")
+}
+
+fn is_vendor(path: &Path) -> bool {
+    path_has_component(path, "vendor")
+}
+
+/// The sync facade and the model checker implement the primitives — they
+/// are the one place allowed to name the real ones.
+fn is_facade_crate(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.contains("crates/sync/") || p.contains("crates/check/")
+}
+
+// ---------------------------------------------------------------------------
+// Rule: sync-imports
+// ---------------------------------------------------------------------------
+
+/// `std::sync` members that denote blocking/racing primitives. Everything
+/// else (`Arc`, `Weak`, `mpsc`, `OnceLock`, `LazyLock`, `PoisonError`...)
+/// is fine to use directly.
+const DENIED_STD_SYNC: &[&str] =
+    &["Mutex", "RwLock", "Condvar", "Barrier", "atomic", "Once", "OnceState"];
+
+fn rule_sync_imports(file: &SourceFile, out: &mut Vec<Finding>) {
+    if is_vendor(&file.path) || is_facade_crate(&file.path) || is_test_path(&file.path) {
+        return;
+    }
+    let code = file.code();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.in_test_code(t.line) {
+            continue;
+        }
+        if t.text == "parking_lot" {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                rule: "sync-imports",
+                message: "direct `parking_lot` use: import the lock from `kgnet_sync` instead"
+                    .to_owned(),
+            });
+            continue;
+        }
+        // `std :: sync :: <Denied>`
+        if t.text == "std"
+            && matches(&code, i + 1, &["::", "sync", "::"])
+            && code.get(i + 4).is_some_and(|x| DENIED_STD_SYNC.contains(&x.text.as_str()))
+        {
+            let denied = &code[i + 4].text;
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                rule: "sync-imports",
+                message: format!(
+                    "direct `std::sync::{denied}` use: import it from `kgnet_sync` so the \
+                     model checker can schedule it"
+                ),
+            });
+        }
+    }
+}
+
+fn matches(code: &[&Tok], from: usize, texts: &[&str]) -> bool {
+    texts.iter().enumerate().all(|(k, want)| code.get(from + k).is_some_and(|t| t.text == *want))
+}
+
+/// Index of the `)` closing the `(` at `open`, if balanced.
+fn matching_paren(code: &[&Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule: safety-comment
+// ---------------------------------------------------------------------------
+
+fn rule_safety_comment(file: &SourceFile, out: &mut Vec<Finding>) {
+    let code = file.code();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // `unsafe fn` declarations may document their contract with a
+        // `# Safety` doc section instead of a SAFETY comment.
+        let is_unsafe_fn =
+            code.get(i + 1).is_some_and(|x| x.text == "fn") || matches(&code, i + 1, &["extern"]);
+        if has_safety_comment(file, t.line) || (is_unsafe_fn && has_safety_doc(file, t.line)) {
+            continue;
+        }
+        out.push(Finding {
+            path: file.path.clone(),
+            line: t.line,
+            rule: "safety-comment",
+            message: "`unsafe` without a preceding `// SAFETY:` comment explaining why the \
+                      invariants hold"
+                .to_owned(),
+        });
+    }
+}
+
+/// A `SAFETY:` comment on the same line or within the six lines above,
+/// skipping attributes, blank lines and sibling `unsafe impl` lines (one
+/// comment may justify a Send/Sync pair).
+fn has_safety_comment(file: &SourceFile, line: usize) -> bool {
+    let this = file.lines.get(line - 1).map(String::as_str).unwrap_or("");
+    if line_has_safety_marker(this) {
+        return true;
+    }
+    let mut budget = 6;
+    let mut l = line - 1;
+    while budget > 0 && l >= 1 {
+        let text = file.lines.get(l - 1).map(String::as_str).unwrap_or("");
+        let trimmed = text.trim();
+        if line_has_safety_marker(text) {
+            return true;
+        }
+        let skippable = trimmed.is_empty()
+            || trimmed.starts_with("#[")
+            || trimmed.starts_with("#!")
+            || trimmed.starts_with("unsafe impl")
+            || trimmed.ends_with('{')
+            // rustfmt wraps long statements: `let x =` / `f(` on the line
+            // above means the unsafe token sits on a continuation line and
+            // the comment governs the whole statement.
+            || trimmed.ends_with('=')
+            || trimmed.ends_with('(');
+        if !skippable && !trimmed.starts_with("//") {
+            return false;
+        }
+        budget -= 1;
+        l -= 1;
+    }
+    false
+}
+
+fn line_has_safety_marker(line: &str) -> bool {
+    line.contains("// SAFETY:") || line.contains("//! SAFETY:") || line.contains("/// SAFETY:")
+}
+
+/// A `# Safety` doc heading in the doc comment block directly above.
+fn has_safety_doc(file: &SourceFile, line: usize) -> bool {
+    let mut l = line - 1;
+    while l >= 1 {
+        let text = file.lines.get(l - 1).map(String::as_str).unwrap_or("");
+        let trimmed = text.trim();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            if trimmed.contains("# Safety") {
+                return true;
+            }
+        } else if !(trimmed.is_empty() || trimmed.starts_with("#[") || trimmed.starts_with("//")) {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-order (kgnet-server only)
+// ---------------------------------------------------------------------------
+
+fn rule_lock_order(file: &SourceFile, out: &mut Vec<Finding>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    if !p.contains("crates/server/src/") || is_test_path(&file.path) {
+        return;
+    }
+    let code = file.code();
+    // Live manager guards: (brace depth at acquisition, bound?).
+    // A `let`-bound guard lives until its block closes; a temporary dies at
+    // the end of the statement (`;`).
+    let mut depth = 0usize;
+    let mut guards: Vec<(usize, bool)> = Vec::new();
+    // Was there a `let` since the last statement boundary?
+    let mut let_in_stmt = false;
+    for (i, t) in code.iter().enumerate() {
+        if file.in_test_code(t.line) {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|&(d, _)| d <= depth);
+            }
+            ";" => {
+                guards.retain(|&(_, bound)| bound);
+                let_in_stmt = false;
+            }
+            "let" => let_in_stmt = true,
+            _ => {}
+        }
+        // Manager guard acquisition: `witness :: read|write (`.
+        if t.text == "witness"
+            && matches(&code, i + 1, &["::"])
+            && code.get(i + 2).is_some_and(|x| x.text == "read" || x.text == "write")
+            && code.get(i + 3).is_some_and(|x| x.text == "(")
+        {
+            // `witness::read(..).method()` consumes the guard as a
+            // temporary — it dies at the end of the statement even when the
+            // statement is a `let`. Only a directly-bound guard outlives it.
+            let chained = matching_paren(&code, i + 3)
+                .and_then(|close| code.get(close + 1))
+                .is_some_and(|x| x.text == ".");
+            guards.push((depth, let_in_stmt && !chained));
+        }
+        // Writer-gate acquisition while a guard is live.
+        let takes_gate = (t.text == "begin" || t.text == "write_session")
+            && code.get(i + 1).is_some_and(|x| x.text == "(")
+            && i > 0
+            && code[i - 1].text == ".";
+        if takes_gate && !guards.is_empty() {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                rule: "lock-order",
+                message: format!(
+                    "`{}()` acquires the writer gate while a manager guard is live — the fixed \
+                     order is writer gate first, manager second",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unwrap-on-sync
+// ---------------------------------------------------------------------------
+
+/// Methods whose results must not be `.unwrap()`ed in production code:
+/// lock acquisitions (facade locks don't poison — the `Result` shouldn't
+/// exist) and channel/thread endpoints (a peer's panic shouldn't cascade).
+const SYNC_METHODS: &[&str] = &["lock", "read", "write", "recv", "join"];
+
+fn rule_unwrap_on_sync(file: &SourceFile, out: &mut Vec<Finding>) {
+    if is_test_path(&file.path) {
+        return;
+    }
+    let code = file.code();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !SYNC_METHODS.contains(&t.text.as_str())
+            || file.in_test_code(t.line)
+        {
+            continue;
+        }
+        // `. method ( )` — zero-arg call only, so `io::Read::read(&mut buf)`
+        // and friends don't false-positive.
+        if i == 0
+            || code[i - 1].text != "."
+            || !matches(&code, i + 1, &["(", ")", ".", "unwrap", "("])
+        {
+            continue;
+        }
+        out.push(Finding {
+            path: file.path.clone(),
+            line: t.line,
+            rule: "unwrap-on-sync",
+            message: format!(
+                "`.{}().unwrap()` in non-test code: handle the failure (facade locks don't \
+                 poison; channel/join errors deserve a real path)",
+                t.text
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: forbid-unsafe
+// ---------------------------------------------------------------------------
+
+/// Crates that legitimately contain `unsafe` (each site still needs its
+/// SAFETY comment): the mmap/ANN layer and the model checker's primitives.
+const UNSAFE_CRATES: &[&str] = &["crates/ann/", "crates/check/"];
+
+fn rule_forbid_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    let is_crate_root = p.ends_with("src/lib.rs") || p.ends_with("src/main.rs");
+    if !is_crate_root || is_vendor(&file.path) {
+        return;
+    }
+    if UNSAFE_CRATES.iter().any(|c| p.contains(c)) {
+        return;
+    }
+    let code = file.code();
+    let has = (0..code.len()).any(|i| {
+        matches(&code, i, &["#", "!", "["])
+            && code.get(i + 3).is_some_and(|t| t.text == "forbid")
+            && matches(&code, i + 4, &["(", "unsafe_code", ")"])
+    });
+    if !has {
+        out.push(Finding {
+            path: file.path.clone(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root lacks `#![forbid(unsafe_code)]` (only kgnet-ann and \
+                      kgnet-check may contain unsafe code)"
+                .to_owned(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+fn lint_source(path: PathBuf, src: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(path, src);
+    let mut raw = Vec::new();
+    rule_sync_imports(&file, &mut raw);
+    rule_safety_comment(&file, &mut raw);
+    rule_lock_order(&file, &mut raw);
+    rule_unwrap_on_sync(&file, &mut raw);
+    rule_forbid_unsafe(&file, &mut raw);
+    raw.retain(|f| !file.waived(f.line, f.rule));
+    raw
+}
+
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') || name.starts_with("target-") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => {
+                root = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--root needs a directory argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (expected --deny and/or --root <dir>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &mut files);
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else { continue };
+        scanned += 1;
+        findings.extend(lint_source(path, &src));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "kgnet-lint: {} file(s) scanned, {} finding(s){}",
+        scanned,
+        findings.len(),
+        if deny { " [--deny]" } else { "" }
+    );
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_for(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(PathBuf::from(path), src)
+    }
+
+    fn rules(found: &[Finding]) -> Vec<&'static str> {
+        found.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn lexer_classifies_comments_strings_and_idents() {
+        let toks = lex("let s = \"std::sync::Mutex\"; // std::sync::Mutex\n/* parking_lot */ x");
+        let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident, // let
+                TokKind::Ident, // s
+                TokKind::Punct, // =
+                TokKind::Str,
+                TokKind::Punct, // ;
+                TokKind::LineComment,
+                TokKind::BlockComment,
+                TokKind::Ident, // x
+            ]
+        );
+        assert_eq!(toks[7].line, 2);
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { r#\"unsafe \"quoted\" \"# }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        let raw: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].text.contains("unsafe"));
+        // The `unsafe` inside the raw string is not an ident token.
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "unsafe"));
+    }
+
+    #[test]
+    fn sync_imports_flags_std_and_parking_lot_in_prod_code() {
+        let found = findings_for(
+            "crates/rdf/src/x.rs",
+            "use std::sync::Mutex;\nuse parking_lot::RwLock;\nuse std::sync::Arc;\n",
+        );
+        assert_eq!(rules(&found), vec!["sync-imports", "sync-imports"]);
+        assert!(found[0].message.contains("Mutex"));
+    }
+
+    #[test]
+    fn sync_imports_allows_facade_vendor_tests_and_cfg_test() {
+        let src = "use std::sync::Mutex;\n";
+        assert!(findings_for("crates/sync/src/facade.rs", src).is_empty());
+        assert!(findings_for("crates/check/src/sync.rs", src).is_empty());
+        assert!(findings_for("vendor/memmap2/src/lib.rs", src).is_empty());
+        assert!(findings_for("crates/rdf/tests/x.rs", src).is_empty());
+        let gated = "#[cfg(test)]\nmod tests {\n    use std::sync::Barrier;\n}\n";
+        assert!(findings_for("crates/rdf/src/x.rs", gated).is_empty());
+        // Arc, mpsc, OnceLock stay allowed anywhere.
+        let fine = "use std::sync::{Arc, OnceLock};\nuse std::sync::mpsc;\n";
+        assert!(findings_for("crates/rdf/src/x.rs", fine).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_required_even_in_vendor() {
+        let bad = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(rules(&findings_for("vendor/memmap2/src/lib.rs", bad)), vec!["safety-comment"]);
+        let good = "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(findings_for("vendor/memmap2/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_accepts_shared_comment_for_impl_pairs_and_safety_doc() {
+        let pair = "// SAFETY: T is Send, the raw pointer is owned.\nunsafe impl<T: Send> Send for X<T> {}\nunsafe impl<T: Send> Sync for X<T> {}\n";
+        assert!(findings_for("crates/ann/src/x.rs", pair).is_empty());
+        let doc = "/// Reads a byte.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn f(p: *const u8) -> u8 { *p }\n";
+        assert!(findings_for("crates/ann/src/x.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn lock_order_flags_gate_under_let_bound_manager_guard() {
+        let bad = "fn f(&self) {\n    let m = witness::read(&self.manager);\n    let txn = self.store.begin();\n}\n";
+        assert_eq!(rules(&findings_for("crates/server/src/x.rs", bad)), vec!["lock-order"]);
+        // Scoped guard released before the gate: fine.
+        let good = "fn f(&self) {\n    let v = {\n        let m = witness::read(&self.manager);\n        m.len()\n    };\n    let txn = self.store.begin();\n}\n";
+        assert!(findings_for("crates/server/src/x.rs", good).is_empty());
+        // Temporary guard dies at the statement end.
+        let temp = "fn f(&self) {\n    let n = witness::read(&self.manager).len();\n    let txn = self.store.begin();\n}\n";
+        assert!(findings_for("crates/server/src/x.rs", temp).is_empty());
+        // Outside kgnet-server the rule does not apply.
+        assert!(findings_for("crates/rdf/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn unwrap_on_sync_flags_zero_arg_lock_unwraps_only() {
+        let bad = "fn f(&self) {\n    let g = self.m.lock().unwrap();\n    let x = self.rx.recv().unwrap();\n}\n";
+        let found = findings_for("crates/rdf/src/x.rs", bad);
+        assert_eq!(rules(&found), vec!["unwrap-on-sync", "unwrap-on-sync"]);
+        // io-style read with arguments is not a lock acquisition.
+        let io =
+            "fn f(r: &mut impl std::io::Read, buf: &mut [u8]) {\n    r.read(buf).unwrap();\n}\n";
+        assert!(findings_for("crates/rdf/src/x.rs", io).is_empty());
+        // Facade-style lock without unwrap is the fixed form.
+        let good = "fn f(&self) {\n    let g = self.m.lock();\n}\n";
+        assert!(findings_for("crates/rdf/src/x.rs", good).is_empty());
+        // Tests may unwrap.
+        assert!(findings_for("crates/rdf/tests/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_required_in_crate_roots_with_exemptions() {
+        let bare = "pub fn f() {}\n";
+        assert_eq!(rules(&findings_for("crates/rdf/src/lib.rs", bare)), vec!["forbid-unsafe"]);
+        let good = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(findings_for("crates/rdf/src/lib.rs", good).is_empty());
+        // ann/check/vendor are exempt; non-root files are too.
+        assert!(findings_for("crates/ann/src/lib.rs", bare).is_empty());
+        assert!(findings_for("crates/check/src/lib.rs", bare).is_empty());
+        assert!(findings_for("vendor/rayon/src/lib.rs", bare).is_empty());
+        assert!(findings_for("crates/rdf/src/store.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_a_finding() {
+        let waived = "// lint:allow(sync-imports)\nuse std::sync::Mutex;\n";
+        assert!(findings_for("crates/rdf/src/x.rs", waived).is_empty());
+        let inline = "use std::sync::Mutex; // lint:allow(sync-imports)\n";
+        assert!(findings_for("crates/rdf/src/x.rs", inline).is_empty());
+        // The waiver names the rule: a different rule's marker doesn't help.
+        let wrong = "// lint:allow(safety-comment)\nuse std::sync::Mutex;\n";
+        assert_eq!(rules(&findings_for("crates/rdf/src/x.rs", wrong)), vec!["sync-imports"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger_path_rules() {
+        let src =
+            "// std::sync::Mutex parking_lot\nconst S: &str = \"use std::sync::Mutex; unsafe\";\n";
+        assert!(findings_for("crates/rdf/src/x.rs", src).is_empty());
+    }
+}

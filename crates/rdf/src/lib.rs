@@ -23,7 +23,7 @@ pub mod term;
 pub use dict::{TermDict, TermId};
 pub use error::SparqlError;
 pub use ntriples::{load_ntriples, parse_ntriples};
-pub use shared::{SharedStore, Snapshot, WriteTxn};
+pub use shared::{RetainedVersion, SharedStore, Snapshot, WriteTxn};
 pub use sparql::{
     execute, query, query_with_stats, ExecOutcome, ExecStats, PreparedQuery, QueryResult,
 };

@@ -22,10 +22,10 @@
 //! snapshot never observes a torn intermediate state (property-tested below
 //! under real writer threads).
 
+use std::collections::BTreeMap;
 use std::ops::Deref;
-use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 
-use parking_lot::RwLock;
+use kgnet_sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::store::RdfStore;
 
@@ -38,13 +38,18 @@ use crate::store::RdfStore;
 #[derive(Clone)]
 pub struct Snapshot {
     inner: Arc<RdfStore>,
+    /// Present when the snapshot was pinned from a [`SharedStore`]: held
+    /// purely so its `Clone`/`Drop` keep the per-version pin count in the
+    /// store's retention tracker accurate.
+    _pin: Option<VersionPin>,
 }
 
 impl Snapshot {
     /// Freeze a standalone store into a snapshot (version 0 of nothing in
-    /// particular; mostly useful in tests and one-shot pipelines).
+    /// particular; mostly useful in tests and one-shot pipelines). Untracked:
+    /// it never appears in [`SharedStore::retained_versions`].
     pub fn freeze(store: RdfStore) -> Self {
-        Snapshot { inner: Arc::new(store) }
+        Snapshot { inner: Arc::new(store), _pin: None }
     }
 }
 
@@ -70,15 +75,15 @@ impl std::fmt::Debug for Snapshot {
 /// can be *owned* (stored in a session struct) instead of borrowed.
 #[derive(Default)]
 struct WriterGate {
-    busy: StdMutex<bool>,
+    busy: Mutex<bool>,
     cv: Condvar,
 }
 
 impl WriterGate {
     fn acquire(self: &Arc<Self>) -> WriterPermit {
-        let mut busy = self.busy.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut busy = self.busy.lock();
         while *busy {
-            busy = self.cv.wait(busy).unwrap_or_else(PoisonError::into_inner);
+            busy = self.cv.wait(busy);
         }
         *busy = true;
         WriterPermit { gate: Arc::clone(self) }
@@ -92,9 +97,79 @@ struct WriterPermit {
 
 impl Drop for WriterPermit {
     fn drop(&mut self) {
-        *self.gate.busy.lock().unwrap_or_else(PoisonError::into_inner) = false;
+        *self.gate.busy.lock() = false;
         self.gate.cv.notify_one();
     }
+}
+
+/// Per-version retention bookkeeping: generation → live pins + size.
+#[derive(Default)]
+struct VersionTracker {
+    versions: BTreeMap<u64, TrackedVersion>,
+}
+
+struct TrackedVersion {
+    pins: usize,
+    approx_bytes: usize,
+}
+
+impl VersionTracker {
+    fn pin(&mut self, generation: u64, approx_bytes: usize) {
+        self.versions.entry(generation).or_insert(TrackedVersion { pins: 0, approx_bytes }).pins +=
+            1;
+    }
+
+    fn unpin(&mut self, generation: u64) {
+        if let Some(entry) = self.versions.get_mut(&generation) {
+            entry.pins -= 1;
+            if entry.pins == 0 {
+                // Last pin gone: the version is reclaimable (its `Arc` drops
+                // as soon as it is no longer current), so stop reporting it.
+                self.versions.remove(&generation);
+            }
+        }
+    }
+}
+
+/// Keeps one pin registered in the owning store's [`VersionTracker`] for as
+/// long as the snapshot (or any clone of it) is alive.
+struct VersionPin {
+    tracker: Arc<Mutex<VersionTracker>>,
+    generation: u64,
+    approx_bytes: usize,
+}
+
+impl Clone for VersionPin {
+    fn clone(&self) -> Self {
+        self.tracker.lock().pin(self.generation, self.approx_bytes);
+        VersionPin {
+            tracker: Arc::clone(&self.tracker),
+            generation: self.generation,
+            approx_bytes: self.approx_bytes,
+        }
+    }
+}
+
+impl Drop for VersionPin {
+    fn drop(&mut self) {
+        self.tracker.lock().unpin(self.generation);
+    }
+}
+
+/// One row of [`SharedStore::retained_versions`]: a store version currently
+/// kept alive, why (pins / being current), and roughly how big it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetainedVersion {
+    /// The version id ([`RdfStore::generation`] epoch).
+    pub generation: u64,
+    /// Live [`Snapshot`] pins holding this version. The current version
+    /// reports `0` when nobody has it pinned — it is retained regardless.
+    pub pins: usize,
+    /// Approximate index memory retained by this version (shards are
+    /// copy-on-write shared between versions, so sums overcount).
+    pub approx_bytes: usize,
+    /// Whether this is the published (most recent committed) version.
+    pub is_current: bool,
 }
 
 /// A cheaply cloneable handle publishing MVCC versions of one RDF store.
@@ -102,6 +177,7 @@ impl Drop for WriterPermit {
 pub struct SharedStore {
     current: Arc<RwLock<Arc<RdfStore>>>,
     gate: Arc<WriterGate>,
+    tracker: Arc<Mutex<VersionTracker>>,
 }
 
 impl std::fmt::Debug for SharedStore {
@@ -120,13 +196,56 @@ impl SharedStore {
         SharedStore {
             current: Arc::new(RwLock::new(Arc::new(store))),
             gate: Arc::new(WriterGate::default()),
+            tracker: Arc::new(Mutex::new(VersionTracker::default())),
         }
     }
 
     /// Pin the current version. One `Arc` clone under a momentary read
     /// lock; after that the snapshot holds no lock whatsoever.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot { inner: Arc::clone(&self.current.read()) }
+        let inner = Arc::clone(&self.current.read());
+        let generation = inner.generation();
+        let approx_bytes = inner.approx_bytes();
+        self.tracker.lock().pin(generation, approx_bytes);
+        Snapshot {
+            inner,
+            _pin: Some(VersionPin { tracker: Arc::clone(&self.tracker), generation, approx_bytes }),
+        }
+    }
+
+    /// GC telemetry: every store version currently retained, with its live
+    /// pin count and approximate index footprint. The published version is
+    /// always listed (marked [`RetainedVersion::is_current`]); an older
+    /// version appears exactly while at least one [`Snapshot`] pins it, and
+    /// vanishes when the last pin drops.
+    pub fn retained_versions(&self) -> Vec<RetainedVersion> {
+        // Read `current` before locking the tracker — the two locks are
+        // never held together anywhere in this module.
+        let (current_generation, current_bytes) = {
+            let cur = self.current.read();
+            (cur.generation(), cur.approx_bytes())
+        };
+        let tracker = self.tracker.lock();
+        let mut rows: Vec<RetainedVersion> = tracker
+            .versions
+            .iter()
+            .map(|(&generation, entry)| RetainedVersion {
+                generation,
+                pins: entry.pins,
+                approx_bytes: entry.approx_bytes,
+                is_current: generation == current_generation,
+            })
+            .collect();
+        if !rows.iter().any(|r| r.is_current) {
+            rows.push(RetainedVersion {
+                generation: current_generation,
+                pins: 0,
+                approx_bytes: current_bytes,
+                is_current: true,
+            });
+        }
+        rows.sort_by_key(|r| r.generation);
+        rows
     }
 
     /// Open a write transaction on a private copy-on-write clone of the
@@ -182,7 +301,7 @@ impl SharedStore {
                 let version = lock.into_inner();
                 Ok(Arc::try_unwrap(version).unwrap_or_else(|shared| (*shared).clone()))
             }
-            Err(current) => Err(SharedStore { current, gate: self.gate }),
+            Err(current) => Err(SharedStore { current, gate: self.gate, tracker: self.tracker }),
         }
     }
 }
@@ -303,6 +422,53 @@ mod tests {
         let fresh = shared.snapshot();
         assert_eq!(fresh.len(), 50);
         assert!(fresh.generation() > generation);
+    }
+
+    #[test]
+    fn retained_versions_track_pins_and_free_on_last_drop() {
+        let shared = SharedStore::new(RdfStore::new());
+        shared.commit(|st| st.insert(iri("a"), iri("p"), iri("b")));
+        let pin = shared.snapshot();
+        let old_generation = pin.generation();
+        let pin2 = pin.clone();
+
+        shared.commit(|st| {
+            for i in 0..10u32 {
+                st.insert(iri(&format!("n{i}")), iri("p"), iri("o"));
+            }
+        });
+
+        let retained = shared.retained_versions();
+        assert_eq!(retained.len(), 2, "old pinned version + current: {retained:?}");
+        let old = &retained[0];
+        assert_eq!(old.generation, old_generation);
+        assert_eq!(old.pins, 2, "snapshot clones each count as a pin");
+        assert!(!old.is_current);
+        assert!(old.approx_bytes > 0);
+        let cur = &retained[1];
+        assert!(cur.is_current);
+        assert_eq!(cur.pins, 0);
+        assert!(cur.approx_bytes > old.approx_bytes);
+
+        drop(pin);
+        assert_eq!(shared.retained_versions().len(), 2, "one pin still live");
+        drop(pin2);
+        let retained = shared.retained_versions();
+        assert_eq!(retained.len(), 1, "last pin dropped frees the old version");
+        assert!(retained[0].is_current);
+    }
+
+    #[test]
+    fn pinning_the_current_version_reports_one_row() {
+        let shared = SharedStore::new(RdfStore::new());
+        shared.commit(|st| st.insert(iri("a"), iri("p"), iri("b")));
+        let pin = shared.snapshot();
+        let retained = shared.retained_versions();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(retained[0].pins, 1);
+        assert!(retained[0].is_current);
+        drop(pin);
+        assert_eq!(shared.retained_versions()[0].pins, 0);
     }
 
     #[test]

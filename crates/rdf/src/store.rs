@@ -26,7 +26,7 @@ use std::iter::Peekable;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use kgnet_sync::Mutex;
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::dict::{TermDict, TermId};
@@ -266,6 +266,14 @@ impl RdfStore {
         self.triples == 0
     }
 
+    /// Coarse index-memory estimate for this version: every triple is held
+    /// as three `(u32, u32, u32)` entries (SPO/POS/OSP), doubled for B-tree
+    /// node overhead. The term dictionary is shared between versions and is
+    /// deliberately not counted.
+    pub fn approx_bytes(&self) -> usize {
+        self.triples * 3 * std::mem::size_of::<(u32, u32, u32)>() * 2
+    }
+
     /// Membership test on ids.
     pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
         self.spo.contains(&(s.0, p.0, o.0))
@@ -334,7 +342,7 @@ impl RdfStore {
     /// invalidated wholesale when the store mutates. Each store version
     /// (snapshot) owns its cache, so stats are effectively snapshot-keyed.
     pub fn predicate_stats(&self, p: TermId) -> PredicateStats {
-        // parking_lot mutex: no poisoning, so a reader that panics (e.g. a
+        // Non-poisoning facade mutex: a reader that panics (e.g. a
         // cancelled training job sharing the store) cannot wedge the cache.
         let mut cache = self.stats.lock();
         if cache.generation != self.generation {

@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use kgnet_sync::Mutex;
 
 use kgnet_rdf::sparql::lexer::tokenize;
 use kgnet_rdf::sparql::{prepare_select, SelectQuery};

@@ -39,6 +39,7 @@
 pub mod cache;
 pub mod queue;
 pub mod session;
+mod witness;
 
 pub use cache::{CacheStats, SharedPlanCache};
 pub use queue::{
@@ -46,10 +47,10 @@ pub use queue::{
 };
 pub use session::{ReadSession, WriteSession};
 
-use std::sync::atomic::Ordering;
+use kgnet_sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use kgnet_sync::RwLock;
 
 use kgnet_gml::control::TrainControl;
 use kgnet_gmlaas::{TrainError, TrainRequest, TrainingManager};
@@ -86,7 +87,7 @@ impl KgServer {
     pub fn new(data: RdfStore, config: ServerConfig) -> Self {
         let store = SharedStore::new(data);
         let manager = Arc::new(RwLock::new(QueryManager::new(config.manager)));
-        let trainer = manager.read().trainer().clone();
+        let trainer = witness::read(&manager).trainer().clone();
         let runner = train_runner(store.clone(), manager.clone(), trainer);
         let queue = JobQueue::new(config.queue, runner);
         let capacity = if config.plan_cache_capacity == 0 {
@@ -119,6 +120,15 @@ impl KgServer {
     /// hit/miss splits on top of these totals).
     pub fn plan_cache_stats(&self) -> CacheStats {
         self.plan_cache.stats()
+    }
+
+    /// MVCC retention telemetry: every store version currently kept alive —
+    /// the published version plus any older version pinned by a live
+    /// [`ReadSession`] (or raw [`Snapshot`](kgnet_rdf::Snapshot)) — with
+    /// per-version pin counts and approximate retained index bytes. An old
+    /// version disappears from this list the moment its last pin drops.
+    pub fn retained_versions(&self) -> Vec<kgnet_rdf::RetainedVersion> {
+        self.store.retained_versions()
     }
 
     /// Open a concurrent read session pinned to the current snapshot.
@@ -211,7 +221,7 @@ fn train_runner(
             return JobOutcome::Cancelled;
         }
         artifact.trained_generation = snapshot.generation();
-        let mut guard = manager.write();
+        let mut guard = witness::write(&manager);
         let artifact = trainer.model_store().insert(artifact);
         guard.register_artifact(&artifact);
         JobOutcome::Done(artifact.uri.clone())
@@ -409,6 +419,54 @@ mod tests {
         assert!(published > before);
         assert_eq!(server.store().generation(), published);
         assert_eq!(server.store().len(), len_before + 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lock_order_witness_panics_on_manager_before_gate() {
+        // Wrong order on purpose: a (witnessed) manager guard is live when
+        // the thread asks for the writer gate. The debug witness must turn
+        // this latent AB–BA deadlock into an immediate panic.
+        let server = fast_server(59);
+        let manager = server.manager();
+        let guard = crate::witness::read(&manager);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drop(server.write_session());
+        }));
+        drop(guard);
+        let Err(payload) = result else { panic!("gate-under-manager acquisition must panic") };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(msg.contains("lock-order violation"), "unexpected panic: {msg}");
+        // The correct order still works on this very thread.
+        let mut writer = server.write_session();
+        writer.execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap();
+        writer.commit();
+    }
+
+    #[test]
+    fn retained_versions_surface_session_pins() {
+        let server = fast_server(61);
+        let base = server.store().generation();
+        let session = server.read_session(); // pins the current version
+        let mut writer = server.write_session();
+        writer.execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap();
+        writer.commit();
+
+        let retained = server.retained_versions();
+        assert_eq!(retained.len(), 2, "pinned old version + current: {retained:?}");
+        assert_eq!(retained[0].generation, base);
+        assert_eq!(retained[0].pins, 1);
+        assert!(!retained[0].is_current);
+        assert!(retained[1].is_current);
+
+        drop(session);
+        let retained = server.retained_versions();
+        assert_eq!(retained.len(), 1, "dropping the session frees the old version");
+        assert!(retained[0].is_current);
     }
 
     #[test]

@@ -37,9 +37,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::thread::JoinHandle;
+
+use kgnet_sync::atomic::{AtomicBool, Ordering};
+use kgnet_sync::thread::JoinHandle;
+use kgnet_sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use kgnet_gmlaas::{TaskBudget, TrainRequest};
 
@@ -179,8 +180,14 @@ struct JobEntry {
     cancel: Arc<AtomicBool>,
 }
 
+/// The lock-protected queue state machine. Public but `doc(hidden)`: the
+/// deterministic-scheduler regression tests (`tests/server_concurrency.rs`
+/// and the `model_check` suite) drive these transition methods directly so
+/// the *production* cancel/complete logic is what gets model-checked. Not
+/// part of the supported API.
+#[doc(hidden)]
 #[derive(Default)]
-struct QueueState {
+pub struct QueueState {
     pending: VecDeque<QueuedJob>,
     jobs: HashMap<JobId, JobEntry>,
     /// Ids in the order they reached a terminal state, oldest first; the
@@ -190,6 +197,7 @@ struct QueueState {
     shutdown: bool,
 }
 
+#[doc(hidden)]
 impl QueueState {
     /// Move `id` to a terminal `state` and prune the oldest terminal
     /// records beyond `cap` so the history map stays bounded. A no-op when
@@ -197,7 +205,7 @@ impl QueueState {
     /// popping a job and observing its flag, finishing it first) or its
     /// record is gone — re-finishing would rewrite a terminal state and
     /// double-count the id in the retention window.
-    fn finish(&mut self, id: JobId, state: JobState, cap: usize) {
+    pub fn finish(&mut self, id: JobId, state: JobState, cap: usize) {
         debug_assert!(state.is_terminal());
         match self.jobs.get_mut(&id) {
             Some(entry) if !entry.state.is_terminal() => entry.state = state,
@@ -210,6 +218,59 @@ impl QueueState {
             }
         }
     }
+
+    /// The cancellation transition behind [`JobQueue::cancel`], factored
+    /// onto the state machine so scheduler tests can drive it under a lock
+    /// they control. Semantics documented on [`JobQueue::cancel`].
+    pub fn cancel(&mut self, id: JobId, cap: usize) -> bool {
+        let Some(entry) = self.jobs.get_mut(&id) else { return false };
+        match entry.state {
+            JobState::Queued => {
+                entry.cancel.store(true, Ordering::SeqCst);
+                self.pending.retain(|j| j.id != id);
+                self.finish(id, JobState::Cancelled, cap);
+                true
+            }
+            JobState::Running => {
+                entry.cancel.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Register a job directly in `Queued` state (test harness entry point;
+    /// production submissions go through [`JobQueue::submit`]). Returns the
+    /// job's cancellation flag.
+    pub fn register(&mut self, id: JobId, name: &str) -> Arc<AtomicBool> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.jobs.insert(
+            id,
+            JobEntry {
+                name: name.to_owned(),
+                state: JobState::Queued,
+                cancel: Arc::clone(&cancel),
+            },
+        );
+        cancel
+    }
+
+    /// Mark a registered job `Running` (test harness entry point).
+    pub fn mark_running(&mut self, id: JobId) {
+        if let Some(entry) = self.jobs.get_mut(&id) {
+            entry.state = JobState::Running;
+        }
+    }
+
+    /// Current state of a job, if its record is still retained.
+    pub fn state_of(&self, id: JobId) -> Option<JobState> {
+        self.jobs.get(&id).map(|e| e.state.clone())
+    }
+
+    /// Number of ids recorded as terminal (the retention window length).
+    pub fn terminal_count(&self) -> usize {
+        self.terminal_order.len()
+    }
 }
 
 struct Shared {
@@ -218,8 +279,8 @@ struct Shared {
 }
 
 impl Shared {
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock()
     }
 }
 
@@ -243,7 +304,7 @@ impl JobQueue {
                 let runner = runner.clone();
                 let threads = config.training_threads.max(1);
                 let retain = config.max_terminal_retained;
-                std::thread::Builder::new()
+                kgnet_sync::thread::Builder::new()
                     .name(format!("kgnet-train-{i}"))
                     .spawn(move || worker_loop(&shared, &runner, threads, retain))
                     .expect("spawn training worker")
@@ -312,21 +373,13 @@ impl JobQueue {
     /// authoritative terminal state before assuming nothing was registered.
     pub fn cancel(&self, id: JobId) -> bool {
         let mut state = self.shared.lock();
-        let Some(entry) = state.jobs.get_mut(&id) else { return false };
-        match entry.state {
-            JobState::Queued => {
-                entry.cancel.store(true, Ordering::SeqCst);
-                state.pending.retain(|j| j.id != id);
-                state.finish(id, JobState::Cancelled, self.config.max_terminal_retained);
-                self.shared.signal.notify_all();
-                true
-            }
-            JobState::Running => {
-                entry.cancel.store(true, Ordering::SeqCst);
-                true
-            }
-            _ => false,
+        let delivered = state.cancel(id, self.config.max_terminal_retained);
+        if delivered {
+            // Wake waiters: a Queued job just went terminal (harmlessly
+            // spurious for the Running branch, where only the flag moved).
+            self.shared.signal.notify_all();
         }
+        delivered
     }
 
     /// Drop a terminal job's record once its outcome has been observed,
@@ -355,7 +408,7 @@ impl JobQueue {
             if entry.state.is_terminal() {
                 return Some(JobInfo { id, name: entry.name.clone(), state: entry.state.clone() });
             }
-            state = self.shared.signal.wait(state).unwrap_or_else(PoisonError::into_inner);
+            state = self.shared.signal.wait(state);
         }
     }
 
@@ -425,7 +478,7 @@ fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize
                 if state.shutdown {
                     return;
                 }
-                state = shared.signal.wait(state).unwrap_or_else(PoisonError::into_inner);
+                state = shared.signal.wait(state);
             }
         };
         {
@@ -489,7 +542,7 @@ mod tests {
         Arc::new(move |_req, cancel| {
             let seq = counter.fetch_add(1, Ordering::SeqCst) + 1;
             started.send(seq).unwrap();
-            proceed.lock().unwrap().recv().unwrap();
+            proceed.lock().recv().unwrap();
             if cancel.load(Ordering::SeqCst) {
                 JobOutcome::Cancelled
             } else {

@@ -27,7 +27,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use kgnet_sync::RwLock;
 
 use kgnet_gmlaas::{ArtifactPayload, ServiceError};
 use kgnet_rdf::sparql::evaluate_prepared;
@@ -37,6 +37,7 @@ use kgnet_sparqlml::{
 };
 
 use crate::cache::{CacheStats, SharedPlanCache};
+use crate::witness;
 
 /// A concurrent read handle: SELECT-only execution against a pinned
 /// snapshot, with shared plan caching.
@@ -89,7 +90,7 @@ impl ReadSession {
                 Ok(MlOutcome::Rows(rows))
             }
             SparqlMlOperation::Select(q) => {
-                let manager = self.manager.read();
+                let manager = witness::read(&self.manager);
                 manager.query_select(&self.snapshot, q)
             }
             SparqlMlOperation::PlainUpdate(_)
@@ -113,7 +114,7 @@ impl ReadSession {
     /// snapshot: models registered after this session opened are visible.
     pub fn sparql_kgmeta(&self, text: &str) -> Result<QueryResult, SparqlError> {
         let q = kgnet_rdf::sparql::parse_select(text)?;
-        let manager = self.manager.read();
+        let manager = witness::read(&self.manager);
         kgnet_rdf::sparql::evaluate_select(manager.kgmeta().store(), &q)
     }
 
@@ -130,7 +131,7 @@ impl ReadSession {
         k: usize,
     ) -> Result<Vec<(String, f32)>, MlError> {
         let artifact = {
-            let manager = self.manager.read();
+            let manager = witness::read(&self.manager);
             manager.trainer().model_store().get(model_uri)
         };
         let Some(artifact) = artifact else {
@@ -191,6 +192,9 @@ pub struct WriteSession {
 
 impl WriteSession {
     pub(crate) fn new(store: SharedStore, manager: Arc<RwLock<QueryManager>>) -> Self {
+        // The one writer-gate acquisition in this crate: the lock-order
+        // witness rejects it if this thread already holds a manager guard.
+        witness::assert_manager_not_held("WriteSession::new");
         WriteSession { txn: store.begin(), manager }
     }
 
@@ -202,7 +206,7 @@ impl WriteSession {
     /// KGMeta are not transactional); concurrent serving should submit
     /// training through the server's job queue instead.
     pub fn execute(&mut self, text: &str) -> Result<MlOutcome, MlError> {
-        let mut manager = self.manager.write();
+        let mut manager = witness::write(&self.manager);
         manager.update(self.txn.store_mut(), text)
     }
 

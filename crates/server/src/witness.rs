@@ -1,0 +1,95 @@
+//! Debug-build witness for the crate's fixed lock order: *writer gate
+//! first, query manager second* (see the module docs of [`crate::session`]).
+//!
+//! The compiler cannot see this ordering — the writer gate lives inside
+//! `kgnet_rdf::SharedStore` and the manager lock is an ordinary `RwLock` —
+//! so every in-crate manager acquisition goes through [`read`]/[`write`],
+//! which keep a thread-local count of live manager guards, and every
+//! writer-gate acquisition site calls [`assert_manager_not_held`] first.
+//! Acquiring the gate while this thread holds a manager guard is exactly
+//! the AB–BA half that could deadlock against a training job (gate →
+//! manager), and trips a `debug_assert` panic in tests; release builds pay
+//! only the thread-local counter bumps.
+
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+
+use kgnet_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+thread_local! {
+    /// Live manager guards held by this thread (read or write).
+    static MANAGER_GUARDS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Panics (debug builds) when this thread already holds a manager guard:
+/// acquiring the writer gate now would invert the fixed lock order.
+pub(crate) fn assert_manager_not_held(op: &str) {
+    debug_assert_eq!(
+        MANAGER_GUARDS.with(Cell::get),
+        0,
+        "lock-order violation: {op} acquires the writer gate while this thread holds a \
+         query-manager guard (fixed order: writer gate first, manager second)"
+    );
+}
+
+/// RAII bump of the thread's manager-guard count.
+struct ManagerToken;
+
+impl ManagerToken {
+    fn acquire() -> Self {
+        MANAGER_GUARDS.with(|c| c.set(c.get() + 1));
+        ManagerToken
+    }
+}
+
+impl Drop for ManagerToken {
+    fn drop(&mut self) {
+        MANAGER_GUARDS.with(|c| c.set(c.get() - 1));
+    }
+}
+
+/// A witnessed shared manager guard.
+pub(crate) struct ManagerRead<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    _token: ManagerToken,
+}
+
+impl<T> Deref for ManagerRead<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// A witnessed exclusive manager guard.
+pub(crate) struct ManagerWrite<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    _token: ManagerToken,
+}
+
+impl<T> Deref for ManagerWrite<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for ManagerWrite<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Acquire the manager read lock, recording the hold on this thread.
+pub(crate) fn read<T>(lock: &RwLock<T>) -> ManagerRead<'_, T> {
+    let guard = lock.read();
+    ManagerRead { guard, _token: ManagerToken::acquire() }
+}
+
+/// Acquire the manager write lock, recording the hold on this thread.
+pub(crate) fn write<T>(lock: &RwLock<T>) -> ManagerWrite<'_, T> {
+    let guard = lock.write();
+    ManagerWrite { guard, _token: ManagerToken::acquire() }
+}

@@ -1,0 +1,189 @@
+//! Deterministic model-check suites for the serving layer: the training
+//! queue's cancel-vs-complete race and the shared plan cache under a
+//! concurrent generation bump.
+//!
+//! Compiled only under `--cfg kgnet_check`: the `kgnet-sync` facade then
+//! routes every lock and atomic inside [`QueueState`]'s mutex and
+//! [`SharedPlanCache`] to the `kgnet-check` scheduler, so these tests
+//! drive the *production* transition logic (`QueueState::cancel` /
+//! `QueueState::finish` are exactly what `JobQueue` and its workers call)
+//! through every bounded-preemption interleaving plus seeded random
+//! walks. Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg kgnet_check" cargo test -p kgnet-server --test model_check
+//! ```
+
+#![cfg(kgnet_check)]
+
+use std::sync::Arc;
+
+use kgnet_check::{explore, Config, Report};
+use kgnet_rdf::{RdfStore, SharedStore, Term};
+use kgnet_server::cache::SharedPlanCache;
+use kgnet_server::queue::{JobState, QueueState};
+use kgnet_sync::atomic::Ordering;
+use kgnet_sync::{thread, Mutex};
+
+const CAP: usize = 8;
+
+/// Wider budgets than the library default — these scenarios run in tens of
+/// microseconds per schedule. `KGNET_CHECK_*` env caps still override.
+fn cfg() -> Config {
+    Config {
+        preemption_bound: Some(3),
+        max_schedules: 20_000,
+        random_iters: 20_000,
+        ..Config::default()
+    }
+}
+
+fn assert_coverage(suite: &str, reports: &[Report], floor: usize) {
+    let distinct: usize = reports.iter().map(|r| r.distinct_schedules).sum();
+    let runs: usize = reports.iter().map(|r| r.schedules).sum();
+    println!("model-check[{suite}]: {runs} schedules run, {distinct} distinct");
+    let capped = std::env::var_os("KGNET_CHECK_MAX_SCHEDULES").is_some()
+        || std::env::var_os("KGNET_CHECK_RANDOM_ITERS").is_some();
+    if !capped {
+        assert!(distinct >= floor, "{suite}: only {distinct} distinct schedules (floor {floor})");
+    }
+}
+
+/// Cancel racing a worker's completion on a **running** job: the terminal
+/// state is written exactly once (`finish` is a no-op on terminal jobs),
+/// the job ends `Done` either way (a running job cancels cooperatively),
+/// and the cooperative-stop flag is raised iff the cancel was delivered.
+#[test]
+fn cancel_vs_complete_on_running_job_is_exactly_once() {
+    let report = explore(&cfg(), || {
+        let q = Arc::new(Mutex::new(QueueState::default()));
+        let flag = {
+            let mut st = q.lock();
+            let flag = st.register(7, "train-job");
+            st.mark_running(7);
+            flag
+        };
+
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.lock().finish(7, JobState::Done { model_uri: "kgnet:m7".into() }, CAP);
+            })
+        };
+        let delivered = q.lock().cancel(7, CAP);
+        worker.join().unwrap();
+
+        let st = q.lock();
+        let state = st.state_of(7).expect("job lost");
+        assert!(state.is_terminal(), "job left non-terminal: {state:?}");
+        assert_eq!(st.terminal_count(), 1, "terminal transition recorded twice");
+        // A running job is never yanked out from under its worker: the
+        // worker's completion stands whether or not the cancel landed.
+        assert_eq!(state, JobState::Done { model_uri: "kgnet:m7".into() });
+        assert_eq!(
+            flag.load(Ordering::SeqCst),
+            delivered,
+            "stop flag disagrees with the cancel's reported delivery"
+        );
+    });
+    // The race is two one-lock critical sections: its schedule space is
+    // tiny, so demand *complete* enumeration rather than a big count.
+    assert!(report.dfs_exhausted, "bounded tree must be fully enumerated");
+    assert_coverage("server/cancel-vs-complete-running", &[report], 6);
+}
+
+/// Cancel racing completion on a **queued** job: here cancel itself writes
+/// the terminal state, so the two sides genuinely race to finish the job —
+/// exactly one wins, and the winner matches the reported delivery.
+#[test]
+fn cancel_vs_complete_on_queued_job_single_winner() {
+    let report = explore(&cfg(), || {
+        let q = Arc::new(Mutex::new(QueueState::default()));
+        {
+            q.lock().register(9, "queued-job");
+        }
+
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.lock().finish(9, JobState::Failed { error: "boom".into() }, CAP);
+            })
+        };
+        let delivered = q.lock().cancel(9, CAP);
+        worker.join().unwrap();
+
+        let st = q.lock();
+        let state = st.state_of(9).expect("job lost");
+        assert_eq!(st.terminal_count(), 1, "terminal transition recorded twice");
+        match state {
+            JobState::Cancelled => {
+                assert!(delivered, "job ended Cancelled but cancel reported undelivered")
+            }
+            JobState::Failed { .. } => {
+                assert!(!delivered, "job ended Failed but cancel reported delivered")
+            }
+            other => panic!("queued job ended in impossible state {other:?}"),
+        }
+    });
+    assert!(report.dfs_exhausted, "bounded tree must be fully enumerated");
+    assert_coverage("server/cancel-vs-complete-queued", &[report], 6);
+}
+
+fn seed_store() -> RdfStore {
+    let mut st = RdfStore::new();
+    st.insert(
+        Term::iri("http://kgnet/s0".to_owned()),
+        Term::iri("http://kgnet/p".to_owned()),
+        Term::iri("http://kgnet/o0".to_owned()),
+    );
+    st
+}
+
+/// Plan-cache lookups race a writer's generation bump: a plan is only ever
+/// served for the generation it was planned against, and the pinned
+/// snapshot it was planned on stays frozen throughout.
+#[test]
+fn plan_cache_never_serves_stale_generation() {
+    const TEXT: &str = "SELECT ?s WHERE { ?s <http://kgnet/p> ?o }";
+    let report = explore(&cfg(), || {
+        let store = SharedStore::new(seed_store());
+        let cache = Arc::new(SharedPlanCache::new(64));
+        let writer = {
+            let store = store.clone();
+            thread::spawn(move || {
+                let mut txn = store.begin();
+                txn.store_mut().insert(
+                    Term::iri("http://kgnet/s1".to_owned()),
+                    Term::iri("http://kgnet/p".to_owned()),
+                    Term::iri("http://kgnet/o1".to_owned()),
+                );
+                txn.commit()
+            })
+        };
+
+        let snap = store.snapshot();
+        let gen = snap.generation();
+        assert!(cache.get(gen, TEXT).is_none(), "cold cache produced a plan");
+
+        let parsed = kgnet_rdf::sparql::parse_select(TEXT).expect("query parses");
+        let prepared = cache.prepare_insert(&snap, TEXT, parsed).expect("plans on snapshot");
+        let hit = cache.get(gen, TEXT).expect("plan for the pinned generation was dropped");
+        assert!(Arc::ptr_eq(&prepared, &hit), "hit returned a different plan");
+
+        let committed = writer.join().unwrap();
+        if gen == committed {
+            // The pin landed after the commit: the plan was prepared
+            // against the committed version and serving it is correct.
+            assert_eq!(snap.len(), 2);
+        } else {
+            // The pin predates the commit: the committed generation must
+            // miss (no stale plan), and the pin stays frozen pre-commit.
+            assert!(
+                cache.get(committed, TEXT).is_none(),
+                "plan prepared against generation {gen} served for generation {committed}"
+            );
+            assert_eq!(snap.len(), 1, "pinned snapshot observed the concurrent commit");
+        }
+    });
+    assert_coverage("server/plan-cache-vs-bump", &[report], 1_000);
+}

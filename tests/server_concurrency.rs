@@ -222,3 +222,52 @@ fn pinned_reader_holds_repeatable_reads_across_bulk_rewrites() {
         "refreshed session must see all committed rounds"
     );
 }
+
+/// Deterministic regression of the queue's cancel-vs-complete race, run
+/// through the `kgnet-check` scheduler *in a normal build*: the scenario
+/// drives the production `QueueState::cancel` / `QueueState::finish`
+/// transition logic under an instrumented mutex, first exhaustively over
+/// the bounded-preemption tree, then replaying one pinned seed so the
+/// exact historical schedule stays reproducible forever. A regression that
+/// double-writes the terminal state or mismatches the delivery flag fails
+/// here with a replayable schedule, without needing `--cfg kgnet_check`.
+#[test]
+fn queue_cancel_complete_race_is_exactly_once_and_seed_replayable() {
+    use kgnet::server::queue::QueueState;
+    use kgnet_check::sync::Mutex;
+    use kgnet_check::{explore, replay_seed, Config};
+
+    let scenario = || {
+        let q = Arc::new(Mutex::new(QueueState::default()));
+        {
+            q.lock().register(3, "regression-job");
+        }
+        let worker = {
+            let q = Arc::clone(&q);
+            kgnet_check::thread::spawn(move || {
+                q.lock().finish(3, JobState::Failed { error: "boom".into() }, 4);
+            })
+        };
+        let delivered = q.lock().cancel(3, 4);
+        worker.join().unwrap();
+
+        let st = q.lock();
+        let state = st.state_of(3).expect("job lost");
+        assert!(state.is_terminal(), "job left non-terminal: {state:?}");
+        assert_eq!(st.terminal_count(), 1, "terminal state written more than once");
+        assert_eq!(
+            delivered,
+            state == JobState::Cancelled,
+            "cancel delivery disagrees with the winning transition"
+        );
+    };
+
+    // Exhaustive bounded exploration (the race's schedule space is small).
+    let report =
+        explore(&Config { max_schedules: 512, random_iters: 64, ..Config::default() }, scenario);
+    assert!(report.dfs_exhausted, "bounded tree must be fully enumerated");
+    assert!(report.distinct_schedules >= 4, "got {report:?}");
+
+    // Pinned-seed replay: one exact schedule, deterministic across runs.
+    replay_seed(0x6b67_0007_c0de_5eed, scenario);
+}

@@ -176,6 +176,8 @@ mod tests {
         let payload = b"hello mapped world".repeat(500);
         std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
         let file = File::open(&path).unwrap();
+        // SAFETY: the temp file is private to this test and not mutated
+        // while mapped.
         let map = unsafe { Mmap::map(&file).unwrap() };
         assert_eq!(&map[..], &payload[..]);
         assert_eq!(map.len(), payload.len());
@@ -188,6 +190,8 @@ mod tests {
         let path = temp_path("empty");
         std::fs::File::create(&path).unwrap();
         let file = File::open(&path).unwrap();
+        // SAFETY: the temp file is private to this test and not mutated
+        // while mapped.
         let map = unsafe { Mmap::map(&file).unwrap() };
         assert!(map.is_empty());
         assert!(!map.is_zero_copy());
@@ -206,6 +210,8 @@ mod tests {
         let path = temp_path("zerocopy");
         std::fs::File::create(&path).unwrap().write_all(&[7u8; 4096]).unwrap();
         let file = File::open(&path).unwrap();
+        // SAFETY: the temp file is private to this test and not mutated
+        // while mapped.
         let map = unsafe { Mmap::map(&file).unwrap() };
         assert!(map.is_zero_copy());
         assert_eq!(map[4095], 7);

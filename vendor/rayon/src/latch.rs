@@ -2,8 +2,8 @@
 //! (workers, which keep stealing while they wait) or sleep on (external
 //! threads, which park on a condvar).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use kgnet_sync::atomic::{AtomicUsize, Ordering};
+use kgnet_sync::{Condvar, Mutex};
 
 /// Something a thread can wait for: workers poll [`Probe::probe`] between
 /// stealing jobs, external threads call [`Probe::block_on`].
@@ -37,7 +37,7 @@ impl CountLatch {
         if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Taking the mutex orders this notification after any concurrent
             // probe-then-wait in `block_on`, so the wakeup cannot be lost.
-            let _guard = self.mutex.lock().unwrap();
+            let _guard = self.mutex.lock();
             self.cond.notify_all();
         }
     }
@@ -49,9 +49,9 @@ impl Probe for CountLatch {
     }
 
     fn block_on(&self) {
-        let mut guard = self.mutex.lock().unwrap();
+        let mut guard = self.mutex.lock();
         while self.count.load(Ordering::Acquire) != 0 {
-            guard = self.cond.wait(guard).unwrap();
+            guard = self.cond.wait(guard);
         }
     }
 }

@@ -48,8 +48,8 @@ pub use registry::{
 };
 pub use scope::{scope, Scope};
 
+use kgnet_sync::{Arc, Mutex};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex};
 
 use latch::CountLatch;
 use registry::{Job, Registry};
@@ -79,9 +79,9 @@ where
 
     /// Execute if not yet claimed (the path taken by a thief).
     fn run_queued(&self) {
-        let Some(func) = self.func.lock().unwrap().take() else { return };
+        let Some(func) = self.func.lock().take() else { return };
         let result = catch_unwind(AssertUnwindSafe(func));
-        *self.result.lock().unwrap() = Some(result);
+        *self.result.lock() = Some(result);
         self.latch.decrement();
     }
 }
@@ -100,7 +100,7 @@ impl<F, R> Drop for JoinAbortGuard<'_, F, R> {
         if !self.armed {
             return;
         }
-        if let Some(func) = self.slot.func.lock().unwrap().take() {
+        if let Some(func) = self.slot.func.lock().take() {
             drop(func);
             self.slot.latch.decrement();
         } else {
@@ -148,18 +148,18 @@ where
     guard.armed = false;
     drop(guard);
 
-    let claimed = slot.func.lock().unwrap().take();
+    let claimed = slot.func.lock().take();
     match claimed {
         Some(func) => {
             // Not stolen: run inline on the submitting thread.
             let result = catch_unwind(AssertUnwindSafe(func));
-            *slot.result.lock().unwrap() = Some(result);
+            *slot.result.lock() = Some(result);
             slot.latch.decrement();
         }
         None => registry.wait_until(&slot.latch),
     }
 
-    let rb = slot.result.lock().unwrap().take().expect("join: missing result for stolen closure");
+    let rb = slot.result.lock().take().expect("join: missing result for stolen closure");
     match rb {
         Ok(rb) => (ra, rb),
         Err(panic) => resume_unwind(panic),

@@ -10,8 +10,10 @@
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
+
+use kgnet_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use kgnet_sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::latch::Probe;
@@ -66,7 +68,7 @@ impl Drop for InstallGuard {
 }
 
 impl Registry {
-    fn new(n_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+    fn new(n_threads: usize) -> (Arc<Registry>, Vec<kgnet_sync::thread::JoinHandle<()>>) {
         let n_threads = n_threads.max(1);
         let registry = Arc::new(Registry {
             deques: (0..n_threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -81,7 +83,7 @@ impl Registry {
         let handles = (0..n_threads)
             .map(|index| {
                 let registry = Arc::clone(&registry);
-                std::thread::Builder::new()
+                kgnet_sync::thread::Builder::new()
                     .name(format!("kgnet-rayon-{index}"))
                     .spawn(move || worker_loop(registry, index))
                     .expect("failed to spawn pool worker thread")
@@ -126,13 +128,13 @@ impl Registry {
     /// workers, onto the shared injector otherwise.
     pub(crate) fn push(self: &Arc<Self>, job: Job) {
         match self.current_worker_index() {
-            Some(i) => self.deques[i].lock().unwrap().push_back(job),
-            None => self.injector.lock().unwrap().push_back(job),
+            Some(i) => self.deques[i].lock().push_back(job),
+            None => self.injector.lock().push_back(job),
         }
         self.pending.fetch_add(1, Ordering::Release);
         // Lock-then-notify orders the wakeup after a worker's probe-then-wait,
         // so a worker deciding to sleep cannot miss this job.
-        drop(self.sleep_mutex.lock().unwrap());
+        drop(self.sleep_mutex.lock());
         self.sleep_cond.notify_one();
     }
 
@@ -140,13 +142,13 @@ impl Registry {
     /// from the front of the other workers' deques.
     fn find_work(&self, me: Option<usize>) -> Option<Job> {
         if let Some(i) = me {
-            let job = self.deques[i].lock().unwrap().pop_back();
+            let job = self.deques[i].lock().pop_back();
             if let Some(job) = job {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
                 return Some(job);
             }
         }
-        let job = self.injector.lock().unwrap().pop_front();
+        let job = self.injector.lock().pop_front();
         if let Some(job) = job {
             self.pending.fetch_sub(1, Ordering::AcqRel);
             return Some(job);
@@ -158,7 +160,7 @@ impl Registry {
             if me == Some(victim) {
                 continue;
             }
-            let job = self.deques[victim].lock().unwrap().pop_front();
+            let job = self.deques[victim].lock().pop_front();
             if let Some(job) = job {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
                 self.steals.fetch_add(1, Ordering::Relaxed);
@@ -190,7 +192,7 @@ impl Registry {
                         idle += 1;
                         std::hint::spin_loop();
                     } else {
-                        std::thread::yield_now();
+                        kgnet_sync::thread::yield_now();
                     }
                 }
             }
@@ -206,7 +208,7 @@ impl Registry {
 
     fn terminate(&self) {
         self.terminate.store(true, Ordering::Release);
-        drop(self.sleep_mutex.lock().unwrap());
+        drop(self.sleep_mutex.lock());
         self.sleep_cond.notify_all();
     }
 }
@@ -223,7 +225,7 @@ fn worker_loop(registry: Arc<Registry>, index: usize) {
         if registry.terminate.load(Ordering::Acquire) {
             break;
         }
-        let guard = registry.sleep_mutex.lock().unwrap();
+        let guard = registry.sleep_mutex.lock();
         if registry.pending.load(Ordering::Acquire) == 0
             && !registry.terminate.load(Ordering::Acquire)
         {
@@ -231,7 +233,7 @@ fn worker_loop(registry: Arc<Registry>, index: usize) {
             // lost wakeups, so the timeout is purely a belt-and-braces
             // backstop; it is long enough that an idle pool (e.g. the global
             // one, which lives for the process) costs ~2 wakeups/s/worker.
-            let _ = registry.sleep_cond.wait_timeout(guard, Duration::from_millis(500)).unwrap();
+            let _ = registry.sleep_cond.wait_timeout(guard, Duration::from_millis(500));
         }
     }
 }
@@ -328,7 +330,7 @@ impl ThreadPoolBuilder {
 /// iterator reached from it schedules onto this pool's workers.
 pub struct ThreadPool {
     registry: Arc<Registry>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<kgnet_sync::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {

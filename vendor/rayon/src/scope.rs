@@ -1,8 +1,8 @@
 //! Structured fork-join scopes: spawn borrowed tasks, wait for all of them.
 
+use kgnet_sync::{Arc, Mutex};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex};
 
 use crate::latch::CountLatch;
 use crate::registry::{Job, Registry};
@@ -42,7 +42,7 @@ where
     // the borrows in `'scope` can expire.
     state.latch.decrement();
     registry.wait_until(&state.latch);
-    if let Some(panic) = state.panic.lock().unwrap().take() {
+    if let Some(panic) = state.panic.lock().take() {
         resume_unwind(panic);
     }
     match result {
@@ -63,7 +63,7 @@ impl<'scope> Scope<'scope> {
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             let scope = Scope { state: Arc::clone(&state), _marker: PhantomData };
             if let Err(panic) = catch_unwind(AssertUnwindSafe(|| f(&scope))) {
-                state.panic.lock().unwrap().get_or_insert(panic);
+                state.panic.lock().get_or_insert(panic);
             }
             state.latch.decrement();
         });
