@@ -8,6 +8,7 @@ use crate::hnsw::HnswIndex;
 use crate::ivf::IvfIndex;
 use crate::metric::Metric;
 use crate::pq::PqIndex;
+use crate::stats::{CountingVectors, SearchStats};
 use crate::vectors::Vectors;
 use crate::PAR_MIN_CANDIDATES;
 
@@ -68,6 +69,26 @@ pub trait AnnIndex {
         k: usize,
         params: &SearchParams,
     ) -> Vec<(u32, f32)>;
+
+    /// Like [`search`](AnnIndex::search), also returning what the search
+    /// cost. The default counts raw-vector accesses through a
+    /// [`CountingVectors`] wrapper — exact for index families whose every
+    /// distance computation fetches a raw vector (HNSW). Families that do
+    /// distance work off to the side (IVF centroids, PQ codes) override
+    /// this to fold that work into the tallies.
+    fn search_with_stats(
+        &self,
+        vectors: &dyn Vectors,
+        metric: Metric,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> (Vec<(u32, f32)>, SearchStats) {
+        let counting = CountingVectors::new(vectors);
+        let hits = self.search(&counting, metric, query, k, params);
+        let n = counting.accesses();
+        (hits, SearchStats { candidates: n, distance_computations: n })
+    }
 }
 
 /// Sort hits by score descending, ties by ascending id — the deterministic
@@ -96,6 +117,21 @@ pub fn search_exact(
     sort_hits(&mut scored);
     scored.truncate(k);
     scored
+}
+
+/// [`search_exact`] plus its cost: a linear scan considers every stored
+/// vector exactly once, so both tallies equal the table length.
+pub fn search_exact_with_stats(
+    vectors: &dyn Vectors,
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+) -> (Vec<(u32, f32)>, SearchStats) {
+    let n = vectors.len() as u64;
+    (
+        search_exact(vectors, metric, query, k),
+        SearchStats { candidates: n, distance_computations: n },
+    )
 }
 
 /// A built index of any family — the serializable sum type the embedding
@@ -139,6 +175,21 @@ impl AnnIndex for AnyIndex {
             AnyIndex::Ivf(i) => i.search(vectors, metric, query, k, params),
             AnyIndex::Hnsw(i) => i.search(vectors, metric, query, k, params),
             AnyIndex::Pq(i) => i.search(vectors, metric, query, k, params),
+        }
+    }
+
+    fn search_with_stats(
+        &self,
+        vectors: &dyn Vectors,
+        metric: Metric,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> (Vec<(u32, f32)>, SearchStats) {
+        match self {
+            AnyIndex::Ivf(i) => i.search_with_stats(vectors, metric, query, k, params),
+            AnyIndex::Hnsw(i) => i.search_with_stats(vectors, metric, query, k, params),
+            AnyIndex::Pq(i) => i.search_with_stats(vectors, metric, query, k, params),
         }
     }
 }

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::format::{AnnFile, AnnFileWriter, FormatError};
 use crate::index::{sort_hits, AnnIndex, SearchParams};
 use crate::metric::Metric;
+use crate::stats::{CountingVectors, SearchStats};
 use crate::vectors::Vectors;
 use crate::PAR_MIN_CANDIDATES;
 
@@ -214,6 +215,24 @@ impl AnnIndex for IvfIndex {
         sort_hits(&mut scored);
         scored.truncate(k);
         scored
+    }
+
+    /// Candidates are the posting-list entries of the probed cells; the
+    /// coarse scan additionally scores every centroid without touching a
+    /// raw vector, so it counts as distance work but not as candidates.
+    fn search_with_stats(
+        &self,
+        vectors: &dyn Vectors,
+        metric: Metric,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> (Vec<(u32, f32)>, SearchStats) {
+        let counting = CountingVectors::new(vectors);
+        let hits = self.search(&counting, metric, query, k, params);
+        let scored = counting.accesses();
+        let coarse = if self.centroids.is_empty() { 0 } else { self.centroids.len() as u64 };
+        (hits, SearchStats { candidates: scored, distance_computations: scored + coarse })
     }
 }
 

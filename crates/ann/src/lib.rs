@@ -37,6 +37,7 @@ pub mod index;
 pub mod ivf;
 pub mod metric;
 pub mod pq;
+pub mod stats;
 pub mod vectors;
 mod view;
 
@@ -45,10 +46,11 @@ pub use file::{
 };
 pub use format::{AnnFile, AnnFileWriter, FormatError, SectionType};
 pub use hnsw::{HnswConfig, HnswIndex};
-pub use index::{search_exact, AnnIndex, AnyIndex, SearchParams};
+pub use index::{search_exact, search_exact_with_stats, AnnIndex, AnyIndex, SearchParams};
 pub use ivf::IvfIndex;
 pub use metric::Metric;
 pub use pq::{PqConfig, PqIndex};
+pub use stats::{CountingVectors, SearchStats};
 pub use vectors::{VectorTable, Vectors};
 
 /// Candidate count below which scoring loops stay sequential (scoring a

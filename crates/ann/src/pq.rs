@@ -24,6 +24,7 @@ use crate::format::{AnnFile, AnnFileWriter, FormatError};
 use crate::index::{sort_hits, AnnIndex, SearchParams};
 use crate::metric::Metric;
 use crate::splitmix64;
+use crate::stats::{CountingVectors, SearchStats};
 use crate::vectors::Vectors;
 use crate::PAR_MIN_CANDIDATES;
 
@@ -362,6 +363,30 @@ impl AnnIndex for PqIndex {
         sort_hits(&mut exact);
         exact.truncate(k);
         exact
+    }
+
+    /// ADC considers every stored code as a candidate without ever
+    /// touching a raw vector; the distance tally adds the query-to-
+    /// centroid table build (`m · ks` sub-distances), the per-code ADC
+    /// sums (`n`), and any refine-pass raw-vector rescores.
+    fn search_with_stats(
+        &self,
+        vectors: &dyn Vectors,
+        metric: Metric,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> (Vec<(u32, f32)>, SearchStats) {
+        let counting = CountingVectors::new(vectors);
+        let hits = self.search(&counting, metric, query, k, params);
+        let n = self.len() as u64;
+        let scanned = if n == 0 || k == 0 || self.ks == 0 { 0 } else { n };
+        let table = if scanned > 0 { (self.m * self.ks) as u64 } else { 0 };
+        let refined = counting.accesses();
+        (
+            hits,
+            SearchStats { candidates: scanned, distance_computations: scanned + table + refined },
+        )
     }
 }
 

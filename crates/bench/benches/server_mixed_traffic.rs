@@ -11,18 +11,25 @@
 //! nothing: the p99 gap between the two runs is the MVCC overhead
 //! (snapshot pinning + copy-on-write churn), not lock contention.
 //!
-//! Emits `BENCH_mixed_traffic.json` at the workspace root with both runs'
-//! percentiles for CI tracking.
+//! Latency percentiles come straight from the server's own
+//! `kgnet_query_latency_nanos` / `kgnet_commit_latency_nanos` histograms
+//! (the `kgnet-obs` instrumentation every query and commit records into),
+//! so the bench measures exactly what a Prometheus scrape would report —
+//! no side-channel timing vectors.
+//!
+//! Emits `BENCH_mixed_traffic.json` (run comparison) and
+//! `BENCH_query_latency.json` (full latency distributions) at the
+//! workspace root for CI tracking.
 //!
 //! Run with `cargo bench --bench server_mixed_traffic`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 
 use kgnet_core::{GmlMethodKind, GmlTask, GnnConfig, ManagerConfig, NcTask};
 use kgnet_datagen::{generate_dblp, DblpConfig};
 use kgnet_gmlaas::TrainRequest;
+use kgnet_obs::HistogramSnapshot;
 use kgnet_rdf::term::RDF_TYPE;
 use kgnet_rdf::Term;
 use kgnet_server::{JobState, KgServer, ServerConfig};
@@ -57,14 +64,6 @@ fn nc_request() -> TrainRequest {
     req
 }
 
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
-
 /// One bulk-churn iteration: DELETE every `Person` typing triple, re-INSERT
 /// the same population under fresh IRIs, publish as one commit. Touches a
 /// type the reader queries never select on, so reader *results* stay
@@ -96,10 +95,18 @@ fn churn_once(server: &KgServer, round: u64) {
     txn.commit();
 }
 
-/// One measured run: returns (p50, p99, total queries, commits) of
-/// per-query read latency across all readers, with `writers` bulk-writer
-/// threads churning store versions for the whole window.
-fn measure(writers: usize) -> (Duration, Duration, usize, u64) {
+/// One measured run's latency distributions, as recorded by the server's
+/// own histograms.
+struct RunStats {
+    query: HistogramSnapshot,
+    commit: HistogramSnapshot,
+    commits: u64,
+}
+
+/// Drive the mixed workload with `writers` bulk-writer threads churning
+/// store versions for the whole window, then snapshot the server's
+/// latency histograms.
+fn measure(writers: usize) -> RunStats {
     let (kg, _) = generate_dblp(&DblpConfig::small(11));
     let config = ServerConfig {
         manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
@@ -112,7 +119,7 @@ fn measure(writers: usize) -> (Duration, Duration, usize, u64) {
     assert!(matches!(server.wait(nc).unwrap().state, JobState::Done { .. }), "NC training failed");
 
     let stop = Arc::new(AtomicBool::new(false));
-    let commits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let commits = Arc::new(AtomicU64::new(0));
     let writer_threads: Vec<_> = (0..writers)
         .map(|w| {
             let server = server.clone();
@@ -130,21 +137,16 @@ fn measure(writers: usize) -> (Duration, Duration, usize, u64) {
         .collect();
 
     let barrier = Arc::new(Barrier::new(READERS));
-    let latencies = Arc::new(Mutex::new(Vec::new()));
     let readers: Vec<_> = (0..READERS)
         .map(|_| {
             let server = server.clone();
             let barrier = barrier.clone();
-            let latencies = latencies.clone();
             std::thread::spawn(move || {
                 let mut session = server.read_session();
-                let mut local = Vec::with_capacity(ROUNDS * 2);
                 barrier.wait();
                 for round in 0..ROUNDS {
                     for query in [PV_QUERY, JOIN_QUERY] {
-                        let start = Instant::now();
                         let rows = session.sparql(query).expect("query");
-                        local.push(start.elapsed());
                         assert!(!rows.is_empty());
                     }
                     // Re-pin periodically, like a long-lived client that
@@ -153,7 +155,6 @@ fn measure(writers: usize) -> (Duration, Duration, usize, u64) {
                         session.refresh();
                     }
                 }
-                latencies.lock().unwrap().extend(local);
             })
         })
         .collect();
@@ -165,40 +166,82 @@ fn measure(writers: usize) -> (Duration, Duration, usize, u64) {
         writer.join().unwrap();
     }
 
-    let mut all = Arc::try_unwrap(latencies).unwrap().into_inner().unwrap();
-    all.sort();
-    let (p50, p99) = (percentile(&all, 0.50), percentile(&all, 0.99));
-    (p50, p99, READERS * ROUNDS * 2, commits.load(Ordering::SeqCst))
+    let metrics = server.metrics();
+    let query = metrics.query_latency.snapshot();
+    assert_eq!(
+        query.count,
+        (READERS * ROUNDS * 2) as u64,
+        "query-latency histogram must see every reader query exactly once"
+    );
+    RunStats {
+        query,
+        commit: metrics.commit_latency.snapshot(),
+        commits: commits.load(Ordering::SeqCst),
+    }
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
 }
 
 fn main() {
     println!("server_mixed_traffic: {READERS} readers x {ROUNDS} rounds x 2 queries");
-    let mut lines = Vec::new();
+    println!("  (percentiles read from the server's kgnet_query_latency_nanos histogram)");
+    let mut mixed_lines = Vec::new();
+    let mut latency_lines = Vec::new();
     let mut p99s = Vec::new();
     for writers in [0usize, 1] {
-        let (p50, p99, n, commits) = measure(writers);
-        let (p50_ms, p99_ms) = (p50.as_secs_f64() * 1e3, p99.as_secs_f64() * 1e3);
+        let run = measure(writers);
+        let (p50_ms, p99_ms) = (ms(run.query.quantile(0.50)), ms(run.query.quantile(0.99)));
+        let n = run.query.count;
+        let commits = run.commits;
         println!(
             "  {writers} bulk writers: p50 {p50_ms:>8.3} ms   p99 {p99_ms:>8.3} ms   \
-             ({n} queries, {commits} commits)"
+             ({n} queries, {commits} commits, commit p99 {:.3} ms)",
+            ms(run.commit.quantile(0.99))
         );
-        lines.push(format!(
+        mixed_lines.push(format!(
             "    {{\"writers\": {writers}, \"p50_ms\": {p50_ms:.4}, \"p99_ms\": {p99_ms:.4}, \
              \"queries\": {n}, \"commits\": {commits}}}"
+        ));
+        latency_lines.push(format!(
+            "    {{\"writers\": {writers}, \"count\": {}, \"mean_ms\": {:.4}, \
+             \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}, \
+             \"commit_count\": {}, \"commit_p50_ms\": {:.4}, \"commit_p99_ms\": {:.4}}}",
+            run.query.count,
+            run.query.mean() / 1e6,
+            ms(run.query.quantile(0.50)),
+            ms(run.query.quantile(0.90)),
+            ms(run.query.quantile(0.99)),
+            ms(run.query.max),
+            run.commit.count,
+            ms(run.commit.quantile(0.50)),
+            ms(run.commit.quantile(0.99)),
         ));
         p99s.push(p99_ms);
     }
     let ratio = if p99s[0] > 0.0 { p99s[1] / p99s[0] } else { 0.0 };
     println!("  p99 churn/baseline ratio: {ratio:.2}x (readers never block on writers)");
 
-    let json = format!(
+    let mixed = format!(
         "{{\n  \"bench\": \"server_mixed_traffic\",\n  \"readers\": {READERS},\n  \
-         \"rounds\": {ROUNDS},\n  \"p99_ratio\": {ratio:.4},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        lines.join(",\n")
+         \"rounds\": {ROUNDS},\n  \"source\": \"kgnet_query_latency_nanos\",\n  \
+         \"p99_ratio\": {ratio:.4},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        mixed_lines.join(",\n")
     );
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mixed_traffic.json");
-    match std::fs::write(out, &json) {
-        Ok(()) => println!("  wrote {out}"),
-        Err(e) => eprintln!("  could not write {out}: {e}"),
+    let latency = format!(
+        "{{\n  \"bench\": \"query_latency\",\n  \"readers\": {READERS},\n  \
+         \"rounds\": {ROUNDS},\n  \"source\": \"kgnet_query_latency_nanos\",\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        latency_lines.join(",\n")
+    );
+    for (path, json) in [
+        (concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mixed_traffic.json"), &mixed),
+        (concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_latency.json"), &latency),
+    ] {
+        match std::fs::write(path, json) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
     }
 }

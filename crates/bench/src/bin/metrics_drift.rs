@@ -1,0 +1,188 @@
+//! CI metrics-drift gate: spin up a tiny server, push a smoke workload
+//! through every instrumented layer (query, plan cache, commit, training
+//! queue), and fail when the Prometheus exposition is malformed or any
+//! metric of the published catalog ([`kgnet_server::METRIC_CATALOG`]) has
+//! gone missing — the drift this guards against is a refactor silently
+//! dropping or renaming an instrument the dashboards scrape.
+//!
+//! Run with `cargo run --release -p kgnet-bench --bin metrics_drift`;
+//! exits nonzero on any violation.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use kgnet_core::{GmlTask, GnnConfig, ManagerConfig, NcTask};
+use kgnet_datagen::{generate_dblp, DblpConfig};
+use kgnet_gmlaas::TrainRequest;
+use kgnet_server::{JobState, KgServer, ServerConfig, METRIC_CATALOG};
+
+/// Parse and structurally validate a Prometheus text exposition. Returns
+/// the declared `# TYPE` kinds by metric name, or every violation found.
+fn validate_prometheus(text: &str) -> Result<HashMap<String, String>, Vec<String>> {
+    let mut kinds: HashMap<String, String> = HashMap::new();
+    let mut errors = Vec::new();
+    // Histogram bookkeeping: cumulative bucket counts must be
+    // non-decreasing and the +Inf bucket must equal `_count`.
+    let mut last_bucket: HashMap<String, u64> = HashMap::new();
+    let mut inf_bucket: HashMap<String, u64> = HashMap::new();
+    let mut hist_count: HashMap<String, u64> = HashMap::new();
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(name), Some(kind)) if ["counter", "gauge", "histogram"].contains(&kind) => {
+                    if kinds.insert(name.to_owned(), kind.to_owned()).is_some() {
+                        errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
+                    }
+                }
+                _ => errors.push(format!("line {lineno}: malformed TYPE line: {line}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: `name value` or `name{labels} value`.
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            errors.push(format!("line {lineno}: sample without value: {line}"));
+            continue;
+        };
+        if value.parse::<f64>().is_err() {
+            errors.push(format!("line {lineno}: non-numeric value {value:?}"));
+            continue;
+        }
+        let name = series.split('{').next().unwrap_or(series);
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| kinds.get(*b).map(String::as_str) == Some("histogram"));
+        let declared = base.unwrap_or(name);
+        if !kinds.contains_key(declared) {
+            errors.push(format!("line {lineno}: sample {name} has no preceding TYPE"));
+            continue;
+        }
+        if let Some(base) = base {
+            if name.ends_with("_bucket") {
+                let count: u64 = match value.parse() {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.push(format!("line {lineno}: non-integer bucket count {value:?}"));
+                        continue;
+                    }
+                };
+                let prev = last_bucket.insert(base.to_owned(), count).unwrap_or(0);
+                if count < prev {
+                    errors.push(format!(
+                        "line {lineno}: {base} cumulative buckets decreased ({prev} -> {count})"
+                    ));
+                }
+                if series.contains("le=\"+Inf\"") {
+                    inf_bucket.insert(base.to_owned(), count);
+                }
+            } else if name.ends_with("_count") {
+                hist_count.insert(base.to_owned(), value.parse().unwrap_or(u64::MAX));
+            }
+        }
+    }
+    for (name, kind) in &kinds {
+        if kind == "histogram" {
+            match (inf_bucket.get(name), hist_count.get(name)) {
+                (Some(inf), Some(count)) if inf != count => errors
+                    .push(format!("{name}: +Inf bucket {inf} disagrees with {name}_count {count}")),
+                (None, _) => errors.push(format!("{name}: histogram without a +Inf bucket")),
+                (_, None) => errors.push(format!("{name}: histogram without a _count sample")),
+                _ => {}
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(kinds)
+    } else {
+        Err(errors)
+    }
+}
+
+/// A smoke workload touching every instrumented layer.
+fn smoke_server() -> KgServer {
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(17));
+    let config = ServerConfig {
+        manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
+        ..Default::default()
+    };
+    let server = KgServer::new(kg, config);
+
+    let mut session = server.read_session();
+    let q = "PREFIX dblp: <https://www.dblp.org/> \
+             SELECT ?p ?t WHERE { ?p a dblp:Publication . ?p dblp:title ?t }";
+    session.sparql(q).expect("smoke query");
+    session.sparql(q).expect("smoke query (cache hit)");
+
+    let mut writer = server.write_session();
+    writer.execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").expect("smoke write");
+    writer.commit();
+
+    let mut req = TrainRequest::new(
+        "smoke-nc",
+        GmlTask::NodeClassification(NcTask {
+            target_type: "https://www.dblp.org/Publication".into(),
+            label_predicate: "https://www.dblp.org/publishedIn".into(),
+        }),
+    );
+    req.cfg = GnnConfig::fast_test();
+    let id = server.submit_train(req).expect("smoke train admission");
+    let done = server.wait(id).expect("smoke train outcome");
+    assert!(matches!(done.state, JobState::Done { .. }), "smoke training failed: {done:?}");
+
+    server
+}
+
+fn main() -> ExitCode {
+    let server = smoke_server();
+    let text = server.metrics().render_prometheus();
+
+    let kinds = match validate_prometheus(&text) {
+        Ok(kinds) => kinds,
+        Err(errors) => {
+            eprintln!("metrics_drift: malformed Prometheus exposition:");
+            for e in &errors {
+                eprintln!("  - {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut missing = Vec::new();
+    for (name, kind) in METRIC_CATALOG {
+        match kinds.get(*name) {
+            Some(k) if k == kind => {}
+            Some(k) => missing.push(format!("{name}: declared {kind}, rendered as {k}")),
+            None => missing.push(format!("{name}: missing from the exposition")),
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("metrics_drift: catalog drift detected:");
+        for m in &missing {
+            eprintln!("  - {m}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let json = server.metrics().render_json();
+    if !(json.starts_with('{') && json.ends_with('}') && json.contains("\"kgnet_query_rows\"")) {
+        eprintln!("metrics_drift: JSON render is malformed: {json}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "metrics_drift: ok — {} metrics rendered, all {} catalog entries present",
+        kinds.len(),
+        METRIC_CATALOG.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,34 +1,60 @@
-//! Cooperative cancellation for training loops.
+//! Cooperative cancellation and epoch observation for training loops.
 //!
-//! [`TrainControl`] carries an optional cancel flag into every trainer's
-//! epoch loop. Trainers poll it at the top of each epoch and stop early
-//! when it is raised, so cancelling a running job costs at most one epoch
-//! of latency — not the remainder of the run. A cancelled run returns the
-//! partial result built so far (its `loss_curve` records exactly the epochs
-//! that completed); deciding whether to keep or discard it is the caller's
-//! job (the GML-as-a-service layer discards and reports cancellation).
+//! [`TrainControl`] carries an optional cancel flag and an optional
+//! [`EpochObserver`] into every trainer's epoch loop. Trainers poll the
+//! flag at the top of each epoch and stop early when it is raised, so
+//! cancelling a running job costs at most one epoch of latency — not the
+//! remainder of the run. A cancelled run returns the partial result built
+//! so far (its `loss_curve` records exactly the epochs that completed);
+//! deciding whether to keep or discard it is the caller's job (the
+//! GML-as-a-service layer discards and reports cancellation).
+//!
+//! The observer is notified at the bottom of each completed epoch, which
+//! is how the serving layer measures per-epoch training time without the
+//! trainers depending on any metrics machinery.
 
 use kgnet_sync::atomic::{AtomicBool, Ordering};
+
+/// A per-epoch progress hook. Implementations must be cheap and
+/// non-blocking — they run inside the training loop.
+pub trait EpochObserver: Sync {
+    /// Called once at the end of each completed epoch (0-based).
+    fn epoch_completed(&self, epoch: usize);
+}
 
 /// A borrowed, copyable handle polled by trainers between epochs.
 #[derive(Clone, Copy, Default)]
 pub struct TrainControl<'a> {
     cancel: Option<&'a AtomicBool>,
+    observer: Option<&'a dyn EpochObserver>,
 }
 
 impl<'a> TrainControl<'a> {
-    /// No cancellation: the run always goes to completion.
-    pub const NONE: TrainControl<'static> = TrainControl { cancel: None };
+    /// No cancellation, no observation: the run always goes to completion.
+    pub const NONE: TrainControl<'static> = TrainControl { cancel: None, observer: None };
 
     /// Observe `flag`: the run stops at the next epoch boundary after the
     /// flag becomes `true`.
     pub fn with_flag(flag: &'a AtomicBool) -> Self {
-        TrainControl { cancel: Some(flag) }
+        TrainControl { cancel: Some(flag), observer: None }
+    }
+
+    /// Attach an epoch observer, keeping any cancel flag.
+    pub fn with_observer(self, observer: &'a dyn EpochObserver) -> Self {
+        TrainControl { observer: Some(observer), ..self }
     }
 
     /// True once cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    /// Notify the observer (if any) that `epoch` just completed. Trainers
+    /// call this at the bottom of every epoch iteration.
+    pub fn epoch_completed(&self, epoch: usize) {
+        if let Some(obs) = self.observer {
+            obs.epoch_completed(epoch);
+        }
     }
 }
 
@@ -37,6 +63,7 @@ impl std::fmt::Debug for TrainControl<'_> {
         f.debug_struct("TrainControl")
             .field("cancellable", &self.cancel.is_some())
             .field("cancelled", &self.is_cancelled())
+            .field("observed", &self.observer.is_some())
             .finish()
     }
 }
@@ -48,6 +75,8 @@ mod tests {
     #[test]
     fn none_never_cancels() {
         assert!(!TrainControl::NONE.is_cancelled());
+        // And notifying without an observer is a no-op.
+        TrainControl::NONE.epoch_completed(0);
     }
 
     #[test]
@@ -60,5 +89,35 @@ mod tests {
         // Copies observe the same flag.
         let copy = ctl;
         assert!(copy.is_cancelled());
+    }
+
+    struct Recorder {
+        seen: kgnet_sync::Mutex<Vec<usize>>,
+    }
+
+    impl EpochObserver for Recorder {
+        fn epoch_completed(&self, epoch: usize) {
+            self.seen.lock().push(epoch);
+        }
+    }
+
+    #[test]
+    fn observer_sees_each_completed_epoch_and_keeps_the_flag() {
+        let flag = AtomicBool::new(false);
+        let rec = Recorder { seen: kgnet_sync::Mutex::new(Vec::new()) };
+        let ctl = TrainControl::with_flag(&flag).with_observer(&rec);
+        for e in 0..3 {
+            ctl.epoch_completed(e);
+        }
+        assert_eq!(*rec.seen.lock(), vec![0, 1, 2]);
+        flag.store(true, Ordering::SeqCst);
+        assert!(ctl.is_cancelled(), "with_observer must preserve the cancel flag");
+    }
+
+    #[test]
+    fn debug_reports_observation() {
+        let rec = Recorder { seen: kgnet_sync::Mutex::new(Vec::new()) };
+        let dbg = format!("{:?}", TrainControl::default().with_observer(&rec));
+        assert!(dbg.contains("observed: true"), "{dbg}");
     }
 }

@@ -69,7 +69,7 @@ pub fn train(
 
     let batches_per_epoch = (triples.len() / cfg.batch_size.max(1)).clamp(1, 16);
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         if ctl.is_cancelled() {
             break;
         }
@@ -138,6 +138,7 @@ pub fn train(
             opt.step(&mut ps);
         }
         loss_curve.push(epoch_loss / batches_per_epoch as f32);
+        ctl.epoch_completed(epoch);
     }
     let train_time_s = t0.elapsed().as_secs_f64();
     let peak = scope.peak_delta();
@@ -198,7 +199,7 @@ pub fn train_unsupervised_ctl(
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
     if !triples.is_empty() {
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
             if ctl.is_cancelled() {
                 break;
             }
@@ -229,6 +230,7 @@ pub fn train_unsupervised_ctl(
                 }
             }
             opt.step(&mut ps);
+            ctl.epoch_completed(epoch);
         }
     }
     let report = crate::config::TrainReport {

@@ -84,7 +84,7 @@ pub fn train(data: &LpDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> Traine
     }
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         if ctl.is_cancelled() {
             break;
         }
@@ -167,6 +167,7 @@ pub fn train(data: &LpDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> Traine
             }
         }
         opt.step(&mut ps);
+        ctl.epoch_completed(epoch);
     }
     let train_time_s = t0.elapsed().as_secs_f64();
     let peak = scope.peak_delta();

@@ -43,7 +43,7 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> Traine
         Rc::new(data.split.train.iter().map(|&i| data.labels[i as usize]).collect());
 
     let mut loss_curve = Vec::with_capacity(cfg.epochs);
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         if ctl.is_cancelled() {
             break;
         }
@@ -74,6 +74,7 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> Traine
             }
         }
         opt.step(&mut ps);
+        ctl.epoch_completed(epoch);
     }
     let train_time_s = t0.elapsed().as_secs_f64();
     let peak = scope.peak_delta();

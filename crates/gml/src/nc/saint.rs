@@ -173,6 +173,7 @@ pub fn train(data: &NcDataset, cfg: &GnnConfig, ctl: TrainControl<'_>) -> Traine
             opt.step(&mut ps);
         }
         loss_curve.push(if counted > 0 { epoch_loss / counted as f32 } else { f32::NAN });
+        ctl.epoch_completed(epoch);
     }
     let train_time_s = t0.elapsed().as_secs_f64();
     let peak = scope.peak_delta();

@@ -21,11 +21,12 @@ use serde::{
     from_content, Content, Deserialize, Serialize,
 };
 
-pub use kgnet_ann::{AnnError, HnswConfig, Metric, PqConfig, SearchParams};
+pub use kgnet_ann::{AnnError, HnswConfig, Metric, PqConfig, SearchParams, SearchStats};
 
 use kgnet_ann::{
-    load_embedding_file, save_embedding_file, search_exact as ann_search_exact, AnnIndex, AnyIndex,
-    EmbeddingFileView, HnswIndex, IvfIndex, PqIndex, VectorTable, Vectors,
+    load_embedding_file, save_embedding_file, search_exact as ann_search_exact,
+    search_exact_with_stats as ann_search_exact_with_stats, AnnIndex, AnyIndex, EmbeddingFileView,
+    HnswIndex, IvfIndex, PqIndex, VectorTable, Vectors,
 };
 
 /// A keyed vector store with exact and approximate search.
@@ -212,6 +213,23 @@ impl EmbeddingStore {
         }
     }
 
+    /// [`search_with`](EmbeddingStore::search_with) plus what the search
+    /// cost — candidate counts and distance-computation tallies the
+    /// serving layer folds into its metrics.
+    pub fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> (Vec<(String, f32)>, SearchStats) {
+        assert_eq!(query.len(), self.dim, "query width mismatch");
+        let (hits, stats) = match &self.index {
+            None => ann_search_exact_with_stats(&self.vectors, self.metric, query, k),
+            Some(ix) => ix.search_with_stats(&self.vectors, self.metric, query, k, params),
+        };
+        (self.to_keyed(hits), stats)
+    }
+
     /// Map id-level hits to keys, re-breaking ties on (score desc, key
     /// asc) so the public result order never depends on insertion order.
     fn to_keyed(&self, hits: Vec<(u32, f32)>) -> Vec<(String, f32)> {
@@ -288,6 +306,24 @@ mod tests {
             hits += exact.iter().filter(|k| approx.contains(k)).count();
         }
         hits as f64 / total as f64
+    }
+
+    #[test]
+    fn search_with_stats_matches_plain_search_and_reports_cost() {
+        let mut store = filled_store(300, 8, 17);
+        let q = store.get("e42").unwrap().to_vec();
+        // No index: the exact fallback scores every stored vector.
+        let (hits, stats) = store.search_with_stats(&q, 5, &SearchParams::default());
+        assert_eq!(hits, store.search_with(&q, 5, &SearchParams::default()));
+        assert_eq!(stats.candidates, 300);
+        assert_eq!(stats.distance_computations, 300);
+        // IVF: fewer candidates than the table, coarse scan on top.
+        store.build_ivf(10, 4, 9);
+        let params = SearchParams::with_nprobe(2);
+        let (hits, stats) = store.search_with_stats(&q, 5, &params);
+        assert_eq!(hits, store.search_with(&q, 5, &params));
+        assert!(stats.candidates > 0 && stats.candidates < 300);
+        assert_eq!(stats.distance_computations, stats.candidates + 10);
     }
 
     #[test]

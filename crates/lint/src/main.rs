@@ -738,6 +738,42 @@ fn rule_forbid_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: obs-hot-path (kgnet-obs metric instruments only)
+// ---------------------------------------------------------------------------
+
+/// Lock tokens banned from the metric instruments. Counter/gauge bumps and
+/// histogram recording sit on the query and commit hot paths: they must
+/// stay lock-free (relaxed/release atomics). The registry and tracer may
+/// lock — registration and span draining are cold — so only the
+/// instruments file is policed.
+const OBS_LOCK_TOKENS: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier"];
+
+fn rule_obs_hot_path(file: &SourceFile, out: &mut Vec<Finding>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    if !p.ends_with("crates/obs/src/metrics.rs") && !p.ends_with("obs/src/metrics.rs") {
+        return;
+    }
+    let code = file.code();
+    for t in code.iter() {
+        if t.kind != TokKind::Ident || file.in_test_code(t.line) {
+            continue;
+        }
+        if OBS_LOCK_TOKENS.contains(&t.text.as_str()) {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                rule: "obs-hot-path",
+                message: format!(
+                    "`{}` in the metric instruments: hot-path recording must stay lock-free \
+                     atomics — locks belong in the registry/tracer, not Counter/Gauge/Histogram",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -749,6 +785,7 @@ fn lint_source(path: PathBuf, src: &str) -> Vec<Finding> {
     rule_lock_order(&file, &mut raw);
     rule_unwrap_on_sync(&file, &mut raw);
     rule_forbid_unsafe(&file, &mut raw);
+    rule_obs_hot_path(&file, &mut raw);
     raw.retain(|f| !file.waived(f.line, f.rule));
     raw
 }
@@ -963,5 +1000,26 @@ mod tests {
         let src =
             "// std::sync::Mutex parking_lot\nconst S: &str = \"use std::sync::Mutex; unsafe\";\n";
         assert!(findings_for("crates/rdf/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn obs_hot_path_bans_locks_in_the_metric_instruments() {
+        let locked = "use kgnet_sync::Mutex;\npub struct Histogram { m: Mutex<u64> }\n";
+        let found = findings_for("crates/obs/src/metrics.rs", locked);
+        assert_eq!(rules(&found), vec!["obs-hot-path", "obs-hot-path"]);
+        assert!(found[0].message.contains("lock-free"));
+        // Atomics are the sanctioned form.
+        let atomic = "use kgnet_sync::atomic::AtomicU64;\n\
+                      pub struct Counter { v: AtomicU64 }\n";
+        assert!(findings_for("crates/obs/src/metrics.rs", atomic).is_empty());
+        // Comments, test code and the rest of the obs crate are out of
+        // scope: registry and tracer may lock.
+        let elsewhere = "use kgnet_sync::Mutex;\n";
+        assert!(findings_for("crates/obs/src/registry.rs", elsewhere).is_empty());
+        assert!(findings_for("crates/obs/src/trace.rs", elsewhere).is_empty());
+        let in_tests = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use kgnet_sync::Mutex;\n}\n";
+        assert!(findings_for("crates/obs/src/metrics.rs", in_tests).is_empty());
+        let comment = "// Mutex would be wrong here\npub fn f() {}\n";
+        assert!(findings_for("crates/obs/src/metrics.rs", comment).is_empty());
     }
 }

@@ -1,0 +1,34 @@
+//! # kgnet-obs
+//!
+//! The platform's flight recorder: one offline, dependency-free
+//! observability layer every subsystem records into and every consumer
+//! (benches, the CI drift check, a future `/metrics` endpoint) reads
+//! from.
+//!
+//! Three pieces:
+//!
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) collected in a
+//!   [`Registry`] — global ([`Registry::global`]) or injected per
+//!   component. Recording is lock-free (relaxed `kgnet-sync` atomics);
+//!   histograms are log-bucketed (≤6.25% relative quantile error),
+//!   mergeable, and snapshot with coherent totals under concurrent
+//!   writers (model-checked).
+//! - **Tracing** ([`Tracer`], [`SpanGuard`]) — RAII spans with monotonic
+//!   ids and per-thread parent linkage, completing into a bounded ring
+//!   buffer drained by subscribers; [`SpanNode::assemble`] rebuilds span
+//!   trees from drained records.
+//! - **Exporters** — [`Registry::render_prometheus`] (text exposition
+//!   format) and [`Registry::render_json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod registry;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use profile::SpanNode;
+pub use registry::Registry;
+pub use trace::{SpanGuard, SpanRecord, Tracer};

@@ -1,0 +1,97 @@
+//! Concurrency suite for the metric instruments: totals must be exact —
+//! bit-stable across pool sizes — because every recording op is an atomic
+//! RMW, and quantile estimates must track exact quantiles on random
+//! samples regardless of recording interleaving.
+//!
+//! Run under `RAYON_NUM_THREADS=1` and `=4` (CI does both): results must
+//! be identical.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use kgnet_obs::{Counter, Gauge, Histogram, Registry};
+
+#[test]
+fn concurrent_recording_totals_are_exact() {
+    let h = Histogram::new();
+    let c = Counter::new();
+    let g = Gauge::new();
+    // 8 workers × 1000 samples each, values derived from the index so the
+    // expected totals are closed-form and pool-size independent.
+    (0..8_000usize).into_par_iter().for_each(|i| {
+        h.record(i as u64 % 97);
+        c.inc();
+        g.add(if i % 2 == 0 { 1 } else { -1 });
+    });
+    let s = h.snapshot();
+    assert!(s.coherent, "no recorder is live after the parallel loop");
+    assert_eq!(s.count, 8_000);
+    let expected_sum: u64 = (0..8_000u64).map(|i| i % 97).sum();
+    assert_eq!(s.sum, expected_sum);
+    assert_eq!(s.bucket_total(), 8_000);
+    assert_eq!(s.max, 96);
+    assert_eq!(c.get(), 8_000);
+    assert_eq!(g.get(), 0);
+}
+
+#[test]
+fn quantile_estimates_track_exact_on_random_samples() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for trial in 0..5 {
+        let n = 2_000 + trial * 500;
+        let mut values: Vec<u64> = (0..n).map(|_| rng.gen_range(1..5_000_000u64)).collect();
+        let h = Histogram::new();
+        values.par_iter().for_each(|&v| h.record(v));
+        values.sort_unstable();
+        let s = h.snapshot();
+        assert_eq!(s.count as usize, n);
+        for q in [0.5, 0.9, 0.99] {
+            let exact = values[(((q * n as f64).ceil() as usize).clamp(1, n)) - 1];
+            let est = s.quantile(q);
+            assert!(est >= exact, "trial {trial} p{q}: estimate {est} below exact {exact}");
+            let rel = (est - exact) as f64 / exact as f64;
+            assert!(rel <= 0.0625, "trial {trial} p{q}: relative error {rel} exceeds bucket width");
+        }
+        assert_eq!(s.quantile(1.0), *values.last().unwrap());
+    }
+}
+
+#[test]
+fn registry_render_under_concurrent_recording_is_well_formed() {
+    let r = Registry::new();
+    let h = r.histogram("kgnet_test_lat_nanos", "latency");
+    let c = r.counter("kgnet_test_ops_total", "ops");
+    // Render while writers hammer the instruments: output must stay
+    // structurally valid even when a snapshot falls back to best-effort.
+    let renders: Vec<String> = (0..64usize)
+        .into_par_iter()
+        .map(|i| {
+            for k in 0..100u64 {
+                h.record(i as u64 * 100 + k);
+                c.inc();
+            }
+            r.render_prometheus()
+        })
+        .collect();
+    for text in &renders {
+        let mut last_cumulative = 0u64;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("sample line is `name value`");
+            assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "malformed line: {line}");
+            if name.starts_with("kgnet_test_lat_nanos_bucket") && !name.contains("+Inf") {
+                let v: u64 = value.parse().unwrap();
+                assert!(v >= last_cumulative, "bucket series must be cumulative");
+                last_cumulative = v;
+            }
+        }
+    }
+    // Quiescent state: totals exact.
+    let s = h.snapshot();
+    assert!(s.coherent);
+    assert_eq!(s.count, 6_400);
+    assert_eq!(c.get(), 6_400);
+}

@@ -17,7 +17,8 @@ use crate::error::SparqlError;
 use crate::sparql::ast::*;
 use crate::sparql::plan::plan_group;
 use crate::sparql::stream::{
-    build_group_stream, exec_group_materialised, ExecCounters, ExecCtx, ExecStats,
+    build_group_stream, build_group_stream_profiled, exec_group_materialised, BindingStream,
+    ExecCounters, ExecCtx, ExecStats,
 };
 use crate::store::RdfStore;
 use crate::term::{xsd, Term};
@@ -154,6 +155,11 @@ impl VarTable {
         self.index.get(name).copied()
     }
 
+    /// The name registered for a slot (for diagnostics/profiling labels).
+    pub(crate) fn name(&self, slot: usize) -> Option<&str> {
+        self.names.get(slot).map(String::as_str)
+    }
+
     /// Number of registered variables (the binding width).
     pub(crate) fn len(&self) -> usize {
         self.names.len()
@@ -268,6 +274,74 @@ pub fn evaluate_prepared(
     evaluate_with_plan(store, &prepared.query, &prepared.vars, &prepared.plan)
 }
 
+/// One operator's share of a profiled execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Operator description (`scan ?p <...> ?t`, `filter(late)`, …).
+    pub label: String,
+    /// Self time: nanoseconds spent in this operator excluding its input.
+    pub nanos: u64,
+    /// Bindings this operator emitted downstream.
+    pub rows: u64,
+}
+
+/// Per-operator timing breakdown of one streaming execution, in pipeline
+/// order (upstream first), ending with the projection/consumption stage.
+/// Self times are derived from strictly nested inclusive measurements, so
+/// they always sum to at most [`OpProfile::total_nanos`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// End-to-end execution time of the plan, in nanoseconds.
+    pub total_nanos: u64,
+    /// Per-operator self times and row counts, upstream first.
+    pub ops: Vec<OpTiming>,
+}
+
+/// Execute a prepared SELECT with a per-operator profile: every top-level
+/// pipeline operator is timed, and the residual (projection, DISTINCT,
+/// LIMIT, result materialisation) is reported as a final `project` entry —
+/// the raw material for the serving layer's span-tree query profiles.
+pub fn evaluate_prepared_profiled(
+    store: &RdfStore,
+    prepared: &PreparedQuery,
+) -> Result<(QueryResult, ExecStats, OpProfile), SparqlError> {
+    if store.generation() != prepared.generation {
+        return Err(SparqlError::eval(format!(
+            "stale prepared query: planned at generation {}, store is at {}",
+            prepared.generation,
+            store.generation()
+        )));
+    }
+    let vars = &prepared.vars;
+    let counters = ExecCounters::default();
+    let ctx = ExecCtx { store, vars, counters: &counters };
+    let t0 = std::time::Instant::now();
+    let (stream, taps) = build_group_stream_profiled(ctx, &prepared.plan, vec![None; vars.len()]);
+    let (result, stats) = consume_stream(store, &prepared.query, vars, stream, &counters)?;
+    let total_nanos = t0.elapsed().as_nanos() as u64;
+
+    // Taps record inclusive time and nest strictly (each wraps the one
+    // before), so consecutive differences are per-operator self times and
+    // the residual against the wall clock is the consumption stage.
+    let mut ops = Vec::with_capacity(taps.len() + 1);
+    let mut prev_incl = 0u64;
+    for tap_point in &taps {
+        let incl = tap_point.nanos.get();
+        ops.push(OpTiming {
+            label: tap_point.label.clone(),
+            nanos: incl.saturating_sub(prev_incl),
+            rows: tap_point.rows.get(),
+        });
+        prev_incl = incl;
+    }
+    ops.push(OpTiming {
+        label: "project".to_owned(),
+        nanos: total_nanos.saturating_sub(prev_incl),
+        rows: result.len() as u64,
+    });
+    Ok((result, stats, OpProfile { total_nanos, ops }))
+}
+
 /// Run the streaming pipeline for an already-planned query.
 fn evaluate_with_plan(
     store: &RdfStore,
@@ -277,7 +351,19 @@ fn evaluate_with_plan(
 ) -> Result<(QueryResult, ExecStats), SparqlError> {
     let counters = ExecCounters::default();
     let ctx = ExecCtx { store, vars, counters: &counters };
-    let mut stream = build_group_stream(ctx, plan, vec![None; vars.len()]);
+    let stream = build_group_stream(ctx, plan, vec![None; vars.len()]);
+    consume_stream(store, q, vars, stream, &counters)
+}
+
+/// Drain `stream` through the projection/aggregation/modifier stage shared
+/// by the plain and profiled executions.
+fn consume_stream<'a>(
+    store: &RdfStore,
+    q: &SelectQuery,
+    vars: &VarTable,
+    mut stream: Box<dyn BindingStream + 'a>,
+    counters: &ExecCounters,
+) -> Result<(QueryResult, ExecStats), SparqlError> {
     let out_vars = q.output_vars();
     let mut emitted = 0u64;
 
@@ -865,6 +951,49 @@ mod tests {
             let (result, _) = evaluate_prepared(&st, &prepared).unwrap();
             assert_eq!(result, fresh);
         }
+    }
+
+    #[test]
+    fn profiled_execution_matches_plain_and_times_nest() {
+        let st = store_with_papers();
+        let text = "PREFIX x: <http://x/> SELECT ?p ?q ?t WHERE {
+            ?p a x:Publication . ?p x:title ?t .
+            OPTIONAL { ?p x:cites ?q } . FILTER(CONTAINS(?t, \"P\")) }";
+        let q = crate::sparql::parser::parse_select(text).unwrap();
+        let prepared = prepare_select(&st, q.clone()).unwrap();
+        let (plain, plain_stats) = evaluate_prepared(&st, &prepared).unwrap();
+        let (profiled, stats, profile) = evaluate_prepared_profiled(&st, &prepared).unwrap();
+        assert_eq!(profiled, plain, "profiling must not change results");
+        assert_eq!(stats, plain_stats, "profiling must not change counters");
+
+        // Two scans, one optional, one late filter, plus the project stage.
+        let labels: Vec<&str> = profile.ops.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels.iter().filter(|l| l.starts_with("scan ")).count(), 2, "{labels:?}");
+        assert!(labels.contains(&"optional"), "{labels:?}");
+        assert_eq!(labels.last(), Some(&"project"));
+        assert!(labels.iter().any(|l| l.contains("?p")), "{labels:?}");
+
+        // Self times nest: their sum never exceeds the end-to-end time.
+        let self_sum: u64 = profile.ops.iter().map(|o| o.nanos).sum();
+        assert!(
+            self_sum <= profile.total_nanos,
+            "self times {self_sum} exceed total {}",
+            profile.total_nanos
+        );
+        // The last pipeline operator emitted exactly the consumed bindings,
+        // and the project stage reports the result rows.
+        let last_op = &profile.ops[profile.ops.len() - 2];
+        assert_eq!(last_op.rows, stats.bindings_emitted);
+        assert_eq!(profile.ops.last().unwrap().rows, plain.len() as u64);
+    }
+
+    #[test]
+    fn profiled_execution_rejects_stale_generation() {
+        let mut st = store_with_papers();
+        let q = crate::sparql::parser::parse_select("SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        let prepared = prepare_select(&st, q).unwrap();
+        st.insert(Term::iri("http://x/new2"), Term::iri("http://x/p"), Term::iri("http://x/o"));
+        assert!(evaluate_prepared_profiled(&st, &prepared).is_err());
     }
 
     #[test]

@@ -12,8 +12,9 @@ pub use ast::{
     TermPattern, TriplePattern, Update,
 };
 pub use eval::{
-    evaluate_prepared, evaluate_select, evaluate_select_materialised, execute, execute_update,
-    prepare_select, query, query_with_stats, ExecOutcome, PreparedQuery, QueryResult, UpdateStats,
+    evaluate_prepared, evaluate_prepared_profiled, evaluate_select, evaluate_select_materialised,
+    execute, execute_update, prepare_select, query, query_with_stats, ExecOutcome, OpProfile,
+    OpTiming, PreparedQuery, QueryResult, UpdateStats,
 };
 pub use parser::{parse, parse_select, Parser};
 pub use plan::{GroupPlan, PatternStep, Slot, SubPlan};

@@ -13,6 +13,8 @@
 //! bindings in the same order (property-tested in the conformance suite).
 
 use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
 
 use crate::sparql::ast::Expr;
 use crate::sparql::eval::{eval_expr, Binding, VarTable};
@@ -81,6 +83,98 @@ pub(crate) fn build_group_stream<'a>(
         stream = Box::new(FilterStep { ctx, exprs: &plan.late_filters, input: stream });
     }
     stream
+}
+
+/// A tap on one pipeline operator left behind by
+/// [`build_group_stream_profiled`]: the *inclusive* time spent inside the
+/// operator's `next_binding` (its own work plus everything upstream of
+/// it), and the bindings it emitted. Taps are listed in pipeline order, so
+/// subtracting consecutive inclusive times yields per-operator self times.
+pub(crate) struct OpTap {
+    pub(crate) label: String,
+    pub(crate) nanos: Rc<Cell<u64>>,
+    pub(crate) rows: Rc<Cell<u64>>,
+}
+
+/// Wraps an operator to accumulate its inclusive `next_binding` time and
+/// emitted-binding count into the shared tap cells.
+struct TimedStep<'a> {
+    inner: Box<dyn BindingStream + 'a>,
+    nanos: Rc<Cell<u64>>,
+    rows: Rc<Cell<u64>>,
+}
+
+impl BindingStream for TimedStep<'_> {
+    fn next_binding(&mut self) -> Option<Binding> {
+        let t = Instant::now();
+        let b = self.inner.next_binding();
+        self.nanos.set(self.nanos.get() + t.elapsed().as_nanos() as u64);
+        if b.is_some() {
+            self.rows.set(self.rows.get() + 1);
+        }
+        b
+    }
+}
+
+fn tap<'a>(
+    inner: Box<dyn BindingStream + 'a>,
+    label: String,
+    taps: &mut Vec<OpTap>,
+) -> Box<dyn BindingStream + 'a> {
+    let nanos = Rc::new(Cell::new(0));
+    let rows = Rc::new(Cell::new(0));
+    taps.push(OpTap { label, nanos: nanos.clone(), rows: rows.clone() });
+    Box::new(TimedStep { inner, nanos, rows })
+}
+
+/// Like [`build_group_stream`], but with a [`TimedStep`] tap behind every
+/// top-level operator. Inner pipelines (the per-binding OPTIONAL streams)
+/// are not tapped individually — their cost lands in the optional
+/// operator's inclusive time, keeping tap accounting strictly nested.
+pub(crate) fn build_group_stream_profiled<'a>(
+    ctx: ExecCtx<'a>,
+    plan: &'a GroupPlan,
+    seed: Binding,
+) -> (Box<dyn BindingStream + 'a>, Vec<OpTap>) {
+    let mut taps = Vec::new();
+    if plan.impossible {
+        return (Box::new(Seed { binding: None }), taps);
+    }
+    let mut stream: Box<dyn BindingStream + 'a> = Box::new(Seed { binding: Some(seed) });
+    if !plan.eager_filters.is_empty() {
+        stream = Box::new(FilterStep { ctx, exprs: &plan.eager_filters, input: stream });
+        stream = tap(stream, "filter(eager)".to_owned(), &mut taps);
+    }
+    for step in &plan.steps {
+        stream = Box::new(ScanStep { ctx, step, input: stream, cur: None });
+        stream = tap(stream, scan_label(ctx, step), &mut taps);
+    }
+    for sub in &plan.subselects {
+        stream = Box::new(SubJoin { sub, input: stream, cur: None });
+        stream = tap(stream, "subselect join".to_owned(), &mut taps);
+    }
+    for opt in &plan.optionals {
+        stream = Box::new(OptionalStep { ctx, plan: opt, input: stream, cur: None });
+        stream = tap(stream, "optional".to_owned(), &mut taps);
+    }
+    if !plan.late_filters.is_empty() {
+        stream = Box::new(FilterStep { ctx, exprs: &plan.late_filters, input: stream });
+        stream = tap(stream, "filter(late)".to_owned(), &mut taps);
+    }
+    (stream, taps)
+}
+
+/// Render one scan step as `scan <s> <p> <o>` with constants resolved
+/// through the dictionary and variables shown by name.
+fn scan_label(ctx: ExecCtx<'_>, step: &PatternStep) -> String {
+    let one = |slot: Slot| match slot {
+        Slot::Const(id) => ctx.store.resolve(id).to_string(),
+        Slot::Var(v) => match ctx.vars.name(v) {
+            Some(name) => format!("?{name}"),
+            None => format!("?_{v}"),
+        },
+    };
+    format!("scan {} {} {}", one(step.s), one(step.p), one(step.o))
 }
 
 /// Yields the seed binding once (or nothing, for impossible groups).

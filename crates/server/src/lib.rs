@@ -37,11 +37,13 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod metrics;
 pub mod queue;
 pub mod session;
 mod witness;
 
 pub use cache::{CacheStats, SharedPlanCache};
+pub use metrics::{QueueObs, ServerMetrics, METRIC_CATALOG};
 pub use queue::{
     AdmissionError, JobId, JobInfo, JobOutcome, JobQueue, JobRunner, JobState, QueueConfig,
 };
@@ -49,10 +51,12 @@ pub use session::{ReadSession, WriteSession};
 
 use kgnet_sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
+use kgnet_obs::{Histogram, SpanNode};
 use kgnet_sync::RwLock;
 
-use kgnet_gml::control::TrainControl;
+use kgnet_gml::control::{EpochObserver, TrainControl};
 use kgnet_gmlaas::{TrainError, TrainRequest, TrainingManager};
 use kgnet_rdf::{RdfStore, SharedStore};
 use kgnet_sampler::{meta_sample_task, SamplingScope};
@@ -80,6 +84,7 @@ pub struct KgServer {
     manager: Arc<RwLock<QueryManager>>,
     queue: JobQueue,
     plan_cache: Arc<SharedPlanCache>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl KgServer {
@@ -87,15 +92,23 @@ impl KgServer {
     pub fn new(data: RdfStore, config: ServerConfig) -> Self {
         let store = SharedStore::new(data);
         let manager = Arc::new(RwLock::new(QueryManager::new(config.manager)));
+        let metrics = Arc::new(ServerMetrics::new());
+        metrics.store_generation.set(store.generation() as i64);
         let trainer = witness::read(&manager).trainer().clone();
-        let runner = train_runner(store.clone(), manager.clone(), trainer);
-        let queue = JobQueue::new(config.queue, runner);
+        let runner = train_runner(store.clone(), manager.clone(), trainer, Arc::clone(&metrics));
+        let queue = JobQueue::with_metrics(config.queue, runner, metrics.queue_obs());
         let capacity = if config.plan_cache_capacity == 0 {
             DEFAULT_PLAN_CACHE
         } else {
             config.plan_cache_capacity
         };
-        KgServer { store, manager, queue, plan_cache: Arc::new(SharedPlanCache::new(capacity)) }
+        KgServer {
+            store,
+            manager,
+            queue,
+            plan_cache: Arc::new(SharedPlanCache::new(capacity)),
+            metrics,
+        }
     }
 
     /// Serve a knowledge graph with default configuration.
@@ -135,7 +148,12 @@ impl KgServer {
     /// Sessions are independent — hand one to each client thread — and
     /// all share the server's plan cache.
     pub fn read_session(&self) -> ReadSession {
-        ReadSession::new(self.store.clone(), self.manager.clone(), Arc::clone(&self.plan_cache))
+        ReadSession::new(
+            self.store.clone(),
+            self.manager.clone(),
+            Arc::clone(&self.plan_cache),
+            Arc::clone(&self.metrics),
+        )
     }
 
     /// Open a write session holding an open transaction on the next store
@@ -144,7 +162,26 @@ impl KgServer {
     /// [`WriteSession::commit`] to publish — dropping the session discards
     /// its data mutations.
     pub fn write_session(&self) -> WriteSession {
-        WriteSession::new(self.store.clone(), self.manager.clone())
+        WriteSession::new(self.store.clone(), self.manager.clone(), Arc::clone(&self.metrics))
+    }
+
+    /// The server's metric catalog, with the store gauges (generation,
+    /// retained versions/bytes) refreshed from the live store so a
+    /// subsequent [`ServerMetrics::render_prometheus`] or
+    /// [`ServerMetrics::render_json`] reports current MVCC state.
+    pub fn metrics(&self) -> &ServerMetrics {
+        self.metrics.store_generation.set(self.store.generation() as i64);
+        let retained = self.store.retained_versions();
+        self.metrics.retained_versions.set(retained.len() as i64);
+        let bytes: usize = retained.iter().map(|v| v.approx_bytes).sum();
+        self.metrics.retained_bytes.set(i64::try_from(bytes).unwrap_or(i64::MAX));
+        &self.metrics
+    }
+
+    /// Drain every span buffered since the last dump and rebuild the
+    /// profile trees (children-first drain order), oldest roots first.
+    pub fn trace_dump(&self) -> Vec<SpanNode> {
+        SpanNode::assemble(&self.metrics.tracer().drain())
     }
 
     /// Submit a training job to the background queue. Returns immediately
@@ -198,10 +235,34 @@ impl KgServer {
 /// before the commit; until the commit the artifact exists only on the
 /// worker's stack, so a cancelled or failed job leaves both the model
 /// store and KGMeta exactly as they were.
+/// Feeds per-epoch wall times into `kgnet_train_epoch_nanos`: each
+/// [`epoch_completed`](EpochObserver::epoch_completed) records the time
+/// since the previous one (or since training start for the first epoch).
+struct EpochTimer {
+    epochs: Arc<Histogram>,
+    last: kgnet_sync::Mutex<Instant>,
+}
+
+impl EpochTimer {
+    fn new(epochs: Arc<Histogram>) -> EpochTimer {
+        EpochTimer { epochs, last: kgnet_sync::Mutex::new(Instant::now()) }
+    }
+}
+
+impl EpochObserver for EpochTimer {
+    fn epoch_completed(&self, _epoch: usize) {
+        let now = Instant::now();
+        let mut last = self.last.lock();
+        let prev = std::mem::replace(&mut *last, now);
+        self.epochs.record(u64::try_from((now - prev).as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
 fn train_runner(
     store: SharedStore,
     manager: Arc<RwLock<QueryManager>>,
     trainer: TrainingManager,
+    metrics: Arc<ServerMetrics>,
 ) -> Arc<JobRunner> {
     Arc::new(move |req, cancel| {
         let scope = SamplingScope::parse(&req.sampler)
@@ -211,7 +272,8 @@ fn train_runner(
         if cancel.load(Ordering::SeqCst) {
             return JobOutcome::Cancelled;
         }
-        let ctl = TrainControl::with_flag(cancel);
+        let timer = EpochTimer::new(Arc::clone(&metrics.train_epoch));
+        let ctl = TrainControl::with_flag(cancel).with_observer(&timer);
         let (mut artifact, _trace) = match trainer.train_uncommitted_ctl(&sampled.store, req, ctl) {
             Ok(built) => built,
             Err(TrainError::Cancelled) => return JobOutcome::Cancelled,
@@ -485,7 +547,7 @@ mod tests {
             ..Default::default()
         })));
         let trainer = manager.read().trainer().clone();
-        let real = train_runner(store, manager, trainer.clone());
+        let real = train_runner(store, manager, trainer.clone(), Arc::new(ServerMetrics::new()));
         let (started_tx, started_rx) = mpsc::channel();
         let (proceed_tx, proceed_rx) = mpsc::channel::<()>();
         let proceed = Mutex::new(proceed_rx);

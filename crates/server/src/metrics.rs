@@ -1,0 +1,261 @@
+//! The server's observability surface: one [`Registry`] carrying the full
+//! metric catalog, the [`Tracer`] behind span dumps, and the handle bundle
+//! the job queue records through.
+//!
+//! Every metric the server will ever emit is registered eagerly at
+//! construction, so a scrape sees the complete catalog (with zero values)
+//! from the very first render instead of metrics popping into existence
+//! when first touched — the CI `metrics-drift` check depends on that.
+//! Hot paths record exclusively through the cloned `Arc` handles below;
+//! the registry lock is only taken at registration and render time.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kgnet_obs::{Counter, Gauge, Histogram, Registry, SpanGuard, Tracer};
+
+/// Every metric the server registers, as `(name, kind)` pairs in
+/// registration order. The bench harness's drift check walks this catalog
+/// and fails when a rendered exposition is missing any of it.
+pub const METRIC_CATALOG: &[(&str, &str)] = &[
+    ("kgnet_query_latency_nanos", "histogram"),
+    ("kgnet_query_rows", "histogram"),
+    ("kgnet_query_triples_scanned_total", "counter"),
+    ("kgnet_plan_cache_hits_total", "counter"),
+    ("kgnet_plan_cache_misses_total", "counter"),
+    ("kgnet_commit_latency_nanos", "histogram"),
+    ("kgnet_store_generation", "gauge"),
+    ("kgnet_retained_versions", "gauge"),
+    ("kgnet_retained_bytes", "gauge"),
+    ("kgnet_jobs_submitted_total", "counter"),
+    ("kgnet_jobs_rejected_total", "counter"),
+    ("kgnet_jobs_completed_total", "counter"),
+    ("kgnet_jobs_failed_total", "counter"),
+    ("kgnet_jobs_cancelled_total", "counter"),
+    ("kgnet_queue_depth", "gauge"),
+    ("kgnet_job_duration_nanos", "histogram"),
+    ("kgnet_train_epoch_nanos", "histogram"),
+    ("kgnet_ann_search_latency_nanos", "histogram"),
+    ("kgnet_ann_candidates_total", "counter"),
+    ("kgnet_ann_distance_computations_total", "counter"),
+];
+
+/// Finished spans retained by the server tracer before eviction.
+const TRACE_CAPACITY: usize = 4096;
+
+/// The metric handles the job queue records through, split out so the
+/// queue can hold them without depending on the whole server surface.
+/// The `jobs_*_total` counters are monotonic: pruning or forgetting a
+/// terminal job record never takes its outcome back out of them.
+pub struct QueueObs {
+    /// Jobs admitted by [`crate::JobQueue::submit`].
+    pub jobs_submitted: Arc<Counter>,
+    /// Submissions refused at admission (full queue, budget, shutdown).
+    pub jobs_rejected: Arc<Counter>,
+    /// Jobs that reached `Done`.
+    pub jobs_completed: Arc<Counter>,
+    /// Jobs that reached `Failed`.
+    pub jobs_failed: Arc<Counter>,
+    /// Jobs that reached `Cancelled`.
+    pub jobs_cancelled: Arc<Counter>,
+    /// Jobs currently waiting for a worker.
+    pub queue_depth: Arc<Gauge>,
+    /// Wall time from worker pickup to the terminal transition.
+    pub job_duration: Arc<Histogram>,
+}
+
+/// The server-wide metric catalog plus the tracer. One instance per
+/// [`crate::KgServer`]; sessions and the queue record through cloned
+/// handles.
+pub struct ServerMetrics {
+    registry: Arc<Registry>,
+    tracer: Tracer,
+    queue: Arc<QueueObs>,
+    /// End-to-end latency of read-session queries.
+    pub query_latency: Arc<Histogram>,
+    /// Rows returned per read-session query.
+    pub query_rows: Arc<Histogram>,
+    /// Triples pulled from index scans by read-session queries.
+    pub query_triples_scanned: Arc<Counter>,
+    /// Shared-plan-cache hits across all read sessions.
+    pub plan_cache_hits: Arc<Counter>,
+    /// Shared-plan-cache misses (parse + plan compilations).
+    pub plan_cache_misses: Arc<Counter>,
+    /// Wall time of `WriteSession::commit` publishes.
+    pub commit_latency: Arc<Histogram>,
+    /// Generation of the published store version.
+    pub store_generation: Arc<Gauge>,
+    /// MVCC versions currently retained (published + pinned).
+    pub retained_versions: Arc<Gauge>,
+    /// Approximate index bytes retained across live versions.
+    pub retained_bytes: Arc<Gauge>,
+    /// Wall time of completed training epochs.
+    pub train_epoch: Arc<Histogram>,
+    /// Latency of similarity searches served from ANN indexes.
+    pub ann_search_latency: Arc<Histogram>,
+    /// Candidate vectors considered across all ANN searches.
+    pub ann_candidates: Arc<Counter>,
+    /// Distance computations spent across all ANN searches.
+    pub ann_distance_computations: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    /// Build the catalog on a fresh registry (one per server, so tests and
+    /// embedded instances never share counters).
+    pub fn new() -> ServerMetrics {
+        let r = Arc::new(Registry::new());
+        let queue = Arc::new(QueueObs {
+            jobs_submitted: r.counter("kgnet_jobs_submitted_total", "Training jobs admitted"),
+            jobs_rejected: r
+                .counter("kgnet_jobs_rejected_total", "Training submissions refused at admission"),
+            jobs_completed: r.counter("kgnet_jobs_completed_total", "Training jobs finished Done"),
+            jobs_failed: r.counter("kgnet_jobs_failed_total", "Training jobs finished Failed"),
+            jobs_cancelled: r
+                .counter("kgnet_jobs_cancelled_total", "Training jobs finished Cancelled"),
+            queue_depth: r.gauge("kgnet_queue_depth", "Training jobs waiting for a worker"),
+            job_duration: r.histogram(
+                "kgnet_job_duration_nanos",
+                "Training job wall time, pickup to terminal",
+            ),
+        });
+        let m = ServerMetrics {
+            query_latency: r
+                .histogram("kgnet_query_latency_nanos", "End-to-end read-session query latency"),
+            query_rows: r.histogram("kgnet_query_rows", "Rows returned per read-session query"),
+            query_triples_scanned: r.counter(
+                "kgnet_query_triples_scanned_total",
+                "Triples pulled from index scans by queries",
+            ),
+            plan_cache_hits: r.counter("kgnet_plan_cache_hits_total", "Shared plan-cache hits"),
+            plan_cache_misses: r
+                .counter("kgnet_plan_cache_misses_total", "Shared plan-cache misses"),
+            commit_latency: r
+                .histogram("kgnet_commit_latency_nanos", "Write-session commit latency"),
+            store_generation: r
+                .gauge("kgnet_store_generation", "Generation of the published store version"),
+            retained_versions: r
+                .gauge("kgnet_retained_versions", "MVCC store versions currently retained"),
+            retained_bytes: r
+                .gauge("kgnet_retained_bytes", "Approximate index bytes retained across versions"),
+            train_epoch: r
+                .histogram("kgnet_train_epoch_nanos", "Wall time of completed training epochs"),
+            ann_search_latency: r
+                .histogram("kgnet_ann_search_latency_nanos", "ANN similarity-search latency"),
+            ann_candidates: r.counter(
+                "kgnet_ann_candidates_total",
+                "Candidate vectors considered by ANN searches",
+            ),
+            ann_distance_computations: r.counter(
+                "kgnet_ann_distance_computations_total",
+                "Distance computations spent by ANN searches",
+            ),
+            tracer: Tracer::new(TRACE_CAPACITY),
+            queue,
+            registry: r,
+        };
+        debug_assert_eq!(
+            {
+                let mut names = m.registry.names();
+                names.sort();
+                names
+            },
+            {
+                let mut names: Vec<String> =
+                    METRIC_CATALOG.iter().map(|(n, _)| (*n).to_owned()).collect();
+                names.sort();
+                names
+            },
+            "METRIC_CATALOG out of sync with the registered instruments"
+        );
+        m
+    }
+
+    /// The underlying registry (for embedding extra metrics beside the
+    /// server's own catalog).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The queue's handle bundle.
+    pub fn queue_obs(&self) -> Arc<QueueObs> {
+        Arc::clone(&self.queue)
+    }
+
+    /// The server tracer; [`crate::KgServer::trace_dump`] drains it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Open a span on the server tracer.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard<'_> {
+        self.tracer.span(name)
+    }
+
+    /// Render the full catalog in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Render the full catalog as one JSON object.
+    pub fn render_json(&self) -> String {
+        self.registry.render_json()
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMetrics")
+            .field("metrics", &self.registry.names().len())
+            .field("tracer", &self.tracer)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Nanoseconds since `t0`, saturating at `u64::MAX`.
+pub(crate) fn nanos_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_registered_eagerly_with_declared_kinds() {
+        let m = ServerMetrics::new();
+        let text = m.render_prometheus();
+        for (name, kind) in METRIC_CATALOG {
+            assert!(
+                text.contains(&format!("# TYPE {name} {kind}\n")),
+                "missing or miskinded metric {name} ({kind})"
+            );
+        }
+        assert_eq!(m.registry().names().len(), METRIC_CATALOG.len());
+    }
+
+    #[test]
+    fn two_servers_do_not_share_counters() {
+        let a = ServerMetrics::new();
+        let b = ServerMetrics::new();
+        a.plan_cache_hits.add(5);
+        assert_eq!(b.plan_cache_hits.get(), 0);
+    }
+
+    #[test]
+    fn spans_flow_into_the_server_tracer() {
+        let m = ServerMetrics::new();
+        {
+            let _outer = m.span("outer");
+            let _inner = m.span("inner");
+        }
+        let records = m.tracer().drain();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].name, "outer");
+    }
+}

@@ -37,12 +37,15 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use kgnet_sync::atomic::{AtomicBool, Ordering};
 use kgnet_sync::thread::JoinHandle;
 use kgnet_sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use kgnet_gmlaas::{TaskBudget, TrainRequest};
+
+use crate::metrics::QueueObs;
 
 /// Identifier of one submitted job, unique within a queue.
 pub type JobId = u64;
@@ -195,6 +198,12 @@ pub struct QueueState {
     terminal_order: VecDeque<JobId>,
     next_id: JobId,
     shutdown: bool,
+    /// Metric handles, when the queue is observed. Terminal-outcome
+    /// counters are bumped inside [`finish`](Self::finish) — the one
+    /// idempotent transition point — so every job is counted exactly once
+    /// no matter how the cancel/complete race interleaves, and pruning or
+    /// forgetting a record never un-counts it.
+    obs: Option<Arc<QueueObs>>,
 }
 
 #[doc(hidden)]
@@ -208,7 +217,17 @@ impl QueueState {
     pub fn finish(&mut self, id: JobId, state: JobState, cap: usize) {
         debug_assert!(state.is_terminal());
         match self.jobs.get_mut(&id) {
-            Some(entry) if !entry.state.is_terminal() => entry.state = state,
+            Some(entry) if !entry.state.is_terminal() => {
+                if let Some(obs) = &self.obs {
+                    match &state {
+                        JobState::Done { .. } => obs.jobs_completed.inc(),
+                        JobState::Failed { .. } => obs.jobs_failed.inc(),
+                        JobState::Cancelled => obs.jobs_cancelled.inc(),
+                        JobState::Queued | JobState::Running => {}
+                    }
+                }
+                entry.state = state;
+            }
             _ => return,
         }
         self.terminal_order.push_back(id);
@@ -271,6 +290,15 @@ impl QueueState {
     pub fn terminal_count(&self) -> usize {
         self.terminal_order.len()
     }
+
+    /// Mirror the pending-queue length into the depth gauge. Called at
+    /// every point `pending` changes length (submit, pickup, queued
+    /// cancel, shutdown drain).
+    fn sync_depth(&self) {
+        if let Some(obs) = &self.obs {
+            obs.queue_depth.set(self.pending.len() as i64);
+        }
+    }
 }
 
 struct Shared {
@@ -289,6 +317,7 @@ pub struct JobQueue {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     config: QueueConfig,
+    obs: Option<Arc<QueueObs>>,
 }
 
 impl JobQueue {
@@ -296,8 +325,18 @@ impl JobQueue {
     /// admitted requests through `runner` inside its own dedicated rayon
     /// pool of `config.training_threads` threads.
     pub fn new(config: QueueConfig, runner: Arc<JobRunner>) -> Self {
-        let shared =
-            Arc::new(Shared { state: Mutex::new(QueueState::default()), signal: Condvar::new() });
+        Self::build(config, runner, None)
+    }
+
+    /// Like [`new`](Self::new), with every lifecycle transition recorded
+    /// into the given metric handles.
+    pub fn with_metrics(config: QueueConfig, runner: Arc<JobRunner>, obs: Arc<QueueObs>) -> Self {
+        Self::build(config, runner, Some(obs))
+    }
+
+    fn build(config: QueueConfig, runner: Arc<JobRunner>, obs: Option<Arc<QueueObs>>) -> Self {
+        let state = QueueState { obs: obs.clone(), ..QueueState::default() };
+        let shared = Arc::new(Shared { state: Mutex::new(state), signal: Condvar::new() });
         let workers = (0..config.max_concurrent.max(1))
             .map(|i| {
                 let shared = shared.clone();
@@ -310,19 +349,33 @@ impl JobQueue {
                     .expect("spawn training worker")
             })
             .collect();
-        JobQueue { shared, workers, config }
+        JobQueue { shared, workers, config, obs }
     }
 
     /// Admit and enqueue a training request. Admission enforces the pending
     /// cap and the budget envelope; the returned id is used for status
     /// polling, waiting and cancellation.
     pub fn submit(&self, mut req: TrainRequest) -> Result<JobId, AdmissionError> {
-        req.budget = admit_budget(&req.budget, &self.config.envelope)?;
+        req.budget = match admit_budget(&req.budget, &self.config.envelope) {
+            Ok(budget) => budget,
+            Err(e) => {
+                if let Some(obs) = &self.obs {
+                    obs.jobs_rejected.inc();
+                }
+                return Err(e);
+            }
+        };
         let mut state = self.shared.lock();
         if state.shutdown {
+            if let Some(obs) = &self.obs {
+                obs.jobs_rejected.inc();
+            }
             return Err(AdmissionError::ShuttingDown);
         }
         if state.pending.len() >= self.config.max_pending {
+            if let Some(obs) = &self.obs {
+                obs.jobs_rejected.inc();
+            }
             return Err(AdmissionError::QueueFull {
                 pending: state.pending.len(),
                 limit: self.config.max_pending,
@@ -336,6 +389,10 @@ impl JobQueue {
             JobEntry { name: req.name.clone(), state: JobState::Queued, cancel: cancel.clone() },
         );
         state.pending.push_back(QueuedJob { id, req, cancel });
+        if let Some(obs) = &self.obs {
+            obs.jobs_submitted.inc();
+        }
+        state.sync_depth();
         self.shared.signal.notify_all();
         Ok(id)
     }
@@ -374,6 +431,7 @@ impl JobQueue {
     pub fn cancel(&self, id: JobId) -> bool {
         let mut state = self.shared.lock();
         let delivered = state.cancel(id, self.config.max_terminal_retained);
+        state.sync_depth();
         if delivered {
             // Wake waiters: a Queued job just went terminal (harmlessly
             // spurious for the Running branch, where only the flag moved).
@@ -421,6 +479,7 @@ impl JobQueue {
             while let Some(job) = state.pending.pop_front() {
                 state.finish(job.id, JobState::Cancelled, self.config.max_terminal_retained);
             }
+            state.sync_depth();
             self.shared.signal.notify_all();
         }
         for worker in self.workers.drain(..) {
@@ -469,11 +528,12 @@ fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize
         .build()
         .expect("build training pool");
     loop {
-        let job = {
+        let (job, obs) = {
             let mut state = shared.lock();
             loop {
                 if let Some(job) = state.pending.pop_front() {
-                    break job;
+                    state.sync_depth();
+                    break (job, state.obs.clone());
                 }
                 if state.shutdown {
                     return;
@@ -492,6 +552,7 @@ fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize
             entry.state = JobState::Running;
             shared.signal.notify_all();
         }
+        let picked_up = Instant::now();
         let outcome =
             catch_unwind(AssertUnwindSafe(|| pool.install(|| runner(&job.req, &job.cancel))))
                 .unwrap_or_else(|panic| JobOutcome::Failed(panic_message(&panic)));
@@ -500,6 +561,9 @@ fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize
             JobOutcome::Cancelled => JobState::Cancelled,
             JobOutcome::Failed(error) => JobState::Failed { error },
         };
+        if let Some(obs) = &obs {
+            obs.job_duration.record(crate::metrics::nanos_since(picked_up));
+        }
         let mut state = shared.lock();
         state.finish(job.id, terminal, retain);
         shared.signal.notify_all();
@@ -713,6 +777,43 @@ mod tests {
         assert!(queue.status(ids[3]).is_none());
         assert!(!queue.forget(ids[3]));
         assert!(!queue.forget(ids[0]));
+    }
+
+    #[test]
+    fn outcome_counters_survive_pruning_and_forget() {
+        let metrics = crate::metrics::ServerMetrics::new();
+        let obs = metrics.queue_obs();
+        let runner: Arc<JobRunner> = Arc::new(|_, _| JobOutcome::Done("http://model/x".into()));
+        let cfg = QueueConfig {
+            max_concurrent: 1,
+            max_terminal_retained: 2,
+            envelope: TaskBudget::with_memory(1024),
+            ..Default::default()
+        };
+        let queue = JobQueue::with_metrics(cfg, runner, Arc::clone(&obs));
+
+        let mut greedy = request("greedy");
+        greedy.budget = TaskBudget::with_memory(4096);
+        assert!(queue.submit(greedy).is_err());
+        assert_eq!(obs.jobs_rejected.get(), 1);
+
+        let ids: Vec<JobId> = (0..4)
+            .map(|i| {
+                let id = queue.submit(request(&format!("j{i}"))).unwrap();
+                queue.wait(id).unwrap();
+                id
+            })
+            .collect();
+        // Two records pruned by retention, one forgotten explicitly: the
+        // monotonic outcome counters keep every job on the books.
+        assert!(queue.status(ids[0]).is_none());
+        assert!(queue.forget(ids[3]));
+        assert_eq!(obs.jobs_submitted.get(), 4);
+        assert_eq!(obs.jobs_completed.get(), 4);
+        assert_eq!(obs.jobs_failed.get(), 0);
+        assert_eq!(obs.jobs_cancelled.get(), 0);
+        assert_eq!(obs.queue_depth.get(), 0, "everything drained");
+        assert_eq!(obs.job_duration.count(), 4);
     }
 
     #[test]

@@ -26,17 +26,20 @@
 //! training jobs.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use kgnet_obs::SpanNode;
 use kgnet_sync::RwLock;
 
-use kgnet_gmlaas::{ArtifactPayload, ServiceError};
-use kgnet_rdf::sparql::evaluate_prepared;
-use kgnet_rdf::{QueryResult, RdfStore, SharedStore, Snapshot, SparqlError, WriteTxn};
+use kgnet_gmlaas::{ArtifactPayload, SearchParams, ServiceError};
+use kgnet_rdf::sparql::{evaluate_prepared, evaluate_prepared_profiled, PreparedQuery};
+use kgnet_rdf::{ExecStats, QueryResult, RdfStore, SharedStore, Snapshot, SparqlError, WriteTxn};
 use kgnet_sparqlml::{
     contains_traingml, parse, MlError, MlOutcome, QueryManager, SparqlMlOperation,
 };
 
 use crate::cache::{CacheStats, SharedPlanCache};
+use crate::metrics::{nanos_since, ServerMetrics};
 use crate::witness;
 
 /// A concurrent read handle: SELECT-only execution against a pinned
@@ -46,6 +49,7 @@ pub struct ReadSession {
     store: SharedStore,
     manager: Arc<RwLock<QueryManager>>,
     cache: Arc<SharedPlanCache>,
+    metrics: Arc<ServerMetrics>,
     hits: u64,
     misses: u64,
 }
@@ -55,8 +59,25 @@ impl ReadSession {
         store: SharedStore,
         manager: Arc<RwLock<QueryManager>>,
         cache: Arc<SharedPlanCache>,
+        metrics: Arc<ServerMetrics>,
     ) -> Self {
-        ReadSession { snapshot: store.snapshot(), store, manager, cache, hits: 0, misses: 0 }
+        ReadSession {
+            snapshot: store.snapshot(),
+            store,
+            manager,
+            cache,
+            metrics,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Record one finished plain-SELECT evaluation into the server
+    /// metrics: end-to-end latency, result width and scan volume.
+    fn record_select(&self, t0: Instant, rows: &QueryResult, stats: &ExecStats) {
+        self.metrics.query_latency.record(nanos_since(t0));
+        self.metrics.query_rows.record(rows.len() as u64);
+        self.metrics.query_triples_scanned.add(stats.triples_scanned);
     }
 
     /// Execute a plain or SPARQL-ML SELECT against the pinned snapshot.
@@ -69,6 +90,8 @@ impl ReadSession {
     /// (their rewriting depends on live KGMeta state) but still execute
     /// lock-free against the snapshot.
     pub fn query(&mut self, text: &str) -> Result<MlOutcome, MlError> {
+        let _span = self.metrics.span("read.query");
+        let t0 = Instant::now();
         // Fast path: only plain SELECTs are ever cached, and the key is the
         // token stream classification is a pure function of, so a hit
         // proves this text parses to the cached plan's query. The one
@@ -78,7 +101,9 @@ impl ReadSession {
         if !contains_traingml(text) {
             if let Some(prepared) = self.cache.get(self.snapshot.generation(), text) {
                 self.hits += 1;
-                let (rows, _) = evaluate_prepared(&self.snapshot, &prepared)?;
+                self.metrics.plan_cache_hits.inc();
+                let (rows, stats) = evaluate_prepared(&self.snapshot, &prepared)?;
+                self.record_select(t0, &rows, &stats);
                 return Ok(MlOutcome::Rows(rows));
             }
         }
@@ -86,17 +111,86 @@ impl ReadSession {
             SparqlMlOperation::PlainSelect(q) => {
                 let prepared = self.cache.prepare_insert(&self.snapshot, text, q)?;
                 self.misses += 1;
-                let (rows, _) = evaluate_prepared(&self.snapshot, &prepared)?;
+                self.metrics.plan_cache_misses.inc();
+                let (rows, stats) = evaluate_prepared(&self.snapshot, &prepared)?;
+                self.record_select(t0, &rows, &stats);
                 Ok(MlOutcome::Rows(rows))
             }
             SparqlMlOperation::Select(q) => {
                 let manager = witness::read(&self.manager);
-                manager.query_select(&self.snapshot, q)
+                let out = manager.query_select(&self.snapshot, q);
+                if let Ok(MlOutcome::Rows(rows)) = &out {
+                    self.metrics.query_latency.record(nanos_since(t0));
+                    self.metrics.query_rows.record(rows.len() as u64);
+                }
+                out
             }
             SparqlMlOperation::PlainUpdate(_)
             | SparqlMlOperation::Train(_)
             | SparqlMlOperation::DeleteModels(_) => Err(MlError::ReadOnly),
         }
+    }
+
+    /// Execute a SELECT with per-operator profiling: the rows plus a span
+    /// tree whose root covers the end-to-end evaluation and whose children
+    /// carry per-operator *self* times and row counts, so the children's
+    /// nanos sum exactly to the root's. Plain SELECTs ride the shared plan
+    /// cache like [`query`](Self::query) and are profiled operator by
+    /// operator; SPARQL-ML SELECTs (whose rewrite is opaque to the plain
+    /// planner) report a single `sparql-ml` node. Updates and `TrainGML`
+    /// are rejected with [`MlError::ReadOnly`].
+    pub fn query_profiled(&mut self, text: &str) -> Result<(QueryResult, SpanNode), MlError> {
+        let _span = self.metrics.span("read.query_profiled");
+        let t0 = Instant::now();
+        if !contains_traingml(text) {
+            if let Some(prepared) = self.cache.get(self.snapshot.generation(), text) {
+                self.hits += 1;
+                self.metrics.plan_cache_hits.inc();
+                return self.run_profiled(t0, &prepared);
+            }
+        }
+        match parse(text)? {
+            SparqlMlOperation::PlainSelect(q) => {
+                let prepared = self.cache.prepare_insert(&self.snapshot, text, q)?;
+                self.misses += 1;
+                self.metrics.plan_cache_misses.inc();
+                self.run_profiled(t0, &prepared)
+            }
+            SparqlMlOperation::Select(q) => {
+                let rows = {
+                    let manager = witness::read(&self.manager);
+                    match manager.query_select(&self.snapshot, q)? {
+                        MlOutcome::Rows(rows) => rows,
+                        other => {
+                            return Err(MlError::Sparql(SparqlError::eval(format!(
+                                "expected rows, got {other:?}"
+                            ))))
+                        }
+                    }
+                };
+                let total = nanos_since(t0);
+                self.metrics.query_latency.record(total);
+                self.metrics.query_rows.record(rows.len() as u64);
+                let node = SpanNode::new("sparql-ml", total, rows.len() as u64);
+                Ok((rows, node))
+            }
+            SparqlMlOperation::PlainUpdate(_)
+            | SparqlMlOperation::Train(_)
+            | SparqlMlOperation::DeleteModels(_) => Err(MlError::ReadOnly),
+        }
+    }
+
+    fn run_profiled(
+        &self,
+        t0: Instant,
+        prepared: &PreparedQuery,
+    ) -> Result<(QueryResult, SpanNode), MlError> {
+        let (rows, stats, profile) = evaluate_prepared_profiled(&self.snapshot, prepared)?;
+        self.record_select(t0, &rows, &stats);
+        let mut root = SpanNode::new("query", profile.total_nanos, rows.len() as u64);
+        root.children =
+            profile.ops.into_iter().map(|op| SpanNode::new(op.label, op.nanos, op.rows)).collect();
+        Ok((rows, root))
     }
 
     /// Execute a SELECT and return its rows (errors on non-row outcomes).
@@ -144,7 +238,13 @@ impl ReadSession {
         };
         let Some(query) = store.get(node) else { return Ok(Vec::new()) };
         let q = query.to_vec();
-        Ok(store.search(&q, k, 4))
+        let _span = self.metrics.span("read.similar_nodes");
+        let t0 = Instant::now();
+        let (hits, stats) = store.search_with_stats(&q, k, &SearchParams::with_nprobe(4));
+        self.metrics.ann_search_latency.record(nanos_since(t0));
+        self.metrics.ann_candidates.add(stats.candidates);
+        self.metrics.ann_distance_computations.add(stats.distance_computations);
+        Ok(hits)
     }
 
     /// Re-pin onto the store's current version, making every commit since
@@ -188,14 +288,19 @@ impl ReadSession {
 pub struct WriteSession {
     txn: WriteTxn,
     manager: Arc<RwLock<QueryManager>>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl WriteSession {
-    pub(crate) fn new(store: SharedStore, manager: Arc<RwLock<QueryManager>>) -> Self {
+    pub(crate) fn new(
+        store: SharedStore,
+        manager: Arc<RwLock<QueryManager>>,
+        metrics: Arc<ServerMetrics>,
+    ) -> Self {
         // The one writer-gate acquisition in this crate: the lock-order
         // witness rejects it if this thread already holds a manager guard.
         witness::assert_manager_not_held("WriteSession::new");
-        WriteSession { txn: store.begin(), manager }
+        WriteSession { txn: store.begin(), manager, metrics }
     }
 
     /// Execute any SPARQL-ML operation against the pending version. Data
@@ -206,6 +311,7 @@ impl WriteSession {
     /// KGMeta are not transactional); concurrent serving should submit
     /// training through the server's job queue instead.
     pub fn execute(&mut self, text: &str) -> Result<MlOutcome, MlError> {
+        let _span = self.metrics.span("write.execute");
         let mut manager = witness::write(&self.manager);
         manager.update(self.txn.store_mut(), text)
     }
@@ -231,7 +337,12 @@ impl WriteSession {
     /// now on sees all of this session's mutations, snapshots pinned
     /// earlier see none. Returns the committed generation.
     pub fn commit(self) -> u64 {
-        self.txn.commit()
+        let _span = self.metrics.span("write.commit");
+        let t0 = Instant::now();
+        let generation = self.txn.commit();
+        self.metrics.commit_latency.record(nanos_since(t0));
+        self.metrics.store_generation.set(generation as i64);
+        generation
     }
 
     /// Discard the pending version: readers never observe any of this

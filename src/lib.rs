@@ -19,6 +19,10 @@ pub use kgnet_core::*;
 /// The RDF engine: terms, triple store, SPARQL subset.
 pub use kgnet_rdf as rdf;
 
+/// Observability: metric registry, latency histograms, structured
+/// tracing, Prometheus-text and JSON exporters.
+pub use kgnet_obs as obs;
+
 /// Heterogeneous graphs, the data transformer, splits and statistics.
 pub use kgnet_graph as graph;
 
