@@ -17,12 +17,19 @@
 //! so the bench measures exactly what a Prometheus scrape would report —
 //! no side-channel timing vectors.
 //!
+//! Each run also profiles *where* the remaining synchronization cost
+//! lives: lock-site counters (`kgnet_sync::sites`) are snapshotted around
+//! the measured window and the three sites with the most wait time land
+//! in the JSON next to the latency numbers, together with the global
+//! rayon pool's utilization over the window.
+//!
 //! Emits `BENCH_mixed_traffic.json` (run comparison) and
 //! `BENCH_query_latency.json` (full latency distributions) at the
 //! workspace root for CI tracking.
 //!
 //! Run with `cargo bench --bench server_mixed_traffic`.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
@@ -95,12 +102,49 @@ fn churn_once(server: &KgServer, round: u64) {
     txn.commit();
 }
 
+/// One lock site's counter movement over a measured window.
+struct LockSiteDelta {
+    name: &'static str,
+    acquires: u64,
+    contended: u64,
+    wait_nanos: u64,
+}
+
 /// One measured run's latency distributions, as recorded by the server's
-/// own histograms.
+/// own histograms, plus where the synchronization cost went.
 struct RunStats {
     query: HistogramSnapshot,
     commit: HistogramSnapshot,
     commits: u64,
+    /// Top-3 lock sites by wait time accumulated during the window.
+    top_sites: Vec<LockSiteDelta>,
+    /// Global rayon pool utilization (busy / wall x threads) over the window.
+    pool_utilization: f64,
+}
+
+/// Lock-site counter deltas between two [`kgnet_sync::sites::all`]
+/// snapshots, sorted by wait time (then acquisitions), truncated to the
+/// top three. The site statics are process-global, so per-run numbers
+/// must be deltas, never absolutes.
+fn top_site_deltas(before: &HashMap<&'static str, (u64, u64, u64)>) -> Vec<LockSiteDelta> {
+    let mut deltas: Vec<LockSiteDelta> = kgnet_sync::sites::all()
+        .into_iter()
+        .map(|s| {
+            let (acquires, contended, wait_nanos) =
+                before.get(s.name).copied().unwrap_or((0, 0, 0));
+            LockSiteDelta {
+                name: s.name,
+                acquires: s.acquires - acquires,
+                contended: s.contended - contended,
+                wait_nanos: s.wait_nanos - wait_nanos,
+            }
+        })
+        .filter(|d| d.acquires > 0)
+        .collect();
+    deltas
+        .sort_by(|a, b| b.wait_nanos.cmp(&a.wait_nanos).then_with(|| b.acquires.cmp(&a.acquires)));
+    deltas.truncate(3);
+    deltas
 }
 
 /// Drive the mixed workload with `writers` bulk-writer threads churning
@@ -117,6 +161,14 @@ fn measure(writers: usize) -> RunStats {
     // The model the ML SELECT resolves must exist before readers start.
     let nc = server.submit_train(nc_request()).unwrap();
     assert!(matches!(server.wait(nc).unwrap().state, JobState::Done { .. }), "NC training failed");
+
+    // Contention/pool profile of the measured window only: training above
+    // already moved the process-global counters, so delta against here.
+    let sites_before: HashMap<&'static str, (u64, u64, u64)> = kgnet_sync::sites::all()
+        .into_iter()
+        .map(|s| (s.name, (s.acquires, s.contended, s.wait_nanos)))
+        .collect();
+    let pool_before = rayon::global_pool_stats();
 
     let stop = Arc::new(AtomicBool::new(false));
     let commits = Arc::new(AtomicU64::new(0));
@@ -166,6 +218,13 @@ fn measure(writers: usize) -> RunStats {
         writer.join().unwrap();
     }
 
+    let top_sites = top_site_deltas(&sites_before);
+    let pool_after = rayon::global_pool_stats();
+    let busy = pool_after.busy_nanos.saturating_sub(pool_before.busy_nanos);
+    let wall = pool_after.wall_nanos.saturating_sub(pool_before.wall_nanos);
+    let capacity = wall.saturating_mul(pool_after.n_threads as u64);
+    let pool_utilization = if capacity > 0 { busy as f64 / capacity as f64 } else { 0.0 };
+
     let metrics = server.metrics();
     let query = metrics.query_latency.snapshot();
     assert_eq!(
@@ -177,6 +236,8 @@ fn measure(writers: usize) -> RunStats {
         query,
         commit: metrics.commit_latency.snapshot(),
         commits: commits.load(Ordering::SeqCst),
+        top_sites,
+        pool_utilization,
     }
 }
 
@@ -200,9 +261,36 @@ fn main() {
              ({n} queries, {commits} commits, commit p99 {:.3} ms)",
             ms(run.commit.quantile(0.99))
         );
+        println!("      pool utilization {:.1}%", run.pool_utilization * 100.0);
+        for site in &run.top_sites {
+            println!(
+                "      lock {:<28} {:>7} acquires  {:>5} contended  {:>9.3} ms waited",
+                site.name,
+                site.acquires,
+                site.contended,
+                ms(site.wait_nanos)
+            );
+        }
+        let sites_json = run
+            .top_sites
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"site\": \"{}\", \"acquires\": {}, \"contended\": {}, \
+                     \"wait_ms\": {:.4}}}",
+                    s.name,
+                    s.acquires,
+                    s.contended,
+                    ms(s.wait_nanos)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         mixed_lines.push(format!(
             "    {{\"writers\": {writers}, \"p50_ms\": {p50_ms:.4}, \"p99_ms\": {p99_ms:.4}, \
-             \"queries\": {n}, \"commits\": {commits}}}"
+             \"queries\": {n}, \"commits\": {commits}, \
+             \"pool_utilization\": {:.4}, \"top_lock_sites\": [{sites_json}]}}",
+            run.pool_utilization
         ));
         latency_lines.push(format!(
             "    {{\"writers\": {writers}, \"count\": {}, \"mean_ms\": {:.4}, \

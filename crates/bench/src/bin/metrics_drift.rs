@@ -179,6 +179,47 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Contention/resource profiling: the lazily registered per-site lock
+    // gauges render (the smoke workload exercised the queue-state and plan
+    // cache mutexes), and the per-job attribution counters moved for the
+    // completed training job.
+    let sample = |name: &str| -> Option<u64> {
+        text.lines().find_map(|l| l.strip_prefix(&format!("{name} "))).and_then(|v| v.parse().ok())
+    };
+    let mut profile_errors = Vec::new();
+    for site_gauge in [
+        "kgnet_lock_site_server_queue_state_acquires",
+        "kgnet_lock_site_server_plan_cache_acquires",
+    ] {
+        if sample(site_gauge).is_none_or(|v| v == 0) {
+            profile_errors.push(format!("{site_gauge}: per-site lock gauge missing or zero"));
+        }
+    }
+    for counter in
+        ["kgnet_lock_acquires_total", "kgnet_job_epochs_total", "kgnet_job_triples_sampled_total"]
+    {
+        if sample(counter).is_none_or(|v| v == 0) {
+            profile_errors.push(format!("{counter}: did not move during the smoke workload"));
+        }
+    }
+    if !profile_errors.is_empty() {
+        eprintln!("metrics_drift: contention/resource profiling drift:");
+        for e in &profile_errors {
+            eprintln!("  - {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // The aggregated debug surfaces stay renderable.
+    let report = server.debug_report();
+    for section in ["-- lock sites", "-- thread pools", "-- slow queries", "-- training jobs"] {
+        if !report.contains(section) {
+            eprintln!("metrics_drift: debug_report lost its {section:?} section");
+            return ExitCode::FAILURE;
+        }
+    }
+    let _ = server.slow_queries();
+
     println!(
         "metrics_drift: ok — {} metrics rendered, all {} catalog entries present",
         kinds.len(),

@@ -22,6 +22,29 @@ pub trait EpochObserver: Sync {
     fn epoch_completed(&self, epoch: usize);
 }
 
+/// Fans one epoch notification out to two observers, letting a caller
+/// compose e.g. a latency timer with a resource-usage probe without either
+/// knowing about the other ([`TrainControl::with_observer`] takes a single
+/// observer).
+pub struct PairObserver<'a> {
+    first: &'a dyn EpochObserver,
+    second: &'a dyn EpochObserver,
+}
+
+impl<'a> PairObserver<'a> {
+    /// Notify `first`, then `second`, on every completed epoch.
+    pub fn new(first: &'a dyn EpochObserver, second: &'a dyn EpochObserver) -> Self {
+        PairObserver { first, second }
+    }
+}
+
+impl EpochObserver for PairObserver<'_> {
+    fn epoch_completed(&self, epoch: usize) {
+        self.first.epoch_completed(epoch);
+        self.second.epoch_completed(epoch);
+    }
+}
+
 /// A borrowed, copyable handle polled by trainers between epochs.
 #[derive(Clone, Copy, Default)]
 pub struct TrainControl<'a> {
@@ -112,6 +135,18 @@ mod tests {
         assert_eq!(*rec.seen.lock(), vec![0, 1, 2]);
         flag.store(true, Ordering::SeqCst);
         assert!(ctl.is_cancelled(), "with_observer must preserve the cancel flag");
+    }
+
+    #[test]
+    fn pair_observer_notifies_both_in_order() {
+        let a = Recorder { seen: kgnet_sync::Mutex::new(Vec::new()) };
+        let b = Recorder { seen: kgnet_sync::Mutex::new(Vec::new()) };
+        let pair = PairObserver::new(&a, &b);
+        let ctl = TrainControl::default().with_observer(&pair);
+        ctl.epoch_completed(0);
+        ctl.epoch_completed(1);
+        assert_eq!(*a.seen.lock(), vec![0, 1]);
+        assert_eq!(*b.seen.lock(), vec![0, 1]);
     }
 
     #[test]

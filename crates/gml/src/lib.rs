@@ -31,7 +31,7 @@ pub mod nc;
 pub mod par;
 
 pub use config::{GmlMethodKind, GnnConfig, TrainReport};
-pub use control::{EpochObserver, TrainControl};
+pub use control::{EpochObserver, PairObserver, TrainControl};
 pub use dataset::{build_lp_dataset, build_nc_dataset, LpDataset, NcDataset};
 pub use estimate::{estimate, GraphDims, ResourceEstimate};
 pub use lp::{train_lp, train_lp_ctl, TrainedLp};

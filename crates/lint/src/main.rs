@@ -748,9 +748,20 @@ fn rule_forbid_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
 /// instruments file is policed.
 const OBS_LOCK_TOKENS: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier"];
 
+/// Additionally banned from the lock-site profiler: the uncontended-acquire
+/// fast path runs inside every facade lock acquisition in the system, so
+/// beyond locks it must not allocate either — a counter bump is all it may
+/// cost.
+const PROFILE_ALLOC_TOKENS: &[&str] =
+    &["Vec", "Box", "String", "HashMap", "format", "vec", "to_owned", "to_string"];
+
 fn rule_obs_hot_path(file: &SourceFile, out: &mut Vec<Finding>) {
     let p = file.path.to_string_lossy().replace('\\', "/");
-    if !p.ends_with("crates/obs/src/metrics.rs") && !p.ends_with("obs/src/metrics.rs") {
+    let is_instruments =
+        p.ends_with("crates/obs/src/metrics.rs") || p.ends_with("obs/src/metrics.rs");
+    let is_profiler =
+        p.ends_with("crates/sync/src/profile.rs") || p.ends_with("sync/src/profile.rs");
+    if !is_instruments && !is_profiler {
         return;
     }
     let code = file.code();
@@ -766,6 +777,18 @@ fn rule_obs_hot_path(file: &SourceFile, out: &mut Vec<Finding>) {
                 message: format!(
                     "`{}` in the metric instruments: hot-path recording must stay lock-free \
                      atomics — locks belong in the registry/tracer, not Counter/Gauge/Histogram",
+                    t.text
+                ),
+            });
+        } else if is_profiler && PROFILE_ALLOC_TOKENS.contains(&t.text.as_str()) {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: t.line,
+                rule: "obs-hot-path",
+                message: format!(
+                    "`{}` in the lock-site profiler: the uncontended acquire path runs inside \
+                     every facade lock acquisition and must stay allocation-free — move \
+                     rendering and aggregation into kgnet_sync::sites",
                     t.text
                 ),
             });
@@ -1021,5 +1044,40 @@ mod tests {
         assert!(findings_for("crates/obs/src/metrics.rs", in_tests).is_empty());
         let comment = "// Mutex would be wrong here\npub fn f() {}\n";
         assert!(findings_for("crates/obs/src/metrics.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn obs_hot_path_bans_locks_and_allocation_in_the_lock_profiler() {
+        // The profiler file is held to the instruments' lock ban...
+        let locked = "use kgnet_sync::Mutex;\npub struct SyncSite { m: Mutex<u64> }\n";
+        assert_eq!(
+            rules(&findings_for("crates/sync/src/profile.rs", locked)),
+            vec!["obs-hot-path", "obs-hot-path"]
+        );
+        // ...plus an allocation ban: the uncontended path may only bump
+        // atomics.
+        let alloc = "pub fn snapshot() -> Vec<u64> { vec![] }\n";
+        let found = findings_for("crates/sync/src/profile.rs", alloc);
+        assert_eq!(rules(&found), vec!["obs-hot-path", "obs-hot-path"]);
+        assert!(found[0].message.contains("allocation-free"));
+        let string = "pub fn name() -> String { \"x\".to_string() }\n";
+        assert_eq!(
+            rules(&findings_for("crates/sync/src/profile.rs", string)),
+            vec!["obs-hot-path", "obs-hot-path"]
+        );
+        // Static counters in the sanctioned form pass.
+        let atomic = "use std::sync::atomic::AtomicU64;\n\
+                      pub struct SyncSite { acquires: AtomicU64 }\n";
+        assert!(findings_for("crates/sync/src/profile.rs", atomic).is_empty());
+        // The allocation ban is scoped to the profiler: the aggregation
+        // module may build Vecs and the instruments file may format.
+        let sites = "pub fn all() -> Vec<u64> { Vec::new() }\n";
+        assert!(findings_for("crates/sync/src/sites.rs", sites).is_empty());
+        let obs_alloc = "pub fn render() -> String { String::new() }\n";
+        assert!(findings_for("crates/obs/src/metrics.rs", obs_alloc).is_empty());
+        // Test code inside the profiler is out of scope.
+        let in_tests =
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() -> Vec<u64> { vec![] }\n}\n";
+        assert!(findings_for("crates/sync/src/profile.rs", in_tests).is_empty());
     }
 }

@@ -15,7 +15,13 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use kgnet_sync::atomic::{AtomicU64, Ordering};
+use kgnet_sync::profile::SyncSite;
+use kgnet_sync::tracked::lock_tracked;
 use kgnet_sync::Mutex;
+
+/// Contention site for all tracer rings (every request thread pushes its
+/// finished spans through one of these locks).
+static TRACE_RING_SITE: SyncSite = SyncSite::new("obs.trace_ring");
 
 /// One finished span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +56,9 @@ pub struct Tracer {
     epoch: Instant,
     capacity: usize,
     ring: Mutex<VecDeque<SpanRecord>>,
+    /// Spans evicted unread because the ring was full. Without this a
+    /// saturated ring reads as a quiet system.
+    dropped: AtomicU64,
 }
 
 impl Tracer {
@@ -61,6 +70,7 @@ impl Tracer {
             epoch: Instant::now(),
             capacity: capacity.max(1),
             ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -87,12 +97,12 @@ impl Tracer {
 
     /// Drain every buffered record, oldest first.
     pub fn drain(&self) -> Vec<SpanRecord> {
-        self.ring.lock().drain(..).collect()
+        lock_tracked(&self.ring, &TRACE_RING_SITE).drain(..).collect()
     }
 
     /// Number of buffered records.
     pub fn len(&self) -> usize {
-        self.ring.lock().len()
+        lock_tracked(&self.ring, &TRACE_RING_SITE).len()
     }
 
     /// True when no record is buffered.
@@ -105,10 +115,16 @@ impl Tracer {
         self.capacity
     }
 
+    /// Total spans evicted unread because the ring was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     fn push(&self, record: SpanRecord) {
-        let mut ring = self.ring.lock();
+        let mut ring = lock_tracked(&self.ring, &TRACE_RING_SITE);
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(record);
     }
@@ -206,6 +222,21 @@ mod tests {
         let names: Vec<String> = t.drain().into_iter().map(|r| r.name).collect();
         assert_eq!(names, vec!["s2", "s3", "s4"]);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn evictions_count_as_dropped_spans() {
+        let t = Tracer::new(3);
+        assert_eq!(t.dropped(), 0);
+        for i in 0..5 {
+            let _s = t.span(format!("s{i}"));
+        }
+        assert_eq!(t.dropped(), 2, "two spans fell off a 3-slot ring");
+        // Draining frees the ring; new spans fit again without drops.
+        t.drain();
+        let _s = t.span("after-drain");
+        drop(_s);
+        assert_eq!(t.dropped(), 2);
     }
 
     #[test]

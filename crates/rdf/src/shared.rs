@@ -25,9 +25,19 @@
 use std::collections::BTreeMap;
 use std::ops::Deref;
 
+use kgnet_sync::profile::SyncSite;
+use kgnet_sync::tracked::{lock_tracked, read_tracked, write_tracked};
 use kgnet_sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::store::RdfStore;
+
+/// The published-version pointer: every snapshot pin and version flip.
+static CURRENT_SITE: SyncSite = SyncSite::new("rdf.store.current");
+/// The retention tracker: every pin/unpin/GC report.
+static TRACKER_SITE: SyncSite = SyncSite::new("rdf.store.tracker");
+/// The writer semaphore: contended exactly when writers queue behind an
+/// open transaction.
+static WRITER_GATE_SITE: SyncSite = SyncSite::new("rdf.writer_gate");
 
 /// An immutable, cheaply clonable pin of one published store version.
 ///
@@ -81,9 +91,20 @@ struct WriterGate {
 
 impl WriterGate {
     fn acquire(self: &Arc<Self>) -> WriterPermit {
+        // Contention is hand-classified at the *semaphore* level: the inner
+        // mutex is only ever held for the flag flip, so what matters is
+        // whether the slot was free on arrival or the caller had to park
+        // behind another writer's whole transaction.
         let mut busy = self.busy.lock();
-        while *busy {
-            busy = self.cv.wait(busy);
+        if !*busy {
+            WRITER_GATE_SITE.record_uncontended();
+        } else {
+            let t0 = std::time::Instant::now();
+            while *busy {
+                busy = self.cv.wait(busy);
+            }
+            WRITER_GATE_SITE
+                .record_contended(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
         *busy = true;
         WriterPermit { gate: Arc::clone(self) }
@@ -141,7 +162,7 @@ struct VersionPin {
 
 impl Clone for VersionPin {
     fn clone(&self) -> Self {
-        self.tracker.lock().pin(self.generation, self.approx_bytes);
+        lock_tracked(&self.tracker, &TRACKER_SITE).pin(self.generation, self.approx_bytes);
         VersionPin {
             tracker: Arc::clone(&self.tracker),
             generation: self.generation,
@@ -152,7 +173,7 @@ impl Clone for VersionPin {
 
 impl Drop for VersionPin {
     fn drop(&mut self) {
-        self.tracker.lock().unpin(self.generation);
+        lock_tracked(&self.tracker, &TRACKER_SITE).unpin(self.generation);
     }
 }
 
@@ -203,10 +224,10 @@ impl SharedStore {
     /// Pin the current version. One `Arc` clone under a momentary read
     /// lock; after that the snapshot holds no lock whatsoever.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = Arc::clone(&self.current.read());
+        let inner = Arc::clone(&read_tracked(&self.current, &CURRENT_SITE));
         let generation = inner.generation();
         let approx_bytes = inner.approx_bytes();
-        self.tracker.lock().pin(generation, approx_bytes);
+        lock_tracked(&self.tracker, &TRACKER_SITE).pin(generation, approx_bytes);
         Snapshot {
             inner,
             _pin: Some(VersionPin { tracker: Arc::clone(&self.tracker), generation, approx_bytes }),
@@ -222,10 +243,10 @@ impl SharedStore {
         // Read `current` before locking the tracker — the two locks are
         // never held together anywhere in this module.
         let (current_generation, current_bytes) = {
-            let cur = self.current.read();
+            let cur = read_tracked(&self.current, &CURRENT_SITE);
             (cur.generation(), cur.approx_bytes())
         };
-        let tracker = self.tracker.lock();
+        let tracker = lock_tracked(&self.tracker, &TRACKER_SITE);
         let mut rows: Vec<RetainedVersion> = tracker
             .versions
             .iter()
@@ -257,7 +278,7 @@ impl SharedStore {
         // holder publishes, so the clone is guaranteed to be of the latest
         // committed version and no committed change can be lost.
         let permit = self.gate.acquire();
-        let base = Arc::clone(&self.current.read());
+        let base = Arc::clone(&read_tracked(&self.current, &CURRENT_SITE));
         let pending = (*base).clone();
         WriteTxn {
             current: Arc::clone(&self.current),
@@ -337,7 +358,7 @@ impl WriteTxn {
     /// mutations; every snapshot pinned before sees none of them.
     pub fn commit(self) -> u64 {
         let generation = self.pending.generation();
-        *self.current.write() = Arc::new(self.pending);
+        *write_tracked(&self.current, &CURRENT_SITE) = Arc::new(self.pending);
         generation
     }
 

@@ -123,6 +123,26 @@ impl Expr {
     }
 }
 
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "?{v}"),
+            Expr::Const(t) => write!(f, "{t}"),
+            Expr::Eq(a, b) => write!(f, "({a} = {b})"),
+            Expr::Ne(a, b) => write!(f, "({a} != {b})"),
+            Expr::Lt(a, b) => write!(f, "({a} < {b})"),
+            Expr::Le(a, b) => write!(f, "({a} <= {b})"),
+            Expr::Gt(a, b) => write!(f, "({a} > {b})"),
+            Expr::Ge(a, b) => write!(f, "({a} >= {b})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::Not(a) => write!(f, "!({a})"),
+            Expr::Bound(v) => write!(f, "BOUND(?{v})"),
+            Expr::Contains(a, s) => write!(f, "CONTAINS({a}, {s:?})"),
+        }
+    }
+}
+
 /// An aggregate in the projection list.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Aggregate {

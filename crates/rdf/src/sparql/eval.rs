@@ -249,6 +249,43 @@ impl PreparedQuery {
     pub fn n_steps(&self) -> usize {
         self.plan.n_steps()
     }
+
+    /// Render the compiled plan as EXPLAIN-style text: one line per
+    /// operator in execution order, ending with the projection stage. The
+    /// id dictionary of `store` resolves the plan's constants; when the
+    /// store has moved past this plan's generation a leading comment line
+    /// flags the rendering as historical.
+    pub fn explain(&self, store: &RdfStore) -> String {
+        let mut out = String::new();
+        if store.generation() != self.generation {
+            out.push_str(&format!(
+                "-- plan compiled at generation {}, store now at {}\n",
+                self.generation,
+                store.generation()
+            ));
+        }
+        out.push_str(&self.plan.render(store, &self.vars));
+        let q = &self.query;
+        out.push_str("project");
+        if q.distinct {
+            out.push_str(" DISTINCT");
+        }
+        for v in q.output_vars() {
+            out.push_str(&format!(" ?{v}"));
+        }
+        for (v, order) in &q.order_by {
+            let dir = if matches!(order, crate::sparql::ast::Order::Desc) { "DESC" } else { "ASC" };
+            out.push_str(&format!(" ORDER-BY({dir} ?{v})"));
+        }
+        if let Some(offset) = q.offset {
+            out.push_str(&format!(" OFFSET {offset}"));
+        }
+        if let Some(limit) = q.limit {
+            out.push_str(&format!(" LIMIT {limit}"));
+        }
+        out.push('\n');
+        out
+    }
 }
 
 /// Compile a parsed SELECT into a reusable [`PreparedQuery`] bound to the
@@ -936,6 +973,39 @@ mod tests {
             "PREFIX x: <http://x/> SELECT ?t WHERE { ?p a x:Publication . ?p x:title ?t }",
         );
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn explain_renders_every_operator_in_execution_order() {
+        let st = store_with_papers();
+        let text = "PREFIX x: <http://x/> SELECT DISTINCT ?p ?t ?q WHERE {
+            ?p a x:Publication . ?p x:title ?t .
+            OPTIONAL { ?p x:cites ?q } .
+            { SELECT ?p WHERE { ?p x:year ?y . FILTER(?y > 2019) } } .
+            FILTER(CONTAINS(?t, \"P\")) } LIMIT 5";
+        let q = crate::sparql::parser::parse_select(text).unwrap();
+        let prepared = prepare_select(&st, q).unwrap();
+        let explain = prepared.explain(&st);
+        let lines: Vec<&str> = explain.lines().collect();
+        // Two required scans with estimates, then subselect, optional
+        // (indented child scan), late filter, and the projection footer.
+        assert_eq!(lines.iter().filter(|l| l.trim_start().starts_with("scan ")).count(), 3);
+        assert!(explain.contains("(est "), "estimates missing:\n{explain}");
+        assert!(explain.contains("subselect join [?p] (3 rows materialised)"), "{explain}");
+        assert!(lines.contains(&"optional"), "{explain}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("  scan ") && l.contains("<http://x/cites>")),
+            "optional scan not indented:\n{explain}"
+        );
+        // The CONTAINS filter is pushed down to the scan binding ?t.
+        assert!(explain.contains("  filter CONTAINS(?t, \"P\")"), "{explain}");
+        assert_eq!(*lines.last().unwrap(), "project DISTINCT ?p ?t ?q LIMIT 5");
+        // A fresh plan carries no staleness banner...
+        assert!(!explain.contains("-- plan compiled"), "{explain}");
+        // ...but a store that moved on renders one.
+        let mut st = st;
+        execute(&mut st, "INSERT DATA { <http://x/p9> <http://x/year> 2024 }").unwrap();
+        assert!(prepared.explain(&st).starts_with("-- plan compiled at generation "));
     }
 
     #[test]

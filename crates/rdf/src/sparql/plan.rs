@@ -79,6 +79,64 @@ impl GroupPlan {
     pub fn n_steps(&self) -> usize {
         self.steps.len() + self.optionals.iter().map(GroupPlan::n_steps).sum::<usize>()
     }
+
+    /// Render the plan as indented EXPLAIN-style text: one line per
+    /// operator in execution order, constants resolved through `store`'s
+    /// dictionary, variables shown by name, planner estimates attached to
+    /// every scan. Nested OPTIONAL plans indent one level.
+    pub(crate) fn render(&self, store: &RdfStore, vars: &VarTable) -> String {
+        let mut out = String::new();
+        self.render_into(store, vars, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, store: &RdfStore, vars: &VarTable, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        if self.impossible {
+            let _ = writeln!(out, "{pad}impossible (ground term not in dictionary)");
+            return;
+        }
+        let slot = |s: Slot| match s {
+            Slot::Const(id) => store.resolve(id).to_string(),
+            Slot::Var(v) => match vars.name(v) {
+                Some(name) => format!("?{name}"),
+                None => format!("?_{v}"),
+            },
+        };
+        for f in &self.eager_filters {
+            let _ = writeln!(out, "{pad}filter(eager) {f}");
+        }
+        for step in &self.steps {
+            let _ = writeln!(
+                out,
+                "{pad}scan {} {} {} (est {:.1})",
+                slot(step.s),
+                slot(step.p),
+                slot(step.o),
+                step.est
+            );
+            for f in &step.filters {
+                let _ = writeln!(out, "{pad}  filter {f}");
+            }
+        }
+        for sub in &self.subselects {
+            let cols: Vec<String> = sub.slots.iter().map(|&s| slot(Slot::Var(s))).collect();
+            let _ = writeln!(
+                out,
+                "{pad}subselect join [{}] ({} rows materialised)",
+                cols.join(" "),
+                sub.rows.len()
+            );
+        }
+        for opt in &self.optionals {
+            let _ = writeln!(out, "{pad}optional");
+            opt.render_into(store, vars, depth + 1, out);
+        }
+        for f in &self.late_filters {
+            let _ = writeln!(out, "{pad}filter(late) {f}");
+        }
+    }
 }
 
 /// Build the plan for `group`, assuming the variable slots in `outer_bound`

@@ -28,9 +28,16 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use kgnet_sync::profile::SyncSite;
+use kgnet_sync::tracked::lock_tracked;
 use kgnet_sync::Mutex;
 
 use kgnet_rdf::sparql::lexer::tokenize;
+
+/// Contention profile of the shared plan-cache mutex: every session's
+/// lookup and every cold-plan insertion funnels through it, so its
+/// contended share is the first thing to check when read p99 regresses.
+static PLAN_CACHE_SITE: SyncSite = SyncSite::new("server.plan_cache");
 use kgnet_rdf::sparql::{prepare_select, SelectQuery};
 use kgnet_rdf::{PreparedQuery, RdfStore, SparqlError};
 
@@ -77,7 +84,7 @@ impl SharedPlanCache {
 
     /// Server-wide counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock();
+        let inner = lock_tracked(&self.inner, &PLAN_CACHE_SITE);
         CacheStats { hits: inner.hits, misses: inner.misses, entries: inner.entries.len() }
     }
 
@@ -88,7 +95,7 @@ impl SharedPlanCache {
     /// stats.
     pub fn get(&self, generation: u64, text: &str) -> Option<Arc<PreparedQuery>> {
         let key = key_of(text)?;
-        let mut inner = self.inner.lock();
+        let mut inner = lock_tracked(&self.inner, &PLAN_CACHE_SITE);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.entries.get_mut(&(key, generation)) {
@@ -113,7 +120,7 @@ impl SharedPlanCache {
         parsed: SelectQuery,
     ) -> Result<Arc<PreparedQuery>, SparqlError> {
         let prepared = Arc::new(prepare_select(store, parsed)?);
-        let mut inner = self.inner.lock();
+        let mut inner = lock_tracked(&self.inner, &PLAN_CACHE_SITE);
         inner.misses += 1;
         if let Some(key) = key_of(text) {
             inner.tick += 1;

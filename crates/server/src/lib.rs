@@ -39,15 +39,21 @@
 pub mod cache;
 pub mod metrics;
 pub mod queue;
+mod report;
 pub mod session;
+pub mod slowlog;
 mod witness;
 
 pub use cache::{CacheStats, SharedPlanCache};
 pub use metrics::{QueueObs, ServerMetrics, METRIC_CATALOG};
 pub use queue::{
     AdmissionError, JobId, JobInfo, JobOutcome, JobQueue, JobRunner, JobState, QueueConfig,
+    ResourceUsage, UsageProbe,
 };
-pub use session::{ReadSession, WriteSession};
+pub use session::{ReadSession, SessionStats, WriteSession};
+pub use slowlog::{SlowQuery, SLOW_LOG_CAPACITY};
+
+use slowlog::SlowQueryLog;
 
 use kgnet_sync::atomic::Ordering;
 use std::sync::Arc;
@@ -56,7 +62,7 @@ use std::time::Instant;
 use kgnet_obs::{Histogram, SpanNode};
 use kgnet_sync::RwLock;
 
-use kgnet_gml::control::{EpochObserver, TrainControl};
+use kgnet_gml::control::{EpochObserver, PairObserver, TrainControl};
 use kgnet_gmlaas::{TrainError, TrainRequest, TrainingManager};
 use kgnet_rdf::{RdfStore, SharedStore};
 use kgnet_sampler::{meta_sample_task, SamplingScope};
@@ -72,9 +78,14 @@ pub struct ServerConfig {
     /// Plans held in the server-wide shared cache, across all read
     /// sessions and snapshot versions (0 uses the default of 128).
     pub plan_cache_capacity: usize,
+    /// Latency threshold, in milliseconds, above which a SELECT is captured
+    /// into the slow-query log with its rendered plan and span profile
+    /// (0 uses the default of 100 ms).
+    pub slow_query_millis: u64,
 }
 
 const DEFAULT_PLAN_CACHE: usize = 128;
+const DEFAULT_SLOW_QUERY_MILLIS: u64 = 100;
 
 /// The concurrently servable platform: a snapshot-published data KG, a
 /// shared SPARQL-ML manager, a server-wide plan cache and a background
@@ -85,6 +96,7 @@ pub struct KgServer {
     queue: JobQueue,
     plan_cache: Arc<SharedPlanCache>,
     metrics: Arc<ServerMetrics>,
+    slow_log: Arc<SlowQueryLog>,
 }
 
 impl KgServer {
@@ -102,12 +114,18 @@ impl KgServer {
         } else {
             config.plan_cache_capacity
         };
+        let slow_millis = if config.slow_query_millis == 0 {
+            DEFAULT_SLOW_QUERY_MILLIS
+        } else {
+            config.slow_query_millis
+        };
         KgServer {
             store,
             manager,
             queue,
             plan_cache: Arc::new(SharedPlanCache::new(capacity)),
             metrics,
+            slow_log: Arc::new(SlowQueryLog::new(slow_millis.saturating_mul(1_000_000))),
         }
     }
 
@@ -153,6 +171,7 @@ impl KgServer {
             self.manager.clone(),
             Arc::clone(&self.plan_cache),
             Arc::clone(&self.metrics),
+            Arc::clone(&self.slow_log),
         )
     }
 
@@ -166,16 +185,40 @@ impl KgServer {
     }
 
     /// The server's metric catalog, with the store gauges (generation,
-    /// retained versions/bytes) refreshed from the live store so a
-    /// subsequent [`ServerMetrics::render_prometheus`] or
-    /// [`ServerMetrics::render_json`] reports current MVCC state.
+    /// retained versions/bytes) refreshed from the live store — and the
+    /// system-wide profiles (lock-site counters, pool gauges, dropped-span
+    /// total) harvested — so a subsequent
+    /// [`ServerMetrics::render_prometheus`] or
+    /// [`ServerMetrics::render_json`] reports current state.
     pub fn metrics(&self) -> &ServerMetrics {
         self.metrics.store_generation.set(self.store.generation() as i64);
         let retained = self.store.retained_versions();
         self.metrics.retained_versions.set(retained.len() as i64);
         let bytes: usize = retained.iter().map(|v| v.approx_bytes).sum();
         self.metrics.retained_bytes.set(i64::try_from(bytes).unwrap_or(i64::MAX));
+        self.metrics.refresh_system();
         &self.metrics
+    }
+
+    /// The retained slow-query records, oldest first: every SELECT whose
+    /// latency crossed [`ServerConfig::slow_query_millis`], with the plan
+    /// it ran and its span profile. At most [`SLOW_LOG_CAPACITY`] records
+    /// are kept; older offenders are dropped as new ones arrive.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log.snapshot()
+    }
+
+    /// One human-readable report of the server's observable state: metric
+    /// totals, the most contended lock sites, thread-pool utilization, the
+    /// slow-query log and per-job resource usage. Built for dropping into
+    /// a bug report or a terminal — nothing in it is machine-parsed.
+    pub fn debug_report(&self) -> String {
+        self.metrics();
+        report::render(self)
+    }
+
+    pub(crate) fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow_log
     }
 
     /// Drain every span buffered since the last dump and rebuild the
@@ -264,16 +307,21 @@ fn train_runner(
     trainer: TrainingManager,
     metrics: Arc<ServerMetrics>,
 ) -> Arc<JobRunner> {
-    Arc::new(move |req, cancel| {
+    Arc::new(move |req, cancel, probe| {
         let scope = SamplingScope::parse(&req.sampler)
             .unwrap_or_else(|| SamplingScope::default_for(&req.task));
         let snapshot = store.snapshot();
         let sampled = meta_sample_task(&snapshot, &req.task, scope);
+        probe.add_triples_sampled(sampled.store.len() as u64);
         if cancel.load(Ordering::SeqCst) {
             return JobOutcome::Cancelled;
         }
         let timer = EpochTimer::new(Arc::clone(&metrics.train_epoch));
-        let ctl = TrainControl::with_flag(cancel).with_observer(&timer);
+        // The worker's probe rides along with the epoch-latency timer, so
+        // per-job epoch counts come from the same notifications as the
+        // epoch histogram.
+        let pair = PairObserver::new(&timer, probe);
+        let ctl = TrainControl::with_flag(cancel).with_observer(&pair);
         let (mut artifact, _trace) = match trainer.train_uncommitted_ctl(&sampled.store, req, ctl) {
             Ok(built) => built,
             Err(TrainError::Cancelled) => return JobOutcome::Cancelled,
@@ -551,10 +599,10 @@ mod tests {
         let (started_tx, started_rx) = mpsc::channel();
         let (proceed_tx, proceed_rx) = mpsc::channel::<()>();
         let proceed = Mutex::new(proceed_rx);
-        let gated: Arc<JobRunner> = Arc::new(move |req, cancel| {
+        let gated: Arc<JobRunner> = Arc::new(move |req, cancel, probe| {
             started_tx.send(()).unwrap();
             proceed.lock().unwrap().recv().unwrap();
-            real(req, cancel)
+            real(req, cancel, probe)
         });
         let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
         let queue = JobQueue::new(cfg, gated);

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use kgnet_obs::{Counter, Gauge, Histogram, Registry, SpanGuard, Tracer};
+use kgnet_sync::atomic::{AtomicU64, Ordering};
 
 /// Every metric the server registers, as `(name, kind)` pairs in
 /// registration order. The bench harness's drift check walks this catalog
@@ -38,6 +39,23 @@ pub const METRIC_CATALOG: &[(&str, &str)] = &[
     ("kgnet_ann_search_latency_nanos", "histogram"),
     ("kgnet_ann_candidates_total", "counter"),
     ("kgnet_ann_distance_computations_total", "counter"),
+    ("kgnet_lock_acquires_total", "counter"),
+    ("kgnet_lock_contended_total", "counter"),
+    ("kgnet_lock_wait_nanos_total", "counter"),
+    ("kgnet_spans_dropped_total", "counter"),
+    ("kgnet_slow_queries_total", "counter"),
+    ("kgnet_pool_global_threads", "gauge"),
+    ("kgnet_pool_global_jobs", "gauge"),
+    ("kgnet_pool_global_steals", "gauge"),
+    ("kgnet_pool_global_busy_nanos", "gauge"),
+    ("kgnet_pool_global_queue_depth", "gauge"),
+    ("kgnet_train_pool_busy_nanos_total", "counter"),
+    ("kgnet_train_pool_jobs_total", "counter"),
+    ("kgnet_train_pool_steals_total", "counter"),
+    ("kgnet_job_epochs_total", "counter"),
+    ("kgnet_job_triples_sampled_total", "counter"),
+    ("kgnet_job_lock_wait_nanos_total", "counter"),
+    ("kgnet_job_peak_mem_bytes", "histogram"),
 ];
 
 /// Finished spans retained by the server tracer before eviction.
@@ -62,6 +80,24 @@ pub struct QueueObs {
     pub queue_depth: Arc<Gauge>,
     /// Wall time from worker pickup to the terminal transition.
     pub job_duration: Arc<Histogram>,
+    /// Busy worker-nanoseconds the dedicated training pools accumulated
+    /// while jobs ran (summed across workers and jobs).
+    pub train_pool_busy_nanos: Arc<Counter>,
+    /// Rayon-level tasks the training pools executed (batch waves, not
+    /// queue jobs).
+    pub train_pool_jobs: Arc<Counter>,
+    /// Successful steals between training-pool workers.
+    pub train_pool_steals: Arc<Counter>,
+    /// Training epochs completed across all jobs.
+    pub job_epochs: Arc<Counter>,
+    /// Triples sampled into training subgraphs across all jobs.
+    pub job_triples_sampled: Arc<Counter>,
+    /// Nanoseconds job worker threads spent waiting on contended facade
+    /// locks.
+    pub job_lock_wait_nanos: Arc<Counter>,
+    /// Peak tracked-memory delta per job, in bytes (exact for serial runs;
+    /// concurrent jobs share the process-global tracker).
+    pub job_peak_mem: Arc<Histogram>,
 }
 
 /// The server-wide metric catalog plus the tracer. One instance per
@@ -97,6 +133,61 @@ pub struct ServerMetrics {
     pub ann_candidates: Arc<Counter>,
     /// Distance computations spent across all ANN searches.
     pub ann_distance_computations: Arc<Counter>,
+    /// Facade-lock acquisitions across every profiled site (process-wide).
+    pub lock_acquires: Arc<Counter>,
+    /// Contended facade-lock acquisitions (the acquire had to wait).
+    pub lock_contended: Arc<Counter>,
+    /// Nanoseconds spent waiting on contended facade locks.
+    pub lock_wait_nanos: Arc<Counter>,
+    /// Trace spans evicted unread from the bounded ring.
+    pub spans_dropped: Arc<Counter>,
+    /// Queries that exceeded the slow-query threshold.
+    pub slow_queries: Arc<Counter>,
+    /// Worker threads in the global rayon pool.
+    pub pool_threads: Arc<Gauge>,
+    /// Jobs the global pool's workers have executed (cumulative).
+    pub pool_jobs: Arc<Gauge>,
+    /// Successful steals between global-pool workers (cumulative).
+    pub pool_steals: Arc<Gauge>,
+    /// Busy worker-nanoseconds of the global pool (cumulative).
+    pub pool_busy_nanos: Arc<Gauge>,
+    /// Jobs waiting in the global pool's injector and deques right now.
+    pub pool_queue_depth: Arc<Gauge>,
+    /// Last harvested totals of the process-wide sources, so
+    /// [`refresh_system`](Self::refresh_system) bumps the aggregate
+    /// counters by delta instead of re-adding cumulative values.
+    harvest: Harvest,
+}
+
+/// Last-seen cumulative values of the process-wide instrumentation
+/// sources (lock sites, trace ring). Facade atomics so the model checker
+/// can compile this crate, `fetch_max` so concurrent harvests never
+/// double-count a delta.
+#[derive(Default)]
+struct Harvest {
+    lock_acquires: AtomicU64,
+    lock_contended: AtomicU64,
+    lock_wait_nanos: AtomicU64,
+    spans_dropped: AtomicU64,
+}
+
+/// Bump `counter` by how far `current` has advanced past the last
+/// harvested value. `fetch_max` ensures each unit of the underlying
+/// monotonic source is credited exactly once even under concurrent
+/// harvesters.
+fn bump_delta(counter: &Counter, last: &AtomicU64, current: u64) {
+    let prev = last.fetch_max(current, Ordering::SeqCst);
+    if current > prev {
+        counter.add(current - prev);
+    }
+}
+
+/// Metric-name-safe rendering of a lock-site label: ASCII alphanumerics
+/// are kept (lowercased), everything else becomes `_`.
+fn sanitize_site(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
 }
 
 impl ServerMetrics {
@@ -117,6 +208,28 @@ impl ServerMetrics {
                 "kgnet_job_duration_nanos",
                 "Training job wall time, pickup to terminal",
             ),
+            train_pool_busy_nanos: r.counter(
+                "kgnet_train_pool_busy_nanos_total",
+                "Busy worker-nanos of the dedicated training pools",
+            ),
+            train_pool_jobs: r.counter(
+                "kgnet_train_pool_jobs_total",
+                "Rayon tasks executed by the training pools",
+            ),
+            train_pool_steals: r
+                .counter("kgnet_train_pool_steals_total", "Steals between training-pool workers"),
+            job_epochs: r
+                .counter("kgnet_job_epochs_total", "Training epochs completed across jobs"),
+            job_triples_sampled: r.counter(
+                "kgnet_job_triples_sampled_total",
+                "Triples sampled into training subgraphs",
+            ),
+            job_lock_wait_nanos: r.counter(
+                "kgnet_job_lock_wait_nanos_total",
+                "Facade-lock wait nanos on job worker threads",
+            ),
+            job_peak_mem: r
+                .histogram("kgnet_job_peak_mem_bytes", "Peak tracked-memory delta per job"),
         });
         let m = ServerMetrics {
             query_latency: r
@@ -149,6 +262,24 @@ impl ServerMetrics {
                 "kgnet_ann_distance_computations_total",
                 "Distance computations spent by ANN searches",
             ),
+            lock_acquires: r
+                .counter("kgnet_lock_acquires_total", "Facade-lock acquisitions across sites"),
+            lock_contended: r
+                .counter("kgnet_lock_contended_total", "Contended facade-lock acquisitions"),
+            lock_wait_nanos: r
+                .counter("kgnet_lock_wait_nanos_total", "Nanos waiting on contended facade locks"),
+            spans_dropped: r
+                .counter("kgnet_spans_dropped_total", "Trace spans evicted unread from the ring"),
+            slow_queries: r
+                .counter("kgnet_slow_queries_total", "Queries over the slow-query threshold"),
+            pool_threads: r.gauge("kgnet_pool_global_threads", "Global rayon pool worker threads"),
+            pool_jobs: r.gauge("kgnet_pool_global_jobs", "Jobs executed by the global pool"),
+            pool_steals: r.gauge("kgnet_pool_global_steals", "Steals between global-pool workers"),
+            pool_busy_nanos: r
+                .gauge("kgnet_pool_global_busy_nanos", "Busy worker-nanos of the global pool"),
+            pool_queue_depth: r
+                .gauge("kgnet_pool_global_queue_depth", "Jobs queued in the global pool"),
+            harvest: Harvest::default(),
             tracer: Tracer::new(TRACE_CAPACITY),
             queue,
             registry: r,
@@ -189,6 +320,43 @@ impl ServerMetrics {
     /// Open a span on the server tracer.
     pub fn span(&self, name: impl Into<String>) -> SpanGuard<'_> {
         self.tracer.span(name)
+    }
+
+    /// Harvest the process-wide instrumentation sources into the registry:
+    /// facade-lock site counters (the three `kgnet_lock_*_total` aggregates
+    /// bumped by delta, plus one lazily registered
+    /// `kgnet_lock_site_<site>_{acquires,contended,wait_nanos}` gauge
+    /// triple per site), the global rayon pool's scheduler stats, and the
+    /// tracer's dropped-span count. [`crate::KgServer::metrics`] calls this
+    /// ahead of every render; the per-site gauges appear on first harvest
+    /// rather than at construction because the site list is discovered at
+    /// runtime (a site registers itself on its first recorded acquire).
+    pub fn refresh_system(&self) {
+        let totals = kgnet_sync::sites::totals();
+        bump_delta(&self.lock_acquires, &self.harvest.lock_acquires, totals.acquires);
+        bump_delta(&self.lock_contended, &self.harvest.lock_contended, totals.contended);
+        bump_delta(&self.lock_wait_nanos, &self.harvest.lock_wait_nanos, totals.wait_nanos);
+        bump_delta(&self.spans_dropped, &self.harvest.spans_dropped, self.tracer.dropped());
+        for site in kgnet_sync::sites::all() {
+            let base = sanitize_site(site.name);
+            let help = format!("Facade-lock site {}", site.name);
+            self.registry
+                .gauge(&format!("kgnet_lock_site_{base}_acquires"), &help)
+                .set(i64::try_from(site.acquires).unwrap_or(i64::MAX));
+            self.registry
+                .gauge(&format!("kgnet_lock_site_{base}_contended"), &help)
+                .set(i64::try_from(site.contended).unwrap_or(i64::MAX));
+            self.registry
+                .gauge(&format!("kgnet_lock_site_{base}_wait_nanos"), &help)
+                .set(i64::try_from(site.wait_nanos).unwrap_or(i64::MAX));
+        }
+        let pool = rayon::global_pool_stats();
+        self.pool_threads.set(i64::try_from(pool.n_threads).unwrap_or(i64::MAX));
+        self.pool_jobs.set(i64::try_from(pool.jobs_executed).unwrap_or(i64::MAX));
+        self.pool_steals.set(i64::try_from(pool.steals).unwrap_or(i64::MAX));
+        self.pool_busy_nanos.set(i64::try_from(pool.busy_nanos).unwrap_or(i64::MAX));
+        let queued = pool.injector_depth.saturating_add(pool.deque_depth);
+        self.pool_queue_depth.set(i64::try_from(queued).unwrap_or(i64::MAX));
     }
 
     /// Render the full catalog in the Prometheus text exposition format.
@@ -245,6 +413,56 @@ mod tests {
         let b = ServerMetrics::new();
         a.plan_cache_hits.add(5);
         assert_eq!(b.plan_cache_hits.get(), 0);
+    }
+
+    #[test]
+    fn refresh_system_registers_per_site_gauges_lazily() {
+        let m = ServerMetrics::new();
+        // Per-site gauges must never be part of the construction-time
+        // catalog: the eager-registration invariant stays intact.
+        assert_eq!(m.registry().names().len(), METRIC_CATALOG.len());
+
+        static SITE: kgnet_sync::profile::SyncSite =
+            kgnet_sync::profile::SyncSite::new("server.metrics-test.site");
+        SITE.record_uncontended();
+        SITE.record_contended(1_000);
+        m.refresh_system();
+
+        assert!(m.registry().names().len() > METRIC_CATALOG.len());
+        let text = m.render_prometheus();
+        assert!(text.contains("kgnet_lock_site_server_metrics_test_site_acquires 2"), "{text}");
+        assert!(text.contains("kgnet_lock_site_server_metrics_test_site_contended 1"), "{text}");
+        assert!(text.contains("kgnet_lock_site_server_metrics_test_site_wait_nanos 1000"));
+        // Aggregates cover the recorded site (other sites in this process
+        // may add more, never less).
+        assert!(m.lock_acquires.get() >= 2);
+        assert!(m.lock_contended.get() >= 1);
+        assert!(m.lock_wait_nanos.get() >= 1_000);
+        // A second refresh is delta-based: the aggregates must not
+        // re-count the already harvested acquisitions.
+        let before = m.lock_acquires.get();
+        m.refresh_system();
+        assert_eq!(m.lock_acquires.get(), before);
+        // Pool gauges are populated from the global pool.
+        assert!(m.pool_threads.get() >= 1);
+    }
+
+    #[test]
+    fn bump_delta_credits_each_unit_once() {
+        let c = Counter::new();
+        let last = AtomicU64::new(0);
+        bump_delta(&c, &last, 10);
+        bump_delta(&c, &last, 10);
+        bump_delta(&c, &last, 17);
+        // A stale (smaller) observation never subtracts or re-adds.
+        bump_delta(&c, &last, 12);
+        assert_eq!(c.get(), 17);
+    }
+
+    #[test]
+    fn sanitize_site_maps_to_metric_charset() {
+        assert_eq!(sanitize_site("rdf.writer_gate"), "rdf_writer_gate");
+        assert_eq!(sanitize_site("Server.Plan-Cache"), "server_plan_cache");
     }
 
     #[test]

@@ -39,13 +39,21 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use kgnet_sync::atomic::{AtomicBool, Ordering};
+use kgnet_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use kgnet_sync::profile::SyncSite;
 use kgnet_sync::thread::JoinHandle;
+use kgnet_sync::tracked::lock_tracked;
 use kgnet_sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use kgnet_gml::EpochObserver;
 use kgnet_gmlaas::{TaskBudget, TrainRequest};
+use kgnet_linalg::memtrack::MemScope;
 
 use crate::metrics::QueueObs;
+
+/// Contention profile of the queue-state mutex: submissions, status polls,
+/// cancellations and worker pickups all serialise on it.
+static QUEUE_STATE_SITE: SyncSite = SyncSite::new("server.queue_state");
 
 /// Identifier of one submitted job, unique within a queue.
 pub type JobId = u64;
@@ -87,6 +95,74 @@ pub struct JobInfo {
     pub name: String,
     /// Current lifecycle state.
     pub state: JobState,
+    /// What the job consumed while it ran. `None` until the worker finishes
+    /// executing it (including for jobs cancelled before ever running).
+    pub usage: Option<ResourceUsage>,
+}
+
+/// What one executed training job consumed, measured by the worker around
+/// the runner invocation. All-integer so snapshots are `Copy` and exactly
+/// comparable in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUsage {
+    /// Wall-clock time from worker pickup to the runner returning.
+    pub wall_nanos: u64,
+    /// CPU time spent inside the job's dedicated pool (sum over its
+    /// threads). The runner's own top-level execution runs inline on the
+    /// worker thread, so `busy_nanos <= wall_nanos * pool_threads` holds by
+    /// construction — only nested fan-out is pool work.
+    pub busy_nanos: u64,
+    /// Training epochs the runner completed (0 for non-training runners).
+    pub epochs: u64,
+    /// Triples materialised while sampling the task subgraph.
+    pub triples_sampled: u64,
+    /// Peak tracked-allocation growth during the job (exact when no other
+    /// job runs concurrently; an upper-bound attribution otherwise, since
+    /// the allocation tracker's peak is process-global).
+    pub peak_mem_delta_bytes: u64,
+    /// Time the worker thread spent blocked on contended facade locks
+    /// while executing the job (the runner executes inline on this thread).
+    pub lock_wait_nanos: u64,
+    /// Threads in the job's dedicated training pool.
+    pub pool_threads: u64,
+    /// Work-stealing events inside the dedicated pool during the job.
+    pub pool_steals: u64,
+    /// Tasks the dedicated pool executed during the job (nested fan-out).
+    pub pool_jobs: u64,
+}
+
+/// The worker-side accumulator a runner reports progress into: epochs via
+/// its [`EpochObserver`] impl (compose with a latency timer through
+/// [`kgnet_gml::PairObserver`]), sampled triples via
+/// [`add_triples_sampled`](Self::add_triples_sampled). The worker folds the
+/// totals into the job's [`ResourceUsage`] when the runner returns.
+#[derive(Debug, Default)]
+pub struct UsageProbe {
+    epochs: AtomicU64,
+    triples_sampled: AtomicU64,
+}
+
+impl UsageProbe {
+    /// Credit `n` sampled triples to the job.
+    pub fn add_triples_sampled(&self, n: u64) {
+        self.triples_sampled.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::SeqCst)
+    }
+
+    /// Triples credited so far.
+    pub fn triples_sampled(&self) -> u64 {
+        self.triples_sampled.load(Ordering::SeqCst)
+    }
+}
+
+impl EpochObserver for UsageProbe {
+    fn epoch_completed(&self, _epoch: usize) {
+        self.epochs.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 /// Why a submission was refused at admission time.
@@ -169,7 +245,10 @@ pub enum JobOutcome {
 /// [`AtomicBool`] is the job's cancellation flag: runners should check it at
 /// phase boundaries (after sampling, before committing results) and report
 /// [`JobOutcome::Cancelled`] instead of registering anything when it is set.
-pub type JobRunner = dyn Fn(&TrainRequest, &AtomicBool) -> JobOutcome + Send + Sync;
+/// The [`UsageProbe`] is where the runner reports epoch and sampling
+/// progress for per-job resource attribution; ignoring it is fine (the
+/// corresponding usage fields just stay zero).
+pub type JobRunner = dyn Fn(&TrainRequest, &AtomicBool, &UsageProbe) -> JobOutcome + Send + Sync;
 
 struct QueuedJob {
     id: JobId,
@@ -181,6 +260,7 @@ struct JobEntry {
     name: String,
     state: JobState,
     cancel: Arc<AtomicBool>,
+    usage: Option<ResourceUsage>,
 }
 
 /// The lock-protected queue state machine. Public but `doc(hidden)`: the
@@ -258,6 +338,14 @@ impl QueueState {
         }
     }
 
+    /// Attach what a finished job consumed to its record. A no-op once the
+    /// record has been pruned or forgotten.
+    pub fn attach_usage(&mut self, id: JobId, usage: ResourceUsage) {
+        if let Some(entry) = self.jobs.get_mut(&id) {
+            entry.usage = Some(usage);
+        }
+    }
+
     /// Register a job directly in `Queued` state (test harness entry point;
     /// production submissions go through [`JobQueue::submit`]). Returns the
     /// job's cancellation flag.
@@ -269,6 +357,7 @@ impl QueueState {
                 name: name.to_owned(),
                 state: JobState::Queued,
                 cancel: Arc::clone(&cancel),
+                usage: None,
             },
         );
         cancel
@@ -308,7 +397,7 @@ struct Shared {
 
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, QueueState> {
-        self.state.lock()
+        lock_tracked(&self.state, &QUEUE_STATE_SITE)
     }
 }
 
@@ -386,7 +475,12 @@ impl JobQueue {
         let cancel = Arc::new(AtomicBool::new(false));
         state.jobs.insert(
             id,
-            JobEntry { name: req.name.clone(), state: JobState::Queued, cancel: cancel.clone() },
+            JobEntry {
+                name: req.name.clone(),
+                state: JobState::Queued,
+                cancel: cancel.clone(),
+                usage: None,
+            },
         );
         state.pending.push_back(QueuedJob { id, req, cancel });
         if let Some(obs) = &self.obs {
@@ -400,7 +494,12 @@ impl JobQueue {
     /// Snapshot one job.
     pub fn status(&self, id: JobId) -> Option<JobInfo> {
         let state = self.shared.lock();
-        state.jobs.get(&id).map(|e| JobInfo { id, name: e.name.clone(), state: e.state.clone() })
+        state.jobs.get(&id).map(|e| JobInfo {
+            id,
+            name: e.name.clone(),
+            state: e.state.clone(),
+            usage: e.usage,
+        })
     }
 
     /// Snapshot every job still on record, ordered by id. Terminal records
@@ -411,7 +510,12 @@ impl JobQueue {
         let mut out: Vec<JobInfo> = state
             .jobs
             .iter()
-            .map(|(&id, e)| JobInfo { id, name: e.name.clone(), state: e.state.clone() })
+            .map(|(&id, e)| JobInfo {
+                id,
+                name: e.name.clone(),
+                state: e.state.clone(),
+                usage: e.usage,
+            })
             .collect();
         out.sort_by_key(|j| j.id);
         out
@@ -464,7 +568,12 @@ impl JobQueue {
         loop {
             let entry = state.jobs.get(&id)?;
             if entry.state.is_terminal() {
-                return Some(JobInfo { id, name: entry.name.clone(), state: entry.state.clone() });
+                return Some(JobInfo {
+                    id,
+                    name: entry.name.clone(),
+                    state: entry.state.clone(),
+                    usage: entry.usage,
+                });
             }
             state = self.shared.signal.wait(state);
         }
@@ -553,18 +662,43 @@ fn worker_loop(shared: &Shared, runner: &Arc<JobRunner>, training_threads: usize
             shared.signal.notify_all();
         }
         let picked_up = Instant::now();
-        let outcome =
-            catch_unwind(AssertUnwindSafe(|| pool.install(|| runner(&job.req, &job.cancel))))
-                .unwrap_or_else(|panic| JobOutcome::Failed(panic_message(&panic)));
+        let mem = MemScope::begin();
+        let pool_before = pool.stats();
+        let wait_before = kgnet_sync::profile::thread_wait_nanos();
+        let probe = UsageProbe::default();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| runner(&job.req, &job.cancel, &probe))
+        }))
+        .unwrap_or_else(|panic| JobOutcome::Failed(panic_message(&panic)));
+        let pool_after = pool.stats();
+        let usage = ResourceUsage {
+            wall_nanos: crate::metrics::nanos_since(picked_up),
+            busy_nanos: pool_after.busy_nanos.saturating_sub(pool_before.busy_nanos),
+            epochs: probe.epochs(),
+            triples_sampled: probe.triples_sampled(),
+            peak_mem_delta_bytes: mem.peak_delta() as u64,
+            lock_wait_nanos: kgnet_sync::profile::thread_wait_nanos().saturating_sub(wait_before),
+            pool_threads: pool_after.n_threads as u64,
+            pool_steals: pool_after.steals.saturating_sub(pool_before.steals),
+            pool_jobs: pool_after.jobs_executed.saturating_sub(pool_before.jobs_executed),
+        };
         let terminal = match outcome {
             JobOutcome::Done(model_uri) => JobState::Done { model_uri },
             JobOutcome::Cancelled => JobState::Cancelled,
             JobOutcome::Failed(error) => JobState::Failed { error },
         };
         if let Some(obs) = &obs {
-            obs.job_duration.record(crate::metrics::nanos_since(picked_up));
+            obs.job_duration.record(usage.wall_nanos);
+            obs.train_pool_busy_nanos.add(usage.busy_nanos);
+            obs.train_pool_jobs.add(usage.pool_jobs);
+            obs.train_pool_steals.add(usage.pool_steals);
+            obs.job_epochs.add(usage.epochs);
+            obs.job_triples_sampled.add(usage.triples_sampled);
+            obs.job_lock_wait_nanos.add(usage.lock_wait_nanos);
+            obs.job_peak_mem.record(usage.peak_mem_delta_bytes);
         }
         let mut state = shared.lock();
+        state.attach_usage(job.id, usage);
         state.finish(job.id, terminal, retain);
         shared.signal.notify_all();
     }
@@ -603,7 +737,7 @@ mod tests {
     fn gated_runner(started: mpsc::Sender<JobId>, proceed: mpsc::Receiver<()>) -> Arc<JobRunner> {
         let proceed = Mutex::new(proceed);
         let counter = std::sync::atomic::AtomicU64::new(0);
-        Arc::new(move |_req, cancel| {
+        Arc::new(move |_req, cancel, _probe: &UsageProbe| {
             let seq = counter.fetch_add(1, Ordering::SeqCst) + 1;
             started.send(seq).unwrap();
             proceed.lock().recv().unwrap();
@@ -697,7 +831,7 @@ mod tests {
 
     #[test]
     fn panicking_job_fails_and_worker_survives() {
-        let runner: Arc<JobRunner> = Arc::new(|req, _cancel| {
+        let runner: Arc<JobRunner> = Arc::new(|req, _cancel, _probe| {
             if req.name == "bomb" {
                 panic!("boom");
             }
@@ -752,7 +886,7 @@ mod tests {
 
     #[test]
     fn terminal_history_is_bounded_and_forgettable() {
-        let runner: Arc<JobRunner> = Arc::new(|_, _| JobOutcome::Done("http://model/x".into()));
+        let runner: Arc<JobRunner> = Arc::new(|_, _, _| JobOutcome::Done("http://model/x".into()));
         let cfg = QueueConfig { max_concurrent: 1, max_terminal_retained: 2, ..Default::default() };
         let queue = JobQueue::new(cfg, runner);
         let ids: Vec<JobId> = (0..4)
@@ -783,7 +917,7 @@ mod tests {
     fn outcome_counters_survive_pruning_and_forget() {
         let metrics = crate::metrics::ServerMetrics::new();
         let obs = metrics.queue_obs();
-        let runner: Arc<JobRunner> = Arc::new(|_, _| JobOutcome::Done("http://model/x".into()));
+        let runner: Arc<JobRunner> = Arc::new(|_, _, _| JobOutcome::Done("http://model/x".into()));
         let cfg = QueueConfig {
             max_concurrent: 1,
             max_terminal_retained: 2,
@@ -817,6 +951,50 @@ mod tests {
     }
 
     #[test]
+    fn finished_jobs_carry_coherent_resource_usage() {
+        // The runner reports progress through the probe exactly like the
+        // real training runner: sampled triples once, one epoch
+        // notification per completed epoch.
+        let runner: Arc<JobRunner> = Arc::new(|_req, _cancel, probe| {
+            probe.add_triples_sampled(42);
+            probe.epoch_completed(0);
+            probe.epoch_completed(1);
+            JobOutcome::Done("http://model/x".into())
+        });
+        let cfg = QueueConfig { max_concurrent: 1, training_threads: 2, ..Default::default() };
+        let queue = JobQueue::new(cfg, runner);
+        let id = queue.submit(request("measured")).unwrap();
+        let info = queue.wait(id).unwrap();
+        let usage = info.usage.expect("terminal job carries usage");
+        assert_eq!(usage.epochs, 2);
+        assert_eq!(usage.triples_sampled, 42);
+        assert_eq!(usage.pool_threads, 2);
+        assert!(usage.wall_nanos > 0, "wall clock advanced");
+        // The runner executes inline on the worker thread; only nested
+        // fan-out is pool work, so busy time cannot exceed the pool's
+        // aggregate capacity over the job's wall time.
+        assert!(
+            usage.busy_nanos <= usage.wall_nanos.saturating_mul(usage.pool_threads),
+            "busy {} must not exceed wall {} x threads {}",
+            usage.busy_nanos,
+            usage.wall_nanos,
+            usage.pool_threads
+        );
+        // A queued-then-cancelled job never ran: no usage to attribute.
+        let (started_tx, started_rx) = mpsc::channel();
+        let (proceed_tx, proceed_rx) = mpsc::channel();
+        let cfg = QueueConfig { max_concurrent: 1, ..Default::default() };
+        let gated = JobQueue::new(cfg, gated_runner(started_tx, proceed_rx));
+        let blocker = gated.submit(request("blocker")).unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let doomed = gated.submit(request("doomed")).unwrap();
+        assert!(gated.cancel(doomed));
+        assert_eq!(gated.status(doomed).unwrap().usage, None);
+        proceed_tx.send(()).unwrap();
+        assert!(gated.wait(blocker).unwrap().usage.is_some());
+    }
+
+    #[test]
     fn finish_never_rewrites_or_double_counts_a_terminal_job() {
         // The cancel/pickup race calls finish twice for one job (cancel
         // sees Queued after the worker popped it; the worker then observes
@@ -825,7 +1003,9 @@ mod tests {
         // record early.
         let mut state = QueueState::default();
         let cancel = Arc::new(AtomicBool::new(true));
-        state.jobs.insert(1, JobEntry { name: "a".into(), state: JobState::Queued, cancel });
+        state
+            .jobs
+            .insert(1, JobEntry { name: "a".into(), state: JobState::Queued, cancel, usage: None });
         state.finish(1, JobState::Cancelled, 8);
         state.finish(1, JobState::Cancelled, 8);
         assert_eq!(state.terminal_order.len(), 1);

@@ -40,7 +40,24 @@ use kgnet_sparqlml::{
 
 use crate::cache::{CacheStats, SharedPlanCache};
 use crate::metrics::{nanos_since, ServerMetrics};
+use crate::slowlog::{SlowQuery, SlowQueryLog};
 use crate::witness;
+
+/// Per-session resource totals, accumulated across every SELECT the
+/// session executed (plain and SPARQL-ML alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// SELECTs executed to completion (errors not counted).
+    pub queries: u64,
+    /// Result rows returned across all of them.
+    pub rows: u64,
+    /// Triples scanned across all plain SELECTs (ML SELECT scan volume is
+    /// internal to the manager's rewrite and not attributed here).
+    pub triples_scanned: u64,
+    /// Time this session's thread spent blocked on contended facade locks
+    /// inside `query`/`query_profiled` calls.
+    pub lock_wait_nanos: u64,
+}
 
 /// A concurrent read handle: SELECT-only execution against a pinned
 /// snapshot, with shared plan caching.
@@ -50,6 +67,8 @@ pub struct ReadSession {
     manager: Arc<RwLock<QueryManager>>,
     cache: Arc<SharedPlanCache>,
     metrics: Arc<ServerMetrics>,
+    slow_log: Arc<SlowQueryLog>,
+    stats: SessionStats,
     hits: u64,
     misses: u64,
 }
@@ -60,6 +79,7 @@ impl ReadSession {
         manager: Arc<RwLock<QueryManager>>,
         cache: Arc<SharedPlanCache>,
         metrics: Arc<ServerMetrics>,
+        slow_log: Arc<SlowQueryLog>,
     ) -> Self {
         ReadSession {
             snapshot: store.snapshot(),
@@ -67,17 +87,53 @@ impl ReadSession {
             manager,
             cache,
             metrics,
+            slow_log,
+            stats: SessionStats::default(),
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Record one finished plain-SELECT evaluation into the server
-    /// metrics: end-to-end latency, result width and scan volume.
-    fn record_select(&self, t0: Instant, rows: &QueryResult, stats: &ExecStats) {
-        self.metrics.query_latency.record(nanos_since(t0));
+    /// Record one finished plain-SELECT evaluation into the server metrics
+    /// (end-to-end latency, result width, scan volume) and the session
+    /// totals. Returns the measured latency so callers can reuse it for
+    /// slow-query classification without re-reading the clock.
+    fn record_select(&mut self, t0: Instant, rows: &QueryResult, stats: &ExecStats) -> u64 {
+        let total = nanos_since(t0);
+        self.metrics.query_latency.record(total);
         self.metrics.query_rows.record(rows.len() as u64);
         self.metrics.query_triples_scanned.add(stats.triples_scanned);
+        self.stats.queries += 1;
+        self.stats.rows += rows.len() as u64;
+        self.stats.triples_scanned += stats.triples_scanned;
+        total
+    }
+
+    /// Capture `text` into the server's slow-query log when its latency
+    /// crossed the threshold: the rendered plan it ran (against this
+    /// session's snapshot) plus the span profile — the full operator tree
+    /// when one was measured, a single root span otherwise.
+    fn maybe_log_slow(
+        &self,
+        text: &str,
+        prepared: &PreparedQuery,
+        total_nanos: u64,
+        rows: u64,
+        triples_scanned: u64,
+        profile: Option<&SpanNode>,
+    ) {
+        if total_nanos < self.slow_log.threshold_nanos() {
+            return;
+        }
+        self.metrics.slow_queries.inc();
+        self.slow_log.record(SlowQuery {
+            text: text.to_owned(),
+            total_nanos,
+            rows,
+            triples_scanned,
+            plan: prepared.explain(&self.snapshot),
+            profile: profile.cloned().unwrap_or_else(|| SpanNode::new("query", total_nanos, rows)),
+        });
     }
 
     /// Execute a plain or SPARQL-ML SELECT against the pinned snapshot.
@@ -90,7 +146,16 @@ impl ReadSession {
     /// (their rewriting depends on live KGMeta state) but still execute
     /// lock-free against the snapshot.
     pub fn query(&mut self, text: &str) -> Result<MlOutcome, MlError> {
-        let _span = self.metrics.span("read.query");
+        let wait0 = kgnet_sync::profile::thread_wait_nanos();
+        let out = self.query_inner(text);
+        self.stats.lock_wait_nanos +=
+            kgnet_sync::profile::thread_wait_nanos().saturating_sub(wait0);
+        out
+    }
+
+    fn query_inner(&mut self, text: &str) -> Result<MlOutcome, MlError> {
+        let metrics = Arc::clone(&self.metrics);
+        let _span = metrics.span("read.query");
         let t0 = Instant::now();
         // Fast path: only plain SELECTs are ever cached, and the key is the
         // token stream classification is a pure function of, so a hit
@@ -103,7 +168,15 @@ impl ReadSession {
                 self.hits += 1;
                 self.metrics.plan_cache_hits.inc();
                 let (rows, stats) = evaluate_prepared(&self.snapshot, &prepared)?;
-                self.record_select(t0, &rows, &stats);
+                let total = self.record_select(t0, &rows, &stats);
+                self.maybe_log_slow(
+                    text,
+                    &prepared,
+                    total,
+                    rows.len() as u64,
+                    stats.triples_scanned,
+                    None,
+                );
                 return Ok(MlOutcome::Rows(rows));
             }
         }
@@ -113,15 +186,30 @@ impl ReadSession {
                 self.misses += 1;
                 self.metrics.plan_cache_misses.inc();
                 let (rows, stats) = evaluate_prepared(&self.snapshot, &prepared)?;
-                self.record_select(t0, &rows, &stats);
+                let total = self.record_select(t0, &rows, &stats);
+                self.maybe_log_slow(
+                    text,
+                    &prepared,
+                    total,
+                    rows.len() as u64,
+                    stats.triples_scanned,
+                    None,
+                );
                 Ok(MlOutcome::Rows(rows))
             }
             SparqlMlOperation::Select(q) => {
-                let manager = witness::read(&self.manager);
-                let out = manager.query_select(&self.snapshot, q);
+                let out = {
+                    let manager = witness::read(&self.manager);
+                    manager.query_select(&self.snapshot, q)
+                };
                 if let Ok(MlOutcome::Rows(rows)) = &out {
+                    // ML SELECTs have no prepared plan to render, so they
+                    // never enter the slow-query log; they still count into
+                    // the latency metrics and session totals.
                     self.metrics.query_latency.record(nanos_since(t0));
                     self.metrics.query_rows.record(rows.len() as u64);
+                    self.stats.queries += 1;
+                    self.stats.rows += rows.len() as u64;
                 }
                 out
             }
@@ -140,13 +228,22 @@ impl ReadSession {
     /// planner) report a single `sparql-ml` node. Updates and `TrainGML`
     /// are rejected with [`MlError::ReadOnly`].
     pub fn query_profiled(&mut self, text: &str) -> Result<(QueryResult, SpanNode), MlError> {
-        let _span = self.metrics.span("read.query_profiled");
+        let wait0 = kgnet_sync::profile::thread_wait_nanos();
+        let out = self.query_profiled_inner(text);
+        self.stats.lock_wait_nanos +=
+            kgnet_sync::profile::thread_wait_nanos().saturating_sub(wait0);
+        out
+    }
+
+    fn query_profiled_inner(&mut self, text: &str) -> Result<(QueryResult, SpanNode), MlError> {
+        let metrics = Arc::clone(&self.metrics);
+        let _span = metrics.span("read.query_profiled");
         let t0 = Instant::now();
         if !contains_traingml(text) {
             if let Some(prepared) = self.cache.get(self.snapshot.generation(), text) {
                 self.hits += 1;
                 self.metrics.plan_cache_hits.inc();
-                return self.run_profiled(t0, &prepared);
+                return self.run_profiled(t0, text, &prepared);
             }
         }
         match parse(text)? {
@@ -154,7 +251,7 @@ impl ReadSession {
                 let prepared = self.cache.prepare_insert(&self.snapshot, text, q)?;
                 self.misses += 1;
                 self.metrics.plan_cache_misses.inc();
-                self.run_profiled(t0, &prepared)
+                self.run_profiled(t0, text, &prepared)
             }
             SparqlMlOperation::Select(q) => {
                 let rows = {
@@ -171,6 +268,8 @@ impl ReadSession {
                 let total = nanos_since(t0);
                 self.metrics.query_latency.record(total);
                 self.metrics.query_rows.record(rows.len() as u64);
+                self.stats.queries += 1;
+                self.stats.rows += rows.len() as u64;
                 let node = SpanNode::new("sparql-ml", total, rows.len() as u64);
                 Ok((rows, node))
             }
@@ -181,15 +280,24 @@ impl ReadSession {
     }
 
     fn run_profiled(
-        &self,
+        &mut self,
         t0: Instant,
+        text: &str,
         prepared: &PreparedQuery,
     ) -> Result<(QueryResult, SpanNode), MlError> {
         let (rows, stats, profile) = evaluate_prepared_profiled(&self.snapshot, prepared)?;
-        self.record_select(t0, &rows, &stats);
+        let total = self.record_select(t0, &rows, &stats);
         let mut root = SpanNode::new("query", profile.total_nanos, rows.len() as u64);
         root.children =
             profile.ops.into_iter().map(|op| SpanNode::new(op.label, op.nanos, op.rows)).collect();
+        self.maybe_log_slow(
+            text,
+            prepared,
+            total,
+            rows.len() as u64,
+            stats.triples_scanned,
+            Some(&root),
+        );
         Ok((rows, root))
     }
 
@@ -263,6 +371,13 @@ impl ReadSession {
     /// Generation (MVCC version id) of the pinned snapshot.
     pub fn generation(&self) -> u64 {
         self.snapshot.generation()
+    }
+
+    /// This session's accumulated resource totals: queries run, rows
+    /// returned, triples scanned, and time spent blocked on contended
+    /// locks inside query calls.
+    pub fn session_stats(&self) -> SessionStats {
+        self.stats
     }
 
     /// This session's own plan-cache hit/miss counters (`entries` reports

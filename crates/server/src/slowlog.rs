@@ -1,0 +1,112 @@
+//! The server's bounded slow-query log.
+//!
+//! Every SELECT a [`ReadSession`](crate::ReadSession) executes is timed
+//! anyway (for the latency histogram); when one crosses the configured
+//! threshold the session captures a [`SlowQuery`] record — the query text,
+//! the *rendered plan it actually ran* (via
+//! [`PreparedQuery::explain`](kgnet_rdf::PreparedQuery)), and a span
+//! profile — into a fixed-capacity ring on the server. The ring keeps the
+//! newest [`SLOW_LOG_CAPACITY`] offenders and drops the oldest, so a
+//! long-running server's postmortem buffer never grows; capturing is a
+//! short mutex hold on an already-slow path, so the fast path (queries
+//! under threshold) pays only the comparison.
+
+use std::collections::VecDeque;
+
+use kgnet_sync::profile::SyncSite;
+use kgnet_sync::tracked::lock_tracked;
+use kgnet_sync::Mutex;
+
+use kgnet_obs::SpanNode;
+
+/// Records retained in the ring; the oldest is dropped when a new offender
+/// arrives at capacity.
+pub const SLOW_LOG_CAPACITY: usize = 32;
+
+/// Contention profile of the slow-log ring. Only above-threshold queries
+/// touch it, so sustained contention here means the threshold is too low
+/// (or the workload is genuinely pathological).
+static SLOW_LOG_SITE: SyncSite = SyncSite::new("server.slow_log");
+
+/// One query that crossed the slow threshold, captured with everything a
+/// postmortem needs: what ran, how long, how much it touched, and the plan
+/// the optimizer actually chose against the session's snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQuery {
+    /// The SPARQL text as submitted.
+    pub text: String,
+    /// End-to-end latency of the execution.
+    pub total_nanos: u64,
+    /// Result rows returned.
+    pub rows: u64,
+    /// Triples scanned while evaluating.
+    pub triples_scanned: u64,
+    /// The rendered execution plan (operators in execution order, with
+    /// cardinality estimates and pushed filters).
+    pub plan: String,
+    /// The span profile of the execution: the full operator tree when the
+    /// query ran under `query_profiled`, a single root span otherwise.
+    pub profile: SpanNode,
+}
+
+/// The fixed-capacity ring of recent [`SlowQuery`] records.
+pub(crate) struct SlowQueryLog {
+    threshold_nanos: u64,
+    ring: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl SlowQueryLog {
+    /// A log capturing queries at or above `threshold_nanos`.
+    pub(crate) fn new(threshold_nanos: u64) -> Self {
+        SlowQueryLog { threshold_nanos, ring: Mutex::new(VecDeque::new()) }
+    }
+
+    /// The capture threshold, for the comparison on the query path.
+    pub(crate) fn threshold_nanos(&self) -> u64 {
+        self.threshold_nanos
+    }
+
+    /// Append a record, dropping the oldest at capacity.
+    pub(crate) fn record(&self, entry: SlowQuery) {
+        let mut ring = lock_tracked(&self.ring, &SLOW_LOG_SITE);
+        if ring.len() >= SLOW_LOG_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// The retained records, oldest first.
+    pub(crate) fn snapshot(&self) -> Vec<SlowQuery> {
+        lock_tracked(&self.ring, &SLOW_LOG_SITE).iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: u64) -> SlowQuery {
+        SlowQuery {
+            text: format!("SELECT ?s WHERE {{ ?s ?p {tag} }}"),
+            total_nanos: tag * 1_000_000,
+            rows: tag,
+            triples_scanned: tag * 10,
+            plan: format!("scan #{tag}"),
+            profile: SpanNode::new("query", tag * 1_000_000, tag),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_records_oldest_first() {
+        let log = SlowQueryLog::new(1_000_000);
+        assert_eq!(log.threshold_nanos(), 1_000_000);
+        for tag in 0..(SLOW_LOG_CAPACITY as u64 + 3) {
+            log.record(entry(tag));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), SLOW_LOG_CAPACITY);
+        // 0, 1, 2 were evicted; the survivors are in arrival order.
+        assert_eq!(snap.first().unwrap().rows, 3);
+        assert_eq!(snap.last().unwrap().rows, SLOW_LOG_CAPACITY as u64 + 2);
+    }
+}

@@ -14,7 +14,16 @@
 use std::cell::Cell;
 use std::ops::{Deref, DerefMut};
 
+use kgnet_sync::profile::SyncSite;
+use kgnet_sync::tracked::{read_tracked, write_tracked};
 use kgnet_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Contention profile of shared manager acquisitions (queries, KGMeta
+/// reads, artifact lookups).
+static MANAGER_READ_SITE: SyncSite = SyncSite::new("server.manager.read");
+/// Contention profile of exclusive manager acquisitions (updates,
+/// training-job commits).
+static MANAGER_WRITE_SITE: SyncSite = SyncSite::new("server.manager.write");
 
 thread_local! {
     /// Live manager guards held by this thread (read or write).
@@ -82,14 +91,16 @@ impl<T> DerefMut for ManagerWrite<'_, T> {
     }
 }
 
-/// Acquire the manager read lock, recording the hold on this thread.
+/// Acquire the manager read lock, recording the hold on this thread and
+/// the acquisition (with wait time when contended) at its lock site.
 pub(crate) fn read<T>(lock: &RwLock<T>) -> ManagerRead<'_, T> {
-    let guard = lock.read();
+    let guard = read_tracked(lock, &MANAGER_READ_SITE);
     ManagerRead { guard, _token: ManagerToken::acquire() }
 }
 
-/// Acquire the manager write lock, recording the hold on this thread.
+/// Acquire the manager write lock, recording the hold on this thread and
+/// the acquisition (with wait time when contended) at its lock site.
 pub(crate) fn write<T>(lock: &RwLock<T>) -> ManagerWrite<'_, T> {
-    let guard = lock.write();
+    let guard = write_tracked(lock, &MANAGER_WRITE_SITE);
     ManagerWrite { guard, _token: ManagerToken::acquire() }
 }

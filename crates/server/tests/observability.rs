@@ -6,7 +6,7 @@ use kgnet_datagen::{generate_dblp, DblpConfig};
 use kgnet_gml::config::GnnConfig;
 use kgnet_gmlaas::TrainRequest;
 use kgnet_graph::{GmlTask, NcTask};
-use kgnet_server::{JobState, KgServer, ServerConfig, METRIC_CATALOG};
+use kgnet_server::{JobState, KgServer, ServerConfig, METRIC_CATALOG, SLOW_LOG_CAPACITY};
 use kgnet_sparqlml::ManagerConfig;
 
 fn fast_server(seed: u64) -> KgServer {
@@ -207,4 +207,134 @@ fn profiled_query_matches_plain_and_sums_to_its_root() {
     // The profiled latency landed in the histograms too.
     let text = server.metrics().render_prometheus();
     assert!(metric_value(&text, "kgnet_query_latency_nanos_count") >= 2);
+}
+
+#[test]
+fn profiled_subselect_query_sums_to_its_root() {
+    // A sub-SELECT materialises its inner rows before the outer pipeline
+    // joins them — the costliest shape the profiler covers, so pin that
+    // its tap nests like every other operator and self-times still sum
+    // exactly to the root.
+    let server = fast_server(47);
+    let mut session = server.read_session();
+    let q = "PREFIX dblp: <https://www.dblp.org/> \
+             SELECT ?p ?t WHERE { ?p dblp:title ?t . \
+             { SELECT ?p WHERE { ?p a dblp:Publication } } }";
+    let plain = session.sparql(q).unwrap();
+    let (rows, profile) = session.query_profiled(q).unwrap();
+    assert_eq!(rows, plain, "profiling must not change results");
+    assert!(!rows.is_empty());
+
+    assert_eq!(profile.name, "query");
+    assert_eq!(
+        profile.child_nanos(),
+        profile.nanos,
+        "operator self-times must account for the whole query: {}",
+        profile.render()
+    );
+    let labels: Vec<&str> = profile.children.iter().map(|c| c.name.as_str()).collect();
+    assert!(labels.contains(&"subselect join"), "labels: {labels:?}");
+    assert_eq!(*labels.last().unwrap(), "project");
+    // The subselect operator emitted the joined rows.
+    let sub = profile.children.iter().find(|c| c.name == "subselect join").unwrap();
+    assert_eq!(sub.rows, rows.len() as u64);
+}
+
+#[test]
+fn slow_query_log_captures_plan_and_profile() {
+    // 1 ms is the lowest configurable threshold; whether one execution of
+    // the quadratic scan crosses it depends on the machine, so retry a
+    // bounded number of times until one lands in the log, then assert the
+    // captured record's contents exactly.
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(41));
+    let config = ServerConfig {
+        manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
+        slow_query_millis: 1,
+        ..Default::default()
+    };
+    let server = KgServer::new(kg, config);
+    let mut session = server.read_session();
+    // A cross-product-ish query with a sub-select: heavy enough to cross
+    // 1 ms on any machine within a few attempts.
+    let q = "PREFIX dblp: <https://www.dblp.org/> \
+             SELECT ?p ?t ?q WHERE { ?p dblp:title ?t . ?q a dblp:Publication . \
+             { SELECT ?p WHERE { ?p a dblp:Publication } } }";
+    let mut captured = false;
+    for _ in 0..50 {
+        session.query_profiled(q).unwrap();
+        if !server.slow_queries().is_empty() {
+            captured = true;
+            break;
+        }
+    }
+    assert!(captured, "a quadratic scan never crossed the 1 ms slow threshold");
+
+    let slow = server.slow_queries();
+    assert!(slow.len() <= SLOW_LOG_CAPACITY);
+    let entry = slow.last().unwrap();
+    assert_eq!(entry.text, q);
+    assert!(entry.total_nanos >= 1_000_000, "below threshold: {}", entry.total_nanos);
+    assert!(entry.rows > 0);
+    assert!(entry.triples_scanned > 0);
+    // The captured plan is the rendered execution plan, not a placeholder.
+    assert!(entry.plan.contains("subselect join"), "plan: {}", entry.plan);
+    assert!(entry.plan.contains("project"), "plan: {}", entry.plan);
+    // Profiled runs capture the full operator tree.
+    assert_eq!(entry.profile.name, "query");
+    assert!(!entry.profile.children.is_empty());
+    // The slow-query counter matches the log.
+    let text = server.metrics().render_prometheus();
+    assert!(metric_value(&text, "kgnet_slow_queries_total") >= slow.len() as u64);
+
+    // Session totals accumulated across the runs.
+    let stats = session.session_stats();
+    assert!(stats.queries >= 1);
+    assert!(stats.rows >= entry.rows);
+    assert!(stats.triples_scanned >= entry.triples_scanned);
+}
+
+#[test]
+fn debug_report_renders_every_section() {
+    let server = fast_server(53);
+    let mut session = server.read_session();
+    session.sparql(PLAIN_QUERY).unwrap();
+    let id = server.submit_train(nc_request("reported")).unwrap();
+    let done = server.wait(id).unwrap();
+    assert!(matches!(done.state, JobState::Done { .. }), "job failed: {done:?}");
+    let usage = done.usage.expect("finished job carries usage");
+    assert!(usage.triples_sampled > 0, "runner reports sampled triples");
+    assert!(usage.epochs > 0, "runner reports completed epochs");
+    assert!(usage.wall_nanos > 0);
+    assert!(
+        usage.busy_nanos <= usage.wall_nanos.saturating_mul(usage.pool_threads),
+        "busy {} > wall {} x threads {}",
+        usage.busy_nanos,
+        usage.wall_nanos,
+        usage.pool_threads
+    );
+
+    let report = server.debug_report();
+    for section in [
+        "== KGNet server debug report ==",
+        "-- lock sites",
+        "-- thread pools",
+        "-- slow queries",
+        "-- training jobs",
+        "-- metrics",
+    ] {
+        assert!(report.contains(section), "missing section {section:?} in:\n{report}");
+    }
+    // The job and its usage line render.
+    assert!(report.contains("reported"), "job name missing:\n{report}");
+    assert!(report.contains("triples sampled"), "usage line missing:\n{report}");
+    // Lock sites seen by this workload are listed with their counts.
+    assert!(report.contains("server.queue_state"), "queue-state site missing:\n{report}");
+
+    // And the per-site gauges surface in the exposition after refresh.
+    let text = server.metrics().render_prometheus();
+    assert!(metric_value(&text, "kgnet_lock_site_server_queue_state_acquires") > 0);
+    assert!(metric_value(&text, "kgnet_lock_acquires_total") > 0);
+    assert!(metric_value(&text, "kgnet_pool_global_threads") >= 1);
+    assert!(metric_value(&text, "kgnet_job_epochs_total") >= usage.epochs);
+    assert!(metric_value(&text, "kgnet_job_triples_sampled_total") >= usage.triples_sampled);
 }

@@ -23,6 +23,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod profile;
+pub mod sites;
+pub mod tracked;
+
 // ---- model-checking mode: everything routes through the scheduler ----
 
 #[cfg(kgnet_check)]

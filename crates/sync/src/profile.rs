@@ -1,0 +1,185 @@
+//! Per-site lock-contention instruments: the *pure-atomic* fast path.
+//!
+//! A [`SyncSite`] is a static label attached to one lock (or one family of
+//! locks guarding the same resource). The tracked acquire helpers in
+//! [`crate::tracked`] classify every acquisition as uncontended (the
+//! try-acquire succeeded immediately) or contended (the caller had to
+//! block) and record it here. This file is the instrumentation hot path
+//! and is policed by the `obs-hot-path` lint rule exactly like
+//! `crates/obs/src/metrics.rs`: recording an acquire must cost only atomic
+//! operations — no locks, no allocation, no syscalls — so an uncontended
+//! facade lock stays as cheap as an untracked one plus a couple of
+//! relaxed counter bumps.
+//!
+//! The counters are deliberately plain `std` atomics in *both* build
+//! modes (normal and `--cfg kgnet_check`): they are measurements with no
+//! synchronisation role, exactly like `kgnet_linalg::memtrack`, so they
+//! must not add scheduler yield points to model-checked executions. The
+//! `model_check` suite of this crate still proves the increments are
+//! lossless under concurrent acquires, because `fetch_add` is atomic
+//! regardless of how the checker interleaves the surrounding code.
+//!
+//! Cold paths — registering a site the first time it records, enumerating
+//! all sites for a metrics harvest — live in [`crate::sites`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+thread_local! {
+    /// Nanoseconds this thread has spent blocked on tracked acquires.
+    /// Sessions read the delta around a request to attribute lock wait to
+    /// that request without any cross-thread bookkeeping.
+    static THREAD_WAIT_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total nanoseconds the *calling thread* has spent blocked on tracked
+/// lock acquires since it started. Take a delta around a unit of work to
+/// attribute lock wait to it.
+pub fn thread_wait_nanos() -> u64 {
+    THREAD_WAIT_NANOS.with(Cell::get)
+}
+
+/// A static label naming one lock acquisition site, carrying its
+/// contention counters. Declare one per instrumented lock:
+///
+/// ```
+/// use kgnet_sync::profile::SyncSite;
+/// static SITE: SyncSite = SyncSite::new("mycrate.job_table");
+/// ```
+///
+/// and hand it to the helpers in [`crate::tracked`] (or call
+/// [`record_uncontended`](SyncSite::record_uncontended) /
+/// [`record_contended`](SyncSite::record_contended) directly from a
+/// hand-rolled acquire loop, as the MVCC writer gate does).
+pub struct SyncSite {
+    name: &'static str,
+    registered: AtomicBool,
+    acquires: AtomicU64,
+    contended: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+impl SyncSite {
+    /// A new site; usable in `static` position.
+    pub const fn new(name: &'static str) -> SyncSite {
+        SyncSite {
+            name,
+            registered: AtomicBool::new(false),
+            acquires: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            wait_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The site's label.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one acquisition that succeeded without blocking. The fast
+    /// path: one flag load plus one relaxed counter bump.
+    #[inline]
+    pub fn record_uncontended(&'static self) {
+        self.ensure_registered();
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one acquisition that had to block for `wait_nanos`.
+    #[inline]
+    pub fn record_contended(&'static self, wait_nanos: u64) {
+        self.ensure_registered();
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.wait_nanos.fetch_add(wait_nanos, Ordering::Relaxed);
+        THREAD_WAIT_NANOS.with(|c| c.set(c.get().saturating_add(wait_nanos)));
+    }
+
+    /// Consistent-enough point read of the counters (each counter is read
+    /// once; relaxed, like all monotonic metric snapshots).
+    pub fn snapshot(&self) -> SiteSnapshot {
+        SiteSnapshot {
+            name: self.name,
+            acquires: self.acquires.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// First-record hook: hand the site to the global registry exactly
+    /// once. The common case is one already-`true` flag load.
+    #[inline]
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Acquire) {
+            crate::sites::register(self);
+        }
+    }
+
+    /// Claim the registration slot (called by [`crate::sites::register`]
+    /// under its lock). True exactly once per site.
+    pub(crate) fn mark_registered(&self) -> bool {
+        !self.registered.swap(true, Ordering::AcqRel)
+    }
+}
+
+impl std::fmt::Debug for SyncSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("SyncSite")
+            .field("name", &snap.name)
+            .field("acquires", &snap.acquires)
+            .field("contended", &snap.contended)
+            .field("wait_nanos", &snap.wait_nanos)
+            .finish()
+    }
+}
+
+/// Point-in-time counters of one [`SyncSite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSnapshot {
+    /// The site's label.
+    pub name: &'static str,
+    /// Total tracked acquisitions (uncontended + contended).
+    pub acquires: u64,
+    /// Acquisitions that had to block.
+    pub contended: u64,
+    /// Total nanoseconds spent blocked across contended acquisitions.
+    pub wait_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_classify_and_accumulate() {
+        static SITE: SyncSite = SyncSite::new("test.profile.classify");
+        let before = SITE.snapshot();
+        SITE.record_uncontended();
+        SITE.record_contended(250);
+        SITE.record_contended(750);
+        let after = SITE.snapshot();
+        assert_eq!(after.acquires - before.acquires, 3);
+        assert_eq!(after.contended - before.contended, 2);
+        assert_eq!(after.wait_nanos - before.wait_nanos, 1000);
+        assert_eq!(after.name, "test.profile.classify");
+    }
+
+    #[test]
+    fn contended_waits_accrue_to_the_calling_thread() {
+        static SITE: SyncSite = SyncSite::new("test.profile.thread-wait");
+        let base = thread_wait_nanos();
+        SITE.record_uncontended(); // uncontended acquires add no wait
+        assert_eq!(thread_wait_nanos(), base);
+        SITE.record_contended(40);
+        SITE.record_contended(2);
+        assert_eq!(thread_wait_nanos() - base, 42);
+        // Another thread's waits are invisible here.
+        let handle = crate::thread::spawn(|| {
+            SITE.record_contended(1_000_000);
+            thread_wait_nanos()
+        });
+        let theirs = handle.join().unwrap();
+        assert!(theirs >= 1_000_000);
+        assert_eq!(thread_wait_nanos() - base, 42);
+    }
+}

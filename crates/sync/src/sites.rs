@@ -1,0 +1,91 @@
+//! Cold-path global registry of [`SyncSite`]s.
+//!
+//! A site registers itself the first time it records an acquisition; the
+//! registry exists so a metrics harvest (the server's `refresh_system`)
+//! can enumerate every site that has ever been touched without the
+//! harvester knowing the full static list. Registration and enumeration
+//! take a plain `std` mutex — both are cold: registration happens once
+//! per site per process, enumeration once per metrics scrape. Nothing
+//! here runs on a lock-acquire fast path.
+
+use crate::profile::{SiteSnapshot, SyncSite};
+
+/// Every site that has recorded at least one acquisition.
+static SITES: std::sync::Mutex<Vec<&'static SyncSite>> = std::sync::Mutex::new(Vec::new());
+
+/// Add `site` to the registry if it is not there yet. Called from
+/// [`SyncSite::record_uncontended`]/[`record_contended`]'s slow path
+/// (first record for the site); idempotent under races because the
+/// site's own registration flag is claimed under the registry lock.
+pub(crate) fn register(site: &'static SyncSite) {
+    let mut sites = SITES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if site.mark_registered() {
+        sites.push(site);
+    }
+}
+
+/// Snapshots of every registered site, in registration order.
+pub fn all() -> Vec<SiteSnapshot> {
+    let sites = SITES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    sites.iter().map(|s| s.snapshot()).collect()
+}
+
+/// Process-wide totals over every registered site.
+pub fn totals() -> SiteTotals {
+    let mut totals = SiteTotals::default();
+    let sites = SITES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for site in sites.iter() {
+        let snap = site.snapshot();
+        totals.acquires += snap.acquires;
+        totals.contended += snap.contended;
+        totals.wait_nanos += snap.wait_nanos;
+    }
+    totals
+}
+
+/// Sum of all sites' counters at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteTotals {
+    /// Total tracked acquisitions across all sites.
+    pub acquires: u64,
+    /// Acquisitions that had to block, across all sites.
+    pub contended: u64,
+    /// Nanoseconds spent blocked, across all sites.
+    pub wait_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_appear_once_and_feed_totals() {
+        static SITE: SyncSite = SyncSite::new("test.sites.once");
+        let count_named = || all().iter().filter(|s| s.name == "test.sites.once").count();
+        SITE.record_uncontended();
+        SITE.record_uncontended();
+        SITE.record_contended(9);
+        assert_eq!(count_named(), 1, "duplicate registration");
+        let snap = all().into_iter().find(|s| s.name == "test.sites.once").unwrap();
+        assert_eq!(snap.acquires, 3);
+        assert_eq!(snap.contended, 1);
+        assert_eq!(snap.wait_nanos, 9);
+        let t = totals();
+        assert!(t.acquires >= snap.acquires);
+        assert!(t.wait_nanos >= snap.wait_nanos);
+    }
+
+    #[test]
+    fn concurrent_first_records_register_exactly_once() {
+        static SITE: SyncSite = SyncSite::new("test.sites.race");
+        let handles: Vec<_> =
+            (0..8).map(|_| crate::thread::spawn(|| SITE.record_uncontended())).collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let named = all().iter().filter(|s| s.name == "test.sites.race").count();
+        assert_eq!(named, 1);
+        let snap = all().into_iter().find(|s| s.name == "test.sites.race").unwrap();
+        assert_eq!(snap.acquires, 8);
+    }
+}

@@ -38,6 +38,26 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Acquire shared read access without blocking; `None` when a writer
+    /// holds or is waiting for the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquire exclusive write access without blocking; `None` when any
+    /// guard is live.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
@@ -64,6 +84,15 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquire the lock without blocking; `None` when it is already held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Mutable access without locking.

@@ -44,7 +44,8 @@ pub mod prelude {
 }
 
 pub use registry::{
-    current_num_threads, current_thread_index, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+    current_num_threads, current_thread_index, global_pool_stats, PoolStats, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder,
 };
 pub use scope::{scope, Scope};
 
@@ -337,6 +338,40 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         panic!("spawned job never ran");
+    }
+
+    #[test]
+    fn pool_stats_track_work_and_stay_coherent() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let idle = pool.stats();
+        assert_eq!(idle.n_threads, 3);
+        assert_eq!(idle.jobs_executed, 0);
+        // Scope-spawned tasks can only run on the pool's workers (the
+        // caller blocks on the scope latch), so execution is guaranteed to
+        // be counted — unlike `join`, whose queued half the caller may
+        // claim inline.
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        let busy = pool.stats();
+        assert!(busy.jobs_executed > 0, "no jobs counted: {busy:?}");
+        assert!(busy.busy_nanos > 0, "no busy time recorded: {busy:?}");
+        assert!(busy.wall_nanos >= idle.wall_nanos);
+        // The invariant ResourceUsage attribution relies on.
+        assert!(busy.busy_nanos <= busy.wall_nanos.saturating_mul(3), "stats: {busy:?}");
+        assert_eq!(busy.busy_nanos + busy.idle_nanos, busy.wall_nanos * 3);
+        assert!(busy.utilization() >= 0.0 && busy.utilization() <= 1.0);
+        // Quiescent pool: nothing left queued.
+        assert_eq!(busy.injector_depth + busy.deque_depth, 0);
+        // The global pool answers too.
+        let g = global_pool_stats();
+        assert!(g.n_threads >= 1);
     }
 
     #[test]

@@ -8,13 +8,19 @@
 //! worker thread *helps*: the worker keeps executing other jobs until the
 //! latch opens, which is what makes nested `join`/`scope` calls deadlock-free.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::OnceLock;
 
 use kgnet_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use kgnet_sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+// Plain std atomic for the measurement-only counters below: they carry no
+// synchronisation role, so they must not become schedule points when the
+// workspace is compiled under the `kgnet_check` model checker (which
+// instruments every `kgnet_sync::atomic` operation).
+use std::sync::atomic::AtomicU64 as StatU64;
 
 use crate::latch::Probe;
 
@@ -36,6 +42,47 @@ pub(crate) struct Registry {
     sleep_mutex: Mutex<()>,
     sleep_cond: Condvar,
     n_threads: usize,
+    /// When the pool started; anchors `PoolStats::wall_nanos`.
+    started: Instant,
+    /// Jobs claimed and executed by this pool's workers.
+    jobs_executed: StatU64,
+    /// Per-worker nanoseconds spent executing jobs (outermost jobs only, so
+    /// helping-while-waiting never double-counts an interval).
+    busy_nanos: Vec<StatU64>,
+}
+
+/// Point-in-time scheduler counters for one pool, sampled without blocking
+/// (queue depths come from an atomic plus a try-lock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub n_threads: usize,
+    /// Jobs executed by the pool's workers since the pool started.
+    pub jobs_executed: u64,
+    /// Cumulative successful steals between workers.
+    pub steals: u64,
+    /// Jobs waiting in the external-submission injector right now.
+    pub injector_depth: usize,
+    /// Jobs waiting in the workers' own deques right now.
+    pub deque_depth: usize,
+    /// Total worker nanoseconds spent executing jobs (≤ `wall_nanos` ×
+    /// `n_threads` by construction).
+    pub busy_nanos: u64,
+    /// Total worker nanoseconds *not* spent executing jobs.
+    pub idle_nanos: u64,
+    /// Nanoseconds since the pool started.
+    pub wall_nanos: u64,
+}
+
+impl PoolStats {
+    /// Busy fraction of the pool's total thread-time, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.busy_nanos + self.idle_nanos;
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.busy_nanos as f64 / capacity as f64
+    }
 }
 
 struct WorkerCtx {
@@ -46,6 +93,10 @@ struct WorkerCtx {
 thread_local! {
     /// Set once at worker startup; identifies the pool a thread serves.
     static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+    /// Nesting depth of timed job execution on this thread. A worker that
+    /// helps while waiting runs jobs *inside* a job; only the outermost
+    /// interval is timed, keeping per-worker busy time ≤ wall time.
+    static BUSY_DEPTH: Cell<u32> = const { Cell::new(0) };
     /// Stack of `ThreadPool::install` scopes (innermost last). Job execution
     /// also pushes the owning registry so nested operations stay in-pool.
     static INSTALLED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
@@ -67,6 +118,37 @@ impl Drop for InstallGuard {
     }
 }
 
+/// Times one job execution into the worker's busy counter. Only the
+/// outermost timer on a thread holds a start instant; recording happens on
+/// drop so a panicking job still accounts its time.
+struct BusyTimer<'a> {
+    registry: &'a Registry,
+    index: usize,
+    t0: Option<Instant>,
+}
+
+impl<'a> BusyTimer<'a> {
+    fn start(registry: &'a Registry, index: usize) -> BusyTimer<'a> {
+        let outermost = BUSY_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth == 0
+        });
+        BusyTimer { registry, index, t0: outermost.then(Instant::now) }
+    }
+}
+
+impl Drop for BusyTimer<'_> {
+    fn drop(&mut self) {
+        BUSY_DEPTH.with(|d| d.set(d.get() - 1));
+        if let Some(t0) = self.t0 {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.registry.busy_nanos[self.index]
+                .fetch_add(nanos, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
 impl Registry {
     fn new(n_threads: usize) -> (Arc<Registry>, Vec<kgnet_sync::thread::JoinHandle<()>>) {
         let n_threads = n_threads.max(1);
@@ -79,6 +161,9 @@ impl Registry {
             sleep_mutex: Mutex::new(()),
             sleep_cond: Condvar::new(),
             n_threads,
+            started: Instant::now(),
+            jobs_executed: StatU64::new(0),
+            busy_nanos: (0..n_threads).map(|_| StatU64::new(0)).collect(),
         });
         let handles = (0..n_threads)
             .map(|index| {
@@ -175,7 +260,53 @@ impl Registry {
     /// `install` scope the executing thread happens to be inside).
     fn execute(self: &Arc<Self>, job: Job) {
         let _guard = InstallGuard::push(Arc::clone(self));
-        job();
+        match self.current_worker_index() {
+            Some(index) => {
+                self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+                let _timer = BusyTimer::start(self, index);
+                job();
+            }
+            None => job(),
+        }
+    }
+
+    /// Sample this pool's scheduler counters without blocking: queue depths
+    /// come from the `pending` atomic plus a try-lock on the injector, so a
+    /// stats scrape can never stall the scheduler (and vice versa).
+    pub(crate) fn stats(&self) -> PoolStats {
+        let wall = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let capacity = wall.saturating_mul(self.n_threads as u64);
+        let busy: u64 = self
+            .busy_nanos
+            .iter()
+            .map(|b| b.load(std::sync::atomic::Ordering::Relaxed))
+            .sum::<u64>()
+            .min(capacity);
+        let pending = self.pending.load(Ordering::Acquire);
+        let injector_depth = self.injector_depth();
+        PoolStats {
+            n_threads: self.n_threads,
+            jobs_executed: self.jobs_executed.load(std::sync::atomic::Ordering::Relaxed),
+            steals: self.steal_count() as u64,
+            injector_depth,
+            deque_depth: pending.saturating_sub(injector_depth),
+            busy_nanos: busy,
+            idle_nanos: capacity - busy,
+            wall_nanos: wall,
+        }
+    }
+
+    /// Injector length without blocking. Under the model checker the facade
+    /// mutex has no try path, so take the lock — determinism is the point
+    /// there, not scrape latency.
+    #[cfg(not(kgnet_check))]
+    fn injector_depth(&self) -> usize {
+        self.injector.try_lock().map_or(0, |g| g.len())
+    }
+
+    #[cfg(kgnet_check)]
+    fn injector_depth(&self) -> usize {
+        self.injector.lock().len()
     }
 
     /// Wait for `probe` to open. Workers of this pool keep executing queued
@@ -382,6 +513,12 @@ impl ThreadPool {
     pub fn steal_count(&self) -> usize {
         self.registry.steal_count()
     }
+
+    /// Sample this pool's scheduler counters (observability hook; not part
+    /// of the real rayon API). Never blocks on the scheduler's own locks.
+    pub fn stats(&self) -> PoolStats {
+        self.registry.stats()
+    }
 }
 
 impl Drop for ThreadPool {
@@ -391,6 +528,12 @@ impl Drop for ThreadPool {
             let _ = handle.join();
         }
     }
+}
+
+/// Scheduler counters of the process-wide global pool (starting it if
+/// needed). Observability hook; not part of the real rayon API.
+pub fn global_pool_stats() -> PoolStats {
+    global_registry().stats()
 }
 
 /// Number of threads in the current scheduling context's pool.
