@@ -23,9 +23,17 @@
 //! in the JSON next to the latency numbers, together with the global
 //! rayon pool's utilization over the window.
 //!
-//! Emits `BENCH_mixed_traffic.json` (run comparison) and
-//! `BENCH_query_latency.json` (full latency distributions) at the
-//! workspace root for CI tracking.
+//! A third run leaves the process entirely: the same reader mix issued
+//! as `POST /sparql` over loopback HTTP against the `kgnet-http`
+//! frontend, keep-alive connections, latency clocked client-side around
+//! each request. Comparing its percentiles against the server's own
+//! `kgnet_query_latency_nanos` histogram for the same window prices the
+//! wire: parsing, routing, serialization and the socket round trip.
+//!
+//! Emits `BENCH_mixed_traffic.json` (run comparison),
+//! `BENCH_query_latency.json` (full latency distributions) and
+//! `BENCH_http_latency.json` (over-the-wire run) at the workspace root
+//! for CI tracking.
 //!
 //! Run with `cargo bench --bench server_mixed_traffic`.
 
@@ -241,6 +249,93 @@ fn measure(writers: usize) -> RunStats {
     }
 }
 
+/// One over-the-wire run: client-observed request latencies plus the
+/// server-side views of the same window.
+struct HttpRunStats {
+    /// Client-clocked wall nanos per request, sorted ascending.
+    latencies: Vec<u64>,
+    /// Response count by HTTP status.
+    statuses: HashMap<u16, u64>,
+    /// The server's in-process query-execution histogram for the window —
+    /// the wire run's denominator.
+    query: HistogramSnapshot,
+    /// The frontend's own request histogram (routing + handling, no
+    /// socket time).
+    http: HistogramSnapshot,
+}
+
+/// `q`-quantile of a sorted latency vector (nearest-rank).
+fn client_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Drive the reader mix through the HTTP frontend on a loopback port:
+/// same queries, same thread count, latency measured around each
+/// round trip the way an external client would see it.
+fn measure_http() -> HttpRunStats {
+    let (kg, _) = generate_dblp(&DblpConfig::small(11));
+    let config = ServerConfig {
+        manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
+        ..Default::default()
+    };
+    let server = Arc::new(KgServer::new(kg, config));
+    let nc = server.submit_train(nc_request()).unwrap();
+    assert!(matches!(server.wait(nc).unwrap().state, JobState::Done { .. }), "NC training failed");
+
+    let http =
+        kgnet_http::HttpServer::start(Arc::clone(&server), kgnet_http::HttpConfig::default())
+            .expect("bind loopback frontend");
+    let addr = http.addr();
+
+    let barrier = Arc::new(Barrier::new(READERS));
+    let clients: Vec<_> = (0..READERS)
+        .map(|_| {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut conn = kgnet_http::Client::connect(addr).expect("client connect");
+                let mut latencies = Vec::with_capacity(ROUNDS * 2);
+                let mut statuses: HashMap<u16, u64> = HashMap::new();
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    for query in [PV_QUERY, JOIN_QUERY] {
+                        let t0 = std::time::Instant::now();
+                        let r = conn.post("/sparql", query.as_bytes()).expect("wire query");
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                        *statuses.entry(r.status).or_insert(0) += 1;
+                        assert_eq!(r.status, 200, "{}", r.text());
+                    }
+                }
+                (latencies, statuses)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(READERS * ROUNDS * 2);
+    let mut statuses: HashMap<u16, u64> = HashMap::new();
+    for client in clients {
+        let (lat, st) = client.join().unwrap();
+        latencies.extend(lat);
+        for (status, n) in st {
+            *statuses.entry(status).or_insert(0) += n;
+        }
+    }
+    latencies.sort_unstable();
+
+    let metrics = server.metrics_handle();
+    let stats = HttpRunStats {
+        latencies,
+        statuses,
+        query: metrics.query_latency.snapshot(),
+        http: metrics.http_request_latency.snapshot(),
+    };
+    http.shutdown();
+    stats
+}
+
 fn ms(nanos: u64) -> f64 {
     nanos as f64 / 1e6
 }
@@ -311,6 +406,51 @@ fn main() {
     let ratio = if p99s[0] > 0.0 { p99s[1] / p99s[0] } else { 0.0 };
     println!("  p99 churn/baseline ratio: {ratio:.2}x (readers never block on writers)");
 
+    // Over-the-wire run: the same mix through the HTTP frontend, latency
+    // clocked around the round trip by the clients themselves.
+    let wire = measure_http();
+    let (wire_p50, wire_p99) =
+        (client_quantile(&wire.latencies, 0.50), client_quantile(&wire.latencies, 0.99));
+    // Overhead is a ratio of *means*: the 50/50 fast-join/slow-ML mix is
+    // bimodal, so medians sit on the mode boundary and flap — means
+    // price the wire stably.
+    let wire_mean = wire.latencies.iter().sum::<u64>() as f64 / wire.latencies.len().max(1) as f64;
+    let exec_mean = wire.query.mean();
+    let wire_overhead = if exec_mean > 0.0 { wire_mean / exec_mean } else { 0.0 };
+    let mut status_pairs: Vec<_> = wire.statuses.iter().collect();
+    status_pairs.sort();
+    let statuses_json = status_pairs
+        .iter()
+        .map(|(status, n)| format!("\"{status}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "  over the wire ({} requests): p50 {:>8.3} ms   p99 {:>8.3} ms   \
+         ({:.2}x the in-process execution mean; frontend handling mean {:.3} ms)",
+        wire.latencies.len(),
+        ms(wire_p50),
+        ms(wire_p99),
+        wire_overhead,
+        wire.http.mean() / 1e6,
+    );
+
+    let http_json = format!(
+        "{{\n  \"bench\": \"http_latency\",\n  \"clients\": {READERS},\n  \
+         \"rounds\": {ROUNDS},\n  \"source\": \"client-side wall clock over loopback\",\n  \
+         \"requests\": {},\n  \"statuses\": {{{statuses_json}}},\n  \
+         \"p50_ms\": {:.4},\n  \"p90_ms\": {:.4},\n  \"p99_ms\": {:.4},\n  \
+         \"max_ms\": {:.4},\n  \"mean_ms\": {:.4},\n  \"exec_mean_ms\": {:.4},\n  \
+         \"frontend_mean_ms\": {:.4},\n  \"wire_overhead_ratio\": {wire_overhead:.4}\n}}\n",
+        wire.latencies.len(),
+        ms(wire_p50),
+        ms(client_quantile(&wire.latencies, 0.90)),
+        ms(wire_p99),
+        ms(wire.latencies.last().copied().unwrap_or(0)),
+        wire_mean / 1e6,
+        exec_mean / 1e6,
+        wire.http.mean() / 1e6,
+    );
+
     let mixed = format!(
         "{{\n  \"bench\": \"server_mixed_traffic\",\n  \"readers\": {READERS},\n  \
          \"rounds\": {ROUNDS},\n  \"source\": \"kgnet_query_latency_nanos\",\n  \
@@ -326,6 +466,7 @@ fn main() {
     for (path, json) in [
         (concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mixed_traffic.json"), &mixed),
         (concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_latency.json"), &latency),
+        (concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_http_latency.json"), &http_json),
     ] {
         match std::fs::write(path, json) {
             Ok(()) => println!("  wrote {path}"),

@@ -3,10 +3,15 @@
 //! queue), and fail when the Prometheus exposition is malformed or any
 //! metric of the published catalog ([`kgnet_server::METRIC_CATALOG`]) has
 //! gone missing — the drift this guards against is a refactor silently
-//! dropping or renaming an instrument the dashboards scrape.
+//! dropping or renaming an instrument the dashboards scrape. The same
+//! validation then runs a second time against the body an actual scrape
+//! of `GET /metrics` returns over loopback HTTP (what Prometheus would
+//! see), plus a probe of `/healthz` and `/readyz` — so frontend drift
+//! (broken content type, truncated body, a dead probe) fails CI too.
 //!
 //! Run with `cargo run --release -p kgnet-bench --bin metrics_drift`;
-//! exits nonzero on any violation.
+//! exits nonzero on any violation. Structural exposition validation
+//! lives in [`kgnet_obs::validate_prometheus`].
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -14,99 +19,8 @@ use std::process::ExitCode;
 use kgnet_core::{GmlTask, GnnConfig, ManagerConfig, NcTask};
 use kgnet_datagen::{generate_dblp, DblpConfig};
 use kgnet_gmlaas::TrainRequest;
+use kgnet_obs::validate_prometheus;
 use kgnet_server::{JobState, KgServer, ServerConfig, METRIC_CATALOG};
-
-/// Parse and structurally validate a Prometheus text exposition. Returns
-/// the declared `# TYPE` kinds by metric name, or every violation found.
-fn validate_prometheus(text: &str) -> Result<HashMap<String, String>, Vec<String>> {
-    let mut kinds: HashMap<String, String> = HashMap::new();
-    let mut errors = Vec::new();
-    // Histogram bookkeeping: cumulative bucket counts must be
-    // non-decreasing and the +Inf bucket must equal `_count`.
-    let mut last_bucket: HashMap<String, u64> = HashMap::new();
-    let mut inf_bucket: HashMap<String, u64> = HashMap::new();
-    let mut hist_count: HashMap<String, u64> = HashMap::new();
-
-    for (i, line) in text.lines().enumerate() {
-        let lineno = i + 1;
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# TYPE ") {
-            let mut it = rest.split_whitespace();
-            match (it.next(), it.next()) {
-                (Some(name), Some(kind)) if ["counter", "gauge", "histogram"].contains(&kind) => {
-                    if kinds.insert(name.to_owned(), kind.to_owned()).is_some() {
-                        errors.push(format!("line {lineno}: duplicate TYPE for {name}"));
-                    }
-                }
-                _ => errors.push(format!("line {lineno}: malformed TYPE line: {line}")),
-            }
-            continue;
-        }
-        if line.starts_with('#') {
-            continue;
-        }
-        // Sample line: `name value` or `name{labels} value`.
-        let Some((series, value)) = line.rsplit_once(' ') else {
-            errors.push(format!("line {lineno}: sample without value: {line}"));
-            continue;
-        };
-        if value.parse::<f64>().is_err() {
-            errors.push(format!("line {lineno}: non-numeric value {value:?}"));
-            continue;
-        }
-        let name = series.split('{').next().unwrap_or(series);
-        let base = name
-            .strip_suffix("_bucket")
-            .or_else(|| name.strip_suffix("_sum"))
-            .or_else(|| name.strip_suffix("_count"))
-            .filter(|b| kinds.get(*b).map(String::as_str) == Some("histogram"));
-        let declared = base.unwrap_or(name);
-        if !kinds.contains_key(declared) {
-            errors.push(format!("line {lineno}: sample {name} has no preceding TYPE"));
-            continue;
-        }
-        if let Some(base) = base {
-            if name.ends_with("_bucket") {
-                let count: u64 = match value.parse() {
-                    Ok(c) => c,
-                    Err(_) => {
-                        errors.push(format!("line {lineno}: non-integer bucket count {value:?}"));
-                        continue;
-                    }
-                };
-                let prev = last_bucket.insert(base.to_owned(), count).unwrap_or(0);
-                if count < prev {
-                    errors.push(format!(
-                        "line {lineno}: {base} cumulative buckets decreased ({prev} -> {count})"
-                    ));
-                }
-                if series.contains("le=\"+Inf\"") {
-                    inf_bucket.insert(base.to_owned(), count);
-                }
-            } else if name.ends_with("_count") {
-                hist_count.insert(base.to_owned(), value.parse().unwrap_or(u64::MAX));
-            }
-        }
-    }
-    for (name, kind) in &kinds {
-        if kind == "histogram" {
-            match (inf_bucket.get(name), hist_count.get(name)) {
-                (Some(inf), Some(count)) if inf != count => errors
-                    .push(format!("{name}: +Inf bucket {inf} disagrees with {name}_count {count}")),
-                (None, _) => errors.push(format!("{name}: histogram without a +Inf bucket")),
-                (_, None) => errors.push(format!("{name}: histogram without a _count sample")),
-                _ => {}
-            }
-        }
-    }
-    if errors.is_empty() {
-        Ok(kinds)
-    } else {
-        Err(errors)
-    }
-}
 
 /// A smoke workload touching every instrumented layer.
 fn smoke_server() -> KgServer {
@@ -142,21 +56,20 @@ fn smoke_server() -> KgServer {
     server
 }
 
-fn main() -> ExitCode {
-    let server = smoke_server();
-    let text = server.metrics().render_prometheus();
-
-    let kinds = match validate_prometheus(&text) {
+/// Structural validation plus a full catalog cross-check of one
+/// exposition body. `origin` names the body in error output (in-process
+/// render vs wire scrape).
+fn check_exposition(origin: &str, text: &str) -> Result<HashMap<String, String>, ExitCode> {
+    let kinds = match validate_prometheus(text) {
         Ok(kinds) => kinds,
         Err(errors) => {
-            eprintln!("metrics_drift: malformed Prometheus exposition:");
+            eprintln!("metrics_drift: malformed Prometheus exposition ({origin}):");
             for e in &errors {
                 eprintln!("  - {e}");
             }
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
-
     let mut missing = Vec::new();
     for (name, kind) in METRIC_CATALOG {
         match kinds.get(*name) {
@@ -166,12 +79,52 @@ fn main() -> ExitCode {
         }
     }
     if !missing.is_empty() {
-        eprintln!("metrics_drift: catalog drift detected:");
+        eprintln!("metrics_drift: catalog drift detected ({origin}):");
         for m in &missing {
             eprintln!("  - {m}");
         }
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     }
+    Ok(kinds)
+}
+
+/// Start the HTTP frontend on an ephemeral loopback port, scrape
+/// `/metrics` the way Prometheus would, and probe `/healthz`/`/readyz`.
+/// Returns the wire exposition body.
+fn scrape_over_the_wire(server: &std::sync::Arc<KgServer>) -> Result<String, String> {
+    let http = kgnet_http::HttpServer::start(
+        std::sync::Arc::clone(server),
+        kgnet_http::HttpConfig::default(),
+    )
+    .map_err(|e| format!("frontend failed to bind: {e}"))?;
+    let addr = http.addr();
+    let scraped = kgnet_http::client::get(addr, "/metrics")
+        .map_err(|e| format!("GET /metrics failed: {e}"))?;
+    if scraped.status != 200 {
+        return Err(format!("GET /metrics answered {}", scraped.status));
+    }
+    if scraped.header("content-type").is_none_or(|ct| !ct.starts_with("text/plain")) {
+        return Err(format!("GET /metrics content type: {:?}", scraped.header("content-type")));
+    }
+    for probe in ["/healthz", "/readyz"] {
+        let r =
+            kgnet_http::client::get(addr, probe).map_err(|e| format!("GET {probe} failed: {e}"))?;
+        if r.status != 200 {
+            return Err(format!("GET {probe} answered {} ({})", r.status, r.text()));
+        }
+    }
+    http.shutdown();
+    Ok(scraped.text())
+}
+
+fn main() -> ExitCode {
+    let server = smoke_server();
+    let text = server.metrics().render_prometheus();
+
+    let kinds = match check_exposition("in-process render", &text) {
+        Ok(kinds) => kinds,
+        Err(code) => return code,
+    };
 
     let json = server.metrics().render_json();
     if !(json.starts_with('{') && json.ends_with('}') && json.contains("\"kgnet_query_rows\"")) {
@@ -220,9 +173,27 @@ fn main() -> ExitCode {
     }
     let _ = server.slow_queries();
 
+    // Second pass, over the wire: what an actual Prometheus scrape of the
+    // frontend sees must pass the same structural + catalog validation,
+    // and the health probes must answer while the server is idle.
+    let server = std::sync::Arc::new(server);
+    let wire = match scrape_over_the_wire(&server) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("metrics_drift: wire scrape failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wire_kinds = match check_exposition("wire scrape of GET /metrics", &wire) {
+        Ok(kinds) => kinds,
+        Err(code) => return code,
+    };
+
     println!(
-        "metrics_drift: ok — {} metrics rendered, all {} catalog entries present",
+        "metrics_drift: ok — {} metrics rendered in-process, {} over the wire, all {} catalog \
+         entries present in both",
         kinds.len(),
+        wire_kinds.len(),
         METRIC_CATALOG.len()
     );
     ExitCode::SUCCESS

@@ -1,0 +1,99 @@
+//! Bounded in-memory access log: one record per completed request,
+//! oldest evicted first — the wire-level sibling of the server's
+//! slow-query log.
+
+use std::collections::VecDeque;
+
+use kgnet_sync::profile::SyncSite;
+use kgnet_sync::tracked::lock_tracked;
+use kgnet_sync::Mutex;
+
+/// Contention site for the access-log ring (every request thread appends
+/// one record through this lock).
+static ACCESS_LOG_SITE: SyncSite = SyncSite::new("http.access_log");
+
+/// One completed request, as the access log retains it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Request id — echoed from `X-Request-Id` or frontend-assigned. The
+    /// same id is tagged onto the request's root trace span.
+    pub request_id: String,
+    /// Request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// Request bytes consumed (head + body).
+    pub bytes_in: u64,
+    /// Response bytes written (head + body).
+    pub bytes_out: u64,
+    /// First parsed byte to response flush, in nanoseconds.
+    pub latency_nanos: u64,
+}
+
+/// Bounded ring of [`AccessRecord`]s.
+pub struct AccessLog {
+    ring: Mutex<VecDeque<AccessRecord>>,
+    capacity: usize,
+}
+
+impl AccessLog {
+    /// New log retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> AccessLog {
+        AccessLog { ring: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    /// Append one record, evicting the oldest at capacity.
+    pub fn record(&self, record: AccessRecord) {
+        let mut ring = lock_tracked(&self.ring, &ACCESS_LOG_SITE);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Copy of every retained record, oldest first.
+    pub fn snapshot(&self) -> Vec<AccessRecord> {
+        lock_tracked(&self.ring, &ACCESS_LOG_SITE).iter().cloned().collect()
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        lock_tracked(&self.ring, &ACCESS_LOG_SITE).len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str) -> AccessRecord {
+        AccessRecord {
+            request_id: id.to_owned(),
+            method: "GET".to_owned(),
+            path: "/metrics".to_owned(),
+            status: 200,
+            bytes_in: 40,
+            bytes_out: 900,
+            latency_nanos: 1_000,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let log = AccessLog::new(2);
+        assert!(log.is_empty());
+        for id in ["a", "b", "c"] {
+            log.record(record(id));
+        }
+        let ids: Vec<String> = log.snapshot().into_iter().map(|r| r.request_id).collect();
+        assert_eq!(ids, vec!["b", "c"]);
+        assert_eq!(log.len(), 2);
+    }
+}

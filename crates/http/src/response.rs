@@ -1,0 +1,82 @@
+//! HTTP/1.1 response serialisation: one writer used by every path that
+//! answers a request — router responses, parser-failure 4xxs and the
+//! over-limit 503 alike — so headers stay consistent everywhere.
+
+use std::io::{self, Write};
+
+/// Reason phrase for every status this frontend emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialise and write one response. Returns the bytes written (headers
+/// included) so callers can feed the byte counters and the access log.
+pub(crate) fn write_response(
+    stream: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    request_id: Option<&str>,
+    body: &[u8],
+    close: bool,
+) -> io::Result<u64> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    if let Some(id) = request_id {
+        head.push_str("X-Request-Id: ");
+        head.push_str(id);
+        head.push_str("\r\n");
+    }
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    Ok((head.len() + body.len()) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_carries_length_id_and_close_marker() {
+        let mut wire = Vec::new();
+        let n =
+            write_response(&mut wire, 200, "text/plain", Some("req-9"), b"hello", true).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("X-Request-Id: req-9\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+        assert_eq!(n as usize, text.len());
+    }
+
+    #[test]
+    fn optional_headers_are_omitted() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 404, "text/plain", None, b"nope", false).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("404 Not Found"));
+        assert!(!text.contains("X-Request-Id"));
+        assert!(!text.contains("Connection: close"));
+    }
+}

@@ -1,0 +1,243 @@
+//! End-to-end acceptance for the wire-level operational surface: a real
+//! frontend on an ephemeral loopback port, concurrent SPARQL and
+//! similarity clients while training churns in the background, the
+//! `/metrics` body held to the same structural rules as the in-process
+//! render, readiness flipping under queue saturation, request ids
+//! correlated from the access log onto root trace spans, and a graceful
+//! shutdown that finishes an in-flight request.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kgnet_datagen::{generate_dblp, DblpConfig};
+use kgnet_gml::config::GnnConfig;
+use kgnet_gmlaas::TrainRequest;
+use kgnet_graph::{GmlTask, NcTask};
+use kgnet_http::{client, Client, HttpConfig, HttpServer};
+use kgnet_obs::validate_prometheus;
+use kgnet_server::{JobState, KgServer, QueueConfig, ServerConfig};
+use kgnet_sparqlml::ManagerConfig;
+
+const COUNT_QUERY: &str = "PREFIX dblp: <https://www.dblp.org/> \
+     SELECT (COUNT(*) AS ?n) WHERE { ?p a dblp:Publication }";
+
+const PV_QUERY: &str = r#"
+    PREFIX dblp: <https://www.dblp.org/>
+    PREFIX kgnet: <https://www.kgnet.com/>
+    SELECT ?title ?venue WHERE {
+      ?paper a dblp:Publication .
+      ?paper dblp:title ?title .
+      ?paper ?NodeClassifier ?venue .
+      ?NodeClassifier a kgnet:NodeClassifier .
+      ?NodeClassifier kgnet:TargetNode dblp:Publication .
+      ?NodeClassifier kgnet:NodeLabel dblp:publishedIn . }"#;
+
+fn nc_request(name: &str) -> TrainRequest {
+    let mut req = TrainRequest::new(
+        name,
+        GmlTask::NodeClassification(NcTask {
+            target_type: "https://www.dblp.org/Publication".into(),
+            label_predicate: "https://www.dblp.org/publishedIn".into(),
+        }),
+    );
+    req.cfg = GnnConfig::fast_test();
+    req
+}
+
+/// One Prometheus sample by exact series name (unlabelled metrics only).
+fn sample(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|l| {
+            let (n, v) = l.rsplit_once(' ')?;
+            if n == name {
+                v.parse().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or_else(|| panic!("no sample for {name}"))
+}
+
+#[test]
+fn frontend_serves_queries_probes_and_traces_under_churn() {
+    let (kg, _) = generate_dblp(&DblpConfig::tiny(29));
+    let server = Arc::new(KgServer::new(
+        kg,
+        ServerConfig {
+            manager: ManagerConfig { default_cfg: GnnConfig::fast_test(), ..Default::default() },
+            queue: QueueConfig { max_concurrent: 1, max_pending: 1, ..Default::default() },
+            slow_query_nanos: 1,
+            ..Default::default()
+        },
+    ));
+
+    // A similarity model for `/similar`, trained synchronously up front.
+    let (sim_model, probe_node) = {
+        let mut writer = server.write_session();
+        writer
+            .execute(
+                r#"PREFIX dblp: <https://www.dblp.org/>
+                   PREFIX kgnet: <https://www.kgnet.com/>
+                   INSERT INTO <kgnet> { ?s ?p ?o } WHERE { SELECT * FROM kgnet.TrainGML(
+                     {Name: 'wire-sim', GML-Task:{ TaskType: kgnet:NodeSimilarity,
+                        TargetNode: dblp:Publication}})}"#,
+            )
+            .unwrap();
+        writer.commit();
+        let manager = server.manager();
+        let guard = manager.read();
+        let uri = guard.trainer().model_store().uris().pop().unwrap();
+        let artifact = guard.trainer().model_store().get(&uri).unwrap();
+        let kgnet_gmlaas::ArtifactPayload::NodeSimilarity { store } = &artifact.payload else {
+            panic!("expected a similarity payload")
+        };
+        let probe = store.keys().next().unwrap().to_owned();
+        (uri, probe)
+    };
+
+    let http = HttpServer::start(Arc::clone(&server), HttpConfig::default()).expect("bind");
+    let addr = http.addr();
+
+    // Training churns in the background while the wire traffic runs.
+    let churn = server.submit_train(nc_request("churn")).unwrap();
+
+    let handles: Vec<_> = (0..4)
+        .map(|worker| {
+            let similar_body =
+                format!("{{\"model\":\"{sim_model}\",\"node\":\"{probe_node}\",\"k\":3}}");
+            std::thread::spawn(move || {
+                let mut conn = Client::connect(addr).expect("client connect");
+                for round in 0..10 {
+                    if (worker + round) % 2 == 0 {
+                        let id = format!("client-{worker}-{round}");
+                        let r = conn
+                            .request(
+                                "POST",
+                                "/sparql",
+                                &[("X-Request-Id", id.as_str())],
+                                COUNT_QUERY.as_bytes(),
+                            )
+                            .expect("sparql over the wire");
+                        assert_eq!(r.status, 200, "{}", r.text());
+                        assert_eq!(r.header("x-request-id"), Some(id.as_str()), "id must echo");
+                        assert!(r.text().contains("\"vars\":[\"n\"]"), "{}", r.text());
+                    } else {
+                        let r = conn
+                            .post("/similar", similar_body.as_bytes())
+                            .expect("similar over the wire");
+                        assert_eq!(r.status, 200, "{}", r.text());
+                        assert!(r.text().contains("\"node\":"), "{}", r.text());
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let done = server.wait(churn).unwrap();
+    assert!(matches!(done.state, JobState::Done { .. }), "churn job failed: {done:?}");
+
+    // The satellite fix: with a 1 ns capture threshold every query is
+    // "slow", so the ML SELECT over the fresh model must now appear in
+    // the slow-query log (text-only plan) — and therefore on `/slowlog`.
+    let mut conn = Client::connect(addr).unwrap();
+    let r = conn.post("/sparql", PV_QUERY.as_bytes()).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let slowlog = conn.get("/slowlog").unwrap();
+    assert_eq!(slowlog.status, 200);
+    assert!(
+        slowlog.text().contains("sparql-ml: no physical plan"),
+        "ML SELECT missing from the slow-query log: {}",
+        slowlog.text()
+    );
+
+    // The wire body passes the same structural validation as the
+    // in-process render, and the frontend's own series are live.
+    let scraped = conn.get("/metrics").unwrap();
+    assert_eq!(scraped.status, 200);
+    let body = scraped.text();
+    let kinds = validate_prometheus(&body).expect("wire exposition must validate");
+    assert_eq!(kinds.get("kgnet_http_requests_total").map(String::as_str), Some("counter"));
+    assert!(sample(&body, "kgnet_http_requests_total") >= 41.0, "all requests counted");
+    assert!(sample(&body, "kgnet_http_responses_2xx_total") >= 41.0);
+    assert!(sample(&body, "kgnet_http_bytes_in_total") > 0.0);
+    assert!(sample(&body, "kgnet_http_bytes_out_total") > 0.0);
+    assert!(sample(&body, "kgnet_http_request_latency_nanos_count") >= 41.0);
+    assert_eq!(conn.get("/healthz").unwrap().status, 200);
+    assert_eq!(conn.get("/metrics.json").unwrap().status, 200);
+    assert!(conn.get("/debug").unwrap().text().contains("KGNet server debug report"));
+
+    // Readiness: 200 while the queue admits, 503 once saturated (one
+    // running marathon + a full pending lane), 200 again after cancels.
+    let ready = conn.get("/readyz").unwrap();
+    assert_eq!(ready.status, 200, "{}", ready.text());
+    let mut marathon = nc_request("marathon");
+    marathon.cfg = GnnConfig { epochs: 200_000, dropout: 0.0, ..GnnConfig::fast_test() };
+    let running = server.submit_train(marathon).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !matches!(server.job(running).map(|j| j.state), Some(JobState::Running)) {
+        assert!(Instant::now() < deadline, "marathon never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued = server.submit_train(nc_request("overflow")).unwrap();
+    let saturated = conn.get("/readyz").unwrap();
+    assert_eq!(saturated.status, 503, "{}", saturated.text());
+    assert!(saturated.text().contains("\"ready\":false"));
+    assert!(saturated.text().contains("\"queue_headroom\":0"));
+    assert!(server.cancel(queued));
+    assert!(server.cancel(running));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let again = conn.get("/readyz").unwrap();
+        if again.status == 200 {
+            assert!(again.text().contains("\"ready\":true"));
+            break;
+        }
+        assert!(Instant::now() < deadline, "readiness never recovered: {}", again.text());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.wait(running);
+    drop(conn);
+
+    // Every access-logged request id must appear as a tag on a root
+    // `http.request` span — the log and the trace tree agree on what ran.
+    let records = http.access_log();
+    assert!(records.len() >= 41, "access log too small: {}", records.len());
+    let roots = server.trace_dump();
+    for record in &records {
+        assert!(
+            roots.iter().any(|r| r.name == "http.request"
+                && r.tag("request_id") == Some(record.request_id.as_str())
+                && r.tag("path") == Some(record.path.as_str())),
+            "no root span tagged for {record:?}"
+        );
+    }
+    assert!(
+        records.iter().any(|r| r.request_id.starts_with("client-")),
+        "client-supplied ids must be respected"
+    );
+
+    // Graceful shutdown: a request whose body is still arriving when the
+    // drain starts is finished, answered `Connection: close`, and only
+    // then does shutdown return; new connections are refused after.
+    let mut inflight = TcpStream::connect(addr).unwrap();
+    let head = format!("POST /sparql HTTP/1.1\r\nContent-Length: {}\r\n\r\n", COUNT_QUERY.len());
+    inflight.write_all(head.as_bytes()).unwrap();
+    inflight.write_all(&COUNT_QUERY.as_bytes()[..10]).unwrap();
+    let drain = std::thread::spawn(move || http.shutdown());
+    std::thread::sleep(Duration::from_millis(200));
+    inflight.write_all(&COUNT_QUERY.as_bytes()[10..]).unwrap();
+    let mut reply = Vec::new();
+    inflight.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let _ = std::io::Read::read_to_end(&mut inflight, &mut reply);
+    let reply = String::from_utf8_lossy(&reply);
+    assert!(reply.starts_with("HTTP/1.1 200 "), "in-flight request dropped: {reply:.80}");
+    assert!(reply.contains("Connection: close"), "drain must announce the close: {reply:.200}");
+    drain.join().expect("shutdown thread");
+    assert!(client::get(addr, "/healthz").is_err(), "listener must be gone after shutdown");
+    assert_eq!(server.metrics_handle().http_active_connections.get(), 0);
+}

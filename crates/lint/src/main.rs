@@ -25,6 +25,11 @@
 //!   `#![forbid(unsafe_code)]`, except the two crates that need raw
 //!   pointers (`kgnet-ann`'s mmap views, `kgnet-check`'s instrumented
 //!   cells) and `vendor/`.
+//! - **net-boundary** — sockets live in exactly one crate. `std::net`,
+//!   `TcpListener`, `TcpStream` and `UdpSocket` are banned outside
+//!   `crates/http/` (and tests/vendor): everything below the frontend is
+//!   in-process by design, and a stray socket would bypass the frontend's
+//!   connection limits, access log and metrics.
 //!
 //! A deliberate exception is waived in place with `// lint:allow(<rule>)`
 //! on the offending line or the line above. Run as
@@ -738,6 +743,50 @@ fn rule_forbid_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: net-boundary
+// ---------------------------------------------------------------------------
+
+/// Socket types that may only be named inside the frontend crate. The
+/// bare idents are checked (not just `std :: net` paths) so a
+/// `use std::net::TcpStream;` at the top of a file doesn't launder the
+/// type into scope for the rest of it.
+const NET_TYPES: &[&str] = &["TcpListener", "TcpStream", "UdpSocket"];
+
+/// The one crate allowed to open sockets.
+fn is_net_crate(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.contains("crates/http/")
+}
+
+fn rule_net_boundary(file: &SourceFile, out: &mut Vec<Finding>) {
+    if is_vendor(&file.path) || is_net_crate(&file.path) || is_test_path(&file.path) {
+        return;
+    }
+    let code = file.code();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.in_test_code(t.line) {
+            continue;
+        }
+        let offender = if NET_TYPES.contains(&t.text.as_str()) {
+            format!("`{}`", t.text)
+        } else if t.text == "std" && matches(&code, i + 1, &["::", "net"]) {
+            "`std::net`".to_owned()
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            path: file.path.clone(),
+            line: t.line,
+            rule: "net-boundary",
+            message: format!(
+                "{offender} outside `crates/http`: sockets live behind the frontend so its \
+                 connection limits, access log and metrics see every byte on the wire"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: obs-hot-path (kgnet-obs metric instruments only)
 // ---------------------------------------------------------------------------
 
@@ -808,6 +857,7 @@ fn lint_source(path: PathBuf, src: &str) -> Vec<Finding> {
     rule_lock_order(&file, &mut raw);
     rule_unwrap_on_sync(&file, &mut raw);
     rule_forbid_unsafe(&file, &mut raw);
+    rule_net_boundary(&file, &mut raw);
     rule_obs_hot_path(&file, &mut raw);
     raw.retain(|f| !file.waived(f.line, f.rule));
     raw
@@ -1023,6 +1073,40 @@ mod tests {
         let src =
             "// std::sync::Mutex parking_lot\nconst S: &str = \"use std::sync::Mutex; unsafe\";\n";
         assert!(findings_for("crates/rdf/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_boundary_bans_sockets_outside_the_frontend_crate() {
+        // The `use` draws two findings (path + ident) and the call site a
+        // third: the laundered type stays flagged at every mention.
+        let listener = "use std::net::TcpListener;\nfn f() { let l = TcpListener::bind(\"0\"); }\n";
+        let found = findings_for("crates/server/src/x.rs", listener);
+        assert_eq!(rules(&found), vec!["net-boundary"; 3]);
+        assert!(found[0].message.contains("crates/http"));
+        // A bare ident is flagged even without the `std::net` path in sight.
+        let bare = "fn f(s: TcpStream) {}\n";
+        assert_eq!(rules(&findings_for("crates/rdf/src/x.rs", bare)), vec!["net-boundary"]);
+        let udp = "fn f() { let _ = std::net::UdpSocket::bind(\"0\"); }\n";
+        assert_eq!(
+            rules(&findings_for("crates/gml/src/x.rs", udp)),
+            vec!["net-boundary", "net-boundary"]
+        );
+        // The frontend crate, vendor, integration tests and #[cfg(test)]
+        // modules are all allowed to touch sockets.
+        let src = "use std::net::{TcpListener, TcpStream};\n";
+        assert!(findings_for("crates/http/src/client.rs", src).is_empty());
+        assert!(findings_for("vendor/memmap2/src/lib.rs", src).is_empty());
+        assert!(findings_for("crates/server/tests/x.rs", src).is_empty());
+        let gated = "#[cfg(test)]\nmod tests {\n    use std::net::TcpStream;\n}\n";
+        assert!(findings_for("crates/server/src/x.rs", gated).is_empty());
+        // `std::net::SocketAddr` outside the frontend is still flagged —
+        // the address type rides along with the path ban; plain
+        // non-socket idents obviously don't.
+        let fine = "fn f() { let x = std::io::Error::last_os_error(); }\n";
+        assert!(findings_for("crates/server/src/x.rs", fine).is_empty());
+        // Strings and comments never trigger it.
+        let quoted = "// TcpStream\nconst S: &str = \"std::net::TcpListener\";\n";
+        assert!(findings_for("crates/server/src/x.rs", quoted).is_empty());
     }
 
     #[test]

@@ -25,10 +25,12 @@
 
 pub mod metrics;
 pub mod profile;
+pub mod promcheck;
 pub mod registry;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use profile::SpanNode;
+pub use promcheck::validate_prometheus;
 pub use registry::Registry;
 pub use trace::{SpanGuard, SpanRecord, Tracer};

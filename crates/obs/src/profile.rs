@@ -14,6 +14,9 @@ pub struct SpanNode {
     pub nanos: u64,
     /// Rows this operation produced (0 when not applicable).
     pub rows: u64,
+    /// Key/value annotations copied from the source [`SpanRecord`]
+    /// (request ids, methods — empty for executor-built nodes).
+    pub tags: Vec<(String, String)>,
     /// Nested operations, in execution order.
     pub children: Vec<SpanNode>,
 }
@@ -21,7 +24,12 @@ pub struct SpanNode {
 impl SpanNode {
     /// New leaf node.
     pub fn new(name: impl Into<String>, nanos: u64, rows: u64) -> SpanNode {
-        SpanNode { name: name.into(), nanos, rows, children: Vec::new() }
+        SpanNode { name: name.into(), nanos, rows, tags: Vec::new(), children: Vec::new() }
+    }
+
+    /// The value of tag `key`, if present.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Total inclusive time of the direct children.
@@ -46,6 +54,7 @@ impl SpanNode {
         // every one of its finished children is already pending.
         for r in records {
             let mut node = SpanNode::new(r.name.clone(), r.duration_nanos, 0);
+            node.tags = r.tags.clone();
             let mut i = 0;
             while i < pending.len() {
                 if pending[i].0 == Some(r.id) {
@@ -123,10 +132,13 @@ mod tests {
             name: "lost-parent".into(),
             start_nanos: 0,
             duration_nanos: 5,
+            tags: vec![("request_id".into(), "req-3".into())],
         }];
         let roots = SpanNode::assemble(&records);
         assert_eq!(roots.len(), 1);
         assert_eq!(roots[0].name, "lost-parent");
+        assert_eq!(roots[0].tag("request_id"), Some("req-3"));
+        assert_eq!(roots[0].tag("missing"), None);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct SpanRecord {
     pub start_nanos: u64,
     /// Span duration in nanoseconds.
     pub duration_nanos: u64,
+    /// Key/value annotations attached while the span was open (request
+    /// ids, methods, paths — whatever identifies this execution).
+    pub tags: Vec<(String, String)>,
 }
 
 // Each tracer gets a process-unique id so the per-thread span stack can
@@ -92,6 +95,7 @@ impl Tracer {
             name: name.into(),
             start_nanos: duration_nanos_since(self.epoch),
             start: Instant::now(),
+            tags: Vec::new(),
         }
     }
 
@@ -152,12 +156,20 @@ pub struct SpanGuard<'a> {
     name: String,
     start_nanos: u64,
     start: Instant,
+    tags: Vec<(String, String)>,
 }
 
 impl SpanGuard<'_> {
     /// This span's id (usable as a parent reference in diagnostics).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Attach a key/value annotation; it rides the finished
+    /// [`SpanRecord`] into the ring (and, via
+    /// [`crate::SpanNode::assemble`], onto the profile tree).
+    pub fn tag(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.tags.push((key.into(), value.into()));
     }
 }
 
@@ -179,6 +191,7 @@ impl Drop for SpanGuard<'_> {
             name: std::mem::take(&mut self.name),
             start_nanos: self.start_nanos,
             duration_nanos: duration_nanos_since(self.start),
+            tags: std::mem::take(&mut self.tags),
         });
     }
 }
@@ -263,6 +276,24 @@ mod tests {
         assert_eq!(t2.drain()[0].parent, None);
         let t1_records = t1.drain();
         assert_eq!(t1_records[0].parent, None);
+    }
+
+    #[test]
+    fn tags_ride_the_finished_record() {
+        let t = Tracer::new(4);
+        {
+            let mut s = t.span("tagged");
+            s.tag("request_id", "req-7");
+            s.tag("method", "GET");
+        }
+        let records = t.drain();
+        assert_eq!(
+            records[0].tags,
+            vec![
+                ("request_id".to_owned(), "req-7".to_owned()),
+                ("method".to_owned(), "GET".to_owned())
+            ]
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod cache;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 mod report;
 pub mod session;
@@ -46,6 +47,7 @@ mod witness;
 
 pub use cache::{CacheStats, SharedPlanCache};
 pub use metrics::{QueueObs, ServerMetrics, METRIC_CATALOG};
+pub use pool::{PooledSession, SessionPool};
 pub use queue::{
     AdmissionError, JobId, JobInfo, JobOutcome, JobQueue, JobRunner, JobState, QueueConfig,
     ResourceUsage, UsageProbe,
@@ -82,6 +84,10 @@ pub struct ServerConfig {
     /// into the slow-query log with its rendered plan and span profile
     /// (0 uses the default of 100 ms).
     pub slow_query_millis: u64,
+    /// Nanosecond-precision override of [`slow_query_millis`]
+    /// (`Self::slow_query_millis`): when nonzero this is the capture
+    /// threshold verbatim, for sub-millisecond SLOs.
+    pub slow_query_nanos: u64,
 }
 
 const DEFAULT_PLAN_CACHE: usize = 128;
@@ -114,10 +120,12 @@ impl KgServer {
         } else {
             config.plan_cache_capacity
         };
-        let slow_millis = if config.slow_query_millis == 0 {
-            DEFAULT_SLOW_QUERY_MILLIS
+        let slow_nanos = if config.slow_query_nanos > 0 {
+            config.slow_query_nanos
+        } else if config.slow_query_millis > 0 {
+            config.slow_query_millis.saturating_mul(1_000_000)
         } else {
-            config.slow_query_millis
+            DEFAULT_SLOW_QUERY_MILLIS * 1_000_000
         };
         KgServer {
             store,
@@ -125,7 +133,7 @@ impl KgServer {
             queue,
             plan_cache: Arc::new(SharedPlanCache::new(capacity)),
             metrics,
-            slow_log: Arc::new(SlowQueryLog::new(slow_millis.saturating_mul(1_000_000))),
+            slow_log: Arc::new(SlowQueryLog::new(slow_nanos)),
         }
     }
 
@@ -200,6 +208,15 @@ impl KgServer {
         &self.metrics
     }
 
+    /// A shared handle to the raw metric catalog, *without* refreshing the
+    /// store gauges or harvesting system profiles — for hot paths (the
+    /// HTTP frontend bumps its per-request counters through this) that
+    /// must not pay the refresh walk per call. Exporters should prefer
+    /// [`metrics`](Self::metrics).
+    pub fn metrics_handle(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// The retained slow-query records, oldest first: every SELECT whose
     /// latency crossed [`ServerConfig::slow_query_millis`], with the plan
     /// it ran and its span profile. At most [`SLOW_LOG_CAPACITY`] records
@@ -265,6 +282,29 @@ impl KgServer {
     pub fn forget(&self, id: JobId) -> bool {
         self.queue.forget(id)
     }
+
+    /// One readiness probe for load balancers and the HTTP `/readyz`
+    /// endpoint: the store must hold data and the training queue must have
+    /// admission headroom. A server that would bounce the very next
+    /// `submit_train` with `QueueFull` reports not-ready so traffic drains
+    /// to a replica instead of piling onto a saturated queue.
+    pub fn readiness(&self) -> Readiness {
+        let store_loaded = !self.store.is_empty();
+        let queue_headroom = self.queue.admission_headroom();
+        Readiness { store_loaded, queue_headroom, ready: store_loaded && queue_headroom > 0 }
+    }
+}
+
+/// Snapshot of the server's readiness signals (see
+/// [`KgServer::readiness`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Readiness {
+    /// The published store version holds at least one triple.
+    pub store_loaded: bool,
+    /// Training submissions the queue would still admit.
+    pub queue_headroom: usize,
+    /// Conjunction the probe reports: loaded and admitting.
+    pub ready: bool,
 }
 
 /// The production job runner: pin a snapshot (zero lock hold), sample the

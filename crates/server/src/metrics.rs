@@ -56,6 +56,17 @@ pub const METRIC_CATALOG: &[(&str, &str)] = &[
     ("kgnet_job_triples_sampled_total", "counter"),
     ("kgnet_job_lock_wait_nanos_total", "counter"),
     ("kgnet_job_peak_mem_bytes", "histogram"),
+    ("kgnet_http_requests_total", "counter"),
+    ("kgnet_http_responses_2xx_total", "counter"),
+    ("kgnet_http_responses_3xx_total", "counter"),
+    ("kgnet_http_responses_4xx_total", "counter"),
+    ("kgnet_http_responses_5xx_total", "counter"),
+    ("kgnet_http_request_latency_nanos", "histogram"),
+    ("kgnet_http_bytes_in_total", "counter"),
+    ("kgnet_http_bytes_out_total", "counter"),
+    ("kgnet_http_active_connections", "gauge"),
+    ("kgnet_http_rejected_over_limit_total", "counter"),
+    ("kgnet_http_parse_errors_total", "counter"),
 ];
 
 /// Finished spans retained by the server tracer before eviction.
@@ -153,6 +164,29 @@ pub struct ServerMetrics {
     pub pool_busy_nanos: Arc<Gauge>,
     /// Jobs waiting in the global pool's injector and deques right now.
     pub pool_queue_depth: Arc<Gauge>,
+    /// HTTP requests that reached the router (parse failures excluded).
+    pub http_requests: Arc<Counter>,
+    /// HTTP responses written, by status class.
+    pub http_responses_2xx: Arc<Counter>,
+    /// 3xx responses written by the HTTP frontend.
+    pub http_responses_3xx: Arc<Counter>,
+    /// 4xx responses written by the HTTP frontend.
+    pub http_responses_4xx: Arc<Counter>,
+    /// 5xx responses written by the HTTP frontend.
+    pub http_responses_5xx: Arc<Counter>,
+    /// Wall time from a request's first parsed byte to its response flush.
+    pub http_request_latency: Arc<Histogram>,
+    /// Request bytes (head + body) read off accepted connections.
+    pub http_bytes_in: Arc<Counter>,
+    /// Response bytes written back, headers included.
+    pub http_bytes_out: Arc<Counter>,
+    /// Connections currently accepted and not yet closed.
+    pub http_active_connections: Arc<Gauge>,
+    /// Connections refused because the connection limit was reached.
+    pub http_rejected_over_limit: Arc<Counter>,
+    /// Requests rejected by the incremental parser (malformed, oversized,
+    /// timed out mid-request).
+    pub http_parse_errors: Arc<Counter>,
     /// Last harvested totals of the process-wide sources, so
     /// [`refresh_system`](Self::refresh_system) bumps the aggregate
     /// counters by delta instead of re-adding cumulative values.
@@ -279,6 +313,28 @@ impl ServerMetrics {
                 .gauge("kgnet_pool_global_busy_nanos", "Busy worker-nanos of the global pool"),
             pool_queue_depth: r
                 .gauge("kgnet_pool_global_queue_depth", "Jobs queued in the global pool"),
+            http_requests: r
+                .counter("kgnet_http_requests_total", "HTTP requests reaching the router"),
+            http_responses_2xx: r
+                .counter("kgnet_http_responses_2xx_total", "2xx responses written"),
+            http_responses_3xx: r
+                .counter("kgnet_http_responses_3xx_total", "3xx responses written"),
+            http_responses_4xx: r
+                .counter("kgnet_http_responses_4xx_total", "4xx responses written"),
+            http_responses_5xx: r
+                .counter("kgnet_http_responses_5xx_total", "5xx responses written"),
+            http_request_latency: r
+                .histogram("kgnet_http_request_latency_nanos", "HTTP request wall time"),
+            http_bytes_in: r.counter("kgnet_http_bytes_in_total", "Request bytes read"),
+            http_bytes_out: r.counter("kgnet_http_bytes_out_total", "Response bytes written"),
+            http_active_connections: r
+                .gauge("kgnet_http_active_connections", "Open HTTP connections"),
+            http_rejected_over_limit: r.counter(
+                "kgnet_http_rejected_over_limit_total",
+                "Connections refused over the connection limit",
+            ),
+            http_parse_errors: r
+                .counter("kgnet_http_parse_errors_total", "Requests rejected by the parser"),
             harvest: Harvest::default(),
             tracer: Tracer::new(TRACE_CAPACITY),
             queue,

@@ -1,0 +1,164 @@
+//! A bounded pool of reusable [`ReadSession`]s for request-per-thread
+//! frontends.
+//!
+//! Opening a [`ReadSession`] is cheap but not free (a snapshot pin, an
+//! atomics round on the version list), and a per-request session also
+//! starts with cold per-session cache counters. The HTTP frontend serves
+//! every `POST /sparql` from a pooled session instead: [`checkout`]
+//! pops an idle session (re-pinning it onto the latest published version
+//! when the store has moved on) or opens a fresh one when the pool is
+//! empty, and the [`PooledSession`] guard returns it on drop unless the
+//! pool is already at capacity — so a burst of N concurrent requests
+//! settles back to at most `capacity` retained sessions.
+//!
+//! [`checkout`]: SessionPool::checkout
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use kgnet_sync::profile::SyncSite;
+use kgnet_sync::tracked::lock_tracked;
+use kgnet_sync::Mutex;
+
+use crate::session::ReadSession;
+use crate::KgServer;
+
+/// Contention site for the pool's free list (every HTTP request thread
+/// passes through this lock twice: checkout and return).
+static POOL_SITE: SyncSite = SyncSite::new("server.session_pool");
+
+/// A bounded free list of idle [`ReadSession`]s over one [`KgServer`].
+pub struct SessionPool {
+    server: Arc<KgServer>,
+    idle: Mutex<Vec<ReadSession>>,
+    capacity: usize,
+}
+
+impl SessionPool {
+    /// New pool retaining at most `capacity` idle sessions (a capacity of
+    /// 0 disables reuse: every checkout opens and every return drops).
+    pub fn new(server: Arc<KgServer>, capacity: usize) -> SessionPool {
+        SessionPool { server, idle: Mutex::new(Vec::new()), capacity }
+    }
+
+    /// Pop an idle session — re-pinned onto the latest published store
+    /// version if it was pinned to an older one — or open a fresh session
+    /// when the pool is empty. The guard returns the session on drop.
+    pub fn checkout(&self) -> PooledSession<'_> {
+        let mut session = lock_tracked(&self.idle, &POOL_SITE)
+            .pop()
+            .unwrap_or_else(|| self.server.read_session());
+        if session.generation() != self.server.store().generation() {
+            session.refresh();
+        }
+        PooledSession { pool: self, session: Some(session) }
+    }
+
+    /// Idle sessions currently retained.
+    pub fn idle_len(&self) -> usize {
+        lock_tracked(&self.idle, &POOL_SITE).len()
+    }
+
+    /// Maximum idle sessions retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn put_back(&self, session: ReadSession) {
+        let mut idle = lock_tracked(&self.idle, &POOL_SITE);
+        if idle.len() < self.capacity {
+            idle.push(session);
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionPool")
+            .field("capacity", &self.capacity)
+            .field("idle", &self.idle_len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII checkout of a pooled [`ReadSession`]: derefs to the session and
+/// returns it to the pool on drop (dropped instead when the pool is at
+/// capacity).
+pub struct PooledSession<'a> {
+    pool: &'a SessionPool,
+    session: Option<ReadSession>,
+}
+
+impl Deref for PooledSession<'_> {
+    type Target = ReadSession;
+
+    fn deref(&self) -> &ReadSession {
+        self.session.as_ref().expect("session present until drop")
+    }
+}
+
+impl DerefMut for PooledSession<'_> {
+    fn deref_mut(&mut self) -> &mut ReadSession {
+        self.session.as_mut().expect("session present until drop")
+    }
+}
+
+impl Drop for PooledSession<'_> {
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.pool.put_back(session);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServerConfig;
+    use kgnet_datagen::{generate_dblp, DblpConfig};
+
+    fn tiny_server() -> Arc<KgServer> {
+        let (kg, _) = generate_dblp(&DblpConfig::tiny(91));
+        Arc::new(KgServer::new(kg, ServerConfig::default()))
+    }
+
+    #[test]
+    fn checkout_reuses_and_capacity_bounds_retention() {
+        let server = tiny_server();
+        let pool = SessionPool::new(Arc::clone(&server), 2);
+        assert_eq!(pool.idle_len(), 0);
+        {
+            let _a = pool.checkout();
+            let _b = pool.checkout();
+            let _c = pool.checkout();
+        }
+        // Three concurrent checkouts, but only `capacity` survive return.
+        assert_eq!(pool.idle_len(), 2);
+        {
+            let _a = pool.checkout();
+            assert_eq!(pool.idle_len(), 1, "checkout must pop the free list");
+        }
+        assert_eq!(pool.idle_len(), 2);
+    }
+
+    #[test]
+    fn stale_sessions_are_refreshed_on_checkout() {
+        let server = tiny_server();
+        let pool = SessionPool::new(Arc::clone(&server), 4);
+        let pinned = { pool.checkout().generation() };
+        let mut writer = server.write_session();
+        writer.execute("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> }").unwrap();
+        let published = writer.commit();
+        assert!(published > pinned);
+        let session = pool.checkout();
+        assert_eq!(session.generation(), published, "pooled session must re-pin");
+    }
+
+    #[test]
+    fn zero_capacity_disables_reuse() {
+        let server = tiny_server();
+        let pool = SessionPool::new(server, 0);
+        drop(pool.checkout());
+        assert_eq!(pool.idle_len(), 0);
+    }
+}

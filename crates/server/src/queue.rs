@@ -526,6 +526,13 @@ impl JobQueue {
         self.shared.lock().pending.len()
     }
 
+    /// Submissions the queue would still admit before
+    /// [`AdmissionError::QueueFull`]: `max_pending` minus the jobs waiting
+    /// right now. Readiness probes treat zero headroom as "not ready".
+    pub fn admission_headroom(&self) -> usize {
+        self.config.max_pending.saturating_sub(self.shared.lock().pending.len())
+    }
+
     /// Request cancellation. A `Queued` job is cancelled immediately; a
     /// `Running` job is flagged and cancels at the runner's next checkpoint.
     /// Returns `false` when the job is unknown or already terminal; `true`

@@ -136,6 +136,25 @@ impl ReadSession {
         });
     }
 
+    /// Slow-query capture for SPARQL-ML SELECTs, which have no prepared
+    /// physical plan to render: the record is text-only — a marker plan
+    /// string plus a single root span — so slow ML rewrites still show up
+    /// in `/slowlog` next to their plain-SPARQL peers.
+    fn maybe_log_slow_ml(&self, text: &str, total_nanos: u64, rows: u64) {
+        if total_nanos < self.slow_log.threshold_nanos() {
+            return;
+        }
+        self.metrics.slow_queries.inc();
+        self.slow_log.record(SlowQuery {
+            text: text.to_owned(),
+            total_nanos,
+            rows,
+            triples_scanned: 0,
+            plan: "(sparql-ml: no physical plan)".to_owned(),
+            profile: SpanNode::new("sparql-ml", total_nanos, rows),
+        });
+    }
+
     /// Execute a plain or SPARQL-ML SELECT against the pinned snapshot.
     /// Updates, `TrainGML` and model DELETEs are rejected with
     /// [`MlError::ReadOnly`] — use a [`WriteSession`] or the server's
@@ -203,13 +222,12 @@ impl ReadSession {
                     manager.query_select(&self.snapshot, q)
                 };
                 if let Ok(MlOutcome::Rows(rows)) = &out {
-                    // ML SELECTs have no prepared plan to render, so they
-                    // never enter the slow-query log; they still count into
-                    // the latency metrics and session totals.
-                    self.metrics.query_latency.record(nanos_since(t0));
+                    let total = nanos_since(t0);
+                    self.metrics.query_latency.record(total);
                     self.metrics.query_rows.record(rows.len() as u64);
                     self.stats.queries += 1;
                     self.stats.rows += rows.len() as u64;
+                    self.maybe_log_slow_ml(text, total, rows.len() as u64);
                 }
                 out
             }
@@ -270,6 +288,7 @@ impl ReadSession {
                 self.metrics.query_rows.record(rows.len() as u64);
                 self.stats.queries += 1;
                 self.stats.rows += rows.len() as u64;
+                self.maybe_log_slow_ml(text, total, rows.len() as u64);
                 let node = SpanNode::new("sparql-ml", total, rows.len() as u64);
                 Ok((rows, node))
             }

@@ -45,6 +45,10 @@ pub use kgnet_sparqlml as sparqlml;
 /// admission-controlled training job queue.
 pub use kgnet_server as server;
 
+/// The wire-level frontend: dependency-free HTTP/1.1 server exposing
+/// `/metrics`, health probes, debug surfaces and the query endpoints.
+pub use kgnet_http as http;
+
 /// Synthetic DBLP/YAGO4-shaped KG generators.
 pub use kgnet_datagen as datagen;
 
